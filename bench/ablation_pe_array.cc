@@ -1,0 +1,56 @@
+// Ablation A4 — PE array shape: more PEs raise peak GOPS but, under the
+// fixed 51.2 Gbps weight stream, only batched or compute-bound workloads
+// can feed them. This sweep shows why 4 x 48 is a balanced choice for
+// the paper's bandwidth budget.
+#include <cstdio>
+
+#include "accel/report.h"
+#include "accel/scheduler.h"
+#include "accel/synthetic.h"
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace zss;
+  const bench::Flags flags(argc, argv);
+  const auto steps = static_cast<num::Index>(flags.get_int("steps", 20));
+
+  bench::print_header(
+      "Ablation A4: PE array shape at fixed 51.2 Gbps (PTB-Char)");
+  std::printf("%14s %10s %16s %16s %16s\n", "tiles x PEs", "peak",
+              "dense b8 GOPS", "sparse b8 GOPS", "PE util (dense)");
+
+  struct Shape {
+    num::Index tiles;
+    num::Index pes;
+  };
+  for (const Shape s : {Shape{2, 24}, Shape{4, 24}, Shape{4, 48},
+                        Shape{4, 96}, Shape{8, 96}}) {
+    accel::AcceleratorConfig cfg;
+    cfg.tiles = s.tiles;
+    cfg.pes_per_tile = s.pes;
+    accel::Scheduler sched(cfg);
+    num::Rng rng(9);
+    const auto shape = accel::WorkloadShape::ptb_char(8);
+    accel::RunTotals dense;
+    accel::RunTotals sparse;
+    double util = 0.0;
+    for (num::Index t = 0; t < steps; ++t) {
+      const auto dstats = sched.run_timestep_dense(shape);
+      util = dstats.pe_utilization();
+      dense.add(dstats, shape);
+      const auto mask =
+          accel::mask_from_intersected_sparsity(shape, 0.81, rng);
+      sparse.add(sched.run_timestep(shape, mask), shape);
+    }
+    std::printf("%8lld x %-4lld %9.1f %16.1f %16.1f %15.1f%%\n",
+                static_cast<long long>(s.tiles),
+                static_cast<long long>(s.pes), cfg.peak_gops(),
+                dense.gops(cfg), sparse.gops(cfg), util * 100.0);
+  }
+
+  std::printf(
+      "\nreading: below 4x48, compute caps batch-8 throughput; above it,\n"
+      "the fixed weight stream cannot feed the extra PEs at batch 8 and\n"
+      "utilization falls — 4x48 matches 24 weights/cycle x 8 batches.\n");
+  return 0;
+}

@@ -1,0 +1,171 @@
+// Ablation A6 — weight sparsity (ESE/CBSR) versus state sparsity (this
+// paper), end to end on the same char-LM task.
+//
+// Both philosophies are trained with their own recipe from the same
+// dense base model:
+//   - state path: pruned fine-tuning (Eq. 4-6), run on the
+//     zero-state-skipping accelerator model;
+//   - weight path: magnitude prune + masked retraining (Han's recipe),
+//     compressed to CSC and run on the ESE-style timing model (plus its
+//     CBSR load-balanced variant).
+// The punchline the paper argues in §IV: state skipping reaches similar
+// accuracy while using *dense* weights, and its skip logic has no load
+// imbalance to pay for.
+#include <cstdio>
+
+#include "accel/lstm_accelerator.h"
+#include "baseline/ese_timing.h"
+#include "baseline/weight_pruned_lm.h"
+#include "bench_util.h"
+#include "core/zss.h"
+#include "num/stats.h"
+
+namespace {
+
+using namespace zss;
+
+void train_epochs(core::PrunedLstmLm& model, const data::CharCorpus& corpus,
+                  int epochs) {
+  nn::Adam adam(2e-3f);
+  data::LmBatcher batcher(corpus.train(), 8, 25);
+  for (int e = 0; e < epochs; ++e) {
+    for (num::Index w = 0; w < batcher.num_windows(); ++w) {
+      (void)model.train_window(batcher.window(w), adam, 5.0f);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const double sparsity = flags.get("sparsity", 0.8);
+  const auto hidden = static_cast<num::Index>(flags.get_int("hidden", 96));
+  const int epochs = static_cast<int>(flags.get_int("epochs", 3));
+
+  data::CharCorpusConfig dcfg;
+  dcfg.train_chars = 30000;
+  dcfg.valid_chars = 3000;
+  dcfg.test_chars = 3000;
+  dcfg.lexicon_words = 120;
+  dcfg.successor_prob = 0.85;
+  const auto corpus = data::CharCorpus::generate(dcfg);
+
+  bench::print_header(
+      "Ablation A6: state sparsity (this work) vs weight sparsity "
+      "(ESE/CBSR baseline)");
+  std::printf("char task, hidden=%lld, sparsity target %.0f%%\n\n",
+              static_cast<long long>(hidden), sparsity * 100.0);
+
+  // ---- Shared dense base ----
+  core::LmConfig cfg;
+  cfg.vocab = data::CharCorpus::kVocab;
+  cfg.hidden = hidden;
+  core::PrunedLstmLm dense_model(cfg);
+  train_epochs(dense_model, corpus, epochs);
+  const auto dense_eval = dense_model.evaluate(corpus.test(), 4, 25);
+  std::printf("dense base model:      BPC %.4f\n", dense_eval.bpc);
+
+  // ---- State-pruning path (this work) ----
+  core::LmConfig state_cfg = cfg;
+  state_cfg.pruner = core::PrunerConfig::target(sparsity);
+  core::PrunedLstmLm state_model(state_cfg);
+  {
+    auto src = dense_model.parameters();
+    auto dst = state_model.parameters();
+    for (std::size_t i = 0; i < src.size(); ++i) dst[i]->value = src[i]->value;
+  }
+  train_epochs(state_model, corpus, 2);
+  const auto state_eval = state_model.evaluate(corpus.test(), 4, 25);
+  std::printf("state-pruned (%.0f%%):   BPC %.4f (states sparse, weights "
+              "dense)\n",
+              sparsity * 100.0, state_eval.bpc);
+
+  // ---- Weight-pruning path (ESE baseline) ----
+  baseline::WeightPrunedLm weight_model(cfg);
+  {
+    auto src = dense_model.parameters();
+    auto dst = weight_model.model().parameters();
+    for (std::size_t i = 0; i < src.size(); ++i) dst[i]->value = src[i]->value;
+  }
+  weight_model.prune_weights(sparsity);
+  nn::Adam adam(2e-3f);
+  data::LmBatcher batcher(corpus.train(), 8, 25);
+  for (int e = 0; e < 2; ++e) {
+    for (num::Index w = 0; w < batcher.num_windows(); ++w) {
+      (void)weight_model.train_window(batcher.window(w), adam, 5.0f);
+    }
+  }
+  const auto weight_eval = weight_model.evaluate(corpus.test(), 4, 25);
+  std::printf("weight-pruned (%.0f%%):  BPC %.4f (weights sparse, states "
+              "dense)\n\n",
+              sparsity * 100.0, weight_eval.bpc);
+
+  // ---- Hardware: this work's accelerator on the state-pruned model ----
+  sparse::SparsityMeter meter;
+  std::vector<num::Matrix> dense_states;
+  (void)state_model.collect_states(corpus.valid(), 1, 80, meter, nullptr,
+                                   &dense_states);
+  std::vector<float> all_values;
+  for (const auto& s : dense_states) {
+    all_values.insert(all_values.end(), s.flat().begin(), s.flat().end());
+  }
+  accel::LstmAcceleratorOptions opt;
+  opt.prune_threshold = num::quantile_abs(all_values, sparsity);
+  opt.input_mode = accel::InputMode::kOneHot;
+  opt.track_reference = false;
+  accel::LstmAccelerator hw_sparse(accel::AcceleratorConfig{}, opt,
+                                   state_model.cell());
+  accel::LstmAccelerator hw_dense(accel::AcceleratorConfig{}, opt,
+                                  state_model.cell());
+  hw_sparse.reset(1);
+  hw_dense.reset(1);
+  num::Matrix x(1, cfg.vocab);
+  for (num::Index t = 0; t < 100; ++t) {
+    x.fill(0.0f);
+    x(0, corpus.test()[static_cast<std::size_t>(t)]) = 1.0f;
+    hw_sparse.step(x);
+    hw_dense.step_dense(x);
+  }
+  const double zss_speedup =
+      static_cast<double>(hw_dense.totals().cycles) /
+      static_cast<double>(hw_sparse.totals().cycles);
+  std::printf("this work's accelerator (state skipping):\n"
+              "  dense %lld cycles -> sparse %lld cycles: %.2fx speedup, "
+              "observed state sparsity %.0f%%\n",
+              static_cast<long long>(hw_dense.totals().cycles),
+              static_cast<long long>(hw_sparse.totals().cycles), zss_speedup,
+              hw_sparse.totals().observed_sparsity() * 100.0);
+
+  // ---- Hardware: ESE / CBSR on the weight-pruned model ----
+  const auto wh_csc = baseline::CscMatrix::compress(
+      weight_model.cell().wh().value, baseline::CscConfig{});
+  baseline::EseConfig ese_cfg;
+  const auto ese = baseline::EseTimingModel(ese_cfg).matvec(wh_csc);
+  ese_cfg.balanced = true;
+  const auto cbsr = baseline::EseTimingModel(ese_cfg).matvec(wh_csc);
+  const auto dense_cycles =
+      4 * hidden * hidden / ese_cfg.pes;  // dense matvec on the same PEs
+  std::printf("\nESE-style accelerator (weight skipping) per timestep, "
+              "Wh matvec:\n"
+              "  dense-equivalent %lld cycles; ESE %lld (%.2fx), "
+              "CBSR %lld (%.2fx); ESE imbalance waste %.0f%%\n",
+              static_cast<long long>(dense_cycles),
+              static_cast<long long>(ese.cycles),
+              static_cast<double>(dense_cycles) /
+                  static_cast<double>(ese.cycles),
+              static_cast<long long>(cbsr.cycles),
+              static_cast<double>(dense_cycles) /
+                  static_cast<double>(cbsr.cycles),
+              ese.imbalance_waste() * 100.0);
+  std::printf("  (paper §IV: ESE reports 4.2x over its dense baseline; "
+              "CBSR improves ESE 25-30%%)\n");
+
+  std::printf(
+      "\nsummary at %.0f%% sparsity: state pruning BPC %+.4f vs dense, "
+      "weight pruning BPC %+.4f vs dense;\nstate skipping needs no "
+      "load balancing and keeps weights dense (sequential DRAM reads).\n",
+      sparsity * 100.0, state_eval.bpc - dense_eval.bpc,
+      weight_eval.bpc - dense_eval.bpc);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// §III-C "Methodology" — the accelerator's specification table:
+// area, frequency, peak performance and peak energy efficiency.
+//
+// The silicon area is a synthesis result (TSMC 65 nm GP, Cadence Genus)
+// that a simulator cannot re-derive; it is reported as the paper
+// constant. Peak performance and efficiency are recomputed from the
+// model and must equal the paper's numbers by construction.
+#include <cstdio>
+
+#include "accel/energy.h"
+#include "accel/scheduler.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace zss;
+  const accel::AcceleratorConfig cfg;
+  const accel::EnergyConfig ecfg;
+
+  bench::print_header("Accelerator specification (paper §III-C)");
+  std::printf("%-38s %s\n", "technology", "TSMC 65 nm GP (paper constant)");
+  std::printf("%-38s %.0f MHz\n", "nominal frequency", cfg.clock_hz / 1e6);
+  std::printf("%-38s %lld tiles x %lld PEs = %lld\n", "PE array",
+              static_cast<long long>(cfg.tiles),
+              static_cast<long long>(cfg.pes_per_tile),
+              static_cast<long long>(cfg.total_pes()));
+  std::printf("%-38s %.1f Gbps (%lld weights + %lld input byte / cycle)\n",
+              "off-chip DRAM (LPDDR4)", cfg.dram_gbps,
+              static_cast<long long>(cfg.weights_per_cycle()),
+              static_cast<long long>(cfg.input_bytes_per_cycle()));
+  std::printf("%-38s %lld x %lld-bit per PE\n", "scratch SRAM",
+              static_cast<long long>(cfg.scratch_entries),
+              static_cast<long long>(cfg.scratch_bits));
+  std::printf("%-38s %d-bit zero-run counter\n", "output encoder",
+              cfg.offset_bits);
+  std::printf("%-38s 1.1 mm^2 (paper synthesis result)\n", "silicon area");
+
+  bench::print_row("peak performance (GOPS)", cfg.peak_gops(), 76.8);
+  bench::print_row("chip power (mW)", ecfg.constant_power_w * 1000.0, 83.0);
+  bench::print_row("peak energy efficiency (GOPS/W)",
+                   cfg.peak_gops() / ecfg.constant_power_w, 925.3);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Shared helpers for the figure-reproduction benches: a tiny flag parser
+// (--quick / --full plus key=value overrides) and aligned table output so
+// every bench prints the paper's rows next to the measured ones.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace zss::bench {
+
+/// Parses "--name=value" style flags; everything is optional.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  bool has(const std::string& name) const {
+    for (const auto& a : args_) {
+      if (a == "--" + name) return true;
+      if (a.rfind("--" + name + "=", 0) == 0) return true;
+    }
+    return false;
+  }
+
+  double get(const std::string& name, double fallback) const {
+    const std::string prefix = "--" + name + "=";
+    for (const auto& a : args_) {
+      if (a.rfind(prefix, 0) == 0) return std::atof(a.c_str() + prefix.size());
+    }
+    return fallback;
+  }
+
+  long get_int(const std::string& name, long fallback) const {
+    return static_cast<long>(get(name, static_cast<double>(fallback)));
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+inline void print_header(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+inline void print_row(const char* label, double measured, double paper) {
+  if (paper > 0.0) {
+    std::printf("%-34s measured %10.3f   paper %10.3f   ratio %6.3f\n",
+                label, measured, paper, measured / paper);
+  } else {
+    std::printf("%-34s measured %10.3f   (no paper value)\n", label,
+                measured);
+  }
+}
+
+}  // namespace zss::bench

@@ -1,0 +1,86 @@
+// Fig. 10 — peak performance of state-of-the-art LSTM accelerators:
+// this work vs ESE (Han et al., FPGA'17) and CBSR (Park et al., DATE'18).
+//
+// The paper compares published peak numbers: ESE reports 2.52 TOPS
+// (sparse-equivalent) on a Xilinx FPGA; CBSR improves ESE by 25-30%, so
+// the paper plots 1.3x ESE = 3.3 TOPS; "this work" is plotted at 4.8
+// TOPS. Our reproduction computes this work's peak equivalent
+// throughput from the cycle model: the best sparse operating point of
+// Fig. 8 scaled to the peak-efficiency regime.
+#include <cstdio>
+
+#include "accel/energy.h"
+#include "accel/scheduler.h"
+#include "accel/synthetic.h"
+#include "bench_util.h"
+
+namespace {
+
+using namespace zss;
+using accel::AcceleratorConfig;
+using accel::RunTotals;
+using accel::Scheduler;
+using accel::WorkloadShape;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const auto steps = static_cast<num::Index>(flags.get_int("steps", 30));
+
+  const AcceleratorConfig cfg;
+  Scheduler sched(cfg);
+  num::Rng rng(5);
+
+  bench::print_header("Fig. 10: peak performance vs ESE and CBSR (TOPS)");
+
+  // This work's best sustained equivalent throughput: the char sweet
+  // spot at batch 8 (the paper's most efficient sparse point), plus the
+  // batch-1 97% point which maximizes the skip factor.
+  RunTotals char8;
+  RunTotals char1;
+  for (num::Index t = 0; t < steps; ++t) {
+    char8.add(sched.run_timestep(
+                  WorkloadShape::ptb_char(8),
+                  accel::mask_from_intersected_sparsity(
+                      WorkloadShape::ptb_char(8), 0.81, rng)),
+              WorkloadShape::ptb_char(8));
+    char1.add(sched.run_timestep(
+                  WorkloadShape::ptb_char(1),
+                  accel::mask_from_intersected_sparsity(
+                      WorkloadShape::ptb_char(1), 0.97, rng)),
+              WorkloadShape::ptb_char(1));
+  }
+  const double best_gops =
+      std::max(char8.gops(cfg), char1.gops(cfg));
+
+  // Peak claim: the paper headlines 4.8 TOPS(/W) — its best sparse
+  // efficiency point (4765.1 GOPS/W a.k.a. ~4.8 T) — against ESE's
+  // published 2.52 TOPS and CBSR at 1.3x ESE.
+  const double ese_tops = 2.52;           // published (FPGA'17)
+  const double cbsr_tops = ese_tops * 1.3;  // paper's estimate
+  const double this_work_paper = 4.8;
+
+  accel::EnergyModel energy(accel::EnergyConfig{}, cfg);
+  const double best_teff = energy.gops_per_watt(char8) / 1000.0;
+
+  std::printf("%-34s %10s %10s\n", "accelerator", "TOPS", "paper");
+  std::printf("%-34s %10.2f %10.2f  (= best sparse GOPS/W / 1000; the\n",
+              "This work (peak equivalent)", best_teff, this_work_paper);
+  std::printf("%-34s %10s %10s   paper plots its 4.8 TOPS/W figure)\n", "",
+              "", "");
+  std::printf("%-34s %10.2f %10.2f\n", "ESE (published)", ese_tops, 2.5);
+  std::printf("%-34s %10.2f %10.2f\n", "CBSR (1.3x ESE, est.)", cbsr_tops,
+              3.3);
+
+  std::printf("\nsustained sparse equivalent throughput (this work): "
+              "%.1f GOPS (char batch 8 sweet spot)\n", best_gops);
+  std::printf("speedup vs ESE:  %.2fx (paper: 1.9x)\n",
+              best_teff * 1000.0 / (ese_tops * 1000.0));
+  std::printf("speedup vs CBSR: %.2fx (paper: 1.5x)\n",
+              best_teff * 1000.0 / (cbsr_tops * 1000.0));
+  std::printf("\nnote: ESE reports 61.5 GOPS/W peak on FPGA; this work's "
+              "4.8 TOPS/W is an ASIC number,\nso the paper itself flags the "
+              "energy comparison as not apples-to-apples (§IV)\n");
+  return 0;
+}

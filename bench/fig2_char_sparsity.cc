@@ -1,0 +1,123 @@
+// Fig. 2 — character-level language modeling: BPC on the test set versus
+// hidden-state sparsity degree.
+//
+// Paper setup: PTB characters (vocab 50), LSTM d_h = 1000, sequence 100,
+// Adam lr 2e-3, batch 64, 8-bit quantized weights/activations. Result:
+// flat BPC (~1.46) up to the 97% sweet spot, then a cliff.
+//
+// This bench trains one model per sparsity degree on the synthetic
+// character corpus (see DESIGN.md §4 for the substitution argument) at
+// laptop dimensions by default; pass --hidden=1000 --train=5017000
+// --seq=100 --epochs=N for the paper's scale.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/lm_model.h"
+#include "core/sweet_spot.h"
+#include "data/char_corpus.h"
+
+namespace {
+
+using namespace zss;
+
+struct Result {
+  double sparsity;
+  double bpc;
+};
+
+void train_epochs(core::PrunedLstmLm& model, const data::CharCorpus& corpus,
+                  num::Index seq, num::Index batch, int epochs) {
+  nn::Adam adam(2e-3f);  // the paper's update rule and learning rate
+  data::LmBatcher batcher(corpus.train(), batch, seq);
+  for (int e = 0; e < epochs; ++e) {
+    for (num::Index w = 0; w < batcher.num_windows(); ++w) {
+      (void)model.train_window(batcher.window(w), adam, 5.0f);
+    }
+  }
+}
+
+// The paper trains each sparsity point to convergence from scratch
+// (days of GPU time at d_h = 1000). At laptop budget we train the dense
+// model once and adapt it to each sparsity degree with pruned
+// fine-tuning — the same STE training loop, warm-started. DESIGN.md §7
+// records this as a budget deviation, not an algorithmic one.
+Result run_point(const core::PrunedLstmLm& dense_model,
+                 const data::CharCorpus& corpus, double sparsity,
+                 num::Index hidden, num::Index seq, num::Index batch,
+                 int tune_epochs) {
+  core::LmConfig cfg;
+  cfg.vocab = data::CharCorpus::kVocab;
+  cfg.hidden = hidden;
+  if (sparsity > 0.0) cfg.pruner = core::PrunerConfig::target(sparsity);
+  core::PrunedLstmLm model(cfg);
+
+  // Warm start: copy the dense model's trained parameters.
+  auto src = const_cast<core::PrunedLstmLm&>(dense_model).parameters();
+  auto dst = model.parameters();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i]->value = src[i]->value;
+  }
+  if (sparsity > 0.0) {
+    train_epochs(model, corpus, seq, batch, tune_epochs);
+  }
+  const auto eval = model.evaluate(corpus.test(), 4, seq);
+  return {sparsity, eval.bpc};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  data::CharCorpusConfig dcfg;
+  dcfg.train_chars = flags.get_int("train", 30000);
+  dcfg.valid_chars = flags.get_int("valid", 3000);
+  dcfg.test_chars = flags.get_int("test", 3000);
+  // The sweep needs the model's capacity to exceed the task (the paper
+  // uses d_h = 1000 on PTB); at laptop dims we lower the corpus entropy
+  // instead of raising d_h.
+  dcfg.lexicon_words = flags.get_int("lexicon", 120);
+  dcfg.successor_prob = flags.get("successor", 0.85);
+  const auto corpus = data::CharCorpus::generate(dcfg);
+
+  const auto hidden = static_cast<num::Index>(flags.get_int("hidden", 64));
+  const auto seq = static_cast<num::Index>(flags.get_int("seq", 25));
+  const auto batch = static_cast<num::Index>(flags.get_int("batch", 8));
+  const int epochs = static_cast<int>(flags.get_int("epochs", 4));
+
+  bench::print_header(
+      "Fig. 2: char-level LM, BPC vs sparsity degree (synthetic PTB)");
+  std::printf("config: hidden=%ld seq=%ld batch=%ld epochs=%d train=%ld\n",
+              static_cast<long>(hidden), static_cast<long>(seq),
+              static_cast<long>(batch), epochs,
+              static_cast<long>(dcfg.train_chars));
+  std::printf("paper (PTB, d_h=1000): BPC ~1.46 flat through the 97%% "
+              "sweet spot, rising past it\n\n");
+  std::printf("%-18s %10s\n", "sparsity_degree", "test_BPC");
+
+  core::LmConfig dense_cfg;
+  dense_cfg.vocab = data::CharCorpus::kVocab;
+  dense_cfg.hidden = hidden;
+  core::PrunedLstmLm dense_model(dense_cfg);
+  train_epochs(dense_model, corpus, seq, batch, epochs);
+
+  const int tune_epochs = static_cast<int>(flags.get_int("tune-epochs", 2));
+  const std::vector<double> sweep = {0.0, 0.2, 0.4,  0.6,  0.8,
+                                     0.9, 0.95, 0.97, 0.99};
+  std::vector<core::SweepPoint> curve;
+  for (double s : sweep) {
+    const Result r =
+        run_point(dense_model, corpus, s, hidden, seq, batch, tune_epochs);
+    curve.push_back({r.sparsity, r.bpc});
+    std::printf("%-18.2f %10.4f\n", r.sparsity * 100.0, r.bpc);
+    std::fflush(stdout);
+  }
+
+  const auto spot = core::find_sweet_spot(curve, 0.02);
+  if (spot.found) {
+    std::printf("\nsweet spot: %.0f%% sparsity at BPC %.4f "
+                "(paper: 97%% at no BPC loss)\n",
+                spot.sparsity * 100.0, spot.metric);
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Fig. 4 — sequential image classification: misclassification error rate
+// (MER, %) on the test set versus hidden-state sparsity degree.
+//
+// Paper setup: MNIST scanline pixels (784 steps), LSTM d_h = 100, Adam
+// lr 1e-3, softmax classifier on the final state. Result: MER flat to
+// ~80% sparsity.
+//
+// Protocol: this figure follows the paper exactly — "since the pruning
+// threshold is empirical", each point trains FROM SCRATCH with a fixed
+// threshold T and reports the *measured* sparsity degree that T
+// produces. (The LM figures use the controlled target-sparsity mode
+// instead; both modes live in core::PrunerConfig.) The task is
+// recurrence-critical — a single pixel enters per step, so the state
+// carries everything — which makes it the hardest of the three
+// workloads to prune at laptop dimensions; see EXPERIMENTS.md for the
+// capacity-scaling discussion.
+//
+// Laptop defaults use the synthetic glyph set at 10x10; --side=28
+// --hidden=100 --train=50000 approaches the paper scale.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/classifier_model.h"
+#include "core/sweet_spot.h"
+#include "data/glyph_images.h"
+
+namespace {
+
+using namespace zss;
+
+struct Point {
+  double sparsity;
+  double mer;
+};
+
+Point run_point(const data::GlyphImages& images, float threshold,
+                num::Index hidden, num::Index batch, int epochs) {
+  core::ClassifierConfig cfg;
+  cfg.hidden = hidden;
+  if (threshold > 0.0f) cfg.pruner = core::PrunerConfig::fixed(threshold);
+  core::PrunedLstmClassifier model(cfg);
+  nn::Adam adam(1e-3f);  // the paper's step rule (§II-B.3)
+  data::ImageBatcher batcher(images.train_images(), images.train_labels(),
+                             batch);
+  num::Rng rng(17);
+  for (int e = 0; e < epochs; ++e) {
+    batcher.shuffle(rng);
+    for (num::Index b = 0; b < batcher.num_batches(); ++b) {
+      (void)model.train_batch(batcher.batch(b), adam, 5.0f);
+    }
+  }
+  const auto eval = model.evaluate(images.test_images(), images.test_labels());
+  return {eval.state_sparsity, eval.error_rate_percent};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  data::GlyphConfig dcfg;
+  dcfg.side = flags.get_int("side", 10);
+  dcfg.train_count = flags.get_int("train", 700);
+  dcfg.test_count = flags.get_int("test", 200);
+  dcfg.noise_stddev = flags.get("noise", 0.02);
+  dcfg.jitter_fraction = flags.get("jitter", 0.05);
+  const auto images = data::GlyphImages::generate(dcfg);
+
+  const auto hidden = static_cast<num::Index>(flags.get_int("hidden", 48));
+  const auto batch = static_cast<num::Index>(flags.get_int("batch", 20));
+  const int epochs = static_cast<int>(flags.get_int("epochs", 15));
+
+  bench::print_header(
+      "Fig. 4: sequential image classification, MER vs sparsity degree "
+      "(synthetic MNIST)");
+  std::printf("config: side=%ld (%ld steps) hidden=%ld batch=%ld epochs=%d\n",
+              static_cast<long>(dcfg.side),
+              static_cast<long>(images.pixels()), static_cast<long>(hidden),
+              static_cast<long>(batch), epochs);
+  std::printf("paper (MNIST, d_h=100): MER ~1.8%% flat to ~80%% sparsity\n");
+  std::printf("protocol: fixed empirical threshold T per point (paper "
+              "§II-B); sparsity is measured, not set\n\n");
+  std::printf("%-10s %-20s %10s\n", "T", "sparsity_degree(%)", "test_MER_%");
+
+  const std::vector<float> thresholds = {0.0f,  0.03f, 0.06f, 0.1f,
+                                         0.15f, 0.25f, 0.4f};
+  std::vector<core::SweepPoint> curve;
+  for (float t : thresholds) {
+    const Point p = run_point(images, t, hidden, batch, epochs);
+    curve.push_back({p.sparsity, p.mer});
+    std::printf("%-10.2f %-20.1f %10.2f\n", t, p.sparsity * 100.0, p.mer);
+    std::fflush(stdout);
+  }
+
+  const auto spot = core::find_sweet_spot(curve, 0.30);
+  if (spot.found) {
+    std::printf("\nsweet spot: %.0f%% sparsity at MER %.2f%% "
+                "(paper: ~80%% with no MER loss at d_h=100 / full MNIST)\n",
+                spot.sparsity * 100.0, spot.metric);
+  }
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Fig. 7 — sparsity degree of the hidden state vector over batch sizes
+// 1 / 8 / 16 at the per-task sweet spots.
+//
+// A position can be skipped only when it is zero in EVERY batch lane
+// (Fig. 5(d)), so the exploitable sparsity degrades as batch grows. The
+// paper measures (batch 1/8/16):
+//   PTB-Char  97 / 81 / 66 %
+//   PTB-Word  93 / 63 / 41 %
+//   MNIST     83 / 55 / 43 %
+//
+// This bench trains sweet-spot models on the synthetic substitutes at
+// laptop dims and measures the same quantity with the SparsityMeter.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/classifier_model.h"
+#include "core/lm_model.h"
+#include "data/char_corpus.h"
+#include "data/glyph_images.h"
+#include "data/word_corpus.h"
+#include "sparse/sparsity_report.h"
+
+namespace {
+
+using namespace zss;
+
+struct TaskRow {
+  const char* name;
+  double paper[3];  // batch 1 / 8 / 16
+  double measured[3];
+};
+
+void print_rows(const TaskRow* rows, int n) {
+  std::printf("%-10s %22s %22s\n", "", "measured (1/8/16)", "paper (1/8/16)");
+  for (int i = 0; i < n; ++i) {
+    std::printf("%-10s %6.1f %6.1f %6.1f   %6.1f %6.1f %6.1f\n",
+                rows[i].name, rows[i].measured[0] * 100.0,
+                rows[i].measured[1] * 100.0, rows[i].measured[2] * 100.0,
+                rows[i].paper[0], rows[i].paper[1], rows[i].paper[2]);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const int epochs = static_cast<int>(flags.get_int("epochs", 2));
+  const auto steps = static_cast<num::Index>(flags.get_int("steps", 150));
+
+  bench::print_header(
+      "Fig. 7: batch-intersected state sparsity at the sweet spots");
+
+  TaskRow rows[3] = {
+      {"PTB-Char", {97, 81, 66}, {}},
+      {"PTB-Word", {93, 63, 41}, {}},
+      {"MNIST", {83, 55, 43}, {}},
+  };
+
+  // ---- Char model at the 97% sweet spot ----
+  {
+    data::CharCorpusConfig dcfg;
+    dcfg.train_chars = 30000;
+    dcfg.valid_chars = 3000;
+    dcfg.test_chars = 6000;
+    const auto corpus = data::CharCorpus::generate(dcfg);
+    core::LmConfig cfg;
+    cfg.vocab = data::CharCorpus::kVocab;
+    cfg.hidden = static_cast<num::Index>(flags.get_int("hidden_char", 64));
+    cfg.pruner = core::PrunerConfig::target(0.97);
+    core::PrunedLstmLm model(cfg);
+    nn::Adam adam(2e-3f);
+    data::LmBatcher batcher(corpus.train(), 8, 25);
+    for (int e = 0; e < epochs; ++e) {
+      for (num::Index w = 0; w < batcher.num_windows(); ++w) {
+        (void)model.train_window(batcher.window(w), adam, 5.0f);
+      }
+    }
+    const num::Index batches[3] = {1, 8, 16};
+    for (int i = 0; i < 3; ++i) {
+      sparse::SparsityMeter meter;
+      (void)model.collect_states(corpus.test(), batches[i], steps, meter);
+      rows[0].measured[i] = meter.mean_sparsity();
+    }
+  }
+
+  // ---- Word model at the 93% sweet spot ----
+  {
+    data::WordCorpusConfig dcfg;
+    dcfg.vocab_size = 1000;
+    dcfg.train_tokens = 22000;
+    dcfg.valid_tokens = 2000;
+    dcfg.test_tokens = 6000;
+    const auto corpus = data::WordCorpus::generate(dcfg);
+    core::LmConfig cfg;
+    cfg.vocab = corpus.vocab_size();
+    cfg.embed_dim = 48;
+    cfg.hidden = static_cast<num::Index>(flags.get_int("hidden_word", 48));
+    cfg.dropout = 0.5;
+    cfg.pruner = core::PrunerConfig::target(0.93);
+    core::PrunedLstmLm model(cfg);
+    nn::Sgd sgd(1.0f);
+    data::LmBatcher batcher(corpus.train(), 10, 35);
+    for (int e = 0; e < epochs; ++e) {
+      for (num::Index w = 0; w < batcher.num_windows(); ++w) {
+        (void)model.train_window(batcher.window(w), sgd, 5.0f);
+      }
+      sgd.decay(1.2f);
+    }
+    const num::Index batches[3] = {1, 8, 16};
+    for (int i = 0; i < 3; ++i) {
+      sparse::SparsityMeter meter;
+      (void)model.collect_states(corpus.test(), batches[i], steps, meter);
+      rows[1].measured[i] = meter.mean_sparsity();
+    }
+  }
+
+  // ---- MNIST model at the 83% sweet spot ----
+  {
+    data::GlyphConfig dcfg;
+    dcfg.side = 12;
+    dcfg.train_count = 600;
+    dcfg.test_count = 200;
+    const auto images = data::GlyphImages::generate(dcfg);
+    core::ClassifierConfig cfg;
+    cfg.hidden = static_cast<num::Index>(flags.get_int("hidden_mnist", 36));
+    cfg.pruner = core::PrunerConfig::target(0.83);
+    core::PrunedLstmClassifier model(cfg);
+    nn::Adam adam(1e-3f);
+    data::ImageBatcher batcher(images.train_images(), images.train_labels(),
+                               20);
+    num::Rng rng(5);
+    for (int e = 0; e < epochs + 2; ++e) {
+      batcher.shuffle(rng);
+      for (num::Index b = 0; b < batcher.num_batches(); ++b) {
+        (void)model.train_batch(batcher.batch(b), adam, 5.0f);
+      }
+    }
+    const num::Index batches[3] = {1, 8, 16};
+    for (int i = 0; i < 3; ++i) {
+      num::Matrix lanes(batches[i], images.pixels());
+      for (num::Index b = 0; b < batches[i]; ++b) {
+        auto dst = lanes.row(b);
+        auto src = images.test_images().row(b);
+        std::copy(src.begin(), src.end(), dst.begin());
+      }
+      sparse::SparsityMeter meter;
+      model.collect_states(lanes, meter);
+      rows[2].measured[i] = meter.mean_sparsity();
+    }
+  }
+
+  std::printf("\n");
+  print_rows(rows, 3);
+  std::printf(
+      "\nexpected shape: monotone decrease with batch size on every task\n"
+      "(absolute values differ from the paper because the corpora are\n"
+      "synthetic and dims are reduced; see EXPERIMENTS.md)\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Fig. 9 — accelerator energy efficiency (GOPS/W) for dense and sparse
+// states across the three tasks and batch sizes 1 / 8 / 16.
+//
+// Every (GOPS, GOPS/W) pair in the paper implies a constant 83 mW chip
+// power (76.8 GOPS peak at 925.3 GOPS/W, §III-C) — the synthesis-time
+// power estimate applied to measured runtimes. The default energy mode
+// reproduces exactly that; pass --component for the activity-based model.
+#include <cstdio>
+#include <vector>
+
+#include "accel/energy.h"
+#include "accel/scheduler.h"
+#include "accel/synthetic.h"
+#include "bench_util.h"
+
+namespace {
+
+using namespace zss;
+using accel::AcceleratorConfig;
+using accel::EnergyConfig;
+using accel::EnergyMode;
+using accel::EnergyModel;
+using accel::RunTotals;
+using accel::Scheduler;
+using accel::WorkloadShape;
+
+struct Row {
+  const char* label;
+  WorkloadShape shape;
+  double sparsity;  // <0 means dense
+  double paper_gops_per_w;
+};
+
+RunTotals simulate(const Scheduler& sched, const WorkloadShape& shape,
+                   double sparsity, num::Index steps, num::Rng& rng) {
+  RunTotals totals;
+  for (num::Index t = 0; t < steps; ++t) {
+    if (sparsity < 0.0) {
+      totals.add(sched.run_timestep_dense(shape), shape);
+    } else {
+      const auto mask =
+          accel::mask_from_intersected_sparsity(shape, sparsity, rng);
+      totals.add(sched.run_timestep(shape, mask), shape);
+    }
+  }
+  return totals;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const auto steps = static_cast<num::Index>(flags.get_int("steps", 20));
+
+  const AcceleratorConfig cfg;
+  EnergyConfig ecfg;
+  if (flags.has("component")) ecfg.mode = EnergyMode::kComponent;
+  const EnergyModel energy(ecfg, cfg);
+  Scheduler sched(cfg);
+  num::Rng rng(987);
+
+  bench::print_header(
+      "Fig. 9: accelerator energy efficiency (GOPS/W), dense vs sparse");
+  std::printf("energy mode: %s (chip power %s)\n\n",
+              ecfg.mode == EnergyMode::kCalibratedConstant
+                  ? "calibrated-constant"
+                  : "component",
+              ecfg.mode == EnergyMode::kCalibratedConstant
+                  ? "83 mW, the paper's synthesis estimate"
+                  : "activity-based");
+
+  const std::vector<Row> rows = {
+      {"PTB-Char  dense  batch 1", WorkloadShape::ptb_char(1), -1, 115.7},
+      {"PTB-Char  dense  batch 8", WorkloadShape::ptb_char(8), -1, 920.5},
+      {"PTB-Char  dense  batch 16", WorkloadShape::ptb_char(16), -1, 920.5},
+      {"PTB-Char  sparse batch 1", WorkloadShape::ptb_char(1), 0.97, 3791.6},
+      {"PTB-Char  sparse batch 8", WorkloadShape::ptb_char(8), 0.81, 4765.1},
+      {"PTB-Char  sparse batch 16", WorkloadShape::ptb_char(16), 0.66,
+       2686.7},
+      {"PTB-Word  dense  batch 1", WorkloadShape::ptb_word(1), -1, 115.7},
+      {"PTB-Word  dense  batch 8", WorkloadShape::ptb_word(8), -1, 918.1},
+      {"PTB-Word  dense  batch 16", WorkloadShape::ptb_word(16), -1, 918.1},
+      {"PTB-Word  sparse batch 1", WorkloadShape::ptb_word(1), 0.93, 215.7},
+      {"PTB-Word  sparse batch 8", WorkloadShape::ptb_word(8), 0.63, 1335.0},
+      {"PTB-Word  sparse batch 16", WorkloadShape::ptb_word(16), 0.41,
+       1151.8},
+      {"MNIST     dense  batch 1", WorkloadShape::mnist(1), -1, 115.7},
+      {"MNIST     dense  batch 8", WorkloadShape::mnist(8), -1, 895.2},
+      {"MNIST     dense  batch 16", WorkloadShape::mnist(16), -1, 895.2},
+      {"MNIST     sparse batch 1", WorkloadShape::mnist(1), 0.83, 608.4},
+      {"MNIST     sparse batch 8", WorkloadShape::mnist(8), 0.55, 1859.0},
+      {"MNIST     sparse batch 16", WorkloadShape::mnist(16), 0.43, 1504.8},
+  };
+
+  double best_sparse = 0.0;
+  double best_dense = 0.0;
+  for (const Row& row : rows) {
+    const auto totals = simulate(sched, row.shape, row.sparsity, steps, rng);
+    const double gpw = energy.gops_per_watt(totals);
+    bench::print_row(row.label, gpw, row.paper_gops_per_w);
+    if (row.sparsity < 0.0) {
+      best_dense = std::max(best_dense, gpw);
+    } else {
+      best_sparse = std::max(best_sparse, gpw);
+    }
+  }
+
+  std::printf(
+      "\nbest sparse / best dense energy efficiency: %.1fx "
+      "(paper: up to 5.2x, 4765.1/920.5)\n",
+      best_sparse / best_dense);
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Ablation A5 — kernel microbenchmarks (google-benchmark): the software
+// building blocks whose costs the simulator and trainer are built on.
+#include <benchmark/benchmark.h>
+
+#include "accel/scheduler.h"
+#include "accel/synthetic.h"
+#include "core/state_pruner.h"
+#include "nn/lstm_cell.h"
+#include "num/kernels.h"
+#include "num/rng.h"
+#include "quant/quantize.h"
+#include "sparse/encoding.h"
+
+namespace {
+
+using namespace zss;
+
+num::Matrix random_matrix(num::Index rows, num::Index cols,
+                          std::uint64_t seed) {
+  num::Rng rng(seed);
+  num::Matrix m(rows, cols);
+  for (float& v : m.flat()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return m;
+}
+
+void BM_GemvDense(benchmark::State& state) {
+  const auto n = static_cast<num::Index>(state.range(0));
+  const auto w = random_matrix(4 * n, n, 1);
+  std::vector<float> x(static_cast<std::size_t>(n), 0.5f);
+  std::vector<float> y(static_cast<std::size_t>(4 * n));
+  for (auto _ : state) {
+    num::gemv(w, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * n * n);
+}
+BENCHMARK(BM_GemvDense)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_SparseColumnGemv(benchmark::State& state) {
+  // The skip-aware matvec at 90% sparsity: accumulate 10% of columns.
+  const auto n = static_cast<num::Index>(state.range(0));
+  const auto w = random_matrix(4 * n, n, 2);
+  num::Rng rng(3);
+  std::vector<num::Index> kept;
+  for (num::Index j = 0; j < n; ++j) {
+    if (rng.bernoulli(0.1)) kept.push_back(j);
+  }
+  std::vector<float> y(static_cast<std::size_t>(4 * n), 0.0f);
+  for (auto _ : state) {
+    for (num::Index j : kept) num::axpy_col(w, j, 0.5f, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<num::Index>(kept.size()) * 4 * n);
+}
+BENCHMARK(BM_SparseColumnGemv)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_QuantizedGemv(benchmark::State& state) {
+  const auto n = static_cast<num::Index>(state.range(0));
+  const auto w = random_matrix(4 * n, n, 4);
+  num::MatrixI8 wq;
+  const auto wp = quant::quantize_matrix(w, wq);
+  std::vector<std::int8_t> xq(static_cast<std::size_t>(n), 42);
+  std::vector<float> y(static_cast<std::size_t>(4 * n));
+  for (auto _ : state) {
+    quant::qgemv(wq, wp, xq, quant::QuantParams{0.01f}, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * n * n);
+}
+BENCHMARK(BM_QuantizedGemv)->Arg(128)->Arg(256);
+
+void BM_StatePruner(benchmark::State& state) {
+  const auto n = static_cast<num::Index>(state.range(0));
+  const core::StatePruner pruner(core::PrunerConfig::target(0.95));
+  const auto h = random_matrix(8, n, 5);
+  num::Matrix out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pruner.prune(h, out));
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * n);
+}
+BENCHMARK(BM_StatePruner)->Arg(256)->Arg(1024);
+
+void BM_Encoder(benchmark::State& state) {
+  const auto n = static_cast<num::Index>(state.range(0));
+  num::Rng rng(6);
+  num::Matrix h(8, n, 0.0f);
+  for (float& v : h.flat()) {
+    if (rng.bernoulli(0.1)) v = static_cast<float>(rng.normal());
+  }
+  const sparse::EncoderConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::encode(h, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * n);
+}
+BENCHMARK(BM_Encoder)->Arg(256)->Arg(1024);
+
+void BM_LstmCellForward(benchmark::State& state) {
+  const auto dh = static_cast<num::Index>(state.range(0));
+  num::Rng rng(7);
+  nn::LstmCell cell(64, dh, rng);
+  const auto x = random_matrix(8, 64, 8);
+  const auto h = random_matrix(8, dh, 9);
+  const auto c = random_matrix(8, dh, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell.forward(x, h, c, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 4 * dh * (64 + dh));
+}
+BENCHMARK(BM_LstmCellForward)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_LstmCellTrainStep(benchmark::State& state) {
+  const auto dh = static_cast<num::Index>(state.range(0));
+  num::Rng rng(11);
+  nn::LstmCell cell(64, dh, rng);
+  const auto x = random_matrix(8, 64, 12);
+  const auto h = random_matrix(8, dh, 13);
+  const auto c = random_matrix(8, dh, 14);
+  const num::Matrix dh_grad(8, dh, 0.1f);
+  const num::Matrix dc_grad(8, dh, 0.0f);
+  for (auto _ : state) {
+    nn::LstmStepCache cache;
+    benchmark::DoNotOptimize(cell.forward(x, h, c, &cache));
+    benchmark::DoNotOptimize(cell.backward(cache, dh_grad, dc_grad));
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 4 * dh * (64 + dh) * 3);
+}
+BENCHMARK(BM_LstmCellTrainStep)->Arg(64)->Arg(128);
+
+void BM_SchedulerTimestep(benchmark::State& state) {
+  const accel::AcceleratorConfig cfg;
+  const accel::Scheduler sched(cfg);
+  const auto shape = accel::WorkloadShape::ptb_char(8);
+  num::Rng rng(15);
+  const auto mask = accel::mask_from_intersected_sparsity(shape, 0.81, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.run_timestep(shape, mask));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerTimestep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Design-space exploration with the accelerator model — no training
+// required. Sweeps batch size and state sparsity at the paper's network
+// dimensions and prints the achieved GOPS and GOPS/W grid, showing where
+// the zero-state-skipping design wins and where batching erodes it.
+//
+// Usage: accel_design_space [--task=char|word|mnist]
+#include <cstdio>
+#include <string>
+
+#include "accel/energy.h"
+#include "accel/scheduler.h"
+#include "accel/synthetic.h"
+
+using namespace zss;
+
+int main(int argc, char** argv) {
+  std::string task = "char";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--task=", 0) == 0) task = arg.substr(7);
+  }
+
+  const accel::AcceleratorConfig cfg;
+  const accel::Scheduler sched(cfg);
+  const accel::EnergyModel energy(accel::EnergyConfig{}, cfg);
+  num::Rng rng(21);
+
+  auto shape_for = [&](num::Index batch) {
+    if (task == "word") return accel::WorkloadShape::ptb_word(batch);
+    if (task == "mnist") return accel::WorkloadShape::mnist(batch);
+    return accel::WorkloadShape::ptb_char(batch);
+  };
+
+  std::printf("design space for task '%s' (d_h=%lld, d_x=%lld, %s input)\n",
+              task.c_str(), static_cast<long long>(shape_for(1).hidden),
+              static_cast<long long>(shape_for(1).input),
+              shape_for(1).input_mode == accel::InputMode::kOneHot
+                  ? "one-hot"
+                  : "dense");
+  std::printf("accelerator: %lld PEs, %.1f Gbps, peak %.1f GOPS, 83 mW\n\n",
+              static_cast<long long>(cfg.total_pes()), cfg.dram_gbps,
+              cfg.peak_gops());
+
+  std::printf("GOPS (rows: batch, cols: intersected state sparsity)\n");
+  std::printf("%6s", "batch");
+  const double sparsities[] = {0.0, 0.5, 0.8, 0.9, 0.95, 0.97};
+  for (double s : sparsities) std::printf(" %8.0f%%", s * 100.0);
+  std::printf("\n");
+
+  for (num::Index batch : {1, 2, 4, 8, 16}) {
+    const auto shape = shape_for(batch);
+    std::printf("%6lld", static_cast<long long>(batch));
+    for (double s : sparsities) {
+      accel::RunTotals totals;
+      for (int t = 0; t < 10; ++t) {
+        const auto mask =
+            accel::mask_from_intersected_sparsity(shape, s, rng);
+        totals.add(sched.run_timestep(shape, mask), shape);
+      }
+      std::printf(" %9.1f", totals.gops(cfg));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nGOPS/W at the same points (constant 83 mW):\n");
+  std::printf("%6s", "batch");
+  for (double s : sparsities) std::printf(" %8.0f%%", s * 100.0);
+  std::printf("\n");
+  for (num::Index batch : {1, 8, 16}) {
+    const auto shape = shape_for(batch);
+    std::printf("%6lld", static_cast<long long>(batch));
+    for (double s : sparsities) {
+      accel::RunTotals totals;
+      for (int t = 0; t < 10; ++t) {
+        const auto mask =
+            accel::mask_from_intersected_sparsity(shape, s, rng);
+        totals.add(sched.run_timestep(shape, mask), shape);
+      }
+      std::printf(" %9.1f", energy.gops_per_watt(totals));
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nreading: moving right (more sparsity) multiplies throughput in\n"
+      "the bandwidth-bound regime; moving down (more batch) trades the\n"
+      "skip opportunity for utilization — the tension of Figs. 7-9.\n");
+  return 0;
+}

@@ -1,0 +1,19 @@
+#include "accel/config.h"
+
+namespace zss::accel {
+
+void AcceleratorConfig::validate() const {
+  ZSS_EXPECTS(tiles >= 1);
+  ZSS_EXPECTS(pes_per_tile >= 1);
+  ZSS_EXPECTS(clock_hz > 0.0);
+  ZSS_EXPECTS(dram_gbps > 0.0);
+  ZSS_EXPECTS(weight_bits == 8);  // datapath is 8-bit throughout (§III-C)
+  ZSS_EXPECTS(act_bits == 8);
+  ZSS_EXPECTS(scratch_entries >= 1 && scratch_entries <= 64);
+  ZSS_EXPECTS(scratch_bits >= 8 && scratch_bits <= 24);
+  ZSS_EXPECTS(accum_pre_shift >= 0 && accum_pre_shift <= 16);
+  ZSS_EXPECTS(offset_bits >= 1 && offset_bits <= 16);
+  ZSS_EXPECTS(weight_channel_fraction > 0.0 && weight_channel_fraction < 1.0);
+}
+
+}  // namespace zss::accel

@@ -1,0 +1,71 @@
+// Accelerator configuration (paper §III-B/C).
+//
+// Defaults mirror the proposed design exactly: 4 tiles x 48 PEs at
+// 200 MHz in 65 nm, LPDDR4 at 51.2 Gbps (= 32 bytes/cycle, provisioned
+// as 24 8-bit weights + one 8-bit input element per cycle), one
+// 16-entry x 12-bit scratch SRAM per PE, and an 8-bit zero-run counter
+// in the output encoder. Every field is sweepable for the ablations.
+#pragma once
+
+#include "num/types.h"
+
+namespace zss::accel {
+
+struct AcceleratorConfig {
+  num::Index tiles = 4;
+  num::Index pes_per_tile = 48;
+  double clock_hz = 200e6;
+  double dram_gbps = 51.2;  // LPDDR4 (Micron datasheet figure used in §III-B)
+
+  num::Index weight_bits = 8;
+  num::Index act_bits = 8;
+
+  /// Scratch SRAM per PE: entries = max batch held, width = partial bits.
+  num::Index scratch_entries = 16;
+  num::Index scratch_bits = 12;
+  /// Right-shift applied to each 8x8 product before accumulation into the
+  /// scratch word (see quant::FixedAccumulator).
+  int accum_pre_shift = 6;
+
+  /// Output encoder zero-run counter width.
+  int offset_bits = 8;
+
+  /// Fraction of DRAM bandwidth provisioned for the weight stream; the
+  /// remainder carries input elements, offsets and write-back. The paper
+  /// provisions 24 of 32 bytes/cycle for weights (= 0.75).
+  double weight_channel_fraction = 0.75;
+
+  // ---- Derived quantities ----
+
+  num::Index total_pes() const { return tiles * pes_per_tile; }
+
+  double bytes_per_cycle() const {
+    return dram_gbps * 1e9 / 8.0 / clock_hz;
+  }
+
+  /// 8-bit weights deliverable per cycle (24 at the paper's settings).
+  num::Index weights_per_cycle() const {
+    const auto w = static_cast<num::Index>(bytes_per_cycle() *
+                                           weight_channel_fraction);
+    return w < 1 ? 1 : w;
+  }
+
+  /// Input-element bytes per cycle on the non-weight channel (1 at the
+  /// paper's settings after control/offset overhead).
+  num::Index input_bytes_per_cycle() const {
+    const auto b = static_cast<num::Index>(bytes_per_cycle() *
+                                           (1.0 - weight_channel_fraction)) /
+                   8;
+    return b < 1 ? 1 : b;
+  }
+
+  /// Peak throughput counting a MAC as two ops: 76.8 GOPS at defaults.
+  double peak_gops() const {
+    return static_cast<double>(total_pes()) * 2.0 * clock_hz / 1e9;
+  }
+
+  /// Aborts via contract checks if inconsistent.
+  void validate() const;
+};
+
+}  // namespace zss::accel

@@ -1,0 +1,47 @@
+#include "accel/energy.h"
+
+namespace zss::accel {
+
+EnergyModel::EnergyModel(const EnergyConfig& energy,
+                         const AcceleratorConfig& accel)
+    : energy_(energy), accel_(accel) {
+  ZSS_EXPECTS(energy.constant_power_w > 0.0);
+  ZSS_EXPECTS(energy.mac_pj >= 0.0 && energy.sram_access_pj >= 0.0);
+  ZSS_EXPECTS(energy.leakage_w >= 0.0 && energy.dram_byte_pj >= 0.0);
+  accel_.validate();
+}
+
+EnergyBreakdown EnergyModel::energy(const RunTotals& totals) const {
+  EnergyBreakdown e;
+  const double seconds = totals.seconds(accel_);
+  if (energy_.mode == EnergyMode::kCalibratedConstant) {
+    // All energy reported as a single constant-power draw; attribute it
+    // to leakage_j so total_j() is still meaningful.
+    e.leakage_j = energy_.constant_power_w * seconds;
+    return e;
+  }
+  e.mac_j = static_cast<double>(totals.macs_issued + totals.onehot_adds) *
+            energy_.mac_pj * 1e-12;
+  e.sram_j = static_cast<double>(totals.sram_accesses) *
+             energy_.sram_access_pj * 1e-12;
+  e.onchip_j = totals.dram_bytes() * energy_.onchip_byte_pj * 1e-12;
+  e.leakage_j = energy_.leakage_w * seconds;
+  if (energy_.include_dram) {
+    e.dram_j = totals.dram_bytes() * energy_.dram_byte_pj * 1e-12;
+  }
+  return e;
+}
+
+double EnergyModel::average_power_w(const RunTotals& totals) const {
+  const double seconds = totals.seconds(accel_);
+  if (seconds <= 0.0) return 0.0;
+  return energy(totals).total_j() / seconds;
+}
+
+double EnergyModel::gops_per_watt(const RunTotals& totals) const {
+  const double joules = energy(totals).total_j();
+  if (joules <= 0.0) return 0.0;
+  return totals.equivalent_ops / joules / 1e9;
+}
+
+}  // namespace zss::accel

@@ -1,0 +1,204 @@
+#include "accel/lstm_accelerator.h"
+
+#include <cmath>
+
+#include "num/kernels.h"
+
+namespace zss::accel {
+
+LstmAccelerator::LstmAccelerator(const AcceleratorConfig& config,
+                                 const LstmAcceleratorOptions& options,
+                                 const nn::LstmCell& cell)
+    : config_(config),
+      options_(options),
+      scheduler_(config),
+      cell_(&cell),
+      sigmoid_lut_(quant::Nonlinearity::kSigmoid,
+                   quant::QuantParams{options.preact_clip / 127.0f}),
+      tanh_lut_(quant::Nonlinearity::kTanh,
+                quant::QuantParams{options.preact_clip / 127.0f}),
+      tanh_c_lut_(quant::Nonlinearity::kTanh,
+                  quant::QuantParams{options.cell_clip / 127.0f}),
+      h_p_{1.0f / 127.0f},
+      c_p_{options.cell_clip / 127.0f},
+      pre_p_{options.preact_clip / 127.0f},
+      input_mode_(options.input_mode) {
+  config_.validate();
+  ZSS_EXPECTS(options.prune_threshold >= 0.0f);
+  ZSS_EXPECTS(options.preact_clip > 0.0f && options.cell_clip > 0.0f);
+
+  wh_p_ = quant::quantize_matrix(cell.wh().value, wh_q_);
+  wx_p_ = quant::quantize_matrix(cell.wx().value, wx_q_);
+  const auto b = cell.bias().value.flat();
+  bias_.assign(b.begin(), b.end());
+  reset(1);
+}
+
+void LstmAccelerator::reset(num::Index batch) {
+  ZSS_EXPECTS(batch >= 1 && batch <= config_.scratch_entries);
+  batch_ = batch;
+  const num::Index dh = cell_->hidden_dim();
+  gate_codes_.assign(static_cast<std::size_t>(4 * dh), 0);
+  h_q_.resize(batch, dh, 0);
+  c_q_.resize(batch, dh, 0);
+  h_ref_.resize(batch, dh, 0.0f);
+  c_ref_.resize(batch, dh, 0.0f);
+}
+
+WorkloadShape LstmAccelerator::shape() const {
+  return {cell_->hidden_dim(), cell_->input_dim(), input_mode_, batch_};
+}
+
+void LstmAccelerator::step(const num::Matrix& x) {
+  step_impl(x, Mode::kSparse);
+}
+
+void LstmAccelerator::step_dense(const num::Matrix& x) {
+  step_impl(x, Mode::kDense);
+}
+
+void LstmAccelerator::step_impl(const num::Matrix& x, Mode mode) {
+  const num::Index B = batch_;
+  const num::Index dh = cell_->hidden_dim();
+  const num::Index dx = cell_->input_dim();
+  ZSS_EXPECTS(x.rows() == B && x.cols() == dx);
+
+  // ---- Timing: skip mask from the stored (pruned) previous state ----
+  const WorkloadShape wshape = shape();
+  ScheduleStats stats;
+  if (mode == Mode::kDense) {
+    stats = scheduler_.run_timestep_dense(wshape);
+  } else {
+    std::vector<bool> lane_nonzero(static_cast<std::size_t>(dh * B));
+    for (num::Index j = 0; j < dh; ++j) {
+      for (num::Index b = 0; b < B; ++b) {
+        lane_nonzero[static_cast<std::size_t>(j * B + b)] =
+            h_q_(b, j) != 0;
+      }
+    }
+    stats = scheduler_.run_timestep(wshape, lane_nonzero);
+  }
+  totals_.add(stats, wshape);
+
+  // ---- Functional int8 datapath ----
+  const quant::QuantParams x_p = quant::choose_scale(x.flat());
+  num::MatrixI8 x_q(B, dx);
+  quant::quantize(x.flat(), x_p, x_q.flat());
+
+  const float h_recombine = wh_p_.scale * h_p_.scale;
+  const float x_recombine = wx_p_.scale * x_p.scale;
+  const float prune_code_limit =
+      options_.prune_threshold / h_p_.scale;  // |code| below this -> 0
+
+  num::MatrixI8 h_new(B, dh);
+  num::MatrixI8 c_new(B, dh);
+  for (num::Index b = 0; b < B; ++b) {
+    for (num::Index i = 0; i < 4 * dh; ++i) {
+      // Per-PE partial accumulation in scratch precision.
+      quant::FixedAccumulator acc_h(
+          options_.ideal_accumulators ? 30 : static_cast<int>(config_.scratch_bits),
+          options_.ideal_accumulators ? 0 : config_.accum_pre_shift);
+      quant::FixedAccumulator acc_x = acc_h;
+      const std::int8_t* wh_row = wh_q_.data() + i * dh;
+      const std::int8_t* hrow = h_q_.data() + b * dh;
+      for (num::Index j = 0; j < dh; ++j) {
+        const std::int32_t prod = static_cast<std::int32_t>(wh_row[j]) *
+                                  static_cast<std::int32_t>(hrow[j]);
+        if (prod != 0) acc_h.add_product(prod);
+      }
+      const std::int8_t* wx_row = wx_q_.data() + i * dx;
+      const std::int8_t* xrow = x_q.data() + b * dx;
+      for (num::Index j = 0; j < dx; ++j) {
+        const std::int32_t prod = static_cast<std::int32_t>(wx_row[j]) *
+                                  static_cast<std::int32_t>(xrow[j]);
+        if (prod != 0) acc_x.add_product(prod);
+      }
+      if (acc_h.saturated() || acc_x.saturated()) ++saturation_events_;
+
+      const float preact =
+          static_cast<float>(acc_h.value()) * h_recombine +
+          static_cast<float>(acc_x.value()) * x_recombine +
+          bias_[static_cast<std::size_t>(i)];
+      // Gate codes buffer layout matches the trainer: [f, i, o, g].
+      gate_codes_[static_cast<std::size_t>(i)] =
+          quant::quantize_one(preact, pre_p_);
+    }
+
+    for (num::Index j = 0; j < dh; ++j) {
+      const std::int8_t f_c =
+          sigmoid_lut_.apply(gate_codes_[static_cast<std::size_t>(j)]);
+      const std::int8_t i_c =
+          sigmoid_lut_.apply(gate_codes_[static_cast<std::size_t>(dh + j)]);
+      const std::int8_t o_c = sigmoid_lut_.apply(
+          gate_codes_[static_cast<std::size_t>(2 * dh + j)]);
+      const std::int8_t g_c =
+          tanh_lut_.apply(gate_codes_[static_cast<std::size_t>(3 * dh + j)]);
+
+      // c = f*c_prev + i*g, computed on dequantized codes (each product
+      // is an exact fixed-point product; the final requantize models the
+      // rescale-and-round stage after the Hadamard units).
+      const float f = quant::NonlinearLut::to_float(f_c);
+      const float i_v = quant::NonlinearLut::to_float(i_c);
+      const float o = quant::NonlinearLut::to_float(o_c);
+      const float g = quant::NonlinearLut::to_float(g_c);
+      const float c_prev = quant::dequantize_one(c_q_(b, j), c_p_);
+      const std::int8_t c_code = quant::quantize_one(f * c_prev + i_v * g, c_p_);
+      c_new(b, j) = c_code;
+
+      const float tanh_c = quant::NonlinearLut::to_float(tanh_c_lut_.apply(c_code));
+      std::int8_t h_code = quant::quantize_one(o * tanh_c, h_p_);
+      // The encoder stores the pruned representation (Eq. 5 applied to
+      // the quantized state), regardless of sparse/dense timing mode:
+      // pruning is a property of the trained model.
+      if (options_.prune_threshold > 0.0f &&
+          std::fabs(static_cast<float>(h_code)) < prune_code_limit) {
+        h_code = 0;
+      }
+      h_new(b, j) = h_code;
+    }
+  }
+  h_q_ = std::move(h_new);
+  c_q_ = std::move(c_new);
+
+  // ---- Float reference (same pruning rule, exact arithmetic) ----
+  if (options_.track_reference) {
+    auto out = cell_->forward(x, h_ref_, c_ref_, nullptr);
+    h_ref_ = std::move(out.h);
+    c_ref_ = std::move(out.c);
+    if (options_.prune_threshold > 0.0f) {
+      for (float& v : h_ref_.flat()) {
+        if (std::fabs(v) < options_.prune_threshold) v = 0.0f;
+      }
+    }
+  }
+}
+
+num::Matrix LstmAccelerator::hidden_state() const {
+  num::Matrix h(batch_, cell_->hidden_dim());
+  quant::dequantize(h_q_.flat(), h_p_, h.flat());
+  return h;
+}
+
+num::Matrix LstmAccelerator::cell_state() const {
+  num::Matrix c(batch_, cell_->hidden_dim());
+  quant::dequantize(c_q_.flat(), c_p_, c.flat());
+  return c;
+}
+
+double LstmAccelerator::fidelity_cosine() const {
+  const num::Matrix h = hidden_state();
+  double cos_sum = 0.0;
+  num::Index lanes = 0;
+  for (num::Index b = 0; b < batch_; ++b) {
+    const float dot = num::dot(h.row(b), h_ref_.row(b));
+    const float na = std::sqrt(num::squared_norm(h.row(b)));
+    const float nb = std::sqrt(num::squared_norm(h_ref_.row(b)));
+    if (na > 0.0f && nb > 0.0f) {
+      cos_sum += static_cast<double>(dot / (na * nb));
+      ++lanes;
+    }
+  }
+  return lanes == 0 ? 1.0 : cos_sum / static_cast<double>(lanes);
+}
+
+}  // namespace zss::accel

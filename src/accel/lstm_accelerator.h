@@ -1,0 +1,127 @@
+// Functional + timing model of the zero-state-skipping LSTM accelerator.
+//
+// Functional: the datapath computes with the hardware's number formats —
+// int8 weights/activations, per-PE reduced-precision scratch partials
+// (quant::FixedAccumulator, 12-bit by default), LUT sigmoid/tanh units,
+// int8 cell/hidden states — so accuracy fidelity of the design can be
+// measured against the float model it was trained as.
+//
+// Timing: each step builds the batch-intersected skip mask from the
+// *stored* (pruned, quantized) previous state — exactly the information
+// the encoder wrote to DRAM — and hands it to the Scheduler for cycles,
+// traffic and utilization.
+#pragma once
+
+#include <vector>
+
+#include "accel/config.h"
+#include "accel/energy.h"
+#include "accel/report.h"
+#include "accel/scheduler.h"
+#include "nn/lstm_cell.h"
+#include "num/matrix.h"
+#include "quant/fixed_accumulator.h"
+#include "quant/lut_nonlinear.h"
+#include "quant/quantize.h"
+
+namespace zss::accel {
+
+struct LstmAcceleratorOptions {
+  /// Magnitude threshold under which stored state elements are zero (the
+  /// trained pruner's effective T). 0 keeps the accelerator dense.
+  float prune_threshold = 0.0f;
+  /// Pre-activation clip range fed to the LUT units (codes span
+  /// [-clip, clip]).
+  float preact_clip = 8.0f;
+  /// Cell-state quantization range (codes span [-clip, clip]).
+  float cell_clip = 4.0f;
+  /// Track a float reference model alongside the int8 datapath to report
+  /// fidelity (costs one dense float step per step).
+  bool track_reference = true;
+  /// Use full int32 accumulation instead of the scratch-width model
+  /// (ablation switch; the real design stores 12-bit partials).
+  bool ideal_accumulators = false;
+  /// How x_t reaches the accelerator (affects timing and op accounting;
+  /// see InputMode).
+  InputMode input_mode = InputMode::kDense;
+};
+
+class LstmAccelerator {
+ public:
+  LstmAccelerator(const AcceleratorConfig& config,
+                  const LstmAcceleratorOptions& options,
+                  const nn::LstmCell& cell);
+
+  /// Resets h/c to zero for a batch of `batch` lanes (<= scratch_entries).
+  void reset(num::Index batch);
+
+  /// One timestep with zero-state skipping. `x` is (batch x d_x) float.
+  void step(const num::Matrix& x);
+
+  /// One timestep charged at dense cost (the "dense model" bars of
+  /// Figs. 8-9). Functionally identical apart from pruning being off.
+  void step_dense(const num::Matrix& x);
+
+  /// Dequantized stored hidden state (what DRAM holds).
+  num::Matrix hidden_state() const;
+  num::Matrix cell_state() const;
+
+  /// Float reference states (valid when track_reference is on).
+  const num::Matrix& reference_hidden() const { return h_ref_; }
+
+  /// Cosine similarity between the int8 datapath's h and the float
+  /// reference, averaged over lanes; 1.0 = perfect.
+  double fidelity_cosine() const;
+
+  const RunTotals& totals() const { return totals_; }
+  void reset_totals() { totals_ = RunTotals{}; }
+
+  num::Index saturation_events() const { return saturation_events_; }
+
+  WorkloadShape shape() const;
+
+  const AcceleratorConfig& config() const { return config_; }
+
+ private:
+  enum class Mode { kSparse, kDense };
+  void step_impl(const num::Matrix& x, Mode mode);
+
+  AcceleratorConfig config_;
+  LstmAcceleratorOptions options_;
+  Scheduler scheduler_;
+  const nn::LstmCell* cell_;
+
+  // Quantized weights.
+  num::MatrixI8 wh_q_;
+  quant::QuantParams wh_p_;
+  num::MatrixI8 wx_q_;
+  quant::QuantParams wx_p_;
+  std::vector<float> bias_;
+
+  // LUT units (tiles 1-3: sigmoid, tile 4: tanh; plus the tanh on c).
+  quant::NonlinearLut sigmoid_lut_;
+  quant::NonlinearLut tanh_lut_;
+  quant::NonlinearLut tanh_c_lut_;
+
+  // Quantization scales for states and pre-activations.
+  quant::QuantParams h_p_;    // 1/127: h in [-1, 1]
+  quant::QuantParams c_p_;    // cell_clip/127
+  quant::QuantParams pre_p_;  // preact_clip/127
+
+  num::Index batch_ = 0;
+  num::MatrixI8 h_q_;  // stored (pruned) hidden state, (B x dh)
+  num::MatrixI8 c_q_;
+
+  num::Matrix h_ref_;
+  num::Matrix c_ref_;
+
+  RunTotals totals_;
+  num::Index saturation_events_ = 0;
+
+  InputMode input_mode_ = InputMode::kDense;
+
+  // Scratch buffer for one lane's 4*dh pre-activation codes.
+  std::vector<std::int8_t> gate_codes_;
+};
+
+}  // namespace zss::accel

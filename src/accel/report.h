@@ -1,0 +1,62 @@
+// Run-level counters and the performance report printed by the benches.
+#pragma once
+
+#include "accel/config.h"
+#include "accel/scheduler.h"
+#include "num/types.h"
+
+namespace zss::accel {
+
+/// Counters accumulated over a run of timesteps.
+struct RunTotals {
+  num::Index timesteps = 0;
+  num::Index cycles = 0;
+  double equivalent_ops = 0.0;  // dense-equivalent ops (paper convention)
+  num::Index macs_issued = 0;
+  num::Index macs_effectual = 0;
+  num::Index onehot_adds = 0;    // one-hot column accumulator adds
+  num::Index weight_bytes = 0;   // weight stream traffic
+  num::Index state_bytes = 0;    // x/h/c/offset traffic
+  num::Index sram_accesses = 0;  // scratch partial read+write pairs
+  num::Index positions_total = 0;
+  num::Index positions_kept = 0;
+
+  void add(const ScheduleStats& s, const WorkloadShape& shape) {
+    ++timesteps;
+    cycles += s.cycles.total();
+    equivalent_ops += shape.equivalent_ops();
+    macs_issued += s.macs_issued;
+    macs_effectual += s.macs_effectual;
+    onehot_adds += s.onehot_adds;
+    weight_bytes += s.weights_streamed;
+    // Per timestep the accelerator reads x and c_{t-1} and writes h_t
+    // (kept values + offsets) and c_t.
+    const num::Index offset_bytes = s.positions_kept;  // 8-bit counter
+    state_bytes += shape.batch * (shape.input + 3 * shape.hidden) +
+                   offset_bytes;
+    sram_accesses += 2 * s.macs_issued;  // read-modify-write per MAC
+    positions_total += s.positions_total;
+    positions_kept += s.positions_kept;
+  }
+
+  double seconds(const AcceleratorConfig& config) const {
+    return static_cast<double>(cycles) / config.clock_hz;
+  }
+
+  double gops(const AcceleratorConfig& config) const {
+    return cycles == 0 ? 0.0 : equivalent_ops / seconds(config) / 1e9;
+  }
+
+  double observed_sparsity() const {
+    return positions_total == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(positions_kept) /
+                           static_cast<double>(positions_total);
+  }
+
+  double dram_bytes() const {
+    return static_cast<double>(weight_bytes + state_bytes);
+  }
+};
+
+}  // namespace zss::accel

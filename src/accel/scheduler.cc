@@ -1,0 +1,119 @@
+#include "accel/scheduler.h"
+
+#include <algorithm>
+
+namespace zss::accel {
+namespace {
+
+num::Index ceil_div(num::Index a, num::Index b) {
+  ZSS_EXPECTS(b > 0);
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
+Scheduler::Scheduler(const AcceleratorConfig& config) : config_(config) {
+  config_.validate();
+}
+
+num::Index Scheduler::cycles_per_position(num::Index rows,
+                                          num::Index batch) const {
+  ZSS_EXPECTS(rows > 0 && batch > 0);
+  const num::Index dram = ceil_div(rows, config_.weights_per_cycle());
+  const num::Index compute = ceil_div(rows * batch, config_.total_pes());
+  return std::max(dram, compute);
+}
+
+MatvecStats Scheduler::matvec(num::Index rows,
+                              const std::vector<bool>& lane_nonzero,
+                              num::Index batch) const {
+  ZSS_EXPECTS(rows > 0 && batch > 0);
+  ZSS_EXPECTS(batch <= config_.scratch_entries);
+  ZSS_EXPECTS(lane_nonzero.size() % static_cast<std::size_t>(batch) == 0);
+  const auto positions =
+      static_cast<num::Index>(lane_nonzero.size()) / batch;
+
+  MatvecStats stats;
+  stats.positions_total = positions;
+  const num::Index per_pos = cycles_per_position(rows, batch);
+  for (num::Index j = 0; j < positions; ++j) {
+    num::Index nonzero_lanes = 0;
+    for (num::Index b = 0; b < batch; ++b) {
+      if (lane_nonzero[static_cast<std::size_t>(j * batch + b)]) {
+        ++nonzero_lanes;
+      }
+    }
+    if (nonzero_lanes == 0) continue;  // zero in every lane: skipped
+
+    ++stats.positions_kept;
+    stats.cycles += per_pos;
+    stats.weights_streamed += rows;  // the column is fetched once
+    // Weights are shared across the batch (Fig. 5(d)): every lane's MAC
+    // is issued even if that lane's value is zero; only non-zero lanes
+    // do useful work.
+    stats.macs_issued += rows * batch;
+    stats.macs_effectual += rows * nonzero_lanes;
+  }
+  return stats;
+}
+
+ScheduleStats Scheduler::run_timestep(
+    const WorkloadShape& shape, const std::vector<bool>& lane_nonzero) const {
+  ZSS_EXPECTS(static_cast<num::Index>(lane_nonzero.size()) ==
+              shape.hidden * shape.batch);
+
+  ScheduleStats stats;
+  const num::Index column = 4 * shape.hidden;
+
+  // ---- State matvec: Wh columns for kept positions ----
+  const MatvecStats state = matvec(column, lane_nonzero, shape.batch);
+  stats.cycles.matvec_state = state.cycles;
+  stats.weights_streamed = state.weights_streamed;
+  stats.macs_issued = state.macs_issued;
+  stats.macs_effectual = state.macs_effectual;
+  stats.positions_total = state.positions_total;
+  stats.positions_kept = state.positions_kept;
+
+  // ---- Input path ----
+  if (shape.input_mode == InputMode::kDense) {
+    const std::vector<bool> dense_mask(
+        static_cast<std::size_t>(shape.input * shape.batch), true);
+    const MatvecStats input = matvec(column, dense_mask, shape.batch);
+    stats.cycles.matvec_input = input.cycles;
+    stats.weights_streamed += input.weights_streamed;
+    stats.macs_issued += input.macs_issued;
+    stats.macs_effectual += input.macs_effectual;
+  } else {
+    // One-hot: each lane's Wx column (4 d_h bytes) rides the spare input
+    // channel during the matvec; only the residual costs extra cycles.
+    const num::Index bytes = column * shape.batch;
+    const num::Index matvec_cycles =
+        stats.cycles.matvec_state + stats.cycles.matvec_input;
+    const num::Index needed =
+        ceil_div(bytes, config_.input_bytes_per_cycle());
+    stats.cycles.input_overlap =
+        std::max<num::Index>(0, needed - matvec_cycles);
+    stats.onehot_adds += bytes;  // one accumulator add per fetched byte
+  }
+
+  stats.mac_slots =
+      (stats.cycles.matvec_state + stats.cycles.matvec_input +
+       stats.cycles.input_overlap) *
+      config_.total_pes();
+
+  // ---- Element-wise phases of Eq. (2)-(3) and the output encoder ----
+  const num::Index stage =
+      ceil_div(shape.batch * shape.hidden, config_.pes_per_tile);
+  stats.cycles.elementwise = 3 * stage;
+  stats.cycles.encode = stage;
+  stats.cycles.pipeline_fill = shape.batch - 1;
+  return stats;
+}
+
+ScheduleStats Scheduler::run_timestep_dense(const WorkloadShape& shape) const {
+  const std::vector<bool> all_nonzero(
+      static_cast<std::size_t>(shape.hidden * shape.batch), true);
+  return run_timestep(shape, all_nonzero);
+}
+
+}  // namespace zss::accel

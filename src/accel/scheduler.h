@@ -1,0 +1,82 @@
+// Position-level schedule walker — the simulator's "RTL-ish" layer.
+//
+// Where TimingModel gives closed-form totals, the Scheduler actually
+// walks the Fig. 5 dataflow position by position: for each kept position
+// it streams weight groups cycle by cycle, advances the batch pipeline,
+// and tallies PE-busy counts, giving utilization and a per-phase cycle
+// trace. Tests assert that its totals match TimingModel exactly, and the
+// toy 6-element example of Fig. 5(a)-(d) is reproduced in
+// tests/integration/fig5_dataflow_test and bench/fig5_dataflow.
+#pragma once
+
+#include <vector>
+
+#include "accel/config.h"
+#include "accel/timing_model.h"
+#include "accel/workload.h"
+#include "num/types.h"
+
+namespace zss::accel {
+
+/// Counters of one scheduled vector-matrix multiplication, W (rows x
+/// positions) times a batch of vectors, with the all-lanes-zero skip rule.
+struct MatvecStats {
+  num::Index cycles = 0;
+  num::Index macs_issued = 0;      // MACs performed (incl. zero-valued
+                                   // lanes of kept positions, Fig. 5(d))
+  num::Index macs_effectual = 0;   // MACs with a non-zero activation
+  num::Index weights_streamed = 0; // weight bytes fetched
+  num::Index positions_total = 0;
+  num::Index positions_kept = 0;
+};
+
+/// Aggregate counters of one scheduled LSTM timestep.
+struct ScheduleStats {
+  TimestepCycles cycles;
+  num::Index mac_slots = 0;        // PE-cycles available during matvec
+  num::Index macs_issued = 0;
+  num::Index macs_effectual = 0;
+  num::Index onehot_adds = 0;      // Wx column adds riding the input
+                                   // channel (one-hot mode only)
+  num::Index weights_streamed = 0;
+  num::Index positions_total = 0;
+  num::Index positions_kept = 0;
+
+  double pe_utilization() const {
+    return mac_slots == 0 ? 0.0
+                          : static_cast<double>(macs_issued) /
+                                static_cast<double>(mac_slots);
+  }
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(const AcceleratorConfig& config);
+
+  /// Streaming cost of one position's weight column (`rows` weights,
+  /// shared by all lanes): DRAM- or compute-bound, whichever is slower.
+  num::Index cycles_per_position(num::Index rows, num::Index batch) const;
+
+  /// Schedules a generic matvec. `lane_nonzero[j * batch + b]` flags a
+  /// non-zero activation at position j, lane b; a position is skipped
+  /// only when all lanes are zero (Fig. 5(d) rule). `positions` is
+  /// inferred from the mask size.
+  MatvecStats matvec(num::Index rows, const std::vector<bool>& lane_nonzero,
+                     num::Index batch) const;
+
+  /// Schedules one LSTM timestep: state matvec with the given mask, the
+  /// input path (dense positions or one-hot channel overlap), the
+  /// element-wise phases of Eq. (2)-(3) and the output encoder.
+  ScheduleStats run_timestep(const WorkloadShape& shape,
+                             const std::vector<bool>& lane_nonzero) const;
+
+  /// Convenience: dense state (nothing skippable).
+  ScheduleStats run_timestep_dense(const WorkloadShape& shape) const;
+
+  const AcceleratorConfig& config() const { return config_; }
+
+ private:
+  AcceleratorConfig config_;
+};
+
+}  // namespace zss::accel

@@ -1,0 +1,54 @@
+#include "accel/synthetic.h"
+
+namespace zss::accel {
+
+std::vector<bool> mask_from_intersected_sparsity(const WorkloadShape& shape,
+                                                 double intersected_sparsity,
+                                                 num::Rng& rng) {
+  ZSS_EXPECTS(intersected_sparsity >= 0.0 && intersected_sparsity <= 1.0);
+  std::vector<bool> mask(
+      static_cast<std::size_t>(shape.hidden * shape.batch), false);
+  for (num::Index j = 0; j < shape.hidden; ++j) {
+    if (rng.bernoulli(intersected_sparsity)) continue;  // all lanes zero
+    // Kept position: at least one lane non-zero; others non-zero with
+    // probability 1/2 (the exact split does not affect timing).
+    const num::Index guaranteed = rng.below(shape.batch);
+    for (num::Index b = 0; b < shape.batch; ++b) {
+      if (b == guaranteed || rng.bernoulli(0.5)) {
+        mask[static_cast<std::size_t>(j * shape.batch + b)] = true;
+      }
+    }
+  }
+  return mask;
+}
+
+std::vector<bool> mask_from_element_sparsity(const WorkloadShape& shape,
+                                             double element_sparsity,
+                                             num::Rng& rng) {
+  ZSS_EXPECTS(element_sparsity >= 0.0 && element_sparsity <= 1.0);
+  std::vector<bool> mask(
+      static_cast<std::size_t>(shape.hidden * shape.batch), false);
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    mask[i] = !rng.bernoulli(element_sparsity);
+  }
+  return mask;
+}
+
+double intersected_sparsity(const WorkloadShape& shape,
+                            const std::vector<bool>& lane_nonzero) {
+  ZSS_EXPECTS(static_cast<num::Index>(lane_nonzero.size()) ==
+              shape.hidden * shape.batch);
+  num::Index zero_positions = 0;
+  for (num::Index j = 0; j < shape.hidden; ++j) {
+    bool any = false;
+    for (num::Index b = 0; b < shape.batch; ++b) {
+      any = any ||
+            lane_nonzero[static_cast<std::size_t>(j * shape.batch + b)];
+    }
+    if (!any) ++zero_positions;
+  }
+  return static_cast<double>(zero_positions) /
+         static_cast<double>(shape.hidden);
+}
+
+}  // namespace zss::accel

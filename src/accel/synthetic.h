@@ -1,0 +1,35 @@
+// Synthetic state-sparsity streams for timing benches.
+//
+// The cycle model only needs the batch-intersected zero pattern of the
+// stored state, not the values. For paper-dimension runs (d_h = 1000
+// etc.) the benches synthesize masks at the sweet-spot sparsities of
+// Fig. 7; for trained models the masks come from real states instead.
+#pragma once
+
+#include <vector>
+
+#include "accel/workload.h"
+#include "num/rng.h"
+#include "num/types.h"
+
+namespace zss::accel {
+
+/// Builds a lane_nonzero mask whose *batch-intersected* sparsity is
+/// `intersected_sparsity` in expectation: each position is all-zero with
+/// that probability; kept positions get 1..batch non-zero lanes.
+std::vector<bool> mask_from_intersected_sparsity(const WorkloadShape& shape,
+                                                 double intersected_sparsity,
+                                                 num::Rng& rng);
+
+/// Builds a mask where every lane element is independently zero with
+/// probability `element_sparsity` (so the intersected sparsity decays as
+/// element_sparsity^batch — the effect Fig. 7 quantifies).
+std::vector<bool> mask_from_element_sparsity(const WorkloadShape& shape,
+                                             double element_sparsity,
+                                             num::Rng& rng);
+
+/// Measured batch-intersected sparsity of a mask.
+double intersected_sparsity(const WorkloadShape& shape,
+                            const std::vector<bool>& lane_nonzero);
+
+}  // namespace zss::accel

@@ -1,0 +1,70 @@
+#include "accel/timing_model.h"
+
+#include <algorithm>
+
+namespace zss::accel {
+namespace {
+
+num::Index ceil_div(num::Index a, num::Index b) {
+  ZSS_EXPECTS(b > 0);
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
+TimingModel::TimingModel(const AcceleratorConfig& config) : config_(config) {
+  config_.validate();
+}
+
+num::Index TimingModel::cycles_per_position(const WorkloadShape& shape) const {
+  const num::Index column = 4 * shape.hidden;  // weights per position
+  const num::Index dram = ceil_div(column, config_.weights_per_cycle());
+  const num::Index compute = ceil_div(column * shape.batch,
+                                      config_.total_pes());
+  return std::max(dram, compute);
+}
+
+TimestepCycles TimingModel::timestep(const WorkloadShape& shape,
+                                     num::Index kept_state_positions) const {
+  ZSS_EXPECTS(shape.hidden > 0 && shape.input > 0 && shape.batch > 0);
+  ZSS_EXPECTS(shape.batch <= config_.scratch_entries);
+  ZSS_EXPECTS(kept_state_positions >= 0 &&
+              kept_state_positions <= shape.hidden);
+
+  TimestepCycles c;
+  const num::Index per_pos = cycles_per_position(shape);
+  c.matvec_state = kept_state_positions * per_pos;
+
+  if (shape.input_mode == InputMode::kDense) {
+    c.matvec_input = shape.input * per_pos;
+  } else {
+    // One-hot: each lane adds one Wx column (4 d_h bytes) to its
+    // accumulators. The bytes ride the input channel while the state
+    // matvec streams; only the residual that does not fit shows up as
+    // extra cycles.
+    const num::Index bytes = 4 * shape.hidden * shape.batch;
+    const num::Index channel_capacity =
+        (c.matvec_state + c.matvec_input) * config_.input_bytes_per_cycle();
+    c.input_overlap = std::max<num::Index>(
+        0, ceil_div(bytes, config_.input_bytes_per_cycle()) -
+               channel_capacity / config_.input_bytes_per_cycle());
+  }
+
+  // Eq. (2)-(3): three element-wise stages (tiles 1&2 in parallel, then
+  // tile 4's add+tanh, then tile 3's output gate), then the encoder.
+  const num::Index stage =
+      ceil_div(shape.batch * shape.hidden, config_.pes_per_tile);
+  c.elementwise = 3 * stage;
+  c.encode = stage;
+  c.pipeline_fill = shape.batch - 1;
+  return c;
+}
+
+double TimingModel::gops(const WorkloadShape& shape,
+                         num::Index cycles) const {
+  ZSS_EXPECTS(cycles > 0);
+  const double seconds = static_cast<double>(cycles) / config_.clock_hz;
+  return shape.equivalent_ops() / seconds / 1e9;
+}
+
+}  // namespace zss::accel

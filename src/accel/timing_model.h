@@ -1,0 +1,67 @@
+// Closed-form cycle model of the zero-state-skipping dataflow (§III-A).
+//
+// Per timestep, the matvec streams one weight column group per *kept*
+// position (a position is kept unless all batch lanes are zero there).
+// The cost of one position is
+//     max( ceil(4 d_h / weights_per_cycle),        — DRAM-bound
+//          ceil(4 d_h * batch / total_PEs) )       — compute-bound
+// which reproduces the paper's three regimes: batch 1 is DRAM-bound at
+// 12.5% utilization (9.6 GOPS dense), batch 8 saturates the PEs at the
+// bandwidth limit (76.4 GOPS) and batch 16 is compute-bound (two scratch
+// passes, same GOPS). Dense input positions (word/MNIST) add the same
+// per-position cost but are never skipped. The element-wise phase
+// (Eq. 2-3 plus the output encoder) adds four pipeline stages of
+// ceil(batch * d_h / pes_per_tile) cycles, and the whole pipeline pays a
+// (batch - 1)-cycle fill once per timestep.
+#pragma once
+
+#include "accel/config.h"
+#include "accel/workload.h"
+#include "num/types.h"
+
+namespace zss::accel {
+
+/// Cycle breakdown of one timestep.
+struct TimestepCycles {
+  num::Index matvec_state = 0;   // kept h positions
+  num::Index matvec_input = 0;   // dense x positions (0 for one-hot)
+  num::Index input_overlap = 0;  // one-hot column bytes that did NOT fit
+                                 // under the matvec (residual cycles)
+  num::Index elementwise = 0;    // Eq. (2)-(3) Hadamard/tanh stages
+  num::Index encode = 0;         // output encoder stage
+  num::Index pipeline_fill = 0;
+
+  num::Index total() const {
+    return matvec_state + matvec_input + input_overlap + elementwise +
+           encode + pipeline_fill;
+  }
+};
+
+class TimingModel {
+ public:
+  explicit TimingModel(const AcceleratorConfig& config);
+
+  /// Cycles to stream the weight columns of one position (shared across
+  /// batch lanes): DRAM- or compute-bound, whichever is slower.
+  num::Index cycles_per_position(const WorkloadShape& shape) const;
+
+  /// Timestep cycles given how many state positions survived the
+  /// batch-intersected skip check.
+  TimestepCycles timestep(const WorkloadShape& shape,
+                          num::Index kept_state_positions) const;
+
+  /// Dense-state timestep (nothing skipped).
+  TimestepCycles timestep_dense(const WorkloadShape& shape) const {
+    return timestep(shape, shape.hidden);
+  }
+
+  /// Equivalent throughput in GOPS for a given per-timestep cycle count.
+  double gops(const WorkloadShape& shape, num::Index cycles) const;
+
+  const AcceleratorConfig& config() const { return config_; }
+
+ private:
+  AcceleratorConfig config_;
+};
+
+}  // namespace zss::accel

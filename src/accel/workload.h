@@ -1,0 +1,52 @@
+// Workload shape descriptors shared by the timing model, the scheduler
+// and the benches.
+#pragma once
+
+#include "num/types.h"
+
+namespace zss::accel {
+
+/// How the input vector x_t reaches the accelerator.
+enum class InputMode {
+  /// One-hot token (char-LM): Wx x_t is a column lookup whose bytes ride
+  /// the spare input channel; it contributes no matvec positions and, per
+  /// the paper's op accounting (§II-A), no ops.
+  kOneHot,
+  /// Dense real-valued input (word-LM embedding, MNIST pixel): every
+  /// position of x_t streams its weight column like a state position, but
+  /// can never be skipped.
+  kDense,
+};
+
+struct WorkloadShape {
+  num::Index hidden = 1000;  // d_h
+  num::Index input = 50;     // d_x
+  InputMode input_mode = InputMode::kOneHot;
+  num::Index batch = 1;
+
+  /// Dense-equivalent operations of one timestep across the batch,
+  /// counting a MAC as two ops and following the paper's convention of
+  /// counting only matvec work (one-hot input contributes none).
+  double equivalent_ops() const {
+    double ops = 2.0 * static_cast<double>(hidden) * 4.0 *
+                 static_cast<double>(hidden);
+    if (input_mode == InputMode::kDense) {
+      ops += 2.0 * static_cast<double>(input) * 4.0 *
+             static_cast<double>(hidden);
+    }
+    return ops * static_cast<double>(batch);
+  }
+
+  /// Shapes used in the paper's evaluation (§II-B).
+  static WorkloadShape ptb_char(num::Index batch) {
+    return {1000, 50, InputMode::kOneHot, batch};
+  }
+  static WorkloadShape ptb_word(num::Index batch) {
+    return {300, 300, InputMode::kDense, batch};
+  }
+  static WorkloadShape mnist(num::Index batch) {
+    return {100, 1, InputMode::kDense, batch};
+  }
+};
+
+}  // namespace zss::accel

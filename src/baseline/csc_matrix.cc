@@ -1,0 +1,99 @@
+#include "baseline/csc_matrix.h"
+
+namespace zss::baseline {
+
+CscMatrix CscMatrix::compress(const num::Matrix& dense,
+                              const CscConfig& cfg) {
+  ZSS_EXPECTS(cfg.index_bits >= 1 && cfg.index_bits <= 8);
+  CscMatrix m;
+  m.rows_ = dense.rows();
+  m.cols_ = dense.cols();
+  m.col_start_.reserve(static_cast<std::size_t>(dense.cols()) + 1);
+  m.col_start_.push_back(0);
+
+  const num::Index max_run = cfg.max_run();
+  for (num::Index c = 0; c < dense.cols(); ++c) {
+    num::Index run = 0;
+    for (num::Index r = 0; r < dense.rows(); ++r) {
+      const float v = dense(r, c);
+      if (v == 0.0f) {
+        ++run;
+        continue;
+      }
+      while (run > max_run) {
+        m.values_.push_back(0.0f);  // escape padding entry
+        m.offsets_.push_back(static_cast<std::uint8_t>(max_run));
+        run -= max_run + 1;
+        ++m.padding_;
+      }
+      m.values_.push_back(v);
+      m.offsets_.push_back(static_cast<std::uint8_t>(run));
+      run = 0;
+    }
+    m.col_start_.push_back(static_cast<num::Index>(m.values_.size()));
+  }
+  return m;
+}
+
+std::span<const float> CscMatrix::column_values(num::Index col) const {
+  ZSS_EXPECTS(col >= 0 && col < cols_);
+  const auto begin = static_cast<std::size_t>(col_start_[static_cast<std::size_t>(col)]);
+  const auto end = static_cast<std::size_t>(col_start_[static_cast<std::size_t>(col) + 1]);
+  return {values_.data() + begin, end - begin};
+}
+
+std::span<const std::uint8_t> CscMatrix::column_offsets(num::Index col) const {
+  ZSS_EXPECTS(col >= 0 && col < cols_);
+  const auto begin = static_cast<std::size_t>(col_start_[static_cast<std::size_t>(col)]);
+  const auto end = static_cast<std::size_t>(col_start_[static_cast<std::size_t>(col) + 1]);
+  return {offsets_.data() + begin, end - begin};
+}
+
+num::Index CscMatrix::column_entries(num::Index col) const {
+  ZSS_EXPECTS(col >= 0 && col < cols_);
+  return col_start_[static_cast<std::size_t>(col) + 1] -
+         col_start_[static_cast<std::size_t>(col)];
+}
+
+num::Index CscMatrix::storage_bytes(const CscConfig& cfg) const {
+  const double entry_bits = 8.0 + cfg.index_bits;
+  const auto entry_bytes = static_cast<num::Index>(
+      (static_cast<double>(total_entries()) * entry_bits + 7.0) / 8.0);
+  return entry_bytes + 2 * cols_;  // 16-bit column pointers
+}
+
+void CscMatrix::matvec_accum(std::span<const float> x,
+                             std::span<float> y) const {
+  ZSS_EXPECTS(static_cast<num::Index>(x.size()) == cols_);
+  ZSS_EXPECTS(static_cast<num::Index>(y.size()) == rows_);
+  for (num::Index c = 0; c < cols_; ++c) {
+    const float xv = x[static_cast<std::size_t>(c)];
+    if (xv == 0.0f) continue;  // input-side skipping, like EIE
+    const auto vals = column_values(c);
+    const auto offs = column_offsets(c);
+    num::Index r = 0;
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      r += offs[i];
+      ZSS_ASSERT(r < rows_);
+      y[static_cast<std::size_t>(r)] += vals[i] * xv;
+      ++r;
+    }
+  }
+}
+
+num::Matrix CscMatrix::decompress() const {
+  num::Matrix dense(rows_, cols_, 0.0f);
+  for (num::Index c = 0; c < cols_; ++c) {
+    const auto vals = column_values(c);
+    const auto offs = column_offsets(c);
+    num::Index r = 0;
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      r += offs[i];
+      dense(r, c) = vals[i];
+      ++r;
+    }
+  }
+  return dense;
+}
+
+}  // namespace zss::baseline

@@ -1,0 +1,66 @@
+// Compressed sparse column storage with relative row indices — the
+// weight format of EIE/ESE. Each column stores its non-zero values plus
+// the zero-run distance from the previous non-zero in that column,
+// encoded in a fixed-width counter with escape padding (same mechanism
+// as the paper's state encoder, applied to weights).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "num/matrix.h"
+#include "num/types.h"
+
+namespace zss::baseline {
+
+struct CscConfig {
+  /// Relative-index width. EIE uses 4 bits; ESE uses similar small
+  /// counters. Runs longer than 2^bits - 1 insert padding zeros.
+  int index_bits = 4;
+
+  num::Index max_run() const { return (num::Index{1} << index_bits) - 1; }
+};
+
+/// CSC matrix over float values (quantization happens downstream).
+class CscMatrix {
+ public:
+  /// Compresses a dense (rows x cols) matrix.
+  static CscMatrix compress(const num::Matrix& dense, const CscConfig& cfg);
+
+  num::Index rows() const { return rows_; }
+  num::Index cols() const { return cols_; }
+
+  /// Stored entries of one column: parallel spans of values and
+  /// relative row offsets (padding entries carry value 0).
+  std::span<const float> column_values(num::Index col) const;
+  std::span<const std::uint8_t> column_offsets(num::Index col) const;
+
+  /// Number of stored entries (incl. padding) in one column.
+  num::Index column_entries(num::Index col) const;
+
+  /// Total stored entries and the padding overhead count.
+  num::Index total_entries() const {
+    return static_cast<num::Index>(values_.size());
+  }
+  num::Index padding_entries() const { return padding_; }
+
+  /// Storage in bytes: 8-bit value + index_bits per entry, plus one
+  /// column pointer (16-bit) per column.
+  num::Index storage_bytes(const CscConfig& cfg) const;
+
+  /// y += M x computed from the compressed form (reference/functional).
+  void matvec_accum(std::span<const float> x, std::span<float> y) const;
+
+  /// Reconstructs the dense matrix (exact inverse of compress).
+  num::Matrix decompress() const;
+
+ private:
+  num::Index rows_ = 0;
+  num::Index cols_ = 0;
+  std::vector<float> values_;
+  std::vector<std::uint8_t> offsets_;
+  std::vector<num::Index> col_start_;  // size cols + 1
+  num::Index padding_ = 0;
+};
+
+}  // namespace zss::baseline

@@ -1,0 +1,56 @@
+#include "baseline/ese_timing.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace zss::baseline {
+namespace {
+
+num::Index ceil_div(num::Index a, num::Index b) {
+  ZSS_EXPECTS(b > 0);
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
+EseTimingModel::EseTimingModel(const EseConfig& config) : config_(config) {
+  ZSS_EXPECTS(config.pes >= 1);
+  ZSS_EXPECTS(config.clock_hz > 0.0);
+}
+
+EseTimingResult EseTimingModel::matvec(const CscMatrix& matrix) const {
+  EseTimingResult result;
+  result.nonzero_weights = matrix.total_entries();
+
+  std::vector<num::Index> slice(static_cast<std::size_t>(config_.pes));
+  for (num::Index c = 0; c < matrix.cols(); ++c) {
+    // Row r of the column belongs to PE (r % pes) under ESE's
+    // round-robin interleave; count each PE's share of this column.
+    std::fill(slice.begin(), slice.end(), 0);
+    const auto offs = matrix.column_offsets(c);
+    num::Index r = 0;
+    for (std::size_t i = 0; i < offs.size(); ++i) {
+      r += offs[i];
+      ++slice[static_cast<std::size_t>(r % config_.pes)];
+      ++r;
+    }
+    const num::Index nnz = matrix.column_entries(c);
+    const num::Index balanced = ceil_div(nnz, config_.pes);
+    const num::Index worst =
+        *std::max_element(slice.begin(), slice.end());
+    result.ideal_cycles += balanced;
+    result.cycles += config_.balanced ? balanced : worst;
+  }
+  return result;
+}
+
+double EseTimingModel::equivalent_gops(num::Index rows, num::Index cols,
+                                       num::Index cycles) const {
+  ZSS_EXPECTS(cycles > 0);
+  const double dense_ops =
+      2.0 * static_cast<double>(rows) * static_cast<double>(cols);
+  const double seconds = static_cast<double>(cycles) / config_.clock_hz;
+  return dense_ops / seconds / 1e9;
+}
+
+}  // namespace zss::baseline

@@ -1,0 +1,58 @@
+// ESE-style timing model for weight-sparse LSTM acceleration.
+//
+// ESE (Han et al., FPGA'17) distributes the rows of each weight matrix
+// round-robin over N PEs; for every input element (column), each PE
+// walks its own slice of that column's non-zeros. All PEs must finish a
+// column before the next broadcast, so the column costs
+// max-over-PEs(non-zeros in slice) cycles — load imbalance wastes the
+// difference. CBSR (Park et al., DATE'18) rebalances rows so each PE
+// holds an equal share, modeled here as the balanced lower bound
+// ceil(nnz / N). This reproduces from first principles the 25-30%
+// CBSR-over-ESE gain the paper quotes for Fig. 10.
+#pragma once
+
+#include "baseline/csc_matrix.h"
+#include "num/types.h"
+
+namespace zss::baseline {
+
+struct EseConfig {
+  num::Index pes = 32;       // ESE uses 32 PEs per channel
+  double clock_hz = 200e6;   // normalized to this paper's clock for
+                             // architecture-to-architecture comparisons
+  bool balanced = false;     // false = ESE row-interleave, true = CBSR
+};
+
+struct EseTimingResult {
+  num::Index cycles = 0;          // matvec cycles (max-slice per column)
+  num::Index ideal_cycles = 0;    // perfectly balanced lower bound
+  num::Index nonzero_weights = 0; // stored entries incl. padding
+
+  /// Fraction of PE-cycles wasted waiting on the slowest slice.
+  double imbalance_waste() const {
+    return cycles == 0 ? 0.0
+                       : 1.0 - static_cast<double>(ideal_cycles) /
+                                   static_cast<double>(cycles);
+  }
+};
+
+class EseTimingModel {
+ public:
+  explicit EseTimingModel(const EseConfig& config);
+
+  /// Cycles to multiply the compressed matrix by one (dense) vector.
+  EseTimingResult matvec(const CscMatrix& matrix) const;
+
+  /// Dense-equivalent GOPS for a matrix of the given dense dimensions
+  /// processed in `cycles` (ESE's own accounting: ops of the dense
+  /// matvec divided by sparse runtime).
+  double equivalent_gops(num::Index rows, num::Index cols,
+                         num::Index cycles) const;
+
+  const EseConfig& config() const { return config_; }
+
+ private:
+  EseConfig config_;
+};
+
+}  // namespace zss::baseline

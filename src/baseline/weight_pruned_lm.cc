@@ -1,0 +1,34 @@
+#include "baseline/weight_pruned_lm.h"
+
+namespace zss::baseline {
+
+WeightPrunedLm::WeightPrunedLm(const core::LmConfig& config)
+    : model_(config) {
+  ZSS_EXPECTS(config.pruner.mode == core::PruneMode::kNone);
+}
+
+double WeightPrunedLm::train_window(const data::LmBatch& batch,
+                                    nn::Optimizer& opt, float clip_norm) {
+  const double nll = model_.train_window(batch, opt, clip_norm);
+  if (pruned_) {
+    apply_mask(model_.cell().wh(), wh_mask_);
+    apply_mask(model_.cell().wx(), wx_mask_);
+  }
+  return nll;
+}
+
+void WeightPrunedLm::prune_weights(double sparsity) {
+  wh_mask_ = prune_by_magnitude(model_.cell().wh(), sparsity);
+  wx_mask_ = prune_by_magnitude(model_.cell().wx(), sparsity);
+  pruned_ = true;
+}
+
+double WeightPrunedLm::recurrent_weight_sparsity() const {
+  return weight_sparsity(model_.cell().wh());
+}
+
+double WeightPrunedLm::input_weight_sparsity() const {
+  return weight_sparsity(model_.cell().wx());
+}
+
+}  // namespace zss::baseline

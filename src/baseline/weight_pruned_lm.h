@@ -1,0 +1,50 @@
+// Weight-pruned LSTM language model — the full ESE-style baseline
+// pipeline (prune-and-retrain) packaged next to the paper's state-pruned
+// models so the two sparsity philosophies can be compared end to end on
+// identical tasks (bench/ablation_weight_vs_state).
+#pragma once
+
+#include <vector>
+
+#include "baseline/weight_pruner.h"
+#include "core/lm_model.h"
+
+namespace zss::baseline {
+
+class WeightPrunedLm {
+ public:
+  /// `config.pruner` must be none: this baseline keeps states dense and
+  /// zeroes weights instead.
+  explicit WeightPrunedLm(const core::LmConfig& config);
+
+  /// One BPTT window; masked weights are re-zeroed after the step.
+  double train_window(const data::LmBatch& batch, nn::Optimizer& opt,
+                      float clip_norm);
+
+  /// Magnitude-prunes the recurrent and input weight matrices to the
+  /// given sparsity and installs retraining masks (Han's recipe).
+  void prune_weights(double sparsity);
+
+  core::LmEval evaluate(std::span<const num::Index> stream, num::Index batch,
+                        num::Index seq_len) {
+    return model_.evaluate(stream, batch, seq_len);
+  }
+
+  /// Measured sparsity of Wh / Wx after pruning.
+  double recurrent_weight_sparsity() const;
+  double input_weight_sparsity() const;
+
+  bool pruned() const { return pruned_; }
+
+  core::PrunedLstmLm& model() { return model_; }
+  const nn::LstmCell& cell() const { return model_.cell(); }
+  nn::LstmCell& cell() { return model_.cell(); }
+
+ private:
+  core::PrunedLstmLm model_;
+  bool pruned_ = false;
+  WeightMask wh_mask_;
+  WeightMask wx_mask_;
+};
+
+}  // namespace zss::baseline

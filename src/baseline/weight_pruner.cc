@@ -1,0 +1,49 @@
+#include "baseline/weight_pruner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "num/stats.h"
+
+namespace zss::baseline {
+
+WeightMask prune_by_magnitude(nn::Parameter& param, double sparsity) {
+  ZSS_EXPECTS(sparsity >= 0.0 && sparsity <= 1.0);
+  WeightMask mask;
+  mask.keep.resize(param.value.rows(), param.value.cols(), 1);
+  if (sparsity == 0.0 || param.value.size() == 0) return mask;
+
+  const float threshold =
+      num::quantile_abs(param.value.flat(), sparsity);
+  auto values = param.value.flat();
+  auto keep = mask.keep.flat();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (std::fabs(values[i]) < threshold) {
+      values[i] = 0.0f;
+      keep[i] = 0;
+    }
+  }
+  return mask;
+}
+
+void apply_mask(nn::Parameter& param, const WeightMask& mask) {
+  ZSS_EXPECTS(param.value.same_shape(
+      // Mat<uint8> and Mat<float> have no common same_shape; compare
+      // dimensions explicitly.
+      num::Matrix(mask.keep.rows(), mask.keep.cols())));
+  auto values = param.value.flat();
+  auto grads = param.grad.flat();
+  auto keep = mask.keep.flat();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (keep[i] == 0) {
+      values[i] = 0.0f;
+      if (!grads.empty()) grads[i] = 0.0f;
+    }
+  }
+}
+
+double weight_sparsity(const nn::Parameter& param) {
+  return num::zero_fraction(param.value.flat());
+}
+
+}  // namespace zss::baseline

@@ -1,0 +1,50 @@
+// Magnitude weight pruning — the ESE baseline (Han et al., FPGA'17).
+//
+// The paper's related work (§IV) contrasts its *state* skipping with
+// ESE/CBSR, which skip multiplications with zero-valued *weights*. To
+// compare the two approaches end to end we implement that baseline: the
+// smallest-magnitude fraction of each weight matrix is zeroed and a
+// fixed mask keeps those weights at zero through subsequent retraining
+// (Han's prune-and-retrain recipe).
+#pragma once
+
+#include <vector>
+
+#include "nn/parameter.h"
+#include "num/matrix.h"
+#include "num/types.h"
+
+namespace zss::baseline {
+
+/// A binary keep-mask over one parameter's elements.
+struct WeightMask {
+  num::Mat<std::uint8_t> keep;  // 1 = trainable, 0 = pruned to zero
+
+  num::Index zeros() const {
+    num::Index z = 0;
+    for (auto v : keep.flat()) {
+      if (v == 0) ++z;
+    }
+    return z;
+  }
+
+  double sparsity() const {
+    return keep.size() == 0 ? 0.0
+                            : static_cast<double>(zeros()) /
+                                  static_cast<double>(keep.size());
+  }
+};
+
+/// Builds a mask that zeroes the `sparsity` fraction of smallest-|w|
+/// entries and applies it to the value matrix.
+WeightMask prune_by_magnitude(nn::Parameter& param, double sparsity);
+
+/// Re-applies the mask to the value (call after every optimizer step so
+/// pruned weights stay zero during retraining) and zeroes the masked
+/// gradient entries so momentum/Adam state stays clean.
+void apply_mask(nn::Parameter& param, const WeightMask& mask);
+
+/// Fraction of exactly-zero entries in a parameter's value.
+double weight_sparsity(const nn::Parameter& param);
+
+}  // namespace zss::baseline

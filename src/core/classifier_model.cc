@@ -1,0 +1,117 @@
+#include "core/classifier_model.h"
+
+#include "num/kernels.h"
+#include "num/loss.h"
+
+namespace zss::core {
+
+PrunedLstmClassifier::PrunedLstmClassifier(const ClassifierConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      cell_(/*input_dim=*/1, config.hidden, rng_),
+      classifier_(config.hidden, config.classes, rng_),
+      pruner_(config.pruner) {
+  ZSS_EXPECTS(config.classes > 1 && config.hidden > 0);
+}
+
+double PrunedLstmClassifier::train_batch(const data::ImageBatch& batch,
+                                         nn::Optimizer& opt,
+                                         float clip_norm) {
+  const num::Index B = batch.images.rows();
+  const num::Index T = batch.images.cols();
+  ZSS_EXPECTS(B > 0 && T > 0);
+
+  auto params = parameters();
+  nn::zero_grads(params);
+
+  std::vector<nn::LstmStepCache> caches(static_cast<std::size_t>(T));
+  num::Matrix h(B, config_.hidden, 0.0f);
+  num::Matrix c(B, config_.hidden, 0.0f);
+  num::Matrix x(B, 1);
+  num::Matrix pruned;
+  for (num::Index t = 0; t < T; ++t) {
+    for (num::Index b = 0; b < B; ++b) x(b, 0) = batch.images(b, t);
+    pruner_.prune(h, pruned);
+    auto out = cell_.forward(x, pruned, c, &caches[static_cast<std::size_t>(t)]);
+    h = std::move(out.h);
+    c = std::move(out.c);
+  }
+
+  num::Matrix logits;
+  classifier_.forward(h, logits);
+  num::Matrix dlogits;
+  const double nll = num::softmax_xent(
+      logits, std::span<const num::Index>(batch.labels), &dlogits);
+
+  num::Matrix dh;
+  classifier_.backward(h, dlogits, dh);
+  num::Matrix dc(B, config_.hidden, 0.0f);
+  for (num::Index t = T - 1; t >= 0; --t) {
+    auto grads = cell_.backward(caches[static_cast<std::size_t>(t)], dh, dc);
+    dh = std::move(grads.dh_prev);  // straight-through across the prune
+    dc = std::move(grads.dc_prev);
+  }
+
+  if (clip_norm > 0.0f) nn::clip_grad_norm(params, clip_norm);
+  opt.step(params);
+  return nll;
+}
+
+ClassifierEval PrunedLstmClassifier::evaluate(
+    const num::Matrix& images, std::span<const num::Index> labels) {
+  const num::Index B = images.rows();
+  const num::Index T = images.cols();
+  ZSS_EXPECTS(B == static_cast<num::Index>(labels.size()));
+
+  num::Matrix h(B, config_.hidden, 0.0f);
+  num::Matrix c(B, config_.hidden, 0.0f);
+  num::Matrix x(B, 1);
+  num::Matrix pruned;
+  double sparsity_sum = 0.0;
+  for (num::Index t = 0; t < T; ++t) {
+    for (num::Index b = 0; b < B; ++b) x(b, 0) = images(b, t);
+    sparsity_sum += pruner_.prune(h, pruned);
+    auto out = cell_.forward(x, pruned, c, nullptr);
+    h = std::move(out.h);
+    c = std::move(out.c);
+  }
+
+  num::Matrix logits;
+  classifier_.forward(h, logits);
+  ClassifierEval eval;
+  eval.mean_nll = num::softmax_xent(logits, labels, nullptr);
+  eval.error_rate_percent = num::error_rate_percent(logits, labels);
+  eval.state_sparsity = sparsity_sum / static_cast<double>(T);
+  return eval;
+}
+
+void PrunedLstmClassifier::collect_states(const num::Matrix& images,
+                                          sparse::SparsityMeter& meter,
+                                          std::vector<num::Matrix>* states) {
+  const num::Index B = images.rows();
+  const num::Index T = images.cols();
+  num::Matrix h(B, config_.hidden, 0.0f);
+  num::Matrix c(B, config_.hidden, 0.0f);
+  num::Matrix x(B, 1);
+  num::Matrix pruned;
+  for (num::Index t = 0; t < T; ++t) {
+    for (num::Index b = 0; b < B; ++b) x(b, 0) = images(b, t);
+    pruner_.prune(h, pruned);
+    auto out = cell_.forward(x, pruned, c, nullptr);
+    h = std::move(out.h);
+    c = std::move(out.c);
+    num::Matrix stored;
+    pruner_.prune(h, stored);
+    meter.observe(stored);
+    if (states != nullptr) states->push_back(stored);
+  }
+}
+
+std::vector<nn::Parameter*> PrunedLstmClassifier::parameters() {
+  std::vector<nn::Parameter*> params;
+  for (auto* p : cell_.parameters()) params.push_back(p);
+  for (auto* p : classifier_.parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace zss::core

@@ -1,0 +1,65 @@
+// Pruned-state LSTM sequence classifier (sequential-image task, §II-B.3).
+//
+// Pixels are fed one per timestep in scanline order; a softmax classifier
+// reads the final hidden state. d_h = 100 in the paper.
+#pragma once
+
+#include <vector>
+
+#include "core/state_pruner.h"
+#include "data/batcher.h"
+#include "nn/linear.h"
+#include "nn/lstm_cell.h"
+#include "nn/optimizer.h"
+#include "num/rng.h"
+#include "sparse/sparsity_report.h"
+
+namespace zss::core {
+
+struct ClassifierConfig {
+  num::Index classes = 10;
+  num::Index hidden = 100;
+  PrunerConfig pruner;
+  std::uint64_t seed = 7;
+};
+
+struct ClassifierEval {
+  double error_rate_percent = 0.0;
+  double mean_nll = 0.0;
+  double state_sparsity = 0.0;
+};
+
+class PrunedLstmClassifier {
+ public:
+  explicit PrunedLstmClassifier(const ClassifierConfig& config);
+
+  const ClassifierConfig& config() const { return config_; }
+
+  /// One minibatch update (full BPTT over the scanline). Returns the
+  /// batch mean NLL.
+  double train_batch(const data::ImageBatch& batch, nn::Optimizer& opt,
+                     float clip_norm);
+
+  ClassifierEval evaluate(const num::Matrix& images,
+                          std::span<const num::Index> labels);
+
+  /// Runs inference over `images`, recording every stored pruned state
+  /// (for Fig. 7 style measurements). Rows of `images` form batch lanes.
+  void collect_states(const num::Matrix& images,
+                      sparse::SparsityMeter& meter,
+                      std::vector<num::Matrix>* states = nullptr);
+
+  std::vector<nn::Parameter*> parameters();
+  void set_pruner(const PrunerConfig& config) { pruner_ = StatePruner(config); }
+  nn::LstmCell& cell() { return cell_; }
+  nn::Linear& classifier() { return classifier_; }
+
+ private:
+  ClassifierConfig config_;
+  num::Rng rng_;
+  nn::LstmCell cell_;      // input dim 1 (one pixel per step)
+  nn::Linear classifier_;  // hidden -> classes
+  StatePruner pruner_;
+};
+
+}  // namespace zss::core

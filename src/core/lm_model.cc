@@ -1,0 +1,259 @@
+#include "core/lm_model.h"
+
+#include <cmath>
+
+#include "num/activations.h"
+#include "num/kernels.h"
+#include "num/loss.h"
+
+namespace zss::core {
+
+PrunedLstmLm::PrunedLstmLm(const LmConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      cell_(config.input_dim(), config.hidden, rng_),
+      classifier_(config.hidden, config.vocab, rng_),
+      pruner_(config.pruner) {
+  ZSS_EXPECTS(config.vocab > 1);
+  ZSS_EXPECTS(config.hidden > 0);
+  if (config.embed_dim > 0) {
+    embedding_ =
+        std::make_unique<nn::Embedding>(config.vocab, config.embed_dim, rng_);
+  }
+  reset_state(1);
+}
+
+void PrunedLstmLm::reset_state(num::Index batch) {
+  h_.resize(batch, config_.hidden, 0.0f);
+  c_.resize(batch, config_.hidden, 0.0f);
+}
+
+void PrunedLstmLm::make_input(std::span<const num::Index> tokens,
+                              num::Matrix& x) const {
+  const auto batch = static_cast<num::Index>(tokens.size());
+  if (embedding_ != nullptr) {
+    embedding_->forward(tokens, x);
+    return;
+  }
+  x.resize(batch, config_.vocab, 0.0f);
+  for (num::Index b = 0; b < batch; ++b) {
+    const num::Index t = tokens[static_cast<std::size_t>(b)];
+    ZSS_EXPECTS(t >= 0 && t < config_.vocab);
+    x(b, t) = 1.0f;
+  }
+}
+
+double PrunedLstmLm::train_window(const data::LmBatch& batch,
+                                  nn::Optimizer& opt, float clip_norm) {
+  const num::Index T = batch.seq_len;
+  const num::Index B = batch.batch;
+  if (batch.first || h_.rows() != B) reset_state(B);
+
+  auto params = parameters();
+  nn::zero_grads(params);
+
+  // ---- Forward ----
+  std::vector<nn::LstmStepCache> caches(static_cast<std::size_t>(T));
+  std::vector<num::Matrix> h_dense(static_cast<std::size_t>(T));
+  std::vector<num::Matrix> h_dropped(static_cast<std::size_t>(T));
+  std::vector<nn::Dropout> dropouts(
+      static_cast<std::size_t>(T), nn::Dropout(config_.dropout));
+  std::vector<num::Matrix> logits(static_cast<std::size_t>(T));
+  std::vector<num::Matrix> inputs(static_cast<std::size_t>(T));
+  std::vector<std::span<const num::Index>> step_tokens(
+      static_cast<std::size_t>(T));
+
+  double total_nll = 0.0;
+  num::Matrix h_prev = h_;
+  num::Matrix c_prev = c_;
+  num::Matrix pruned;
+  for (num::Index t = 0; t < T; ++t) {
+    const auto ti = static_cast<std::size_t>(t);
+    step_tokens[ti] = std::span<const num::Index>(
+        batch.inputs.data() + t * B, static_cast<std::size_t>(B));
+    make_input(step_tokens[ti], inputs[ti]);
+
+    pruner_.prune(h_prev, pruned);  // Eq. (4)-(5)
+    auto out = cell_.forward(inputs[ti], pruned, c_prev, &caches[ti]);
+    h_dense[ti] = out.h;
+
+    h_dropped[ti] = out.h;
+    dropouts[ti].forward(h_dropped[ti], /*training=*/true, rng_);
+    classifier_.forward(h_dropped[ti], logits[ti]);
+
+    const std::span<const num::Index> targets(
+        batch.targets.data() + t * B, static_cast<std::size_t>(B));
+    num::Matrix dlogits;
+    total_nll += num::softmax_xent(logits[ti], targets, &dlogits);
+    logits[ti] = std::move(dlogits);  // reuse slot to hold the gradient
+
+    h_prev = std::move(out.h);
+    c_prev = std::move(out.c);
+  }
+  // Carry values (detached) into the next window.
+  h_ = h_prev;
+  c_ = c_prev;
+
+  // ---- Backward (BPTT) ----
+  num::Matrix dh(B, config_.hidden, 0.0f);
+  num::Matrix dc(B, config_.hidden, 0.0f);
+  const float step_scale = 1.0f / static_cast<float>(T);
+  for (num::Index t = T - 1; t >= 0; --t) {
+    const auto ti = static_cast<std::size_t>(t);
+    // Classifier path. softmax_xent normalized by rows (=B); divide by T
+    // so the loss is the mean over all T*B tokens.
+    num::scale(logits[ti].flat(), step_scale);
+    num::Matrix dh_cls;
+    classifier_.backward(h_dropped[ti], logits[ti], dh_cls);
+    dropouts[ti].backward(dh_cls);
+    num::axpy(1.0f, dh_cls.flat(), dh.flat());
+
+    auto grads = cell_.backward(caches[ti], dh, dc);
+    if (embedding_ != nullptr) {
+      embedding_->backward(step_tokens[ti], grads.dx);
+    }
+    // Straight-through estimator (Eq. 6): the gradient w.r.t. the pruned
+    // state is applied to the dense state unchanged.
+    dh = std::move(grads.dh_prev);
+    dc = std::move(grads.dc_prev);
+  }
+
+  if (clip_norm > 0.0f) nn::clip_grad_norm(params, clip_norm);
+  opt.step(params);
+  return total_nll / static_cast<double>(T);
+}
+
+LmEval PrunedLstmLm::evaluate(std::span<const num::Index> stream,
+                              num::Index batch, num::Index seq_len) {
+  data::LmBatcher batcher(stream, batch, seq_len);
+  reset_state(batch);
+
+  double nll_sum = 0.0;
+  double sparsity_sum = 0.0;
+  num::Index steps = 0;
+  num::Matrix x;
+  num::Matrix pruned;
+  num::Matrix logits;
+  for (num::Index w = 0; w < batcher.num_windows(); ++w) {
+    const data::LmBatch b = batcher.window(w);
+    for (num::Index t = 0; t < b.seq_len; ++t) {
+      const std::span<const num::Index> tokens(
+          b.inputs.data() + t * batch, static_cast<std::size_t>(batch));
+      make_input(tokens, x);
+      sparsity_sum += pruner_.prune(h_, pruned);
+      auto out = cell_.forward(x, pruned, c_, nullptr);
+      h_ = std::move(out.h);
+      c_ = std::move(out.c);
+      classifier_.forward(h_, logits);
+      const std::span<const num::Index> targets(
+          b.targets.data() + t * batch, static_cast<std::size_t>(batch));
+      nll_sum += num::softmax_xent(logits, targets, nullptr);
+      ++steps;
+    }
+  }
+  ZSS_ASSERT(steps > 0);
+  LmEval eval;
+  eval.mean_nll = nll_sum / static_cast<double>(steps);
+  eval.bpc = num::bpc_from_nll(eval.mean_nll);
+  eval.ppw = num::ppw_from_nll(eval.mean_nll);
+  eval.state_sparsity = sparsity_sum / static_cast<double>(steps);
+  return eval;
+}
+
+double PrunedLstmLm::collect_states(std::span<const num::Index> stream,
+                                    num::Index batch, num::Index max_steps,
+                                    sparse::SparsityMeter& meter,
+                                    std::vector<num::Matrix>* states,
+                                    std::vector<num::Matrix>* dense_states) {
+  data::LmBatcher batcher(stream, batch, /*seq_len=*/1);
+  reset_state(batch);
+  const num::Index steps = std::min(max_steps, batcher.num_windows());
+  ZSS_EXPECTS(steps > 0);
+
+  double nll_sum = 0.0;
+  num::Matrix x;
+  num::Matrix pruned;
+  num::Matrix logits;
+  for (num::Index t = 0; t < steps; ++t) {
+    const data::LmBatch b = batcher.window(t);
+    make_input(std::span<const num::Index>(b.inputs.data(),
+                                           static_cast<std::size_t>(batch)),
+               x);
+    pruner_.prune(h_, pruned);
+    auto out = cell_.forward(x, pruned, c_, nullptr);
+    h_ = std::move(out.h);
+    c_ = std::move(out.c);
+
+    // What the accelerator's encoder sees is the *stored* state, i.e. the
+    // pruned h_t that the next timestep will consume.
+    num::Matrix stored;
+    pruner_.prune(h_, stored);
+    meter.observe(stored);
+    if (states != nullptr) states->push_back(stored);
+    if (dense_states != nullptr) dense_states->push_back(h_);
+
+    classifier_.forward(h_, logits);
+    nll_sum += num::softmax_xent(
+        logits,
+        std::span<const num::Index>(b.targets.data(),
+                                    static_cast<std::size_t>(batch)),
+        nullptr);
+  }
+  return nll_sum / static_cast<double>(steps);
+}
+
+std::vector<num::Index> PrunedLstmLm::sample(
+    std::span<const num::Index> prefix, num::Index count, bool greedy,
+    num::Rng& rng) {
+  ZSS_EXPECTS(!prefix.empty());
+  reset_state(1);
+  num::Matrix x;
+  num::Matrix pruned;
+  num::Matrix logits;
+  std::vector<num::Index> out(prefix.begin(), prefix.end());
+
+  auto step = [&](num::Index token) {
+    make_input(std::span<const num::Index>(&token, 1), x);
+    pruner_.prune(h_, pruned);
+    auto o = cell_.forward(x, pruned, c_, nullptr);
+    h_ = std::move(o.h);
+    c_ = std::move(o.c);
+  };
+
+  for (std::size_t i = 0; i + 1 < prefix.size(); ++i) step(prefix[i]);
+  num::Index current = prefix.back();
+  for (num::Index n = 0; n < count; ++n) {
+    step(current);
+    classifier_.forward(h_, logits);
+    auto row = logits.row(0);
+    if (greedy) {
+      current = num::argmax(row);
+    } else {
+      num::softmax(row);
+      const double u = rng.uniform();
+      double acc = 0.0;
+      current = config_.vocab - 1;
+      for (num::Index k = 0; k < config_.vocab; ++k) {
+        acc += row[static_cast<std::size_t>(k)];
+        if (u < acc) {
+          current = k;
+          break;
+        }
+      }
+    }
+    out.push_back(current);
+  }
+  return out;
+}
+
+std::vector<nn::Parameter*> PrunedLstmLm::parameters() {
+  std::vector<nn::Parameter*> params;
+  if (embedding_ != nullptr) {
+    for (auto* p : embedding_->parameters()) params.push_back(p);
+  }
+  for (auto* p : cell_.parameters()) params.push_back(p);
+  for (auto* p : classifier_.parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace zss::core

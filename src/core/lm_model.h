@@ -1,0 +1,107 @@
+// Pruned-state LSTM language model (char-level and word-level tasks).
+//
+// Architecture per §II-B: one LSTM layer followed by a classifier.
+//  - char-LM: one-hot input (d_x = vocab = 50), d_h = 1000 in the paper.
+//  - word-LM: embedding of size 300 (so x_t is dense), d_h = 300,
+//    dropout 0.5 on the non-recurrent connection.
+// The recurrence consumes the pruned state h^p_{t-1} (Eq. 4); training
+// keeps the dense state and backpropagates straight through the prune.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/state_pruner.h"
+#include "data/batcher.h"
+#include "nn/dropout.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/lstm_cell.h"
+#include "nn/optimizer.h"
+#include "num/rng.h"
+#include "sparse/sparsity_report.h"
+
+namespace zss::core {
+
+struct LmConfig {
+  num::Index vocab = 50;
+  /// 0 selects one-hot input (char model); >0 inserts an embedding.
+  num::Index embed_dim = 0;
+  num::Index hidden = 128;
+  double dropout = 0.0;
+  PrunerConfig pruner;
+  std::uint64_t seed = 42;
+
+  num::Index input_dim() const { return embed_dim > 0 ? embed_dim : vocab; }
+};
+
+/// Scalar results of evaluating a token stream.
+struct LmEval {
+  double mean_nll = 0.0;  // nats per token
+  double bpc = 0.0;
+  double ppw = 0.0;
+  double state_sparsity = 0.0;  // mean fraction of pruned h elements
+};
+
+class PrunedLstmLm {
+ public:
+  explicit PrunedLstmLm(const LmConfig& config);
+
+  const LmConfig& config() const { return config_; }
+
+  /// One BPTT window: forward with pruned recurrence, backward with STE,
+  /// clip (if clip_norm > 0) and step. Returns mean NLL per token.
+  /// Recurrent state carries across windows; `batch.first` resets it.
+  double train_window(const data::LmBatch& batch, nn::Optimizer& opt,
+                      float clip_norm);
+
+  /// Full-stream evaluation (no dropout, pruned recurrence).
+  LmEval evaluate(std::span<const num::Index> stream, num::Index batch,
+                  num::Index seq_len);
+
+  /// Runs the recurrence over a stream and records each stored (pruned)
+  /// state into the meter; optionally keeps the stored state matrices
+  /// (for the accelerator benches) and/or the pre-prune dense states
+  /// (for exporting a fixed threshold that matches the pruned dynamics).
+  /// Returns mean NLL for convenience.
+  double collect_states(std::span<const num::Index> stream, num::Index batch,
+                        num::Index max_steps, sparse::SparsityMeter& meter,
+                        std::vector<num::Matrix>* states = nullptr,
+                        std::vector<num::Matrix>* dense_states = nullptr);
+
+  /// Samples `count` tokens, starting from `prefix` (greedy=false draws
+  /// from the softmax; true takes the argmax).
+  std::vector<num::Index> sample(std::span<const num::Index> prefix,
+                                 num::Index count, bool greedy,
+                                 num::Rng& rng);
+
+  std::vector<nn::Parameter*> parameters();
+
+  nn::LstmCell& cell() { return cell_; }
+  const nn::LstmCell& cell() const { return cell_; }
+  nn::Linear& classifier() { return classifier_; }
+  const nn::Linear& classifier() const { return classifier_; }
+  const StatePruner& pruner() const { return pruner_; }
+
+  /// Replaces the pruner (used to sweep sparsity on one trained model).
+  void set_pruner(const PrunerConfig& config) { pruner_ = StatePruner(config); }
+
+  void reset_state(num::Index batch);
+
+ private:
+  /// Produces the (B x input_dim) input matrix for tokens at one step.
+  void make_input(std::span<const num::Index> tokens, num::Matrix& x) const;
+
+  LmConfig config_;
+  num::Rng rng_;
+  std::unique_ptr<nn::Embedding> embedding_;  // null for one-hot input
+  nn::LstmCell cell_;
+  nn::Linear classifier_;
+  StatePruner pruner_;
+
+  // Carried recurrent state (values only; no gradient across windows).
+  num::Matrix h_;
+  num::Matrix c_;
+};
+
+}  // namespace zss::core

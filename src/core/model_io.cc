@@ -1,0 +1,87 @@
+#include "core/model_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+namespace zss::core {
+namespace {
+
+constexpr char kMagic[4] = {'Z', 'S', 'S', 'M'};
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool write_bytes(std::FILE* f, const void* p, std::size_t n) {
+  return std::fwrite(p, 1, n, f) == n;
+}
+
+bool read_bytes(std::FILE* f, void* p, std::size_t n) {
+  return std::fread(p, 1, n, f) == n;
+}
+
+}  // namespace
+
+bool save_parameters(const std::string& path,
+                     std::span<nn::Parameter* const> params) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+  if (!write_bytes(f.get(), kMagic, 4)) return false;
+  if (!write_bytes(f.get(), &kVersion, sizeof kVersion)) return false;
+  const auto count = static_cast<std::uint32_t>(params.size());
+  if (!write_bytes(f.get(), &count, sizeof count)) return false;
+  for (const nn::Parameter* p : params) {
+    const auto name_len = static_cast<std::uint32_t>(p->name.size());
+    if (!write_bytes(f.get(), &name_len, sizeof name_len)) return false;
+    if (!write_bytes(f.get(), p->name.data(), name_len)) return false;
+    const std::int64_t rows = p->value.rows();
+    const std::int64_t cols = p->value.cols();
+    if (!write_bytes(f.get(), &rows, sizeof rows)) return false;
+    if (!write_bytes(f.get(), &cols, sizeof cols)) return false;
+    const auto flat = p->value.flat();
+    if (!write_bytes(f.get(), flat.data(), flat.size() * sizeof(float))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool load_parameters(const std::string& path,
+                     std::span<nn::Parameter* const> params) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return false;
+  char magic[4];
+  if (!read_bytes(f.get(), magic, 4)) return false;
+  for (int i = 0; i < 4; ++i) {
+    if (magic[i] != kMagic[i]) return false;
+  }
+  std::uint32_t version = 0;
+  if (!read_bytes(f.get(), &version, sizeof version)) return false;
+  if (version != kVersion) return false;
+  std::uint32_t count = 0;
+  if (!read_bytes(f.get(), &count, sizeof count)) return false;
+  if (count != params.size()) return false;
+  for (nn::Parameter* p : params) {
+    std::uint32_t name_len = 0;
+    if (!read_bytes(f.get(), &name_len, sizeof name_len)) return false;
+    std::string name(name_len, '\0');
+    if (!read_bytes(f.get(), name.data(), name_len)) return false;
+    std::int64_t rows = 0;
+    std::int64_t cols = 0;
+    if (!read_bytes(f.get(), &rows, sizeof rows)) return false;
+    if (!read_bytes(f.get(), &cols, sizeof cols)) return false;
+    if (rows != p->value.rows() || cols != p->value.cols()) return false;
+    auto flat = p->value.flat();
+    if (!read_bytes(f.get(), flat.data(), flat.size() * sizeof(float))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace zss::core

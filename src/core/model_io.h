@@ -1,0 +1,25 @@
+// Minimal binary serialization for trained models.
+//
+// Format: magic "ZSSM", u32 version, u32 parameter count, then for each
+// parameter { u32 name length, name bytes, i64 rows, i64 cols, float
+// data[rows*cols] }. Little-endian host format — this is a lab artifact
+// exchanged between the trainer and the benches, not an interchange file.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "nn/parameter.h"
+
+namespace zss::core {
+
+/// Writes parameter values (not gradients). Returns false on I/O error.
+bool save_parameters(const std::string& path,
+                     std::span<nn::Parameter* const> params);
+
+/// Loads values into the given parameters; shapes and order must match
+/// what was saved. Returns false on I/O or shape mismatch.
+bool load_parameters(const std::string& path,
+                     std::span<nn::Parameter* const> params);
+
+}  // namespace zss::core

@@ -1,0 +1,108 @@
+#include "core/sparse_inference.h"
+
+#include "num/activations.h"
+#include "num/kernels.h"
+
+namespace zss::core {
+
+SparseLstmEngine::SparseLstmEngine(const nn::LstmCell& cell,
+                                   const StatePruner& pruner,
+                                   sparse::EncoderConfig encoder)
+    : cell_(&cell), pruner_(&pruner), encoder_(encoder) {}
+
+void SparseLstmEngine::finish_step(num::Matrix& pre,
+                                   const num::Matrix& c_prev, num::Matrix& h,
+                                   num::Matrix& c) {
+  const num::Index B = pre.rows();
+  const num::Index dh = cell_->hidden_dim();
+  h.resize(B, dh);
+  c.resize(B, dh);
+  for (num::Index r = 0; r < B; ++r) {
+    auto row = pre.row(r);
+    auto cp = c_prev.row(r);
+    for (num::Index j = 0; j < dh; ++j) {
+      const float f = num::sigmoid(row[static_cast<std::size_t>(j)]);
+      const float i = num::sigmoid(row[static_cast<std::size_t>(dh + j)]);
+      const float o = num::sigmoid(row[static_cast<std::size_t>(2 * dh + j)]);
+      const float g = num::tanh_act(row[static_cast<std::size_t>(3 * dh + j)]);
+      const float cj = f * cp[static_cast<std::size_t>(j)] + i * g;
+      c(r, j) = cj;
+      h(r, j) = o * num::tanh_act(cj);
+    }
+  }
+  // Store the pruned representation — this is what the encoder writes to
+  // DRAM and what the next step will skip over.
+  pruner_->prune_inplace(h);
+}
+
+void SparseLstmEngine::step(const num::Matrix& x, num::Matrix& h,
+                            num::Matrix& c) {
+  const num::Index B = x.rows();
+  const num::Index dh = cell_->hidden_dim();
+  ZSS_EXPECTS(h.rows() == B && h.cols() == dh);
+  ZSS_EXPECTS(c.rows() == B && c.cols() == dh);
+
+  // pre = x Wx^T + b (the input path is never sparse-skipped).
+  num::Matrix pre;
+  num::gemm_a_bt(x, cell_->wx().value, pre);
+  num::add_bias_rows(pre, cell_->bias().value.flat());
+  stats_.input_macs += B * cell_->input_dim() * 4 * dh;
+
+  // Sparse recurrent path: only the weight columns of positions that are
+  // non-zero in at least one batch lane are touched. The column partial
+  // sums are kept separate from `pre` and added once at the end so the
+  // floating-point association matches step_dense() exactly (zero-valued
+  // skipped terms are exact identities under IEEE addition).
+  const auto enc = sparse::encode(h, encoder_);
+  const num::Matrix& wh = cell_->wh().value;
+  num::Matrix pre_h(B, 4 * dh, 0.0f);
+  num::Index pos = 0;
+  for (std::size_t e = 0; e < enc.entries.size(); ++e) {
+    pos += enc.entries[e].offset;
+    for (num::Index b = 0; b < B; ++b) {
+      const float v = enc.values[e * static_cast<std::size_t>(B) +
+                                 static_cast<std::size_t>(b)];
+      // A lane can still be zero at a kept position (another lane was
+      // non-zero); the hardware cannot skip it, and neither do we when
+      // counting work, but the float add is a no-op either way.
+      num::axpy_col(wh, pos, v, pre_h.row(b));
+    }
+    ++pos;
+  }
+  for (std::size_t i = 0; i < pre.flat().size(); ++i) {
+    pre.flat()[i] += pre_h.flat()[i];
+  }
+  stats_.state_macs_total += B * dh * 4 * dh;
+  stats_.state_macs_effectual += B * enc.kept_positions() * 4 * dh;
+  stats_.kept_positions += enc.kept_positions();
+  stats_.positions += dh;
+  ++stats_.steps;
+
+  finish_step(pre, c, h, c);
+}
+
+void SparseLstmEngine::step_dense(const num::Matrix& x, num::Matrix& h,
+                                  num::Matrix& c) {
+  const num::Index B = x.rows();
+  const num::Index dh = cell_->hidden_dim();
+  ZSS_EXPECTS(h.rows() == B && h.cols() == dh);
+
+  num::Matrix pre;
+  num::gemm_a_bt(x, cell_->wx().value, pre);
+  num::add_bias_rows(pre, cell_->bias().value.flat());
+  num::Matrix pre_h;
+  num::gemm_a_bt(h, cell_->wh().value, pre_h);
+  for (std::size_t i = 0; i < pre.flat().size(); ++i) {
+    pre.flat()[i] += pre_h.flat()[i];
+  }
+  stats_.input_macs += B * cell_->input_dim() * 4 * dh;
+  stats_.state_macs_total += B * dh * 4 * dh;
+  stats_.state_macs_effectual += B * dh * 4 * dh;
+  stats_.kept_positions += dh;
+  stats_.positions += dh;
+  ++stats_.steps;
+
+  finish_step(pre, c, h, c);
+}
+
+}  // namespace zss::core

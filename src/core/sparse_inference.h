@@ -1,0 +1,75 @@
+// Sparse-state LSTM inference engine (software counterpart of the
+// accelerator's skip logic).
+//
+// At inference the stored state is pruned, so the recurrent matvec
+// Wh h^p_{t-1} only needs the weight columns of non-zero elements. This
+// engine computes exactly that: it encodes the state with the paper's
+// offset encoder (batch-intersected when batch > 1) and accumulates one
+// weight column per kept position, counting effectual vs. skipped MACs
+// so the algorithmic speedup bound of Figs. 8-9 can be measured in
+// software before touching the cycle model.
+#pragma once
+
+#include "core/state_pruner.h"
+#include "nn/lstm_cell.h"
+#include "num/matrix.h"
+#include "sparse/encoding.h"
+
+namespace zss::core {
+
+struct InferenceStats {
+  num::Index steps = 0;
+  num::Index state_macs_total = 0;      // dense cost of Wh h per step
+  num::Index state_macs_effectual = 0;  // after skipping
+  num::Index input_macs = 0;            // Wx x cost (never skipped)
+  num::Index kept_positions = 0;
+  num::Index positions = 0;
+
+  /// Upper bound on the matvec speedup from skipping (state part only).
+  double state_speedup() const {
+    return state_macs_effectual == 0
+               ? 0.0
+               : static_cast<double>(state_macs_total) /
+                     static_cast<double>(state_macs_effectual);
+  }
+
+  /// Mean batch-intersected sparsity seen by the skip logic.
+  double observed_sparsity() const {
+    return positions == 0 ? 0.0
+                          : 1.0 - static_cast<double>(kept_positions) /
+                                      static_cast<double>(positions);
+  }
+
+  void reset() { *this = InferenceStats{}; }
+};
+
+class SparseLstmEngine {
+ public:
+  /// Borrows the trained cell; the caller keeps it alive. The pruner
+  /// determines which state elements are stored as zero.
+  SparseLstmEngine(const nn::LstmCell& cell, const StatePruner& pruner,
+                   sparse::EncoderConfig encoder = {});
+
+  /// One timestep over a batch. `h` and `c` are (B x dh) and updated in
+  /// place; `h` is stored pruned (what DRAM would hold).
+  void step(const num::Matrix& x, num::Matrix& h, num::Matrix& c);
+
+  /// Reference step without skipping (same pruning, dense matvec) — the
+  /// result must match step() bit-for-bit; used by tests and as the
+  /// "dense model" cost baseline.
+  void step_dense(const num::Matrix& x, num::Matrix& h, num::Matrix& c);
+
+  const InferenceStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+ private:
+  void finish_step(num::Matrix& pre, const num::Matrix& c_prev,
+                   num::Matrix& h, num::Matrix& c);
+
+  const nn::LstmCell* cell_;
+  const StatePruner* pruner_;
+  sparse::EncoderConfig encoder_;
+  InferenceStats stats_;
+};
+
+}  // namespace zss::core

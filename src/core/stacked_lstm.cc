@@ -1,0 +1,204 @@
+#include "core/stacked_lstm.h"
+
+#include "num/kernels.h"
+#include "num/loss.h"
+
+namespace zss::core {
+
+StackedPrunedLstmLm::StackedPrunedLstmLm(const StackedLmConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      classifier_(config.hidden, config.vocab, rng_),
+      pruner_(config.pruner) {
+  ZSS_EXPECTS(config.vocab > 1);
+  ZSS_EXPECTS(config.layers >= 1 && config.layers <= 8);
+  ZSS_EXPECTS(config.hidden > 0);
+  for (num::Index l = 0; l < config.layers; ++l) {
+    const num::Index in_dim = l == 0 ? config.vocab : config.hidden;
+    cells_.push_back(
+        std::make_unique<nn::LstmCell>(in_dim, config.hidden, rng_));
+  }
+  reset_state(1);
+}
+
+void StackedPrunedLstmLm::reset_state(num::Index batch) {
+  h_.assign(static_cast<std::size_t>(config_.layers),
+            num::Matrix(batch, config_.hidden, 0.0f));
+  c_.assign(static_cast<std::size_t>(config_.layers),
+            num::Matrix(batch, config_.hidden, 0.0f));
+}
+
+void StackedPrunedLstmLm::make_input(std::span<const num::Index> tokens,
+                                     num::Matrix& x) const {
+  const auto batch = static_cast<num::Index>(tokens.size());
+  x.resize(batch, config_.vocab, 0.0f);
+  for (num::Index b = 0; b < batch; ++b) {
+    const num::Index t = tokens[static_cast<std::size_t>(b)];
+    ZSS_EXPECTS(t >= 0 && t < config_.vocab);
+    x(b, t) = 1.0f;
+  }
+}
+
+double StackedPrunedLstmLm::train_window(const data::LmBatch& batch,
+                                         nn::Optimizer& opt,
+                                         float clip_norm) {
+  const num::Index T = batch.seq_len;
+  const num::Index B = batch.batch;
+  const auto L = static_cast<std::size_t>(config_.layers);
+  if (batch.first || h_[0].rows() != B) reset_state(B);
+
+  auto params = parameters();
+  nn::zero_grads(params);
+
+  // caches[l][t], layer-major.
+  std::vector<std::vector<nn::LstmStepCache>> caches(
+      L, std::vector<nn::LstmStepCache>(static_cast<std::size_t>(T)));
+  std::vector<std::vector<nn::Dropout>> dropouts(
+      L, std::vector<nn::Dropout>(static_cast<std::size_t>(T),
+                                  nn::Dropout(config_.inter_layer_dropout)));
+  std::vector<num::Matrix> top_h(static_cast<std::size_t>(T));
+  std::vector<num::Matrix> dlogits(static_cast<std::size_t>(T));
+
+  double total_nll = 0.0;
+  num::Matrix x;
+  num::Matrix pruned;
+  num::Matrix logits;
+  for (num::Index t = 0; t < T; ++t) {
+    const auto ti = static_cast<std::size_t>(t);
+    const std::span<const num::Index> tokens(
+        batch.inputs.data() + t * B, static_cast<std::size_t>(B));
+    make_input(tokens, x);
+
+    num::Matrix layer_in = x;
+    for (std::size_t l = 0; l < L; ++l) {
+      pruner_.prune(h_[l], pruned);  // Eq. (4)-(5) per layer
+      auto out = cells_[l]->forward(layer_in, pruned, c_[l], &caches[l][ti]);
+      h_[l] = out.h;
+      c_[l] = std::move(out.c);
+      layer_in = std::move(out.h);
+      if (l + 1 < L) {
+        dropouts[l][ti].forward(layer_in, /*training=*/true, rng_);
+      }
+    }
+    top_h[ti] = layer_in;
+    classifier_.forward(top_h[ti], logits);
+    const std::span<const num::Index> targets(
+        batch.targets.data() + t * B, static_cast<std::size_t>(B));
+    total_nll += num::softmax_xent(logits, targets, &dlogits[ti]);
+  }
+
+  // ---- Backward ----
+  std::vector<num::Matrix> dh(L, num::Matrix(B, config_.hidden, 0.0f));
+  std::vector<num::Matrix> dc(L, num::Matrix(B, config_.hidden, 0.0f));
+  const float step_scale = 1.0f / static_cast<float>(T);
+  for (num::Index t = T - 1; t >= 0; --t) {
+    const auto ti = static_cast<std::size_t>(t);
+    num::scale(dlogits[ti].flat(), step_scale);
+    num::Matrix d_top;
+    classifier_.backward(top_h[ti], dlogits[ti], d_top);
+
+    // d_top flows into the top layer's h; deeper layers receive the dx
+    // of the layer above (through the inter-layer dropout mask).
+    num::Matrix d_from_above = std::move(d_top);
+    for (std::size_t l = L; l-- > 0;) {
+      num::axpy(1.0f, d_from_above.flat(), dh[l].flat());
+      auto grads = cells_[l]->backward(caches[l][ti], dh[l], dc[l]);
+      dh[l] = std::move(grads.dh_prev);  // STE across the prune
+      dc[l] = std::move(grads.dc_prev);
+      if (l > 0) {
+        dropouts[l - 1][ti].backward(grads.dx);
+        d_from_above = std::move(grads.dx);
+      }
+    }
+  }
+
+  if (clip_norm > 0.0f) nn::clip_grad_norm(params, clip_norm);
+  opt.step(params);
+  return total_nll / static_cast<double>(T);
+}
+
+StackedEval StackedPrunedLstmLm::evaluate(std::span<const num::Index> stream,
+                                          num::Index batch,
+                                          num::Index seq_len) {
+  data::LmBatcher batcher(stream, batch, seq_len);
+  reset_state(batch);
+  const auto L = static_cast<std::size_t>(config_.layers);
+
+  double nll_sum = 0.0;
+  std::vector<double> sparsity_sum(L, 0.0);
+  num::Index steps = 0;
+  num::Matrix x;
+  num::Matrix pruned;
+  num::Matrix logits;
+  for (num::Index w = 0; w < batcher.num_windows(); ++w) {
+    const data::LmBatch b = batcher.window(w);
+    for (num::Index t = 0; t < b.seq_len; ++t) {
+      const std::span<const num::Index> tokens(
+          b.inputs.data() + t * batch, static_cast<std::size_t>(batch));
+      make_input(tokens, x);
+      num::Matrix layer_in = x;
+      for (std::size_t l = 0; l < L; ++l) {
+        sparsity_sum[l] += pruner_.prune(h_[l], pruned);
+        auto out = cells_[l]->forward(layer_in, pruned, c_[l], nullptr);
+        h_[l] = out.h;
+        c_[l] = std::move(out.c);
+        layer_in = std::move(out.h);
+      }
+      classifier_.forward(layer_in, logits);
+      const std::span<const num::Index> targets(
+          b.targets.data() + t * batch, static_cast<std::size_t>(batch));
+      nll_sum += num::softmax_xent(logits, targets, nullptr);
+      ++steps;
+    }
+  }
+  ZSS_ASSERT(steps > 0);
+  StackedEval eval;
+  eval.mean_nll = nll_sum / static_cast<double>(steps);
+  eval.bpc = num::bpc_from_nll(eval.mean_nll);
+  eval.layer_sparsity.resize(L);
+  for (std::size_t l = 0; l < L; ++l) {
+    eval.layer_sparsity[l] = sparsity_sum[l] / static_cast<double>(steps);
+  }
+  return eval;
+}
+
+void StackedPrunedLstmLm::collect_states(
+    std::span<const num::Index> stream, num::Index batch,
+    num::Index max_steps, std::span<sparse::SparsityMeter> meters) {
+  ZSS_EXPECTS(static_cast<num::Index>(meters.size()) == config_.layers);
+  data::LmBatcher batcher(stream, batch, /*seq_len=*/1);
+  reset_state(batch);
+  const num::Index steps = std::min(max_steps, batcher.num_windows());
+  const auto L = static_cast<std::size_t>(config_.layers);
+
+  num::Matrix x;
+  num::Matrix pruned;
+  for (num::Index t = 0; t < steps; ++t) {
+    const data::LmBatch b = batcher.window(t);
+    make_input(std::span<const num::Index>(b.inputs.data(),
+                                           static_cast<std::size_t>(batch)),
+               x);
+    num::Matrix layer_in = x;
+    for (std::size_t l = 0; l < L; ++l) {
+      pruner_.prune(h_[l], pruned);
+      auto out = cells_[l]->forward(layer_in, pruned, c_[l], nullptr);
+      h_[l] = out.h;
+      c_[l] = std::move(out.c);
+      layer_in = h_[l];
+      num::Matrix stored;
+      pruner_.prune(h_[l], stored);
+      meters[l].observe(stored);
+    }
+  }
+}
+
+std::vector<nn::Parameter*> StackedPrunedLstmLm::parameters() {
+  std::vector<nn::Parameter*> params;
+  for (auto& cell : cells_) {
+    for (auto* p : cell->parameters()) params.push_back(p);
+  }
+  for (auto* p : classifier_.parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace zss::core

@@ -1,0 +1,78 @@
+// Multi-layer pruned-state LSTM language model — an extension beyond the
+// paper's single-layer evaluation. Each layer's *recurrent* input is
+// pruned exactly as in Eq. (4)-(5); the feed-forward connection between
+// layers stays dense (with optional dropout), mirroring how stacked
+// LSTMs are normally regularized. Every layer's stored state is
+// skip-encodable, so the accelerator model applies per layer unchanged.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/state_pruner.h"
+#include "data/batcher.h"
+#include "nn/dropout.h"
+#include "nn/linear.h"
+#include "nn/lstm_cell.h"
+#include "nn/optimizer.h"
+#include "num/rng.h"
+#include "sparse/sparsity_report.h"
+
+namespace zss::core {
+
+struct StackedLmConfig {
+  num::Index vocab = 50;
+  num::Index layers = 2;
+  num::Index hidden = 64;
+  double inter_layer_dropout = 0.0;
+  PrunerConfig pruner;
+  std::uint64_t seed = 99;
+};
+
+struct StackedEval {
+  double mean_nll = 0.0;
+  double bpc = 0.0;
+  /// Mean pruned fraction per layer (size == layers).
+  std::vector<double> layer_sparsity;
+};
+
+class StackedPrunedLstmLm {
+ public:
+  explicit StackedPrunedLstmLm(const StackedLmConfig& config);
+
+  const StackedLmConfig& config() const { return config_; }
+
+  /// One BPTT window across all layers; returns mean NLL per token.
+  double train_window(const data::LmBatch& batch, nn::Optimizer& opt,
+                      float clip_norm);
+
+  StackedEval evaluate(std::span<const num::Index> stream, num::Index batch,
+                       num::Index seq_len);
+
+  /// Records every layer's stored (pruned) state; meters[i] receives
+  /// layer i's states. meters.size() must equal layers.
+  void collect_states(std::span<const num::Index> stream, num::Index batch,
+                      num::Index max_steps,
+                      std::span<sparse::SparsityMeter> meters);
+
+  std::vector<nn::Parameter*> parameters();
+
+  nn::LstmCell& cell(num::Index layer) { return *cells_[static_cast<std::size_t>(layer)]; }
+  void set_pruner(const PrunerConfig& config) { pruner_ = StatePruner(config); }
+
+  void reset_state(num::Index batch);
+
+ private:
+  void make_input(std::span<const num::Index> tokens, num::Matrix& x) const;
+
+  StackedLmConfig config_;
+  num::Rng rng_;
+  std::vector<std::unique_ptr<nn::LstmCell>> cells_;
+  nn::Linear classifier_;
+  StatePruner pruner_;
+
+  std::vector<num::Matrix> h_;  // per layer
+  std::vector<num::Matrix> c_;
+};
+
+}  // namespace zss::core

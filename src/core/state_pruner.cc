@@ -1,0 +1,80 @@
+#include "core/state_pruner.h"
+
+#include <cmath>
+
+#include "num/stats.h"
+
+namespace zss::core {
+
+StatePruner::StatePruner(const PrunerConfig& config) : config_(config) {
+  switch (config.mode) {
+    case PruneMode::kNone:
+      break;
+    case PruneMode::kFixedThreshold:
+      ZSS_EXPECTS(config.threshold >= 0.0f);
+      break;
+    case PruneMode::kTargetSparsity:
+      ZSS_EXPECTS(config.target_sparsity >= 0.0 &&
+                  config.target_sparsity <= 1.0);
+      break;
+  }
+}
+
+float StatePruner::effective_threshold(const num::Matrix& h) const {
+  switch (config_.mode) {
+    case PruneMode::kNone:
+      return 0.0f;
+    case PruneMode::kFixedThreshold:
+      return config_.threshold;
+    case PruneMode::kTargetSparsity:
+      if (h.size() == 0 || config_.target_sparsity == 0.0) return 0.0f;
+      // The q-quantile of |h| puts floor(q*n) elements strictly below T
+      // (Eq. 5 compares with strict <, so the quantile element survives).
+      return num::quantile_abs(h.flat(), config_.target_sparsity);
+  }
+  ZSS_ASSERT(false);
+  return 0.0f;
+}
+
+double StatePruner::prune(const num::Matrix& h, num::Matrix& pruned) const {
+  pruned.resize(h.rows(), h.cols());
+  if (!enabled()) {
+    auto src = h.flat();
+    auto dst = pruned.flat();
+    std::copy(src.begin(), src.end(), dst.begin());
+    return 0.0;
+  }
+  const float t = effective_threshold(h);
+  auto src = h.flat();
+  auto dst = pruned.flat();
+  num::Index zeros = 0;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (std::fabs(src[i]) < t) {
+      dst[i] = 0.0f;
+      ++zeros;
+    } else {
+      dst[i] = src[i];
+    }
+  }
+  return src.empty() ? 0.0
+                     : static_cast<double>(zeros) /
+                           static_cast<double>(src.size());
+}
+
+double StatePruner::prune_inplace(num::Matrix& h) const {
+  if (!enabled()) return 0.0;
+  const float t = effective_threshold(h);
+  auto v = h.flat();
+  num::Index zeros = 0;
+  for (float& x : v) {
+    if (std::fabs(x) < t) {
+      x = 0.0f;
+      ++zeros;
+    }
+  }
+  return v.empty()
+             ? 0.0
+             : static_cast<double>(zeros) / static_cast<double>(v.size());
+}
+
+}  // namespace zss::core

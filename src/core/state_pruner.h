@@ -1,0 +1,63 @@
+// Hidden-state pruning — the paper's core training idea (§II-A).
+//
+// Forward (Eq. 5):  h^p = 0 where |h| < T, else h.
+// Backward (Eq. 6): straight-through — dL/dh ≈ dL/dh^p, i.e. the dense
+// state keeps receiving gradient so elements initially under the
+// threshold can grow back (the BinaryConnect trick applied to states).
+//
+// The threshold T is empirical in the paper; sweeping it produces the
+// "sparsity degree" axis of Figs. 2-4. For controlled sweeps we also
+// provide a target-sparsity mode that derives T per step as the
+// q-quantile of |h| over the batch, which pins the achieved sparsity to
+// the x-axis value exactly.
+#pragma once
+
+#include "num/matrix.h"
+#include "num/types.h"
+
+namespace zss::core {
+
+enum class PruneMode {
+  kNone,            // identity (dense baseline)
+  kFixedThreshold,  // paper's Eq. 5 with a constant T
+  kTargetSparsity,  // T = quantile of |h| so a fixed fraction is zeroed
+};
+
+struct PrunerConfig {
+  PruneMode mode = PruneMode::kNone;
+  float threshold = 0.0f;        // used by kFixedThreshold
+  double target_sparsity = 0.0;  // used by kTargetSparsity, in [0, 1]
+
+  static PrunerConfig none() { return {}; }
+  static PrunerConfig fixed(float t) {
+    return {PruneMode::kFixedThreshold, t, 0.0};
+  }
+  static PrunerConfig target(double s) {
+    return {PruneMode::kTargetSparsity, 0.0f, s};
+  }
+};
+
+class StatePruner {
+ public:
+  explicit StatePruner(const PrunerConfig& config);
+
+  /// Writes the pruned state into `pruned` (resized to match). Returns
+  /// the fraction of elements zeroed this call.
+  double prune(const num::Matrix& h, num::Matrix& pruned) const;
+
+  /// In-place variant.
+  double prune_inplace(num::Matrix& h) const;
+
+  /// The threshold that would be applied to this state under the current
+  /// mode (exposed for tests and for exporting a trained model's
+  /// effective T to the accelerator).
+  float effective_threshold(const num::Matrix& h) const;
+
+  const PrunerConfig& config() const { return config_; }
+  bool enabled() const { return config_.mode != PruneMode::kNone; }
+
+ private:
+  PrunerConfig config_;
+};
+
+}  // namespace zss::core

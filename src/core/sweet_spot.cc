@@ -1,0 +1,34 @@
+#include "core/sweet_spot.h"
+
+#include <algorithm>
+
+#include "num/types.h"
+
+namespace zss::core {
+
+SweetSpot find_sweet_spot(std::span<const SweepPoint> points,
+                          double rel_tolerance) {
+  ZSS_EXPECTS(rel_tolerance >= 0.0);
+  SweetSpot spot;
+  if (points.empty()) return spot;
+
+  // Baseline = the lowest-sparsity point (ideally exactly dense).
+  const auto baseline = std::min_element(
+      points.begin(), points.end(),
+      [](const SweepPoint& a, const SweepPoint& b) {
+        return a.sparsity < b.sparsity;
+      });
+  const double budget = baseline->metric * (1.0 + rel_tolerance);
+
+  for (const SweepPoint& p : points) {
+    if (p.metric <= budget &&
+        (!spot.found || p.sparsity > spot.sparsity)) {
+      spot.sparsity = p.sparsity;
+      spot.metric = p.metric;
+      spot.found = true;
+    }
+  }
+  return spot;
+}
+
+}  // namespace zss::core

@@ -1,0 +1,31 @@
+// "Sweet spot" selection (Figs. 2-4): the highest sparsity degree whose
+// task metric is no worse than the dense baseline (plus a tolerance for
+// run-to-run noise). Lower metric is better for all three paper metrics
+// (BPC, PPW, MER).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "num/types.h"
+
+namespace zss::core {
+
+struct SweepPoint {
+  double sparsity = 0.0;  // requested sparsity degree, in [0, 1]
+  double metric = 0.0;    // BPC / PPW / MER — lower is better
+};
+
+struct SweetSpot {
+  double sparsity = 0.0;
+  double metric = 0.0;
+  bool found = false;
+};
+
+/// `points` must include a dense point (sparsity 0) used as the baseline;
+/// returns the highest-sparsity point with
+/// metric <= baseline * (1 + rel_tolerance).
+SweetSpot find_sweet_spot(std::span<const SweepPoint> points,
+                          double rel_tolerance = 0.02);
+
+}  // namespace zss::core

@@ -1,0 +1,27 @@
+// Umbrella header: the public API of the zss-lstm library.
+//
+// Quick tour:
+//   - core::PrunerConfig / core::StatePruner     — hidden-state pruning
+//   - core::PrunedLstmLm / PrunedLstmClassifier  — trainable task models
+//   - core::SparseLstmEngine                     — skip-aware inference
+//   - core::find_sweet_spot                      — sparsity selection
+//   - accel::Accelerator (accel/accelerator.h)   — cycle-level simulator
+//   - sparse::encode / decode                    — offset state encoding
+//   - data::CharCorpus / WordCorpus / GlyphImages— synthetic workloads
+#pragma once
+
+#include "core/classifier_model.h"
+#include "core/lm_model.h"
+#include "core/model_io.h"
+#include "core/sparse_inference.h"
+#include "core/state_pruner.h"
+#include "core/stacked_lstm.h"
+#include "core/sweet_spot.h"
+#include "data/batcher.h"
+#include "data/char_corpus.h"
+#include "data/glyph_images.h"
+#include "data/word_corpus.h"
+#include "nn/optimizer.h"
+#include "num/loss.h"
+#include "sparse/encoding.h"
+#include "sparse/sparsity_report.h"

@@ -1,0 +1,83 @@
+#include "data/batcher.h"
+
+#include <algorithm>
+
+namespace zss::data {
+
+LmBatcher::LmBatcher(std::span<const num::Index> stream, num::Index batch,
+                     num::Index seq_len)
+    : stream_(stream.begin(), stream.end()),
+      batch_(batch),
+      seq_len_(seq_len) {
+  ZSS_EXPECTS(batch > 0 && seq_len > 0);
+  ZSS_EXPECTS(static_cast<num::Index>(stream.size()) > batch * 2);
+  // Each lane gets a contiguous chunk; the last token of each lane is
+  // only ever a target, hence the -1.
+  lane_len_ = static_cast<num::Index>(stream_.size()) / batch_ - 1;
+  windows_ = lane_len_ / seq_len_;
+  ZSS_EXPECTS(windows_ > 0);
+}
+
+LmBatch LmBatcher::window(num::Index w) const {
+  ZSS_EXPECTS(w >= 0 && w < windows_);
+  LmBatch out;
+  out.seq_len = seq_len_;
+  out.batch = batch_;
+  out.first = (w == 0);
+  out.inputs.resize(static_cast<std::size_t>(seq_len_ * batch_));
+  out.targets.resize(static_cast<std::size_t>(seq_len_ * batch_));
+  const num::Index lane_stride = static_cast<num::Index>(stream_.size()) / batch_;
+  for (num::Index t = 0; t < seq_len_; ++t) {
+    for (num::Index b = 0; b < batch_; ++b) {
+      const num::Index pos = b * lane_stride + w * seq_len_ + t;
+      out.inputs[static_cast<std::size_t>(t * batch_ + b)] =
+          stream_[static_cast<std::size_t>(pos)];
+      out.targets[static_cast<std::size_t>(t * batch_ + b)] =
+          stream_[static_cast<std::size_t>(pos + 1)];
+    }
+  }
+  return out;
+}
+
+ImageBatcher::ImageBatcher(const num::Matrix& images,
+                           std::span<const num::Index> labels,
+                           num::Index batch)
+    : images_(&images),
+      labels_(labels.begin(), labels.end()),
+      batch_size_(batch) {
+  ZSS_EXPECTS(batch > 0);
+  ZSS_EXPECTS(images.rows() == static_cast<num::Index>(labels.size()));
+  ZSS_EXPECTS(images.rows() >= batch);
+  order_.resize(labels_.size());
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    order_[i] = static_cast<num::Index>(i);
+  }
+  batches_ = images.rows() / batch_size_;
+}
+
+void ImageBatcher::shuffle(num::Rng& rng) {
+  // Fisher-Yates with our deterministic engine.
+  for (num::Index i = static_cast<num::Index>(order_.size()) - 1; i > 0; --i) {
+    const num::Index j = rng.below(i + 1);
+    std::swap(order_[static_cast<std::size_t>(i)],
+              order_[static_cast<std::size_t>(j)]);
+  }
+}
+
+ImageBatch ImageBatcher::batch(num::Index b) const {
+  ZSS_EXPECTS(b >= 0 && b < batches_);
+  ImageBatch out;
+  out.images.resize(batch_size_, images_->cols());
+  out.labels.resize(static_cast<std::size_t>(batch_size_));
+  for (num::Index i = 0; i < batch_size_; ++i) {
+    const num::Index src = order_[static_cast<std::size_t>(b * batch_size_ + i)];
+    auto dst = out.images.row(i);
+    auto s = images_->row(src);
+    std::copy(s.begin(), s.end(), dst.begin());
+    out.labels[static_cast<std::size_t>(i)] =
+        labels_[static_cast<std::size_t>(src)];
+  }
+  return out;
+}
+
+}  // namespace zss::data

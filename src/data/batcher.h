@@ -1,0 +1,76 @@
+// Batch iteration for the two workload shapes:
+//  - LmBatcher: continuous BPTT batching for token streams (char/word LM),
+//    splitting the stream into `batch` parallel lanes and yielding
+//    (input, target) windows of `seq_len` steps, state carried across
+//    windows within an epoch exactly like the standard PTB recipe.
+//  - ImageBatcher: shuffled minibatches of (image, label) pairs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "num/matrix.h"
+#include "num/rng.h"
+#include "num/types.h"
+
+namespace zss::data {
+
+/// One BPTT window. Token layout is time-major: token at (t, lane b) is
+/// inputs[t * batch + b]; targets are the next tokens, same layout.
+struct LmBatch {
+  std::vector<num::Index> inputs;
+  std::vector<num::Index> targets;
+  num::Index seq_len = 0;
+  num::Index batch = 0;
+  /// True for the first window of an epoch (reset recurrent state).
+  bool first = false;
+};
+
+class LmBatcher {
+ public:
+  LmBatcher(std::span<const num::Index> stream, num::Index batch,
+            num::Index seq_len);
+
+  num::Index num_windows() const { return windows_; }
+  num::Index batch() const { return batch_; }
+  num::Index seq_len() const { return seq_len_; }
+
+  /// Window w of the epoch, w in [0, num_windows()).
+  LmBatch window(num::Index w) const;
+
+ private:
+  std::vector<num::Index> stream_;
+  num::Index batch_;
+  num::Index seq_len_;
+  num::Index lane_len_ = 0;  // tokens per lane usable as inputs
+  num::Index windows_ = 0;
+};
+
+/// One image minibatch: row i of `images` is a flattened image whose
+/// label is `labels[i]`.
+struct ImageBatch {
+  num::Matrix images;
+  std::vector<num::Index> labels;
+};
+
+class ImageBatcher {
+ public:
+  ImageBatcher(const num::Matrix& images, std::span<const num::Index> labels,
+               num::Index batch);
+
+  num::Index num_batches() const { return batches_; }
+
+  /// Reshuffles the order (call once per epoch for SGD).
+  void shuffle(num::Rng& rng);
+
+  ImageBatch batch(num::Index b) const;
+
+ private:
+  const num::Matrix* images_;
+  std::vector<num::Index> labels_;
+  std::vector<num::Index> order_;
+  num::Index batch_size_;
+  num::Index batches_;
+};
+
+}  // namespace zss::data

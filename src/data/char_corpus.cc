@@ -1,0 +1,129 @@
+#include "data/char_corpus.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zss::data {
+namespace {
+
+// Symbol table: 26 letters, space, period, comma, apostrophe, hyphen,
+// digits 0-9, and 10 extra marks to reach exactly 50 symbols like PTB.
+constexpr char kSymbols[CharCorpus::kVocab + 1] =
+    "abcdefghijklmnopqrstuvwxyz .,'-0123456789;:!?()\"/&";
+
+constexpr num::Index kSpace = 26;
+constexpr num::Index kPeriod = 27;
+constexpr num::Index kComma = 28;
+
+num::Index letter(char c) { return static_cast<num::Index>(c - 'a'); }
+
+/// Builds one synthetic word as alternating consonant-vowel syllables so
+/// that character transitions are predictable.
+std::vector<num::Index> make_word(num::Rng& rng) {
+  static constexpr char kConsonants[] = "bcdfghjklmnpqrstvwxz";
+  static constexpr char kVowels[] = "aeiouy";
+  const num::Index syllables = 1 + rng.below(3);
+  std::vector<num::Index> w;
+  for (num::Index s = 0; s < syllables; ++s) {
+    w.push_back(letter(kConsonants[rng.below(20)]));
+    w.push_back(letter(kVowels[rng.below(6)]));
+    if (rng.bernoulli(0.3)) w.push_back(letter(kConsonants[rng.below(20)]));
+  }
+  return w;
+}
+
+/// Zipf sampler over [0, n): P(k) proportional to 1/(k+1).
+class Zipf {
+ public:
+  explicit Zipf(num::Index n) : cdf_(static_cast<std::size_t>(n)) {
+    double acc = 0.0;
+    for (num::Index k = 0; k < n; ++k) {
+      acc += 1.0 / static_cast<double>(k + 1);
+      cdf_[static_cast<std::size_t>(k)] = acc;
+    }
+    for (auto& v : cdf_) v /= acc;
+  }
+
+  num::Index sample(num::Rng& rng) const {
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<num::Index>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+CharCorpus CharCorpus::generate(const CharCorpusConfig& config) {
+  ZSS_EXPECTS(config.train_chars > 0 && config.valid_chars > 0 &&
+              config.test_chars > 0);
+  ZSS_EXPECTS(config.lexicon_words >= 10);
+  ZSS_EXPECTS(config.successor_prob >= 0.0 && config.successor_prob <= 1.0);
+  num::Rng rng(config.seed);
+
+  // Fixed lexicon. Each word also gets a "successor bias": a preferred
+  // next word, giving the stream order-1 word structure on top of the
+  // intra-word syllable structure.
+  std::vector<std::vector<num::Index>> lexicon;
+  lexicon.reserve(static_cast<std::size_t>(config.lexicon_words));
+  for (num::Index i = 0; i < config.lexicon_words; ++i) {
+    lexicon.push_back(make_word(rng));
+  }
+  std::vector<num::Index> successor(lexicon.size());
+  for (auto& s : successor) s = rng.below(config.lexicon_words);
+
+  Zipf zipf(config.lexicon_words);
+
+  const num::Index total =
+      config.train_chars + config.valid_chars + config.test_chars;
+  std::vector<num::Index> stream;
+  stream.reserve(static_cast<std::size_t>(total) + 64);
+
+  num::Index word = zipf.sample(rng);
+  num::Index words_in_sentence = 0;
+  while (static_cast<num::Index>(stream.size()) < total) {
+    for (num::Index c : lexicon[static_cast<std::size_t>(word)]) {
+      stream.push_back(c);
+    }
+    ++words_in_sentence;
+    // Sentence boundary roughly every 8 words; comma sometimes.
+    if (words_in_sentence >= 8 && rng.bernoulli(0.4)) {
+      stream.push_back(kPeriod);
+      words_in_sentence = 0;
+    } else if (rng.bernoulli(0.06)) {
+      stream.push_back(kComma);
+    }
+    stream.push_back(kSpace);
+    // Follow the successor link with the configured probability
+    // (predictable), otherwise resample from the Zipf marginal.
+    word = rng.bernoulli(config.successor_prob)
+               ? successor[static_cast<std::size_t>(word)]
+               : zipf.sample(rng);
+  }
+  stream.resize(static_cast<std::size_t>(total));
+
+  CharCorpus corpus;
+  auto begin = stream.begin();
+  corpus.train_.assign(begin, begin + config.train_chars);
+  begin += config.train_chars;
+  corpus.valid_.assign(begin, begin + config.valid_chars);
+  begin += config.valid_chars;
+  corpus.test_.assign(begin, begin + config.test_chars);
+  return corpus;
+}
+
+char CharCorpus::symbol(num::Index id) const {
+  ZSS_EXPECTS(id >= 0 && id < kVocab);
+  return kSymbols[id];
+}
+
+std::string CharCorpus::to_text(const std::vector<num::Index>& ids) const {
+  std::string out;
+  out.reserve(ids.size());
+  for (num::Index id : ids) out.push_back(symbol(id));
+  return out;
+}
+
+}  // namespace zss::data

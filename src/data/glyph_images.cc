@@ -1,0 +1,165 @@
+#include "data/glyph_images.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace zss::data {
+namespace {
+
+struct Canvas {
+  num::Index side;
+  std::span<float> px;
+
+  void set(num::Index r, num::Index c, float v) {
+    if (r < 0 || r >= side || c < 0 || c >= side) return;
+    px[static_cast<std::size_t>(r * side + c)] =
+        std::clamp(px[static_cast<std::size_t>(r * side + c)] + v, 0.0f, 1.0f);
+  }
+
+  void hline(num::Index r, float v, num::Index thick) {
+    for (num::Index t = 0; t < thick; ++t) {
+      for (num::Index c = 0; c < side; ++c) set(r + t, c, v);
+    }
+  }
+
+  void vline(num::Index c, float v, num::Index thick) {
+    for (num::Index t = 0; t < thick; ++t) {
+      for (num::Index r = 0; r < side; ++r) set(r, c + t, v);
+    }
+  }
+
+  void diag(bool main, float v, num::Index thick) {
+    for (num::Index t = 0; t < thick; ++t) {
+      for (num::Index r = 0; r < side; ++r) {
+        const num::Index c = main ? r : side - 1 - r;
+        set(r, c + t, v);
+      }
+    }
+  }
+
+  void box(num::Index inset, float v, num::Index thick) {
+    for (num::Index t = 0; t < thick; ++t) {
+      const num::Index lo = inset + t;
+      const num::Index hi = side - 1 - inset - t;
+      for (num::Index c = lo; c <= hi; ++c) {
+        set(lo, c, v);
+        set(hi, c, v);
+      }
+      for (num::Index r = lo; r <= hi; ++r) {
+        set(r, lo, v);
+        set(r, hi, v);
+      }
+    }
+  }
+
+  void diamond(float v) {
+    const num::Index mid = side / 2;
+    for (num::Index r = 0; r < side; ++r) {
+      const num::Index d = std::abs(r - mid);
+      set(r, mid - (mid - d), v);
+      set(r, mid + (mid - d), v);
+    }
+  }
+};
+
+void draw_class(Canvas& canvas, num::Index cls, num::Index jitter,
+                num::Index thick, float amp) {
+  const num::Index mid = canvas.side / 2;
+  switch (cls) {
+    case 0:  // horizontal bar
+      canvas.hline(mid + jitter, amp, thick);
+      break;
+    case 1:  // vertical bar
+      canvas.vline(mid + jitter, amp, thick);
+      break;
+    case 2:  // main diagonal
+      canvas.diag(true, amp, thick);
+      break;
+    case 3:  // anti-diagonal
+      canvas.diag(false, amp, thick);
+      break;
+    case 4:  // plus
+      canvas.hline(mid + jitter, amp, thick);
+      canvas.vline(mid + jitter, amp, thick);
+      break;
+    case 5:  // X
+      canvas.diag(true, amp, thick);
+      canvas.diag(false, amp, thick);
+      break;
+    case 6:  // box outline
+      canvas.box(2 + (jitter >= 0 ? jitter : -jitter), amp, thick);
+      break;
+    case 7:  // T: top bar + center column
+      canvas.hline(1 + (jitter >= 0 ? jitter : -jitter), amp, thick);
+      canvas.vline(mid, amp, thick);
+      break;
+    case 8:  // L: bottom bar + left column
+      canvas.hline(canvas.side - 2 - (jitter >= 0 ? jitter : -jitter), amp,
+                   thick);
+      canvas.vline(1 + (jitter >= 0 ? jitter : -jitter), amp, thick);
+      break;
+    case 9:  // diamond
+      canvas.diamond(amp);
+      break;
+    default:
+      ZSS_ASSERT(false);
+  }
+}
+
+void fill_split(num::Matrix& images, std::vector<num::Index>& labels,
+                num::Index count, const GlyphConfig& config, num::Rng& rng) {
+  images.resize(count, config.side * config.side, 0.0f);
+  labels.resize(static_cast<std::size_t>(count));
+  const auto max_jitter = static_cast<num::Index>(
+      config.jitter_fraction * static_cast<double>(config.side));
+  for (num::Index i = 0; i < count; ++i) {
+    const num::Index cls = i % GlyphImages::kClasses;
+    labels[static_cast<std::size_t>(i)] = cls;
+    Canvas canvas{config.side, images.row(i)};
+    const num::Index jitter =
+        max_jitter > 0 ? rng.below(2 * max_jitter + 1) - max_jitter : 0;
+    const num::Index thick = 1 + rng.below(2);
+    const auto amp = static_cast<float>(rng.uniform(0.7, 1.0));
+    draw_class(canvas, cls, jitter, thick, amp);
+    if (config.noise_stddev > 0.0) {
+      for (float& p : images.row(i)) {
+        p = std::clamp(
+            p + static_cast<float>(rng.normal(0.0, config.noise_stddev)),
+            0.0f, 1.0f);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+GlyphImages GlyphImages::generate(const GlyphConfig& config) {
+  ZSS_EXPECTS(config.side >= 8);
+  ZSS_EXPECTS(config.train_count >= kClasses && config.test_count >= kClasses);
+  num::Rng rng(config.seed);
+  GlyphImages out;
+  out.side_ = config.side;
+  fill_split(out.train_images_, out.train_labels_, config.train_count, config,
+             rng);
+  fill_split(out.test_images_, out.test_labels_, config.test_count, config,
+             rng);
+  return out;
+}
+
+std::string GlyphImages::render(std::span<const float> image) const {
+  static constexpr char kShades[] = " .:-=+*#%@";
+  std::string s;
+  s.reserve(static_cast<std::size_t>((side_ + 1) * side_));
+  for (num::Index r = 0; r < side_; ++r) {
+    for (num::Index c = 0; c < side_; ++c) {
+      const float v = image[static_cast<std::size_t>(r * side_ + c)];
+      const auto shade = static_cast<num::Index>(v * 9.99f);
+      s.push_back(kShades[std::clamp<num::Index>(shade, 0, 9)]);
+    }
+    s.push_back('\n');
+  }
+  return s;
+}
+
+}  // namespace zss::data

@@ -1,0 +1,55 @@
+// Synthetic grayscale image set (sequential-MNIST stand-in).
+//
+// The paper's third task feeds MNIST pixels to the LSTM one per timestep
+// in scanline order (Fig. 4). MNIST itself is unavailable offline, so we
+// render ten procedurally generated glyph classes (bars, crosses, boxes,
+// diagonals, ...) with positional jitter, thickness variation and noise.
+// The classes are separable from a scanline stream but not trivially so,
+// which is all the misclassification-vs-sparsity sweep requires.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "num/matrix.h"
+#include "num/rng.h"
+#include "num/types.h"
+
+namespace zss::data {
+
+struct GlyphConfig {
+  num::Index side = 16;       // image is side x side pixels
+  num::Index train_count = 2'000;
+  num::Index test_count = 500;
+  double noise_stddev = 0.08;
+  double jitter_fraction = 0.15;  // max offset as a fraction of side
+  std::uint64_t seed = 3;
+};
+
+class GlyphImages {
+ public:
+  static constexpr num::Index kClasses = 10;
+
+  static GlyphImages generate(const GlyphConfig& config);
+
+  /// Row i = image i flattened in scanline order, values in [0, 1].
+  const num::Matrix& train_images() const { return train_images_; }
+  const std::vector<num::Index>& train_labels() const { return train_labels_; }
+  const num::Matrix& test_images() const { return test_images_; }
+  const std::vector<num::Index>& test_labels() const { return test_labels_; }
+
+  num::Index side() const { return side_; }
+  num::Index pixels() const { return side_ * side_; }
+
+  /// ASCII rendering of one image row (debug / example output).
+  std::string render(std::span<const float> image) const;
+
+ private:
+  num::Index side_ = 0;
+  num::Matrix train_images_;
+  std::vector<num::Index> train_labels_;
+  num::Matrix test_images_;
+  std::vector<num::Index> test_labels_;
+};
+
+}  // namespace zss::data

@@ -1,0 +1,74 @@
+#include "data/word_corpus.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zss::data {
+namespace {
+
+/// Alias-free Zipf CDF sampler over word ranks.
+class ZipfCdf {
+ public:
+  ZipfCdf(num::Index n, double exponent) : cdf_(static_cast<std::size_t>(n)) {
+    double acc = 0.0;
+    for (num::Index k = 0; k < n; ++k) {
+      acc += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+      cdf_[static_cast<std::size_t>(k)] = acc;
+    }
+    for (auto& v : cdf_) v /= acc;
+  }
+
+  num::Index sample(num::Rng& rng) const {
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<num::Index>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+WordCorpus WordCorpus::generate(const WordCorpusConfig& config) {
+  ZSS_EXPECTS(config.vocab_size >= 100);
+  ZSS_EXPECTS(config.topics >= 2 && config.topics <= config.vocab_size);
+  ZSS_EXPECTS(config.topic_stickiness > 0.0 && config.topic_stickiness < 1.0);
+  num::Rng rng(config.seed);
+
+  // Partition the vocabulary across topics: word w belongs to topic
+  // w % topics, so each topic owns ~vocab/topics words. Within a topic,
+  // ranks follow Zipf over the topic's own words.
+  const num::Index per_topic = config.vocab_size / config.topics;
+  ZipfCdf zipf(per_topic, 1.05);
+
+  const num::Index total =
+      config.train_tokens + config.valid_tokens + config.test_tokens;
+  std::vector<num::Index> stream;
+  stream.reserve(static_cast<std::size_t>(total));
+
+  num::Index topic = rng.below(config.topics);
+  for (num::Index t = 0; t < total; ++t) {
+    if (!rng.bernoulli(config.topic_stickiness)) {
+      // Topic transition favours the "next" topic, giving the chain
+      // longer-range structure than a uniform jump.
+      topic = rng.bernoulli(0.6) ? (topic + 1) % config.topics
+                                 : rng.below(config.topics);
+    }
+    const num::Index rank = zipf.sample(rng);
+    const num::Index word = rank * config.topics + topic;
+    stream.push_back(std::min(word, config.vocab_size - 1));
+  }
+
+  WordCorpus corpus;
+  corpus.vocab_size_ = config.vocab_size;
+  auto begin = stream.begin();
+  corpus.train_.assign(begin, begin + config.train_tokens);
+  begin += config.train_tokens;
+  corpus.valid_.assign(begin, begin + config.valid_tokens);
+  begin += config.valid_tokens;
+  corpus.test_.assign(begin, begin + config.test_tokens);
+  return corpus;
+}
+
+}  // namespace zss::data

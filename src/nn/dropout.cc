@@ -1,0 +1,27 @@
+#include "nn/dropout.h"
+
+namespace zss::nn {
+
+void Dropout::forward(num::Matrix& x, bool training, num::Rng& rng) {
+  active_ = training && drop_prob_ > 0.0;
+  if (!active_) return;
+  mask_.resize(x.rows(), x.cols());
+  const float keep_scale = 1.0f / static_cast<float>(1.0 - drop_prob_);
+  auto xm = x.flat();
+  auto mm = mask_.flat();
+  for (std::size_t i = 0; i < xm.size(); ++i) {
+    const float m = rng.bernoulli(drop_prob_) ? 0.0f : keep_scale;
+    mm[i] = m;
+    xm[i] *= m;
+  }
+}
+
+void Dropout::backward(num::Matrix& dx) const {
+  if (!active_) return;
+  ZSS_EXPECTS(dx.same_shape(mask_));
+  auto dm = dx.flat();
+  auto mm = mask_.flat();
+  for (std::size_t i = 0; i < dm.size(); ++i) dm[i] *= mm[i];
+}
+
+}  // namespace zss::nn

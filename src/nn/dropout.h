@@ -1,0 +1,33 @@
+// Inverted dropout, applied to non-recurrent connections only (the paper
+// follows Zaremba et al. for the word model: dropout 0.5 between the LSTM
+// output and the classifier).
+#pragma once
+
+#include "num/matrix.h"
+#include "num/rng.h"
+
+namespace zss::nn {
+
+class Dropout {
+ public:
+  explicit Dropout(double drop_prob) : drop_prob_(drop_prob) {
+    ZSS_EXPECTS(drop_prob >= 0.0 && drop_prob < 1.0);
+  }
+
+  /// Applies a fresh mask in place during training; identity when
+  /// `training` is false or the rate is zero. The mask is retained for
+  /// the matching backward call.
+  void forward(num::Matrix& x, bool training, num::Rng& rng);
+
+  /// Applies the retained mask to the gradient.
+  void backward(num::Matrix& dx) const;
+
+  double rate() const { return drop_prob_; }
+
+ private:
+  double drop_prob_;
+  num::Matrix mask_;
+  bool active_ = false;
+};
+
+}  // namespace zss::nn

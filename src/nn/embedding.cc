@@ -1,0 +1,37 @@
+#include "nn/embedding.h"
+
+#include <algorithm>
+
+#include "nn/init.h"
+
+namespace zss::nn {
+
+Embedding::Embedding(num::Index vocab, num::Index dim, num::Rng& rng)
+    : table_("embedding.table", vocab, dim) {
+  ZSS_EXPECTS(vocab > 0 && dim > 0);
+  uniform_init(table_.value, 0.1f, rng);
+}
+
+void Embedding::forward(std::span<const num::Index> ids,
+                        num::Matrix& out) const {
+  out.resize(static_cast<num::Index>(ids.size()), dim());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ZSS_EXPECTS(ids[i] >= 0 && ids[i] < vocab());
+    auto src = table_.value.row(ids[i]);
+    auto dst = out.row(static_cast<num::Index>(i));
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+}
+
+void Embedding::backward(std::span<const num::Index> ids,
+                         const num::Matrix& dout) {
+  ZSS_EXPECTS(dout.rows() == static_cast<num::Index>(ids.size()));
+  ZSS_EXPECTS(dout.cols() == dim());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    auto g = table_.grad.row(ids[i]);
+    auto d = dout.row(static_cast<num::Index>(i));
+    for (std::size_t j = 0; j < g.size(); ++j) g[j] += d[j];
+  }
+}
+
+}  // namespace zss::nn

@@ -1,0 +1,34 @@
+// Token embedding layer (used by the word-level model, §II-B.2: "an
+// embedding layer of size 300 to reduce the dimension of the input").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "num/rng.h"
+
+namespace zss::nn {
+
+class Embedding {
+ public:
+  Embedding(num::Index vocab, num::Index dim, num::Rng& rng);
+
+  num::Index vocab() const { return table_.value.rows(); }
+  num::Index dim() const { return table_.value.cols(); }
+
+  /// Gathers rows: out(i, :) = table[ids[i]].
+  void forward(std::span<const num::Index> ids, num::Matrix& out) const;
+
+  /// Scatter-adds dout rows into the table gradient.
+  void backward(std::span<const num::Index> ids, const num::Matrix& dout);
+
+  std::vector<Parameter*> parameters() { return {&table_}; }
+  Parameter& table() { return table_; }
+  const Parameter& table() const { return table_; }
+
+ private:
+  Parameter table_;  // (vocab x dim)
+};
+
+}  // namespace zss::nn

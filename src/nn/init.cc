@@ -1,0 +1,32 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace zss::nn {
+
+void xavier_uniform(num::Matrix& w, num::Index fan_in, num::Index fan_out,
+                    num::Rng& rng) {
+  ZSS_EXPECTS(fan_in > 0 && fan_out > 0);
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  uniform_init(w, limit, rng);
+}
+
+void uniform_init(num::Matrix& w, float limit, num::Rng& rng) {
+  ZSS_EXPECTS(limit >= 0.0f);
+  for (float& v : w.flat()) {
+    v = static_cast<float>(rng.uniform(-limit, limit));
+  }
+}
+
+void lstm_bias_init(num::Matrix& b, num::Index hidden, float forget_bias) {
+  ZSS_EXPECTS(b.size() == 4 * hidden);
+  b.fill(0.0f);
+  // Gate order is f, i, o, g (paper Eq. 1): forget block is the first.
+  auto flat = b.flat();
+  for (num::Index j = 0; j < hidden; ++j) {
+    flat[static_cast<std::size_t>(j)] = forget_bias;
+  }
+}
+
+}  // namespace zss::nn

@@ -1,0 +1,20 @@
+// Weight initialization schemes.
+#pragma once
+
+#include "num/matrix.h"
+#include "num/rng.h"
+
+namespace zss::nn {
+
+/// Glorot/Xavier uniform: U(-limit, limit), limit = sqrt(6/(fan_in+fan_out)).
+void xavier_uniform(num::Matrix& w, num::Index fan_in, num::Index fan_out,
+                    num::Rng& rng);
+
+/// Uniform in [-limit, limit].
+void uniform_init(num::Matrix& w, float limit, num::Rng& rng);
+
+/// LSTM-style init: Xavier for all gate blocks plus a positive forget-gate
+/// bias (standard practice to let gradients flow early in training).
+void lstm_bias_init(num::Matrix& b, num::Index hidden, float forget_bias);
+
+}  // namespace zss::nn

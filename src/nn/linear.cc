@@ -1,0 +1,35 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+#include "num/kernels.h"
+
+namespace zss::nn {
+
+Linear::Linear(num::Index in_dim, num::Index out_dim, num::Rng& rng)
+    : w_("linear.w", out_dim, in_dim), b_("linear.b", 1, out_dim) {
+  ZSS_EXPECTS(in_dim > 0 && out_dim > 0);
+  xavier_uniform(w_.value, in_dim, out_dim, rng);
+  b_.value.fill(0.0f);
+}
+
+void Linear::forward(const num::Matrix& x, num::Matrix& y) const {
+  ZSS_EXPECTS(x.cols() == in_dim());
+  num::gemm_a_bt(x, w_.value, y);
+  num::add_bias_rows(y, b_.value.flat());
+}
+
+void Linear::backward(const num::Matrix& x, const num::Matrix& dy,
+                      num::Matrix& dx) {
+  ZSS_EXPECTS(x.cols() == in_dim());
+  ZSS_EXPECTS(dy.cols() == out_dim());
+  ZSS_EXPECTS(dy.rows() == x.rows());
+  num::gemm_at_b_accum(dy, x, w_.grad);
+  auto bgrad = b_.grad.flat();
+  for (num::Index r = 0; r < dy.rows(); ++r) {
+    auto row = dy.row(r);
+    for (std::size_t j = 0; j < row.size(); ++j) bgrad[j] += row[j];
+  }
+  num::gemm(dy, w_.value, dx);
+}
+
+}  // namespace zss::nn

@@ -1,0 +1,36 @@
+// Fully connected layer: Y = X W^T + b (the "classifier" on top of the
+// LSTM in all three tasks).
+#pragma once
+
+#include <vector>
+
+#include "nn/parameter.h"
+#include "num/rng.h"
+
+namespace zss::nn {
+
+class Linear {
+ public:
+  Linear(num::Index in_dim, num::Index out_dim, num::Rng& rng);
+
+  num::Index in_dim() const { return w_.value.cols(); }
+  num::Index out_dim() const { return w_.value.rows(); }
+
+  void forward(const num::Matrix& x, num::Matrix& y) const;
+
+  /// Accumulates dW, db and returns dX.
+  void backward(const num::Matrix& x, const num::Matrix& dy,
+                num::Matrix& dx);
+
+  std::vector<Parameter*> parameters() { return {&w_, &b_}; }
+  Parameter& weight() { return w_; }
+  Parameter& bias() { return b_; }
+  const Parameter& weight() const { return w_; }
+  const Parameter& bias() const { return b_; }
+
+ private:
+  Parameter w_;  // (out x in)
+  Parameter b_;  // (1 x out)
+};
+
+}  // namespace zss::nn

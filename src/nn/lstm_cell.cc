@@ -1,0 +1,155 @@
+#include "nn/lstm_cell.h"
+
+#include "nn/init.h"
+#include "num/activations.h"
+#include "num/kernels.h"
+
+namespace zss::nn {
+
+LstmCell::LstmCell(num::Index input_dim, num::Index hidden_dim, num::Rng& rng,
+                   float forget_bias)
+    : dx_(input_dim),
+      dh_(hidden_dim),
+      wx_("lstm.wx", 4 * hidden_dim, input_dim),
+      wh_("lstm.wh", 4 * hidden_dim, hidden_dim),
+      b_("lstm.b", 1, 4 * hidden_dim) {
+  ZSS_EXPECTS(input_dim > 0 && hidden_dim > 0);
+  xavier_uniform(wx_.value, input_dim, hidden_dim, rng);
+  xavier_uniform(wh_.value, hidden_dim, hidden_dim, rng);
+  lstm_bias_init(b_.value, hidden_dim, forget_bias);
+}
+
+LstmStepOutput LstmCell::forward(const num::Matrix& x,
+                                 const num::Matrix& h_prev,
+                                 const num::Matrix& c_prev,
+                                 LstmStepCache* cache) const {
+  const num::Index batch = x.rows();
+  ZSS_EXPECTS(x.cols() == dx_);
+  ZSS_EXPECTS(h_prev.rows() == batch && h_prev.cols() == dh_);
+  ZSS_EXPECTS(c_prev.rows() == batch && c_prev.cols() == dh_);
+
+  // Pre-activations: (B x 4dh) = x Wx^T + h_prev Wh^T + b.
+  num::Matrix pre;
+  num::gemm_a_bt(x, wx_.value, pre);
+  num::Matrix pre_h;
+  num::gemm_a_bt(h_prev, wh_.value, pre_h);
+  for (std::size_t i = 0; i < pre.flat().size(); ++i) {
+    pre.flat()[i] += pre_h.flat()[i];
+  }
+  num::add_bias_rows(pre, b_.value.flat());
+
+  // Activate in place: blocks [f, i, o] -> sigmoid, [g] -> tanh.
+  for (num::Index r = 0; r < batch; ++r) {
+    auto row = pre.row(r);
+    for (num::Index j = 0; j < 3 * dh_; ++j) {
+      row[static_cast<std::size_t>(j)] =
+          num::sigmoid(row[static_cast<std::size_t>(j)]);
+    }
+    for (num::Index j = 3 * dh_; j < 4 * dh_; ++j) {
+      row[static_cast<std::size_t>(j)] =
+          num::tanh_act(row[static_cast<std::size_t>(j)]);
+    }
+  }
+
+  LstmStepOutput out;
+  out.c.resize(batch, dh_);
+  out.h.resize(batch, dh_);
+  num::Matrix tanh_c(batch, dh_);
+  for (num::Index r = 0; r < batch; ++r) {
+    auto gates = pre.row(r);
+    auto cp = c_prev.row(r);
+    auto c = out.c.row(r);
+    auto h = out.h.row(r);
+    auto tc = tanh_c.row(r);
+    for (num::Index j = 0; j < dh_; ++j) {
+      const float f = gates[static_cast<std::size_t>(j)];
+      const float i = gates[static_cast<std::size_t>(dh_ + j)];
+      const float o = gates[static_cast<std::size_t>(2 * dh_ + j)];
+      const float g = gates[static_cast<std::size_t>(3 * dh_ + j)];
+      const float cj = f * cp[static_cast<std::size_t>(j)] + i * g;
+      c[static_cast<std::size_t>(j)] = cj;
+      const float t = num::tanh_act(cj);
+      tc[static_cast<std::size_t>(j)] = t;
+      h[static_cast<std::size_t>(j)] = o * t;
+    }
+  }
+
+  if (cache != nullptr) {
+    cache->x = x;
+    cache->h_prev = h_prev;
+    cache->c_prev = c_prev;
+    cache->gates = std::move(pre);
+    cache->c = out.c;
+    cache->tanh_c = std::move(tanh_c);
+  }
+  return out;
+}
+
+LstmStepGrads LstmCell::backward(const LstmStepCache& cache,
+                                 const num::Matrix& dh,
+                                 const num::Matrix& dc) {
+  const num::Index batch = cache.x.rows();
+  ZSS_EXPECTS(dh.rows() == batch && dh.cols() == dh_);
+  ZSS_EXPECTS(dc.rows() == batch && dc.cols() == dh_);
+
+  // Gradient on pre-activations, packed (B x 4dh) in [f, i, o, g] order.
+  num::Matrix dpre(batch, 4 * dh_);
+  LstmStepGrads grads;
+  grads.dc_prev.resize(batch, dh_);
+
+  for (num::Index r = 0; r < batch; ++r) {
+    auto gates = cache.gates.row(r);
+    auto cp = cache.c_prev.row(r);
+    auto tc = cache.tanh_c.row(r);
+    auto dh_row = dh.row(r);
+    auto dc_row = dc.row(r);
+    auto dpre_row = dpre.row(r);
+    auto dcp = grads.dc_prev.row(r);
+    for (num::Index j = 0; j < dh_; ++j) {
+      const float f = gates[static_cast<std::size_t>(j)];
+      const float i = gates[static_cast<std::size_t>(dh_ + j)];
+      const float o = gates[static_cast<std::size_t>(2 * dh_ + j)];
+      const float g = gates[static_cast<std::size_t>(3 * dh_ + j)];
+      const float t = tc[static_cast<std::size_t>(j)];
+
+      // h = o * tanh(c): gradient into o and into c (through tanh),
+      // plus the incoming dc from the step after this one.
+      const float dhj = dh_row[static_cast<std::size_t>(j)];
+      const float dcj = dhj * o * num::dtanh_from_y(t) +
+                        dc_row[static_cast<std::size_t>(j)];
+
+      dpre_row[static_cast<std::size_t>(j)] =
+          dcj * cp[static_cast<std::size_t>(j)] * num::dsigmoid_from_y(f);
+      dpre_row[static_cast<std::size_t>(dh_ + j)] =
+          dcj * g * num::dsigmoid_from_y(i);
+      dpre_row[static_cast<std::size_t>(2 * dh_ + j)] =
+          dhj * t * num::dsigmoid_from_y(o);
+      dpre_row[static_cast<std::size_t>(3 * dh_ + j)] =
+          dcj * i * num::dtanh_from_y(g);
+      dcp[static_cast<std::size_t>(j)] = dcj * f;
+    }
+  }
+
+  // Parameter gradients: dWx += dpre^T x, dWh += dpre^T h_prev,
+  // db += column sums of dpre.
+  num::gemm_at_b_accum(dpre, cache.x, wx_.grad);
+  num::gemm_at_b_accum(dpre, cache.h_prev, wh_.grad);
+  auto bgrad = b_.grad.flat();
+  for (num::Index r = 0; r < batch; ++r) {
+    auto row = dpre.row(r);
+    for (num::Index j = 0; j < 4 * dh_; ++j) {
+      bgrad[static_cast<std::size_t>(j)] += row[static_cast<std::size_t>(j)];
+    }
+  }
+
+  // Input gradients: dx = dpre Wx, dh_prev = dpre Wh.
+  num::gemm(dpre, wx_.value, grads.dx);
+  num::gemm(dpre, wh_.value, grads.dh_prev);
+  return grads;
+}
+
+std::vector<Parameter*> LstmCell::parameters() {
+  return {&wx_, &wh_, &b_};
+}
+
+}  // namespace zss::nn

@@ -1,0 +1,65 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "num/kernels.h"
+
+namespace zss::nn {
+
+float clip_grad_norm(std::span<Parameter* const> params, float max_norm) {
+  ZSS_EXPECTS(max_norm > 0.0f);
+  float sq = 0.0f;
+  for (const Parameter* p : params) sq += num::squared_norm(p->grad.flat());
+  const float norm = std::sqrt(sq);
+  if (norm > max_norm) {
+    const float s = max_norm / norm;
+    for (Parameter* p : params) num::scale(p->grad.flat(), s);
+  }
+  return norm;
+}
+
+void Sgd::step(std::span<Parameter* const> params) {
+  for (Parameter* p : params) {
+    num::axpy(-lr_, p->grad.flat(), p->value.flat());
+  }
+}
+
+Adam::Adam(float lr, float beta1, float beta2, float eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  ZSS_EXPECTS(lr > 0.0f);
+  ZSS_EXPECTS(beta1 >= 0.0f && beta1 < 1.0f);
+  ZSS_EXPECTS(beta2 >= 0.0f && beta2 < 1.0f);
+}
+
+void Adam::step(std::span<Parameter* const> params) {
+  if (slots_.empty()) {
+    slots_.resize(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      slots_[i].m.resize(params[i]->value.rows(), params[i]->value.cols());
+      slots_[i].v.resize(params[i]->value.rows(), params[i]->value.cols());
+    }
+  }
+  ZSS_EXPECTS(slots_.size() == params.size());
+
+  ++step_count_;
+  const float bc1 =
+      1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bc2 =
+      1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  const float alpha = lr_ * std::sqrt(bc2) / bc1;
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    ZSS_EXPECTS(params[i]->value.same_shape(slots_[i].m));
+    auto val = params[i]->value.flat();
+    auto grad = params[i]->grad.flat();
+    auto m = slots_[i].m.flat();
+    auto v = slots_[i].v.flat();
+    for (std::size_t j = 0; j < val.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad[j] * grad[j];
+      val[j] -= alpha * m[j] / (std::sqrt(v[j]) + eps_);
+    }
+  }
+}
+
+}  // namespace zss::nn

@@ -1,0 +1,73 @@
+// Optimizers used by the paper's three recipes:
+//   - char-LM:  ADAM, lr 2e-3            (§II-B.1)
+//   - word-LM:  SGD, lr 1, decay 1.2, gradient-norm clip 5   (§II-B.2)
+//   - MNIST:    ADAM, lr 1e-3            (§II-B.3)
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace zss::nn {
+
+/// Scales all gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+float clip_grad_norm(std::span<Parameter* const> params, float max_norm);
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the parameters' current gradients.
+  virtual void step(std::span<Parameter* const> params) = 0;
+
+  virtual void set_learning_rate(float lr) = 0;
+  virtual float learning_rate() const = 0;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(float lr) : lr_(lr) { ZSS_EXPECTS(lr > 0.0f); }
+
+  void step(std::span<Parameter* const> params) override;
+  void set_learning_rate(float lr) override { lr_ = lr; }
+  float learning_rate() const override { return lr_; }
+
+  /// Divides the learning rate by `factor` (the paper's "learning decay
+  /// factor of 1.2" schedule for the word model).
+  void decay(float factor) {
+    ZSS_EXPECTS(factor > 0.0f);
+    lr_ /= factor;
+  }
+
+ private:
+  float lr_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-8f);
+
+  void step(std::span<Parameter* const> params) override;
+  void set_learning_rate(float lr) override { lr_ = lr; }
+  float learning_rate() const override { return lr_; }
+
+ private:
+  struct Moments {
+    num::Matrix m;
+    num::Matrix v;
+  };
+
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  long step_count_ = 0;
+  // Slot i holds moments for the i-th parameter of the step() list; the
+  // list must be stable across calls (same layers, same order).
+  std::vector<Moments> slots_;
+};
+
+}  // namespace zss::nn

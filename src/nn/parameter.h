@@ -1,0 +1,41 @@
+// Trainable parameter: a dense value matrix with a gradient of the same
+// shape. Layers expose their parameters as a flat list so optimizers and
+// serialization never need to know layer internals.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "num/matrix.h"
+#include "num/types.h"
+
+namespace zss::nn {
+
+struct Parameter {
+  std::string name;
+  num::Matrix value;
+  num::Matrix grad;
+
+  Parameter() = default;
+  Parameter(std::string n, num::Index rows, num::Index cols)
+      : name(std::move(n)), value(rows, cols), grad(rows, cols) {}
+
+  void zero_grad() { grad.fill(0.0f); }
+
+  num::Index numel() const { return value.size(); }
+};
+
+/// Zeroes every gradient in the list.
+inline void zero_grads(std::span<Parameter* const> params) {
+  for (Parameter* p : params) p->zero_grad();
+}
+
+/// Total number of scalars across parameters.
+inline num::Index total_numel(std::span<Parameter* const> params) {
+  num::Index n = 0;
+  for (const Parameter* p : params) n += p->numel();
+  return n;
+}
+
+}  // namespace zss::nn

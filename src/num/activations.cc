@@ -1,0 +1,35 @@
+#include "num/activations.h"
+
+#include <algorithm>
+
+namespace zss::num {
+
+void softmax(std::span<float> logits) {
+  ZSS_EXPECTS(!logits.empty());
+  const float mx = *std::max_element(logits.begin(), logits.end());
+  float sum = 0.0f;
+  for (float& v : logits) {
+    v = std::exp(v - mx);
+    sum += v;
+  }
+  ZSS_ASSERT(sum > 0.0f);
+  for (float& v : logits) v /= sum;
+}
+
+void log_softmax(std::span<const float> logits, std::span<float> out) {
+  ZSS_EXPECTS(logits.size() == out.size());
+  ZSS_EXPECTS(!logits.empty());
+  const float mx = *std::max_element(logits.begin(), logits.end());
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < logits.size(); ++i) sum += std::exp(logits[i] - mx);
+  const float lse = mx + std::log(sum);
+  for (std::size_t i = 0; i < logits.size(); ++i) out[i] = logits[i] - lse;
+}
+
+Index argmax(std::span<const float> v) {
+  ZSS_EXPECTS(!v.empty());
+  return static_cast<Index>(
+      std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+}  // namespace zss::num

@@ -1,0 +1,28 @@
+// Scalar and vector activation functions plus numerically stable softmax.
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "num/types.h"
+
+namespace zss::num {
+
+inline float sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+inline float dsigmoid_from_y(float y) { return y * (1.0f - y); }
+
+inline float tanh_act(float x) { return std::tanh(x); }
+
+inline float dtanh_from_y(float y) { return 1.0f - y * y; }
+
+/// In-place stable softmax over `logits`.
+void softmax(std::span<float> logits);
+
+/// Writes log-softmax of `logits` into `out` (may alias `logits`).
+void log_softmax(std::span<const float> logits, std::span<float> out);
+
+/// Index of the maximum element. Requires a non-empty span.
+Index argmax(std::span<const float> v);
+
+}  // namespace zss::num

@@ -1,0 +1,145 @@
+#include "num/kernels.h"
+
+#include <cmath>
+
+namespace zss::num {
+
+void gemv(const Matrix& w, std::span<const float> x, std::span<float> y) {
+  ZSS_EXPECTS(w.cols() == static_cast<Index>(x.size()));
+  ZSS_EXPECTS(w.rows() == static_cast<Index>(y.size()));
+  const Index m = w.rows();
+  const Index n = w.cols();
+  const float* wp = w.data();
+  for (Index i = 0; i < m; ++i) {
+    float acc = 0.0f;
+    const float* row = wp + i * n;
+    for (Index j = 0; j < n; ++j) acc += row[j] * x[static_cast<std::size_t>(j)];
+    y[static_cast<std::size_t>(i)] = acc;
+  }
+}
+
+void gemv_accum(const Matrix& w, std::span<const float> x,
+                std::span<float> y) {
+  ZSS_EXPECTS(w.cols() == static_cast<Index>(x.size()));
+  ZSS_EXPECTS(w.rows() == static_cast<Index>(y.size()));
+  const Index m = w.rows();
+  const Index n = w.cols();
+  const float* wp = w.data();
+  for (Index i = 0; i < m; ++i) {
+    float acc = y[static_cast<std::size_t>(i)];
+    const float* row = wp + i * n;
+    for (Index j = 0; j < n; ++j) acc += row[j] * x[static_cast<std::size_t>(j)];
+    y[static_cast<std::size_t>(i)] = acc;
+  }
+}
+
+void axpy_col(const Matrix& w, Index col, float scale, std::span<float> y) {
+  ZSS_EXPECTS(col >= 0 && col < w.cols());
+  ZSS_EXPECTS(w.rows() == static_cast<Index>(y.size()));
+  const Index m = w.rows();
+  const Index n = w.cols();
+  const float* wp = w.data() + col;
+  for (Index i = 0; i < m; ++i) {
+    y[static_cast<std::size_t>(i)] += wp[i * n] * scale;
+  }
+}
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
+  ZSS_EXPECTS(a.cols() == b.rows());
+  const Index m = a.rows();
+  const Index k = a.cols();
+  const Index n = b.cols();
+  c.resize(m, n, 0.0f);
+  // i-k-j loop order: the inner loop streams both B's row and C's row,
+  // which vectorizes well and is cache-friendly for row-major storage.
+  for (Index i = 0; i < m; ++i) {
+    float* crow = c.data() + i * n;
+    const float* arow = a.data() + i * k;
+    for (Index kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + kk * n;
+      for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_at_b_accum(const Matrix& a, const Matrix& b, Matrix& c) {
+  ZSS_EXPECTS(a.rows() == b.rows());
+  ZSS_EXPECTS(c.rows() == a.cols() && c.cols() == b.cols());
+  const Index m = a.rows();
+  const Index k = a.cols();
+  const Index n = b.cols();
+  for (Index i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    const float* brow = b.data() + i * n;
+    for (Index kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      float* crow = c.data() + kk * n;
+      for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& c) {
+  ZSS_EXPECTS(a.cols() == b.cols());
+  const Index m = a.rows();
+  const Index k = a.cols();
+  const Index n = b.rows();
+  c.resize(m, n, 0.0f);
+  for (Index i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* crow = c.data() + i * n;
+    for (Index j = 0; j < n; ++j) {
+      const float* brow = b.data() + j * k;
+      float acc = 0.0f;
+      for (Index kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
+    }
+  }
+}
+
+float dot(std::span<const float> a, std::span<const float> b) {
+  ZSS_EXPECTS(a.size() == b.size());
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  ZSS_EXPECTS(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void hadamard(std::span<const float> a, std::span<const float> b,
+              std::span<float> out) {
+  ZSS_EXPECTS(a.size() == b.size() && a.size() == out.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+}
+
+void hadamard_accum(std::span<const float> a, std::span<const float> b,
+                    std::span<float> out) {
+  ZSS_EXPECTS(a.size() == b.size() && a.size() == out.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] += a[i] * b[i];
+}
+
+void add_bias_rows(Matrix& y, std::span<const float> b) {
+  ZSS_EXPECTS(y.cols() == static_cast<Index>(b.size()));
+  for (Index i = 0; i < y.rows(); ++i) {
+    float* row = y.data() + i * y.cols();
+    for (Index j = 0; j < y.cols(); ++j) row[j] += b[static_cast<std::size_t>(j)];
+  }
+}
+
+float squared_norm(std::span<const float> x) {
+  float acc = 0.0f;
+  for (float v : x) acc += v * v;
+  return acc;
+}
+
+void scale(std::span<float> x, float alpha) {
+  for (float& v : x) v *= alpha;
+}
+
+}  // namespace zss::num

@@ -1,0 +1,63 @@
+// Dense float kernels shared by training, inference and reference checks.
+//
+// The library never links an external BLAS: the paper's workloads are
+// small enough (d_h <= 1000) that simple cache-blocked loops reach the
+// throughput a laptop-scale reproduction needs, and keeping the loops in
+// repo makes the quantized / sparse variants directly comparable.
+#pragma once
+
+#include <span>
+
+#include "num/matrix.h"
+#include "num/types.h"
+
+namespace zss::num {
+
+/// y = W * x. W is (m x n) row-major, x has n elements, y has m.
+void gemv(const Matrix& w, std::span<const float> x, std::span<float> y);
+
+/// y += W * x.
+void gemv_accum(const Matrix& w, std::span<const float> x,
+                std::span<float> y);
+
+/// y += W[:, col] * scale — one column accumulation, the building block of
+/// the input-stationary dataflow the accelerator uses (Fig. 5): each
+/// non-zero input element broadcasts down one weight column.
+void axpy_col(const Matrix& w, Index col, float scale, std::span<float> y);
+
+/// C = A * B (row-major, blocked for L1 reuse). A is (m x k), B (k x n).
+void gemm(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C += A^T * B. A is (m x k), B is (m x n), C is (k x n). This is the
+/// weight-gradient shape in BPTT (dW = x^T * dGates).
+void gemm_at_b_accum(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C = A * B^T. A is (m x k), B is (n x k), C is (m x n). This is the
+/// input-gradient shape in BPTT (dx = dGates * W^T is expressed as
+/// gemm_a_bt with W stored (4dh x dx)).
+void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// Dot product.
+float dot(std::span<const float> a, std::span<const float> b);
+
+/// y += alpha * x.
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// out = a (elementwise*) b.
+void hadamard(std::span<const float> a, std::span<const float> b,
+              std::span<float> out);
+
+/// out += a (elementwise*) b.
+void hadamard_accum(std::span<const float> a, std::span<const float> b,
+                    std::span<float> out);
+
+/// y += b for every row of the (rows x cols) matrix view y.
+void add_bias_rows(Matrix& y, std::span<const float> b);
+
+/// Sum of squares of all elements.
+float squared_norm(std::span<const float> x);
+
+/// Scales x in place by alpha.
+void scale(std::span<float> x, float alpha);
+
+}  // namespace zss::num

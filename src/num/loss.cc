@@ -1,0 +1,56 @@
+#include "num/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "num/activations.h"
+
+namespace zss::num {
+
+double softmax_xent(const Matrix& logits, std::span<const Index> targets,
+                    Matrix* dlogits) {
+  ZSS_EXPECTS(logits.rows() == static_cast<Index>(targets.size()));
+  ZSS_EXPECTS(logits.rows() > 0);
+  const Index rows = logits.rows();
+  const Index cols = logits.cols();
+  if (dlogits != nullptr) dlogits->resize(rows, cols, 0.0f);
+
+  double total_nll = 0.0;
+  std::vector<float> lsm(static_cast<std::size_t>(cols));
+  for (Index r = 0; r < rows; ++r) {
+    const Index t = targets[static_cast<std::size_t>(r)];
+    ZSS_EXPECTS(t >= 0 && t < cols);
+    log_softmax(logits.row(r), lsm);
+    total_nll -= lsm[static_cast<std::size_t>(t)];
+    if (dlogits != nullptr) {
+      auto drow = dlogits->row(r);
+      const float inv_rows = 1.0f / static_cast<float>(rows);
+      for (Index c = 0; c < cols; ++c) {
+        drow[static_cast<std::size_t>(c)] =
+            (std::exp(lsm[static_cast<std::size_t>(c)]) -
+             (c == t ? 1.0f : 0.0f)) *
+            inv_rows;
+      }
+    }
+  }
+  return total_nll / static_cast<double>(rows);
+}
+
+double ppw_from_nll(double nll_nats) {
+  // Clamp to avoid inf for badly diverged models in tests.
+  return std::exp(std::min(nll_nats, 30.0));
+}
+
+double error_rate_percent(const Matrix& logits,
+                          std::span<const Index> targets) {
+  ZSS_EXPECTS(logits.rows() == static_cast<Index>(targets.size()));
+  ZSS_EXPECTS(logits.rows() > 0);
+  Index wrong = 0;
+  for (Index r = 0; r < logits.rows(); ++r) {
+    if (argmax(logits.row(r)) != targets[static_cast<std::size_t>(r)]) ++wrong;
+  }
+  return 100.0 * static_cast<double>(wrong) /
+         static_cast<double>(logits.rows());
+}
+
+}  // namespace zss::num

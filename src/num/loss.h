@@ -1,0 +1,30 @@
+// Cross-entropy loss and the task metrics the paper reports:
+// bits-per-character (Fig. 2), perplexity-per-word (Fig. 3) and
+// misclassification error rate (Fig. 4).
+#pragma once
+
+#include <span>
+
+#include "num/matrix.h"
+#include "num/types.h"
+
+namespace zss::num {
+
+/// Mean negative log-likelihood (nats) of `targets` under row-wise
+/// softmax of `logits`; also writes dL/dlogits (softmax - onehot) / rows
+/// into `dlogits` when non-null.
+double softmax_xent(const Matrix& logits, std::span<const Index> targets,
+                    Matrix* dlogits);
+
+/// Bits per character from mean NLL in nats.
+inline double bpc_from_nll(double nll_nats) {
+  return nll_nats / 0.6931471805599453;  // ln 2
+}
+
+/// Word perplexity from mean NLL in nats.
+double ppw_from_nll(double nll_nats);
+
+/// Misclassification error rate (%) given logits rows and target labels.
+double error_rate_percent(const Matrix& logits, std::span<const Index> targets);
+
+}  // namespace zss::num

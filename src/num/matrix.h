@@ -1,0 +1,127 @@
+// Dense row-major matrix and vector containers.
+//
+// These are deliberately small: owning containers with bounds-checked
+// element access in debug flavour (via ZSS_EXPECTS) plus raw row spans for
+// kernels. All heavy math lives in kernels.h so that the accelerator
+// model, the quantized path and the training path share one set of
+// well-tested loops.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "num/types.h"
+
+namespace zss::num {
+
+/// Owning row-major matrix of trivially copyable scalars.
+template <typename T>
+class Mat {
+ public:
+  Mat() = default;
+
+  Mat(Index rows, Index cols, T fill = T{}) { resize(rows, cols, fill); }
+
+  void resize(Index rows, Index cols, T fill = T{}) {
+    ZSS_EXPECTS(rows >= 0 && cols >= 0);
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(static_cast<std::size_t>(rows * cols), fill);
+  }
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Index size() const { return rows_ * cols_; }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(Index r, Index c) {
+    ZSS_EXPECTS(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+  const T& operator()(Index r, Index c) const {
+    ZSS_EXPECTS(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+
+  /// Mutable view of one row.
+  std::span<T> row(Index r) {
+    ZSS_EXPECTS(r >= 0 && r < rows_);
+    return {data_.data() + r * cols_, static_cast<std::size_t>(cols_)};
+  }
+  std::span<const T> row(Index r) const {
+    ZSS_EXPECTS(r >= 0 && r < rows_);
+    return {data_.data() + r * cols_, static_cast<std::size_t>(cols_)};
+  }
+
+  std::span<T> flat() { return {data_.data(), data_.size()}; }
+  std::span<const T> flat() const { return {data_.data(), data_.size()}; }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  bool same_shape(const Mat& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  friend bool operator==(const Mat& a, const Mat& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<T> data_;
+};
+
+using Matrix = Mat<float>;
+using MatrixI8 = Mat<std::int8_t>;
+using MatrixI32 = Mat<std::int32_t>;
+
+/// Owning float vector with the same contract style as Mat.
+template <typename T>
+class Vec {
+ public:
+  Vec() = default;
+  explicit Vec(Index n, T fill = T{}) { resize(n, fill); }
+
+  void resize(Index n, T fill = T{}) {
+    ZSS_EXPECTS(n >= 0);
+    data_.assign(static_cast<std::size_t>(n), fill);
+  }
+
+  Index size() const { return static_cast<Index>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  T& operator[](Index i) {
+    ZSS_EXPECTS(i >= 0 && i < size());
+    return data_[static_cast<std::size_t>(i)];
+  }
+  const T& operator[](Index i) const {
+    ZSS_EXPECTS(i >= 0 && i < size());
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  std::span<T> span() { return {data_.data(), data_.size()}; }
+  std::span<const T> span() const { return {data_.data(), data_.size()}; }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  friend bool operator==(const Vec& a, const Vec& b) {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  std::vector<T> data_;
+};
+
+using Vector = Vec<float>;
+using VectorI8 = Vec<std::int8_t>;
+using VectorI32 = Vec<std::int32_t>;
+
+}  // namespace zss::num

@@ -1,0 +1,96 @@
+#include "num/rng.h"
+
+#include <cmath>
+
+namespace zss::num {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  has_cached_normal_ = false;
+}
+
+std::uint64_t Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  ZSS_EXPECTS(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 is kept away from zero to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  ZSS_EXPECTS(stddev >= 0.0);
+  return mean + stddev * normal();
+}
+
+Index Rng::below(Index n) {
+  ZSS_EXPECTS(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t un = static_cast<std::uint64_t>(n);
+  const std::uint64_t limit = max() - max() % un;
+  std::uint64_t v = 0;
+  do {
+    v = (*this)();
+  } while (v >= limit);
+  return static_cast<Index>(v % un);
+}
+
+bool Rng::bernoulli(double p) {
+  ZSS_EXPECTS(p >= 0.0 && p <= 1.0);
+  return uniform() < p;
+}
+
+Rng Rng::split() {
+  Rng child;
+  child.reseed((*this)());
+  return child;
+}
+
+}  // namespace zss::num

@@ -1,0 +1,62 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic code in the library (initialization, dropout, synthetic
+// datasets) draws from this generator so that every experiment is exactly
+// reproducible from a seed. The engine is xoshiro256**, seeded through
+// SplitMix64 as its authors recommend.
+#pragma once
+
+#include <cstdint>
+
+#include "num/types.h"
+
+namespace zss::num {
+
+/// xoshiro256** engine with convenience distributions.
+///
+/// Not thread-safe; create one per thread of work. Satisfies the
+/// UniformRandomBitGenerator requirements so it can also feed <random>
+/// distributions if ever needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initializes the state from a single 64-bit seed via SplitMix64.
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit value.
+  std::uint64_t operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal();
+
+  /// Normal with the given mean / standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  Index below(Index n);
+
+  /// Bernoulli draw with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Forks an independent stream (useful for per-worker determinism).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4]{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace zss::num

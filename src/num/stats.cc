@@ -1,0 +1,73 @@
+#include "num/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zss::num {
+
+double mean(std::span<const float> v) {
+  if (v.empty()) return 0.0;
+  double acc = 0.0;
+  for (float x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+double variance(std::span<const float> v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double acc = 0.0;
+  for (float x : v) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(v.size());
+}
+
+float quantile_abs(std::span<const float> v, double q) {
+  ZSS_EXPECTS(q >= 0.0 && q <= 1.0);
+  ZSS_EXPECTS(!v.empty());
+  std::vector<float> mags(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) mags[i] = std::fabs(v[i]);
+  // Rank such that `q` fraction of elements are strictly below the result
+  // for distinct magnitudes; clamp to the last element at q == 1.
+  const auto rank = static_cast<std::ptrdiff_t>(
+      std::min<double>(q * static_cast<double>(mags.size()),
+                       static_cast<double>(mags.size() - 1)));
+  std::nth_element(mags.begin(), mags.begin() + rank, mags.end());
+  return mags[static_cast<std::size_t>(rank)];
+}
+
+double zero_fraction(std::span<const float> v) {
+  if (v.empty()) return 0.0;
+  Index zeros = 0;
+  for (float x : v) {
+    if (x == 0.0f) ++zeros;
+  }
+  return static_cast<double>(zeros) / static_cast<double>(v.size());
+}
+
+double below_threshold_fraction(std::span<const float> v, float threshold) {
+  if (v.empty()) return 0.0;
+  Index count = 0;
+  for (float x : v) {
+    if (std::fabs(x) < threshold) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(v.size());
+}
+
+std::vector<Index> magnitude_histogram(std::span<const float> v, Index bins) {
+  ZSS_EXPECTS(bins > 0);
+  std::vector<Index> hist(static_cast<std::size_t>(bins), 0);
+  if (v.empty()) return hist;
+  float mx = 0.0f;
+  for (float x : v) mx = std::max(mx, std::fabs(x));
+  if (mx == 0.0f) {
+    hist[0] = static_cast<Index>(v.size());
+    return hist;
+  }
+  for (float x : v) {
+    auto b = static_cast<Index>(std::fabs(x) / mx * static_cast<float>(bins));
+    b = std::min(b, bins - 1);
+    ++hist[static_cast<std::size_t>(b)];
+  }
+  return hist;
+}
+
+}  // namespace zss::num

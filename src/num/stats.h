@@ -1,0 +1,30 @@
+// Small statistics helpers used by the pruner (quantile-based thresholds),
+// the sparsity reports and the test suite.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "num/types.h"
+
+namespace zss::num {
+
+double mean(std::span<const float> v);
+
+double variance(std::span<const float> v);
+
+/// q-quantile (0 <= q <= 1) of |v| computed by partial sort of a copy.
+/// quantile_abs(v, 0.9) returns the magnitude below which 90% of the
+/// elements fall — exactly the threshold that prunes 90% of a vector.
+float quantile_abs(std::span<const float> v, double q);
+
+/// Fraction of elements that are exactly zero.
+double zero_fraction(std::span<const float> v);
+
+/// Fraction of elements with |x| < threshold.
+double below_threshold_fraction(std::span<const float> v, float threshold);
+
+/// Histogram of |v| with `bins` equal-width buckets over [0, max|v|].
+std::vector<Index> magnitude_histogram(std::span<const float> v, Index bins);
+
+}  // namespace zss::num

@@ -1,0 +1,48 @@
+// Common scalar/index types and contract-check macros for the zss library.
+//
+// Follows the C++ Core Guidelines: interfaces state their expectations
+// (I.5/I.6) via ZSS_EXPECTS / ZSS_ENSURES, which abort with a readable
+// message instead of invoking undefined behaviour.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace zss {
+
+/// Signed index type used for all sizes and subscripts (ES.100/ES.102:
+/// prefer signed arithmetic; mixing is a classic source of bugs).
+using Index = std::int64_t;
+
+namespace num {
+// Re-exported so call sites in sibling modules can say num::Index
+// uniformly with the other num:: vocabulary types.
+using zss::Index;
+}  // namespace num
+
+namespace detail {
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "zss: %s violated: (%s) at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+}  // namespace detail
+
+#define ZSS_EXPECTS(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::zss::detail::contract_failure("precondition", #cond,       \
+                                            __FILE__, __LINE__))
+
+#define ZSS_ENSURES(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::zss::detail::contract_failure("postcondition", #cond,      \
+                                            __FILE__, __LINE__))
+
+#define ZSS_ASSERT(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::zss::detail::contract_failure("invariant", #cond, __FILE__, \
+                                            __LINE__))
+
+}  // namespace zss

@@ -1,0 +1,57 @@
+// Model of the PE scratch-memory accumulator.
+//
+// The paper gives each PE a 16 x 12-bit scratch SRAM holding one partial
+// sum per batch (Fig. 6). A 12-bit word cannot hold the full-precision
+// sum of hundreds of 8x8-bit products, so the hardware must accumulate at
+// reduced precision: products are right-shifted before accumulation and
+// the stored partial saturates at the 12-bit boundary. This class models
+// that behaviour with configurable width/shift so the accuracy cost of
+// the design choice can be measured (bench/ablation_accum_width).
+#pragma once
+
+#include <cstdint>
+
+#include "num/types.h"
+
+namespace zss::quant {
+
+class FixedAccumulator {
+ public:
+  /// `bits` is the stored word width (sign included), `pre_shift` the
+  /// arithmetic right shift (with round-to-nearest) applied to each
+  /// product before accumulation.
+  explicit FixedAccumulator(int bits = 12, int pre_shift = 6);
+
+  /// Accumulates one 8x8-bit product (given at full int32 precision).
+  void add_product(std::int32_t product);
+
+  /// Adds an already-shifted value (used when merging partials).
+  void add_raw(std::int32_t value);
+
+  /// Stored value in scratch-word units.
+  std::int32_t raw() const { return acc_; }
+
+  /// Value re-expressed in product units (raw << pre_shift), i.e. on the
+  /// same scale an ideal full-precision accumulator would produce.
+  std::int32_t value() const { return acc_ << pre_shift_; }
+
+  /// True if any add saturated at the word boundary.
+  bool saturated() const { return saturated_; }
+
+  int bits() const { return bits_; }
+  int pre_shift() const { return pre_shift_; }
+  std::int32_t max_raw() const { return max_; }
+  std::int32_t min_raw() const { return min_; }
+
+  void reset();
+
+ private:
+  int bits_;
+  int pre_shift_;
+  std::int32_t max_;
+  std::int32_t min_;
+  std::int32_t acc_ = 0;
+  bool saturated_ = false;
+};
+
+}  // namespace zss::quant

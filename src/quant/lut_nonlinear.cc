@@ -1,0 +1,53 @@
+#include "quant/lut_nonlinear.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zss::quant {
+namespace {
+
+float eval(Nonlinearity kind, float x) {
+  switch (kind) {
+    case Nonlinearity::kSigmoid:
+      return 1.0f / (1.0f + std::exp(-x));
+    case Nonlinearity::kTanh:
+      return std::tanh(x);
+    case Nonlinearity::kIdentity:
+      return x;
+  }
+  ZSS_ASSERT(false);
+  return 0.0f;
+}
+
+}  // namespace
+
+NonlinearLut::NonlinearLut(Nonlinearity kind, QuantParams in)
+    : kind_(kind), in_(in) {
+  for (int code = -128; code <= 127; ++code) {
+    const float x = static_cast<float>(code) * in.scale;
+    const float y = eval(kind, x);
+    const float q = std::nearbyint(y / kOutScale);
+    table_[static_cast<std::uint8_t>(static_cast<std::int8_t>(code))] =
+        static_cast<std::int8_t>(std::clamp(q, -127.0f, 127.0f));
+  }
+}
+
+void NonlinearLut::apply(std::span<const std::int8_t> in,
+                         std::span<std::int8_t> out) const {
+  ZSS_EXPECTS(in.size() == out.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = apply(in[i]);
+}
+
+float NonlinearLut::max_abs_error() const {
+  float worst = 0.0f;
+  for (int code = -128; code <= 127; ++code) {
+    const float x = static_cast<float>(code) * in_.scale;
+    const float exact = eval(kind_, x);
+    const float approx =
+        to_float(table_[static_cast<std::uint8_t>(static_cast<std::int8_t>(code))]);
+    worst = std::max(worst, std::fabs(exact - approx));
+  }
+  return worst;
+}
+
+}  // namespace zss::quant

@@ -1,0 +1,57 @@
+// 256-entry lookup-table nonlinearities.
+//
+// Each accelerator tile owns hardware sigmoid/tanh units (Fig. 6). The
+// standard low-cost implementation is a LUT indexed by the quantized
+// pre-activation; we model exactly that so the functional simulator's
+// arithmetic matches what the RTL would compute bit-for-bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "quant/quantize.h"
+
+namespace zss::quant {
+
+/// Kind of nonlinearity a tile applies (tiles 1-3: sigmoid, tile 4: tanh).
+enum class Nonlinearity { kSigmoid, kTanh, kIdentity };
+
+/// Maps int8 pre-activations (scale `in`) to int8 activations.
+///
+/// Output scale is fixed at 1/127 so that tanh spans [-127, 127] and
+/// sigmoid spans [0, 127]; this keeps the Hadamard products of Eq. (2)
+/// on one common scale, which is what lets the hardware chain tiles
+/// without per-element rescaling.
+class NonlinearLut {
+ public:
+  static constexpr float kOutScale = 1.0f / 127.0f;
+
+  NonlinearLut(Nonlinearity kind, QuantParams in);
+
+  std::int8_t apply(std::int8_t q) const {
+    return table_[static_cast<std::uint8_t>(q)];
+  }
+
+  void apply(std::span<const std::int8_t> in,
+             std::span<std::int8_t> out) const;
+
+  /// Dequantized value of an output code.
+  static float to_float(std::int8_t q) {
+    return static_cast<float>(q) * kOutScale;
+  }
+
+  Nonlinearity kind() const { return kind_; }
+  QuantParams in_params() const { return in_; }
+
+  /// Largest absolute error of the LUT against the float function over
+  /// the representable input range (used by fidelity tests).
+  float max_abs_error() const;
+
+ private:
+  Nonlinearity kind_;
+  QuantParams in_;
+  std::array<std::int8_t, 256> table_{};
+};
+
+}  // namespace zss::quant

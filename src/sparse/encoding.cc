@@ -1,0 +1,104 @@
+#include "sparse/encoding.h"
+
+namespace zss::sparse {
+
+template <typename T>
+std::vector<bool> all_zero_columns(const num::Mat<T>& state) {
+  ZSS_EXPECTS(state.rows() > 0);
+  std::vector<bool> zero(static_cast<std::size_t>(state.cols()), true);
+  for (num::Index b = 0; b < state.rows(); ++b) {
+    const T* row = state.data() + b * state.cols();
+    for (num::Index j = 0; j < state.cols(); ++j) {
+      if (row[j] != T{}) zero[static_cast<std::size_t>(j)] = false;
+    }
+  }
+  return zero;
+}
+
+template <typename T>
+double batch_sparsity_degree(const num::Mat<T>& state) {
+  if (state.cols() == 0) return 0.0;
+  const auto zero = all_zero_columns(state);
+  num::Index count = 0;
+  for (bool z : zero) {
+    if (z) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(state.cols());
+}
+
+template <typename T>
+EncodedState<T> encode(const num::Mat<T>& state, const EncoderConfig& cfg) {
+  ZSS_EXPECTS(cfg.offset_bits >= 1 && cfg.offset_bits <= 16);
+  EncodedState<T> enc;
+  enc.batch = state.rows();
+  enc.dense_size = state.cols();
+
+  const auto zero = all_zero_columns(state);
+  const num::Index max_off = cfg.max_offset();
+
+  num::Index run = 0;
+  for (num::Index j = 0; j < state.cols(); ++j) {
+    if (zero[static_cast<std::size_t>(j)]) {
+      ++run;
+      continue;
+    }
+    // Counter overflow: emit padding entries carrying zero values until
+    // the remaining run fits in the counter.
+    while (run > max_off) {
+      enc.entries.push_back(Entry{max_off});
+      for (num::Index b = 0; b < state.rows(); ++b) enc.values.push_back(T{});
+      run -= max_off + 1;  // the padding entry itself consumes a position
+    }
+    enc.entries.push_back(Entry{run});
+    for (num::Index b = 0; b < state.rows(); ++b) {
+      enc.values.push_back(state(b, j));
+    }
+    run = 0;
+  }
+  // Trailing zeros need no entries: the decoder knows dense_size.
+  return enc;
+}
+
+template <typename T>
+EncodedState<T> encode(std::span<const T> state, const EncoderConfig& cfg) {
+  num::Mat<T> m(1, static_cast<num::Index>(state.size()));
+  for (std::size_t j = 0; j < state.size(); ++j) m(0, static_cast<num::Index>(j)) = state[j];
+  return encode(m, cfg);
+}
+
+template <typename T>
+num::Mat<T> decode(const EncodedState<T>& enc) {
+  num::Mat<T> out(enc.batch, enc.dense_size, T{});
+  num::Index pos = 0;
+  for (std::size_t i = 0; i < enc.entries.size(); ++i) {
+    pos += enc.entries[i].offset;
+    ZSS_ASSERT(pos < enc.dense_size);
+    for (num::Index b = 0; b < enc.batch; ++b) {
+      out(b, pos) = enc.values[i * static_cast<std::size_t>(enc.batch) +
+                               static_cast<std::size_t>(b)];
+    }
+    ++pos;
+  }
+  return out;
+}
+
+// Explicit instantiations for the element types the library uses.
+template std::vector<bool> all_zero_columns<float>(const num::Mat<float>&);
+template std::vector<bool> all_zero_columns<std::int8_t>(
+    const num::Mat<std::int8_t>&);
+template double batch_sparsity_degree<float>(const num::Mat<float>&);
+template double batch_sparsity_degree<std::int8_t>(
+    const num::Mat<std::int8_t>&);
+template EncodedState<float> encode<float>(const num::Mat<float>&,
+                                           const EncoderConfig&);
+template EncodedState<std::int8_t> encode<std::int8_t>(
+    const num::Mat<std::int8_t>&, const EncoderConfig&);
+template EncodedState<float> encode<float>(std::span<const float>,
+                                           const EncoderConfig&);
+template EncodedState<std::int8_t> encode<std::int8_t>(
+    std::span<const std::int8_t>, const EncoderConfig&);
+template num::Mat<float> decode<float>(const EncodedState<float>&);
+template num::Mat<std::int8_t> decode<std::int8_t>(
+    const EncodedState<std::int8_t>&);
+
+}  // namespace zss::sparse

@@ -1,0 +1,90 @@
+// Sparse state encoding — the paper's output "encoder" block (Fig. 6).
+//
+// After h_t is produced, a counter walks the vector and, for every
+// position kept, records how many all-zero positions were skipped since
+// the previous kept one (the *offset*). The offsets are written to DRAM
+// with the values; at the next timestep the address generator uses them
+// to fetch only the weight columns of non-zero state elements, so no
+// decoder sits on the critical path (§III-B).
+//
+// With batching, a position may be dropped only when it is zero in every
+// batch (Fig. 5(d)); the encoder therefore works on the *intersection*
+// of the batch's zero patterns.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "num/matrix.h"
+#include "num/types.h"
+
+namespace zss::sparse {
+
+/// One kept position: `offset` zero positions were skipped since the
+/// previous kept entry (or since the start for the first entry), then
+/// this position follows. The encoder stores one value per batch lane.
+struct Entry {
+  num::Index offset = 0;
+
+  friend bool operator==(const Entry&, const Entry&) = default;
+};
+
+/// Configuration of the hardware offset counter.
+struct EncoderConfig {
+  /// Counter width in bits. A zero run longer than 2^bits - 1 forces an
+  /// escape: a padding entry whose stored values are zero, exactly like
+  /// the zero-free formats of Cnvlutin/EIE.
+  int offset_bits = 8;
+
+  num::Index max_offset() const {
+    return (num::Index{1} << offset_bits) - 1;
+  }
+};
+
+/// Encoded batch of state vectors. Values are stored position-major:
+/// values[i * batch + b] is lane b of the i-th kept position.
+template <typename T>
+struct EncodedState {
+  std::vector<Entry> entries;
+  std::vector<T> values;
+  num::Index batch = 1;
+  num::Index dense_size = 0;
+
+  num::Index kept_positions() const {
+    return static_cast<num::Index>(entries.size());
+  }
+
+  /// Bytes this encoding occupies in DRAM: one value byte per lane per
+  /// kept position plus one offset word per kept position.
+  num::Index storage_bytes(const EncoderConfig& cfg) const {
+    const num::Index offset_bytes = (cfg.offset_bits + 7) / 8;
+    return kept_positions() * (batch * static_cast<num::Index>(sizeof(T)) +
+                               offset_bytes);
+  }
+};
+
+/// True at position j when every batch lane of column j is zero.
+/// `state` is batch-major: row b = lane b's dense state vector.
+template <typename T>
+std::vector<bool> all_zero_columns(const num::Mat<T>& state);
+
+/// Fraction of positions that are zero in every lane — the quantity
+/// Fig. 7 reports as "sparsity degree over different batch sizes".
+template <typename T>
+double batch_sparsity_degree(const num::Mat<T>& state);
+
+/// Encodes a batch of dense state vectors (rows = lanes) into the
+/// offset/value stream, honouring the counter width.
+template <typename T>
+EncodedState<T> encode(const num::Mat<T>& state, const EncoderConfig& cfg);
+
+/// Convenience overload for a single vector (batch of one).
+template <typename T>
+EncodedState<T> encode(std::span<const T> state, const EncoderConfig& cfg);
+
+/// Reconstructs the dense batch (rows = lanes). Exact inverse of encode.
+template <typename T>
+num::Mat<T> decode(const EncodedState<T>& enc);
+
+}  // namespace zss::sparse

@@ -1,0 +1,42 @@
+#include "sparse/sparsity_report.h"
+
+#include "num/stats.h"
+#include "sparse/encoding.h"
+
+namespace zss::sparse {
+
+void SparsityMeter::observe(const num::Matrix& state) {
+  ZSS_EXPECTS(state.cols() > 0);
+  column_zero_sum_ += batch_sparsity_degree(state);
+  element_zero_sum_ += num::zero_fraction(state.flat());
+  ++steps_;
+}
+
+void SparsityMeter::observe_counts(num::Index all_zero_positions,
+                                   num::Index positions) {
+  ZSS_EXPECTS(positions > 0);
+  ZSS_EXPECTS(all_zero_positions >= 0 && all_zero_positions <= positions);
+  column_zero_sum_ += static_cast<double>(all_zero_positions) /
+                      static_cast<double>(positions);
+  has_elementwise_ = false;
+  ++steps_;
+}
+
+double SparsityMeter::mean_sparsity() const {
+  if (steps_ == 0) return 0.0;
+  return column_zero_sum_ / static_cast<double>(steps_);
+}
+
+double SparsityMeter::mean_element_sparsity() const {
+  if (steps_ == 0 || !has_elementwise_) return mean_sparsity();
+  return element_zero_sum_ / static_cast<double>(steps_);
+}
+
+void SparsityMeter::reset() {
+  steps_ = 0;
+  column_zero_sum_ = 0.0;
+  element_zero_sum_ = 0.0;
+  has_elementwise_ = true;
+}
+
+}  // namespace zss::sparse

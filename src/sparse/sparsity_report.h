@@ -1,0 +1,40 @@
+// Aggregated sparsity statistics across a run of timesteps — the
+// measurement behind Fig. 7 (batch-intersected sparsity at batch 1/8/16).
+#pragma once
+
+#include <span>
+
+#include "num/matrix.h"
+#include "num/types.h"
+
+namespace zss::sparse {
+
+/// Accumulates per-timestep sparsity of batched state matrices.
+class SparsityMeter {
+ public:
+  /// Records one timestep. `state` rows are batch lanes.
+  void observe(const num::Matrix& state);
+
+  /// Records a pre-computed (all_zero_count, positions) pair; used by the
+  /// accelerator which already knows its skip mask.
+  void observe_counts(num::Index all_zero_positions, num::Index positions);
+
+  /// Mean fraction of positions zero across all lanes (what Fig. 7 plots).
+  double mean_sparsity() const;
+
+  /// Mean fraction of individual elements that are zero (batch-ignorant
+  /// sparsity; equals mean_sparsity at batch 1).
+  double mean_element_sparsity() const;
+
+  num::Index timesteps() const { return steps_; }
+
+  void reset();
+
+ private:
+  num::Index steps_ = 0;
+  double column_zero_sum_ = 0.0;   // sum over steps of all-zero fraction
+  double element_zero_sum_ = 0.0;  // sum over steps of element-zero fraction
+  bool has_elementwise_ = true;
+};
+
+}  // namespace zss::sparse

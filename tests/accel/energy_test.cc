@@ -1,0 +1,130 @@
+#include "accel/energy.h"
+
+#include <gtest/gtest.h>
+
+#include "accel/scheduler.h"
+
+namespace zss::accel {
+namespace {
+
+RunTotals run_dense(const WorkloadShape& shape, num::Index steps) {
+  Scheduler sched{AcceleratorConfig{}};
+  RunTotals totals;
+  for (num::Index t = 0; t < steps; ++t) {
+    totals.add(sched.run_timestep_dense(shape), shape);
+  }
+  return totals;
+}
+
+TEST(EnergyTest, CalibratedConstantPowerIs83mW) {
+  const AcceleratorConfig accel;
+  EnergyModel model(EnergyConfig{}, accel);
+  const auto totals = run_dense(WorkloadShape::ptb_char(8), 10);
+  EXPECT_NEAR(model.average_power_w(totals), 0.083, 1e-9);
+}
+
+TEST(EnergyTest, PeakEfficiencyMatchesPaper) {
+  // 76.8 GOPS at 83 mW = 925.3 GOPS/W (§III-C).
+  const AcceleratorConfig accel;
+  EnergyModel model(EnergyConfig{}, accel);
+  RunTotals totals;
+  totals.cycles = 1000;
+  totals.equivalent_ops = accel.peak_gops() * 1e9 *
+                          (1000.0 / accel.clock_hz);
+  EXPECT_NEAR(model.gops_per_watt(totals), 925.3, 0.5);
+}
+
+TEST(EnergyTest, EfficiencyProportionalToGops) {
+  // In constant-power mode Fig. 9 is Fig. 8 divided by 0.083.
+  const AcceleratorConfig accel;
+  EnergyModel model(EnergyConfig{}, accel);
+  const auto totals = run_dense(WorkloadShape::ptb_word(8), 5);
+  EXPECT_NEAR(model.gops_per_watt(totals), totals.gops(accel) / 0.083,
+              1e-6);
+}
+
+TEST(EnergyTest, ComponentModeAccountsActivity) {
+  const AcceleratorConfig accel;
+  EnergyConfig ecfg;
+  ecfg.mode = EnergyMode::kComponent;
+  EnergyModel model(ecfg, accel);
+  const auto totals = run_dense(WorkloadShape::ptb_char(8), 5);
+  const auto e = model.energy(totals);
+  EXPECT_GT(e.mac_j, 0.0);
+  EXPECT_GT(e.sram_j, 0.0);
+  EXPECT_GT(e.onchip_j, 0.0);
+  EXPECT_GT(e.leakage_j, 0.0);
+  EXPECT_EQ(e.dram_j, 0.0);  // chip-only by default
+  EXPECT_NEAR(e.total_j(), e.mac_j + e.sram_j + e.onchip_j + e.leakage_j,
+              1e-15);
+}
+
+TEST(EnergyTest, ComponentModeNearCalibratedAtSteadyState) {
+  // The component constants were fitted so dense batch-8 lands near the
+  // synthesis estimate; keep them within 2x to catch constant drift.
+  const AcceleratorConfig accel;
+  EnergyConfig ecfg;
+  ecfg.mode = EnergyMode::kComponent;
+  EnergyModel model(ecfg, accel);
+  const auto totals = run_dense(WorkloadShape::ptb_char(8), 10);
+  const double p = model.average_power_w(totals);
+  EXPECT_GT(p, 0.083 / 2.0);
+  EXPECT_LT(p, 0.083 * 2.0);
+}
+
+TEST(EnergyTest, DramEnergyOptIn) {
+  const AcceleratorConfig accel;
+  EnergyConfig ecfg;
+  ecfg.mode = EnergyMode::kComponent;
+  ecfg.include_dram = true;
+  EnergyModel with_dram(ecfg, accel);
+  ecfg.include_dram = false;
+  EnergyModel without(ecfg, accel);
+  const auto totals = run_dense(WorkloadShape::ptb_char(1), 3);
+  EXPECT_GT(with_dram.energy(totals).total_j(),
+            without.energy(totals).total_j());
+}
+
+TEST(EnergyTest, SparseRunUsesLessEnergyPerTimestep) {
+  // Same work, fewer cycles -> less energy at constant power.
+  const AcceleratorConfig accel;
+  EnergyModel model(EnergyConfig{}, accel);
+  Scheduler sched(accel);
+  const auto shape = WorkloadShape::ptb_char(1);
+  RunTotals dense;
+  dense.add(sched.run_timestep_dense(shape), shape);
+  RunTotals sparse;
+  const std::vector<bool> mask(
+      static_cast<std::size_t>(shape.hidden), false);
+  sparse.add(sched.run_timestep(shape, mask), shape);
+  EXPECT_LT(model.energy(sparse).total_j(),
+            model.energy(dense).total_j() / 10.0);
+}
+
+TEST(EnergyTest, EmptyRunIsZero) {
+  EnergyModel model(EnergyConfig{}, AcceleratorConfig{});
+  const RunTotals totals;
+  EXPECT_EQ(model.average_power_w(totals), 0.0);
+  EXPECT_EQ(model.gops_per_watt(totals), 0.0);
+}
+
+TEST(EnergyDeathTest, BadConstantsAbort) {
+  EnergyConfig ecfg;
+  ecfg.constant_power_w = 0.0;
+  EXPECT_DEATH(EnergyModel(ecfg, AcceleratorConfig{}), "precondition");
+}
+
+TEST(RunTotalsTest, ObservedSparsityAggregates) {
+  Scheduler sched{AcceleratorConfig{}};
+  const auto shape = WorkloadShape::ptb_char(1);
+  RunTotals totals;
+  totals.add(sched.run_timestep_dense(shape), shape);
+  const std::vector<bool> empty_mask(
+      static_cast<std::size_t>(shape.hidden), false);
+  totals.add(sched.run_timestep(shape, empty_mask), shape);
+  EXPECT_DOUBLE_EQ(totals.observed_sparsity(), 0.5);
+  EXPECT_EQ(totals.timesteps, 2);
+}
+
+}  // namespace
+}  // namespace zss::accel

@@ -1,0 +1,123 @@
+#include "accel/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "accel/synthetic.h"
+#include "num/rng.h"
+
+namespace zss::accel {
+namespace {
+
+using num::Index;
+
+TEST(SchedulerTest, MatvecSkipsOnlyAllZeroPositions) {
+  const AcceleratorConfig cfg;
+  Scheduler sched(cfg);
+  // 4 positions, batch 2: position 0 fully zero, 1 mixed, 2 dense, 3 zero.
+  const std::vector<bool> mask = {false, false, true, false,
+                                  true,  true,  false, false};
+  const auto stats = sched.matvec(/*rows=*/4000, mask, /*batch=*/2);
+  EXPECT_EQ(stats.positions_total, 4);
+  EXPECT_EQ(stats.positions_kept, 2);
+  EXPECT_EQ(stats.cycles, 2 * 167);
+  EXPECT_EQ(stats.weights_streamed, 2 * 4000);
+  EXPECT_EQ(stats.macs_issued, 2 * 4000 * 2);     // both lanes always MAC
+  EXPECT_EQ(stats.macs_effectual, 4000 * 3);      // 1 + 2 non-zero lanes
+}
+
+TEST(SchedulerTest, MatvecAllZeroCostsNothing) {
+  Scheduler sched{AcceleratorConfig{}};
+  const std::vector<bool> mask(100, false);
+  const auto stats = sched.matvec(400, mask, 1);
+  EXPECT_EQ(stats.cycles, 0);
+  EXPECT_EQ(stats.macs_issued, 0);
+  EXPECT_EQ(stats.weights_streamed, 0);
+}
+
+TEST(SchedulerTest, TimestepTotalsMatchTimingModel) {
+  const AcceleratorConfig cfg;
+  Scheduler sched(cfg);
+  TimingModel model(cfg);
+  num::Rng rng(1);
+  for (const auto& shape :
+       {WorkloadShape::ptb_char(8), WorkloadShape::ptb_word(4),
+        WorkloadShape::mnist(16)}) {
+    const auto mask = mask_from_intersected_sparsity(shape, 0.7, rng);
+    const auto sched_stats = sched.run_timestep(shape, mask);
+    // Count kept positions exactly as the scheduler saw them.
+    const auto kept = sched_stats.positions_kept;
+    const auto model_cycles = model.timestep(shape, kept);
+    EXPECT_EQ(sched_stats.cycles.total(), model_cycles.total())
+        << "hidden=" << shape.hidden << " batch=" << shape.batch;
+    EXPECT_EQ(sched_stats.cycles.matvec_state, model_cycles.matvec_state);
+    EXPECT_EQ(sched_stats.cycles.elementwise, model_cycles.elementwise);
+  }
+}
+
+TEST(SchedulerTest, DenseTimestepMatchesTimingModelDense) {
+  const AcceleratorConfig cfg;
+  Scheduler sched(cfg);
+  TimingModel model(cfg);
+  for (const auto& shape :
+       {WorkloadShape::ptb_char(1), WorkloadShape::ptb_word(16)}) {
+    EXPECT_EQ(sched.run_timestep_dense(shape).cycles.total(),
+              model.timestep_dense(shape).total());
+  }
+}
+
+TEST(SchedulerTest, UtilizationLowAtBatch1HighAtBatch8) {
+  Scheduler sched{AcceleratorConfig{}};
+  const auto dense1 = sched.run_timestep_dense(WorkloadShape::ptb_char(1));
+  const auto dense8 = sched.run_timestep_dense(WorkloadShape::ptb_char(8));
+  // Batch 1 is DRAM-bound: 24 of 192 PEs busy -> 12.5% utilization.
+  EXPECT_NEAR(dense1.pe_utilization(), 0.125, 0.01);
+  EXPECT_GT(dense8.pe_utilization(), 0.95);
+}
+
+TEST(SchedulerTest, WeightTrafficShrinksWithSkipping) {
+  Scheduler sched{AcceleratorConfig{}};
+  num::Rng rng(2);
+  const auto shape = WorkloadShape::ptb_char(1);
+  const auto mask = mask_from_intersected_sparsity(shape, 0.97, rng);
+  const auto sparse = sched.run_timestep(shape, mask);
+  const auto dense = sched.run_timestep_dense(shape);
+  EXPECT_LT(sparse.weights_streamed, dense.weights_streamed / 20);
+}
+
+TEST(SchedulerTest, DenseInputPositionsNeverSkipped) {
+  Scheduler sched{AcceleratorConfig{}};
+  const auto shape = WorkloadShape::ptb_word(1);
+  // Fully-zero state: only the input matvec and overheads remain.
+  const std::vector<bool> mask(static_cast<std::size_t>(shape.hidden),
+                               false);
+  const auto stats = sched.run_timestep(shape, mask);
+  EXPECT_EQ(stats.cycles.matvec_state, 0);
+  EXPECT_EQ(stats.cycles.matvec_input, 300 * 50);
+}
+
+TEST(SchedulerTest, MatvecCyclesPerPositionMatchesTimingModel) {
+  const AcceleratorConfig cfg;
+  Scheduler sched(cfg);
+  TimingModel model(cfg);
+  for (Index batch : {1, 2, 4, 8, 12, 16}) {
+    const auto shape = WorkloadShape::ptb_char(batch);
+    EXPECT_EQ(sched.cycles_per_position(4 * shape.hidden, batch),
+              model.cycles_per_position(shape));
+  }
+}
+
+TEST(SchedulerDeathTest, MaskSizeMismatchAborts) {
+  Scheduler sched{AcceleratorConfig{}};
+  const std::vector<bool> mask(10, true);
+  EXPECT_DEATH((void)sched.run_timestep(WorkloadShape::ptb_char(1), mask),
+               "precondition");
+}
+
+TEST(SchedulerDeathTest, BatchBeyondScratchAborts) {
+  Scheduler sched{AcceleratorConfig{}};
+  const std::vector<bool> mask(32, true);
+  EXPECT_DEATH((void)sched.matvec(100, mask, 32), "precondition");
+}
+
+}  // namespace
+}  // namespace zss::accel

@@ -1,0 +1,77 @@
+#include "accel/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace zss::accel {
+namespace {
+
+TEST(SyntheticTest, IntersectedSparsityHitsTarget) {
+  num::Rng rng(1);
+  const auto shape = WorkloadShape::ptb_char(8);
+  const auto mask = mask_from_intersected_sparsity(shape, 0.81, rng);
+  EXPECT_EQ(mask.size(), static_cast<std::size_t>(1000 * 8));
+  EXPECT_NEAR(intersected_sparsity(shape, mask), 0.81, 0.04);
+}
+
+TEST(SyntheticTest, ExtremesAreExact) {
+  num::Rng rng(2);
+  const auto shape = WorkloadShape::mnist(4);
+  const auto zero = mask_from_intersected_sparsity(shape, 1.0, rng);
+  EXPECT_DOUBLE_EQ(intersected_sparsity(shape, zero), 1.0);
+  const auto dense = mask_from_intersected_sparsity(shape, 0.0, rng);
+  EXPECT_DOUBLE_EQ(intersected_sparsity(shape, dense), 0.0);
+}
+
+TEST(SyntheticTest, KeptPositionsHaveAtLeastOneNonZeroLane) {
+  num::Rng rng(3);
+  const auto shape = WorkloadShape::ptb_word(16);
+  const auto mask = mask_from_intersected_sparsity(shape, 0.5, rng);
+  for (num::Index j = 0; j < shape.hidden; ++j) {
+    bool any = false;
+    num::Index lanes = 0;
+    for (num::Index b = 0; b < shape.batch; ++b) {
+      if (mask[static_cast<std::size_t>(j * shape.batch + b)]) {
+        any = true;
+        ++lanes;
+      }
+    }
+    // Either fully zero (skippable) or at least one non-zero lane.
+    EXPECT_TRUE(!any || lanes >= 1);
+  }
+}
+
+TEST(SyntheticTest, ElementSparsityDecaysWithBatch) {
+  // The Fig. 7 effect: iid element sparsity p gives intersected p^B.
+  num::Rng rng(4);
+  const double p = 0.9;
+  for (num::Index batch : {1, 8, 16}) {
+    WorkloadShape shape{2000, 50, InputMode::kOneHot, batch};
+    const auto mask = mask_from_element_sparsity(shape, p, rng);
+    const double expected = std::pow(p, static_cast<double>(batch));
+    EXPECT_NEAR(intersected_sparsity(shape, mask), expected,
+                0.03 + expected * 0.1)
+        << "batch " << batch;
+  }
+}
+
+TEST(SyntheticTest, DeterministicGivenSeed) {
+  const auto shape = WorkloadShape::mnist(8);
+  num::Rng a(7);
+  num::Rng b(7);
+  EXPECT_EQ(mask_from_intersected_sparsity(shape, 0.5, a),
+            mask_from_intersected_sparsity(shape, 0.5, b));
+}
+
+TEST(SyntheticDeathTest, BadSparsityAborts) {
+  num::Rng rng(5);
+  const auto shape = WorkloadShape::mnist(1);
+  EXPECT_DEATH((void)mask_from_intersected_sparsity(shape, 1.5, rng),
+               "precondition");
+  EXPECT_DEATH((void)mask_from_element_sparsity(shape, -0.1, rng),
+               "precondition");
+}
+
+}  // namespace
+}  // namespace zss::accel

@@ -1,0 +1,195 @@
+#include "accel/timing_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace zss::accel {
+namespace {
+
+using num::Index;
+
+TEST(ConfigTest, PaperDerivedQuantities) {
+  const AcceleratorConfig cfg;
+  cfg.validate();
+  EXPECT_EQ(cfg.total_pes(), 192);
+  EXPECT_DOUBLE_EQ(cfg.peak_gops(), 76.8);  // §III-C peak performance
+  EXPECT_DOUBLE_EQ(cfg.bytes_per_cycle(), 32.0);
+  EXPECT_EQ(cfg.weights_per_cycle(), 24);  // "24 8-bit weights ..."
+  EXPECT_EQ(cfg.input_bytes_per_cycle(), 1);  // "... and a single input"
+}
+
+TEST(ConfigDeathTest, InvalidConfigAborts) {
+  AcceleratorConfig cfg;
+  cfg.tiles = 0;
+  EXPECT_DEATH(cfg.validate(), "precondition");
+  cfg = AcceleratorConfig{};
+  cfg.weight_bits = 16;
+  EXPECT_DEATH(cfg.validate(), "precondition");
+}
+
+TEST(WorkloadTest, EquivalentOpsFollowPaperConvention) {
+  // Char: only the Wh part counts (one-hot input is a table lookup):
+  // 2 * 1000 * 4000 = 8 Mops.
+  EXPECT_DOUBLE_EQ(WorkloadShape::ptb_char(1).equivalent_ops(), 8e6);
+  // Word: both matvecs count: 2*(300+300)*1200 = 1.44 Mops.
+  EXPECT_DOUBLE_EQ(WorkloadShape::ptb_word(1).equivalent_ops(), 1.44e6);
+  // MNIST: 2*(100+1)*400 = 80.8 kops.
+  EXPECT_DOUBLE_EQ(WorkloadShape::mnist(1).equivalent_ops(), 80800.0);
+  // Batch scales linearly.
+  EXPECT_DOUBLE_EQ(WorkloadShape::ptb_char(8).equivalent_ops(), 64e6);
+}
+
+class TimingModelTest : public ::testing::Test {
+ protected:
+  TimingModel model_{AcceleratorConfig{}};
+};
+
+TEST_F(TimingModelTest, PerPositionCostRegimes) {
+  // Char (d_h=1000, column 4000): DRAM-bound until batch > 8.
+  EXPECT_EQ(model_.cycles_per_position(WorkloadShape::ptb_char(1)), 167);
+  EXPECT_EQ(model_.cycles_per_position(WorkloadShape::ptb_char(8)), 167);
+  EXPECT_EQ(model_.cycles_per_position(WorkloadShape::ptb_char(16)), 334);
+  // Word (column 1200).
+  EXPECT_EQ(model_.cycles_per_position(WorkloadShape::ptb_word(1)), 50);
+  EXPECT_EQ(model_.cycles_per_position(WorkloadShape::ptb_word(16)), 100);
+  // MNIST (column 400).
+  EXPECT_EQ(model_.cycles_per_position(WorkloadShape::mnist(1)), 17);
+  EXPECT_EQ(model_.cycles_per_position(WorkloadShape::mnist(16)), 34);
+}
+
+TEST_F(TimingModelTest, CharDenseBatch1CycleBreakdown) {
+  const auto c = model_.timestep_dense(WorkloadShape::ptb_char(1));
+  EXPECT_EQ(c.matvec_state, 1000 * 167);
+  EXPECT_EQ(c.matvec_input, 0);        // one-hot
+  EXPECT_EQ(c.input_overlap, 0);       // 4000 bytes fit under 167k cycles
+  EXPECT_EQ(c.elementwise, 3 * 21);    // ceil(1000/48) = 21 per stage
+  EXPECT_EQ(c.encode, 21);
+  EXPECT_EQ(c.pipeline_fill, 0);
+}
+
+TEST_F(TimingModelTest, DenseBatch1IsBandwidthBoundAt9p6Gops) {
+  // The paper's 9.6 GOPS dense-batch-1 figure for all three tasks.
+  for (const auto& shape :
+       {WorkloadShape::ptb_char(1), WorkloadShape::ptb_word(1)}) {
+    const auto cycles = model_.timestep_dense(shape).total();
+    EXPECT_NEAR(model_.gops(shape, cycles), 9.6, 0.05);
+  }
+  // MNIST pays relatively more element-wise/rounding overhead (d_h=100).
+  const auto shape = WorkloadShape::mnist(1);
+  const auto cycles = model_.timestep_dense(shape).total();
+  EXPECT_NEAR(model_.gops(shape, cycles), 9.6, 0.4);
+}
+
+TEST_F(TimingModelTest, DenseBatch8SaturatesNearPeak) {
+  // Fig. 8: 76.4 / 76.2 / 74.3 GOPS at batch 8.
+  const auto char8 = WorkloadShape::ptb_char(8);
+  EXPECT_NEAR(model_.gops(char8, model_.timestep_dense(char8).total()),
+              76.4, 0.5);
+  const auto word8 = WorkloadShape::ptb_word(8);
+  EXPECT_NEAR(model_.gops(word8, model_.timestep_dense(word8).total()),
+              76.2, 0.5);
+  const auto mnist8 = WorkloadShape::mnist(8);
+  EXPECT_NEAR(model_.gops(mnist8, model_.timestep_dense(mnist8).total()),
+              74.3, 2.5);
+}
+
+TEST_F(TimingModelTest, DenseBatch16MatchesBatch8Throughput) {
+  // Compute-bound regime: twice the cycles, twice the work.
+  const auto shape8 = WorkloadShape::ptb_char(8);
+  const auto shape16 = WorkloadShape::ptb_char(16);
+  const double g8 = model_.gops(shape8, model_.timestep_dense(shape8).total());
+  const double g16 =
+      model_.gops(shape16, model_.timestep_dense(shape16).total());
+  EXPECT_NEAR(g8, g16, 0.1);
+}
+
+struct SparsePoint {
+  WorkloadShape shape;
+  double sparsity;    // Fig. 7 batch-intersected sweet-spot sparsity
+  double paper_gops;  // Fig. 8 bar
+};
+
+class PaperFig8Test : public ::testing::TestWithParam<SparsePoint> {};
+
+TEST_P(PaperFig8Test, SparseGopsWithinFivePercentOfPaper) {
+  const auto& p = GetParam();
+  TimingModel model{AcceleratorConfig{}};
+  const auto kept = static_cast<Index>(
+      std::round((1.0 - p.sparsity) * static_cast<double>(p.shape.hidden)));
+  const auto cycles = model.timestep(p.shape, kept).total();
+  const double gops = model.gops(p.shape, cycles);
+  EXPECT_NEAR(gops, p.paper_gops, p.paper_gops * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig8, PaperFig8Test,
+    ::testing::Values(
+        // PTB-Char sparse: 314.7 / 395.5 / 223.9 at sparsity 97/81/66%.
+        SparsePoint{WorkloadShape::ptb_char(1), 0.97, 314.7},
+        SparsePoint{WorkloadShape::ptb_char(8), 0.81, 395.5},
+        SparsePoint{WorkloadShape::ptb_char(16), 0.66, 223.9},
+        // PTB-Word sparse: 17.9 / 110.8 / 95.6 at sparsity 93/63/41%.
+        SparsePoint{WorkloadShape::ptb_word(1), 0.93, 17.9},
+        SparsePoint{WorkloadShape::ptb_word(8), 0.63, 110.8},
+        SparsePoint{WorkloadShape::ptb_word(16), 0.41, 95.6},
+        // MNIST sparse: 50.5 / 154.3 / 124.9 at sparsity 83/55/43%.
+        SparsePoint{WorkloadShape::mnist(1), 0.83, 50.5},
+        SparsePoint{WorkloadShape::mnist(8), 0.55, 154.3},
+        SparsePoint{WorkloadShape::mnist(16), 0.43, 124.9}));
+
+TEST_F(TimingModelTest, FullSkipStillPaysElementwiseOverhead) {
+  const auto shape = WorkloadShape::ptb_char(1);
+  const auto c = model_.timestep(shape, 0);
+  EXPECT_EQ(c.matvec_state, 0);
+  EXPECT_GT(c.total(), 0);
+  // The one-hot column now has no matvec to hide under.
+  EXPECT_EQ(c.input_overlap, 4000);
+}
+
+TEST_F(TimingModelTest, GopsIsMonotoneInSkipping) {
+  // Word shape: dense input, so no one-hot channel floor — every kept
+  // position removed strictly reduces cycles.
+  const auto shape = WorkloadShape::ptb_word(8);
+  double last = 0.0;
+  for (Index kept : {300, 250, 180, 120, 60, 20, 5}) {
+    const double g = model_.gops(shape, model_.timestep(shape, kept).total());
+    EXPECT_GT(g, last);
+    last = g;
+  }
+}
+
+TEST_F(TimingModelTest, OneHotChannelFloorsExtremeSkipping) {
+  // For char at batch 8, beyond ~95% skipping the one-hot column fetch
+  // (4 d_h * batch bytes on the 1 B/cycle channel) becomes the bottleneck
+  // and cycles plateau — an effect the paper's batch-8 sweet spot (81%)
+  // stays comfortably clear of.
+  const auto shape = WorkloadShape::ptb_char(8);
+  const auto at50 = model_.timestep(shape, 50);
+  const auto at10 = model_.timestep(shape, 10);
+  EXPECT_GT(at10.input_overlap, at50.input_overlap);
+  // Total cycles are identical once the channel floor binds: matvec plus
+  // overlap always covers the 32000-byte column fetch.
+  EXPECT_EQ(at50.total(), at10.total());
+  EXPECT_EQ(at50.matvec_state + at50.input_overlap,
+            at10.matvec_state + at10.input_overlap);
+}
+
+TEST_F(TimingModelTest, WiderDramShiftsComputeBound) {
+  AcceleratorConfig wide;
+  wide.dram_gbps = 102.4;  // 2x paper bandwidth -> 48 weights/cycle
+  TimingModel model(wide);
+  EXPECT_EQ(wide.weights_per_cycle(), 48);
+  // Char batch 8: compute ceil(4000*8/192)=167 now exceeds DRAM's 84.
+  EXPECT_EQ(model.cycles_per_position(WorkloadShape::ptb_char(8)), 167);
+  // Batch 1 halves.
+  EXPECT_EQ(model.cycles_per_position(WorkloadShape::ptb_char(1)), 84);
+}
+
+TEST_F(TimingModelTest, BatchBeyondScratchAborts) {
+  const WorkloadShape shape{100, 1, InputMode::kDense, 17};
+  EXPECT_DEATH((void)model_.timestep_dense(shape), "precondition");
+}
+
+}  // namespace
+}  // namespace zss::accel

@@ -1,0 +1,123 @@
+#include "baseline/csc_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "num/kernels.h"
+#include "num/rng.h"
+
+namespace zss::baseline {
+namespace {
+
+num::Matrix sparse_random(num::Index rows, num::Index cols, double density,
+                          std::uint64_t seed) {
+  num::Rng rng(seed);
+  num::Matrix m(rows, cols, 0.0f);
+  for (float& v : m.flat()) {
+    if (rng.bernoulli(density)) v = static_cast<float>(rng.normal());
+  }
+  return m;
+}
+
+TEST(CscMatrixTest, RoundTripExact) {
+  const auto dense = sparse_random(40, 30, 0.1, 1);
+  const auto csc = CscMatrix::compress(dense, CscConfig{});
+  EXPECT_EQ(csc.decompress(), dense);
+}
+
+TEST(CscMatrixTest, EmptyMatrixHasNoEntries) {
+  const num::Matrix dense(16, 16, 0.0f);
+  const auto csc = CscMatrix::compress(dense, CscConfig{});
+  EXPECT_EQ(csc.total_entries(), 0);
+  EXPECT_EQ(csc.decompress(), dense);
+}
+
+TEST(CscMatrixTest, DenseMatrixStoresEverything) {
+  const auto dense = sparse_random(8, 8, 1.0, 2);
+  const auto csc = CscMatrix::compress(dense, CscConfig{});
+  EXPECT_EQ(csc.total_entries(), 64);
+  EXPECT_EQ(csc.padding_entries(), 0);
+}
+
+TEST(CscMatrixTest, NarrowIndexForcesPadding) {
+  CscConfig cfg;
+  cfg.index_bits = 2;  // max run 3
+  num::Matrix dense(12, 1, 0.0f);
+  dense(11, 0) = 5.0f;  // run of 11 zeros: needs 2 padding entries
+  const auto csc = CscMatrix::compress(dense, cfg);
+  EXPECT_EQ(csc.total_entries(), 3);
+  EXPECT_EQ(csc.padding_entries(), 2);
+  EXPECT_EQ(csc.decompress(), dense);
+}
+
+TEST(CscMatrixTest, OffsetsRespectIndexWidth) {
+  CscConfig cfg;
+  cfg.index_bits = 4;
+  const auto dense = sparse_random(200, 5, 0.02, 3);
+  const auto csc = CscMatrix::compress(dense, cfg);
+  for (num::Index c = 0; c < csc.cols(); ++c) {
+    for (auto off : csc.column_offsets(c)) {
+      EXPECT_LE(off, cfg.max_run());
+    }
+  }
+  EXPECT_EQ(csc.decompress(), dense);
+}
+
+TEST(CscMatrixTest, MatvecMatchesDense) {
+  const auto dense = sparse_random(24, 32, 0.15, 4);
+  const auto csc = CscMatrix::compress(dense, CscConfig{});
+  num::Rng rng(5);
+  std::vector<float> x(32);
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  std::vector<float> y_ref(24);
+  num::gemv(dense, x, y_ref);
+  std::vector<float> y_csc(24, 0.0f);
+  csc.matvec_accum(x, y_csc);
+  for (int i = 0; i < 24; ++i) EXPECT_NEAR(y_csc[i], y_ref[i], 1e-5f);
+}
+
+TEST(CscMatrixTest, MatvecSkipsZeroInputs) {
+  // Functional check of EIE-style input skipping: zero inputs add
+  // nothing, so the result equals the dense product.
+  const auto dense = sparse_random(16, 16, 0.3, 6);
+  const auto csc = CscMatrix::compress(dense, CscConfig{});
+  std::vector<float> x(16, 0.0f);
+  x[3] = 1.0f;
+  x[9] = -2.0f;
+  std::vector<float> y_ref(16);
+  num::gemv(dense, x, y_ref);
+  std::vector<float> y_csc(16, 0.0f);
+  csc.matvec_accum(x, y_csc);
+  for (int i = 0; i < 16; ++i) EXPECT_NEAR(y_csc[i], y_ref[i], 1e-5f);
+}
+
+TEST(CscMatrixTest, StorageAccountsEntriesAndPointers) {
+  CscConfig cfg;
+  cfg.index_bits = 4;
+  const auto dense = sparse_random(64, 10, 0.1, 7);
+  const auto csc = CscMatrix::compress(dense, cfg);
+  // 12 bits per entry + 2 bytes per column pointer.
+  const num::Index expected =
+      (csc.total_entries() * 12 + 7) / 8 + 2 * 10;
+  EXPECT_EQ(csc.storage_bytes(cfg), expected);
+}
+
+// Property sweep: round trip across densities and index widths.
+class CscRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(CscRoundTripTest, RoundTrip) {
+  const auto [density, bits] = GetParam();
+  CscConfig cfg;
+  cfg.index_bits = bits;
+  const auto dense = sparse_random(128, 64, density, 11);
+  const auto csc = CscMatrix::compress(dense, cfg);
+  EXPECT_EQ(csc.decompress(), dense);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CscRoundTripTest,
+    ::testing::Combine(::testing::Values(0.0, 0.02, 0.1, 0.5, 1.0),
+                       ::testing::Values(2, 4, 8)));
+
+}  // namespace
+}  // namespace zss::baseline

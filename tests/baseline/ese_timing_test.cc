@@ -1,0 +1,109 @@
+#include "baseline/ese_timing.h"
+
+#include <gtest/gtest.h>
+
+#include "num/rng.h"
+
+namespace zss::baseline {
+namespace {
+
+num::Matrix sparse_random(num::Index rows, num::Index cols, double density,
+                          std::uint64_t seed) {
+  num::Rng rng(seed);
+  num::Matrix m(rows, cols, 0.0f);
+  for (float& v : m.flat()) {
+    if (rng.bernoulli(density)) v = static_cast<float>(rng.normal());
+  }
+  return m;
+}
+
+TEST(EseTimingTest, PerfectlyBalancedColumnHasNoWaste) {
+  // One non-zero per PE slice in the single column.
+  EseConfig cfg;
+  cfg.pes = 4;
+  num::Matrix dense(8, 1, 0.0f);
+  dense(0, 0) = 1.0f;  // PE 0
+  dense(1, 0) = 1.0f;  // PE 1
+  dense(2, 0) = 1.0f;  // PE 2
+  dense(3, 0) = 1.0f;  // PE 3
+  const auto csc = CscMatrix::compress(dense, CscConfig{});
+  const auto result = EseTimingModel(cfg).matvec(csc);
+  EXPECT_EQ(result.cycles, 1);
+  EXPECT_EQ(result.ideal_cycles, 1);
+  EXPECT_DOUBLE_EQ(result.imbalance_waste(), 0.0);
+}
+
+TEST(EseTimingTest, SkewedColumnStallsOnWorstPe) {
+  // All four non-zeros land on PE 0 (rows 0, 4, 8, 12 with 4 PEs).
+  EseConfig cfg;
+  cfg.pes = 4;
+  num::Matrix dense(16, 1, 0.0f);
+  dense(0, 0) = 1.0f;
+  dense(4, 0) = 1.0f;
+  dense(8, 0) = 1.0f;
+  dense(12, 0) = 1.0f;
+  const auto csc = CscMatrix::compress(dense, CscConfig{});
+  const auto result = EseTimingModel(cfg).matvec(csc);
+  EXPECT_EQ(result.cycles, 4);       // PE 0 serializes
+  EXPECT_EQ(result.ideal_cycles, 1);  // balanced would take 1
+  EXPECT_DOUBLE_EQ(result.imbalance_waste(), 0.75);
+}
+
+TEST(EseTimingTest, BalancedModeIsCbsrLowerBound) {
+  EseConfig ese;
+  ese.pes = 8;
+  EseConfig cbsr = ese;
+  cbsr.balanced = true;
+  const auto dense = sparse_random(256, 64, 0.1, 1);
+  const auto csc = CscMatrix::compress(dense, CscConfig{});
+  const auto ese_result = EseTimingModel(ese).matvec(csc);
+  const auto cbsr_result = EseTimingModel(cbsr).matvec(csc);
+  EXPECT_EQ(cbsr_result.cycles, cbsr_result.ideal_cycles);
+  EXPECT_GE(ese_result.cycles, cbsr_result.cycles);
+}
+
+TEST(EseTimingTest, CbsrGainBoundsPaperReportedImprovement) {
+  // The paper quotes CBSR as 25-30% faster than ESE at the system
+  // level. The raw matvec load imbalance modeled here upper-bounds that
+  // (other pipeline stages dilute it), so the matvec-only gain must be
+  // at least 25% and stay within a small constant factor of it.
+  EseConfig ese;
+  ese.pes = 32;
+  EseConfig cbsr = ese;
+  cbsr.balanced = true;
+  const auto dense = sparse_random(1200, 300, 0.1, 2);
+  const auto csc = CscMatrix::compress(dense, CscConfig{});
+  const auto t_ese = EseTimingModel(ese).matvec(csc);
+  const auto t_cbsr = EseTimingModel(cbsr).matvec(csc);
+  const double gain = static_cast<double>(t_ese.cycles) /
+                      static_cast<double>(t_cbsr.cycles);
+  EXPECT_GT(gain, 1.25);
+  EXPECT_LT(gain, 2.5);
+}
+
+TEST(EseTimingTest, EquivalentGopsUsesDenseOps) {
+  EseConfig cfg;
+  const EseTimingModel model(cfg);
+  // 1000 cycles at 200 MHz = 5 us for a 100x100 dense-equivalent matvec
+  // (20k ops) -> 4 GOPS.
+  EXPECT_NEAR(model.equivalent_gops(100, 100, 1000), 4.0, 1e-9);
+}
+
+TEST(EseTimingTest, DenserMatrixTakesLonger) {
+  EseConfig cfg;
+  const EseTimingModel model(cfg);
+  const auto sparse = CscMatrix::compress(sparse_random(128, 128, 0.05, 3),
+                                          CscConfig{});
+  const auto dense = CscMatrix::compress(sparse_random(128, 128, 0.5, 3),
+                                         CscConfig{});
+  EXPECT_LT(model.matvec(sparse).cycles, model.matvec(dense).cycles);
+}
+
+TEST(EseTimingDeathTest, BadConfigAborts) {
+  EseConfig cfg;
+  cfg.pes = 0;
+  EXPECT_DEATH(EseTimingModel{cfg}, "precondition");
+}
+
+}  // namespace
+}  // namespace zss::baseline

@@ -1,0 +1,95 @@
+#include "baseline/weight_pruned_lm.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/csc_matrix.h"
+#include "data/char_corpus.h"
+
+namespace zss::baseline {
+namespace {
+
+using num::Index;
+
+data::CharCorpus tiny_corpus() {
+  data::CharCorpusConfig cfg;
+  cfg.train_chars = 12000;
+  cfg.valid_chars = 1500;
+  cfg.test_chars = 1500;
+  return data::CharCorpus::generate(cfg);
+}
+
+core::LmConfig tiny_config() {
+  core::LmConfig cfg;
+  cfg.vocab = data::CharCorpus::kVocab;
+  cfg.hidden = 32;
+  return cfg;
+}
+
+TEST(WeightPrunedLmTest, PruneReachesRequestedSparsity) {
+  WeightPrunedLm model(tiny_config());
+  model.prune_weights(0.9);
+  EXPECT_NEAR(model.recurrent_weight_sparsity(), 0.9, 0.01);
+  EXPECT_NEAR(model.input_weight_sparsity(), 0.9, 0.01);
+  EXPECT_TRUE(model.pruned());
+}
+
+TEST(WeightPrunedLmTest, RetrainingKeepsWeightsPruned) {
+  const auto corpus = tiny_corpus();
+  WeightPrunedLm model(tiny_config());
+  nn::Adam adam(2e-3f);
+  data::LmBatcher batcher(corpus.train(), 8, 16);
+  // Brief dense training, then prune, then retrain with the mask.
+  for (Index w = 0; w < 20; ++w) {
+    (void)model.train_window(batcher.window(w), adam, 5.0f);
+  }
+  model.prune_weights(0.8);
+  for (Index w = 0; w < 20; ++w) {
+    (void)model.train_window(batcher.window(w), adam, 5.0f);
+  }
+  EXPECT_NEAR(model.recurrent_weight_sparsity(), 0.8, 0.01);
+}
+
+TEST(WeightPrunedLmTest, RetrainingRecoversAccuracy) {
+  const auto corpus = tiny_corpus();
+  WeightPrunedLm model(tiny_config());
+  nn::Adam adam(2e-3f);
+  data::LmBatcher batcher(corpus.train(), 8, 16);
+  for (int e = 0; e < 2; ++e) {
+    for (Index w = 0; w < batcher.num_windows(); ++w) {
+      (void)model.train_window(batcher.window(w), adam, 5.0f);
+    }
+  }
+  const double dense_nll = model.evaluate(corpus.valid(), 4, 16).mean_nll;
+
+  model.prune_weights(0.7);
+  const double hurt_nll = model.evaluate(corpus.valid(), 4, 16).mean_nll;
+  for (int e = 0; e < 2; ++e) {
+    for (Index w = 0; w < batcher.num_windows(); ++w) {
+      (void)model.train_window(batcher.window(w), adam, 5.0f);
+    }
+  }
+  const double retrained_nll = model.evaluate(corpus.valid(), 4, 16).mean_nll;
+  // Pruning hurts; retraining with the mask recovers most of it.
+  EXPECT_GT(hurt_nll, dense_nll);
+  EXPECT_LT(retrained_nll, hurt_nll);
+  EXPECT_LT(retrained_nll, dense_nll * 1.25);
+}
+
+TEST(WeightPrunedLmTest, CompressesToCscForTheEseModel) {
+  WeightPrunedLm model(tiny_config());
+  model.prune_weights(0.9);
+  const auto csc =
+      CscMatrix::compress(model.cell().wh().value, CscConfig{});
+  // ~10% of 128x32 entries survive (plus occasional padding).
+  EXPECT_LT(csc.total_entries(), 128 * 32 / 5);
+  EXPECT_EQ(csc.decompress(), model.cell().wh().value);
+}
+
+TEST(WeightPrunedLmDeathTest, StatePrunerConfigRejected) {
+  auto cfg = tiny_config();
+  cfg.pruner = core::PrunerConfig::target(0.5);
+  EXPECT_DEATH(WeightPrunedLm{cfg}, "precondition");
+}
+
+}  // namespace
+}  // namespace zss::baseline

@@ -1,0 +1,103 @@
+#include "core/classifier_model.h"
+
+#include <gtest/gtest.h>
+
+#include "data/glyph_images.h"
+
+namespace zss::core {
+namespace {
+
+using num::Index;
+
+data::GlyphImages easy_images() {
+  data::GlyphConfig cfg;
+  cfg.side = 10;
+  cfg.train_count = 300;
+  cfg.test_count = 100;
+  cfg.noise_stddev = 0.02;
+  cfg.jitter_fraction = 0.05;
+  return data::GlyphImages::generate(cfg);
+}
+
+ClassifierConfig small_config() {
+  ClassifierConfig cfg;
+  cfg.hidden = 24;
+  return cfg;
+}
+
+TEST(ClassifierTest, UntrainedIsAtChance) {
+  const auto data = easy_images();
+  PrunedLstmClassifier model(small_config());
+  const auto eval = model.evaluate(data.test_images(), data.test_labels());
+  // 10 classes: chance is 90% error. Allow generous slack.
+  EXPECT_GT(eval.error_rate_percent, 70.0);
+}
+
+TEST(ClassifierTest, TrainingImprovesAccuracy) {
+  const auto data = easy_images();
+  PrunedLstmClassifier model(small_config());
+  nn::Adam adam(3e-3f);
+  data::ImageBatcher batcher(data.train_images(), data.train_labels(), 25);
+  num::Rng rng(1);
+  double nll = 0.0;
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    batcher.shuffle(rng);
+    for (Index b = 0; b < batcher.num_batches(); ++b) {
+      nll = model.train_batch(batcher.batch(b), adam, 5.0f);
+    }
+  }
+  (void)nll;
+  const auto eval = model.evaluate(data.test_images(), data.test_labels());
+  EXPECT_LT(eval.error_rate_percent, 55.0);  // far better than 90% chance
+}
+
+TEST(ClassifierTest, PrunedEvaluationReportsSparsity) {
+  const auto data = easy_images();
+  auto cfg = small_config();
+  cfg.pruner = PrunerConfig::target(0.8);
+  PrunedLstmClassifier model(cfg);
+  const auto eval = model.evaluate(data.test_images(), data.test_labels());
+  EXPECT_NEAR(eval.state_sparsity, 0.8, 0.05);
+}
+
+TEST(ClassifierTest, CollectStatesShapes) {
+  const auto data = easy_images();
+  auto cfg = small_config();
+  cfg.pruner = PrunerConfig::target(0.7);
+  PrunedLstmClassifier model(cfg);
+  sparse::SparsityMeter meter;
+  std::vector<num::Matrix> states;
+  num::Matrix eight_rows(8, data.pixels());
+  for (Index i = 0; i < 8; ++i) {
+    auto dst = eight_rows.row(i);
+    auto src = data.test_images().row(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  model.collect_states(eight_rows, meter, &states);
+  EXPECT_EQ(meter.timesteps(), data.pixels());
+  EXPECT_EQ(states.size(), static_cast<std::size_t>(data.pixels()));
+  EXPECT_EQ(states[0].rows(), 8);
+  EXPECT_EQ(states[0].cols(), cfg.hidden);
+}
+
+TEST(ClassifierTest, SetPrunerChangesSparsity) {
+  const auto data = easy_images();
+  PrunedLstmClassifier model(small_config());
+  auto eval = model.evaluate(data.test_images(), data.test_labels());
+  EXPECT_LT(eval.state_sparsity, 0.1);
+  model.set_pruner(PrunerConfig::target(0.9));
+  eval = model.evaluate(data.test_images(), data.test_labels());
+  EXPECT_NEAR(eval.state_sparsity, 0.9, 0.05);
+}
+
+TEST(ClassifierTest, DeterministicConstruction) {
+  const auto data = easy_images();
+  PrunedLstmClassifier a(small_config());
+  PrunedLstmClassifier b(small_config());
+  const auto ea = a.evaluate(data.test_images(), data.test_labels());
+  const auto eb = b.evaluate(data.test_images(), data.test_labels());
+  EXPECT_DOUBLE_EQ(ea.mean_nll, eb.mean_nll);
+}
+
+}  // namespace
+}  // namespace zss::core

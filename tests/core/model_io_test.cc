@@ -1,0 +1,99 @@
+#include "core/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "num/rng.h"
+
+namespace zss::core {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+void randomize(nn::Parameter& p, std::uint64_t seed) {
+  num::Rng rng(seed);
+  for (float& v : p.value.flat()) v = static_cast<float>(rng.normal());
+}
+
+TEST(ModelIoTest, RoundTripPreservesValues) {
+  nn::Parameter a("a", 3, 4);
+  nn::Parameter b("b", 1, 7);
+  randomize(a, 1);
+  randomize(b, 2);
+  const std::vector<nn::Parameter*> params = {&a, &b};
+  const std::string path = temp_path("roundtrip.zssm");
+  ASSERT_TRUE(save_parameters(path, params));
+
+  nn::Parameter a2("a", 3, 4);
+  nn::Parameter b2("b", 1, 7);
+  const std::vector<nn::Parameter*> loaded = {&a2, &b2};
+  ASSERT_TRUE(load_parameters(path, loaded));
+  EXPECT_EQ(a2.value, a.value);
+  EXPECT_EQ(b2.value, b.value);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, ShapeMismatchRejected) {
+  nn::Parameter a("a", 2, 2);
+  randomize(a, 3);
+  const std::vector<nn::Parameter*> params = {&a};
+  const std::string path = temp_path("shape.zssm");
+  ASSERT_TRUE(save_parameters(path, params));
+
+  nn::Parameter wrong("a", 2, 3);
+  const std::vector<nn::Parameter*> loaded = {&wrong};
+  EXPECT_FALSE(load_parameters(path, loaded));
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, CountMismatchRejected) {
+  nn::Parameter a("a", 2, 2);
+  const std::vector<nn::Parameter*> params = {&a};
+  const std::string path = temp_path("count.zssm");
+  ASSERT_TRUE(save_parameters(path, params));
+
+  nn::Parameter b("b", 2, 2);
+  const std::vector<nn::Parameter*> loaded = {&a, &b};
+  EXPECT_FALSE(load_parameters(path, loaded));
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, MissingFileRejected) {
+  nn::Parameter a("a", 1, 1);
+  const std::vector<nn::Parameter*> params = {&a};
+  EXPECT_FALSE(load_parameters(temp_path("does_not_exist.zssm"), params));
+}
+
+TEST(ModelIoTest, CorruptMagicRejected) {
+  const std::string path = temp_path("corrupt.zssm");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("NOPE", f);
+  std::fclose(f);
+  nn::Parameter a("a", 1, 1);
+  const std::vector<nn::Parameter*> params = {&a};
+  EXPECT_FALSE(load_parameters(path, params));
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, TruncatedFileRejected) {
+  nn::Parameter a("a", 8, 8);
+  randomize(a, 4);
+  const std::vector<nn::Parameter*> params = {&a};
+  const std::string path = temp_path("trunc.zssm");
+  ASSERT_TRUE(save_parameters(path, params));
+  // Truncate the payload.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), 40), 0);
+  EXPECT_FALSE(load_parameters(path, params));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace zss::core

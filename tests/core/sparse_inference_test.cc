@@ -1,0 +1,140 @@
+#include "core/sparse_inference.h"
+
+#include <gtest/gtest.h>
+
+#include "num/rng.h"
+
+namespace zss::core {
+namespace {
+
+using num::Index;
+using num::Matrix;
+using num::Rng;
+
+Matrix random_matrix(Index rows, Index cols, Rng& rng, double scale = 0.5) {
+  Matrix m(rows, cols);
+  for (float& v : m.flat()) v = static_cast<float>(rng.uniform(-scale, scale));
+  return m;
+}
+
+class SparseInferenceTest : public ::testing::Test {
+ protected:
+  SparseInferenceTest() : rng_(42), cell_(4, 12, rng_) {}
+
+  Rng rng_;
+  nn::LstmCell cell_;
+};
+
+TEST_F(SparseInferenceTest, SparseStepMatchesDenseStepExactly) {
+  StatePruner pruner(PrunerConfig::target(0.75));
+  SparseLstmEngine sparse(cell_, pruner);
+  SparseLstmEngine dense(cell_, pruner);
+
+  Matrix h_s(2, 12, 0.0f);
+  Matrix c_s(2, 12, 0.0f);
+  Matrix h_d(2, 12, 0.0f);
+  Matrix c_d(2, 12, 0.0f);
+  for (int t = 0; t < 20; ++t) {
+    const Matrix x = random_matrix(2, 4, rng_);
+    sparse.step(x, h_s, c_s);
+    dense.step_dense(x, h_d, c_d);
+    // Bit-exact: skipped terms are IEEE identities and the accumulation
+    // order of surviving terms matches.
+    EXPECT_EQ(h_s, h_d) << "step " << t;
+    EXPECT_EQ(c_s, c_d) << "step " << t;
+  }
+}
+
+TEST_F(SparseInferenceTest, StatsCountSkippedWork) {
+  StatePruner pruner(PrunerConfig::target(0.5));
+  SparseLstmEngine engine(cell_, pruner);
+  Matrix h(1, 12, 0.0f);
+  Matrix c(1, 12, 0.0f);
+  const Matrix x = random_matrix(1, 4, rng_);
+  engine.step(x, h, c);  // first step: h starts all-zero -> max skipping
+  const auto& stats = engine.stats();
+  EXPECT_EQ(stats.steps, 1);
+  EXPECT_EQ(stats.state_macs_effectual, 0);  // zero state: all skipped
+  EXPECT_EQ(stats.state_macs_total, 12 * 48);
+  EXPECT_EQ(stats.input_macs, 4 * 48);
+  EXPECT_DOUBLE_EQ(stats.observed_sparsity(), 1.0);
+
+  engine.step(x, h, c);  // now the state is ~50% sparse
+  EXPECT_EQ(engine.stats().steps, 2);
+  EXPECT_GT(engine.stats().state_macs_effectual, 0);
+  EXPECT_LT(engine.stats().state_macs_effectual,
+            engine.stats().state_macs_total);
+}
+
+TEST_F(SparseInferenceTest, SpeedupTracksSparsity) {
+  StatePruner pruner(PrunerConfig::target(0.75));
+  SparseLstmEngine engine(cell_, pruner);
+  Matrix h(1, 12, 0.0f);
+  Matrix c(1, 12, 0.0f);
+  for (int t = 0; t < 50; ++t) {
+    const Matrix x = random_matrix(1, 4, rng_);
+    engine.step(x, h, c);
+  }
+  // 75% target sparsity at batch 1: state matvec speedup ~= 4x.
+  EXPECT_NEAR(engine.stats().state_speedup(), 4.0, 1.0);
+}
+
+TEST_F(SparseInferenceTest, BatchIntersectionLimitsSkipping) {
+  // With a batch, only positions zero in ALL lanes are skipped, so the
+  // effectual fraction must exceed the per-lane density.
+  StatePruner pruner(PrunerConfig::target(0.5));
+  SparseLstmEngine engine(cell_, pruner);
+  Matrix h(4, 12, 0.0f);
+  Matrix c(4, 12, 0.0f);
+  for (int t = 0; t < 30; ++t) {
+    const Matrix x = random_matrix(4, 4, rng_);
+    engine.step(x, h, c);
+  }
+  // Kept fraction >= per-element density (0.5); typically much more.
+  const double kept = 1.0 - engine.stats().observed_sparsity();
+  EXPECT_GE(kept, 0.45);
+}
+
+TEST_F(SparseInferenceTest, DenseEngineNeverSkips) {
+  StatePruner pruner(PrunerConfig::none());
+  SparseLstmEngine engine(cell_, pruner);
+  Matrix h(1, 12, 0.0f);
+  Matrix c(1, 12, 0.0f);
+  const Matrix x = random_matrix(1, 4, rng_);
+  engine.step(x, h, c);   // all-zero initial state still skips...
+  engine.step(x, h, c);   // ...but a dense state afterwards must not
+  const auto& stats = engine.stats();
+  EXPECT_EQ(stats.kept_positions, 0 + 12);
+  EXPECT_DOUBLE_EQ(stats.observed_sparsity(), 0.5);
+}
+
+TEST_F(SparseInferenceTest, ResetStatsClears) {
+  StatePruner pruner(PrunerConfig::none());
+  SparseLstmEngine engine(cell_, pruner);
+  Matrix h(1, 12, 0.0f);
+  Matrix c(1, 12, 0.0f);
+  const Matrix x = random_matrix(1, 4, rng_);
+  engine.step(x, h, c);
+  engine.reset_stats();
+  EXPECT_EQ(engine.stats().steps, 0);
+  EXPECT_EQ(engine.stats().state_macs_total, 0);
+}
+
+TEST_F(SparseInferenceTest, StoredStateIsPruned) {
+  StatePruner pruner(PrunerConfig::target(0.9));
+  SparseLstmEngine engine(cell_, pruner);
+  Matrix h(1, 12, 0.0f);
+  Matrix c(1, 12, 0.0f);
+  for (int t = 0; t < 5; ++t) {
+    const Matrix x = random_matrix(1, 4, rng_);
+    engine.step(x, h, c);
+  }
+  Index zeros = 0;
+  for (float v : h.flat()) {
+    if (v == 0.0f) ++zeros;
+  }
+  EXPECT_GE(zeros, 10);  // ~90% of 12
+}
+
+}  // namespace
+}  // namespace zss::core

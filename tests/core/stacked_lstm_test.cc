@@ -1,0 +1,126 @@
+#include "core/stacked_lstm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/char_corpus.h"
+#include "nn/optimizer.h"
+
+namespace zss::core {
+namespace {
+
+using num::Index;
+
+data::CharCorpus tiny_corpus() {
+  data::CharCorpusConfig cfg;
+  cfg.train_chars = 12000;
+  cfg.valid_chars = 1500;
+  cfg.test_chars = 1500;
+  return data::CharCorpus::generate(cfg);
+}
+
+StackedLmConfig two_layer_config() {
+  StackedLmConfig cfg;
+  cfg.vocab = data::CharCorpus::kVocab;
+  cfg.layers = 2;
+  cfg.hidden = 24;
+  return cfg;
+}
+
+TEST(StackedLstmTest, ParameterCountScalesWithLayers) {
+  auto cfg = two_layer_config();
+  StackedPrunedLstmLm two(cfg);
+  cfg.layers = 3;
+  StackedPrunedLstmLm three(cfg);
+  // Each extra layer adds 3 parameters (wx, wh, b).
+  EXPECT_EQ(two.parameters().size() + 3, three.parameters().size());
+}
+
+TEST(StackedLstmTest, InitialLossNearUniform) {
+  const auto corpus = tiny_corpus();
+  StackedPrunedLstmLm model(two_layer_config());
+  const auto eval = model.evaluate(corpus.test(), 4, 16);
+  EXPECT_NEAR(eval.mean_nll, std::log(50.0), 0.7);
+  ASSERT_EQ(eval.layer_sparsity.size(), 2u);
+}
+
+TEST(StackedLstmTest, TrainingReducesLoss) {
+  const auto corpus = tiny_corpus();
+  StackedPrunedLstmLm model(two_layer_config());
+  nn::Adam adam(2e-3f);
+  const auto before = model.evaluate(corpus.valid(), 4, 16);
+  data::LmBatcher batcher(corpus.train(), 8, 20);
+  for (int e = 0; e < 2; ++e) {
+    for (Index w = 0; w < batcher.num_windows(); ++w) {
+      (void)model.train_window(batcher.window(w), adam, 5.0f);
+    }
+  }
+  const auto after = model.evaluate(corpus.valid(), 4, 16);
+  EXPECT_LT(after.mean_nll, before.mean_nll - 0.2);
+}
+
+TEST(StackedLstmTest, PrunedTrainingTracksPerLayerSparsity) {
+  const auto corpus = tiny_corpus();
+  auto cfg = two_layer_config();
+  cfg.pruner = PrunerConfig::target(0.7);
+  StackedPrunedLstmLm model(cfg);
+  nn::Adam adam(2e-3f);
+  data::LmBatcher batcher(corpus.train(), 8, 20);
+  for (Index w = 0; w < 25; ++w) {
+    (void)model.train_window(batcher.window(w), adam, 5.0f);
+  }
+  const auto eval = model.evaluate(corpus.valid(), 4, 16);
+  ASSERT_EQ(eval.layer_sparsity.size(), 2u);
+  EXPECT_NEAR(eval.layer_sparsity[0], 0.7, 0.05);
+  EXPECT_NEAR(eval.layer_sparsity[1], 0.7, 0.05);
+}
+
+TEST(StackedLstmTest, InterLayerDropoutTrains) {
+  const auto corpus = tiny_corpus();
+  auto cfg = two_layer_config();
+  cfg.inter_layer_dropout = 0.3;
+  StackedPrunedLstmLm model(cfg);
+  nn::Adam adam(2e-3f);
+  const auto before = model.evaluate(corpus.valid(), 4, 16);
+  data::LmBatcher batcher(corpus.train(), 8, 20);
+  for (Index w = 0; w < batcher.num_windows(); ++w) {
+    (void)model.train_window(batcher.window(w), adam, 5.0f);
+  }
+  const auto after = model.evaluate(corpus.valid(), 4, 16);
+  EXPECT_LT(after.mean_nll, before.mean_nll);
+}
+
+TEST(StackedLstmTest, SingleLayerBehavesLikeBaseModelShape) {
+  auto cfg = two_layer_config();
+  cfg.layers = 1;
+  StackedPrunedLstmLm model(cfg);
+  EXPECT_EQ(model.parameters().size(), 5u);  // wx, wh, b, classifier W+b
+  const auto corpus = tiny_corpus();
+  const auto eval = model.evaluate(corpus.test(), 2, 8);
+  EXPECT_GT(eval.bpc, 0.0);
+}
+
+TEST(StackedLstmTest, CollectStatesPerLayerMeters) {
+  const auto corpus = tiny_corpus();
+  auto cfg = two_layer_config();
+  cfg.pruner = PrunerConfig::target(0.8);
+  StackedPrunedLstmLm model(cfg);
+  std::vector<sparse::SparsityMeter> meters(2);
+  model.collect_states(corpus.test(), 4, 40, meters);
+  for (const auto& meter : meters) {
+    EXPECT_EQ(meter.timesteps(), 40);
+    EXPECT_NEAR(meter.mean_element_sparsity(), 0.8, 0.06);
+  }
+}
+
+TEST(StackedLstmDeathTest, BadLayerCountAborts) {
+  auto cfg = two_layer_config();
+  cfg.layers = 0;
+  EXPECT_DEATH(StackedPrunedLstmLm{cfg}, "precondition");
+  cfg.layers = 20;
+  EXPECT_DEATH(StackedPrunedLstmLm{cfg}, "precondition");
+}
+
+}  // namespace
+}  // namespace zss::core

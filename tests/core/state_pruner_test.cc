@@ -1,0 +1,138 @@
+#include "core/state_pruner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "num/rng.h"
+#include "num/stats.h"
+
+namespace zss::core {
+namespace {
+
+using num::Index;
+using num::Matrix;
+
+Matrix random_state(Index rows, Index cols, std::uint64_t seed) {
+  num::Rng rng(seed);
+  Matrix m(rows, cols);
+  for (float& v : m.flat()) v = static_cast<float>(rng.normal(0.0, 0.3));
+  return m;
+}
+
+TEST(StatePrunerTest, NoneModeIsIdentity) {
+  StatePruner pruner(PrunerConfig::none());
+  EXPECT_FALSE(pruner.enabled());
+  const Matrix h = random_state(2, 8, 1);
+  Matrix out;
+  EXPECT_DOUBLE_EQ(pruner.prune(h, out), 0.0);
+  EXPECT_EQ(out, h);
+}
+
+TEST(StatePrunerTest, FixedThresholdZeroesSmallMagnitudes) {
+  StatePruner pruner(PrunerConfig::fixed(0.5f));
+  Matrix h(1, 4);
+  h(0, 0) = 0.4f;
+  h(0, 1) = -0.6f;
+  h(0, 2) = 0.5f;   // |h| == T is KEPT (Eq. 5: pruned only when |h| < T)
+  h(0, 3) = -0.1f;
+  Matrix out;
+  const double sparsity = pruner.prune(h, out);
+  EXPECT_FLOAT_EQ(out(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(out(0, 1), -0.6f);
+  EXPECT_FLOAT_EQ(out(0, 2), 0.5f);
+  EXPECT_FLOAT_EQ(out(0, 3), 0.0f);
+  EXPECT_DOUBLE_EQ(sparsity, 0.5);
+}
+
+TEST(StatePrunerTest, InplaceMatchesCopyingVariant) {
+  StatePruner pruner(PrunerConfig::fixed(0.2f));
+  Matrix h = random_state(3, 16, 2);
+  Matrix copy_result;
+  pruner.prune(h, copy_result);
+  Matrix inplace = h;
+  pruner.prune_inplace(inplace);
+  EXPECT_EQ(inplace, copy_result);
+}
+
+TEST(StatePrunerTest, ZeroThresholdKeepsEverything) {
+  StatePruner pruner(PrunerConfig::fixed(0.0f));
+  const Matrix h = random_state(1, 32, 3);
+  Matrix out;
+  EXPECT_DOUBLE_EQ(pruner.prune(h, out), 0.0);
+  EXPECT_EQ(out, h);
+}
+
+TEST(StatePrunerTest, TargetSparsityZeroIsIdentity) {
+  StatePruner pruner(PrunerConfig::target(0.0));
+  const Matrix h = random_state(1, 32, 4);
+  Matrix out;
+  EXPECT_DOUBLE_EQ(pruner.prune(h, out), 0.0);
+  EXPECT_EQ(out, h);
+}
+
+TEST(StatePrunerTest, TargetSparsityOneZeroesEverything) {
+  StatePruner pruner(PrunerConfig::target(1.0));
+  const Matrix h = random_state(1, 32, 5);
+  Matrix out;
+  const double s = pruner.prune(h, out);
+  EXPECT_GT(s, 0.96);  // the max-|h| element sits exactly at the quantile
+  for (Index j = 0; j < 32; ++j) {
+    if (out(0, j) != 0.0f) {
+      // At most the single largest-magnitude element may survive.
+      EXPECT_FLOAT_EQ(std::fabs(out(0, j)),
+                      num::quantile_abs(h.flat(), 1.0));
+    }
+  }
+}
+
+TEST(StatePrunerTest, SurvivorsKeepTheirValues) {
+  StatePruner pruner(PrunerConfig::target(0.5));
+  const Matrix h = random_state(2, 64, 6);
+  Matrix out;
+  pruner.prune(h, out);
+  for (Index r = 0; r < 2; ++r) {
+    for (Index c = 0; c < 64; ++c) {
+      EXPECT_TRUE(out(r, c) == 0.0f || out(r, c) == h(r, c));
+    }
+  }
+}
+
+TEST(StatePrunerTest, EffectiveThresholdMatchesMode) {
+  const Matrix h = random_state(1, 100, 7);
+  StatePruner fixed(PrunerConfig::fixed(0.123f));
+  EXPECT_FLOAT_EQ(fixed.effective_threshold(h), 0.123f);
+  StatePruner none(PrunerConfig::none());
+  EXPECT_FLOAT_EQ(none.effective_threshold(h), 0.0f);
+  StatePruner target(PrunerConfig::target(0.9));
+  const float t = target.effective_threshold(h);
+  EXPECT_NEAR(num::below_threshold_fraction(h.flat(), t), 0.9, 0.02);
+}
+
+// Sweep: requested sparsity is achieved within tolerance for normal data.
+class TargetSparsityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(TargetSparsityTest, AchievesRequestedDegree) {
+  const double target = GetParam();
+  StatePruner pruner(PrunerConfig::target(target));
+  const Matrix h = random_state(8, 512, 8);
+  Matrix out;
+  const double achieved = pruner.prune(h, out);
+  EXPECT_NEAR(achieved, target, 0.01);
+  EXPECT_NEAR(num::zero_fraction(out.flat()), target, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, TargetSparsityTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.8, 0.9,
+                                           0.95, 0.97, 0.99));
+
+TEST(StatePrunerDeathTest, NegativeThresholdAborts) {
+  EXPECT_DEATH(StatePruner(PrunerConfig::fixed(-1.0f)), "precondition");
+}
+
+TEST(StatePrunerDeathTest, SparsityOutOfRangeAborts) {
+  EXPECT_DEATH(StatePruner(PrunerConfig::target(1.5)), "precondition");
+}
+
+}  // namespace
+}  // namespace zss::core

@@ -1,0 +1,69 @@
+#include "core/sweet_spot.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace zss::core {
+namespace {
+
+TEST(SweetSpotTest, EmptyInputNotFound) {
+  const std::vector<SweepPoint> points;
+  EXPECT_FALSE(find_sweet_spot(points).found);
+}
+
+TEST(SweetSpotTest, FlatCurvePicksHighestSparsity) {
+  const std::vector<SweepPoint> points = {
+      {0.0, 1.50}, {0.5, 1.50}, {0.9, 1.50}, {0.97, 1.50}};
+  const auto spot = find_sweet_spot(points);
+  ASSERT_TRUE(spot.found);
+  EXPECT_DOUBLE_EQ(spot.sparsity, 0.97);
+}
+
+TEST(SweetSpotTest, CliffExcludesDegradedPoints) {
+  // The paper's characteristic shape: flat then sharply worse.
+  const std::vector<SweepPoint> points = {
+      {0.0, 1.50}, {0.8, 1.49}, {0.9, 1.48}, {0.97, 1.50}, {0.99, 1.80}};
+  const auto spot = find_sweet_spot(points, 0.02);
+  ASSERT_TRUE(spot.found);
+  EXPECT_DOUBLE_EQ(spot.sparsity, 0.97);
+}
+
+TEST(SweetSpotTest, RegularizationBumpStillQualifies) {
+  // Pruned points better than dense (the paper observes this) qualify.
+  const std::vector<SweepPoint> points = {{0.0, 2.0}, {0.9, 1.9}};
+  const auto spot = find_sweet_spot(points, 0.0);
+  ASSERT_TRUE(spot.found);
+  EXPECT_DOUBLE_EQ(spot.sparsity, 0.9);
+  EXPECT_DOUBLE_EQ(spot.metric, 1.9);
+}
+
+TEST(SweetSpotTest, ToleranceWidensBudget) {
+  const std::vector<SweepPoint> points = {{0.0, 1.0}, {0.95, 1.05}};
+  EXPECT_DOUBLE_EQ(find_sweet_spot(points, 0.0).sparsity, 0.0);
+  EXPECT_DOUBLE_EQ(find_sweet_spot(points, 0.10).sparsity, 0.95);
+}
+
+TEST(SweetSpotTest, BaselineIsLowestSparsityPoint) {
+  // Order in the vector must not matter.
+  const std::vector<SweepPoint> points = {
+      {0.9, 1.2}, {0.0, 1.0}, {0.5, 1.01}};
+  const auto spot = find_sweet_spot(points, 0.02);
+  ASSERT_TRUE(spot.found);
+  EXPECT_DOUBLE_EQ(spot.sparsity, 0.5);
+}
+
+TEST(SweetSpotTest, DenseOnlyReturnsDense) {
+  const std::vector<SweepPoint> points = {{0.0, 3.3}};
+  const auto spot = find_sweet_spot(points);
+  ASSERT_TRUE(spot.found);
+  EXPECT_DOUBLE_EQ(spot.sparsity, 0.0);
+}
+
+TEST(SweetSpotDeathTest, NegativeToleranceAborts) {
+  const std::vector<SweepPoint> points = {{0.0, 1.0}};
+  EXPECT_DEATH((void)find_sweet_spot(points, -0.1), "precondition");
+}
+
+}  // namespace
+}  // namespace zss::core

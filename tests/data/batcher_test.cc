@@ -1,0 +1,139 @@
+#include "data/batcher.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+namespace zss::data {
+namespace {
+
+std::vector<num::Index> iota_stream(num::Index n) {
+  std::vector<num::Index> s(static_cast<std::size_t>(n));
+  std::iota(s.begin(), s.end(), 0);
+  return s;
+}
+
+TEST(LmBatcherTest, WindowShapeAndCount) {
+  const auto stream = iota_stream(101);
+  LmBatcher batcher(stream, /*batch=*/2, /*seq_len=*/10);
+  // Each lane holds 50 tokens, 49 usable as inputs -> 4 windows of 10.
+  EXPECT_EQ(batcher.num_windows(), 4);
+  const auto w = batcher.window(0);
+  EXPECT_EQ(w.inputs.size(), 20u);
+  EXPECT_EQ(w.targets.size(), 20u);
+  EXPECT_TRUE(w.first);
+  EXPECT_FALSE(batcher.window(1).first);
+}
+
+TEST(LmBatcherTest, TargetsAreNextTokens) {
+  const auto stream = iota_stream(100);
+  LmBatcher batcher(stream, 2, 5);
+  for (num::Index w = 0; w < batcher.num_windows(); ++w) {
+    const auto batch = batcher.window(w);
+    for (std::size_t i = 0; i < batch.inputs.size(); ++i) {
+      EXPECT_EQ(batch.targets[i], batch.inputs[i] + 1);
+    }
+  }
+}
+
+TEST(LmBatcherTest, LanesAreContiguousChunks) {
+  const auto stream = iota_stream(100);
+  LmBatcher batcher(stream, 2, 5);
+  const auto w0 = batcher.window(0);
+  // Lane 0 starts at 0, lane 1 at 50 (stream_size / batch).
+  EXPECT_EQ(w0.inputs[0], 0);
+  EXPECT_EQ(w0.inputs[1], 50);
+  // Time-major layout: step t, lane b at [t * batch + b].
+  EXPECT_EQ(w0.inputs[2], 1);
+  EXPECT_EQ(w0.inputs[3], 51);
+}
+
+TEST(LmBatcherTest, ConsecutiveWindowsContinueLanes) {
+  const auto stream = iota_stream(100);
+  LmBatcher batcher(stream, 2, 5);
+  const auto w0 = batcher.window(0);
+  const auto w1 = batcher.window(1);
+  // Lane 0 last input of w0 is 4; first of w1 must be 5 (state carry).
+  EXPECT_EQ(w0.inputs[4 * 2 + 0], 4);
+  EXPECT_EQ(w1.inputs[0], 5);
+}
+
+TEST(LmBatcherTest, BatchOfOneUsesWholeStream) {
+  const auto stream = iota_stream(21);
+  LmBatcher batcher(stream, 1, 4);
+  EXPECT_EQ(batcher.num_windows(), 5);
+}
+
+TEST(LmBatcherDeathTest, BadWindowIndexAborts) {
+  const auto stream = iota_stream(100);
+  LmBatcher batcher(stream, 2, 5);
+  EXPECT_DEATH((void)batcher.window(99), "precondition");
+}
+
+TEST(LmBatcherDeathTest, TooShortStreamAborts) {
+  const auto stream = iota_stream(4);
+  EXPECT_DEATH(LmBatcher(stream, 2, 10), "precondition");
+}
+
+TEST(ImageBatcherTest, BatchShapes) {
+  num::Matrix images(10, 9, 0.5f);
+  std::vector<num::Index> labels(10, 3);
+  ImageBatcher batcher(images, labels, 4);
+  EXPECT_EQ(batcher.num_batches(), 2);  // 10 / 4, remainder dropped
+  const auto b = batcher.batch(0);
+  EXPECT_EQ(b.images.rows(), 4);
+  EXPECT_EQ(b.images.cols(), 9);
+  EXPECT_EQ(b.labels.size(), 4u);
+}
+
+TEST(ImageBatcherTest, UnshuffledOrderIsIdentity) {
+  num::Matrix images(6, 2, 0.0f);
+  std::vector<num::Index> labels = {0, 1, 2, 3, 4, 5};
+  for (num::Index i = 0; i < 6; ++i) images(i, 0) = static_cast<float>(i);
+  ImageBatcher batcher(images, labels, 3);
+  const auto b0 = batcher.batch(0);
+  EXPECT_EQ(b0.labels, (std::vector<num::Index>{0, 1, 2}));
+  EXPECT_FLOAT_EQ(b0.images(2, 0), 2.0f);
+}
+
+TEST(ImageBatcherTest, ShuffleKeepsImageLabelPairsAligned) {
+  num::Matrix images(8, 1, 0.0f);
+  std::vector<num::Index> labels(8);
+  for (num::Index i = 0; i < 8; ++i) {
+    images(i, 0) = static_cast<float>(i);
+    labels[static_cast<std::size_t>(i)] = i;
+  }
+  ImageBatcher batcher(images, labels, 4);
+  num::Rng rng(5);
+  batcher.shuffle(rng);
+  for (num::Index b = 0; b < batcher.num_batches(); ++b) {
+    const auto batch = batcher.batch(b);
+    for (num::Index i = 0; i < 4; ++i) {
+      EXPECT_FLOAT_EQ(batch.images(i, 0),
+                      static_cast<float>(batch.labels[static_cast<std::size_t>(i)]));
+    }
+  }
+}
+
+TEST(ImageBatcherTest, ShuffleCoversAllSamples) {
+  num::Matrix images(8, 1, 0.0f);
+  std::vector<num::Index> labels = {0, 1, 2, 3, 4, 5, 6, 7};
+  ImageBatcher batcher(images, labels, 4);
+  num::Rng rng(6);
+  batcher.shuffle(rng);
+  std::set<num::Index> seen;
+  for (num::Index b = 0; b < batcher.num_batches(); ++b) {
+    for (auto l : batcher.batch(b).labels) seen.insert(l);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(ImageBatcherDeathTest, MismatchedLabelsAbort) {
+  num::Matrix images(4, 2);
+  std::vector<num::Index> labels(3);
+  EXPECT_DEATH(ImageBatcher(images, labels, 2), "precondition");
+}
+
+}  // namespace
+}  // namespace zss::data

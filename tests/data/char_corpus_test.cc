@@ -1,0 +1,99 @@
+#include "data/char_corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace zss::data {
+namespace {
+
+CharCorpusConfig small_config() {
+  CharCorpusConfig cfg;
+  cfg.train_chars = 20000;
+  cfg.valid_chars = 2000;
+  cfg.test_chars = 2000;
+  return cfg;
+}
+
+TEST(CharCorpusTest, SplitSizesMatchConfig) {
+  const auto corpus = CharCorpus::generate(small_config());
+  EXPECT_EQ(corpus.train().size(), 20000u);
+  EXPECT_EQ(corpus.valid().size(), 2000u);
+  EXPECT_EQ(corpus.test().size(), 2000u);
+}
+
+TEST(CharCorpusTest, SymbolsWithinVocab) {
+  const auto corpus = CharCorpus::generate(small_config());
+  for (auto id : corpus.train()) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, CharCorpus::kVocab);
+  }
+}
+
+TEST(CharCorpusTest, DeterministicFromSeed) {
+  const auto a = CharCorpus::generate(small_config());
+  const auto b = CharCorpus::generate(small_config());
+  EXPECT_EQ(a.train(), b.train());
+  EXPECT_EQ(a.test(), b.test());
+}
+
+TEST(CharCorpusTest, DifferentSeedsDiffer) {
+  auto cfg = small_config();
+  const auto a = CharCorpus::generate(cfg);
+  cfg.seed = 999;
+  const auto b = CharCorpus::generate(cfg);
+  EXPECT_NE(a.train(), b.train());
+}
+
+TEST(CharCorpusTest, ContainsWordStructure) {
+  const auto corpus = CharCorpus::generate(small_config());
+  // Spaces must appear with word-like frequency (between 5% and 40%).
+  num::Index spaces = 0;
+  for (auto id : corpus.train()) {
+    if (corpus.symbol(id) == ' ') ++spaces;
+  }
+  const double frac =
+      static_cast<double>(spaces) / static_cast<double>(corpus.train().size());
+  EXPECT_GT(frac, 0.05);
+  EXPECT_LT(frac, 0.4);
+}
+
+TEST(CharCorpusTest, UsesLimitedAlphabetHeavily) {
+  // Letters dominate; rare marks occur rarely or never. This keeps the
+  // stream learnable (entropy well below log2(50)).
+  const auto corpus = CharCorpus::generate(small_config());
+  num::Index letters = 0;
+  for (auto id : corpus.train()) {
+    if (id < 26) ++letters;
+  }
+  EXPECT_GT(static_cast<double>(letters) /
+                static_cast<double>(corpus.train().size()),
+            0.6);
+}
+
+TEST(CharCorpusTest, ToTextRendersPrintable) {
+  const auto corpus = CharCorpus::generate(small_config());
+  const std::vector<num::Index> head(corpus.train().begin(),
+                                     corpus.train().begin() + 50);
+  const std::string text = corpus.to_text(head);
+  EXPECT_EQ(text.size(), 50u);
+  for (char c : text) EXPECT_TRUE(std::isprint(static_cast<unsigned char>(c)));
+}
+
+TEST(CharCorpusTest, SplitsAreContiguousNotOverlapping) {
+  // Valid and test come from disjoint parts of one stream; they should
+  // not be identical to the head of train.
+  const auto corpus = CharCorpus::generate(small_config());
+  const std::vector<num::Index> train_head(corpus.train().begin(),
+                                           corpus.train().begin() + 2000);
+  EXPECT_NE(train_head, corpus.valid());
+}
+
+TEST(CharCorpusDeathTest, BadConfigAborts) {
+  CharCorpusConfig cfg = small_config();
+  cfg.train_chars = 0;
+  EXPECT_DEATH((void)CharCorpus::generate(cfg), "precondition");
+}
+
+}  // namespace
+}  // namespace zss::data

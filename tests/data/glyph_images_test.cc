@@ -1,0 +1,111 @@
+#include "data/glyph_images.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace zss::data {
+namespace {
+
+GlyphConfig small_config() {
+  GlyphConfig cfg;
+  cfg.side = 12;
+  cfg.train_count = 200;
+  cfg.test_count = 50;
+  return cfg;
+}
+
+TEST(GlyphImagesTest, Shapes) {
+  const auto images = GlyphImages::generate(small_config());
+  EXPECT_EQ(images.train_images().rows(), 200);
+  EXPECT_EQ(images.train_images().cols(), 144);
+  EXPECT_EQ(images.train_labels().size(), 200u);
+  EXPECT_EQ(images.test_images().rows(), 50);
+  EXPECT_EQ(images.pixels(), 144);
+}
+
+TEST(GlyphImagesTest, PixelRange) {
+  const auto images = GlyphImages::generate(small_config());
+  for (float v : images.train_images().flat()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(GlyphImagesTest, LabelsBalancedRoundRobin) {
+  const auto images = GlyphImages::generate(small_config());
+  std::vector<num::Index> counts(GlyphImages::kClasses, 0);
+  for (auto l : images.train_labels()) {
+    ASSERT_GE(l, 0);
+    ASSERT_LT(l, GlyphImages::kClasses);
+    ++counts[static_cast<std::size_t>(l)];
+  }
+  for (auto c : counts) EXPECT_EQ(c, 20);
+}
+
+TEST(GlyphImagesTest, Deterministic) {
+  const auto a = GlyphImages::generate(small_config());
+  const auto b = GlyphImages::generate(small_config());
+  EXPECT_EQ(a.train_images(), b.train_images());
+  EXPECT_EQ(a.train_labels(), b.train_labels());
+}
+
+TEST(GlyphImagesTest, ClassesAreVisuallyDistinct) {
+  // Mean images of different classes should differ substantially.
+  auto cfg = small_config();
+  cfg.noise_stddev = 0.0;
+  cfg.jitter_fraction = 0.0;
+  const auto images = GlyphImages::generate(cfg);
+  num::Matrix mean(GlyphImages::kClasses, images.pixels(), 0.0f);
+  std::vector<num::Index> counts(GlyphImages::kClasses, 0);
+  for (num::Index i = 0; i < images.train_images().rows(); ++i) {
+    const auto label = images.train_labels()[static_cast<std::size_t>(i)];
+    ++counts[static_cast<std::size_t>(label)];
+    auto m = mean.row(label);
+    auto im = images.train_images().row(i);
+    for (std::size_t p = 0; p < m.size(); ++p) m[p] += im[p];
+  }
+  for (num::Index c = 0; c < GlyphImages::kClasses; ++c) {
+    for (float& v : mean.row(c)) {
+      v /= static_cast<float>(counts[static_cast<std::size_t>(c)]);
+    }
+  }
+  for (num::Index a = 0; a < GlyphImages::kClasses; ++a) {
+    for (num::Index b = a + 1; b < GlyphImages::kClasses; ++b) {
+      float diff = 0.0f;
+      for (num::Index p = 0; p < images.pixels(); ++p) {
+        diff += std::fabs(mean(a, p) - mean(b, p));
+      }
+      EXPECT_GT(diff, 1.0f) << "classes " << a << " and " << b;
+    }
+  }
+}
+
+TEST(GlyphImagesTest, NoiseActuallyPerturbs) {
+  auto cfg = small_config();
+  cfg.noise_stddev = 0.0;
+  const auto clean = GlyphImages::generate(cfg);
+  cfg.noise_stddev = 0.1;
+  const auto noisy = GlyphImages::generate(cfg);
+  EXPECT_FALSE(clean.train_images() == noisy.train_images());
+}
+
+TEST(GlyphImagesTest, RenderProducesSideLines) {
+  const auto images = GlyphImages::generate(small_config());
+  const std::string art = images.render(images.train_images().row(0));
+  num::Index newlines = 0;
+  for (char c : art) {
+    if (c == '\n') ++newlines;
+  }
+  EXPECT_EQ(newlines, images.side());
+}
+
+TEST(GlyphImagesDeathTest, TooSmallSideAborts) {
+  GlyphConfig cfg = small_config();
+  cfg.side = 4;
+  EXPECT_DEATH((void)GlyphImages::generate(cfg), "precondition");
+}
+
+}  // namespace
+}  // namespace zss::data

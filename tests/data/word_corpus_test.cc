@@ -1,0 +1,81 @@
+#include "data/word_corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace zss::data {
+namespace {
+
+WordCorpusConfig small_config() {
+  WordCorpusConfig cfg;
+  cfg.vocab_size = 1000;
+  cfg.train_tokens = 20000;
+  cfg.valid_tokens = 2000;
+  cfg.test_tokens = 2000;
+  return cfg;
+}
+
+TEST(WordCorpusTest, SplitSizes) {
+  const auto corpus = WordCorpus::generate(small_config());
+  EXPECT_EQ(corpus.train().size(), 20000u);
+  EXPECT_EQ(corpus.valid().size(), 2000u);
+  EXPECT_EQ(corpus.test().size(), 2000u);
+  EXPECT_EQ(corpus.vocab_size(), 1000);
+}
+
+TEST(WordCorpusTest, TokensWithinVocab) {
+  const auto corpus = WordCorpus::generate(small_config());
+  for (auto id : corpus.train()) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, corpus.vocab_size());
+  }
+}
+
+TEST(WordCorpusTest, Deterministic) {
+  const auto a = WordCorpus::generate(small_config());
+  const auto b = WordCorpus::generate(small_config());
+  EXPECT_EQ(a.train(), b.train());
+}
+
+TEST(WordCorpusTest, HeavyTailedUnigram) {
+  const auto corpus = WordCorpus::generate(small_config());
+  std::map<num::Index, num::Index> counts;
+  for (auto id : corpus.train()) ++counts[id];
+  // The most frequent word should dwarf the median-frequency word.
+  num::Index max_count = 0;
+  for (const auto& [id, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 20000 / 1000 * 5);  // >> uniform expectation
+}
+
+TEST(WordCorpusTest, TopicStructureCreatesLocalCorrelation) {
+  // Words of the same topic (id % topics) should co-occur: consecutive
+  // tokens share a topic far more often than 1/topics.
+  auto cfg = small_config();
+  const auto corpus = WordCorpus::generate(cfg);
+  num::Index same_topic = 0;
+  const auto& t = corpus.train();
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    if (t[i] % cfg.topics == t[i - 1] % cfg.topics) ++same_topic;
+  }
+  const double frac =
+      static_cast<double>(same_topic) / static_cast<double>(t.size() - 1);
+  EXPECT_GT(frac, 3.0 / static_cast<double>(cfg.topics));
+}
+
+TEST(WordCorpusTest, PaperScaleConfigIsDefault) {
+  const WordCorpusConfig cfg;
+  EXPECT_EQ(cfg.vocab_size, 10000);  // PTB word vocabulary
+}
+
+TEST(WordCorpusDeathTest, BadConfigAborts) {
+  WordCorpusConfig cfg = small_config();
+  cfg.topics = 1;
+  EXPECT_DEATH((void)WordCorpus::generate(cfg), "precondition");
+  cfg = small_config();
+  cfg.vocab_size = 10;
+  EXPECT_DEATH((void)WordCorpus::generate(cfg), "precondition");
+}
+
+}  // namespace
+}  // namespace zss::data

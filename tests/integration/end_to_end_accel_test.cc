@@ -1,0 +1,163 @@
+// End-to-end path: train a pruned char-LM, export its effective
+// threshold, run real one-hot inputs through the cycle-level accelerator
+// and check the measured speedup and fidelity — the complete workflow
+// behind Figs. 7-9 (at laptop scale).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accel/lstm_accelerator.h"
+#include "core/lm_model.h"
+#include "data/char_corpus.h"
+#include "num/stats.h"
+
+namespace zss {
+namespace {
+
+using num::Index;
+using num::Matrix;
+
+struct TrainedModel {
+  core::LmConfig cfg;
+  std::unique_ptr<core::PrunedLstmLm> model;
+  float fixed_threshold = 0.0f;
+  data::CharCorpus corpus;
+};
+
+TrainedModel train_pruned_model() {
+  data::CharCorpusConfig dcfg;
+  dcfg.train_chars = 16000;
+  dcfg.valid_chars = 2000;
+  dcfg.test_chars = 2000;
+
+  TrainedModel out{{}, nullptr, 0.0f, data::CharCorpus::generate(dcfg)};
+  out.cfg.vocab = data::CharCorpus::kVocab;
+  out.cfg.hidden = 96;
+  out.cfg.pruner = core::PrunerConfig::target(0.85);
+  out.model = std::make_unique<core::PrunedLstmLm>(out.cfg);
+
+  // Phase 1: warm up with the adaptive (target-sparsity) pruner to find
+  // the magnitude scale the paper's empirical T would be chosen at.
+  nn::Adam adam(2e-3f);
+  data::LmBatcher batcher(out.corpus.train(), 8, 20);
+  for (Index w = 0; w < batcher.num_windows(); ++w) {
+    (void)out.model->train_window(batcher.window(w), adam, 5.0f);
+  }
+
+  // Export the fixed threshold from the *pre-prune* states observed
+  // under pruned dynamics (dense-dynamics states would misestimate it).
+  sparse::SparsityMeter meter;
+  std::vector<Matrix> dense_states;
+  (void)out.model->collect_states(out.corpus.valid(), 1, 60, meter, nullptr,
+                                  &dense_states);
+  std::vector<float> all;
+  for (const auto& s : dense_states) {
+    all.insert(all.end(), s.flat().begin(), s.flat().end());
+  }
+  out.fixed_threshold = num::quantile_abs(all, 0.85);
+
+  // Phase 2: the paper trains with a constant empirical T — fine-tune
+  // with the exported fixed threshold so the dynamics adapt to it.
+  out.model->set_pruner(core::PrunerConfig::fixed(out.fixed_threshold));
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    for (Index w = 0; w < batcher.num_windows(); ++w) {
+      (void)out.model->train_window(batcher.window(w), adam, 5.0f);
+    }
+  }
+  return out;
+}
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { trained_ = new TrainedModel(train_pruned_model()); }
+  static void TearDownTestSuite() {
+    delete trained_;
+    trained_ = nullptr;
+  }
+
+  static TrainedModel* trained_;
+};
+
+TrainedModel* EndToEndTest::trained_ = nullptr;
+
+Matrix one_hot_batch(std::span<const Index> tokens, Index vocab) {
+  Matrix x(static_cast<Index>(tokens.size()), vocab, 0.0f);
+  for (Index b = 0; b < x.rows(); ++b) {
+    x(b, tokens[static_cast<std::size_t>(b)]) = 1.0f;
+  }
+  return x;
+}
+
+TEST_F(EndToEndTest, FixedThresholdKeepsHighSparsityAndAccuracy) {
+  auto& t = *trained_;
+  const auto eval = t.model->evaluate(t.corpus.test(), 4, 20);
+  // A constant T cannot pin sparsity exactly (the paper calls it
+  // empirical). On this highly predictable synthetic corpus the model
+  // legitimately pushes past the paper's 97% char sweet spot; what must
+  // hold is (a) heavy sparsity and (b) the model still predicting far
+  // better than the uniform bound of ln(50) = 3.91 nats.
+  EXPECT_GT(eval.state_sparsity, 0.6);
+  EXPECT_LE(eval.state_sparsity, 1.0);
+  EXPECT_LT(eval.mean_nll, 3.3);
+}
+
+TEST_F(EndToEndTest, AcceleratorSpeedupTracksSparsity) {
+  auto& t = *trained_;
+  accel::LstmAcceleratorOptions opt;
+  opt.prune_threshold = t.fixed_threshold;
+  opt.input_mode = accel::InputMode::kOneHot;
+  accel::LstmAccelerator sparse(accel::AcceleratorConfig{}, opt,
+                                t.model->cell());
+  accel::LstmAccelerator dense(accel::AcceleratorConfig{}, opt,
+                               t.model->cell());
+  sparse.reset(1);
+  dense.reset(1);
+
+  const auto& stream = t.corpus.test();
+  for (Index i = 0; i < 80; ++i) {
+    const Index token = stream[static_cast<std::size_t>(i)];
+    const Matrix x = one_hot_batch({&token, 1}, t.cfg.vocab);
+    sparse.step(x);
+    dense.step_dense(x);
+  }
+
+  const double sparsity = sparse.totals().observed_sparsity();
+  EXPECT_GT(sparsity, 0.6);  // quantized + thresholded state is sparse
+
+  const double speedup =
+      static_cast<double>(dense.totals().cycles) /
+      static_cast<double>(sparse.totals().cycles);
+  // Speedup must be substantial and bounded by the skip fraction.
+  EXPECT_GT(speedup, 2.0);
+  EXPECT_LE(speedup, 1.0 / (1.0 - sparsity) + 1.0);
+}
+
+TEST_F(EndToEndTest, AcceleratorStaysFaithfulToFloatModel) {
+  auto& t = *trained_;
+  accel::LstmAcceleratorOptions opt;
+  opt.prune_threshold = t.fixed_threshold;
+  opt.input_mode = accel::InputMode::kOneHot;
+  accel::LstmAccelerator accel(accel::AcceleratorConfig{}, opt,
+                               t.model->cell());
+  accel.reset(1);
+  const auto& stream = t.corpus.test();
+  for (Index i = 0; i < 50; ++i) {
+    const Index token = stream[static_cast<std::size_t>(i)];
+    accel.step(one_hot_batch({&token, 1}, t.cfg.vocab));
+  }
+  EXPECT_GT(accel.fidelity_cosine(), 0.90);
+  EXPECT_EQ(accel.saturation_events(), 0);  // 12-bit scratch suffices
+}
+
+TEST_F(EndToEndTest, BatchingDegradesIntersectedSparsity) {
+  // Fig. 7's effect measured end to end on the trained model.
+  auto& t = *trained_;
+  sparse::SparsityMeter b1;
+  sparse::SparsityMeter b8;
+  (void)t.model->collect_states(t.corpus.test(), 1, 60, b1);
+  (void)t.model->collect_states(t.corpus.test(), 8, 60, b8);
+  EXPECT_GT(b1.mean_sparsity(), b8.mean_sparsity());
+}
+
+}  // namespace
+}  // namespace zss

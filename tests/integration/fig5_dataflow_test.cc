@@ -1,0 +1,115 @@
+// Reproduces the worked example of Fig. 5: a 4x6 weight matrix times a
+// 6-element input vector with one zero element, on 4 PEs.
+//  (a) unlimited bandwidth, batch 1: one cycle per position, zero skipped.
+//  (b) bandwidth of 2 weights + 1 input per cycle: 12 cycles dense,
+//      2 cycles per kept position when skipping.
+//  (c) batch 2 fills the pipeline (utilization back to 100%), one fill
+//      cycle (the figure's CC #13).
+//  (d) skipping is legal only where BOTH batches are zero.
+#include <gtest/gtest.h>
+
+#include "accel/scheduler.h"
+
+namespace zss::accel {
+namespace {
+
+using num::Index;
+
+AcceleratorConfig fig5_config(double gbps) {
+  AcceleratorConfig cfg;
+  cfg.tiles = 1;
+  cfg.pes_per_tile = 4;
+  cfg.dram_gbps = gbps;  // 4.8 Gbps @200 MHz = 3 B/cycle -> 2 weights
+  return cfg;
+}
+
+// Fig. 5 input vector: h0, h1, h2, h3, 0, h5 (position 4 is zero).
+std::vector<bool> fig5_mask_batch1() {
+  return {true, true, true, true, false, true};
+}
+
+TEST(Fig5Test, PartAUnlimitedBandwidth) {
+  const auto cfg = fig5_config(12.8);  // 8 B/cycle -> 6 weights/cycle
+  ASSERT_GE(cfg.weights_per_cycle(), 4);
+  Scheduler sched(cfg);
+  const auto stats = sched.matvec(4, fig5_mask_batch1(), 1);
+  // One cycle per kept position; the zero position is skipped.
+  EXPECT_EQ(stats.cycles, 5);
+  EXPECT_EQ(stats.positions_kept, 5);
+  EXPECT_EQ(stats.macs_issued, 5 * 4);
+}
+
+TEST(Fig5Test, PartBLimitedBandwidthDoublesLatency) {
+  const auto cfg = fig5_config(4.8);
+  ASSERT_EQ(cfg.weights_per_cycle(), 2);
+  Scheduler sched(cfg);
+  // Dense: 6 positions x ceil(4/2) = 12 cycles (the figure's CC #1-12).
+  const std::vector<bool> dense(6, true);
+  EXPECT_EQ(sched.matvec(4, dense, 1).cycles, 12);
+  // With skipping: 5 kept positions -> 10 cycles.
+  EXPECT_EQ(sched.matvec(4, fig5_mask_batch1(), 1).cycles, 10);
+  // Utilization at batch 1 is 50%: 2 of 4 PEs fed per cycle.
+  const auto stats = sched.matvec(4, dense, 1);
+  EXPECT_EQ(stats.macs_issued, 24);          // 6 positions x 4 PEs x 1 lane
+  EXPECT_EQ(stats.cycles * 4, 48);           // PE-cycles available
+}
+
+TEST(Fig5Test, PartCBatch2RestoresUtilization) {
+  const auto cfg = fig5_config(4.8);
+  Scheduler sched(cfg);
+  // Batch 2, both lanes dense: still 2 cycles per position (weight
+  // stream limited), but every PE-cycle now performs a MAC.
+  const std::vector<bool> dense(12, true);
+  const auto stats = sched.matvec(4, dense, 2);
+  EXPECT_EQ(stats.cycles, 12);
+  EXPECT_EQ(stats.macs_issued, 48);  // 6 x 4 x 2 = full utilization
+  // The figure counts one extra fill cycle (CC #13): pipeline depth
+  // batch-1, charged once per timestep by run_timestep.
+  const Index fill = 2 - 1;
+  EXPECT_EQ(stats.cycles + fill, 13);
+}
+
+TEST(Fig5Test, PartDSkipOnlyWhenAllBatchesZero) {
+  const auto cfg = fig5_config(4.8);
+  Scheduler sched(cfg);
+  // lane 0 zero at {1, 4}; lane 1 zero at {3, 4}. Only position 4 is
+  // zero in both lanes -> 5 kept positions.
+  std::vector<bool> mask(12, true);
+  mask[1 * 2 + 0] = false;
+  mask[3 * 2 + 1] = false;
+  mask[4 * 2 + 0] = false;
+  mask[4 * 2 + 1] = false;
+  const auto stats = sched.matvec(4, mask, 2);
+  EXPECT_EQ(stats.positions_kept, 5);
+  EXPECT_EQ(stats.cycles, 10);
+  // Kept positions issue MACs for both lanes (weights are shared), but
+  // the zero-valued lanes do no useful work.
+  EXPECT_EQ(stats.macs_issued, 5 * 4 * 2);
+  EXPECT_EQ(stats.macs_effectual, (3 * 2 + 1 + 1) * 4);
+}
+
+TEST(Fig5Test, SingleBatchZeroRequiresAllLanesRule) {
+  // The same masks at batch 1 skip independently — showing what the
+  // batch-2 intersection costs (Fig. 7's sparsity degradation).
+  const auto cfg = fig5_config(4.8);
+  Scheduler sched(cfg);
+  const std::vector<bool> lane0 = {true, false, true, true, false, true};
+  const std::vector<bool> lane1 = {true, true, true, false, false, true};
+  const auto s0 = sched.matvec(4, lane0, 1);
+  const auto s1 = sched.matvec(4, lane1, 1);
+  // Independently: 4 + 4 kept positions = 16 cycles of work...
+  EXPECT_EQ(s0.cycles + s1.cycles, 16);
+  // ...but batched they need 5 shared positions = 10 cycles, i.e. the
+  // batch runs faster in wall-clock but skips less than the sum.
+  std::vector<bool> merged(12);
+  for (Index j = 0; j < 6; ++j) {
+    merged[static_cast<std::size_t>(j * 2 + 0)] =
+        lane0[static_cast<std::size_t>(j)];
+    merged[static_cast<std::size_t>(j * 2 + 1)] =
+        lane1[static_cast<std::size_t>(j)];
+  }
+  EXPECT_EQ(sched.matvec(4, merged, 2).cycles, 10);
+}
+
+}  // namespace
+}  // namespace zss::accel

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/dropout.h"
+#include "nn/embedding.h"
+#include "nn/init.h"
+#include "nn/linear.h"
+#include "num/rng.h"
+
+namespace zss::nn {
+namespace {
+
+using num::Index;
+using num::Matrix;
+using num::Rng;
+
+// ---------- Linear ----------
+
+TEST(LinearTest, ForwardMatchesManual) {
+  Rng rng(1);
+  Linear layer(2, 3, rng);
+  layer.weight().value(0, 0) = 1.0f;
+  layer.weight().value(0, 1) = 2.0f;
+  layer.weight().value(1, 0) = -1.0f;
+  layer.weight().value(1, 1) = 0.0f;
+  layer.weight().value(2, 0) = 0.5f;
+  layer.weight().value(2, 1) = 0.5f;
+  layer.bias().value.fill(0.0f);
+  layer.bias().value(0, 2) = 1.0f;
+
+  Matrix x(1, 2);
+  x(0, 0) = 2.0f;
+  x(0, 1) = 4.0f;
+  Matrix y;
+  layer.forward(x, y);
+  EXPECT_FLOAT_EQ(y(0, 0), 10.0f);
+  EXPECT_FLOAT_EQ(y(0, 1), -2.0f);
+  EXPECT_FLOAT_EQ(y(0, 2), 4.0f);
+}
+
+TEST(LinearTest, GradCheck) {
+  Rng rng(2);
+  Linear layer(3, 2, rng);
+  Matrix x(2, 3);
+  for (float& v : x.flat()) v = static_cast<float>(rng.uniform(-1, 1));
+
+  auto loss = [&]() {
+    Matrix y;
+    layer.forward(x, y);
+    double l = 0.0;
+    for (float v : y.flat()) l += v * v;  // quadratic so gradient varies
+    return l;
+  };
+
+  // Analytic: dL/dy = 2y.
+  Matrix y;
+  layer.forward(x, y);
+  Matrix dy(y.rows(), y.cols());
+  for (Index i = 0; i < y.size(); ++i) {
+    dy.flat()[static_cast<std::size_t>(i)] =
+        2.0f * y.flat()[static_cast<std::size_t>(i)];
+  }
+  for (auto* p : layer.parameters()) p->zero_grad();
+  Matrix dx;
+  layer.backward(x, dy, dx);
+
+  const float eps = 1e-3f;
+  auto check = [&](Matrix& target, const Matrix& grad) {
+    for (Index r = 0; r < target.rows(); ++r) {
+      for (Index c = 0; c < target.cols(); ++c) {
+        const float saved = target(r, c);
+        target(r, c) = saved + eps;
+        const double up = loss();
+        target(r, c) = saved - eps;
+        const double down = loss();
+        target(r, c) = saved;
+        EXPECT_NEAR(grad(r, c), (up - down) / (2.0 * eps), 5e-2);
+      }
+    }
+  };
+  check(layer.weight().value, layer.weight().grad);
+  check(layer.bias().value, layer.bias().grad);
+  check(x, dx);
+}
+
+TEST(LinearDeathTest, WrongInputDimAborts) {
+  Rng rng(3);
+  Linear layer(3, 2, rng);
+  Matrix x(1, 4);
+  Matrix y;
+  EXPECT_DEATH(layer.forward(x, y), "precondition");
+}
+
+// ---------- Embedding ----------
+
+TEST(EmbeddingTest, GatherRows) {
+  Rng rng(4);
+  Embedding emb(5, 3, rng);
+  const std::vector<Index> ids = {2, 2, 4};
+  Matrix out;
+  emb.forward(ids, out);
+  EXPECT_EQ(out.rows(), 3);
+  EXPECT_EQ(out.cols(), 3);
+  for (Index j = 0; j < 3; ++j) {
+    EXPECT_FLOAT_EQ(out(0, j), emb.table().value(2, j));
+    EXPECT_FLOAT_EQ(out(1, j), emb.table().value(2, j));
+    EXPECT_FLOAT_EQ(out(2, j), emb.table().value(4, j));
+  }
+}
+
+TEST(EmbeddingTest, BackwardScatterAddsDuplicates) {
+  Rng rng(5);
+  Embedding emb(4, 2, rng);
+  emb.table().zero_grad();
+  const std::vector<Index> ids = {1, 1, 3};
+  Matrix dout(3, 2, 1.0f);
+  emb.backward(ids, dout);
+  EXPECT_FLOAT_EQ(emb.table().grad(1, 0), 2.0f);  // two hits on row 1
+  EXPECT_FLOAT_EQ(emb.table().grad(3, 0), 1.0f);
+  EXPECT_FLOAT_EQ(emb.table().grad(0, 0), 0.0f);
+}
+
+TEST(EmbeddingDeathTest, IdOutOfRangeAborts) {
+  Rng rng(6);
+  Embedding emb(4, 2, rng);
+  const std::vector<Index> ids = {4};
+  Matrix out;
+  EXPECT_DEATH(emb.forward(ids, out), "precondition");
+}
+
+// ---------- Dropout ----------
+
+TEST(DropoutTest, EvalModeIsIdentity) {
+  Dropout drop(0.5);
+  Rng rng(7);
+  Matrix x(4, 4, 2.0f);
+  const Matrix original = x;
+  drop.forward(x, /*training=*/false, rng);
+  EXPECT_EQ(x, original);
+}
+
+TEST(DropoutTest, ZeroRateIsIdentityInTraining) {
+  Dropout drop(0.0);
+  Rng rng(8);
+  Matrix x(4, 4, 2.0f);
+  const Matrix original = x;
+  drop.forward(x, /*training=*/true, rng);
+  EXPECT_EQ(x, original);
+}
+
+TEST(DropoutTest, DropFractionAndInvertedScaling) {
+  Dropout drop(0.5);
+  Rng rng(9);
+  Matrix x(100, 100, 1.0f);
+  drop.forward(x, /*training=*/true, rng);
+  Index zeros = 0;
+  for (float v : x.flat()) {
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(v, 2.0f);  // kept values scaled by 1/(1-p)
+    }
+  }
+  const double frac = static_cast<double>(zeros) / 10000.0;
+  EXPECT_NEAR(frac, 0.5, 0.03);
+}
+
+TEST(DropoutTest, BackwardAppliesSameMask) {
+  Dropout drop(0.5);
+  Rng rng(10);
+  Matrix x(8, 8, 1.0f);
+  drop.forward(x, /*training=*/true, rng);
+  Matrix dx(8, 8, 1.0f);
+  drop.backward(dx);
+  // Gradient mask must match the forward mask exactly.
+  for (Index i = 0; i < x.size(); ++i) {
+    EXPECT_FLOAT_EQ(dx.flat()[static_cast<std::size_t>(i)],
+                    x.flat()[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(DropoutDeathTest, FullDropRateRejected) {
+  EXPECT_DEATH(Dropout(1.0), "precondition");
+}
+
+// ---------- Init ----------
+
+TEST(InitTest, XavierBounds) {
+  Rng rng(11);
+  Matrix w(64, 32);
+  xavier_uniform(w, 32, 64, rng);
+  const float limit = std::sqrt(6.0f / (32 + 64));
+  for (float v : w.flat()) {
+    EXPECT_GE(v, -limit);
+    EXPECT_LE(v, limit);
+  }
+}
+
+TEST(InitTest, LstmBiasForgetBlock) {
+  Matrix b(1, 12);
+  lstm_bias_init(b, 3, 1.0f);
+  for (Index j = 0; j < 3; ++j) EXPECT_FLOAT_EQ(b(0, j), 1.0f);
+  for (Index j = 3; j < 12; ++j) EXPECT_FLOAT_EQ(b(0, j), 0.0f);
+}
+
+}  // namespace
+}  // namespace zss::nn

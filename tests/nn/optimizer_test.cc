@@ -1,0 +1,125 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace zss::nn {
+namespace {
+
+using num::Index;
+
+TEST(ClipTest, BelowMaxIsUntouched) {
+  Parameter p("p", 1, 2);
+  p.grad(0, 0) = 0.3f;
+  p.grad(0, 1) = 0.4f;  // norm 0.5
+  std::vector<Parameter*> params = {&p};
+  const float norm = clip_grad_norm(params, 1.0f);
+  EXPECT_FLOAT_EQ(norm, 0.5f);
+  EXPECT_FLOAT_EQ(p.grad(0, 0), 0.3f);
+}
+
+TEST(ClipTest, AboveMaxIsScaledToMax) {
+  Parameter p("p", 1, 2);
+  p.grad(0, 0) = 3.0f;
+  p.grad(0, 1) = 4.0f;  // norm 5
+  std::vector<Parameter*> params = {&p};
+  const float norm = clip_grad_norm(params, 1.0f);
+  EXPECT_FLOAT_EQ(norm, 5.0f);
+  const float clipped = std::sqrt(p.grad(0, 0) * p.grad(0, 0) +
+                                  p.grad(0, 1) * p.grad(0, 1));
+  EXPECT_NEAR(clipped, 1.0f, 1e-6f);
+}
+
+TEST(ClipTest, GlobalNormSpansParameters) {
+  Parameter a("a", 1, 1);
+  Parameter b("b", 1, 1);
+  a.grad(0, 0) = 3.0f;
+  b.grad(0, 0) = 4.0f;
+  std::vector<Parameter*> params = {&a, &b};
+  clip_grad_norm(params, 2.5f);  // global norm 5 -> scale 0.5
+  EXPECT_NEAR(a.grad(0, 0), 1.5f, 1e-6f);
+  EXPECT_NEAR(b.grad(0, 0), 2.0f, 1e-6f);
+}
+
+TEST(SgdTest, SingleStep) {
+  Parameter p("p", 1, 1);
+  p.value(0, 0) = 1.0f;
+  p.grad(0, 0) = 0.5f;
+  Sgd sgd(0.1f);
+  std::vector<Parameter*> params = {&p};
+  sgd.step(params);
+  EXPECT_FLOAT_EQ(p.value(0, 0), 0.95f);
+}
+
+TEST(SgdTest, DecayDividesLearningRate) {
+  Sgd sgd(1.2f);
+  sgd.decay(1.2f);
+  EXPECT_NEAR(sgd.learning_rate(), 1.0f, 1e-6f);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  // Minimize f(w) = (w - 3)^2.
+  Parameter p("w", 1, 1);
+  p.value(0, 0) = -5.0f;
+  Sgd sgd(0.1f);
+  std::vector<Parameter*> params = {&p};
+  for (int i = 0; i < 200; ++i) {
+    p.grad(0, 0) = 2.0f * (p.value(0, 0) - 3.0f);
+    sgd.step(params);
+  }
+  EXPECT_NEAR(p.value(0, 0), 3.0f, 1e-4f);
+}
+
+TEST(AdamTest, ConvergesOnQuadraticBowl) {
+  Parameter p("w", 1, 2);
+  p.value(0, 0) = 4.0f;
+  p.value(0, 1) = -7.0f;
+  Adam adam(0.1f);
+  std::vector<Parameter*> params = {&p};
+  for (int i = 0; i < 500; ++i) {
+    p.grad(0, 0) = 2.0f * (p.value(0, 0) - 1.0f);
+    p.grad(0, 1) = 0.02f * (p.value(0, 1) + 2.0f);  // ill-conditioned axis
+    adam.step(params);
+  }
+  EXPECT_NEAR(p.value(0, 0), 1.0f, 1e-2f);
+  EXPECT_NEAR(p.value(0, 1), -2.0f, 0.2f);
+}
+
+TEST(AdamTest, FirstStepIsLearningRateSized) {
+  // With bias correction, the first Adam step is ~lr * sign(grad).
+  Parameter p("w", 1, 1);
+  p.value(0, 0) = 0.0f;
+  p.grad(0, 0) = 123.0f;
+  Adam adam(0.01f);
+  std::vector<Parameter*> params = {&p};
+  adam.step(params);
+  EXPECT_NEAR(p.value(0, 0), -0.01f, 1e-4f);
+}
+
+TEST(AdamTest, SetLearningRate) {
+  Adam adam(0.01f);
+  adam.set_learning_rate(0.5f);
+  EXPECT_FLOAT_EQ(adam.learning_rate(), 0.5f);
+}
+
+TEST(AdamDeathTest, ChangingParameterSetAborts) {
+  Parameter a("a", 1, 1);
+  Parameter b("b", 2, 2);
+  Adam adam(0.01f);
+  std::vector<Parameter*> first = {&a};
+  adam.step(first);
+  std::vector<Parameter*> second = {&a, &b};
+  EXPECT_DEATH(adam.step(second), "precondition");
+}
+
+TEST(OptimizerDeathTest, BadHyperparamsAbort) {
+  EXPECT_DEATH(Sgd(0.0f), "precondition");
+  EXPECT_DEATH(Adam(-0.1f), "precondition");
+  Parameter p("p", 1, 1);
+  std::vector<Parameter*> params = {&p};
+  EXPECT_DEATH(clip_grad_norm(params, 0.0f), "precondition");
+}
+
+}  // namespace
+}  // namespace zss::nn

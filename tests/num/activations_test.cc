@@ -1,0 +1,93 @@
+#include "num/activations.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace zss::num {
+namespace {
+
+TEST(ActivationsTest, SigmoidKnownValues) {
+  EXPECT_FLOAT_EQ(sigmoid(0.0f), 0.5f);
+  EXPECT_NEAR(sigmoid(2.0f), 0.880797f, 1e-5f);
+  EXPECT_NEAR(sigmoid(-2.0f), 0.119203f, 1e-5f);
+}
+
+TEST(ActivationsTest, SigmoidSaturates) {
+  EXPECT_NEAR(sigmoid(40.0f), 1.0f, 1e-6f);
+  EXPECT_NEAR(sigmoid(-40.0f), 0.0f, 1e-6f);
+}
+
+TEST(ActivationsTest, SigmoidDerivativeFromOutput) {
+  const float y = sigmoid(0.7f);
+  const float eps = 1e-3f;
+  const float numeric = (sigmoid(0.7f + eps) - sigmoid(0.7f - eps)) / (2 * eps);
+  EXPECT_NEAR(dsigmoid_from_y(y), numeric, 1e-4f);
+}
+
+TEST(ActivationsTest, TanhDerivativeFromOutput) {
+  const float y = tanh_act(-0.4f);
+  const float eps = 1e-3f;
+  const float numeric =
+      (tanh_act(-0.4f + eps) - tanh_act(-0.4f - eps)) / (2 * eps);
+  EXPECT_NEAR(dtanh_from_y(y), numeric, 1e-4f);
+}
+
+TEST(ActivationsTest, SoftmaxSumsToOne) {
+  std::vector<float> v = {1.0f, 2.0f, 3.0f, 4.0f};
+  softmax(v);
+  float sum = 0.0f;
+  for (float x : v) {
+    EXPECT_GT(x, 0.0f);
+    sum += x;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-6f);
+  EXPECT_GT(v[3], v[0]);  // monotone in logits
+}
+
+TEST(ActivationsTest, SoftmaxStableForLargeLogits) {
+  std::vector<float> v = {1000.0f, 1001.0f};
+  softmax(v);
+  EXPECT_FALSE(std::isnan(v[0]));
+  EXPECT_NEAR(v[0] + v[1], 1.0f, 1e-6f);
+  EXPECT_NEAR(v[1] / v[0], std::exp(1.0f), 1e-3f);
+}
+
+TEST(ActivationsTest, SoftmaxUniformForEqualLogits) {
+  std::vector<float> v(5, 3.0f);
+  softmax(v);
+  for (float x : v) EXPECT_NEAR(x, 0.2f, 1e-6f);
+}
+
+TEST(ActivationsTest, LogSoftmaxMatchesLogOfSoftmax) {
+  std::vector<float> logits = {0.5f, -1.0f, 2.0f};
+  std::vector<float> lsm(3);
+  log_softmax(logits, lsm);
+  std::vector<float> sm = logits;
+  softmax(sm);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(lsm[i], std::log(sm[i]), 1e-5f);
+}
+
+TEST(ActivationsTest, LogSoftmaxMayAlias) {
+  std::vector<float> v = {1.0f, 2.0f};
+  std::vector<float> expected(2);
+  log_softmax(v, expected);
+  log_softmax(v, v);  // aliased
+  EXPECT_FLOAT_EQ(v[0], expected[0]);
+  EXPECT_FLOAT_EQ(v[1], expected[1]);
+}
+
+TEST(ActivationsTest, Argmax) {
+  const std::vector<float> v = {0.1f, -5.0f, 7.0f, 7.0f, 2.0f};
+  EXPECT_EQ(argmax(v), 2);  // first maximum wins
+}
+
+TEST(ActivationsDeathTest, EmptySpansAbort) {
+  std::vector<float> empty;
+  EXPECT_DEATH(softmax(empty), "precondition");
+  EXPECT_DEATH((void)argmax(empty), "precondition");
+}
+
+}  // namespace
+}  // namespace zss::num

@@ -1,0 +1,115 @@
+#include "num/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "num/rng.h"
+
+namespace zss::num {
+namespace {
+
+TEST(LossTest, UniformLogitsGiveLogVocab) {
+  Matrix logits(2, 4, 0.0f);
+  const std::vector<Index> targets = {0, 3};
+  const double nll = softmax_xent(logits, targets, nullptr);
+  EXPECT_NEAR(nll, std::log(4.0), 1e-6);
+}
+
+TEST(LossTest, ConfidentCorrectPredictionHasLowLoss) {
+  Matrix logits(1, 3, 0.0f);
+  logits(0, 1) = 20.0f;
+  const std::vector<Index> targets = {1};
+  EXPECT_LT(softmax_xent(logits, targets, nullptr), 1e-6);
+}
+
+TEST(LossTest, ConfidentWrongPredictionHasHighLoss) {
+  Matrix logits(1, 3, 0.0f);
+  logits(0, 1) = 20.0f;
+  const std::vector<Index> targets = {0};
+  EXPECT_GT(softmax_xent(logits, targets, nullptr), 10.0);
+}
+
+TEST(LossTest, GradientIsSoftmaxMinusOnehotOverRows) {
+  Matrix logits(2, 3);
+  logits(0, 0) = 0.3f;
+  logits(0, 1) = -0.1f;
+  logits(0, 2) = 0.8f;
+  logits(1, 0) = 1.0f;
+  logits(1, 1) = 1.0f;
+  logits(1, 2) = 1.0f;
+  const std::vector<Index> targets = {2, 0};
+  Matrix dlogits;
+  softmax_xent(logits, targets, &dlogits);
+  // Each gradient row sums to zero (softmax sums to 1, minus one-hot).
+  for (Index r = 0; r < 2; ++r) {
+    float sum = 0.0f;
+    for (Index c = 0; c < 3; ++c) sum += dlogits(r, c);
+    EXPECT_NEAR(sum, 0.0f, 1e-6f);
+  }
+  EXPECT_LT(dlogits(0, 2), 0.0f);  // target entry is negative
+  EXPECT_NEAR(dlogits(1, 0), (1.0f / 3.0f - 1.0f) / 2.0f, 1e-5f);
+}
+
+TEST(LossTest, GradientMatchesFiniteDifference) {
+  Rng rng(5);
+  Matrix logits(3, 5);
+  for (float& v : logits.flat()) v = static_cast<float>(rng.uniform(-1, 1));
+  const std::vector<Index> targets = {4, 0, 2};
+  Matrix dlogits;
+  const double base = softmax_xent(logits, targets, &dlogits);
+  (void)base;
+  const float eps = 1e-3f;
+  for (Index r = 0; r < 3; ++r) {
+    for (Index c = 0; c < 5; ++c) {
+      Matrix plus = logits;
+      plus(r, c) += eps;
+      Matrix minus = logits;
+      minus(r, c) -= eps;
+      const double numeric = (softmax_xent(plus, targets, nullptr) -
+                              softmax_xent(minus, targets, nullptr)) /
+                             (2.0 * eps);
+      EXPECT_NEAR(dlogits(r, c), numeric, 2e-3);
+    }
+  }
+}
+
+TEST(LossTest, BpcConversion) {
+  EXPECT_NEAR(bpc_from_nll(std::log(2.0)), 1.0, 1e-9);
+  EXPECT_NEAR(bpc_from_nll(std::log(50.0)), std::log2(50.0), 1e-9);
+}
+
+TEST(LossTest, PpwConversion) {
+  EXPECT_NEAR(ppw_from_nll(std::log(90.0)), 90.0, 1e-9);
+  EXPECT_NEAR(ppw_from_nll(0.0), 1.0, 1e-12);
+}
+
+TEST(LossTest, PpwClampsDivergedModels) {
+  EXPECT_LT(ppw_from_nll(1000.0), 1.2e13);  // clamped, finite
+}
+
+TEST(LossTest, ErrorRatePercent) {
+  Matrix logits(4, 2, 0.0f);
+  logits(0, 0) = 1.0f;  // predicts 0
+  logits(1, 1) = 1.0f;  // predicts 1
+  logits(2, 0) = 1.0f;  // predicts 0
+  logits(3, 1) = 1.0f;  // predicts 1
+  const std::vector<Index> targets = {0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(error_rate_percent(logits, targets), 25.0);
+}
+
+TEST(LossDeathTest, TargetOutOfRangeAborts) {
+  Matrix logits(1, 3, 0.0f);
+  const std::vector<Index> targets = {3};
+  EXPECT_DEATH(softmax_xent(logits, targets, nullptr), "precondition");
+}
+
+TEST(LossDeathTest, RowMismatchAborts) {
+  Matrix logits(2, 3, 0.0f);
+  const std::vector<Index> targets = {0};
+  EXPECT_DEATH(softmax_xent(logits, targets, nullptr), "precondition");
+}
+
+}  // namespace
+}  // namespace zss::num

@@ -1,0 +1,110 @@
+#include "num/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace zss::num {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ConstructWithFill) {
+  Matrix m(3, 4, 2.5f);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.size(), 12);
+  for (float v : m.flat()) EXPECT_EQ(v, 2.5f);
+}
+
+TEST(MatrixTest, RowMajorElementAccess) {
+  Matrix m(2, 3);
+  std::iota(m.flat().begin(), m.flat().end(), 0.0f);
+  EXPECT_EQ(m(0, 0), 0.0f);
+  EXPECT_EQ(m(0, 2), 2.0f);
+  EXPECT_EQ(m(1, 0), 3.0f);
+  EXPECT_EQ(m(1, 2), 5.0f);
+}
+
+TEST(MatrixTest, RowSpanViewsUnderlyingData) {
+  Matrix m(2, 3, 0.0f);
+  auto r1 = m.row(1);
+  r1[0] = 9.0f;
+  EXPECT_EQ(m(1, 0), 9.0f);
+  EXPECT_EQ(r1.size(), 3u);
+}
+
+TEST(MatrixTest, ResizeDiscardsAndRefills) {
+  Matrix m(2, 2, 1.0f);
+  m.resize(3, 1, 7.0f);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 1);
+  for (float v : m.flat()) EXPECT_EQ(v, 7.0f);
+}
+
+TEST(MatrixTest, EqualityComparesShapeAndData) {
+  Matrix a(2, 2, 1.0f);
+  Matrix b(2, 2, 1.0f);
+  EXPECT_EQ(a, b);
+  b(1, 1) = 2.0f;
+  EXPECT_FALSE(a == b);
+  Matrix c(4, 1, 1.0f);
+  EXPECT_FALSE(a == c);  // same data, different shape
+}
+
+TEST(MatrixTest, SameShape) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  Matrix c(3, 2);
+  EXPECT_TRUE(a.same_shape(b));
+  EXPECT_FALSE(a.same_shape(c));
+}
+
+TEST(MatrixTest, FillOverwrites) {
+  Matrix m(2, 2, 1.0f);
+  m.fill(-3.0f);
+  for (float v : m.flat()) EXPECT_EQ(v, -3.0f);
+}
+
+TEST(MatrixTest, Int8Specialization) {
+  MatrixI8 m(2, 2, -5);
+  EXPECT_EQ(m(1, 1), -5);
+  m(0, 1) = 100;
+  EXPECT_EQ(m(0, 1), 100);
+}
+
+TEST(MatrixDeathTest, OutOfRangeAborts) {
+  Matrix m(2, 2);
+  EXPECT_DEATH((void)m(2, 0), "precondition");
+  EXPECT_DEATH((void)m(0, -1), "precondition");
+  EXPECT_DEATH((void)m.row(5), "precondition");
+}
+
+TEST(VectorTest, BasicAccess) {
+  Vector v(4, 1.5f);
+  EXPECT_EQ(v.size(), 4);
+  v[2] = 3.0f;
+  EXPECT_EQ(v[2], 3.0f);
+  EXPECT_EQ(v.span()[2], 3.0f);
+}
+
+TEST(VectorTest, Equality) {
+  Vector a(3, 1.0f);
+  Vector b(3, 1.0f);
+  EXPECT_EQ(a, b);
+  b[0] = 0.0f;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(VectorDeathTest, OutOfRangeAborts) {
+  Vector v(2);
+  EXPECT_DEATH((void)v[2], "precondition");
+}
+
+}  // namespace
+}  // namespace zss::num

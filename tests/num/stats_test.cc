@@ -1,0 +1,95 @@
+#include "num/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "num/rng.h"
+
+namespace zss::num {
+namespace {
+
+TEST(StatsTest, MeanAndVariance) {
+  const std::vector<float> v = {1.0f, 2.0f, 3.0f, 4.0f};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(variance(v), 1.25);
+}
+
+TEST(StatsTest, EmptyInputsAreZero) {
+  const std::vector<float> v;
+  EXPECT_EQ(mean(v), 0.0);
+  EXPECT_EQ(variance(v), 0.0);
+  EXPECT_EQ(zero_fraction(v), 0.0);
+}
+
+TEST(StatsTest, ZeroFraction) {
+  const std::vector<float> v = {0.0f, 1.0f, 0.0f, -2.0f};
+  EXPECT_DOUBLE_EQ(zero_fraction(v), 0.5);
+}
+
+TEST(StatsTest, BelowThresholdFraction) {
+  const std::vector<float> v = {0.05f, -0.2f, 0.5f, -0.01f};
+  EXPECT_DOUBLE_EQ(below_threshold_fraction(v, 0.1f), 0.5);
+  EXPECT_DOUBLE_EQ(below_threshold_fraction(v, 10.0f), 1.0);
+  EXPECT_DOUBLE_EQ(below_threshold_fraction(v, 0.0f), 0.0);
+}
+
+TEST(StatsTest, QuantileAbsExtremes) {
+  const std::vector<float> v = {-4.0f, 1.0f, -2.0f, 3.0f};
+  EXPECT_FLOAT_EQ(quantile_abs(v, 0.0), 1.0f);
+  EXPECT_FLOAT_EQ(quantile_abs(v, 1.0), 4.0f);
+}
+
+TEST(StatsTest, QuantileAbsMid) {
+  const std::vector<float> v = {0.1f, 0.2f, 0.3f, 0.4f, 0.5f,
+                                0.6f, 0.7f, 0.8f, 0.9f, 1.0f};
+  // Half the elements lie strictly below the 0.5-quantile magnitude.
+  const float q = quantile_abs(v, 0.5);
+  EXPECT_FLOAT_EQ(q, 0.6f);
+}
+
+TEST(StatsTest, MagnitudeHistogramBucketsEverything) {
+  const std::vector<float> v = {0.0f, 0.5f, -1.0f, 0.99f};
+  const auto hist = magnitude_histogram(v, 4);
+  Index total = 0;
+  for (Index c : hist) total += c;
+  EXPECT_EQ(total, 4);
+  EXPECT_EQ(hist.back(), 2);  // 1.0 and 0.99 in the top bucket
+}
+
+TEST(StatsTest, MagnitudeHistogramAllZeros) {
+  const std::vector<float> v(8, 0.0f);
+  const auto hist = magnitude_histogram(v, 3);
+  EXPECT_EQ(hist[0], 8);
+  EXPECT_EQ(hist[1], 0);
+}
+
+// Pruning-threshold contract: the q-quantile of |v| zeroes ~q of the
+// elements when used with a strict |x| < T comparison.
+class QuantileSparsityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileSparsityTest, QuantileDeliversRequestedSparsity) {
+  const double q = GetParam();
+  Rng rng(99);
+  std::vector<float> v(5000);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  const float t = quantile_abs(v, q) * (1.0f + 1e-6f);
+  const double frac = below_threshold_fraction(v, t);
+  EXPECT_NEAR(frac, q, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, QuantileSparsityTest,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.8, 0.9, 0.97));
+
+TEST(StatsDeathTest, QuantileOfEmptyAborts) {
+  const std::vector<float> v;
+  EXPECT_DEATH((void)quantile_abs(v, 0.5), "precondition");
+}
+
+TEST(StatsDeathTest, BadQuantileAborts) {
+  const std::vector<float> v = {1.0f};
+  EXPECT_DEATH((void)quantile_abs(v, 1.5), "precondition");
+}
+
+}  // namespace
+}  // namespace zss::num

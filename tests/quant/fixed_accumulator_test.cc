@@ -1,0 +1,114 @@
+#include "quant/fixed_accumulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "num/rng.h"
+
+namespace zss::quant {
+namespace {
+
+TEST(FixedAccumulatorTest, DefaultsMatchScratchSpec) {
+  FixedAccumulator acc;  // the paper's 12-bit scratch word
+  EXPECT_EQ(acc.bits(), 12);
+  EXPECT_EQ(acc.max_raw(), 2047);
+  EXPECT_EQ(acc.min_raw(), -2048);
+}
+
+TEST(FixedAccumulatorTest, ZeroShiftIsExact) {
+  FixedAccumulator acc(16, 0);
+  acc.add_product(100);
+  acc.add_product(-37);
+  EXPECT_EQ(acc.value(), 63);
+  EXPECT_FALSE(acc.saturated());
+}
+
+TEST(FixedAccumulatorTest, PreShiftRoundsToNearest) {
+  FixedAccumulator acc(16, 4);  // products divided by 16
+  acc.add_product(24);          // (24+8)>>4 = 2
+  EXPECT_EQ(acc.raw(), 2);
+  acc.reset();
+  acc.add_product(23);  // (23+8)>>4 = 1
+  EXPECT_EQ(acc.raw(), 1);
+}
+
+TEST(FixedAccumulatorTest, ZeroProductLeavesStateUnchanged) {
+  // Skipped (zero) products must be exact identities in the datapath.
+  FixedAccumulator acc(12, 6);
+  acc.add_product(640);
+  const auto before = acc.raw();
+  acc.add_product(0);
+  EXPECT_EQ(acc.raw(), before);
+}
+
+TEST(FixedAccumulatorTest, SaturatesHigh) {
+  FixedAccumulator acc(8, 0);  // range [-128, 127]
+  for (int i = 0; i < 100; ++i) acc.add_product(10);
+  EXPECT_EQ(acc.raw(), 127);
+  EXPECT_TRUE(acc.saturated());
+}
+
+TEST(FixedAccumulatorTest, SaturatesLow) {
+  FixedAccumulator acc(8, 0);
+  for (int i = 0; i < 100; ++i) acc.add_product(-10);
+  EXPECT_EQ(acc.raw(), -128);
+  EXPECT_TRUE(acc.saturated());
+}
+
+TEST(FixedAccumulatorTest, ResetClearsValueAndFlag) {
+  FixedAccumulator acc(8, 0);
+  for (int i = 0; i < 100; ++i) acc.add_product(127);
+  ASSERT_TRUE(acc.saturated());
+  acc.reset();
+  EXPECT_EQ(acc.raw(), 0);
+  EXPECT_FALSE(acc.saturated());
+}
+
+TEST(FixedAccumulatorTest, ValueRescalesByShift) {
+  FixedAccumulator acc(12, 6);
+  acc.add_product(64);  // (64+32)>>6 = 1
+  EXPECT_EQ(acc.raw(), 1);
+  EXPECT_EQ(acc.value(), 64);
+}
+
+TEST(FixedAccumulatorTest, AddRawBypassesShift) {
+  FixedAccumulator acc(12, 6);
+  acc.add_raw(5);
+  EXPECT_EQ(acc.raw(), 5);
+}
+
+TEST(FixedAccumulatorDeathTest, BadWidthAborts) {
+  EXPECT_DEATH(FixedAccumulator(1, 0), "precondition");
+  EXPECT_DEATH(FixedAccumulator(40, 0), "precondition");
+  EXPECT_DEATH(FixedAccumulator(12, 20), "precondition");
+}
+
+// Property: for random int8 dot products that fit the representable
+// range, the 12-bit/shift-6 accumulator tracks the true sum within the
+// accumulated rounding error bound (n/2 quanta of 2^shift).
+class AccumulatorFidelityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AccumulatorFidelityTest, TracksTrueSumWithinRoundingBound) {
+  const int n = GetParam();
+  num::Rng rng(static_cast<std::uint64_t>(n));
+  FixedAccumulator acc(12, 6);
+  std::int64_t exact = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto a = static_cast<std::int32_t>(rng.below(255)) - 127;
+    const auto b = static_cast<std::int32_t>(rng.below(255)) - 127;
+    acc.add_product(a * b);
+    exact += a * b;
+  }
+  if (!acc.saturated()) {
+    const double bound = static_cast<double>(n) / 2.0 * 64.0 + 64.0;
+    EXPECT_NEAR(static_cast<double>(acc.value()),
+                static_cast<double>(exact), bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, AccumulatorFidelityTest,
+                         ::testing::Values(1, 4, 16, 64, 100, 256));
+
+}  // namespace
+}  // namespace zss::quant

@@ -1,0 +1,107 @@
+#include "quant/lut_nonlinear.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace zss::quant {
+namespace {
+
+QuantParams preact_scale() { return QuantParams{8.0f / 127.0f}; }
+
+TEST(LutTest, SigmoidRangeIsNonNegative) {
+  NonlinearLut lut(Nonlinearity::kSigmoid, preact_scale());
+  for (int code = -128; code <= 127; ++code) {
+    const auto out = lut.apply(static_cast<std::int8_t>(code));
+    EXPECT_GE(out, 0);
+    EXPECT_LE(out, 127);
+  }
+}
+
+TEST(LutTest, TanhRangeSymmetric) {
+  NonlinearLut lut(Nonlinearity::kTanh, preact_scale());
+  EXPECT_EQ(lut.apply(0), 0);
+  for (int code = -127; code <= 127; ++code) {
+    const auto pos = lut.apply(static_cast<std::int8_t>(code));
+    const auto neg = lut.apply(static_cast<std::int8_t>(-code));
+    EXPECT_EQ(pos, -neg);  // odd function survives quantization
+  }
+}
+
+TEST(LutTest, SigmoidMidpoint) {
+  NonlinearLut lut(Nonlinearity::kSigmoid, preact_scale());
+  // sigmoid(0) = 0.5 -> code 64 (0.504) at 1/127 output scale.
+  EXPECT_EQ(lut.apply(0), 64);
+}
+
+TEST(LutTest, MonotoneNonDecreasing) {
+  for (auto kind : {Nonlinearity::kSigmoid, Nonlinearity::kTanh}) {
+    NonlinearLut lut(kind, preact_scale());
+    for (int code = -127; code < 127; ++code) {
+      EXPECT_LE(lut.apply(static_cast<std::int8_t>(code)),
+                lut.apply(static_cast<std::int8_t>(code + 1)));
+    }
+  }
+}
+
+TEST(LutTest, SaturatesAtExtremes) {
+  NonlinearLut sig(Nonlinearity::kSigmoid, preact_scale());
+  EXPECT_EQ(sig.apply(127), 127);   // sigmoid(8) ~ 0.99966
+  EXPECT_EQ(sig.apply(-127), 0);    // sigmoid(-8)
+  NonlinearLut th(Nonlinearity::kTanh, preact_scale());
+  EXPECT_EQ(th.apply(127), 127);
+  EXPECT_EQ(th.apply(-127), -127);
+}
+
+TEST(LutTest, MaxAbsErrorSmall) {
+  NonlinearLut sig(Nonlinearity::kSigmoid, preact_scale());
+  NonlinearLut th(Nonlinearity::kTanh, preact_scale());
+  // Half an output LSB plus the input-grid effect; generous bound.
+  EXPECT_LT(sig.max_abs_error(), 0.02f);
+  EXPECT_LT(th.max_abs_error(), 0.04f);
+}
+
+TEST(LutTest, IdentityKindClampsLinearly) {
+  NonlinearLut lut(Nonlinearity::kIdentity, QuantParams{1.0f / 127.0f});
+  // in scale == out scale -> codes map to themselves (up to clamp).
+  EXPECT_EQ(lut.apply(13), 13);
+  EXPECT_EQ(lut.apply(-90), -90);
+}
+
+TEST(LutTest, VectorApplyMatchesScalar) {
+  NonlinearLut lut(Nonlinearity::kTanh, preact_scale());
+  const std::vector<std::int8_t> in = {-127, -5, 0, 5, 127};
+  std::vector<std::int8_t> out(in.size());
+  lut.apply(in, out);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i], lut.apply(in[i]));
+  }
+}
+
+TEST(LutTest, ToFloatUsesOutputScale) {
+  EXPECT_FLOAT_EQ(NonlinearLut::to_float(127), 1.0f);
+  EXPECT_FLOAT_EQ(NonlinearLut::to_float(-127), -1.0f);
+  EXPECT_FLOAT_EQ(NonlinearLut::to_float(0), 0.0f);
+}
+
+// End-to-end error of quantize-then-LUT for inputs BETWEEN grid points:
+// a very coarse input grid misses tanh's steep region near the origin,
+// while the accelerator's +-8 clip keeps the step small enough that only
+// rounding noise remains.
+TEST(LutTest, CoarseInputGridLosesAccuracyBetweenGridPoints) {
+  auto pipeline_error = [](float clip) {
+    const QuantParams in{clip / 127.0f};
+    NonlinearLut lut(Nonlinearity::kTanh, in);
+    float worst = 0.0f;
+    for (float x = -1.0f; x <= 1.0f; x += 1e-3f) {
+      const float approx = NonlinearLut::to_float(lut.apply(quantize_one(x, in)));
+      worst = std::max(worst, std::fabs(approx - std::tanh(x)));
+    }
+    return worst;
+  };
+  EXPECT_GT(pipeline_error(64.0f), 0.1f);   // grid step 0.5 near origin
+  EXPECT_LT(pipeline_error(8.0f), 0.04f);   // the accelerator's setting
+}
+
+}  // namespace
+}  // namespace zss::quant

@@ -1,0 +1,185 @@
+#include "sparse/encoding.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "num/rng.h"
+
+namespace zss::sparse {
+namespace {
+
+using num::Index;
+using num::Matrix;
+
+Matrix from_values(std::initializer_list<float> values) {
+  Matrix m(1, static_cast<Index>(values.size()));
+  Index j = 0;
+  for (float v : values) m(0, j++) = v;
+  return m;
+}
+
+TEST(EncodingTest, SimpleRunLengths) {
+  const Matrix v = from_values({0, 0, 3.0f, 0, 5.0f, 0});
+  const auto enc = encode(v, EncoderConfig{});
+  ASSERT_EQ(enc.kept_positions(), 2);
+  EXPECT_EQ(enc.entries[0].offset, 2);  // two zeros before 3.0
+  EXPECT_EQ(enc.entries[1].offset, 1);  // one zero between 3.0 and 5.0
+  EXPECT_FLOAT_EQ(enc.values[0], 3.0f);
+  EXPECT_FLOAT_EQ(enc.values[1], 5.0f);
+  EXPECT_EQ(enc.dense_size, 6);
+}
+
+TEST(EncodingTest, DenseVectorHasZeroOffsets) {
+  const Matrix v = from_values({1, 2, 3});
+  const auto enc = encode(v, EncoderConfig{});
+  ASSERT_EQ(enc.kept_positions(), 3);
+  for (const auto& e : enc.entries) EXPECT_EQ(e.offset, 0);
+}
+
+TEST(EncodingTest, AllZeroVectorHasNoEntries) {
+  const Matrix v(1, 8, 0.0f);
+  const auto enc = encode(v, EncoderConfig{});
+  EXPECT_EQ(enc.kept_positions(), 0);
+  const auto dec = decode(enc);
+  EXPECT_EQ(dec, v);
+}
+
+TEST(EncodingTest, TrailingZerosRestoredByDecoder) {
+  const Matrix v = from_values({1.0f, 0, 0, 0, 0});
+  const auto enc = encode(v, EncoderConfig{});
+  EXPECT_EQ(enc.kept_positions(), 1);
+  EXPECT_EQ(decode(enc), v);
+}
+
+TEST(EncodingTest, RoundTripExact) {
+  const Matrix v = from_values({0, -1.5f, 0, 0, 2.0f, 0.25f, 0, 0});
+  EXPECT_EQ(decode(encode(v, EncoderConfig{})), v);
+}
+
+TEST(EncodingTest, CounterOverflowEmitsPadding) {
+  EncoderConfig cfg;
+  cfg.offset_bits = 2;  // max run 3
+  Matrix v(1, 10, 0.0f);
+  v(0, 9) = 7.0f;  // run of 9 zeros: 3-pad, 3-pad, offset 1 (9 = 3+1+3+1+1)
+  const auto enc = encode(v, cfg);
+  ASSERT_EQ(enc.kept_positions(), 3);
+  EXPECT_EQ(enc.entries[0].offset, 3);
+  EXPECT_FLOAT_EQ(enc.values[0], 0.0f);  // padding entry carries zero
+  EXPECT_EQ(enc.entries[1].offset, 3);
+  EXPECT_FLOAT_EQ(enc.values[1], 0.0f);
+  EXPECT_EQ(enc.entries[2].offset, 1);
+  EXPECT_FLOAT_EQ(enc.values[2], 7.0f);
+  EXPECT_EQ(decode(enc), v);
+}
+
+TEST(EncodingTest, OffsetsNeverExceedCounterWidth) {
+  EncoderConfig cfg;
+  cfg.offset_bits = 3;
+  num::Rng rng(11);
+  Matrix v(1, 300, 0.0f);
+  for (Index j = 0; j < 300; ++j) {
+    if (rng.bernoulli(0.05)) v(0, j) = static_cast<float>(rng.normal());
+  }
+  const auto enc = encode(v, cfg);
+  for (const auto& e : enc.entries) {
+    EXPECT_LE(e.offset, cfg.max_offset());
+    EXPECT_GE(e.offset, 0);
+  }
+  EXPECT_EQ(decode(enc), v);
+}
+
+TEST(EncodingTest, BatchIntersectionRule) {
+  // Position skippable only when zero in EVERY lane (Fig. 5(d)).
+  Matrix state(2, 4, 0.0f);
+  state(0, 1) = 1.0f;  // lane 0 non-zero at position 1
+  state(1, 2) = 2.0f;  // lane 1 non-zero at position 2
+  const auto zero = all_zero_columns(state);
+  EXPECT_TRUE(zero[0]);
+  EXPECT_FALSE(zero[1]);
+  EXPECT_FALSE(zero[2]);
+  EXPECT_TRUE(zero[3]);
+
+  const auto enc = encode(state, EncoderConfig{});
+  EXPECT_EQ(enc.kept_positions(), 2);
+  EXPECT_EQ(enc.batch, 2);
+  // Kept position 1 stores both lanes' values (1.0 and 0.0).
+  EXPECT_FLOAT_EQ(enc.values[0], 1.0f);
+  EXPECT_FLOAT_EQ(enc.values[1], 0.0f);
+  EXPECT_EQ(decode(enc), state);
+}
+
+TEST(EncodingTest, BatchSparsityDegree) {
+  Matrix state(2, 4, 0.0f);
+  state(0, 1) = 1.0f;
+  state(1, 2) = 2.0f;
+  EXPECT_DOUBLE_EQ(batch_sparsity_degree(state), 0.5);
+  Matrix dense(1, 4, 1.0f);
+  EXPECT_DOUBLE_EQ(batch_sparsity_degree(dense), 0.0);
+  Matrix zeros(3, 4, 0.0f);
+  EXPECT_DOUBLE_EQ(batch_sparsity_degree(zeros), 1.0);
+}
+
+TEST(EncodingTest, StorageBytesAccounting) {
+  EncoderConfig cfg;  // 8-bit offsets
+  Matrix state(4, 16, 0.0f);
+  state(0, 3) = 1.0f;
+  state(2, 9) = 1.0f;
+  const auto enc = encode(state, cfg);
+  ASSERT_EQ(enc.kept_positions(), 2);
+  // float values: 2 positions * 4 lanes * 4 bytes + 2 offsets * 1 byte.
+  EXPECT_EQ(enc.storage_bytes(cfg), 2 * 4 * 4 + 2);
+}
+
+TEST(EncodingTest, Int8Specialization) {
+  num::MatrixI8 state(1, 5, 0);
+  state(0, 2) = -7;
+  const auto enc = encode(state, EncoderConfig{});
+  ASSERT_EQ(enc.kept_positions(), 1);
+  EXPECT_EQ(enc.entries[0].offset, 2);
+  EXPECT_EQ(enc.values[0], -7);
+  EXPECT_EQ(decode(enc), state);
+}
+
+TEST(EncodingTest, SpanOverloadMatchesMatrix) {
+  const std::vector<float> v = {0.0f, 1.0f, 0.0f, 2.0f};
+  const auto enc = encode<float>(v, EncoderConfig{});
+  EXPECT_EQ(enc.batch, 1);
+  EXPECT_EQ(enc.kept_positions(), 2);
+  const auto dec = decode(enc);
+  for (Index j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(dec(0, j), v[static_cast<std::size_t>(j)]);
+  }
+}
+
+// Property sweep: round trip is exact across densities and batch sizes.
+class EncodingRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<double, int, int>> {};
+
+TEST_P(EncodingRoundTripTest, RoundTripAcrossDensities) {
+  const auto [density, batch, offset_bits] = GetParam();
+  num::Rng rng(17);
+  EncoderConfig cfg;
+  cfg.offset_bits = offset_bits;
+  Matrix state(batch, 257, 0.0f);
+  for (float& v : state.flat()) {
+    if (rng.bernoulli(density)) v = static_cast<float>(rng.normal());
+  }
+  const auto enc = encode(state, cfg);
+  EXPECT_EQ(decode(enc), state);
+  // Kept positions never fewer than demanded by the non-zero columns.
+  Index nonzero_cols = 0;
+  for (bool z : all_zero_columns(state)) {
+    if (!z) ++nonzero_cols;
+  }
+  EXPECT_GE(enc.kept_positions(), nonzero_cols);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Densities, EncodingRoundTripTest,
+    ::testing::Combine(::testing::Values(0.0, 0.01, 0.03, 0.2, 0.5, 1.0),
+                       ::testing::Values(1, 8, 16),
+                       ::testing::Values(2, 4, 8)));
+
+}  // namespace
+}  // namespace zss::sparse

@@ -1,0 +1,71 @@
+#include "sparse/sparsity_report.h"
+
+#include <gtest/gtest.h>
+
+namespace zss::sparse {
+namespace {
+
+using num::Matrix;
+
+TEST(SparsityMeterTest, EmptyMeterIsZero) {
+  SparsityMeter meter;
+  EXPECT_EQ(meter.timesteps(), 0);
+  EXPECT_DOUBLE_EQ(meter.mean_sparsity(), 0.0);
+}
+
+TEST(SparsityMeterTest, SingleObservation) {
+  SparsityMeter meter;
+  Matrix state(1, 4, 0.0f);
+  state(0, 0) = 1.0f;
+  meter.observe(state);
+  EXPECT_EQ(meter.timesteps(), 1);
+  EXPECT_DOUBLE_EQ(meter.mean_sparsity(), 0.75);
+  EXPECT_DOUBLE_EQ(meter.mean_element_sparsity(), 0.75);
+}
+
+TEST(SparsityMeterTest, BatchIntersectionVsElementwise) {
+  SparsityMeter meter;
+  Matrix state(2, 4, 0.0f);
+  state(0, 0) = 1.0f;  // position 0: lane 1 zero
+  state(1, 1) = 1.0f;  // position 1: lane 0 zero
+  meter.observe(state);
+  // Columns 2, 3 all-zero -> 0.5 intersected; 6 of 8 elements zero.
+  EXPECT_DOUBLE_EQ(meter.mean_sparsity(), 0.5);
+  EXPECT_DOUBLE_EQ(meter.mean_element_sparsity(), 0.75);
+}
+
+TEST(SparsityMeterTest, AveragesAcrossSteps) {
+  SparsityMeter meter;
+  Matrix all_zero(1, 4, 0.0f);
+  Matrix all_dense(1, 4, 1.0f);
+  meter.observe(all_zero);
+  meter.observe(all_dense);
+  EXPECT_EQ(meter.timesteps(), 2);
+  EXPECT_DOUBLE_EQ(meter.mean_sparsity(), 0.5);
+}
+
+TEST(SparsityMeterTest, ObserveCounts) {
+  SparsityMeter meter;
+  meter.observe_counts(90, 100);
+  meter.observe_counts(80, 100);
+  EXPECT_DOUBLE_EQ(meter.mean_sparsity(), 0.85);
+  // No element-wise data: falls back to intersected value.
+  EXPECT_DOUBLE_EQ(meter.mean_element_sparsity(), 0.85);
+}
+
+TEST(SparsityMeterTest, ResetClears) {
+  SparsityMeter meter;
+  meter.observe_counts(50, 100);
+  meter.reset();
+  EXPECT_EQ(meter.timesteps(), 0);
+  EXPECT_DOUBLE_EQ(meter.mean_sparsity(), 0.0);
+}
+
+TEST(SparsityMeterDeathTest, BadCountsAbort) {
+  SparsityMeter meter;
+  EXPECT_DEATH(meter.observe_counts(5, 0), "precondition");
+  EXPECT_DEATH(meter.observe_counts(11, 10), "precondition");
+}
+
+}  // namespace
+}  // namespace zss::sparse

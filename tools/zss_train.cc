@@ -1,0 +1,177 @@
+// zss_train — train a pruned-state LSTM from the command line and save
+// the parameters for later benching.
+//
+//   zss_train --task=char --sparsity=0.9 --epochs=3 --out=model.zssm
+//   zss_train --task=word --sparsity=0.93 --hidden=48
+//   zss_train --task=mnist --threshold=0.03 --epochs=15
+//
+// char/word use the target-sparsity pruner (controlled x-axis); mnist
+// uses a fixed empirical threshold, matching the paper's protocol.
+#include <cstdio>
+#include <string>
+
+#include "core/zss.h"
+
+namespace {
+
+using namespace zss;
+
+struct Args {
+  std::string task = "char";
+  double sparsity = 0.0;
+  double threshold = 0.0;
+  num::Index hidden = 0;  // 0 = per-task default
+  int epochs = 3;
+  std::string out;
+};
+
+bool parse(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&](const char* name) -> const char* {
+      const std::string prefix = std::string("--") + name + "=";
+      return a.rfind(prefix, 0) == 0 ? a.c_str() + prefix.size() : nullptr;
+    };
+    if (const char* v = value("task")) {
+      args.task = v;
+    } else if (const char* v = value("sparsity")) {
+      args.sparsity = std::atof(v);
+    } else if (const char* v = value("threshold")) {
+      args.threshold = std::atof(v);
+    } else if (const char* v = value("hidden")) {
+      args.hidden = std::atol(v);
+    } else if (const char* v = value("epochs")) {
+      args.epochs = std::atoi(v);
+    } else if (const char* v = value("out")) {
+      args.out = v;
+    } else {
+      std::fprintf(stderr,
+                   "usage: zss_train --task=char|word|mnist "
+                   "[--sparsity=S | --threshold=T] [--hidden=N] "
+                   "[--epochs=N] [--out=FILE]\n");
+      return false;
+    }
+  }
+  return true;
+}
+
+core::PrunerConfig pruner_from(const Args& args) {
+  if (args.threshold > 0.0) {
+    return core::PrunerConfig::fixed(static_cast<float>(args.threshold));
+  }
+  if (args.sparsity > 0.0) return core::PrunerConfig::target(args.sparsity);
+  return core::PrunerConfig::none();
+}
+
+int train_lm(const Args& args, bool word_task) {
+  core::LmConfig cfg;
+  cfg.pruner = pruner_from(args);
+
+  std::vector<num::Index> train;
+  std::vector<num::Index> test;
+  if (word_task) {
+    data::WordCorpusConfig dcfg;
+    dcfg.vocab_size = 1000;
+    dcfg.train_tokens = 22000;
+    dcfg.valid_tokens = 2000;
+    dcfg.test_tokens = 2500;
+    const auto corpus = data::WordCorpus::generate(dcfg);
+    train = corpus.train();
+    test = corpus.test();
+    cfg.vocab = corpus.vocab_size();
+    cfg.embed_dim = 48;
+    cfg.hidden = args.hidden > 0 ? args.hidden : 48;
+    cfg.dropout = 0.5;
+  } else {
+    data::CharCorpusConfig dcfg;
+    dcfg.train_chars = 30000;
+    dcfg.valid_chars = 3000;
+    dcfg.test_chars = 3000;
+    const auto corpus = data::CharCorpus::generate(dcfg);
+    train = corpus.train();
+    test = corpus.test();
+    cfg.vocab = data::CharCorpus::kVocab;
+    cfg.hidden = args.hidden > 0 ? args.hidden : 64;
+  }
+
+  core::PrunedLstmLm model(cfg);
+  std::unique_ptr<nn::Optimizer> opt;
+  if (word_task) {
+    opt = std::make_unique<nn::Sgd>(1.0f);
+  } else {
+    opt = std::make_unique<nn::Adam>(2e-3f);
+  }
+  data::LmBatcher batcher(train, 8, word_task ? 35 : 25);
+  for (int e = 0; e < args.epochs; ++e) {
+    double nll = 0.0;
+    for (num::Index w = 0; w < batcher.num_windows(); ++w) {
+      nll = model.train_window(batcher.window(w), *opt, 5.0f);
+    }
+    if (word_task) static_cast<nn::Sgd*>(opt.get())->decay(1.2f);
+    std::printf("epoch %d: train NLL %.4f\n", e, nll);
+  }
+  const auto eval = model.evaluate(test, 4, word_task ? 35 : 25);
+  std::printf("test: %s %.4f, state sparsity %.1f%%\n",
+              word_task ? "PPW" : "BPC", word_task ? eval.ppw : eval.bpc,
+              eval.state_sparsity * 100.0);
+  if (!args.out.empty()) {
+    auto params = model.parameters();
+    if (!core::save_parameters(args.out, params)) {
+      std::fprintf(stderr, "failed to write %s\n", args.out.c_str());
+      return 1;
+    }
+    std::printf("saved parameters to %s\n", args.out.c_str());
+  }
+  return 0;
+}
+
+int train_mnist(const Args& args) {
+  data::GlyphConfig dcfg;
+  dcfg.side = 10;
+  dcfg.train_count = 700;
+  dcfg.test_count = 200;
+  dcfg.noise_stddev = 0.02;
+  dcfg.jitter_fraction = 0.05;
+  const auto images = data::GlyphImages::generate(dcfg);
+
+  core::ClassifierConfig cfg;
+  cfg.hidden = args.hidden > 0 ? args.hidden : 48;
+  cfg.pruner = pruner_from(args);
+  core::PrunedLstmClassifier model(cfg);
+  nn::Adam adam(1e-3f);
+  data::ImageBatcher batcher(images.train_images(), images.train_labels(),
+                             20);
+  num::Rng rng(17);
+  for (int e = 0; e < args.epochs; ++e) {
+    batcher.shuffle(rng);
+    double nll = 0.0;
+    for (num::Index b = 0; b < batcher.num_batches(); ++b) {
+      nll = model.train_batch(batcher.batch(b), adam, 5.0f);
+    }
+    std::printf("epoch %d: train NLL %.4f\n", e, nll);
+  }
+  const auto eval = model.evaluate(images.test_images(), images.test_labels());
+  std::printf("test: MER %.2f%%, state sparsity %.1f%%\n",
+              eval.error_rate_percent, eval.state_sparsity * 100.0);
+  if (!args.out.empty()) {
+    auto params = model.parameters();
+    if (!core::save_parameters(args.out, params)) {
+      std::fprintf(stderr, "failed to write %s\n", args.out.c_str());
+      return 1;
+    }
+    std::printf("saved parameters to %s\n", args.out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse(argc, argv, args)) return 1;
+  if (args.task == "char") return train_lm(args, false);
+  if (args.task == "word") return train_lm(args, true);
+  if (args.task == "mnist") return train_mnist(args);
+  std::fprintf(stderr, "unknown task '%s'\n", args.task.c_str());
+  return 1;
+}
