@@ -1,0 +1,178 @@
+// Wall-clock sparse vs dense inference stepping.
+//
+// The paper's MAC-count speedups (Figs. 8-9) only matter in software if
+// the skip path is also faster on real hardware — which is exactly what
+// the packed-weight engine is for. This bench times step() against
+// step_dense() across state sparsity levels and batch sizes, checks the
+// bit-exactness contract on the fly, and emits a machine-readable
+// BENCH_sparse_inference.json so the perf trajectory of the repo tracks
+// every change to the kernel layer.
+//
+// Usage: bench_sparse_vs_dense [--dh=512] [--dx=64] [--steps=200] [--quick]
+// Writes BENCH_sparse_inference.json into the working directory.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/sparse_inference.h"
+#include "core/state_pruner.h"
+#include "nn/lstm_cell.h"
+#include "num/matrix.h"
+#include "num/rng.h"
+
+namespace {
+
+using namespace zss;
+
+struct Result {
+  double sparsity_target = 0.0;
+  num::Index batch = 0;
+  double sparse_us_per_step = 0.0;
+  double dense_us_per_step = 0.0;
+  double wall_speedup = 0.0;
+  double observed_sparsity = 0.0;
+  double mac_speedup = 0.0;
+  bool bit_exact = false;
+};
+
+num::Matrix random_matrix(num::Index rows, num::Index cols, num::Rng& rng) {
+  num::Matrix m(rows, cols);
+  for (float& v : m.flat()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return m;
+}
+
+template <typename F>
+double time_us_per_step(num::Index steps, F&& body) {
+  const auto start = std::chrono::steady_clock::now();
+  for (num::Index t = 0; t < steps; ++t) body();
+  const auto end = std::chrono::steady_clock::now();
+  const double us =
+      std::chrono::duration<double, std::micro>(end - start).count();
+  return us / static_cast<double>(steps);
+}
+
+Result run_one(const nn::LstmCell& cell, double sparsity, num::Index batch,
+               num::Index steps, std::uint64_t seed) {
+  const num::Index dh = cell.hidden_dim();
+  const num::Index dx = cell.input_dim();
+  const core::StatePruner pruner(core::PrunerConfig::target(sparsity));
+  core::SparseLstmEngine sparse(cell, pruner);
+  core::SparseLstmEngine dense(cell, pruner);
+
+  num::Rng rng(seed);
+  std::vector<num::Matrix> inputs;
+  inputs.reserve(8);
+  for (int i = 0; i < 8; ++i) inputs.push_back(random_matrix(batch, dx, rng));
+
+  num::Matrix h_s(batch, dh, 0.0f), c_s(batch, dh, 0.0f);
+  num::Matrix h_d(batch, dh, 0.0f), c_d(batch, dh, 0.0f);
+
+  // Warm-up: reach the pruned steady state, fill the workspaces, and
+  // check the contract while we are at it.
+  bool exact = true;
+  for (int t = 0; t < 8; ++t) {
+    const num::Matrix& x = inputs[static_cast<std::size_t>(t) % inputs.size()];
+    sparse.step(x, h_s, c_s);
+    dense.step_dense(x, h_d, c_d);
+    exact = exact && h_s == h_d && c_s == c_d;
+  }
+  sparse.reset_stats();
+
+  std::size_t i = 0;
+  Result r;
+  r.sparse_us_per_step = time_us_per_step(steps, [&] {
+    sparse.step(inputs[i++ % inputs.size()], h_s, c_s);
+  });
+  i = 0;
+  r.dense_us_per_step = time_us_per_step(steps, [&] {
+    dense.step_dense(inputs[i++ % inputs.size()], h_d, c_d);
+  });
+
+  r.sparsity_target = sparsity;
+  r.batch = batch;
+  r.wall_speedup = r.dense_us_per_step / r.sparse_us_per_step;
+  r.observed_sparsity = sparse.stats().observed_sparsity();
+  r.mac_speedup = sparse.stats().state_speedup();
+  r.bit_exact = exact;
+  return r;
+}
+
+void write_json(const std::string& path, num::Index dh, num::Index dx,
+                num::Index steps, const std::vector<Result>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"sparse_inference\",\n");
+  std::fprintf(f, "  \"dh\": %lld, \"dx\": %lld, \"steps\": %lld,\n",
+               static_cast<long long>(dh), static_cast<long long>(dx),
+               static_cast<long long>(steps));
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(f,
+                 "    {\"sparsity\": %.2f, \"batch\": %lld, "
+                 "\"sparse_us_per_step\": %.3f, \"dense_us_per_step\": %.3f, "
+                 "\"wall_speedup\": %.3f, \"observed_sparsity\": %.4f, "
+                 "\"mac_speedup\": %.3f, \"bit_exact\": %s}%s\n",
+                 r.sparsity_target, static_cast<long long>(r.batch),
+                 r.sparse_us_per_step, r.dense_us_per_step, r.wall_speedup,
+                 r.observed_sparsity, r.mac_speedup,
+                 r.bit_exact ? "true" : "false",
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const auto dh = static_cast<num::Index>(flags.get_int("dh", 512));
+  const auto dx = static_cast<num::Index>(flags.get_int("dx", 64));
+  const auto steps = std::max<num::Index>(
+      1, static_cast<num::Index>(
+             flags.get_int("steps", flags.has("quick") ? 30 : 200)));
+
+  num::Rng rng(1234);
+  nn::LstmCell cell(dx, dh, rng);
+
+  bench::print_header("sparse step() vs dense step_dense() wall clock");
+  std::printf("dh=%lld dx=%lld steps=%lld\n", static_cast<long long>(dh),
+              static_cast<long long>(dx), static_cast<long long>(steps));
+  std::printf("%-10s %-6s %14s %14s %10s %10s %10s %6s\n", "sparsity",
+              "batch", "sparse us/st", "dense us/st", "wall x", "obs spars",
+              "mac x", "exact");
+
+  std::vector<Result> results;
+  for (const double sparsity : {0.5, 0.7, 0.9}) {
+    for (const num::Index batch : {num::Index{1}, num::Index{8},
+                                   num::Index{32}}) {
+      const Result r = run_one(cell, sparsity, batch, steps,
+                               static_cast<std::uint64_t>(
+                                   sparsity * 100.0 + static_cast<double>(batch)));
+      results.push_back(r);
+      std::printf("%-10.2f %-6lld %14.2f %14.2f %10.2f %10.3f %10.2f %6s\n",
+                  r.sparsity_target, static_cast<long long>(r.batch),
+                  r.sparse_us_per_step, r.dense_us_per_step, r.wall_speedup,
+                  r.observed_sparsity, r.mac_speedup,
+                  r.bit_exact ? "yes" : "NO");
+    }
+  }
+
+  write_json("BENCH_sparse_inference.json", dh, dx, steps, results);
+
+  bool all_exact = true;
+  for (const Result& r : results) all_exact = all_exact && r.bit_exact;
+  if (!all_exact) {
+    std::fprintf(stderr, "bit-exactness contract violated!\n");
+    return 1;
+  }
+  return 0;
+}

@@ -6,7 +6,9 @@
 #include "accel/synthetic.h"
 #include "core/state_pruner.h"
 #include "nn/lstm_cell.h"
+#include "nn/packed_weights.h"
 #include "num/kernels.h"
+#include "num/reference_kernels.h"
 #include "num/rng.h"
 #include "quant/quantize.h"
 #include "sparse/encoding.h"
@@ -54,6 +56,79 @@ void BM_SparseColumnGemv(benchmark::State& state) {
                           static_cast<num::Index>(kept.size()) * 4 * n);
 }
 BENCHMARK(BM_SparseColumnGemv)->Arg(128)->Arg(256)->Arg(512);
+
+// The packed-row sparse accumulation at 90% sparsity — same work as
+// BM_SparseColumnGemv, but streaming contiguous transposed rows instead
+// of stride-4n column gathers.
+void BM_SparseAccumRowsPacked(benchmark::State& state) {
+  const auto n = static_cast<num::Index>(state.range(0));
+  const auto w = random_matrix(4 * n, n, 2);
+  num::Matrix packed;
+  num::transpose(w, packed);
+  num::Rng rng(3);
+  std::vector<num::Index> kept;
+  for (num::Index j = 0; j < n; ++j) {
+    if (rng.bernoulli(0.1)) kept.push_back(j);
+  }
+  const std::vector<float> values(kept.size(), 0.5f);
+  num::Matrix out(1, 4 * n, 0.0f);
+  for (auto _ : state) {
+    num::sparse_accum_rows(packed, kept, values, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<num::Index>(kept.size()) * 4 * n);
+}
+BENCHMARK(BM_SparseAccumRowsPacked)->Arg(128)->Arg(256)->Arg(512);
+
+// Blocked gemm_a_bt (the dense recurrent/BPTT shape) against the seed's
+// scalar one-dot-per-element kernel — the acceptance target is >= 2x at
+// dh = 512 on the same machine.
+void BM_GemmABtBlocked(benchmark::State& state) {
+  const auto dh = static_cast<num::Index>(state.range(0));
+  const auto a = random_matrix(8, dh, 20);
+  const auto b = random_matrix(4 * dh, dh, 21);
+  num::Matrix c;
+  for (auto _ : state) {
+    num::gemm_a_bt(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 4 * dh * dh);
+}
+BENCHMARK(BM_GemmABtBlocked)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GemmABtSeedScalar(benchmark::State& state) {
+  const auto dh = static_cast<num::Index>(state.range(0));
+  const auto a = random_matrix(8, dh, 20);
+  const auto b = random_matrix(4 * dh, dh, 21);
+  num::Matrix c;
+  for (auto _ : state) {
+    num::reference::gemm_a_bt(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 4 * dh * dh);
+}
+BENCHMARK(BM_GemmABtSeedScalar)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GemvBlockedVsSeed(benchmark::State& state) {
+  const auto n = static_cast<num::Index>(state.range(0));
+  const auto w = random_matrix(4 * n, n, 22);
+  std::vector<float> x(static_cast<std::size_t>(n), 0.5f);
+  std::vector<float> y(static_cast<std::size_t>(4 * n));
+  const bool blocked = state.range(1) != 0;
+  for (auto _ : state) {
+    if (blocked) {
+      num::gemv(w, x, y);
+    } else {
+      num::reference::gemv(w, x, y);
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * n * n);
+}
+BENCHMARK(BM_GemvBlockedVsSeed)
+    ->Args({512, 0})
+    ->Args({512, 1});
 
 void BM_QuantizedGemv(benchmark::State& state) {
   const auto n = static_cast<num::Index>(state.range(0));

@@ -8,15 +8,29 @@ namespace zss::core {
 SparseLstmEngine::SparseLstmEngine(const nn::LstmCell& cell,
                                    const StatePruner& pruner,
                                    sparse::EncoderConfig encoder)
-    : cell_(&cell), pruner_(&pruner), encoder_(encoder) {}
+    : cell_(&cell),
+      pruner_(&pruner),
+      encoder_(encoder),
+      packed_(nn::PackedLstmWeights::pack(cell)) {
+  positions_.reserve(static_cast<std::size_t>(cell.hidden_dim()));
+}
+
+void SparseLstmEngine::compute_input_path(const num::Matrix& x,
+                                          num::Matrix& pre) {
+  // pre = x Wx^T + b over the packed layout (the input path is never
+  // sparse-skipped, though gemm's exact-zero skip makes one-hot inputs
+  // cost only their active rows — identically in step and step_dense).
+  num::gemm(x, packed_.wxt, pre);
+  num::add_bias_rows(pre, packed_.bias.span());
+}
 
 void SparseLstmEngine::finish_step(num::Matrix& pre,
                                    const num::Matrix& c_prev, num::Matrix& h,
                                    num::Matrix& c) {
   const num::Index B = pre.rows();
   const num::Index dh = cell_->hidden_dim();
-  h.resize(B, dh);
-  c.resize(B, dh);
+  ZSS_EXPECTS(h.rows() == B && h.cols() == dh);
+  ZSS_EXPECTS(c.rows() == B && c.cols() == dh);
   for (num::Index r = 0; r < B; ++r) {
     auto row = pre.row(r);
     auto cp = c_prev.row(r);
@@ -32,7 +46,7 @@ void SparseLstmEngine::finish_step(num::Matrix& pre,
   }
   // Store the pruned representation — this is what the encoder writes to
   // DRAM and what the next step will skip over.
-  pruner_->prune_inplace(h);
+  pruner_->prune_inplace(h, prune_scratch_);
 }
 
 void SparseLstmEngine::step(const num::Matrix& x, num::Matrix& h,
@@ -42,39 +56,32 @@ void SparseLstmEngine::step(const num::Matrix& x, num::Matrix& h,
   ZSS_EXPECTS(h.rows() == B && h.cols() == dh);
   ZSS_EXPECTS(c.rows() == B && c.cols() == dh);
 
-  // pre = x Wx^T + b (the input path is never sparse-skipped).
-  num::Matrix pre;
-  num::gemm_a_bt(x, cell_->wx().value, pre);
-  num::add_bias_rows(pre, cell_->bias().value.flat());
+  num::Matrix& pre = ws_.uninit(kPre, B, 4 * dh);  // gemm zero-fills it
+  compute_input_path(x, pre);
   stats_.input_macs += B * cell_->input_dim() * 4 * dh;
 
-  // Sparse recurrent path: only the weight columns of positions that are
-  // non-zero in at least one batch lane are touched. The column partial
-  // sums are kept separate from `pre` and added once at the end so the
+  // Sparse recurrent path: encode the stored state, then accumulate one
+  // contiguous packed weight row per kept position. The partial sums are
+  // kept separate from `pre` and added once at the end so the
   // floating-point association matches step_dense() exactly (zero-valued
   // skipped terms are exact identities under IEEE addition).
-  const auto enc = sparse::encode(h, encoder_);
-  const num::Matrix& wh = cell_->wh().value;
-  num::Matrix pre_h(B, 4 * dh, 0.0f);
+  prune_scratch_.reserve(static_cast<std::size_t>(B * dh));
+  enc_.reserve(dh, B);
+  sparse::encode_into(h, encoder_, enc_);
+  positions_.clear();
   num::Index pos = 0;
-  for (std::size_t e = 0; e < enc.entries.size(); ++e) {
-    pos += enc.entries[e].offset;
-    for (num::Index b = 0; b < B; ++b) {
-      const float v = enc.values[e * static_cast<std::size_t>(B) +
-                                 static_cast<std::size_t>(b)];
-      // A lane can still be zero at a kept position (another lane was
-      // non-zero); the hardware cannot skip it, and neither do we when
-      // counting work, but the float add is a no-op either way.
-      num::axpy_col(wh, pos, v, pre_h.row(b));
-    }
+  for (const auto& entry : enc_.entries) {
+    pos += entry.offset;
+    positions_.push_back(pos);
     ++pos;
   }
-  for (std::size_t i = 0; i < pre.flat().size(); ++i) {
-    pre.flat()[i] += pre_h.flat()[i];
-  }
+  num::Matrix& pre_h = ws_.mat(kPreH, B, 4 * dh, 0.0f);
+  num::sparse_accum_rows(packed_.wht, positions_, enc_.values, pre_h);
+  num::axpy(1.0f, pre_h.flat(), pre.flat());
+
   stats_.state_macs_total += B * dh * 4 * dh;
-  stats_.state_macs_effectual += B * enc.kept_positions() * 4 * dh;
-  stats_.kept_positions += enc.kept_positions();
+  stats_.state_macs_effectual += B * enc_.kept_positions() * 4 * dh;
+  stats_.kept_positions += enc_.kept_positions();
   stats_.positions += dh;
   ++stats_.steps;
 
@@ -87,14 +94,16 @@ void SparseLstmEngine::step_dense(const num::Matrix& x, num::Matrix& h,
   const num::Index dh = cell_->hidden_dim();
   ZSS_EXPECTS(h.rows() == B && h.cols() == dh);
 
-  num::Matrix pre;
-  num::gemm_a_bt(x, cell_->wx().value, pre);
-  num::add_bias_rows(pre, cell_->bias().value.flat());
-  num::Matrix pre_h;
+  num::Matrix& pre = ws_.uninit(kPre, B, 4 * dh);  // gemm zero-fills it
+  compute_input_path(x, pre);
+  // Dense recurrent baseline: full dot products over the gate-major
+  // weights — every position's terms are accumulated, in the same
+  // ascending-position order the sparse path uses for the kept ones.
+  num::Matrix& pre_h = ws_.uninit(kPreH, B, 4 * dh);  // gemm_a_bt overwrites
   num::gemm_a_bt(h, cell_->wh().value, pre_h);
-  for (std::size_t i = 0; i < pre.flat().size(); ++i) {
-    pre.flat()[i] += pre_h.flat()[i];
-  }
+  num::axpy(1.0f, pre_h.flat(), pre.flat());
+
+  prune_scratch_.reserve(static_cast<std::size_t>(B * dh));
   stats_.input_macs += B * cell_->input_dim() * 4 * dh;
   stats_.state_macs_total += B * dh * 4 * dh;
   stats_.state_macs_effectual += B * dh * 4 * dh;

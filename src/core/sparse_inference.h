@@ -4,15 +4,30 @@
 // At inference the stored state is pruned, so the recurrent matvec
 // Wh h^p_{t-1} only needs the weight columns of non-zero elements. This
 // engine computes exactly that: it encodes the state with the paper's
-// offset encoder (batch-intersected when batch > 1) and accumulates one
-// weight column per kept position, counting effectual vs. skipped MACs
-// so the algorithmic speedup bound of Figs. 8-9 can be measured in
-// software before touching the cycle model.
+// offset encoder (batch-intersected when batch > 1) and accumulates the
+// packed weight row of every kept position (see nn/packed_weights.h),
+// counting effectual vs. skipped MACs so the algorithmic speedup bound
+// of Figs. 8-9 can be measured in software before touching the cycle
+// model — and, since the packed rows are contiguous, the wall-clock
+// speedup is real too (bench/bench_sparse_vs_dense.cc).
+//
+// Contracts:
+//  * step() and step_dense() produce bit-for-bit identical states: both
+//    accumulate each pre-activation element in ascending state-position
+//    order through num::madd, and skipped terms are exact IEEE
+//    identities (madd(0, w, acc) == acc).
+//  * step() performs zero heap allocations once warm: every temporary
+//    lives in the engine's Workspace or in buffers reserved up front
+//    (workspace().allocation_count() is the instrument tests use).
 #pragma once
+
+#include <vector>
 
 #include "core/state_pruner.h"
 #include "nn/lstm_cell.h"
+#include "nn/packed_weights.h"
 #include "num/matrix.h"
+#include "num/workspace.h"
 #include "sparse/encoding.h"
 
 namespace zss::core {
@@ -26,11 +41,16 @@ struct InferenceStats {
   num::Index positions = 0;
 
   /// Upper bound on the matvec speedup from skipping (state part only).
+  /// An all-zero state skipped *everything*, so the bound is the entire
+  /// dense cost — not zero (which would read as "no speedup").
   double state_speedup() const {
-    return state_macs_effectual == 0
-               ? 0.0
-               : static_cast<double>(state_macs_total) /
-                     static_cast<double>(state_macs_effectual);
+    if (state_macs_effectual == 0) {
+      return state_macs_total == 0
+                 ? 0.0
+                 : static_cast<double>(state_macs_total);
+    }
+    return static_cast<double>(state_macs_total) /
+           static_cast<double>(state_macs_effectual);
   }
 
   /// Mean batch-intersected sparsity seen by the skip logic.
@@ -46,7 +66,9 @@ struct InferenceStats {
 class SparseLstmEngine {
  public:
   /// Borrows the trained cell; the caller keeps it alive. The pruner
-  /// determines which state elements are stored as zero.
+  /// determines which state elements are stored as zero. Packs the
+  /// cell's weights into the cache-aware transposed layout on
+  /// construction (re-construct the engine if the weights change).
   SparseLstmEngine(const nn::LstmCell& cell, const StatePruner& pruner,
                    sparse::EncoderConfig encoder = {});
 
@@ -62,14 +84,28 @@ class SparseLstmEngine {
   const InferenceStats& stats() const { return stats_; }
   void reset_stats() { stats_.reset(); }
 
+  const nn::PackedLstmWeights& packed_weights() const { return packed_; }
+
+  /// Scratch arena used by step()/step_dense(); its allocation_count()
+  /// must be stable across steps once the engine is warm.
+  const num::Workspace& workspace() const { return ws_; }
+
  private:
+  void compute_input_path(const num::Matrix& x, num::Matrix& pre);
   void finish_step(num::Matrix& pre, const num::Matrix& c_prev,
                    num::Matrix& h, num::Matrix& c);
+
+  enum Slot : std::size_t { kPre, kPreH };
 
   const nn::LstmCell* cell_;
   const StatePruner* pruner_;
   sparse::EncoderConfig encoder_;
   InferenceStats stats_;
+  nn::PackedLstmWeights packed_;
+  num::Workspace ws_;
+  sparse::EncodedState<float> enc_;       // reused encoder output
+  std::vector<num::Index> positions_;     // absolute kept positions
+  std::vector<float> prune_scratch_;      // quantile scratch for pruning
 };
 
 }  // namespace zss::core

@@ -136,15 +136,16 @@ StackedEval StackedPrunedLstmLm::evaluate(std::span<const num::Index> stream,
       const std::span<const num::Index> tokens(
           b.inputs.data() + t * batch, static_cast<std::size_t>(batch));
       make_input(tokens, x);
-      num::Matrix layer_in = x;
+      // In-place stepping: each layer's state matrices are updated where
+      // they live (c aliases c_prev, which forward() permits), so the
+      // whole evaluation loop reuses the same buffers every step.
+      const num::Matrix* layer_in = &x;
       for (std::size_t l = 0; l < L; ++l) {
         sparsity_sum[l] += pruner_.prune(h_[l], pruned);
-        auto out = cells_[l]->forward(layer_in, pruned, c_[l], nullptr);
-        h_[l] = out.h;
-        c_[l] = std::move(out.c);
-        layer_in = std::move(out.h);
+        cells_[l]->forward(*layer_in, pruned, c_[l], nullptr, h_[l], c_[l]);
+        layer_in = &h_[l];
       }
-      classifier_.forward(layer_in, logits);
+      classifier_.forward(*layer_in, logits);
       const std::span<const num::Index> targets(
           b.targets.data() + t * batch, static_cast<std::size_t>(batch));
       nll_sum += num::softmax_xent(logits, targets, nullptr);
@@ -178,14 +179,12 @@ void StackedPrunedLstmLm::collect_states(
     make_input(std::span<const num::Index>(b.inputs.data(),
                                            static_cast<std::size_t>(batch)),
                x);
-    num::Matrix layer_in = x;
+    const num::Matrix* layer_in = &x;
+    num::Matrix stored;
     for (std::size_t l = 0; l < L; ++l) {
       pruner_.prune(h_[l], pruned);
-      auto out = cells_[l]->forward(layer_in, pruned, c_[l], nullptr);
-      h_[l] = out.h;
-      c_[l] = std::move(out.c);
-      layer_in = h_[l];
-      num::Matrix stored;
+      cells_[l]->forward(*layer_in, pruned, c_[l], nullptr, h_[l], c_[l]);
+      layer_in = &h_[l];
       pruner_.prune(h_[l], stored);
       meters[l].observe(stored);
     }

@@ -21,6 +21,12 @@ StatePruner::StatePruner(const PrunerConfig& config) : config_(config) {
 }
 
 float StatePruner::effective_threshold(const num::Matrix& h) const {
+  std::vector<float> scratch;
+  return effective_threshold(h, scratch);
+}
+
+float StatePruner::effective_threshold(const num::Matrix& h,
+                                       std::vector<float>& scratch) const {
   switch (config_.mode) {
     case PruneMode::kNone:
       return 0.0f;
@@ -30,7 +36,7 @@ float StatePruner::effective_threshold(const num::Matrix& h) const {
       if (h.size() == 0 || config_.target_sparsity == 0.0) return 0.0f;
       // The q-quantile of |h| puts floor(q*n) elements strictly below T
       // (Eq. 5 compares with strict <, so the quantile element survives).
-      return num::quantile_abs(h.flat(), config_.target_sparsity);
+      return num::quantile_abs(h.flat(), config_.target_sparsity, scratch);
   }
   ZSS_ASSERT(false);
   return 0.0f;
@@ -62,8 +68,14 @@ double StatePruner::prune(const num::Matrix& h, num::Matrix& pruned) const {
 }
 
 double StatePruner::prune_inplace(num::Matrix& h) const {
+  std::vector<float> scratch;
+  return prune_inplace(h, scratch);
+}
+
+double StatePruner::prune_inplace(num::Matrix& h,
+                                  std::vector<float>& scratch) const {
   if (!enabled()) return 0.0;
-  const float t = effective_threshold(h);
+  const float t = effective_threshold(h, scratch);
   auto v = h.flat();
   num::Index zeros = 0;
   for (float& x : v) {

@@ -12,6 +12,8 @@
 // the x-axis value exactly.
 #pragma once
 
+#include <vector>
+
 #include "num/matrix.h"
 #include "num/types.h"
 
@@ -48,10 +50,19 @@ class StatePruner {
   /// In-place variant.
   double prune_inplace(num::Matrix& h) const;
 
+  /// In-place variant whose quantile scratch lives in `scratch`, so
+  /// per-timestep pruning allocates nothing once the caller's buffer is
+  /// warm (the inference engine's zero-allocation contract).
+  double prune_inplace(num::Matrix& h, std::vector<float>& scratch) const;
+
   /// The threshold that would be applied to this state under the current
   /// mode (exposed for tests and for exporting a trained model's
   /// effective T to the accelerator).
   float effective_threshold(const num::Matrix& h) const;
+
+  /// Allocation-free variant of effective_threshold.
+  float effective_threshold(const num::Matrix& h,
+                            std::vector<float>& scratch) const;
 
   const PrunerConfig& config() const { return config_; }
   bool enabled() const { return config_.mode != PruneMode::kNone; }

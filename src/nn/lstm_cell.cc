@@ -23,15 +23,26 @@ LstmStepOutput LstmCell::forward(const num::Matrix& x,
                                  const num::Matrix& h_prev,
                                  const num::Matrix& c_prev,
                                  LstmStepCache* cache) const {
+  LstmStepOutput out;
+  forward(x, h_prev, c_prev, cache, out.h, out.c);
+  return out;
+}
+
+void LstmCell::forward(const num::Matrix& x, const num::Matrix& h_prev,
+                       const num::Matrix& c_prev, LstmStepCache* cache,
+                       num::Matrix& h_out, num::Matrix& c_out) const {
   const num::Index batch = x.rows();
   ZSS_EXPECTS(x.cols() == dx_);
   ZSS_EXPECTS(h_prev.rows() == batch && h_prev.cols() == dh_);
   ZSS_EXPECTS(c_prev.rows() == batch && c_prev.cols() == dh_);
 
-  // Pre-activations: (B x 4dh) = x Wx^T + h_prev Wh^T + b.
-  num::Matrix pre;
+  // Pre-activations: (B x 4dh) = x Wx^T + h_prev Wh^T + b. Training
+  // (cache set) computes them straight into the cache's gate buffer;
+  // inference draws from the workspace.
+  num::Matrix& pre =
+      cache != nullptr ? cache->gates : ws_.uninit(kPre, batch, 4 * dh_);
   num::gemm_a_bt(x, wx_.value, pre);
-  num::Matrix pre_h;
+  num::Matrix& pre_h = ws_.uninit(kPreH, batch, 4 * dh_);
   num::gemm_a_bt(h_prev, wh_.value, pre_h);
   for (std::size_t i = 0; i < pre.flat().size(); ++i) {
     pre.flat()[i] += pre_h.flat()[i];
@@ -51,15 +62,27 @@ LstmStepOutput LstmCell::forward(const num::Matrix& x,
     }
   }
 
-  LstmStepOutput out;
-  out.c.resize(batch, dh_);
-  out.h.resize(batch, dh_);
-  num::Matrix tanh_c(batch, dh_);
+  // Snapshot the step inputs before the elementwise update can overwrite
+  // an aliased previous state.
+  if (cache != nullptr) {
+    cache->x = x;
+    cache->h_prev = h_prev;
+    cache->c_prev = c_prev;
+  }
+
+  // Resize only on a shape change: an output that aliases its previous
+  // state (the in-place stepping pattern) is already shaped and must not
+  // be cleared before the elementwise update reads it.
+  if (c_out.rows() != batch || c_out.cols() != dh_) c_out.resize(batch, dh_);
+  if (h_out.rows() != batch || h_out.cols() != dh_) h_out.resize(batch, dh_);
+  num::Matrix& tanh_c =
+      cache != nullptr ? cache->tanh_c : ws_.uninit(kTanhC, batch, dh_);
+  if (cache != nullptr) tanh_c.resize(batch, dh_);
   for (num::Index r = 0; r < batch; ++r) {
     auto gates = pre.row(r);
     auto cp = c_prev.row(r);
-    auto c = out.c.row(r);
-    auto h = out.h.row(r);
+    auto c = c_out.row(r);
+    auto h = h_out.row(r);
     auto tc = tanh_c.row(r);
     for (num::Index j = 0; j < dh_; ++j) {
       const float f = gates[static_cast<std::size_t>(j)];
@@ -74,15 +97,7 @@ LstmStepOutput LstmCell::forward(const num::Matrix& x,
     }
   }
 
-  if (cache != nullptr) {
-    cache->x = x;
-    cache->h_prev = h_prev;
-    cache->c_prev = c_prev;
-    cache->gates = std::move(pre);
-    cache->c = out.c;
-    cache->tanh_c = std::move(tanh_c);
-  }
-  return out;
+  if (cache != nullptr) cache->c = c_out;
 }
 
 LstmStepGrads LstmCell::backward(const LstmStepCache& cache,

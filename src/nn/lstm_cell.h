@@ -18,6 +18,7 @@
 #include "num/matrix.h"
 #include "num/rng.h"
 #include "num/types.h"
+#include "num/workspace.h"
 
 namespace zss::nn {
 
@@ -54,9 +55,24 @@ class LstmCell {
 
   /// One timestep. `h_prev` is whatever state representation the caller
   /// wants the recurrence to see (dense, or pruned per Eq. 4/5).
+  ///
+  /// Not reentrant: forward() draws scratch from a per-cell workspace,
+  /// so concurrent forward() calls on ONE cell need external
+  /// synchronization (or one cell instance per thread). Distinct cells
+  /// are independent.
   LstmStepOutput forward(const num::Matrix& x, const num::Matrix& h_prev,
                          const num::Matrix& c_prev,
                          LstmStepCache* cache) const;
+
+  /// In-place variant: writes the new state into `h_out` / `c_out`
+  /// instead of returning fresh matrices, and draws scratch from the
+  /// cell's workspace — zero heap allocations once warm when the outputs
+  /// are already shaped (B x dh). `c_out` may alias `c_prev` and `h_out`
+  /// may alias `h_prev` (each element is read before it is overwritten);
+  /// the outputs must not alias `x` or each other.
+  void forward(const num::Matrix& x, const num::Matrix& h_prev,
+               const num::Matrix& c_prev, LstmStepCache* cache,
+               num::Matrix& h_out, num::Matrix& c_out) const;
 
   /// Backward through one step. `dh` and `dc` are the gradients flowing
   /// into h_t and c_t; parameter gradients are accumulated in place.
@@ -73,11 +89,16 @@ class LstmCell {
   const Parameter& bias() const { return b_; }
 
  private:
+  enum Slot : std::size_t { kPre, kPreH, kTanhC };
+
   num::Index dx_;
   num::Index dh_;
   Parameter wx_;  // (4dh x dx)
   Parameter wh_;  // (4dh x dh)
   Parameter b_;   // (1 x 4dh)
+  // Scratch for the inference-path forward (pre-activations, tanh(c)).
+  // Mutable: reusing buffers does not change the cell's observable state.
+  mutable num::Workspace ws_;
 };
 
 }  // namespace zss::nn

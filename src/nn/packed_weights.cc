@@ -1,0 +1,21 @@
+#include "nn/packed_weights.h"
+
+#include "num/kernels.h"
+
+namespace zss::nn {
+
+PackedLstmWeights PackedLstmWeights::pack(const LstmCell& cell) {
+  PackedLstmWeights p;
+  p.dx = cell.input_dim();
+  p.dh = cell.hidden_dim();
+  num::transpose(cell.wx().value, p.wxt);
+  num::transpose(cell.wh().value, p.wht);
+  const auto b = cell.bias().value.flat();
+  p.bias.resize(static_cast<num::Index>(b.size()));
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    p.bias[static_cast<num::Index>(i)] = b[i];
+  }
+  return p;
+}
+
+}  // namespace zss::nn

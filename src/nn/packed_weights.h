@@ -1,0 +1,38 @@
+// Cache-aware packed layout of an LstmCell's inference weights.
+//
+// Training stores Wh and Wx gate-major, (4dh x dh) and (4dh x dx): row
+// g*dh+i is output element i of gate g. The skip path of the inference
+// engine instead walks *state positions* — for every kept position j it
+// needs Wh[:, j], which in the gate-major layout is a stride-dh column
+// gather across 4dh rows (one cache line touched per element).
+//
+// PackedLstmWeights stores the transposed, gate-interleaved layout:
+//   wht(j, :) = Wh[:, j]  — position j's f/i/o/g columns as ONE
+//                            contiguous 4dh row,
+//   wxt(j, :) = Wx[:, j]  — the same for the input path,
+// so the sparse accumulate (num::sparse_accum_rows) streams exactly the
+// rows it keeps, and the input-path GEMM streams wxt rows for the
+// non-zero input elements. Values are copied bit-for-bit, and the
+// kernels accumulate positions in the same ascending order as the dense
+// path, so packing preserves the engine's bit-exactness contract.
+#pragma once
+
+#include "nn/lstm_cell.h"
+#include "num/matrix.h"
+#include "num/types.h"
+
+namespace zss::nn {
+
+struct PackedLstmWeights {
+  num::Index dx = 0;
+  num::Index dh = 0;
+  num::Matrix wxt;   // (dx x 4dh), row j = Wx[:, j]
+  num::Matrix wht;   // (dh x 4dh), row j = Wh[:, j]
+  num::Vector bias;  // (4dh), copied so inference never chases Parameters
+
+  /// Snapshots the cell's current weights into the packed layout. Call
+  /// again after weights change (packing is a transpose, not a view).
+  static PackedLstmWeights pack(const LstmCell& cell);
+};
+
+}  // namespace zss::nn

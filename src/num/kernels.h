@@ -1,17 +1,40 @@
 // Dense float kernels shared by training, inference and reference checks.
 //
 // The library never links an external BLAS: the paper's workloads are
-// small enough (d_h <= 1000) that simple cache-blocked loops reach the
-// throughput a laptop-scale reproduction needs, and keeping the loops in
-// repo makes the quantized / sparse variants directly comparable.
+// small enough (d_h <= 1000) that register-blocked, cache-aware loops
+// reach the throughput a laptop-scale reproduction needs, and keeping
+// the loops in repo makes the quantized / sparse variants directly
+// comparable. See reference_kernels.h for the unblocked loops the tests
+// and microbenchmarks compare against.
+//
+// Determinism contract: every multiply-accumulate goes through madd()
+// below, and blocking never reorders the additions that feed one output
+// element (it only interleaves independent accumulator chains). The
+// sparse skip path and the dense path therefore produce bit-identical
+// results — skipped terms are exact IEEE identities, madd(0, w, acc)
+// == acc — which is the contract sparse_inference.h documents.
 #pragma once
 
+#include <cmath>
 #include <span>
 
 #include "num/matrix.h"
 #include "num/types.h"
 
 namespace zss::num {
+
+/// The one multiply-accumulate used by every kernel (blocked and
+/// reference). On targets with hardware FMA this is a single fused op;
+/// routing all kernels through it keeps the rounding of the sparse and
+/// dense paths identical regardless of how the compiler would otherwise
+/// contract each loop.
+inline float madd(float a, float b, float acc) {
+#ifdef FP_FAST_FMAF
+  return std::fmaf(a, b, acc);
+#else
+  return a * b + acc;
+#endif
+}
 
 /// y = W * x. W is (m x n) row-major, x has n elements, y has m.
 void gemv(const Matrix& w, std::span<const float> x, std::span<float> y);
@@ -22,10 +45,23 @@ void gemv_accum(const Matrix& w, std::span<const float> x,
 
 /// y += W[:, col] * scale — one column accumulation, the building block of
 /// the input-stationary dataflow the accelerator uses (Fig. 5): each
-/// non-zero input element broadcasts down one weight column.
+/// non-zero input element broadcasts down one weight column. Strided and
+/// cache-hostile for row-major W; software inference uses
+/// sparse_accum_rows over a packed (transposed) layout instead.
 void axpy_col(const Matrix& w, Index col, float scale, std::span<float> y);
 
-/// C = A * B (row-major, blocked for L1 reuse). A is (m x k), B (k x n).
+/// out.row(b) += values[e * B + b] * packed.row(positions[e]) for every
+/// kept position e and batch lane b (B = out.rows()). `packed` is the
+/// transposed weight layout of PackedLstmWeights: row j holds all gate
+/// weights of state position j contiguously, so each kept position is one
+/// streaming pass that is reused by every batch lane while it sits in
+/// cache. Lanes whose value is exactly zero are skipped (IEEE identity).
+void sparse_accum_rows(const Matrix& packed, std::span<const Index> positions,
+                       std::span<const float> values, Matrix& out);
+
+/// C = A * B (row-major, i-k-j order, rows split by parallel_for).
+/// Exact zeros in A are skipped — one-hot inputs and pruned states cost
+/// only their non-zero rows of work, and the skip is an IEEE identity.
 void gemm(const Matrix& a, const Matrix& b, Matrix& c);
 
 /// C += A^T * B. A is (m x k), B is (m x n), C is (k x n). This is the
@@ -34,8 +70,13 @@ void gemm_at_b_accum(const Matrix& a, const Matrix& b, Matrix& c);
 
 /// C = A * B^T. A is (m x k), B is (n x k), C is (m x n). This is the
 /// input-gradient shape in BPTT (dx = dGates * W^T is expressed as
-/// gemm_a_bt with W stored (4dh x dx)).
+/// gemm_a_bt with W stored (4dh x dx)) and the dense-baseline recurrent
+/// matvec shape. Register-blocked 2x4 so eight independent FMA chains
+/// hide latency; each output element still accumulates in ascending k.
 void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// out = in^T. in is (m x n), out becomes (n x m).
+void transpose(const Matrix& in, Matrix& out);
 
 /// Dot product.
 float dot(std::span<const float> a, std::span<const float> b);

@@ -30,10 +30,25 @@ class Mat {
     data_.assign(static_cast<std::size_t>(rows * cols), fill);
   }
 
+  /// Reshapes without touching retained contents (elements appended when
+  /// the store grows are zero). For scratch buffers whose every element
+  /// the next kernel overwrites — skips resize()'s full fill pass.
+  void reshape(Index rows, Index cols) {
+    ZSS_EXPECTS(rows >= 0 && cols >= 0);
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(static_cast<std::size_t>(rows * cols));
+  }
+
   Index rows() const { return rows_; }
   Index cols() const { return cols_; }
   Index size() const { return rows_ * cols_; }
   bool empty() const { return data_.empty(); }
+
+  /// Elements the backing store can hold without reallocating. resize()
+  /// within capacity reuses the buffer, which is what lets Workspace
+  /// guarantee allocation-free steady-state loops.
+  Index capacity() const { return static_cast<Index>(data_.capacity()); }
 
   T& operator()(Index r, Index c) {
     ZSS_EXPECTS(r >= 0 && r < rows_ && c >= 0 && c < cols_);

@@ -1,0 +1,15 @@
+#include "num/parallel.h"
+
+namespace zss::num {
+namespace {
+int g_num_threads = 1;
+}  // namespace
+
+int num_threads() { return g_num_threads; }
+
+void set_num_threads(int n) {
+  ZSS_EXPECTS(n >= 1);
+  g_num_threads = n;
+}
+
+}  // namespace zss::num

@@ -1,0 +1,96 @@
+#include "num/reference_kernels.h"
+
+#include "num/kernels.h"
+
+namespace zss::num::reference {
+
+void gemv(const Matrix& w, std::span<const float> x, std::span<float> y) {
+  ZSS_EXPECTS(w.cols() == static_cast<Index>(x.size()));
+  ZSS_EXPECTS(w.rows() == static_cast<Index>(y.size()));
+  const Index m = w.rows();
+  const Index n = w.cols();
+  for (Index i = 0; i < m; ++i) {
+    const float* row = w.data() + i * n;
+    float acc = 0.0f;
+    for (Index j = 0; j < n; ++j) {
+      acc = madd(row[j], x[static_cast<std::size_t>(j)], acc);
+    }
+    y[static_cast<std::size_t>(i)] = acc;
+  }
+}
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
+  ZSS_EXPECTS(a.cols() == b.rows());
+  const Index m = a.rows();
+  const Index k = a.cols();
+  const Index n = b.cols();
+  c.resize(m, n, 0.0f);
+  for (Index i = 0; i < m; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (Index kk = 0; kk < k; ++kk) {
+        const float av = a(i, kk);
+        if (av == 0.0f) continue;  // same skip semantics as the blocked gemm
+        acc = madd(av, b(kk, j), acc);
+      }
+      c(i, j) = acc;
+    }
+  }
+}
+
+void gemm_at_b_accum(const Matrix& a, const Matrix& b, Matrix& c) {
+  ZSS_EXPECTS(a.rows() == b.rows());
+  ZSS_EXPECTS(c.rows() == a.cols() && c.cols() == b.cols());
+  const Index m = a.rows();
+  const Index k = a.cols();
+  const Index n = b.cols();
+  for (Index i = 0; i < m; ++i) {
+    for (Index kk = 0; kk < k; ++kk) {
+      const float av = a(i, kk);
+      if (av == 0.0f) continue;
+      for (Index j = 0; j < n; ++j) {
+        c(kk, j) = madd(av, b(i, j), c(kk, j));
+      }
+    }
+  }
+}
+
+void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& c) {
+  ZSS_EXPECTS(a.cols() == b.cols());
+  const Index m = a.rows();
+  const Index k = a.cols();
+  const Index n = b.rows();
+  c.resize(m, n, 0.0f);
+  for (Index i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    for (Index j = 0; j < n; ++j) {
+      const float* brow = b.data() + j * k;
+      float acc = 0.0f;
+      for (Index kk = 0; kk < k; ++kk) acc = madd(arow[kk], brow[kk], acc);
+      c(i, j) = acc;
+    }
+  }
+}
+
+void sparse_accum_rows(const Matrix& packed, std::span<const Index> positions,
+                       std::span<const float> values, Matrix& out) {
+  const Index batch = out.rows();
+  const Index n = out.cols();
+  ZSS_EXPECTS(packed.cols() == n);
+  ZSS_EXPECTS(values.size() ==
+              positions.size() * static_cast<std::size_t>(batch));
+  for (std::size_t e = 0; e < positions.size(); ++e) {
+    const Index pos = positions[e];
+    ZSS_EXPECTS(pos >= 0 && pos < packed.rows());
+    for (Index b = 0; b < batch; ++b) {
+      const float v = values[e * static_cast<std::size_t>(batch) +
+                             static_cast<std::size_t>(b)];
+      if (v == 0.0f) continue;
+      for (Index j = 0; j < n; ++j) {
+        out(b, j) = madd(v, packed(pos, j), out(b, j));
+      }
+    }
+  }
+}
+
+}  // namespace zss::num::reference

@@ -1,0 +1,37 @@
+// Unblocked reference kernels — the seed's scalar loops, kept verbatim
+// in structure so tests can assert the blocked kernels in kernels.h are
+// numerically equivalent and microbenchmarks can report the speedup of
+// the blocked versions against the same machine's scalar baseline.
+//
+// They share madd() with the production kernels: the reference for an
+// output element performs the identical sequence of multiply-accumulates,
+// so the sparse path matches within 0 ULP and the GEMMs chain-for-chain.
+#pragma once
+
+#include <span>
+
+#include "num/matrix.h"
+#include "num/types.h"
+
+namespace zss::num::reference {
+
+/// y = W * x, one row dot at a time (single accumulator chain).
+void gemv(const Matrix& w, std::span<const float> x, std::span<float> y);
+
+/// C = A * B, textbook i-j-k triple loop.
+void gemm(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C += A^T * B, the seed's i-k-j accumulation.
+void gemm_at_b_accum(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C = A * B^T, one dot product per output element (the seed scalar
+/// kernel the acceptance benchmark compares against).
+void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// The packed sparse accumulation computed entry-by-entry, lane-by-lane,
+/// element-by-element — the semantics sparse_accum_rows must reproduce
+/// bit-for-bit.
+void sparse_accum_rows(const Matrix& packed, std::span<const Index> positions,
+                       std::span<const float> values, Matrix& out);
+
+}  // namespace zss::num::reference

@@ -21,9 +21,16 @@ double variance(std::span<const float> v) {
 }
 
 float quantile_abs(std::span<const float> v, double q) {
+  std::vector<float> scratch;
+  return quantile_abs(v, q, scratch);
+}
+
+float quantile_abs(std::span<const float> v, double q,
+                   std::vector<float>& scratch) {
   ZSS_EXPECTS(q >= 0.0 && q <= 1.0);
   ZSS_EXPECTS(!v.empty());
-  std::vector<float> mags(v.size());
+  std::vector<float>& mags = scratch;
+  mags.resize(v.size());
   for (std::size_t i = 0; i < v.size(); ++i) mags[i] = std::fabs(v[i]);
   // Rank such that `q` fraction of elements are strictly below the result
   // for distinct magnitudes; clamp to the last element at q == 1.

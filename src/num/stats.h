@@ -18,6 +18,11 @@ double variance(std::span<const float> v);
 /// elements fall — exactly the threshold that prunes 90% of a vector.
 float quantile_abs(std::span<const float> v, double q);
 
+/// Same computation, but the magnitude copy lives in `scratch` so hot
+/// loops (per-timestep pruning) allocate nothing once it is warm.
+float quantile_abs(std::span<const float> v, double q,
+                   std::vector<float>& scratch);
+
 /// Fraction of elements that are exactly zero.
 double zero_fraction(std::span<const float> v);
 

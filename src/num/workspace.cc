@@ -1,0 +1,29 @@
+#include "num/workspace.h"
+
+namespace zss::num {
+
+Matrix& Workspace::mat(std::size_t slot, Index rows, Index cols, float fill) {
+  ZSS_EXPECTS(rows >= 0 && cols >= 0);
+  if (slot >= slots_.size()) {
+    slots_.resize(slot + 1);
+    ++allocations_;
+  }
+  Matrix& m = slots_[slot];
+  if (rows * cols > m.capacity()) ++allocations_;
+  m.resize(rows, cols, fill);
+  return m;
+}
+
+Matrix& Workspace::uninit(std::size_t slot, Index rows, Index cols) {
+  ZSS_EXPECTS(rows >= 0 && cols >= 0);
+  if (slot >= slots_.size()) {
+    slots_.resize(slot + 1);
+    ++allocations_;
+  }
+  Matrix& m = slots_[slot];
+  if (rows * cols > m.capacity()) ++allocations_;
+  m.reshape(rows, cols);
+  return m;
+}
+
+}  // namespace zss::num

@@ -1,0 +1,42 @@
+// Reusable scratch-buffer arena for per-timestep temporaries.
+//
+// Hot loops (inference stepping, cell forward) need the same handful of
+// intermediate matrices every iteration. A Workspace owns one Matrix per
+// slot and re-shapes it on acquisition; because Matrix::resize reuses its
+// vector's capacity, the steady state performs zero heap allocations. The
+// arena counts the times a slot actually had to grow, which is how tests
+// verify the zero-allocation contract.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "num/matrix.h"
+
+namespace zss::num {
+
+class Workspace {
+ public:
+  /// Returns slot `slot` shaped (rows x cols) with every element set to
+  /// `fill`. Allocates only when the slot has never been this large.
+  Matrix& mat(std::size_t slot, Index rows, Index cols, float fill = 0.0f);
+
+  /// Like mat() but leaves the contents unspecified (whatever the slot
+  /// last held). For buffers a kernel fully overwrites — avoids paying a
+  /// fill pass per acquisition on the hot path.
+  Matrix& uninit(std::size_t slot, Index rows, Index cols);
+
+  /// Number of times an acquisition had to grow a buffer (or the slot
+  /// table). Stable across calls once the workspace is warm.
+  std::size_t allocation_count() const { return allocations_; }
+
+  std::size_t slots() const { return slots_.size(); }
+
+ private:
+  // Deque, not vector: acquiring a new slot must not invalidate the
+  // references handed out for slots already in use this timestep.
+  std::deque<Matrix> slots_;
+  std::size_t allocations_ = 0;
+};
+
+}  // namespace zss::num

@@ -27,35 +27,55 @@ double batch_sparsity_degree(const num::Mat<T>& state) {
 }
 
 template <typename T>
-EncodedState<T> encode(const num::Mat<T>& state, const EncoderConfig& cfg) {
+void encode_into(const num::Mat<T>& state, const EncoderConfig& cfg,
+                 EncodedState<T>& out) {
   ZSS_EXPECTS(cfg.offset_bits >= 1 && cfg.offset_bits <= 16);
-  EncodedState<T> enc;
-  enc.batch = state.rows();
-  enc.dense_size = state.cols();
+  ZSS_EXPECTS(state.rows() > 0);
+  out.entries.clear();
+  out.values.clear();
+  out.batch = state.rows();
+  out.dense_size = state.cols();
 
-  const auto zero = all_zero_columns(state);
+  const num::Index B = state.rows();
+  const num::Index n = state.cols();
   const num::Index max_off = cfg.max_offset();
+  const T* data = state.data();
 
   num::Index run = 0;
-  for (num::Index j = 0; j < state.cols(); ++j) {
-    if (zero[static_cast<std::size_t>(j)]) {
+  for (num::Index j = 0; j < n; ++j) {
+    // Batch-intersected zero test, column j across all lanes. Adjacent
+    // j share cache lines per lane, so the strided walk stays in L1.
+    bool zero = true;
+    for (num::Index b = 0; b < B; ++b) {
+      if (data[b * n + j] != T{}) {
+        zero = false;
+        break;
+      }
+    }
+    if (zero) {
       ++run;
       continue;
     }
     // Counter overflow: emit padding entries carrying zero values until
     // the remaining run fits in the counter.
     while (run > max_off) {
-      enc.entries.push_back(Entry{max_off});
-      for (num::Index b = 0; b < state.rows(); ++b) enc.values.push_back(T{});
+      out.entries.push_back(Entry{max_off});
+      for (num::Index b = 0; b < B; ++b) out.values.push_back(T{});
       run -= max_off + 1;  // the padding entry itself consumes a position
     }
-    enc.entries.push_back(Entry{run});
-    for (num::Index b = 0; b < state.rows(); ++b) {
-      enc.values.push_back(state(b, j));
+    out.entries.push_back(Entry{run});
+    for (num::Index b = 0; b < B; ++b) {
+      out.values.push_back(data[b * n + j]);
     }
     run = 0;
   }
   // Trailing zeros need no entries: the decoder knows dense_size.
+}
+
+template <typename T>
+EncodedState<T> encode(const num::Mat<T>& state, const EncoderConfig& cfg) {
+  EncodedState<T> enc;
+  encode_into(state, cfg, enc);
   return enc;
 }
 
@@ -89,6 +109,11 @@ template std::vector<bool> all_zero_columns<std::int8_t>(
 template double batch_sparsity_degree<float>(const num::Mat<float>&);
 template double batch_sparsity_degree<std::int8_t>(
     const num::Mat<std::int8_t>&);
+template void encode_into<float>(const num::Mat<float>&, const EncoderConfig&,
+                                 EncodedState<float>&);
+template void encode_into<std::int8_t>(const num::Mat<std::int8_t>&,
+                                       const EncoderConfig&,
+                                       EncodedState<std::int8_t>&);
 template EncodedState<float> encode<float>(const num::Mat<float>&,
                                            const EncoderConfig&);
 template EncodedState<std::int8_t> encode<std::int8_t>(

@@ -55,6 +55,15 @@ struct EncodedState {
     return static_cast<num::Index>(entries.size());
   }
 
+  /// Pre-grows the entry/value stores for a state of `dense_size`
+  /// positions and `batch` lanes. Every entry (kept or padding) consumes
+  /// at least one position, so dense_size bounds the entry count; after
+  /// this call encode_into allocates nothing.
+  void reserve(num::Index dense_size, num::Index batch) {
+    entries.reserve(static_cast<std::size_t>(dense_size));
+    values.reserve(static_cast<std::size_t>(dense_size * batch));
+  }
+
   /// Bytes this encoding occupies in DRAM: one value byte per lane per
   /// kept position plus one offset word per kept position.
   num::Index storage_bytes(const EncoderConfig& cfg) const {
@@ -78,6 +87,14 @@ double batch_sparsity_degree(const num::Mat<T>& state);
 /// offset/value stream, honouring the counter width.
 template <typename T>
 EncodedState<T> encode(const num::Mat<T>& state, const EncoderConfig& cfg);
+
+/// Encodes into an existing EncodedState, reusing its entry/value
+/// capacity — the per-timestep path of the inference engine, which must
+/// not allocate once warm (see EncodedState::reserve). Equivalent to
+/// `out = encode(state, cfg)`.
+template <typename T>
+void encode_into(const num::Mat<T>& state, const EncoderConfig& cfg,
+                 EncodedState<T>& out);
 
 /// Convenience overload for a single vector (batch of one).
 template <typename T>

@@ -2,7 +2,35 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <new>
+
+#include "num/parallel.h"
 #include "num/rng.h"
+
+// Global operator new instrumented for the zero-allocation contract:
+// counting every allocation in the binary lets the test assert that a
+// warmed-up step() performs none at all, not just none via Workspace.
+namespace {
+std::size_t g_alloc_count = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace zss::core {
 namespace {
@@ -118,6 +146,88 @@ TEST_F(SparseInferenceTest, ResetStatsClears) {
   engine.reset_stats();
   EXPECT_EQ(engine.stats().steps, 0);
   EXPECT_EQ(engine.stats().state_macs_total, 0);
+}
+
+TEST_F(SparseInferenceTest, SpeedupReportsDenseTotalWhenAllSkipped) {
+  StatePruner pruner(PrunerConfig::target(0.5));
+  SparseLstmEngine engine(cell_, pruner);
+  EXPECT_DOUBLE_EQ(engine.stats().state_speedup(), 0.0);  // no steps yet
+
+  Matrix h(1, 12, 0.0f);
+  Matrix c(1, 12, 0.0f);
+  const Matrix x = random_matrix(1, 4, rng_);
+  engine.step(x, h, c);  // all-zero state: every state MAC was skipped
+  const auto& stats = engine.stats();
+  ASSERT_EQ(stats.state_macs_effectual, 0);
+  ASSERT_GT(stats.state_macs_total, 0);
+  // Everything was skipped, so the speedup bound is the whole dense
+  // cost — reporting 0.0 here would read as "no speedup at all".
+  EXPECT_DOUBLE_EQ(stats.state_speedup(),
+                   static_cast<double>(stats.state_macs_total));
+}
+
+TEST_F(SparseInferenceTest, StepIsAllocationFreeOnceWarm) {
+  StatePruner pruner(PrunerConfig::target(0.75));
+  SparseLstmEngine engine(cell_, pruner);
+  Matrix h(2, 12, 0.0f);
+  Matrix c(2, 12, 0.0f);
+  const Matrix x = random_matrix(2, 4, rng_);
+  for (int t = 0; t < 3; ++t) engine.step(x, h, c);  // warm-up
+
+  const std::size_t ws_warm = engine.workspace().allocation_count();
+  const std::size_t heap_warm = g_alloc_count;
+  for (int t = 0; t < 20; ++t) engine.step(x, h, c);
+  EXPECT_EQ(engine.workspace().allocation_count(), ws_warm);
+  EXPECT_EQ(g_alloc_count, heap_warm);
+}
+
+TEST_F(SparseInferenceTest, StepDenseIsAllocationFreeOnceWarm) {
+  StatePruner pruner(PrunerConfig::target(0.75));
+  SparseLstmEngine engine(cell_, pruner);
+  Matrix h(1, 12, 0.0f);
+  Matrix c(1, 12, 0.0f);
+  const Matrix x = random_matrix(1, 4, rng_);
+  for (int t = 0; t < 3; ++t) engine.step_dense(x, h, c);
+
+  const std::size_t heap_warm = g_alloc_count;
+  for (int t = 0; t < 20; ++t) engine.step_dense(x, h, c);
+  EXPECT_EQ(g_alloc_count, heap_warm);
+}
+
+TEST_F(SparseInferenceTest, ContractHoldsWithThreadingEnabled) {
+  // parallel_for partitions rows without reordering any accumulation, so
+  // the sparse/dense bit-exactness contract must survive thread counts.
+  // Batch 8 matters: the kernels partition over the batch/row dimension,
+  // and kParallelGrain-sized chunks only split for >= 2*grain rows — a
+  // smaller batch would silently run the single-threaded path.
+  static_assert(8 >= 2 * num::kParallelGrain);
+  StatePruner pruner(PrunerConfig::target(0.75));
+  SparseLstmEngine sparse(cell_, pruner);
+  SparseLstmEngine dense(cell_, pruner);
+  Matrix h_s(8, 12, 0.0f), c_s(8, 12, 0.0f);
+  Matrix h_d(8, 12, 0.0f), c_d(8, 12, 0.0f);
+  num::set_num_threads(2);
+  for (int t = 0; t < 10; ++t) {
+    const Matrix x = random_matrix(8, 4, rng_);
+    sparse.step(x, h_s, c_s);
+    dense.step_dense(x, h_d, c_d);
+    EXPECT_EQ(h_s, h_d) << "step " << t;
+    EXPECT_EQ(c_s, c_d) << "step " << t;
+  }
+  num::set_num_threads(1);
+}
+
+TEST_F(SparseInferenceTest, PackedWeightsExposedAndTransposed) {
+  StatePruner pruner(PrunerConfig::none());
+  SparseLstmEngine engine(cell_, pruner);
+  const auto& packed = engine.packed_weights();
+  ASSERT_EQ(packed.wht.rows(), 12);
+  ASSERT_EQ(packed.wht.cols(), 48);
+  for (num::Index j = 0; j < 12; ++j) {
+    for (num::Index k = 0; k < 48; ++k) {
+      EXPECT_EQ(packed.wht(j, k), cell_.wh().value(k, j));
+    }
+  }
 }
 
 TEST_F(SparseInferenceTest, StoredStateIsPruned) {

@@ -1,0 +1,55 @@
+#include "nn/packed_weights.h"
+
+#include <gtest/gtest.h>
+
+#include "num/rng.h"
+
+namespace zss::nn {
+namespace {
+
+TEST(PackedLstmWeightsTest, PackTransposesBothMatricesExactly) {
+  num::Rng rng(11);
+  LstmCell cell(5, 7, rng);
+  const auto packed = PackedLstmWeights::pack(cell);
+  EXPECT_EQ(packed.dx, 5);
+  EXPECT_EQ(packed.dh, 7);
+  ASSERT_EQ(packed.wht.rows(), 7);
+  ASSERT_EQ(packed.wht.cols(), 28);
+  ASSERT_EQ(packed.wxt.rows(), 5);
+  ASSERT_EQ(packed.wxt.cols(), 28);
+  // Row j of the packed layout is column j of the gate-major matrix:
+  // position j's f/i/o/g weights, contiguous.
+  for (num::Index j = 0; j < 7; ++j) {
+    for (num::Index k = 0; k < 28; ++k) {
+      EXPECT_EQ(packed.wht(j, k), cell.wh().value(k, j));
+    }
+  }
+  for (num::Index j = 0; j < 5; ++j) {
+    for (num::Index k = 0; k < 28; ++k) {
+      EXPECT_EQ(packed.wxt(j, k), cell.wx().value(k, j));
+    }
+  }
+}
+
+TEST(PackedLstmWeightsTest, BiasIsCopiedVerbatim) {
+  num::Rng rng(12);
+  LstmCell cell(3, 4, rng);
+  const auto packed = PackedLstmWeights::pack(cell);
+  const auto b = cell.bias().value.flat();
+  ASSERT_EQ(packed.bias.size(), static_cast<num::Index>(b.size()));
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_EQ(packed.bias[static_cast<num::Index>(i)], b[i]);
+  }
+}
+
+TEST(PackedLstmWeightsTest, PackIsASnapshotNotAView) {
+  num::Rng rng(13);
+  LstmCell cell(2, 3, rng);
+  auto packed = PackedLstmWeights::pack(cell);
+  const float before = packed.wht(0, 0);
+  cell.wh().value(0, 0) = before + 42.0f;
+  EXPECT_EQ(packed.wht(0, 0), before);
+}
+
+}  // namespace
+}  // namespace zss::nn

@@ -1,0 +1,210 @@
+// Equivalence of the register-blocked kernels against the unblocked
+// reference loops, across odd shapes and batch sizes. The sparse packed
+// accumulation must match within 0 ULP (the engine's bit-exactness
+// contract rides on it); the blocked GEMMs interleave independent
+// accumulator chains without reordering any chain, so they too are held
+// to exact float equality here.
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "num/kernels.h"
+#include "num/parallel.h"
+#include "num/reference_kernels.h"
+#include "num/rng.h"
+
+namespace zss::num {
+namespace {
+
+Matrix random_matrix(Index rows, Index cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (float& v : m.flat()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return m;
+}
+
+void expect_bitwise_equal(const Matrix& a, const Matrix& b) {
+  ASSERT_TRUE(a.same_shape(b));
+  EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                        static_cast<std::size_t>(a.size()) * sizeof(float)),
+            0);
+}
+
+void expect_float_equal(const Matrix& a, const Matrix& b) {
+  ASSERT_TRUE(a.same_shape(b));
+  for (Index i = 0; i < a.rows(); ++i) {
+    for (Index j = 0; j < a.cols(); ++j) {
+      EXPECT_FLOAT_EQ(a(i, j), b(i, j)) << "(" << i << ", " << j << ")";
+    }
+  }
+}
+
+// The LSTM shapes the engine exercises: dh state positions against a
+// (4dh x dh) recurrent matrix, B batch lanes.
+struct Shape {
+  Index dh;
+  Index batch;
+};
+
+class BlockedKernelShapeTest : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(BlockedKernelShapeTest, GemmMatchesReference) {
+  const auto [dh, batch] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(dh * 100 + batch));
+  const Matrix a = random_matrix(batch, dh, rng);
+  const Matrix b = random_matrix(dh, 4 * dh, rng);
+  Matrix c_blocked;
+  gemm(a, b, c_blocked);
+  Matrix c_ref;
+  reference::gemm(a, b, c_ref);
+  expect_float_equal(c_blocked, c_ref);
+}
+
+TEST_P(BlockedKernelShapeTest, GemmABtMatchesReference) {
+  const auto [dh, batch] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(dh * 100 + batch + 1));
+  const Matrix a = random_matrix(batch, dh, rng);
+  const Matrix b = random_matrix(4 * dh, dh, rng);
+  Matrix c_blocked;
+  gemm_a_bt(a, b, c_blocked);
+  Matrix c_ref;
+  reference::gemm_a_bt(a, b, c_ref);
+  expect_float_equal(c_blocked, c_ref);
+}
+
+TEST_P(BlockedKernelShapeTest, GemmAtBAccumMatchesReference) {
+  const auto [dh, batch] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(dh * 100 + batch + 2));
+  const Matrix a = random_matrix(batch, dh, rng);
+  const Matrix b = random_matrix(batch, 4 * dh, rng);
+  Matrix c_blocked(dh, 4 * dh, 0.5f);  // non-zero start: accumulate
+  Matrix c_ref = c_blocked;
+  gemm_at_b_accum(a, b, c_blocked);
+  reference::gemm_at_b_accum(a, b, c_ref);
+  expect_float_equal(c_blocked, c_ref);
+}
+
+TEST_P(BlockedKernelShapeTest, GemvMatchesReference) {
+  const auto [dh, batch] = GetParam();
+  (void)batch;
+  Rng rng(static_cast<std::uint64_t>(dh * 100 + 3));
+  const Matrix w = random_matrix(4 * dh, dh, rng);
+  std::vector<float> x(static_cast<std::size_t>(dh));
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  std::vector<float> y_blocked(static_cast<std::size_t>(4 * dh));
+  std::vector<float> y_ref(static_cast<std::size_t>(4 * dh));
+  gemv(w, x, y_blocked);
+  reference::gemv(w, x, y_ref);
+  for (std::size_t i = 0; i < y_ref.size(); ++i) {
+    EXPECT_FLOAT_EQ(y_blocked[i], y_ref[i]) << i;
+  }
+}
+
+TEST_P(BlockedKernelShapeTest, SparseAccumRowsMatchesReferenceBitwise) {
+  const auto [dh, batch] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(dh * 100 + batch + 4));
+  const Matrix packed = random_matrix(dh, 4 * dh, rng);
+  // Keep ~40% of positions; values position-major with some zero lanes
+  // (a lane kept only because another lane was non-zero).
+  std::vector<Index> positions;
+  std::vector<float> values;
+  for (Index j = 0; j < dh; ++j) {
+    if (dh > 1 && !rng.bernoulli(0.4)) continue;
+    positions.push_back(j);
+    for (Index b = 0; b < batch; ++b) {
+      values.push_back(rng.bernoulli(0.25)
+                           ? 0.0f
+                           : static_cast<float>(rng.uniform(-1.0, 1.0)));
+    }
+  }
+  Matrix out_blocked(batch, 4 * dh, 0.125f);
+  Matrix out_ref = out_blocked;
+  sparse_accum_rows(packed, positions, values, out_blocked);
+  reference::sparse_accum_rows(packed, positions, values, out_ref);
+  expect_bitwise_equal(out_blocked, out_ref);  // 0 ULP
+}
+
+TEST_P(BlockedKernelShapeTest, SparseAccumRowsMatchesColumnGather) {
+  // The packed-row accumulation must equal the accelerator's column
+  // gather over the original gate-major matrix bit-for-bit.
+  const auto [dh, batch] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(dh * 100 + batch + 5));
+  const Matrix wh = random_matrix(4 * dh, dh, rng);
+  Matrix packed;
+  transpose(wh, packed);
+  std::vector<Index> positions;
+  std::vector<float> values;
+  for (Index j = 0; j < dh; j += 2) {
+    positions.push_back(j);
+    for (Index b = 0; b < batch; ++b) {
+      values.push_back(static_cast<float>(rng.uniform(-1.0, 1.0)));
+    }
+  }
+  Matrix out_packed(batch, 4 * dh, 0.0f);
+  sparse_accum_rows(packed, positions, values, out_packed);
+  Matrix out_cols(batch, 4 * dh, 0.0f);
+  for (std::size_t e = 0; e < positions.size(); ++e) {
+    for (Index b = 0; b < batch; ++b) {
+      axpy_col(wh, positions[e],
+               values[e * static_cast<std::size_t>(batch) +
+                      static_cast<std::size_t>(b)],
+               out_cols.row(b));
+    }
+  }
+  expect_bitwise_equal(out_packed, out_cols);
+}
+
+INSTANTIATE_TEST_SUITE_P(OddShapes, BlockedKernelShapeTest,
+                         ::testing::Values(Shape{1, 1}, Shape{1, 2},
+                                           Shape{3, 1}, Shape{3, 5},
+                                           Shape{17, 2}, Shape{17, 5},
+                                           Shape{64, 1}, Shape{64, 2},
+                                           Shape{64, 5}));
+
+TEST(ParallelKernelsTest, ThreadedGemmBitIdenticalToSingleThread) {
+  Rng rng(77);
+  const Matrix a = random_matrix(33, 65, rng);
+  const Matrix b = random_matrix(65, 47, rng);
+  const Matrix bt_like = random_matrix(47, 65, rng);
+
+  ASSERT_EQ(num_threads(), 1);
+  Matrix c1, c1_bt;
+  gemm(a, b, c1);
+  gemm_a_bt(a, bt_like, c1_bt);
+
+  set_num_threads(4);
+  Matrix c4, c4_bt;
+  gemm(a, b, c4);
+  gemm_a_bt(a, bt_like, c4_bt);
+  set_num_threads(1);
+
+  expect_bitwise_equal(c1, c4);
+  expect_bitwise_equal(c1_bt, c4_bt);
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  set_num_threads(3);
+  std::vector<int> hits(100, 0);
+  parallel_for(Index{0}, Index{100}, [&](Index lo, Index hi) {
+    for (Index i = lo; i < hi; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  set_num_threads(1);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(TransposeTest, RoundTripsAndMatchesElements) {
+  Rng rng(5);
+  const Matrix m = random_matrix(33, 17, rng);
+  Matrix t;
+  transpose(m, t);
+  ASSERT_EQ(t.rows(), 17);
+  ASSERT_EQ(t.cols(), 33);
+  for (Index i = 0; i < m.rows(); ++i) {
+    for (Index j = 0; j < m.cols(); ++j) EXPECT_EQ(t(j, i), m(i, j));
+  }
+  Matrix back;
+  transpose(t, back);
+  expect_bitwise_equal(back, m);
+}
+
+}  // namespace
+}  // namespace zss::num

@@ -1,0 +1,61 @@
+#include "num/workspace.h"
+
+#include <gtest/gtest.h>
+
+namespace zss::num {
+namespace {
+
+TEST(WorkspaceTest, ShapesAndFillsSlots) {
+  Workspace ws;
+  Matrix& a = ws.mat(0, 2, 3, 1.5f);
+  EXPECT_EQ(a.rows(), 2);
+  EXPECT_EQ(a.cols(), 3);
+  for (float v : a.flat()) EXPECT_FLOAT_EQ(v, 1.5f);
+  Matrix& b = ws.mat(1, 4, 4);
+  for (float v : b.flat()) EXPECT_FLOAT_EQ(v, 0.0f);
+  EXPECT_EQ(ws.slots(), 2u);
+}
+
+TEST(WorkspaceTest, ReacquisitionIsAllocationFree) {
+  Workspace ws;
+  ws.mat(0, 8, 16);
+  ws.mat(1, 8, 4);
+  const std::size_t warm = ws.allocation_count();
+  for (int i = 0; i < 10; ++i) {
+    Matrix& m = ws.mat(0, 8, 16, 2.0f);
+    EXPECT_FLOAT_EQ(m(0, 0), 2.0f);
+    ws.mat(1, 8, 4);
+  }
+  EXPECT_EQ(ws.allocation_count(), warm);
+}
+
+TEST(WorkspaceTest, SmallerShapesReuseCapacity) {
+  Workspace ws;
+  ws.mat(0, 16, 16);
+  const std::size_t warm = ws.allocation_count();
+  Matrix& m = ws.mat(0, 4, 8);  // smaller: must fit the existing buffer
+  EXPECT_EQ(m.rows(), 4);
+  EXPECT_EQ(m.cols(), 8);
+  EXPECT_EQ(ws.allocation_count(), warm);
+}
+
+TEST(WorkspaceTest, GrowthIsCounted) {
+  Workspace ws;
+  ws.mat(0, 2, 2);
+  const std::size_t warm = ws.allocation_count();
+  ws.mat(0, 64, 64);
+  EXPECT_GT(ws.allocation_count(), warm);
+}
+
+TEST(WorkspaceTest, EarlierSlotReferencesSurviveNewSlots) {
+  Workspace ws;
+  Matrix& a = ws.mat(0, 2, 2, 3.0f);
+  for (std::size_t s = 1; s < 40; ++s) ws.mat(s, 8, 8);
+  // `a` must still be the live slot-0 matrix (deque-backed storage).
+  EXPECT_FLOAT_EQ(a(1, 1), 3.0f);
+  a(0, 0) = 7.0f;
+  EXPECT_FLOAT_EQ(ws.mat(0, 2, 2, 7.0f)(0, 0), 7.0f);
+}
+
+}  // namespace
+}  // namespace zss::num

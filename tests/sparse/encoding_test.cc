@@ -175,6 +175,39 @@ TEST_P(EncodingRoundTripTest, RoundTripAcrossDensities) {
   EXPECT_GE(enc.kept_positions(), nonzero_cols);
 }
 
+TEST(EncodingTest, EncodeIntoMatchesEncodeAndReusesCapacity) {
+  num::Rng rng(23);
+  EncoderConfig cfg;
+  Matrix state(4, 129, 0.0f);
+  for (float& v : state.flat()) {
+    if (rng.bernoulli(0.2)) v = static_cast<float>(rng.normal());
+  }
+  const auto fresh = encode(state, cfg);
+
+  EncodedState<float> reused;
+  reused.reserve(state.cols(), state.rows());
+  encode_into(state, cfg, reused);
+  EXPECT_EQ(reused.entries, fresh.entries);
+  EXPECT_EQ(reused.values, fresh.values);
+  EXPECT_EQ(reused.batch, fresh.batch);
+  EXPECT_EQ(reused.dense_size, fresh.dense_size);
+
+  // Re-encoding a different state into the same object must not grow the
+  // reserved stores (every entry consumes a position, so dense_size
+  // bounds them) — the allocation-free step() path depends on this.
+  const auto entry_cap = reused.entries.capacity();
+  const auto value_cap = reused.values.capacity();
+  for (int round = 0; round < 5; ++round) {
+    for (float& v : state.flat()) {
+      v = rng.bernoulli(0.5) ? static_cast<float>(rng.normal()) : 0.0f;
+    }
+    encode_into(state, cfg, reused);
+    EXPECT_EQ(decode(reused), state);
+    EXPECT_EQ(reused.entries.capacity(), entry_cap);
+    EXPECT_EQ(reused.values.capacity(), value_cap);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Densities, EncodingRoundTripTest,
     ::testing::Combine(::testing::Values(0.0, 0.01, 0.03, 0.2, 0.5, 1.0),
