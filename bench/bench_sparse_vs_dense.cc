@@ -22,6 +22,7 @@
 #include "nn/lstm_cell.h"
 #include "num/matrix.h"
 #include "num/rng.h"
+#include "num/simd/backend.h"
 
 namespace {
 
@@ -108,6 +109,8 @@ void write_json(const std::string& path, num::Index dh, num::Index dx,
     return;
   }
   std::fprintf(f, "{\n  \"bench\": \"sparse_inference\",\n");
+  std::fprintf(f, "  \"kernel_backend\": \"%s\",\n",
+               num::simd::active_backend().name);
   std::fprintf(f, "  \"dh\": %lld, \"dx\": %lld, \"steps\": %lld,\n",
                static_cast<long long>(dh), static_cast<long long>(dx),
                static_cast<long long>(steps));
@@ -144,8 +147,10 @@ int main(int argc, char** argv) {
   nn::LstmCell cell(dx, dh, rng);
 
   bench::print_header("sparse step() vs dense step_dense() wall clock");
-  std::printf("dh=%lld dx=%lld steps=%lld\n", static_cast<long long>(dh),
-              static_cast<long long>(dx), static_cast<long long>(steps));
+  std::printf("dh=%lld dx=%lld steps=%lld kernel_backend=%s\n",
+              static_cast<long long>(dh), static_cast<long long>(dx),
+              static_cast<long long>(steps),
+              num::simd::active_backend().name);
   std::printf("%-10s %-6s %14s %14s %10s %10s %10s %6s\n", "sparsity",
               "batch", "sparse us/st", "dense us/st", "wall x", "obs spars",
               "mac x", "exact");

@@ -1,5 +1,11 @@
 // Ablation A5 — kernel microbenchmarks (google-benchmark): the software
 // building blocks whose costs the simulator and trainer are built on.
+//
+// The output header carries a "zss_kernel_backend" context line naming
+// the SIMD backend the default-dispatched benchmarks ran on, so JSONs
+// from different machines (or ZSS_KERNEL_BACKEND settings) stay
+// comparable. The BM_*PerBackend benchmarks additionally pin each
+// available backend in turn and label the rows accordingly.
 #include <benchmark/benchmark.h>
 
 #include "accel/scheduler.h"
@@ -10,6 +16,7 @@
 #include "num/kernels.h"
 #include "num/reference_kernels.h"
 #include "num/rng.h"
+#include "num/simd/backend.h"
 #include "quant/quantize.h"
 #include "sparse/encoding.h"
 
@@ -217,6 +224,66 @@ void BM_SchedulerTimestep(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerTimestep);
 
+// The two kernels the SIMD backends exist for, each pinned to one
+// backend (state.label names it). Comparing rows of this benchmark on
+// one machine is the apples-to-apples scalar-vs-avx2 number.
+void BM_GemmABtPerBackend(benchmark::State& state,
+                          const num::simd::KernelBackend* backend) {
+  num::simd::set_backend_for_testing(backend);
+  const num::Index dh = 512;
+  const auto a = random_matrix(8, dh, 20);
+  const auto b = random_matrix(4 * dh, dh, 21);
+  num::Matrix c;
+  for (auto _ : state) {
+    num::gemm_a_bt(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 4 * dh * dh);
+  state.SetLabel(backend->name);
+  num::simd::set_backend_for_testing(nullptr);
+}
+
+void BM_SparseAccumRowsPerBackend(benchmark::State& state,
+                                  const num::simd::KernelBackend* backend) {
+  num::simd::set_backend_for_testing(backend);
+  const num::Index dh = 512;
+  const auto w = random_matrix(4 * dh, dh, 2);
+  num::Matrix packed;
+  num::transpose(w, packed);
+  num::Rng rng(3);
+  std::vector<num::Index> kept;
+  for (num::Index j = 0; j < dh; ++j) {
+    if (rng.bernoulli(0.1)) kept.push_back(j);
+  }
+  const std::vector<float> values(kept.size(), 0.5f);
+  num::Matrix out(1, 4 * dh, 0.0f);
+  for (auto _ : state) {
+    num::sparse_accum_rows(packed, kept, values, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<num::Index>(kept.size()) * 4 * dh);
+  state.SetLabel(backend->name);
+  num::simd::set_backend_for_testing(nullptr);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("zss_kernel_backend",
+                              zss::num::simd::active_backend().name);
+  for (const auto* backend : zss::num::simd::available_backends()) {
+    benchmark::RegisterBenchmark(
+        (std::string("BM_GemmABtPerBackend/dh512/") + backend->name).c_str(),
+        BM_GemmABtPerBackend, backend);
+    benchmark::RegisterBenchmark(
+        (std::string("BM_SparseAccumRowsPerBackend/dh512/") + backend->name)
+            .c_str(),
+        BM_SparseAccumRowsPerBackend, backend);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

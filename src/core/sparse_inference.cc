@@ -61,10 +61,13 @@ void SparseLstmEngine::step(const num::Matrix& x, num::Matrix& h,
   stats_.input_macs += B * cell_->input_dim() * 4 * dh;
 
   // Sparse recurrent path: encode the stored state, then accumulate one
-  // contiguous packed weight row per kept position. The partial sums are
-  // kept separate from `pre` and added once at the end so the
-  // floating-point association matches step_dense() exactly (zero-valued
-  // skipped terms are exact identities under IEEE addition).
+  // contiguous packed weight row per kept position (the SIMD backend
+  // streams each row with lane-exact FMAs — num/simd/backend.h). The
+  // partial sums are kept separate from `pre` and added once at the end
+  // so the floating-point association matches step_dense() exactly
+  // (zero-valued skipped terms are exact identities under IEEE
+  // addition). This holds for any backend because every backend keeps
+  // each output element's chain serial and in ascending position order.
   prune_scratch_.reserve(static_cast<std::size_t>(B * dh));
   enc_.reserve(dh, B);
   sparse::encode_into(h, encoder_, enc_);

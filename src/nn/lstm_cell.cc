@@ -44,9 +44,9 @@ void LstmCell::forward(const num::Matrix& x, const num::Matrix& h_prev,
   num::gemm_a_bt(x, wx_.value, pre);
   num::Matrix& pre_h = ws_.uninit(kPreH, batch, 4 * dh_);
   num::gemm_a_bt(h_prev, wh_.value, pre_h);
-  for (std::size_t i = 0; i < pre.flat().size(); ++i) {
-    pre.flat()[i] += pre_h.flat()[i];
-  }
+  // pre += pre_h through the backend axpy: fma(1, x, y) rounds exactly
+  // like x + y, so this matches the previous elementwise add bit for bit.
+  num::axpy(1.0f, pre_h.flat(), pre.flat());
   num::add_bias_rows(pre, b_.value.flat());
 
   // Activate in place: blocks [f, i, o] -> sigmoid, [g] -> tanh.

@@ -3,45 +3,28 @@
 #include <cmath>
 
 #include "num/parallel.h"
+#include "num/simd/backend.h"
 
 namespace zss::num {
+
+bool madd_is_fused() {
+#ifdef FP_FAST_FMAF
+  return true;
+#else
+  return false;
+#endif
+}
+
+// The hot kernels below validate shapes, size outputs and partition row
+// ranges here, then hand the raw buffers to the runtime-selected SIMD
+// backend (num/simd/backend.h). Every backend honours the same
+// serial-chain contract, so which one runs never changes the bits.
 
 void gemv(const Matrix& w, std::span<const float> x, std::span<float> y) {
   ZSS_EXPECTS(w.cols() == static_cast<Index>(x.size()));
   ZSS_EXPECTS(w.rows() == static_cast<Index>(y.size()));
-  const Index m = w.rows();
-  const Index n = w.cols();
-  const float* __restrict wp = w.data();
-  const float* __restrict xp = x.data();
-  float* __restrict yp = y.data();
-  // Four output rows at a time: each x element is loaded once and feeds
-  // four independent accumulator chains, hiding FMA latency without
-  // changing any row's accumulation order.
-  Index i = 0;
-  for (; i + 4 <= m; i += 4) {
-    const float* __restrict r0 = wp + i * n;
-    const float* __restrict r1 = r0 + n;
-    const float* __restrict r2 = r1 + n;
-    const float* __restrict r3 = r2 + n;
-    float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
-    for (Index j = 0; j < n; ++j) {
-      const float xv = xp[j];
-      a0 = madd(r0[j], xv, a0);
-      a1 = madd(r1[j], xv, a1);
-      a2 = madd(r2[j], xv, a2);
-      a3 = madd(r3[j], xv, a3);
-    }
-    yp[i] = a0;
-    yp[i + 1] = a1;
-    yp[i + 2] = a2;
-    yp[i + 3] = a3;
-  }
-  for (; i < m; ++i) {
-    const float* __restrict row = wp + i * n;
-    float acc = 0.0f;
-    for (Index j = 0; j < n; ++j) acc = madd(row[j], xp[j], acc);
-    yp[i] = acc;
-  }
+  simd::active_backend().gemv(w.data(), x.data(), y.data(), w.rows(),
+                              w.cols());
 }
 
 void gemv_accum(const Matrix& w, std::span<const float> x,
@@ -98,22 +81,12 @@ void sparse_accum_rows(const Matrix& packed, std::span<const Index> positions,
   const Index n = out.cols();
   ZSS_EXPECTS(packed.cols() == n);
   ZSS_EXPECTS(values.size() == positions.size() * static_cast<std::size_t>(batch));
-  const float* __restrict pp = packed.data();
-  float* __restrict op = out.data();
-  for (std::size_t e = 0; e < positions.size(); ++e) {
-    const Index pos = positions[e];
+  for (const Index pos : positions) {
     ZSS_EXPECTS(pos >= 0 && pos < packed.rows());
-    const float* __restrict row = pp + pos * n;
-    // All lanes of this kept position in one pass: the packed row is
-    // streamed once into cache and reused by every lane.
-    for (Index b = 0; b < batch; ++b) {
-      const float v = values[e * static_cast<std::size_t>(batch) +
-                             static_cast<std::size_t>(b)];
-      if (v == 0.0f) continue;  // lane kept for another lane's sake
-      float* __restrict yrow = op + b * n;
-      for (Index j = 0; j < n; ++j) yrow[j] = madd(v, row[j], yrow[j]);
-    }
   }
+  simd::active_backend().sparse_accum_rows(packed.data(), positions.data(),
+                                           positions.size(), values.data(),
+                                           out.data(), batch, n);
 }
 
 void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
@@ -122,23 +95,13 @@ void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
   const Index k = a.cols();
   const Index n = b.cols();
   c.resize(m, n, 0.0f);
-  const float* __restrict ap = a.data();
-  const float* __restrict bp = b.data();
-  float* __restrict cp = c.data();
-  // i-k-j loop order: the inner loop streams both B's row and C's row,
-  // which vectorizes well and is cache-friendly for row-major storage.
+  const auto* backend = &simd::active_backend();
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* cp = c.data();
   // Rows of C are independent, so the row range is partitioned.
   parallel_for(Index{0}, m, [=](Index i0, Index i1) {
-    for (Index i = i0; i < i1; ++i) {
-      float* __restrict crow = cp + i * n;
-      const float* __restrict arow = ap + i * k;
-      for (Index kk = 0; kk < k; ++kk) {
-        const float av = arow[kk];
-        if (av == 0.0f) continue;
-        const float* __restrict brow = bp + kk * n;
-        for (Index j = 0; j < n; ++j) crow[j] = madd(av, brow[j], crow[j]);
-      }
-    }
+    backend->gemm_rows(ap + i0 * k, bp, cp + i0 * n, i1 - i0, k, n);
   });
 }
 
@@ -163,108 +126,18 @@ void gemm_at_b_accum(const Matrix& a, const Matrix& b, Matrix& c) {
   }
 }
 
-namespace {
-
-// One row of A against a block-of-4 rows of B: four independent
-// accumulator chains, each still summing in ascending k.
-inline void abt_row_block4(const float* __restrict arow,
-                           const float* __restrict b0,
-                           const float* __restrict b1,
-                           const float* __restrict b2,
-                           const float* __restrict b3, Index k,
-                           float* __restrict out) {
-  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-  for (Index kk = 0; kk < k; ++kk) {
-    const float av = arow[kk];
-    s0 = madd(av, b0[kk], s0);
-    s1 = madd(av, b1[kk], s1);
-    s2 = madd(av, b2[kk], s2);
-    s3 = madd(av, b3[kk], s3);
-  }
-  out[0] = s0;
-  out[1] = s1;
-  out[2] = s2;
-  out[3] = s3;
-}
-
-inline float abt_dot(const float* __restrict arow, const float* __restrict brow,
-                     Index k) {
-  float acc = 0.0f;
-  for (Index kk = 0; kk < k; ++kk) acc = madd(arow[kk], brow[kk], acc);
-  return acc;
-}
-
-}  // namespace
-
 void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& c) {
   ZSS_EXPECTS(a.cols() == b.cols());
   const Index m = a.rows();
   const Index k = a.cols();
   const Index n = b.rows();
   c.reshape(m, n);  // every output element is stored below; no fill pass
-  const float* __restrict ap = a.data();
-  const float* __restrict bp = b.data();
-  float* __restrict cp = c.data();
-  // Register blocking 2 (rows of A) x 4 (rows of B): eight independent
-  // FMA chains in flight and every loaded B element reused twice. The
-  // per-output accumulation order stays ascending-k, so results match
-  // the naive dot product chain for chain.
+  const auto* backend = &simd::active_backend();
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* cp = c.data();
   parallel_for(Index{0}, m, [=](Index i0, Index i1) {
-    Index i = i0;
-    for (; i + 2 <= i1; i += 2) {
-      const float* __restrict a0 = ap + i * k;
-      const float* __restrict a1 = a0 + k;
-      float* __restrict c0 = cp + i * n;
-      float* __restrict c1 = c0 + n;
-      Index j = 0;
-      for (; j + 4 <= n; j += 4) {
-        const float* __restrict b0 = bp + j * k;
-        const float* __restrict b1 = b0 + k;
-        const float* __restrict b2 = b1 + k;
-        const float* __restrict b3 = b2 + k;
-        float s00 = 0.0f, s01 = 0.0f, s02 = 0.0f, s03 = 0.0f;
-        float s10 = 0.0f, s11 = 0.0f, s12 = 0.0f, s13 = 0.0f;
-        for (Index kk = 0; kk < k; ++kk) {
-          const float av0 = a0[kk];
-          const float av1 = a1[kk];
-          const float bv0 = b0[kk];
-          const float bv1 = b1[kk];
-          const float bv2 = b2[kk];
-          const float bv3 = b3[kk];
-          s00 = madd(av0, bv0, s00);
-          s01 = madd(av0, bv1, s01);
-          s02 = madd(av0, bv2, s02);
-          s03 = madd(av0, bv3, s03);
-          s10 = madd(av1, bv0, s10);
-          s11 = madd(av1, bv1, s11);
-          s12 = madd(av1, bv2, s12);
-          s13 = madd(av1, bv3, s13);
-        }
-        c0[j] = s00;
-        c0[j + 1] = s01;
-        c0[j + 2] = s02;
-        c0[j + 3] = s03;
-        c1[j] = s10;
-        c1[j + 1] = s11;
-        c1[j + 2] = s12;
-        c1[j + 3] = s13;
-      }
-      for (; j < n; ++j) {
-        const float* __restrict brow = bp + j * k;
-        c0[j] = abt_dot(a0, brow, k);
-        c1[j] = abt_dot(a1, brow, k);
-      }
-    }
-    for (; i < i1; ++i) {
-      const float* __restrict arow = ap + i * k;
-      float* __restrict crow = cp + i * n;
-      Index j = 0;
-      for (; j + 4 <= n; j += 4) {
-        abt_row_block4(arow, bp + j * k, bp + (j + 1) * k, bp + (j + 2) * k,
-                       bp + (j + 3) * k, k, crow + j);
-      }
-      for (; j < n; ++j) crow[j] = abt_dot(arow, bp + j * k, k);
-    }
+    backend->gemm_a_bt_rows(ap + i0 * k, bp, cp + i0 * n, i1 - i0, k, n);
   });
 }
 
@@ -296,9 +169,7 @@ float dot(std::span<const float> a, std::span<const float> b) {
 
 void axpy(float alpha, std::span<const float> x, std::span<float> y) {
   ZSS_EXPECTS(x.size() == y.size());
-  const float* __restrict xp = x.data();
-  float* __restrict yp = y.data();
-  for (std::size_t i = 0; i < x.size(); ++i) yp[i] = madd(alpha, xp[i], yp[i]);
+  simd::active_backend().axpy(alpha, x.data(), y.data(), x.size());
 }
 
 void hadamard(std::span<const float> a, std::span<const float> b,

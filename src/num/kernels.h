@@ -1,18 +1,26 @@
 // Dense float kernels shared by training, inference and reference checks.
 //
 // The library never links an external BLAS: the paper's workloads are
-// small enough (d_h <= 1000) that register-blocked, cache-aware loops
-// reach the throughput a laptop-scale reproduction needs, and keeping
-// the loops in repo makes the quantized / sparse variants directly
-// comparable. See reference_kernels.h for the unblocked loops the tests
-// and microbenchmarks compare against.
+// small enough (d_h <= 1000) that in-repo loops reach the throughput a
+// laptop-scale reproduction needs, and keeping the loops in repo makes
+// the quantized / sparse variants directly comparable. See
+// reference_kernels.h for the unblocked loops the tests and
+// microbenchmarks compare against.
 //
-// Determinism contract: every multiply-accumulate goes through madd()
-// below, and blocking never reorders the additions that feed one output
-// element (it only interleaves independent accumulator chains). The
-// sparse skip path and the dense path therefore produce bit-identical
-// results — skipped terms are exact IEEE identities, madd(0, w, acc)
-// == acc — which is the contract sparse_inference.h documents.
+// The hot kernels (gemm, gemm_a_bt, gemv, sparse_accum_rows, axpy)
+// dispatch to a SIMD backend selected once at startup via cpuid —
+// explicit AVX2 intrinsics on x86, NEON on aarch64, the portable
+// blocked loops otherwise; override with ZSS_KERNEL_BACKEND. See
+// num/simd/backend.h and docs/architecture.md.
+//
+// Determinism contract (docs/exactness.md): every multiply-accumulate
+// goes through madd() below (or the backend's lane-exact equivalent),
+// and neither blocking nor vectorization reorders the additions that
+// feed one output element (they only interleave independent accumulator
+// chains). The sparse skip path and the dense path therefore produce
+// bit-identical results — skipped terms are exact IEEE identities,
+// madd(0, w, acc) == acc — which is the contract sparse_inference.h
+// documents.
 #pragma once
 
 #include <cmath>
@@ -35,6 +43,12 @@ inline float madd(float a, float b, float acc) {
   return a * b + acc;
 #endif
 }
+
+/// Whether madd() fuses in the base (non-SIMD) translation units of this
+/// build. SIMD backends whose FMA flavour would differ refuse to
+/// activate, because mixing fused and unfused chains breaks the 0-ULP
+/// contract (the asymmetry bug PR 1 fixed — docs/exactness.md).
+bool madd_is_fused();
 
 /// y = W * x. W is (m x n) row-major, x has n elements, y has m.
 void gemv(const Matrix& w, std::span<const float> x, std::span<float> y);

@@ -1,0 +1,273 @@
+// AVX2+FMA backend. This translation unit is compiled with
+// -mavx2 -mfma (set per-file by CMakeLists.txt on x86); whether the
+// kernels may run is decided at runtime via cpuid in avx2_available().
+//
+// Exactness (docs/exactness.md): every output element keeps one serial
+// multiply-accumulate chain in ascending position order. SIMD lanes are
+// only ever *independent output elements* — _mm256_fmadd_ps rounds each
+// lane exactly like the scalar fmaf the reference kernels contract to,
+// and there are no horizontal reductions anywhere in this file. Where
+// the data layout is row-major on the wrong axis (gemv, gemm_a_bt), an
+// 8x8 in-register transpose turns eight contiguous row chunks into
+// eight lane-major k-vectors instead of reordering any chain.
+//
+// The scalar tail code uses std::fmaf directly: this TU is compiled
+// with FMA enabled, so fmaf is a single instruction and identical to
+// what num::madd does in every FMA-built TU. avx2_available() refuses
+// to run if the base translation units were built without FMA
+// contraction (madd_is_fused() == false) — mixing fused and unfused
+// chains is exactly the asymmetry bug PR 1 fixed.
+#include "num/kernels.h"
+#include "num/simd/backend.h"
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__AVX2__) && \
+    defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstring>
+
+namespace zss::num::simd {
+
+namespace {
+
+bool avx2_available() {
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma") &&
+         madd_is_fused();
+}
+
+// In-register 8x8 transpose: r[q] holds row q's elements j..j+7 on
+// entry; on exit r[p] holds element j+p of rows 0..7 (lane-major).
+inline void transpose8(__m256 r[8]) {
+  const __m256 t0 = _mm256_unpacklo_ps(r[0], r[1]);
+  const __m256 t1 = _mm256_unpackhi_ps(r[0], r[1]);
+  const __m256 t2 = _mm256_unpacklo_ps(r[2], r[3]);
+  const __m256 t3 = _mm256_unpackhi_ps(r[2], r[3]);
+  const __m256 t4 = _mm256_unpacklo_ps(r[4], r[5]);
+  const __m256 t5 = _mm256_unpackhi_ps(r[4], r[5]);
+  const __m256 t6 = _mm256_unpacklo_ps(r[6], r[7]);
+  const __m256 t7 = _mm256_unpackhi_ps(r[6], r[7]);
+  const __m256 u0 = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 u1 = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(3, 2, 3, 2));
+  const __m256 u2 = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 u3 = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(3, 2, 3, 2));
+  const __m256 u4 = _mm256_shuffle_ps(t4, t6, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 u5 = _mm256_shuffle_ps(t4, t6, _MM_SHUFFLE(3, 2, 3, 2));
+  const __m256 u6 = _mm256_shuffle_ps(t5, t7, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 u7 = _mm256_shuffle_ps(t5, t7, _MM_SHUFFLE(3, 2, 3, 2));
+  r[0] = _mm256_permute2f128_ps(u0, u4, 0x20);
+  r[1] = _mm256_permute2f128_ps(u1, u5, 0x20);
+  r[2] = _mm256_permute2f128_ps(u2, u6, 0x20);
+  r[3] = _mm256_permute2f128_ps(u3, u7, 0x20);
+  r[4] = _mm256_permute2f128_ps(u0, u4, 0x31);
+  r[5] = _mm256_permute2f128_ps(u1, u5, 0x31);
+  r[6] = _mm256_permute2f128_ps(u2, u6, 0x31);
+  r[7] = _mm256_permute2f128_ps(u3, u7, 0x31);
+}
+
+// y[j] += v * row[j] over [0, n): the shared inner loop of gemm and
+// sparse_accum_rows. Each lane is one output column's chain step.
+inline void accum_row_avx2(float v, const float* __restrict row,
+                           float* __restrict y, Index n) {
+  const __m256 vv = _mm256_set1_ps(v);
+  Index j = 0;
+  for (; j + 16 <= n; j += 16) {
+    __m256 y0 = _mm256_loadu_ps(y + j);
+    __m256 y1 = _mm256_loadu_ps(y + j + 8);
+    y0 = _mm256_fmadd_ps(vv, _mm256_loadu_ps(row + j), y0);
+    y1 = _mm256_fmadd_ps(vv, _mm256_loadu_ps(row + j + 8), y1);
+    _mm256_storeu_ps(y + j, y0);
+    _mm256_storeu_ps(y + j + 8, y1);
+  }
+  for (; j + 8 <= n; j += 8) {
+    __m256 y0 = _mm256_loadu_ps(y + j);
+    y0 = _mm256_fmadd_ps(vv, _mm256_loadu_ps(row + j), y0);
+    _mm256_storeu_ps(y + j, y0);
+  }
+  for (; j < n; ++j) y[j] = std::fmaf(v, row[j], y[j]);
+}
+
+void gemm_rows_avx2(const float* __restrict a, const float* __restrict b,
+                    float* __restrict c, Index m, Index k, Index n) {
+  for (Index i = 0; i < m; ++i) {
+    const float* __restrict arow = a + i * k;
+    float* __restrict crow = c + i * n;
+    for (Index kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;  // same skip semantics as scalar/reference
+      accum_row_avx2(av, b + kk * n, crow, n);
+    }
+  }
+}
+
+void sparse_accum_rows_avx2(const float* __restrict packed,
+                            const Index* __restrict positions,
+                            std::size_t n_positions,
+                            const float* __restrict values,
+                            float* __restrict out, Index batch, Index n) {
+  for (std::size_t e = 0; e < n_positions; ++e) {
+    const float* __restrict row = packed + positions[e] * n;
+    for (Index b = 0; b < batch; ++b) {
+      const float v = values[e * static_cast<std::size_t>(batch) +
+                             static_cast<std::size_t>(b)];
+      if (v == 0.0f) continue;  // lane kept for another lane's sake
+      accum_row_avx2(v, row, out + b * n, n);
+    }
+  }
+}
+
+void gemv_avx2(const float* __restrict w, const float* __restrict x,
+               float* __restrict y, Index m, Index n) {
+  Index i = 0;
+  // Eight output rows per pass: transpose eight contiguous row chunks so
+  // lane q accumulates y[i+q]'s own chain in ascending j.
+  for (; i + 8 <= m; i += 8) {
+    __m256 acc = _mm256_setzero_ps();
+    Index j = 0;
+    for (; j + 8 <= n; j += 8) {
+      __m256 t[8];
+      for (int q = 0; q < 8; ++q) {
+        t[q] = _mm256_loadu_ps(w + (i + q) * n + j);
+      }
+      transpose8(t);
+      for (int p = 0; p < 8; ++p) {
+        acc = _mm256_fmadd_ps(t[p], _mm256_set1_ps(x[j + p]), acc);
+      }
+    }
+    if (j < n) {
+      float lanes[8];
+      _mm256_storeu_ps(lanes, acc);
+      for (int q = 0; q < 8; ++q) {
+        const float* __restrict row = w + (i + q) * n;
+        float s = lanes[q];
+        for (Index jt = j; jt < n; ++jt) s = std::fmaf(row[jt], x[jt], s);
+        y[i + q] = s;
+      }
+    } else {
+      _mm256_storeu_ps(y + i, acc);
+    }
+  }
+  for (; i < m; ++i) {
+    const float* __restrict row = w + i * n;
+    float s = 0.0f;
+    for (Index j = 0; j < n; ++j) s = std::fmaf(row[j], x[j], s);
+    y[i] = s;
+  }
+}
+
+void gemm_a_bt_rows_avx2(const float* __restrict a, const float* __restrict b,
+                         float* __restrict c, Index m, Index k, Index n) {
+  // Tile 8 rows of B (8 output columns, one ymm lane each). Per 8-wide
+  // k-chunk the B chunk is transposed once and reused by *every* row of
+  // A, with the partial sums parked in the C tile between chunks: the C
+  // tile is m x 8 floats (L1-resident), so the shuffle cost of the
+  // transpose amortizes over the whole batch and the inner loop is pure
+  // broadcast+FMA. Each output element's chain still runs strictly in
+  // ascending k: k-chunks in order, lanes p = 0..7 in order within a
+  // chunk, and the scalar k-tail appended last.
+  const Index kv = k & ~Index{7};  // vectorized prefix of k
+  Index j0 = 0;
+  for (; j0 + 8 <= n; j0 += 8) {
+    for (Index i = 0; i < m; ++i) {
+      _mm256_storeu_ps(c + i * n + j0, _mm256_setzero_ps());
+    }
+    for (Index kk = 0; kk < kv; kk += 8) {
+      __m256 t[8];
+      for (int q = 0; q < 8; ++q) {
+        t[q] = _mm256_loadu_ps(b + (j0 + q) * k + kk);
+      }
+      transpose8(t);
+      for (Index i = 0; i < m; ++i) {
+        const float* __restrict ap = a + i * k + kk;
+        float* __restrict cp = c + i * n + j0;
+        __m256 acc = _mm256_loadu_ps(cp);
+        acc = _mm256_fmadd_ps(_mm256_broadcast_ss(ap + 0), t[0], acc);
+        acc = _mm256_fmadd_ps(_mm256_broadcast_ss(ap + 1), t[1], acc);
+        acc = _mm256_fmadd_ps(_mm256_broadcast_ss(ap + 2), t[2], acc);
+        acc = _mm256_fmadd_ps(_mm256_broadcast_ss(ap + 3), t[3], acc);
+        acc = _mm256_fmadd_ps(_mm256_broadcast_ss(ap + 4), t[4], acc);
+        acc = _mm256_fmadd_ps(_mm256_broadcast_ss(ap + 5), t[5], acc);
+        acc = _mm256_fmadd_ps(_mm256_broadcast_ss(ap + 6), t[6], acc);
+        acc = _mm256_fmadd_ps(_mm256_broadcast_ss(ap + 7), t[7], acc);
+        _mm256_storeu_ps(cp, acc);
+      }
+    }
+    if (kv < k) {  // k tail: continue each element's chain in scalar
+      for (Index i = 0; i < m; ++i) {
+        const float* __restrict arow = a + i * k;
+        float* __restrict crow = c + i * n + j0;
+        for (int q = 0; q < 8; ++q) {
+          const float* __restrict brow = b + (j0 + q) * k;
+          float s = crow[q];
+          for (Index kt = kv; kt < k; ++kt) {
+            s = std::fmaf(arow[kt], brow[kt], s);
+          }
+          crow[q] = s;
+        }
+      }
+    }
+  }
+  for (; j0 < n; ++j0) {  // column tail: plain ascending-k dots
+    const float* __restrict brow = b + j0 * k;
+    for (Index i = 0; i < m; ++i) {
+      const float* __restrict arow = a + i * k;
+      float s = 0.0f;
+      for (Index kk = 0; kk < k; ++kk) s = std::fmaf(arow[kk], brow[kk], s);
+      c[i * n + j0] = s;
+    }
+  }
+}
+
+void axpy_avx2(float alpha, const float* __restrict x, float* __restrict y,
+               std::size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 vy = _mm256_loadu_ps(y + i);
+    vy = _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i), vy);
+    _mm256_storeu_ps(y + i, vy);
+  }
+  for (; i < n; ++i) y[i] = std::fmaf(alpha, x[i], y[i]);
+}
+
+}  // namespace
+
+const KernelBackend kAvx2Backend = {
+    "avx2",
+    "AVX2+FMA intrinsics; needs cpuid avx2+fma and an FMA-contracted base "
+    "build (-march=native or -mfma)",
+    avx2_available,
+    gemm_rows_avx2,
+    gemm_a_bt_rows_avx2,
+    gemv_avx2,
+    sparse_accum_rows_avx2,
+    axpy_avx2,
+};
+
+}  // namespace zss::num::simd
+
+#else  // not an x86 AVX2+FMA build: keep the registry entry as a stub
+
+namespace zss::num::simd {
+
+namespace {
+bool never_available() { return false; }
+}  // namespace
+
+const KernelBackend kAvx2Backend = {
+    "avx2",
+    "AVX2+FMA intrinsics; not compiled into this binary (x86 with "
+    "-mavx2 -mfma required)",
+    never_available,
+    nullptr,
+    nullptr,
+    nullptr,
+    nullptr,
+    nullptr,
+};
+
+}  // namespace zss::num::simd
+
+#endif

@@ -1,0 +1,31 @@
+// AVX-512 backend — deliberately a stub for now.
+//
+// A 16-lane port of the AVX2 backend is mechanical (the 8x8 transpose
+// becomes a 16x16 or two-stage shuffle), but on most client parts
+// AVX-512 downclocking can erase the gain for the small, latency-bound
+// shapes this repo serves (batch 1..32, dh <= 1000), so it needs its
+// own measurements before it earns a kernel table. Keeping the registry
+// entry visible documents the plan, reserves the name, and lets
+// ZSS_KERNEL_BACKEND=avx512 fail loudly (warning + scalar fallback)
+// instead of silently meaning something else.
+#include "num/simd/backend.h"
+
+namespace zss::num::simd {
+
+namespace {
+bool never_available() { return false; }
+}  // namespace
+
+const KernelBackend kAvx512Backend = {
+    "avx512",
+    "stub — planned 16-lane port of the avx2 backend, pending "
+    "downclocking measurements on the target parts",
+    never_available,
+    nullptr,
+    nullptr,
+    nullptr,
+    nullptr,
+    nullptr,
+};
+
+}  // namespace zss::num::simd

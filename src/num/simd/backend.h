@@ -1,0 +1,98 @@
+// Runtime-dispatched SIMD kernel backends.
+//
+// A KernelBackend is a table of raw-pointer kernels for the hot loops of
+// the library (the shape checks, output sizing and parallel_for row
+// partitioning stay in num/kernels.cc — backends are pure number
+// crunchers over pre-validated buffers). One backend is selected at
+// first use: the highest-priority backend whose available() check
+// passes, or the one named by the ZSS_KERNEL_BACKEND environment
+// variable (scalar | avx2 | avx512 | neon). Unknown or unavailable
+// names fall back to scalar with a warning on stderr.
+//
+// Every backend implements the same contract as num::reference (see
+// docs/exactness.md): the additions feeding one output element run as a
+// single serial chain in ascending position order, and every
+// multiply-accumulate is fused exactly when num::madd is fused. SIMD
+// implementations therefore vectorize across *independent* output
+// elements (lane q carries output element q's own chain) and never
+// horizontally reduce — which is what makes step() vs step_dense()
+// bit-identical within any backend, and every backend 0-ULP-identical
+// to every other one built with the same madd flavour.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "num/types.h"
+
+namespace zss::num::simd {
+
+struct KernelBackend {
+  /// Name used by ZSS_KERNEL_BACKEND and in bench/test output.
+  const char* name;
+  /// One-line description, including ISA/build requirements.
+  const char* description;
+  /// Runtime check (cpuid + build-flavour); cheap, callable at any time.
+  bool (*available)();
+
+  // --- kernel table (null in stub backends) ---------------------------
+  /// C[0..m) rows of C = A * B; every row of C is pre-zeroed by the
+  /// caller. Exact zeros in A are skipped (IEEE identity).
+  void (*gemm_rows)(const float* a, const float* b, float* c, Index m,
+                    Index k, Index n);
+  /// C[0..m) rows of C = A * B^T (B is n x k); every element written.
+  void (*gemm_a_bt_rows)(const float* a, const float* b, float* c, Index m,
+                         Index k, Index n);
+  /// y = W x for W (m x n) row-major.
+  void (*gemv)(const float* w, const float* x, float* y, Index m, Index n);
+  /// out.row(b) += values[e * batch + b] * packed.row(positions[e]) for
+  /// every kept position e (ascending) and batch lane b. Positions are
+  /// pre-validated by the caller; zero-valued lanes are skipped.
+  void (*sparse_accum_rows)(const float* packed, const Index* positions,
+                            std::size_t n_positions, const float* values,
+                            float* out, Index batch, Index n);
+  /// y += alpha * x.
+  void (*axpy)(float alpha, const float* x, float* y, std::size_t n);
+
+  /// True when the kernel table is populated (false for stubs).
+  bool implemented() const { return gemm_rows != nullptr; }
+  /// True when this backend can actually run here.
+  bool usable() const { return implemented() && available(); }
+};
+
+/// The four backends every binary carries. On foreign architectures a
+/// backend degrades to a stub entry (implemented() == false) so the
+/// registry listing is uniform everywhere.
+extern const KernelBackend kScalarBackend;  // PR-1 blocked loops, portable
+extern const KernelBackend kAvx2Backend;    // AVX2+FMA, x86 only
+extern const KernelBackend kAvx512Backend;  // stub — see its description
+extern const KernelBackend kNeonBackend;    // NEON, aarch64 only
+
+/// All compiled-in backends in selection-priority order (stubs included;
+/// check usable()).
+std::span<const KernelBackend* const> registered_backends();
+
+/// The backends that can run on this machine, priority order. Never
+/// empty (scalar is always usable).
+std::vector<const KernelBackend*> available_backends();
+
+/// The backend the num:: kernels dispatch to. Resolved once on first
+/// call from ZSS_KERNEL_BACKEND / cpuid; a fallback warning is printed
+/// to stderr at resolution time.
+const KernelBackend& active_backend();
+
+/// Pure resolution logic (no caching, no printing): `requested` is the
+/// value of ZSS_KERNEL_BACKEND (null/empty means auto-select). When the
+/// request cannot be honoured, returns scalar and explains why in
+/// *warning. Exposed so tests can cover the fallback paths directly.
+const KernelBackend& resolve_backend(const char* requested,
+                                     std::string* warning);
+
+/// Test/bench hook: force `backend` (must be usable), or pass nullptr to
+/// drop the cached choice so the next active_backend() re-resolves from
+/// the environment. Not thread-safe against running kernels.
+void set_backend_for_testing(const KernelBackend* backend);
+
+}  // namespace zss::num::simd

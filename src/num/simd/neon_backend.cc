@@ -1,0 +1,221 @@
+// NEON backend for aarch64, compile-guarded: on AArch64 Advanced SIMD
+// and fused multiply-add are baseline, so there is no runtime cpuid
+// question — only the build-flavour check that the base translation
+// units contract madd to fmaf (they do under default aarch64 flags).
+//
+// The structure mirrors the AVX2 backend at 4 lanes: vectorization is
+// across independent output elements only, each lane carrying its own
+// serial ascending-k chain, with a 4x4 in-register transpose where the
+// row-major layout runs along the wrong axis (see docs/exactness.md).
+// vfmaq_f32 rounds each lane exactly like scalar fmaf.
+#include "num/kernels.h"
+#include "num/simd/backend.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <cmath>
+#include <cstring>
+
+namespace zss::num::simd {
+
+namespace {
+
+bool neon_available() { return madd_is_fused(); }
+
+// In-register 4x4 transpose: r[q] holds row q's elements j..j+3 on
+// entry; on exit r[p] holds element j+p of rows 0..3 (lane-major).
+inline void transpose4(float32x4_t r[4]) {
+  const float32x4x2_t t01 = vtrnq_f32(r[0], r[1]);
+  const float32x4x2_t t23 = vtrnq_f32(r[2], r[3]);
+  r[0] = vcombine_f32(vget_low_f32(t01.val[0]), vget_low_f32(t23.val[0]));
+  r[1] = vcombine_f32(vget_low_f32(t01.val[1]), vget_low_f32(t23.val[1]));
+  r[2] = vcombine_f32(vget_high_f32(t01.val[0]), vget_high_f32(t23.val[0]));
+  r[3] = vcombine_f32(vget_high_f32(t01.val[1]), vget_high_f32(t23.val[1]));
+}
+
+// y[j] += v * row[j] over [0, n): shared by gemm and sparse_accum_rows.
+inline void accum_row_neon(float v, const float* __restrict row,
+                           float* __restrict y, Index n) {
+  const float32x4_t vv = vdupq_n_f32(v);
+  Index j = 0;
+  for (; j + 8 <= n; j += 8) {
+    float32x4_t y0 = vld1q_f32(y + j);
+    float32x4_t y1 = vld1q_f32(y + j + 4);
+    y0 = vfmaq_f32(y0, vv, vld1q_f32(row + j));
+    y1 = vfmaq_f32(y1, vv, vld1q_f32(row + j + 4));
+    vst1q_f32(y + j, y0);
+    vst1q_f32(y + j + 4, y1);
+  }
+  for (; j + 4 <= n; j += 4) {
+    float32x4_t y0 = vld1q_f32(y + j);
+    y0 = vfmaq_f32(y0, vv, vld1q_f32(row + j));
+    vst1q_f32(y + j, y0);
+  }
+  for (; j < n; ++j) y[j] = std::fmaf(v, row[j], y[j]);
+}
+
+void gemm_rows_neon(const float* __restrict a, const float* __restrict b,
+                    float* __restrict c, Index m, Index k, Index n) {
+  for (Index i = 0; i < m; ++i) {
+    const float* __restrict arow = a + i * k;
+    float* __restrict crow = c + i * n;
+    for (Index kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;  // same skip semantics as scalar/reference
+      accum_row_neon(av, b + kk * n, crow, n);
+    }
+  }
+}
+
+void sparse_accum_rows_neon(const float* __restrict packed,
+                            const Index* __restrict positions,
+                            std::size_t n_positions,
+                            const float* __restrict values,
+                            float* __restrict out, Index batch, Index n) {
+  for (std::size_t e = 0; e < n_positions; ++e) {
+    const float* __restrict row = packed + positions[e] * n;
+    for (Index b = 0; b < batch; ++b) {
+      const float v = values[e * static_cast<std::size_t>(batch) +
+                             static_cast<std::size_t>(b)];
+      if (v == 0.0f) continue;  // lane kept for another lane's sake
+      accum_row_neon(v, row, out + b * n, n);
+    }
+  }
+}
+
+void gemv_neon(const float* __restrict w, const float* __restrict x,
+               float* __restrict y, Index m, Index n) {
+  Index i = 0;
+  for (; i + 4 <= m; i += 4) {
+    float32x4_t acc = vdupq_n_f32(0.0f);
+    Index j = 0;
+    for (; j + 4 <= n; j += 4) {
+      float32x4_t t[4];
+      for (int q = 0; q < 4; ++q) t[q] = vld1q_f32(w + (i + q) * n + j);
+      transpose4(t);
+      for (int p = 0; p < 4; ++p) {
+        acc = vfmaq_f32(acc, t[p], vdupq_n_f32(x[j + p]));
+      }
+    }
+    if (j < n) {
+      float lanes[4];
+      vst1q_f32(lanes, acc);
+      for (int q = 0; q < 4; ++q) {
+        const float* __restrict row = w + (i + q) * n;
+        float s = lanes[q];
+        for (Index jt = j; jt < n; ++jt) s = std::fmaf(row[jt], x[jt], s);
+        y[i + q] = s;
+      }
+    } else {
+      vst1q_f32(y + i, acc);
+    }
+  }
+  for (; i < m; ++i) {
+    const float* __restrict row = w + i * n;
+    float s = 0.0f;
+    for (Index j = 0; j < n; ++j) s = std::fmaf(row[j], x[j], s);
+    y[i] = s;
+  }
+}
+
+void gemm_a_bt_rows_neon(const float* __restrict a, const float* __restrict b,
+                         float* __restrict c, Index m, Index k, Index n) {
+  Index j0 = 0;
+  for (; j0 + 4 <= n; j0 += 4) {
+    for (Index i0 = 0; i0 < m; i0 += 4) {
+      const Index ib = m - i0 < 4 ? m - i0 : Index{4};
+      float32x4_t acc[4] = {vdupq_n_f32(0.0f), vdupq_n_f32(0.0f),
+                            vdupq_n_f32(0.0f), vdupq_n_f32(0.0f)};
+      Index kk = 0;
+      for (; kk + 4 <= k; kk += 4) {
+        float32x4_t t[4];
+        for (int q = 0; q < 4; ++q) t[q] = vld1q_f32(b + (j0 + q) * k + kk);
+        transpose4(t);
+        for (int p = 0; p < 4; ++p) {
+          for (Index r = 0; r < ib; ++r) {
+            acc[r] = vfmaq_f32(acc[r], t[p],
+                               vdupq_n_f32(a[(i0 + r) * k + kk + p]));
+          }
+        }
+      }
+      for (Index r = 0; r < ib; ++r) {
+        float lanes[4];
+        vst1q_f32(lanes, acc[r]);
+        if (kk < k) {
+          const float* __restrict arow = a + (i0 + r) * k;
+          for (int q = 0; q < 4; ++q) {
+            const float* __restrict brow = b + (j0 + q) * k;
+            float s = lanes[q];
+            for (Index kt = kk; kt < k; ++kt) {
+              s = std::fmaf(arow[kt], brow[kt], s);
+            }
+            lanes[q] = s;
+          }
+        }
+        std::memcpy(c + (i0 + r) * n + j0, lanes, sizeof(lanes));
+      }
+    }
+  }
+  for (; j0 < n; ++j0) {  // column tail: plain ascending-k dots
+    const float* __restrict brow = b + j0 * k;
+    for (Index i = 0; i < m; ++i) {
+      const float* __restrict arow = a + i * k;
+      float s = 0.0f;
+      for (Index kk = 0; kk < k; ++kk) s = std::fmaf(arow[kk], brow[kk], s);
+      c[i * n + j0] = s;
+    }
+  }
+}
+
+void axpy_neon(float alpha, const float* __restrict x, float* __restrict y,
+               std::size_t n) {
+  const float32x4_t va = vdupq_n_f32(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    float32x4_t vy = vld1q_f32(y + i);
+    vy = vfmaq_f32(vy, va, vld1q_f32(x + i));
+    vst1q_f32(y + i, vy);
+  }
+  for (; i < n; ++i) y[i] = std::fmaf(alpha, x[i], y[i]);
+}
+
+}  // namespace
+
+const KernelBackend kNeonBackend = {
+    "neon",
+    "AArch64 Advanced SIMD (baseline ISA); needs an FMA-contracted base "
+    "build",
+    neon_available,
+    gemm_rows_neon,
+    gemm_a_bt_rows_neon,
+    gemv_neon,
+    sparse_accum_rows_neon,
+    axpy_neon,
+};
+
+}  // namespace zss::num::simd
+
+#else  // not aarch64: keep the registry entry as a stub
+
+namespace zss::num::simd {
+
+namespace {
+bool never_available() { return false; }
+}  // namespace
+
+const KernelBackend kNeonBackend = {
+    "neon",
+    "AArch64 Advanced SIMD; not compiled into this binary (aarch64 only)",
+    never_available,
+    nullptr,
+    nullptr,
+    nullptr,
+    nullptr,
+    nullptr,
+};
+
+}  // namespace zss::num::simd
+
+#endif

@@ -1,0 +1,162 @@
+// Backend registry and runtime-dispatch behaviour: selection priority,
+// the ZSS_KERNEL_BACKEND override, fallback-with-warning for unknown or
+// unavailable names, and cross-backend agreement of sparse_accum_rows
+// on the degenerate kept-row sets (empty / full / singleton) that the
+// vector tails and skip branches must get right. The numeric contract
+// every backend is held to is docs/exactness.md.
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "num/kernels.h"
+#include "num/reference_kernels.h"
+#include "num/rng.h"
+#include "num/simd/backend.h"
+
+namespace zss::num::simd {
+namespace {
+
+class BackendDispatchTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv("ZSS_KERNEL_BACKEND");
+    set_backend_for_testing(nullptr);  // drop cache; next use re-resolves
+  }
+};
+
+TEST_F(BackendDispatchTest, RegistryListsAllFourBackendsUniformly) {
+  std::vector<std::string> names;
+  for (const KernelBackend* b : registered_backends()) {
+    names.push_back(b->name);
+    ASSERT_NE(b->description, nullptr);
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"avx512", "avx2", "neon",
+                                             "scalar"}));
+}
+
+TEST_F(BackendDispatchTest, ScalarIsAlwaysAvailableAndImplemented) {
+  EXPECT_TRUE(kScalarBackend.usable());
+  const auto available = available_backends();
+  ASSERT_FALSE(available.empty());
+  EXPECT_EQ(available.back(), &kScalarBackend);
+}
+
+TEST_F(BackendDispatchTest, Avx512IsARegisteredStub) {
+  EXPECT_FALSE(kAvx512Backend.implemented());
+  EXPECT_FALSE(kAvx512Backend.usable());
+}
+
+TEST_F(BackendDispatchTest, AutoSelectionPicksHighestPriorityAvailable) {
+  std::string warning;
+  const KernelBackend& chosen = resolve_backend(nullptr, &warning);
+  EXPECT_TRUE(warning.empty());
+  EXPECT_EQ(&chosen, available_backends().front());
+  // Empty string means auto-select too.
+  EXPECT_EQ(&resolve_backend("", &warning), &chosen);
+}
+
+TEST_F(BackendDispatchTest, ExplicitNameSelectsThatBackend) {
+  std::string warning;
+  const KernelBackend& chosen = resolve_backend("scalar", &warning);
+  EXPECT_EQ(&chosen, &kScalarBackend);
+  EXPECT_TRUE(warning.empty());
+}
+
+TEST_F(BackendDispatchTest, UnknownNameFallsBackToScalarWithWarning) {
+  std::string warning;
+  const KernelBackend& chosen = resolve_backend("avx9000", &warning);
+  EXPECT_EQ(&chosen, &kScalarBackend);
+  EXPECT_NE(warning.find("unknown kernel backend 'avx9000'"),
+            std::string::npos)
+      << warning;
+  EXPECT_NE(warning.find("scalar"), std::string::npos) << warning;
+}
+
+TEST_F(BackendDispatchTest, UnavailableNameFallsBackToScalarWithWarning) {
+  // avx512 is a registered stub everywhere, so this path is portable.
+  std::string warning;
+  const KernelBackend& chosen = resolve_backend("avx512", &warning);
+  EXPECT_EQ(&chosen, &kScalarBackend);
+  EXPECT_NE(warning.find("avx512"), std::string::npos) << warning;
+  EXPECT_FALSE(warning.empty());
+}
+
+TEST_F(BackendDispatchTest, EnvVarOverridesActiveBackend) {
+  setenv("ZSS_KERNEL_BACKEND", "scalar", 1);
+  set_backend_for_testing(nullptr);  // force re-resolution from env
+  EXPECT_STREQ(active_backend().name, "scalar");
+}
+
+TEST_F(BackendDispatchTest, EnvVarWithUnknownNameStillYieldsScalar) {
+  setenv("ZSS_KERNEL_BACKEND", "definitely-not-a-backend", 1);
+  set_backend_for_testing(nullptr);
+  EXPECT_STREQ(active_backend().name, "scalar");
+}
+
+// --- cross-backend agreement on degenerate kept-row sets --------------
+
+Matrix random_matrix(Index rows, Index cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (float& v : m.flat()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return m;
+}
+
+void expect_bitwise_equal(const Matrix& a, const Matrix& b) {
+  ASSERT_TRUE(a.same_shape(b));
+  EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                        static_cast<std::size_t>(a.size()) * sizeof(float)),
+            0);
+}
+
+class SparseAccumKeptSetsTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_backend_for_testing(nullptr); }
+
+  // Runs sparse_accum_rows under every available backend and against
+  // the reference loops; all results must agree bit for bit.
+  void check(std::span<const Index> positions, Index batch) {
+    Rng rng(991);
+    const Index dh = 37;  // odd on purpose: exercises every vector tail
+    const Matrix packed = random_matrix(dh, 4 * dh, rng);
+    std::vector<float> values;
+    for (std::size_t e = 0; e < positions.size(); ++e) {
+      for (Index b = 0; b < batch; ++b) {
+        values.push_back(static_cast<float>(rng.uniform(-1.0, 1.0)));
+      }
+    }
+    const Matrix start(batch, 4 * dh, 0.25f);
+    Matrix expected = start;
+    reference::sparse_accum_rows(packed, positions, values, expected);
+    for (const KernelBackend* backend : available_backends()) {
+      set_backend_for_testing(backend);
+      Matrix out = start;
+      sparse_accum_rows(packed, positions, values, out);
+      SCOPED_TRACE(backend->name);
+      expect_bitwise_equal(out, expected);
+    }
+  }
+};
+
+TEST_F(SparseAccumKeptSetsTest, EmptyKeptSetLeavesOutputUntouched) {
+  check({}, 1);
+  check({}, 5);
+}
+
+TEST_F(SparseAccumKeptSetsTest, SingletonKeptSet) {
+  const std::vector<Index> one{17};
+  check(one, 1);
+  check(one, 5);
+}
+
+TEST_F(SparseAccumKeptSetsTest, FullKeptSetEqualsDenseAccumulation) {
+  std::vector<Index> all;
+  for (Index j = 0; j < 37; ++j) all.push_back(j);
+  check(all, 1);
+  check(all, 5);
+}
+
+}  // namespace
+}  // namespace zss::num::simd

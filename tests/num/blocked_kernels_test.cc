@@ -1,10 +1,14 @@
-// Equivalence of the register-blocked kernels against the unblocked
-// reference loops, across odd shapes and batch sizes. The sparse packed
-// accumulation must match within 0 ULP (the engine's bit-exactness
-// contract rides on it); the blocked GEMMs interleave independent
-// accumulator chains without reordering any chain, so they too are held
-// to exact float equality here.
+// Equivalence of every available kernel backend against the unblocked
+// reference loops, across odd shapes and batch sizes. The suite is
+// parameterized over (shape x backend): each case pins one backend via
+// simd::set_backend_for_testing and asserts the public num:: kernels
+// reproduce num::reference within 0 ULP. That contract — one serial
+// ascending-position multiply-accumulate chain per output element, all
+// through the same FMA flavour — is what makes step() and step_dense()
+// bit-identical; docs/exactness.md derives it and explains what a new
+// backend must guarantee.
 #include <cstring>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -12,6 +16,7 @@
 #include "num/parallel.h"
 #include "num/reference_kernels.h"
 #include "num/rng.h"
+#include "num/simd/backend.h"
 
 namespace zss::num {
 namespace {
@@ -29,15 +34,6 @@ void expect_bitwise_equal(const Matrix& a, const Matrix& b) {
             0);
 }
 
-void expect_float_equal(const Matrix& a, const Matrix& b) {
-  ASSERT_TRUE(a.same_shape(b));
-  for (Index i = 0; i < a.rows(); ++i) {
-    for (Index j = 0; j < a.cols(); ++j) {
-      EXPECT_FLOAT_EQ(a(i, j), b(i, j)) << "(" << i << ", " << j << ")";
-    }
-  }
-}
-
 // The LSTM shapes the engine exercises: dh state positions against a
 // (4dh x dh) recurrent matrix, B batch lanes.
 struct Shape {
@@ -45,34 +41,50 @@ struct Shape {
   Index batch;
 };
 
-class BlockedKernelShapeTest : public ::testing::TestWithParam<Shape> {};
+using KernelParam = std::tuple<Shape, const simd::KernelBackend*>;
 
-TEST_P(BlockedKernelShapeTest, GemmMatchesReference) {
-  const auto [dh, batch] = GetParam();
+class BackendKernelTest : public ::testing::TestWithParam<KernelParam> {
+ protected:
+  void SetUp() override {
+    simd::set_backend_for_testing(std::get<1>(GetParam()));
+  }
+  void TearDown() override { simd::set_backend_for_testing(nullptr); }
+
+  Shape shape() const { return std::get<0>(GetParam()); }
+};
+
+std::string param_name(const ::testing::TestParamInfo<KernelParam>& info) {
+  const auto& [shape, backend] = info.param;
+  return "dh" + std::to_string(shape.dh) + "b" + std::to_string(shape.batch) +
+         "_" + backend->name;
+}
+
+TEST_P(BackendKernelTest, GemmMatchesReference) {
+  const auto [dh, batch] = shape();
   Rng rng(static_cast<std::uint64_t>(dh * 100 + batch));
   const Matrix a = random_matrix(batch, dh, rng);
   const Matrix b = random_matrix(dh, 4 * dh, rng);
-  Matrix c_blocked;
-  gemm(a, b, c_blocked);
+  Matrix c_backend;
+  gemm(a, b, c_backend);
   Matrix c_ref;
   reference::gemm(a, b, c_ref);
-  expect_float_equal(c_blocked, c_ref);
+  expect_bitwise_equal(c_backend, c_ref);
 }
 
-TEST_P(BlockedKernelShapeTest, GemmABtMatchesReference) {
-  const auto [dh, batch] = GetParam();
+TEST_P(BackendKernelTest, GemmABtMatchesReference) {
+  const auto [dh, batch] = shape();
   Rng rng(static_cast<std::uint64_t>(dh * 100 + batch + 1));
   const Matrix a = random_matrix(batch, dh, rng);
   const Matrix b = random_matrix(4 * dh, dh, rng);
-  Matrix c_blocked;
-  gemm_a_bt(a, b, c_blocked);
+  Matrix c_backend;
+  gemm_a_bt(a, b, c_backend);
   Matrix c_ref;
   reference::gemm_a_bt(a, b, c_ref);
-  expect_float_equal(c_blocked, c_ref);
+  expect_bitwise_equal(c_backend, c_ref);
 }
 
-TEST_P(BlockedKernelShapeTest, GemmAtBAccumMatchesReference) {
-  const auto [dh, batch] = GetParam();
+TEST_P(BackendKernelTest, GemmAtBAccumMatchesReference) {
+  const auto [dh, batch] = shape();
   Rng rng(static_cast<std::uint64_t>(dh * 100 + batch + 2));
   const Matrix a = random_matrix(batch, dh, rng);
   const Matrix b = random_matrix(batch, 4 * dh, rng);
@@ -80,27 +92,27 @@ TEST_P(BlockedKernelShapeTest, GemmAtBAccumMatchesReference) {
   Matrix c_ref = c_blocked;
   gemm_at_b_accum(a, b, c_blocked);
   reference::gemm_at_b_accum(a, b, c_ref);
-  expect_float_equal(c_blocked, c_ref);
+  expect_bitwise_equal(c_blocked, c_ref);
 }
 
-TEST_P(BlockedKernelShapeTest, GemvMatchesReference) {
-  const auto [dh, batch] = GetParam();
+TEST_P(BackendKernelTest, GemvMatchesReference) {
+  const auto [dh, batch] = shape();
   (void)batch;
   Rng rng(static_cast<std::uint64_t>(dh * 100 + 3));
   const Matrix w = random_matrix(4 * dh, dh, rng);
   std::vector<float> x(static_cast<std::size_t>(dh));
   for (auto& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
-  std::vector<float> y_blocked(static_cast<std::size_t>(4 * dh));
+  std::vector<float> y_backend(static_cast<std::size_t>(4 * dh));
   std::vector<float> y_ref(static_cast<std::size_t>(4 * dh));
-  gemv(w, x, y_blocked);
+  gemv(w, x, y_backend);
   reference::gemv(w, x, y_ref);
   for (std::size_t i = 0; i < y_ref.size(); ++i) {
-    EXPECT_FLOAT_EQ(y_blocked[i], y_ref[i]) << i;
+    EXPECT_EQ(std::memcmp(&y_backend[i], &y_ref[i], sizeof(float)), 0) << i;
   }
 }
 
-TEST_P(BlockedKernelShapeTest, SparseAccumRowsMatchesReferenceBitwise) {
-  const auto [dh, batch] = GetParam();
+TEST_P(BackendKernelTest, SparseAccumRowsMatchesReferenceBitwise) {
+  const auto [dh, batch] = shape();
   Rng rng(static_cast<std::uint64_t>(dh * 100 + batch + 4));
   const Matrix packed = random_matrix(dh, 4 * dh, rng);
   // Keep ~40% of positions; values position-major with some zero lanes
@@ -116,17 +128,17 @@ TEST_P(BlockedKernelShapeTest, SparseAccumRowsMatchesReferenceBitwise) {
                            : static_cast<float>(rng.uniform(-1.0, 1.0)));
     }
   }
-  Matrix out_blocked(batch, 4 * dh, 0.125f);
-  Matrix out_ref = out_blocked;
-  sparse_accum_rows(packed, positions, values, out_blocked);
+  Matrix out_backend(batch, 4 * dh, 0.125f);
+  Matrix out_ref = out_backend;
+  sparse_accum_rows(packed, positions, values, out_backend);
   reference::sparse_accum_rows(packed, positions, values, out_ref);
-  expect_bitwise_equal(out_blocked, out_ref);  // 0 ULP
+  expect_bitwise_equal(out_backend, out_ref);  // 0 ULP
 }
 
-TEST_P(BlockedKernelShapeTest, SparseAccumRowsMatchesColumnGather) {
+TEST_P(BackendKernelTest, SparseAccumRowsMatchesColumnGather) {
   // The packed-row accumulation must equal the accelerator's column
   // gather over the original gate-major matrix bit-for-bit.
-  const auto [dh, batch] = GetParam();
+  const auto [dh, batch] = shape();
   Rng rng(static_cast<std::uint64_t>(dh * 100 + batch + 5));
   const Matrix wh = random_matrix(4 * dh, dh, rng);
   Matrix packed;
@@ -153,12 +165,32 @@ TEST_P(BlockedKernelShapeTest, SparseAccumRowsMatchesColumnGather) {
   expect_bitwise_equal(out_packed, out_cols);
 }
 
-INSTANTIATE_TEST_SUITE_P(OddShapes, BlockedKernelShapeTest,
-                         ::testing::Values(Shape{1, 1}, Shape{1, 2},
-                                           Shape{3, 1}, Shape{3, 5},
-                                           Shape{17, 2}, Shape{17, 5},
-                                           Shape{64, 1}, Shape{64, 2},
-                                           Shape{64, 5}));
+TEST_P(BackendKernelTest, AxpyMatchesMaddChain) {
+  const auto [dh, batch] = shape();
+  Rng rng(static_cast<std::uint64_t>(dh * 100 + batch + 6));
+  std::vector<float> x(static_cast<std::size_t>(4 * dh * batch));
+  std::vector<float> y(x.size());
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto& v : y) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  std::vector<float> y_ref = y;
+  const float alpha = 0.75f;
+  axpy(alpha, x, y);
+  for (std::size_t i = 0; i < y_ref.size(); ++i) {
+    y_ref[i] = madd(alpha, x[i], y_ref[i]);
+  }
+  for (std::size_t i = 0; i < y_ref.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&y[i], &y_ref[i], sizeof(float)), 0) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OddShapesAllBackends, BackendKernelTest,
+    ::testing::Combine(::testing::Values(Shape{1, 1}, Shape{1, 2}, Shape{3, 1},
+                                         Shape{3, 5}, Shape{17, 2},
+                                         Shape{17, 5}, Shape{64, 1},
+                                         Shape{64, 2}, Shape{64, 5}),
+                       ::testing::ValuesIn(simd::available_backends())),
+    param_name);
 
 TEST(ParallelKernelsTest, ThreadedGemmBitIdenticalToSingleThread) {
   Rng rng(77);
