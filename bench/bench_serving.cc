@@ -1,0 +1,303 @@
+// Serving throughput and latency across shard count, max-batch and
+// sparsity — the sizing data behind docs/serving.md.
+//
+// Closed-loop drive: all requests are queued up front, then the pool is
+// drained with one thread per shard. Two throughputs are reported:
+//
+//   * wall_rps      — requests / wall-clock of the drain. On a machine
+//                     with >= shards cores this is the real number; on
+//                     fewer cores the shard threads serialize.
+//   * capacity_rps  — requests / max per-shard *CPU time* (the critical
+//                     path). Thread CPU time does not count time spent
+//                     descheduled, so this is the throughput the shard
+//                     layout sustains once cores match shards — it is
+//                     what wall_rps converges to there, and what
+//                     hash-shard balance actually determines, so it is
+//                     the number the shard-scaling acceptance bar
+//                     reads. The JSON records hardware_concurrency so a
+//                     reader can tell which regime a run was in.
+//
+// Latency is service latency: the wall-clock of the engine step (plus
+// gather/scatter) that served each request — queueing delay in a
+// closed-loop drive is an artifact of the drive, not of the system.
+//
+// Usage: bench_serving [--dh=512] [--dx=64] [--sessions=32]
+//                      [--requests=N] [--quick]
+// Writes BENCH_serving.json into the working directory.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/sparse_inference.h"
+#include "core/state_pruner.h"
+#include "nn/lstm_cell.h"
+#include "num/rng.h"
+#include "num/simd/backend.h"
+#include "serve/pool.h"
+
+namespace {
+
+using namespace zss;
+
+struct Result {
+  num::Index shards = 0;
+  num::Index max_batch = 0;
+  double sparsity_target = 0.0;
+  float threshold = 0.0f;
+  num::Index requests = 0;
+  double mean_batch = 0.0;
+  double observed_sparsity = 0.0;  // intersected, what the skip logic saw
+  double wall_ms = 0.0;
+  double wall_rps = 0.0;
+  double capacity_rps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+double percentile(std::vector<double>& v, double q) {
+  if (v.empty()) return 0.0;
+  const auto k = static_cast<std::size_t>(q * static_cast<double>(v.size() - 1));
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(k),
+                   v.end());
+  return v[k];
+}
+
+/// Serving needs a batch-composition-independent pruner, so derive the
+/// fixed threshold that realizes `sparsity` for this cell: run a short
+/// batch-of-one probe in target-sparsity mode and export its effective
+/// threshold (the documented StatePruner::effective_threshold use).
+float calibrate_threshold(const nn::LstmCell& cell, double sparsity,
+                          num::Rng& rng) {
+  const core::StatePruner probe_pruner(core::PrunerConfig::target(sparsity));
+  core::SparseLstmEngine probe(cell, probe_pruner);
+  num::Matrix h(1, cell.hidden_dim(), 0.0f), c(1, cell.hidden_dim(), 0.0f);
+  num::Matrix x(1, cell.input_dim());
+  for (int t = 0; t < 20; ++t) {
+    x.fill(0.0f);
+    x(0, rng.below(cell.input_dim())) = 1.0f;
+    probe.step(x, h, c);
+  }
+  // h is pruned storage; measure the threshold on the matching dense
+  // state by one more un-pruned probe step.
+  const core::StatePruner none(core::PrunerConfig::none());
+  core::SparseLstmEngine dense_probe(cell, none);
+  num::Matrix hd = h, cd = c;
+  x.fill(0.0f);
+  x(0, 0) = 1.0f;
+  dense_probe.step(x, hd, cd);
+  return probe_pruner.effective_threshold(hd);
+}
+
+Result run_config(const nn::LstmCell& cell, float threshold,
+                  double sparsity_target, num::Index shards,
+                  num::Index max_batch, num::Index sessions,
+                  num::Index requests, std::uint64_t seed) {
+  const core::StatePruner pruner(core::PrunerConfig::fixed(threshold));
+  serve::PoolConfig config;
+  config.shards = shards;
+  config.policy.max_batch = max_batch;
+  config.policy.max_wait_us = 0;  // closed loop: batches close on size
+  serve::EnginePool pool(cell, pruner, config);
+
+  auto enqueue_all = [&] {
+    num::Rng tokens(seed + 1);
+    for (num::Index i = 0; i < requests; ++i) {
+      serve::Request r;
+      // Round-robin sessions: every client is equally active, so the
+      // only load imbalance left is the hash's session->shard split.
+      r.session = static_cast<serve::SessionId>(i % sessions) + 1;
+      r.token = tokens.below(cell.input_dim());
+      r.arrival_us = 0;
+      r.seq = static_cast<std::uint64_t>(i);
+      pool.enqueue(r);
+    }
+  };
+
+  // Warm-up drain: create every session, fill every workspace, reach
+  // the pruned steady state — then start the measurement epoch.
+  std::vector<serve::ResponseSink> warm_sinks(
+      static_cast<std::size_t>(shards), [](const serve::Response&) {});
+  enqueue_all();
+  pool.drain_parallel(0, warm_sinks);
+  pool.reset_stats();
+
+  // Measured drain, one latency log per shard (thread-private).
+  std::vector<std::vector<double>> latencies(static_cast<std::size_t>(shards));
+  std::vector<serve::ResponseSink> sinks;
+  for (num::Index s = 0; s < shards; ++s) {
+    auto& log = latencies[static_cast<std::size_t>(s)];
+    log.reserve(static_cast<std::size_t>(requests));
+    sinks.emplace_back([&log](const serve::Response& r) {
+      log.push_back(r.service_us);
+    });
+  }
+  enqueue_all();
+  const auto t0 = std::chrono::steady_clock::now();
+  const num::Index served = pool.drain_parallel(0, sinks);
+  const auto t1 = std::chrono::steady_clock::now();
+  ZSS_ENSURES(served == requests);
+
+  Result r;
+  r.shards = shards;
+  r.max_batch = max_batch;
+  r.sparsity_target = sparsity_target;
+  r.threshold = threshold;
+  r.requests = requests;
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  r.wall_rps = static_cast<double>(requests) / (r.wall_ms / 1e3);
+
+  double max_busy_us = 0.0;
+  num::Index batches = 0;
+  num::Index kept = 0, positions = 0;
+  for (num::Index s = 0; s < shards; ++s) {
+    max_busy_us = std::max(max_busy_us, pool.shard(s).stats().cpu_us);
+    batches += pool.shard(s).stats().batches;
+    kept += pool.shard(s).engine().stats().kept_positions;
+    positions += pool.shard(s).engine().stats().positions;
+  }
+  r.capacity_rps = max_busy_us == 0.0
+                       ? 0.0
+                       : static_cast<double>(requests) / (max_busy_us / 1e6);
+  r.mean_batch = batches == 0 ? 0.0
+                              : static_cast<double>(requests) /
+                                    static_cast<double>(batches);
+  r.observed_sparsity =
+      positions == 0 ? 0.0
+                     : 1.0 - static_cast<double>(kept) /
+                                 static_cast<double>(positions);
+
+  std::vector<double> all;
+  for (auto& log : latencies) all.insert(all.end(), log.begin(), log.end());
+  r.p50_us = percentile(all, 0.50);
+  r.p99_us = percentile(all, 0.99);
+  return r;
+}
+
+void write_json(const std::string& path, num::Index dh, num::Index dx,
+                num::Index sessions, const std::vector<Result>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"serving\",\n");
+  std::fprintf(f, "  \"kernel_backend\": \"%s\",\n",
+               num::simd::active_backend().name);
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"dh\": %lld, \"dx\": %lld, \"sessions\": %lld,\n",
+               static_cast<long long>(dh), static_cast<long long>(dx),
+               static_cast<long long>(sessions));
+
+  // Headline: capacity scaling of 4 shards over 1 at batch 1, per
+  // sparsity level (the acceptance bar of the serving subsystem).
+  std::fprintf(f, "  \"shard_scaling_batch1\": [\n");
+  bool first = true;
+  for (const Result& a : results) {
+    if (a.shards != 1 || a.max_batch != 1) continue;
+    for (const Result& b : results) {
+      if (b.shards != 4 || b.max_batch != 1 ||
+          b.sparsity_target != a.sparsity_target) {
+        continue;
+      }
+      std::fprintf(f,
+                   "%s    {\"sparsity\": %.2f, \"metric\": \"critical_path\", "
+                   "\"capacity_scaling_4s_over_1s\": %.3f, "
+                   "\"wall_scaling_4s_over_1s\": %.3f}",
+                   first ? "" : ",\n", a.sparsity_target,
+                   b.capacity_rps / a.capacity_rps, b.wall_rps / a.wall_rps);
+      first = false;
+    }
+  }
+  std::fprintf(f, "\n  ],\n");
+
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"shards\": %lld, \"max_batch\": %lld, \"sparsity\": %.2f, "
+        "\"threshold\": %.4f, \"requests\": %lld, \"mean_batch\": %.2f, "
+        "\"observed_sparsity\": %.4f, \"wall_ms\": %.2f, "
+        "\"wall_rps\": %.1f, \"capacity_rps\": %.1f, "
+        "\"p50_us\": %.2f, \"p99_us\": %.2f}%s\n",
+        static_cast<long long>(r.shards), static_cast<long long>(r.max_batch),
+        r.sparsity_target, static_cast<double>(r.threshold),
+        static_cast<long long>(r.requests), r.mean_batch, r.observed_sparsity,
+        r.wall_ms, r.wall_rps, r.capacity_rps, r.p50_us, r.p99_us,
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const auto dh = static_cast<num::Index>(flags.get_int("dh", 512));
+  const auto dx = static_cast<num::Index>(flags.get_int("dx", 64));
+  const auto sessions = static_cast<num::Index>(flags.get_int("sessions", 128));
+  const auto requests = static_cast<num::Index>(
+      flags.get_int("requests", flags.has("quick") ? 1024 : 4096));
+
+  num::Rng rng(1234);
+  nn::LstmCell cell(dx, dh, rng);
+
+  bench::print_header("serving: shard count x max-batch x sparsity");
+  std::printf(
+      "dh=%lld dx=%lld sessions=%lld requests=%lld kernel_backend=%s "
+      "hw_concurrency=%u\n",
+      static_cast<long long>(dh), static_cast<long long>(dx),
+      static_cast<long long>(sessions), static_cast<long long>(requests),
+      num::simd::active_backend().name, std::thread::hardware_concurrency());
+  std::printf("%-9s %-7s %-9s %10s %10s %12s %12s %10s %10s\n", "sparsity",
+              "shards", "max_batch", "mean_b", "obs_spars", "wall_rps",
+              "capacity_rps", "p50_us", "p99_us");
+
+  std::vector<Result> results;
+  for (const double sparsity : {0.5, 0.9}) {
+    num::Rng calib_rng(99);
+    const float threshold = calibrate_threshold(cell, sparsity, calib_rng);
+    for (const num::Index shards :
+         {num::Index{1}, num::Index{2}, num::Index{4}}) {
+      for (const num::Index max_batch :
+           {num::Index{1}, num::Index{4}, num::Index{8}}) {
+        const Result r = run_config(
+            cell, threshold, sparsity, shards, max_batch, sessions, requests,
+            static_cast<std::uint64_t>(sparsity * 100.0) * 1000 +
+                static_cast<std::uint64_t>(shards * 10 + max_batch));
+        results.push_back(r);
+        std::printf("%-9.2f %-7lld %-9lld %10.2f %10.3f %12.1f %12.1f %10.2f "
+                    "%10.2f\n",
+                    r.sparsity_target, static_cast<long long>(r.shards),
+                    static_cast<long long>(r.max_batch), r.mean_batch,
+                    r.observed_sparsity, r.wall_rps, r.capacity_rps, r.p50_us,
+                    r.p99_us);
+      }
+    }
+  }
+
+  write_json("BENCH_serving.json", dh, dx, sessions, results);
+
+  // Echo the headline scaling so CI logs show it without parsing JSON.
+  for (const Result& a : results) {
+    if (a.shards != 1 || a.max_batch != 1) continue;
+    for (const Result& b : results) {
+      if (b.shards == 4 && b.max_batch == 1 &&
+          b.sparsity_target == a.sparsity_target) {
+        std::printf(
+            "sparsity %.2f: 4-shard capacity scaling %.2fx over 1 shard "
+            "(wall %.2fx at hw_concurrency=%u)\n",
+            a.sparsity_target, b.capacity_rps / a.capacity_rps,
+            b.wall_rps / a.wall_rps, std::thread::hardware_concurrency());
+      }
+    }
+  }
+  return 0;
+}

@@ -15,6 +15,15 @@ SparseLstmEngine::SparseLstmEngine(const nn::LstmCell& cell,
   positions_.reserve(static_cast<std::size_t>(cell.hidden_dim()));
 }
 
+void SparseLstmEngine::reserve(num::Index max_batch) {
+  ZSS_EXPECTS(max_batch >= 1);
+  const num::Index dh = cell_->hidden_dim();
+  ws_.mat(kPre, max_batch, 4 * dh);
+  ws_.mat(kPreH, max_batch, 4 * dh);
+  enc_.reserve(dh, max_batch);
+  prune_scratch_.reserve(static_cast<std::size_t>(max_batch * dh));
+}
+
 void SparseLstmEngine::compute_input_path(const num::Matrix& x,
                                           num::Matrix& pre) {
   // pre = x Wx^T + b over the packed layout (the input path is never
@@ -45,8 +54,10 @@ void SparseLstmEngine::finish_step(num::Matrix& pre,
     }
   }
   // Store the pruned representation — this is what the encoder writes to
-  // DRAM and what the next step will skip over.
-  pruner_->prune_inplace(h, prune_scratch_);
+  // DRAM and what the next step will skip over. The zero fraction the
+  // pruner reports is the per-lane sparsity of the stored state, the
+  // feedback signal batching policies predict intersection from.
+  last_.lane_sparsity = pruner_->prune_inplace(h, prune_scratch_);
 }
 
 void SparseLstmEngine::step(const num::Matrix& x, num::Matrix& h,
@@ -87,6 +98,9 @@ void SparseLstmEngine::step(const num::Matrix& x, num::Matrix& h,
   stats_.kept_positions += enc_.kept_positions();
   stats_.positions += dh;
   ++stats_.steps;
+  last_.batch = B;
+  last_.kept_positions = enc_.kept_positions();
+  last_.positions = dh;
 
   finish_step(pre, c, h, c);
 }
@@ -113,6 +127,9 @@ void SparseLstmEngine::step_dense(const num::Matrix& x, num::Matrix& h,
   stats_.kept_positions += dh;
   stats_.positions += dh;
   ++stats_.steps;
+  last_.batch = B;
+  last_.kept_positions = dh;
+  last_.positions = dh;
 
   finish_step(pre, c, h, c);
 }

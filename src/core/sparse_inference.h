@@ -18,7 +18,13 @@
 //    identities (madd(0, w, acc) == acc).
 //  * step() performs zero heap allocations once warm: every temporary
 //    lives in the engine's Workspace or in buffers reserved up front
-//    (workspace().allocation_count() is the instrument tests use).
+//    (workspace().allocation_count() is the instrument tests use);
+//    reserve(max_batch) reaches that steady state before the first step.
+//  * The engine never owns recurrent state: h and c are caller-owned and
+//    bound per call by reference, so a serving layer swaps a session's
+//    state in and out of a step without copying a single element (the
+//    batch-of-one path of serve::EngineShard passes the session's own
+//    matrices straight through).
 #pragma once
 
 #include <vector>
@@ -32,6 +38,33 @@
 
 namespace zss::core {
 
+/// Snapshot of what the *most recent* step()/step_dense() call did.
+/// Unlike InferenceStats this never accumulates, so a serving layer can
+/// use it as a per-batch feedback signal (e.g. the batch-intersection
+/// cap of serve::RequestBatcher) without bookkeeping stats deltas.
+struct StepStats {
+  num::Index batch = 0;           // rows of the step's state matrices
+  num::Index kept_positions = 0;  // batch-intersected kept count (dense: dh)
+  num::Index positions = 0;       // dh
+  /// Per-element zero fraction of the state *stored* by this step (the
+  /// pruner's report, before any batch intersection). This is the
+  /// per-lane sparsity a batcher needs to predict the intersected kept
+  /// fraction at a larger batch: kept(B) ~= 1 - s^B for lane sparsity s.
+  double lane_sparsity = 0.0;
+
+  /// Intersected sparsity the skip logic saw this step.
+  double observed_sparsity() const {
+    return positions == 0 ? 0.0
+                          : 1.0 - static_cast<double>(kept_positions) /
+                                      static_cast<double>(positions);
+  }
+};
+
+/// Cumulative counters over every step since construction or the last
+/// reset_stats(). Callers that reuse one engine across measurement
+/// epochs (benches, the serving layer between batcher epochs) must call
+/// SparseLstmEngine::reset_stats() at each epoch boundary — the
+/// counters deliberately never reset themselves.
 struct InferenceStats {
   num::Index steps = 0;
   num::Index state_macs_total = 0;      // dense cost of Wh h per step
@@ -81,8 +114,25 @@ class SparseLstmEngine {
   /// "dense model" cost baseline.
   void step_dense(const num::Matrix& x, num::Matrix& h, num::Matrix& c);
 
+  /// Pre-grows every internal buffer (workspace slots, encoder stores,
+  /// pruning scratch) for batches up to `max_batch`, so even the first
+  /// step() is heap-allocation-free. A serving shard calls this once at
+  /// construction; afterwards any batch size in [1, max_batch] reuses
+  /// the same buffers (Matrix::resize within capacity never allocates).
+  void reserve(num::Index max_batch);
+
+  /// Cumulative counters (see InferenceStats). Accumulate until
+  /// reset_stats(); callers own the epoch boundaries.
   const InferenceStats& stats() const { return stats_; }
+
+  /// Zeroes the cumulative stats(). Call at measurement-epoch
+  /// boundaries (a bench config, a batcher epoch); last_step_stats() is
+  /// unaffected — it always describes the most recent step.
   void reset_stats() { stats_.reset(); }
+
+  /// What the most recent step()/step_dense() call did (never
+  /// accumulates). Zero-initialized before the first step.
+  const StepStats& last_step_stats() const { return last_; }
 
   const nn::PackedLstmWeights& packed_weights() const { return packed_; }
 
@@ -101,6 +151,7 @@ class SparseLstmEngine {
   const StatePruner* pruner_;
   sparse::EncoderConfig encoder_;
   InferenceStats stats_;
+  StepStats last_;
   nn::PackedLstmWeights packed_;
   num::Workspace ws_;
   sparse::EncodedState<float> enc_;       // reused encoder output

@@ -12,6 +12,19 @@
 
 namespace zss::num {
 
+/// SplitMix64's golden-ratio increment.
+inline constexpr std::uint64_t kSplitMix64Golden = 0x9e3779b97f4a7c15ULL;
+
+/// SplitMix64 finalizer: bijective avalanche mix of one 64-bit word.
+/// Shared by the seeding stream below and by hash-style users (e.g.
+/// session->shard pinning in serve/pool.cc) so the constants live in
+/// one place.
+constexpr std::uint64_t splitmix64_mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// xoshiro256** engine with convenience distributions.
 ///
 /// Not thread-safe; create one per thread of work. Satisfies the

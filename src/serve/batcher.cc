@@ -1,0 +1,108 @@
+#include "serve/batcher.h"
+
+#include <cmath>
+
+namespace zss::serve {
+
+RequestBatcher::RequestBatcher(const BatchPolicy& policy) : policy_(policy) {
+  ZSS_EXPECTS(policy.max_batch >= 1);
+  ZSS_EXPECTS(policy.max_wait_us >= 0);
+  ZSS_EXPECTS(policy.max_kept_fraction > 0.0 &&
+              policy.max_kept_fraction <= 1.0);
+  ZSS_EXPECTS(policy.sparsity_ewma > 0.0 && policy.sparsity_ewma <= 1.0);
+  ring_.resize(64);
+}
+
+const Request& RequestBatcher::at(std::size_t i) const {
+  return ring_[(head_ + i) % ring_.size()];
+}
+
+void RequestBatcher::reserve(num::Index n) {
+  if (n <= static_cast<num::Index>(ring_.size())) return;
+  std::vector<Request> grown(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < count_; ++i) grown[i] = at(i);
+  ring_ = std::move(grown);
+  head_ = 0;
+}
+
+void RequestBatcher::enqueue(const Request& r) {
+  if (count_ == ring_.size()) {
+    reserve(static_cast<num::Index>(ring_.size() * 2));
+  }
+  ring_[(head_ + count_) % ring_.size()] = r;
+  ++count_;
+}
+
+std::int64_t RequestBatcher::oldest_arrival_us() const {
+  ZSS_EXPECTS(count_ > 0);
+  return at(0).arrival_us;
+}
+
+double RequestBatcher::predicted_kept_fraction(num::Index b) const {
+  ZSS_EXPECTS(b >= 1);
+  // Lanes modeled as independent draws with zero probability s: a
+  // position is dropped only when all b lanes zero it (Fig. 5(d)).
+  return 1.0 - std::pow(lane_sparsity_, static_cast<double>(b));
+}
+
+num::Index RequestBatcher::effective_cap() const {
+  if (policy_.max_kept_fraction >= 1.0 || !have_observation_) {
+    return policy_.max_batch;
+  }
+  num::Index cap = 1;  // a batch of one always serves
+  while (cap < policy_.max_batch &&
+         predicted_kept_fraction(cap + 1) <= policy_.max_kept_fraction) {
+    ++cap;
+  }
+  return cap;
+}
+
+num::Index RequestBatcher::conflict_free_prefix(num::Index cap) const {
+  // The prefix must stay FIFO: stopping at the first duplicate session
+  // (instead of skipping past it) is what preserves per-session order.
+  const auto limit = std::min<std::size_t>(count_, static_cast<std::size_t>(cap));
+  std::size_t n = 0;
+  for (; n < limit; ++n) {
+    bool duplicate = false;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (at(j).session == at(n).session) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) break;
+  }
+  return static_cast<num::Index>(n);
+}
+
+bool RequestBatcher::ready(std::int64_t now_us) const {
+  if (count_ == 0) return false;
+  const num::Index cap = effective_cap();
+  const num::Index prefix = conflict_free_prefix(cap);
+  if (prefix >= cap) return true;
+  // A same-session conflict blocks growth; waiting cannot help.
+  if (prefix < static_cast<num::Index>(count_)) return true;
+  return now_us - oldest_arrival_us() >= policy_.max_wait_us;
+}
+
+num::Index RequestBatcher::pop_batch(std::vector<Request>& out) {
+  out.clear();
+  const num::Index n = conflict_free_prefix(effective_cap());
+  for (num::Index i = 0; i < n; ++i) out.push_back(at(static_cast<std::size_t>(i)));
+  head_ = (head_ + static_cast<std::size_t>(n)) % ring_.size();
+  count_ -= static_cast<std::size_t>(n);
+  return n;
+}
+
+void RequestBatcher::observe_lane_sparsity(double s) {
+  ZSS_EXPECTS(s >= 0.0 && s <= 1.0);
+  if (!have_observation_) {
+    lane_sparsity_ = s;
+    have_observation_ = true;
+    return;
+  }
+  lane_sparsity_ = policy_.sparsity_ewma * s +
+                   (1.0 - policy_.sparsity_ewma) * lane_sparsity_;
+}
+
+}  // namespace zss::serve

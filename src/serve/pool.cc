@@ -1,0 +1,85 @@
+#include "serve/pool.h"
+
+#include <thread>
+#include <vector>
+
+#include "num/rng.h"
+
+namespace zss::serve {
+
+namespace {
+
+// SplitMix64 — the session ids in a trace are often small consecutive
+// integers, so a plain modulo would pile them onto the first shards;
+// the mix spreads any id distribution.
+std::uint64_t mix64(std::uint64_t x) {
+  return num::splitmix64_mix(x + num::kSplitMix64Golden);
+}
+
+}  // namespace
+
+EnginePool::EnginePool(const nn::LstmCell& cell,
+                       const core::StatePruner& pruner,
+                       const PoolConfig& config) {
+  ZSS_EXPECTS(config.shards >= 1);
+  for (num::Index i = 0; i < config.shards; ++i) {
+    shards_.emplace_back(cell, pruner, config.policy, config.encoder);
+  }
+}
+
+num::Index EnginePool::shard_of(SessionId id) const {
+  return static_cast<num::Index>(mix64(id) %
+                                 static_cast<std::uint64_t>(shards_.size()));
+}
+
+void EnginePool::enqueue(const Request& r) {
+  shards_[static_cast<std::size_t>(shard_of(r.session))].enqueue(r);
+}
+
+num::Index EnginePool::process_ready(std::int64_t now_us,
+                                     const ResponseSink& sink) {
+  num::Index served = 0;
+  for (EngineShard& s : shards_) served += s.process_ready(now_us, sink);
+  return served;
+}
+
+num::Index EnginePool::flush(std::int64_t now_us, const ResponseSink& sink) {
+  num::Index served = 0;
+  for (EngineShard& s : shards_) served += s.flush(now_us, sink);
+  return served;
+}
+
+num::Index EnginePool::drain_parallel(std::int64_t now_us,
+                                      std::span<const ResponseSink> shard_sinks) {
+  ZSS_EXPECTS(shard_sinks.size() == shards_.size());
+  const std::size_t n = shards_.size();
+  std::vector<num::Index> served(n, 0);
+  std::vector<std::thread> workers;
+  workers.reserve(n - 1);
+  // Same shape as num::parallel_for: spawn n-1 workers, run the last
+  // shard on the calling thread. Shards are shared-nothing, so this is
+  // bit-identical to the sequential flush at any thread count.
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    workers.emplace_back([this, i, now_us, &shard_sinks, &served] {
+      served[i] = shards_[i].flush(now_us, shard_sinks[i]);
+    });
+  }
+  served[n - 1] = shards_[n - 1].flush(now_us, shard_sinks[n - 1]);
+  for (auto& w : workers) w.join();
+
+  num::Index total = 0;
+  for (num::Index s : served) total += s;
+  return total;
+}
+
+num::Index EnginePool::pending() const {
+  num::Index n = 0;
+  for (const EngineShard& s : shards_) n += s.pending();
+  return n;
+}
+
+void EnginePool::reset_stats() {
+  for (EngineShard& s : shards_) s.reset_stats();
+}
+
+}  // namespace zss::serve

@@ -1,0 +1,71 @@
+// Sharded engine pool — hash-pinned sessions over N independent shards.
+//
+// Sessions are pinned to shards by a SplitMix64 hash of their id, so a
+// session's whole request stream is served by one engine in arrival
+// order (the invariant per-session determinism rests on). Shards share
+// nothing mutable — the cell and pruner are read-only — which gives
+// the pool the same property num::parallel_for gives the kernels:
+// results are bit-identical whether the shards run sequentially
+// (process_ready / flush, the virtual-time replay path) or one thread
+// per shard (drain_parallel, the throughput path), and bit-identical
+// across shard counts (only the *grouping* of requests into batches
+// changes, and grouping cannot change values — docs/serving.md).
+#pragma once
+
+#include <deque>
+#include <span>
+
+#include "serve/shard.h"
+
+namespace zss::serve {
+
+struct PoolConfig {
+  num::Index shards = 1;
+  BatchPolicy policy;
+  sparse::EncoderConfig encoder;
+};
+
+class EnginePool {
+ public:
+  /// Borrows cell and pruner; every shard packs its own copy of the
+  /// weights (cache locality per worker) but shares the originals.
+  EnginePool(const nn::LstmCell& cell, const core::StatePruner& pruner,
+             const PoolConfig& config);
+
+  num::Index num_shards() const { return static_cast<num::Index>(shards_.size()); }
+  num::Index shard_of(SessionId id) const;
+
+  EngineShard& shard(num::Index i) { return shards_[static_cast<std::size_t>(i)]; }
+  const EngineShard& shard(num::Index i) const {
+    return shards_[static_cast<std::size_t>(i)];
+  }
+
+  /// Routes a request to its session's shard.
+  void enqueue(const Request& r);
+
+  /// Sequentially serves at most one due batch per shard. Returns total
+  /// requests served; call in a loop until 0 to settle a timestep.
+  num::Index process_ready(std::int64_t now_us, const ResponseSink& sink);
+
+  /// Sequentially drains every queue (ignores max-wait).
+  num::Index flush(std::int64_t now_us, const ResponseSink& sink);
+
+  /// Drains every shard on its own thread (shared-nothing, so outputs
+  /// are bit-identical to flush()). `shard_sinks` must provide one sink
+  /// per shard; each is called only from that shard's thread.
+  num::Index drain_parallel(std::int64_t now_us,
+                            std::span<const ResponseSink> shard_sinks);
+
+  num::Index pending() const;
+
+  /// Starts a new measurement epoch on every shard (shard counters and
+  /// engine cumulative stats).
+  void reset_stats();
+
+ private:
+  // Deque so constructing shard k never relocates shard k-1 (a shard's
+  // engine hands out workspace references it must keep valid).
+  std::deque<EngineShard> shards_;
+};
+
+}  // namespace zss::serve

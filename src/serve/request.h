@@ -1,0 +1,42 @@
+// Request/response vocabulary of the serving layer.
+//
+// A request is one token for one session; a response is the session's
+// new hidden row. Both are heap-free value types: the request carries a
+// token id (turned into a one-hot input row by the shard), the response
+// exposes the hidden state as a span into the session's own matrix, so
+// a sink that only digests or measures never copies dh floats.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "num/types.h"
+#include "serve/session.h"
+
+namespace zss::serve {
+
+struct Request {
+  SessionId session = 0;
+  num::Index token = 0;          // one-hot input index (shard takes mod dx)
+  std::int64_t arrival_us = 0;   // virtual arrival time (trace clock)
+  std::uint64_t seq = 0;         // global arrival order stamp
+};
+
+struct Response {
+  SessionId session = 0;
+  std::uint64_t seq = 0;
+  std::int64_t done_us = 0;      // virtual time the serving batch closed
+  double service_us = 0.0;       // wall-clock of the step that served it
+  num::Index batch = 0;          // size of that batch
+  /// The session's new hidden row — a view into the session's state,
+  /// valid until the session's next step. Copy it to keep it.
+  std::span<const float> h;
+};
+
+/// Called once per served request, in FIFO order within a session.
+/// Invoking a std::function does not allocate; constructing one might,
+/// so build sinks before entering the hot loop.
+using ResponseSink = std::function<void(const Response&)>;
+
+}  // namespace zss::serve

@@ -1,0 +1,29 @@
+#include "serve/session.h"
+
+namespace zss::serve {
+
+SessionStore::SessionStore(num::Index hidden_dim) : dh_(hidden_dim) {
+  ZSS_EXPECTS(hidden_dim >= 1);
+}
+
+Session& SessionStore::get_or_create(SessionId id) {
+  auto it = sessions_.find(id);
+  if (it != sessions_.end()) return it->second;
+  Session& s = sessions_[id];
+  s.id = id;
+  s.h.resize(1, dh_, 0.0f);
+  s.c.resize(1, dh_, 0.0f);
+  return s;
+}
+
+Session* SessionStore::find(SessionId id) {
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+const Session* SessionStore::find(SessionId id) const {
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+}  // namespace zss::serve

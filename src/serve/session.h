@@ -1,0 +1,54 @@
+// Serving sessions — per-client recurrent state owned outside the engine.
+//
+// A Session is one client's conversation with the model: its h/c state
+// (1 x dh each), a step counter, and the id requests address it by. The
+// SparseLstmEngine never owns state (its h/c parameters are bound per
+// call by reference — core/sparse_inference.h), so the serving layer
+// keeps exactly one Session per client and swaps its matrices into a
+// step with no element copies on the batch-of-one path; batched steps
+// gather/scatter the rows explicitly (serve/shard.cc), which is one of
+// the two costs the batching policy trades against (docs/serving.md).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "num/matrix.h"
+#include "num/types.h"
+
+namespace zss::serve {
+
+/// Client identifier. Plain 64-bit so requests, trace lines and hash
+/// sharding never touch the heap.
+using SessionId = std::uint64_t;
+
+struct Session {
+  SessionId id = 0;
+  num::Matrix h;  // (1 x dh), stored pruned — exactly what DRAM holds
+  num::Matrix c;  // (1 x dh)
+  std::uint64_t steps = 0;
+};
+
+/// Owns every session of one shard. Sessions are created on first use
+/// with all-zero state (the recurrence's defined start); lookups on the
+/// hot path never allocate.
+class SessionStore {
+ public:
+  explicit SessionStore(num::Index hidden_dim);
+
+  /// Returns the session, creating it with zero state if unseen.
+  /// Creation allocates; steady-state serving only looks up.
+  Session& get_or_create(SessionId id);
+
+  Session* find(SessionId id);
+  const Session* find(SessionId id) const;
+
+  num::Index size() const { return static_cast<num::Index>(sessions_.size()); }
+  num::Index hidden_dim() const { return dh_; }
+
+ private:
+  num::Index dh_;
+  std::unordered_map<SessionId, Session> sessions_;
+};
+
+}  // namespace zss::serve

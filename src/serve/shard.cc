@@ -1,0 +1,131 @@
+#include "serve/shard.h"
+
+#include <algorithm>
+#include <ctime>
+
+namespace zss::serve {
+
+namespace {
+
+// Thread CPU time where the platform has it (Linux, macOS); wall time
+// otherwise. Used only for ShardStats::cpu_us accounting.
+double thread_cpu_us() {
+#ifdef CLOCK_THREAD_CPUTIME_ID
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) * 1e6 +
+           static_cast<double>(ts.tv_nsec) * 1e-3;
+  }
+#endif
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+EngineShard::EngineShard(const nn::LstmCell& cell,
+                         const core::StatePruner& pruner,
+                         const BatchPolicy& policy,
+                         sparse::EncoderConfig encoder)
+    : cell_(&cell),
+      engine_(cell, pruner, encoder),
+      sessions_(cell.hidden_dim()),
+      batcher_(policy) {
+  // A whole-batch quantile threshold would make a session's outputs
+  // depend on its batch-mates — the one thing the serving determinism
+  // guarantee cannot absorb (see the header note).
+  ZSS_EXPECTS(pruner.config().mode != core::PruneMode::kTargetSparsity);
+  engine_.reserve(policy.max_batch);
+  batch_.reserve(static_cast<std::size_t>(policy.max_batch));
+  lanes_.reserve(static_cast<std::size_t>(policy.max_batch));
+  x_.resize(policy.max_batch, cell.input_dim());
+  h_.resize(policy.max_batch, cell.hidden_dim());
+  c_.resize(policy.max_batch, cell.hidden_dim());
+}
+
+num::Index EngineShard::process_ready(std::int64_t now_us,
+                                      const ResponseSink& sink) {
+  if (!batcher_.ready(now_us)) return 0;
+  return step_batch(now_us, sink);
+}
+
+num::Index EngineShard::flush(std::int64_t now_us, const ResponseSink& sink) {
+  num::Index served = 0;
+  while (num::Index n = step_batch(now_us, sink)) served += n;
+  return served;
+}
+
+num::Index EngineShard::step_batch(std::int64_t now_us,
+                                   const ResponseSink& sink) {
+  const num::Index B = batcher_.pop_batch(batch_);
+  if (B == 0) return 0;
+  const num::Index dh = cell_->hidden_dim();
+  const num::Index dx = cell_->input_dim();
+  const auto t0 = std::chrono::steady_clock::now();
+  const double cpu0 = thread_cpu_us();
+
+  lanes_.clear();
+  for (num::Index r = 0; r < B; ++r) {
+    lanes_.push_back(&sessions_.get_or_create(batch_[static_cast<std::size_t>(r)].session));
+  }
+
+  x_.resize(B, dx, 0.0f);
+  for (num::Index r = 0; r < B; ++r) {
+    const num::Index token = batch_[static_cast<std::size_t>(r)].token;
+    ZSS_EXPECTS(token >= 0);
+    x_(r, token % dx) = 1.0f;
+  }
+
+  if (B == 1) {
+    // Batch-of-one fast path: the session's own matrices go straight
+    // into the engine — no state is gathered, scattered, or copied.
+    engine_.step(x_, lanes_[0]->h, lanes_[0]->c);
+  } else {
+    h_.reshape(B, dh);
+    c_.reshape(B, dh);
+    for (num::Index r = 0; r < B; ++r) {
+      auto sh = lanes_[static_cast<std::size_t>(r)]->h.row(0);
+      auto sc = lanes_[static_cast<std::size_t>(r)]->c.row(0);
+      std::copy(sh.begin(), sh.end(), h_.row(r).begin());
+      std::copy(sc.begin(), sc.end(), c_.row(r).begin());
+    }
+    engine_.step(x_, h_, c_);
+    for (num::Index r = 0; r < B; ++r) {
+      auto sh = lanes_[static_cast<std::size_t>(r)]->h.row(0);
+      auto sc = lanes_[static_cast<std::size_t>(r)]->c.row(0);
+      std::copy(h_.row(r).begin(), h_.row(r).end(), sh.begin());
+      std::copy(c_.row(r).begin(), c_.row(r).end(), sc.begin());
+    }
+  }
+  batcher_.observe_lane_sparsity(engine_.last_step_stats().lane_sparsity);
+
+  const auto t1 = std::chrono::steady_clock::now();
+  const double service_us =
+      std::chrono::duration<double, std::micro>(t1 - t0).count();
+  stats_.requests += B;
+  ++stats_.batches;
+  stats_.busy_us += service_us;
+  stats_.cpu_us += thread_cpu_us() - cpu0;
+
+  for (num::Index r = 0; r < B; ++r) {
+    Session& s = *lanes_[static_cast<std::size_t>(r)];
+    ++s.steps;
+    Response resp;
+    resp.session = s.id;
+    resp.seq = batch_[static_cast<std::size_t>(r)].seq;
+    resp.done_us = now_us;
+    resp.service_us = service_us;
+    resp.batch = B;
+    resp.h = s.h.row(0);
+    sink(resp);
+  }
+  return B;
+}
+
+void EngineShard::reset_stats() {
+  stats_ = ShardStats{};
+  engine_.reset_stats();
+}
+
+}  // namespace zss::serve

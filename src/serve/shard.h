@@ -1,0 +1,105 @@
+// One serving shard: a SparseLstmEngine, its sessions, and a batcher.
+//
+// A shard is the unit of parallelism in the pool: it owns everything it
+// touches (engine + workspace, session store, request queue, staging
+// buffers), so shards never share mutable state and the pool can run
+// them on one thread each with deterministic results — the same
+// shared-nothing partitioning discipline as num::parallel_for, applied
+// at the request level instead of the row level. The LstmCell and
+// StatePruner are borrowed read-only and may back every shard.
+//
+// Determinism guarantee (test-enforced, tests/serve/shard_determinism
+// _test.cc): a session's output stream depends only on its own request
+// stream, never on which batch-mates or shard served it. This follows
+// from the bit-exactness contract (docs/exactness.md) — batch
+// intersection only adds exact-zero terms to a lane's accumulation
+// chain — plus one restriction this constructor enforces: the pruner
+// must be batch-composition-independent (kTargetSparsity derives its
+// threshold from a whole-batch quantile, so it is rejected; export a
+// trained model's threshold via StatePruner::effective_threshold and
+// serve with PrunerConfig::fixed instead).
+//
+// Zero-allocation contract: once every session in play exists and the
+// warm-up batches ran, process_ready()/flush() perform no heap
+// allocations (engine reserve() at construction, staging matrices
+// resized within capacity, ring-buffered queue).
+#pragma once
+
+#include <chrono>
+#include <vector>
+
+#include "core/sparse_inference.h"
+#include "serve/batcher.h"
+#include "serve/request.h"
+#include "serve/session.h"
+
+namespace zss::serve {
+
+/// Counters for one measurement epoch of a shard (reset_stats() starts
+/// a new epoch; the engine's cumulative stats reset with it).
+struct ShardStats {
+  num::Index requests = 0;
+  num::Index batches = 0;
+  double busy_us = 0.0;  // wall-clock spent inside step_batch
+  /// CPU time this shard's thread spent inside step_batch. Unlike
+  /// busy_us this does not count time spent descheduled, so it is the
+  /// right numerator for capacity/scaling claims on machines with
+  /// fewer cores than shards (bench_serving records both).
+  double cpu_us = 0.0;
+
+  double mean_batch() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(requests) /
+                              static_cast<double>(batches);
+  }
+};
+
+class EngineShard {
+ public:
+  /// Borrows cell and pruner (caller keeps them alive; both are shared
+  /// read-only across shards). Rejects batch-composition-dependent
+  /// pruning — see the determinism note above.
+  EngineShard(const nn::LstmCell& cell, const core::StatePruner& pruner,
+              const BatchPolicy& policy,
+              sparse::EncoderConfig encoder = {});
+
+  void enqueue(const Request& r) { batcher_.enqueue(r); }
+
+  /// Serves at most one batch, and only if the policy says one is due
+  /// at `now_us`. Returns the number of requests served (0 = not due).
+  num::Index process_ready(std::int64_t now_us, const ResponseSink& sink);
+
+  /// Serves everything queued, ignoring max-wait (trace end, shutdown,
+  /// closed-loop benches). Batches still respect max_batch, the
+  /// intersection cap and session conflicts. Returns requests served.
+  num::Index flush(std::int64_t now_us, const ResponseSink& sink);
+
+  num::Index pending() const { return batcher_.pending(); }
+  const RequestBatcher& batcher() const { return batcher_; }
+  const core::SparseLstmEngine& engine() const { return engine_; }
+  SessionStore& sessions() { return sessions_; }
+  const SessionStore& sessions() const { return sessions_; }
+
+  const ShardStats& stats() const { return stats_; }
+
+  /// Starts a new measurement epoch: clears the shard counters AND the
+  /// engine's cumulative InferenceStats (the documented reset between
+  /// batcher epochs — benches call this per configuration).
+  void reset_stats();
+
+ private:
+  num::Index step_batch(std::int64_t now_us, const ResponseSink& sink);
+
+  const nn::LstmCell* cell_;
+  core::SparseLstmEngine engine_;
+  SessionStore sessions_;
+  RequestBatcher batcher_;
+  ShardStats stats_;
+  std::vector<Request> batch_;    // reused pop_batch target
+  std::vector<Session*> lanes_;   // sessions of the batch being served
+  num::Matrix x_;               // (B x dx) one-hot staging
+  num::Matrix h_;               // (B x dh) gathered state
+  num::Matrix c_;               // (B x dh)
+};
+
+}  // namespace zss::serve

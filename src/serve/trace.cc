@@ -1,0 +1,140 @@
+#include "serve/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace zss::serve {
+
+bool parse_trace(std::istream& in, std::vector<TraceEvent>& out,
+                 std::string* error) {
+  out.clear();
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    TraceEvent e;
+    std::string excess;
+    // Exactly three fields per line: trailing tokens mean a corrupted
+    // trace (e.g. a lost newline merging two events), and silently
+    // dropping the tail would surface later as a digest mismatch
+    // misattributed to the determinism guarantee.
+    if (!(fields >> e.arrival_us >> e.session >> e.token) ||
+        e.arrival_us < 0 || e.token < 0 || (fields >> excess)) {
+      if (error) *error = "malformed trace line " + std::to_string(lineno) +
+                          ": " + line;
+      return false;
+    }
+    if (!out.empty() && e.arrival_us < out.back().arrival_us) {
+      if (error) *error = "trace not sorted by arrival_us at line " +
+                          std::to_string(lineno);
+      return false;
+    }
+    out.push_back(e);
+  }
+  return true;
+}
+
+bool load_trace_file(const std::string& path, std::vector<TraceEvent>& out,
+                     std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open trace file: " + path;
+    return false;
+  }
+  return parse_trace(in, out, error);
+}
+
+void write_trace(std::ostream& out, const std::vector<TraceEvent>& events) {
+  out << "# zss serving trace: arrival_us session_id token\n";
+  for (const TraceEvent& e : events) {
+    out << e.arrival_us << ' ' << e.session << ' ' << e.token << '\n';
+  }
+}
+
+std::vector<TraceEvent> synthetic_trace(num::Index requests,
+                                        num::Index sessions,
+                                        num::Index vocab,
+                                        std::int64_t mean_gap_us,
+                                        num::Rng& rng) {
+  ZSS_EXPECTS(requests >= 0 && sessions >= 1 && vocab >= 1);
+  ZSS_EXPECTS(mean_gap_us >= 0);
+  std::vector<TraceEvent> events;
+  events.reserve(static_cast<std::size_t>(requests));
+  std::int64_t now = 0;
+  for (num::Index i = 0; i < requests; ++i) {
+    TraceEvent e;
+    e.arrival_us = now;
+    e.session = static_cast<SessionId>(rng.below(sessions)) + 1;
+    e.token = rng.below(vocab);
+    events.push_back(e);
+    now += static_cast<std::int64_t>(rng.below(2 * mean_gap_us + 1));
+  }
+  return events;
+}
+
+ReplayResult replay(EnginePool& pool, const std::vector<TraceEvent>& events,
+                    const ResponseSink& sink) {
+  ReplayResult result;
+  num::Index responses = 0;
+  std::uint64_t seq = 0;
+  std::int64_t now = 0;
+  const ResponseSink counting = [&](const Response& r) {
+    ++responses;
+    sink(r);
+  };
+  // Earliest instant at which some shard's oldest pending request
+  // exhausts its max-wait budget; max() when nothing is pending.
+  const auto next_deadline = [&pool] {
+    auto due = std::numeric_limits<std::int64_t>::max();
+    for (num::Index s = 0; s < pool.num_shards(); ++s) {
+      const EngineShard& shard = pool.shard(s);
+      if (shard.pending() == 0) continue;
+      due = std::min(due, shard.batcher().oldest_arrival_us() +
+                              shard.batcher().policy().max_wait_us);
+    }
+    return due;
+  };
+  // Settle one instant: serving a batch may make the next one due (a
+  // same-session conflict that just unblocked, say).
+  const auto settle = [&](std::int64_t t) {
+    while (pool.process_ready(t, counting) > 0) {
+    }
+  };
+  for (const TraceEvent& e : events) {
+    // A live poller fires max-wait deadlines as they expire. Replay the
+    // ones falling strictly before this arrival at their own instants,
+    // so an overdue batch is served on time instead of being held for
+    // (and batched with) a much later arrival.
+    for (auto due = next_deadline(); due < e.arrival_us;
+         due = next_deadline()) {
+      now = due;
+      settle(due);
+    }
+    now = e.arrival_us;
+    Request r;
+    r.session = e.session;
+    r.token = e.token;
+    r.arrival_us = e.arrival_us;
+    r.seq = seq++;
+    pool.enqueue(r);
+    settle(now);
+    ++result.requests;
+  }
+  // Trace over: serve each straggler batch at its own deadline.
+  while (pool.pending() > 0) {
+    now = next_deadline();
+    settle(now);
+  }
+  result.responses = responses;
+  result.end_us = now;
+  return result;
+}
+
+}  // namespace zss::serve

@@ -194,6 +194,55 @@ TEST_F(SparseInferenceTest, StepDenseIsAllocationFreeOnceWarm) {
   EXPECT_EQ(g_alloc_count, heap_warm);
 }
 
+TEST_F(SparseInferenceTest, ReserveMakesTheFirstStepAllocationFree) {
+  StatePruner pruner(PrunerConfig::target(0.75));
+  SparseLstmEngine engine(cell_, pruner);
+  engine.reserve(4);
+  Matrix h(4, 12, 0.0f);
+  Matrix c(4, 12, 0.0f);
+  const Matrix x = random_matrix(4, 4, rng_);
+  Matrix h2(2, 12, 0.0f), c2(2, 12, 0.0f);
+  const Matrix x2 = random_matrix(2, 4, rng_);
+
+  const std::size_t ws_warm = engine.workspace().allocation_count();
+  const std::size_t heap_warm = g_alloc_count;
+  engine.step(x, h, c);  // very first step — reserve() already warmed it
+  EXPECT_EQ(engine.workspace().allocation_count(), ws_warm);
+  EXPECT_EQ(g_alloc_count, heap_warm);
+
+  // Any batch size at or below the reservation reuses the same buffers.
+  engine.step(x2, h2, c2);
+  EXPECT_EQ(engine.workspace().allocation_count(), ws_warm);
+  EXPECT_EQ(g_alloc_count, heap_warm);
+}
+
+TEST_F(SparseInferenceTest, LastStepStatsSnapshotNeverAccumulates) {
+  StatePruner pruner(PrunerConfig::target(0.5));
+  SparseLstmEngine engine(cell_, pruner);
+  Matrix h(2, 12, 0.0f);
+  Matrix c(2, 12, 0.0f);
+  const Matrix x = random_matrix(2, 4, rng_);
+
+  engine.step(x, h, c);  // all-zero state: everything skipped
+  EXPECT_EQ(engine.last_step_stats().batch, 2);
+  EXPECT_EQ(engine.last_step_stats().positions, 12);
+  EXPECT_EQ(engine.last_step_stats().kept_positions, 0);
+  EXPECT_DOUBLE_EQ(engine.last_step_stats().observed_sparsity(), 1.0);
+  EXPECT_NEAR(engine.last_step_stats().lane_sparsity, 0.5, 0.15);
+
+  engine.step(x, h, c);  // ~50% sparse state now
+  const StepStats snap = engine.last_step_stats();
+  EXPECT_EQ(snap.batch, 2);
+  EXPECT_GT(snap.kept_positions, 0);
+  EXPECT_EQ(snap.positions, 12);  // a snapshot, not a running sum
+
+  // reset_stats() clears the cumulative counters but not the snapshot.
+  engine.reset_stats();
+  EXPECT_EQ(engine.stats().steps, 0);
+  EXPECT_EQ(engine.last_step_stats().batch, 2);
+  EXPECT_EQ(engine.last_step_stats().kept_positions, snap.kept_positions);
+}
+
 TEST_F(SparseInferenceTest, ContractHoldsWithThreadingEnabled) {
   // parallel_for partitions rows without reordering any accumulation, so
   // the sparse/dense bit-exactness contract must survive thread counts.

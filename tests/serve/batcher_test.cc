@@ -1,0 +1,162 @@
+#include "serve/batcher.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+// The batcher is clock-free: `now_us` is always passed in, so these
+// tests drive it with a fake clock (plain integers) and assert batch
+// boundaries exactly.
+namespace zss::serve {
+namespace {
+
+Request req(SessionId session, std::int64_t arrival_us,
+            std::uint64_t seq = 0) {
+  Request r;
+  r.session = session;
+  r.token = 0;
+  r.arrival_us = arrival_us;
+  r.seq = seq;
+  return r;
+}
+
+TEST(RequestBatcherTest, CoalescesUpToMaxBatchImmediately) {
+  BatchPolicy policy;
+  policy.max_batch = 4;
+  policy.max_wait_us = 1000;
+  RequestBatcher b(policy);
+
+  for (SessionId s = 1; s <= 3; ++s) b.enqueue(req(s, /*arrival=*/0));
+  EXPECT_FALSE(b.ready(0)) << "3 < max_batch and nothing waited long enough";
+
+  b.enqueue(req(4, 0));
+  EXPECT_TRUE(b.ready(0)) << "a full batch serves immediately";
+
+  std::vector<Request> out;
+  EXPECT_EQ(b.pop_batch(out), 4);
+  EXPECT_EQ(b.pending(), 0);
+  // FIFO order preserved.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].session, static_cast<SessionId>(i + 1));
+  }
+}
+
+TEST(RequestBatcherTest, MaxWaitTimeoutServesPartialBatch) {
+  BatchPolicy policy;
+  policy.max_batch = 8;
+  policy.max_wait_us = 200;
+  RequestBatcher b(policy);
+
+  b.enqueue(req(1, 100));
+  b.enqueue(req(2, 150));
+  EXPECT_FALSE(b.ready(100));
+  EXPECT_FALSE(b.ready(299)) << "oldest has waited 199us < 200us";
+  EXPECT_TRUE(b.ready(300)) << "oldest hit its max-wait deadline";
+
+  std::vector<Request> out;
+  EXPECT_EQ(b.pop_batch(out), 2);
+}
+
+TEST(RequestBatcherTest, SameSessionNeverSharesABatch) {
+  BatchPolicy policy;
+  policy.max_batch = 8;
+  policy.max_wait_us = 1000;
+  RequestBatcher b(policy);
+
+  // Session 7's second token must see the state its first produced, so
+  // the batch stops at the duplicate — and serves immediately, since
+  // waiting cannot unblock it.
+  b.enqueue(req(1, 0, 0));
+  b.enqueue(req(7, 0, 1));
+  b.enqueue(req(7, 0, 2));
+  b.enqueue(req(2, 0, 3));
+  EXPECT_TRUE(b.ready(0));
+
+  std::vector<Request> out;
+  EXPECT_EQ(b.pop_batch(out), 2);
+  EXPECT_EQ(out[0].session, 1u);
+  EXPECT_EQ(out[1].session, 7u);
+  // The remainder — 7's second token, then session 2 — has no internal
+  // conflict anymore, so it coalesces normally instead of rushing out.
+  EXPECT_FALSE(b.ready(0));
+  EXPECT_TRUE(b.ready(1000)) << "max-wait still bounds the remainder";
+  EXPECT_EQ(b.pop_batch(out), 2);
+  EXPECT_EQ(out[0].session, 7u);
+  EXPECT_EQ(out[0].seq, 2u);
+  EXPECT_EQ(out[1].session, 2u);
+}
+
+TEST(RequestBatcherTest, IntersectionCapStopsBatchGrowth) {
+  BatchPolicy policy;
+  policy.max_batch = 8;
+  policy.max_wait_us = 1000;
+  policy.max_kept_fraction = 0.8;
+  RequestBatcher b(policy);
+
+  // No feedback yet: the cap is optimistic.
+  EXPECT_EQ(b.effective_cap(), 8);
+
+  // Lane sparsity 0.5: predicted kept = 1 - 0.5^B, so B=2 keeps 0.75
+  // (within the 0.8 budget) and B=3 would keep 0.875 (over it).
+  b.observe_lane_sparsity(0.5);
+  EXPECT_DOUBLE_EQ(b.predicted_kept_fraction(2), 0.75);
+  EXPECT_DOUBLE_EQ(b.predicted_kept_fraction(3), 0.875);
+  EXPECT_EQ(b.effective_cap(), 2);
+
+  for (SessionId s = 1; s <= 4; ++s) b.enqueue(req(s, 0));
+  EXPECT_TRUE(b.ready(0)) << "cap reached at 2 pending";
+  std::vector<Request> out;
+  EXPECT_EQ(b.pop_batch(out), 2) << "batch growth stopped by the cap";
+  EXPECT_EQ(b.pending(), 2);
+
+  // A denser model (sparsity 0) collapses the cap to batch-of-one —
+  // which must always be allowed to serve, whatever the prediction.
+  for (int i = 0; i < 8; ++i) b.observe_lane_sparsity(0.0);
+  EXPECT_EQ(b.effective_cap(), 1);
+  EXPECT_EQ(b.pop_batch(out), 1);
+
+  // A fully sparse model lifts the cap back to max_batch.
+  for (int i = 0; i < 64; ++i) b.observe_lane_sparsity(1.0);
+  EXPECT_EQ(b.effective_cap(), 8);
+}
+
+TEST(RequestBatcherTest, SparsityFeedbackIsSmoothed) {
+  BatchPolicy policy;
+  policy.sparsity_ewma = 0.25;
+  RequestBatcher b(policy);
+
+  b.observe_lane_sparsity(0.8);  // first observation seeds the estimate
+  EXPECT_DOUBLE_EQ(b.lane_sparsity_estimate(), 0.8);
+  b.observe_lane_sparsity(0.4);
+  EXPECT_DOUBLE_EQ(b.lane_sparsity_estimate(), 0.25 * 0.4 + 0.75 * 0.8);
+}
+
+TEST(RequestBatcherTest, RingSurvivesGrowthAndWrapAround) {
+  BatchPolicy policy;
+  policy.max_batch = 3;
+  policy.max_wait_us = 0;  // everything is always due
+  RequestBatcher b(policy);
+
+  // Interleave enqueue/pop far past the initial ring capacity so the
+  // head wraps and the ring grows while partially full.
+  std::vector<Request> out;
+  std::uint64_t next = 0, expect = 0;
+  for (int round = 0; round < 200; ++round) {
+    for (int k = 0; k < 5; ++k) {
+      b.enqueue(req(/*session=*/1000 + next, 0, next));
+      ++next;
+    }
+    const num::Index n = b.pop_batch(out);
+    ASSERT_GE(n, 1);
+    for (num::Index i = 0; i < n; ++i) {
+      EXPECT_EQ(out[static_cast<std::size_t>(i)].seq, expect++) << "FIFO broken";
+    }
+  }
+  while (b.pop_batch(out) > 0) {
+    for (const Request& r : out) EXPECT_EQ(r.seq, expect++);
+  }
+  EXPECT_EQ(expect, next) << "every request served exactly once";
+}
+
+}  // namespace
+}  // namespace zss::serve

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/sparse_inference.h"
+#include "core/state_pruner.h"
+#include "nn/lstm_cell.h"
+#include "num/rng.h"
+#include "serve/pool.h"
+#include "serve/trace.h"
+
+// The serving determinism guarantee: a session's output stream depends
+// only on its own request stream — never on shard count, batch size, or
+// which batch-mates the batcher grouped it with. Grouping only changes
+// which intersected positions are *fetched*; the extra terms a lane
+// inherits from its batch-mates are exact zeros, and the bit-exactness
+// contract (docs/exactness.md) makes those IEEE identities. These tests
+// replay one trace through every pool shape and demand bitwise-equal
+// per-session outputs against a batch-of-one oracle.
+namespace zss::serve {
+namespace {
+
+using OutputLog = std::map<SessionId, std::vector<std::vector<float>>>;
+
+class ShardDeterminismTest : public ::testing::Test {
+ protected:
+  ShardDeterminismTest()
+      : rng_(271828),
+        cell_(/*input_dim=*/5, /*hidden_dim=*/16, rng_),
+        pruner_(core::PrunerConfig::fixed(0.08f)) {
+    trace_ = synthetic_trace(/*requests=*/150, /*sessions=*/6, /*vocab=*/5,
+                             /*mean_gap_us=*/50, rng_);
+    // Force back-to-back same-session arrivals so the conflict path
+    // (a session queued twice before its first token is served) runs.
+    for (int k = 0; k < 3; ++k) {
+      TraceEvent e;
+      e.arrival_us = trace_.back().arrival_us;
+      e.session = 3;
+      e.token = static_cast<num::Index>(k) % 5;
+      trace_.push_back(e);
+    }
+  }
+
+  /// Ground truth: each session stepped alone, batch of one, in its
+  /// trace order — no batching, no sharding, no intersection.
+  OutputLog oracle() {
+    core::SparseLstmEngine engine(cell_, pruner_);
+    std::map<SessionId, std::pair<num::Matrix, num::Matrix>> states;
+    OutputLog log;
+    num::Matrix x(1, cell_.input_dim());
+    for (const TraceEvent& e : trace_) {
+      auto [it, fresh] = states.try_emplace(e.session);
+      if (fresh) {
+        it->second.first.resize(1, cell_.hidden_dim(), 0.0f);
+        it->second.second.resize(1, cell_.hidden_dim(), 0.0f);
+      }
+      x.fill(0.0f);
+      x(0, e.token % cell_.input_dim()) = 1.0f;
+      engine.step(x, it->second.first, it->second.second);
+      auto row = it->second.first.row(0);
+      log[e.session].emplace_back(row.begin(), row.end());
+    }
+    return log;
+  }
+
+  OutputLog run_pool(num::Index shards, num::Index max_batch) {
+    PoolConfig config;
+    config.shards = shards;
+    config.policy.max_batch = max_batch;
+    config.policy.max_wait_us = 200;
+    EnginePool pool(cell_, pruner_, config);
+    OutputLog log;
+    std::map<SessionId, std::uint64_t> last_seq;
+    const ResponseSink sink = [&](const Response& r) {
+      // Per-session responses must arrive in request order.
+      auto [it, fresh] = last_seq.try_emplace(r.session, r.seq);
+      if (!fresh) {
+        EXPECT_GT(r.seq, it->second) << "session " << r.session;
+        it->second = r.seq;
+      }
+      log[r.session].emplace_back(r.h.begin(), r.h.end());
+    };
+    const ReplayResult result = replay(pool, trace_, sink);
+    EXPECT_EQ(result.responses, result.requests) << "lost or duplicated work";
+    return log;
+  }
+
+  num::Rng rng_;
+  nn::LstmCell cell_;
+  core::StatePruner pruner_;
+  std::vector<TraceEvent> trace_;
+};
+
+TEST_F(ShardDeterminismTest, SingleShardBatchedMatchesOracleBitwise) {
+  EXPECT_EQ(run_pool(/*shards=*/1, /*max_batch=*/8), oracle());
+}
+
+TEST_F(ShardDeterminismTest, FourShardsMatchOneShardBitwise) {
+  const OutputLog one = run_pool(/*shards=*/1, /*max_batch=*/8);
+  const OutputLog four = run_pool(/*shards=*/4, /*max_batch=*/8);
+  EXPECT_EQ(one, four);
+  EXPECT_EQ(four, oracle());
+}
+
+TEST_F(ShardDeterminismTest, BatchSizeOneMatchesBatchedBitwise) {
+  EXPECT_EQ(run_pool(/*shards=*/4, /*max_batch=*/1),
+            run_pool(/*shards=*/4, /*max_batch=*/8));
+}
+
+TEST_F(ShardDeterminismTest, BatchingActuallyHappened) {
+  // Guard against the suite passing vacuously with batches of one.
+  PoolConfig config;
+  config.shards = 1;
+  config.policy.max_batch = 8;
+  config.policy.max_wait_us = 200;
+  EnginePool pool(cell_, pruner_, config);
+  const ResponseSink sink = [](const Response&) {};
+  replay(pool, trace_, sink);
+  EXPECT_GT(pool.shard(0).stats().mean_batch(), 1.5);
+}
+
+TEST_F(ShardDeterminismTest, IntersectionCapStillBitwiseIdentical) {
+  // The cap changes batch boundaries (a cost policy), which must not
+  // change a single output bit.
+  PoolConfig config;
+  config.shards = 2;
+  config.policy.max_batch = 8;
+  config.policy.max_wait_us = 200;
+  config.policy.max_kept_fraction = 0.6;
+  EnginePool pool(cell_, pruner_, config);
+  OutputLog log;
+  const ResponseSink sink = [&](const Response& r) {
+    log[r.session].emplace_back(r.h.begin(), r.h.end());
+  };
+  replay(pool, trace_, sink);
+  EXPECT_EQ(log, oracle());
+}
+
+TEST_F(ShardDeterminismTest, MaxWaitDeadlineFiresBetweenArrivals) {
+  // A request whose max-wait expires in a gap between arrivals must be
+  // served at its deadline — not held until (and batched with) the
+  // next arrival, which a live server honoring the policy would never
+  // do.
+  std::vector<TraceEvent> gap_trace;
+  gap_trace.push_back(TraceEvent{0, 1, 0});
+  gap_trace.push_back(TraceEvent{10000, 2, 1});
+  PoolConfig config;
+  config.shards = 1;
+  config.policy.max_batch = 8;
+  config.policy.max_wait_us = 200;
+  EnginePool pool(cell_, pruner_, config);
+  std::vector<std::pair<std::uint64_t, std::int64_t>> done;  // (seq, done_us)
+  const ResponseSink sink = [&](const Response& r) {
+    done.emplace_back(r.seq, r.done_us);
+    EXPECT_EQ(r.batch, 1) << "the straggler must not join the later arrival";
+  };
+  replay(pool, gap_trace, sink);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].second, 200) << "served at its own deadline";
+  EXPECT_EQ(done[1].second, 10200);
+}
+
+TEST_F(ShardDeterminismTest, ParallelDrainMatchesSequentialFlush) {
+  // Closed loop: everything queued up front, then drained — once on
+  // one thread, once with one thread per shard. Shards share nothing,
+  // so the outputs must be bitwise identical.
+  auto enqueue_all = [&](EnginePool& pool) {
+    std::uint64_t seq = 0;
+    for (const TraceEvent& e : trace_) {
+      Request r;
+      r.session = e.session;
+      r.token = e.token;
+      r.arrival_us = 0;
+      r.seq = seq++;
+      pool.enqueue(r);
+    }
+  };
+  PoolConfig config;
+  config.shards = 4;
+  config.policy.max_batch = 8;
+
+  EnginePool sequential(cell_, pruner_, config);
+  enqueue_all(sequential);
+  OutputLog seq_log;
+  const ResponseSink seq_sink = [&](const Response& r) {
+    seq_log[r.session].emplace_back(r.h.begin(), r.h.end());
+  };
+  sequential.flush(0, seq_sink);
+
+  EnginePool parallel(cell_, pruner_, config);
+  enqueue_all(parallel);
+  OutputLog par_logs[4];
+  std::vector<ResponseSink> sinks;
+  for (int s = 0; s < 4; ++s) {
+    sinks.emplace_back([&par_logs, s](const Response& r) {
+      par_logs[s][r.session].emplace_back(r.h.begin(), r.h.end());
+    });
+  }
+  parallel.drain_parallel(0, sinks);
+  OutputLog par_log;
+  for (auto& shard_log : par_logs) {
+    for (auto& [sid, outs] : shard_log) par_log[sid] = std::move(outs);
+  }
+
+  EXPECT_EQ(seq_log, par_log);
+}
+
+}  // namespace
+}  // namespace zss::serve

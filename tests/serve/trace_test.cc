@@ -1,0 +1,66 @@
+#include "serve/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace zss::serve {
+namespace {
+
+TEST(TraceTest, ParsesCommentsBlanksAndFields) {
+  std::istringstream in(
+      "# header comment\n"
+      "\n"
+      "0 11 18\n"
+      "  # indented comment\n"
+      "260 1 24\n");
+  std::vector<TraceEvent> events;
+  std::string error;
+  ASSERT_TRUE(parse_trace(in, events, &error)) << error;
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].arrival_us, 0);
+  EXPECT_EQ(events[0].session, 11u);
+  EXPECT_EQ(events[0].token, 18);
+  EXPECT_EQ(events[1].arrival_us, 260);
+}
+
+TEST(TraceTest, RejectsUnsortedMalformedAndTrailingTokens) {
+  std::string error;
+  std::vector<TraceEvent> events;
+
+  std::istringstream unsorted("100 1 2\n50 2 3\n");
+  EXPECT_FALSE(parse_trace(unsorted, events, &error));
+  EXPECT_NE(error.find("not sorted"), std::string::npos) << error;
+
+  std::istringstream short_line("100 1\n");
+  EXPECT_FALSE(parse_trace(short_line, events, &error));
+
+  std::istringstream negative("-5 1 2\n");
+  EXPECT_FALSE(parse_trace(negative, events, &error));
+
+  // A lost newline merges two events; silently dropping the tail would
+  // later read as a determinism failure, so it must be a parse error.
+  std::istringstream merged("1200 7 42 1300 8 5\n");
+  EXPECT_FALSE(parse_trace(merged, events, &error));
+  EXPECT_NE(error.find("malformed"), std::string::npos) << error;
+}
+
+TEST(TraceTest, WriteParseRoundTrip) {
+  num::Rng rng(5);
+  const auto events = synthetic_trace(/*requests=*/40, /*sessions=*/5,
+                                      /*vocab=*/9, /*mean_gap_us=*/100, rng);
+  std::stringstream io;
+  write_trace(io, events);
+  std::vector<TraceEvent> parsed;
+  std::string error;
+  ASSERT_TRUE(parse_trace(io, parsed, &error)) << error;
+  ASSERT_EQ(parsed.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(parsed[i].arrival_us, events[i].arrival_us);
+    EXPECT_EQ(parsed[i].session, events[i].session);
+    EXPECT_EQ(parsed[i].token, events[i].token);
+  }
+}
+
+}  // namespace
+}  // namespace zss::serve

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in README.md and docs/.
+
+Scans the repo's front-door documentation (README.md, docs/*.md, and any
+README.md under src/) for markdown links and image refs whose target is
+a relative path, and verifies each target exists. External links
+(http/https/mailto) and pure in-page anchors (#...) are skipped; a
+"path#anchor" target is checked for the path part only.
+
+Usage: check_doc_links.py [repo_root]     (exit 1 on any dead link)
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def doc_files(root: Path):
+    yield root / "README.md"
+    yield from sorted((root / "docs").rglob("*.md"))
+    yield from sorted((root / "src").rglob("README.md"))
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path.cwd()
+    dead = []
+    checked = 0
+    for doc in doc_files(root):
+        if not doc.is_file():
+            continue
+        for lineno, line in enumerate(doc.read_text().splitlines(), 1):
+            for target in LINK.findall(line):
+                if target.startswith(SKIP_PREFIXES):
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue
+                checked += 1
+                if not (doc.parent / path).exists():
+                    dead.append(f"{doc.relative_to(root)}:{lineno}: {target}")
+    if dead:
+        print(f"dead relative links ({len(dead)}):")
+        for d in dead:
+            print(f"  {d}")
+        return 1
+    print(f"checked {checked} relative links, all resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,250 @@
+// zss_serve — trace-replay front end for the serving subsystem.
+//
+// Replays a request trace (serve/trace.h text format) through a
+// batched, sharded EnginePool under a deterministic virtual clock, and
+// prints per-session output digests. Because per-session outputs are
+// bit-identical at any shard count and any max-batch (the determinism
+// guarantee of docs/serving.md), running the same trace with different
+// --shards must print identical digest tables — CI diffs exactly that.
+//
+//   zss_serve --trace=data/traces/serving_200.txt --shards=4
+//   zss_serve --trace=t.txt --shards=1 --digests=digests_1.txt
+//   zss_serve --emit-trace=200 --sessions=16 --gap-us=150 > trace.txt
+//
+// The model is a seeded randomly-initialized cell (this is a serving
+// harness, not an accuracy demo); --threshold sets the fixed pruning
+// threshold the sessions' stored states are pruned with.
+#include <cinttypes>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/state_pruner.h"
+#include "nn/lstm_cell.h"
+#include "num/rng.h"
+#include "num/simd/backend.h"
+#include "serve/trace.h"
+
+namespace {
+
+using namespace zss;
+
+struct Args {
+  std::string trace;
+  std::string digests_path;
+  num::Index emit_trace = 0;  // >0: generate instead of serve
+  num::Index shards = 1;
+  num::Index max_batch = 8;
+  std::int64_t max_wait_us = 200;
+  double max_kept = 1.0;
+  num::Index dh = 256;
+  num::Index dx = 32;
+  num::Index sessions = 16;
+  std::int64_t gap_us = 150;
+  float threshold = 0.05f;  // ~60-80% observed sparsity on the seeded cell
+  std::uint64_t seed = 1;
+  bool dump = false;
+};
+
+bool parse(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&](const char* name) -> const char* {
+      const std::string prefix = std::string("--") + name + "=";
+      return a.rfind(prefix, 0) == 0 ? a.c_str() + prefix.size() : nullptr;
+    };
+    if (const char* v = value("trace")) {
+      args.trace = v;
+    } else if (const char* v = value("digests")) {
+      args.digests_path = v;
+    } else if (const char* v = value("emit-trace")) {
+      args.emit_trace = std::atol(v);
+    } else if (const char* v = value("shards")) {
+      args.shards = std::atol(v);
+    } else if (const char* v = value("max-batch")) {
+      args.max_batch = std::atol(v);
+    } else if (const char* v = value("max-wait-us")) {
+      args.max_wait_us = std::atol(v);
+    } else if (const char* v = value("max-kept")) {
+      args.max_kept = std::atof(v);
+    } else if (const char* v = value("dh")) {
+      args.dh = std::atol(v);
+    } else if (const char* v = value("dx")) {
+      args.dx = std::atol(v);
+    } else if (const char* v = value("sessions")) {
+      args.sessions = std::atol(v);
+    } else if (const char* v = value("gap-us")) {
+      args.gap_us = std::atol(v);
+    } else if (const char* v = value("threshold")) {
+      args.threshold = static_cast<float>(std::atof(v));
+    } else if (const char* v = value("seed")) {
+      args.seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--dump") {
+      args.dump = true;
+    } else if (a == "--help" || a == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+      return false;
+    }
+  }
+  // Report bad values as usage errors here; the library layers treat
+  // them as contract violations and abort.
+  if (args.shards < 1 || args.max_batch < 1 || args.max_wait_us < 0 ||
+      args.max_kept <= 0.0 || args.max_kept > 1.0 || args.dh < 1 ||
+      args.dx < 1 || args.sessions < 1 || args.gap_us < 0 ||
+      args.threshold < 0.0f) {
+    std::fprintf(stderr,
+                 "invalid flag value (need shards/max-batch/dh/dx/sessions "
+                 ">= 1, max-wait-us/gap-us >= 0, 0 < max-kept <= 1, "
+                 "threshold >= 0)\n");
+    return false;
+  }
+  return true;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: zss_serve --trace=FILE [--shards=N] [--max-batch=B]\n"
+      "                 [--max-wait-us=U] [--max-kept=F] [--dh=D] [--dx=D]\n"
+      "                 [--threshold=T] [--seed=S] [--dump]\n"
+      "                 [--digests=FILE]\n"
+      "   or: zss_serve --emit-trace=N [--sessions=S] [--vocab via --dx]\n"
+      "                 [--gap-us=G] [--seed=S]   (writes trace to stdout)\n");
+}
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+
+struct SessionDigest {
+  std::uint64_t steps = 0;
+  std::uint64_t digest = kFnvOffset;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse(argc, argv, args)) {
+    usage();
+    return 2;
+  }
+
+  if (args.emit_trace > 0) {
+    num::Rng rng(args.seed);
+    const auto events = serve::synthetic_trace(args.emit_trace, args.sessions,
+                                               args.dx, args.gap_us, rng);
+    serve::write_trace(std::cout, events);
+    return 0;
+  }
+
+  if (args.trace.empty()) {
+    usage();
+    return 2;
+  }
+  std::vector<serve::TraceEvent> events;
+  std::string error;
+  if (!serve::load_trace_file(args.trace, events, &error)) {
+    std::fprintf(stderr, "zss_serve: %s\n", error.c_str());
+    return 1;
+  }
+
+  num::Rng rng(args.seed);
+  nn::LstmCell cell(args.dx, args.dh, rng);
+  core::StatePruner pruner(core::PrunerConfig::fixed(args.threshold));
+  serve::PoolConfig config;
+  config.shards = args.shards;
+  config.policy.max_batch = args.max_batch;
+  config.policy.max_wait_us = args.max_wait_us;
+  config.policy.max_kept_fraction = args.max_kept;
+  serve::EnginePool pool(cell, pruner, config);
+
+  // Rolling per-session FNV-1a over every response's hidden bytes, in
+  // seq order — the serving layer's observable output stream.
+  std::map<serve::SessionId, SessionDigest> digests;
+  const serve::ResponseSink sink = [&](const serve::Response& r) {
+    SessionDigest& d = digests[r.session];
+    d.digest = fnv1a(d.digest, r.h.data(), r.h.size_bytes());
+    ++d.steps;
+    if (args.dump) {
+      std::printf("seq %" PRIu64 " session %" PRIu64 " done_us %lld batch %lld\n",
+                  r.seq, r.session, static_cast<long long>(r.done_us),
+                  static_cast<long long>(r.batch));
+    }
+  };
+
+  const serve::ReplayResult result = serve::replay(pool, events, sink);
+
+  num::Index batches = 0;
+  num::Index kept = 0, positions = 0;
+  double mean_batch_num = 0.0;
+  for (num::Index s = 0; s < pool.num_shards(); ++s) {
+    batches += pool.shard(s).stats().batches;
+    mean_batch_num += static_cast<double>(pool.shard(s).stats().requests);
+    kept += pool.shard(s).engine().stats().kept_positions;
+    positions += pool.shard(s).engine().stats().positions;
+  }
+  const double obs_sparsity =
+      positions == 0 ? 0.0
+                     : 1.0 - static_cast<double>(kept) /
+                                 static_cast<double>(positions);
+
+  std::printf("zss_serve: kernel_backend=%s dh=%lld dx=%lld threshold=%.3f\n",
+              num::simd::active_backend().name,
+              static_cast<long long>(args.dh), static_cast<long long>(args.dx),
+              static_cast<double>(args.threshold));
+  std::printf(
+      "replayed %lld requests -> %lld responses in %lld batches "
+      "(mean batch %.2f) over %lld shards, virtual end %lld us\n",
+      static_cast<long long>(result.requests),
+      static_cast<long long>(result.responses),
+      static_cast<long long>(batches),
+      batches == 0 ? 0.0 : mean_batch_num / static_cast<double>(batches),
+      static_cast<long long>(pool.num_shards()),
+      static_cast<long long>(result.end_us));
+  std::printf("observed intersected sparsity %.4f across %lld sessions\n",
+              obs_sparsity, static_cast<long long>(digests.size()));
+
+  std::printf("\nper-session digests (bit-identical for any --shards / "
+              "--max-batch):\n");
+  std::FILE* df = nullptr;
+  if (!args.digests_path.empty()) {
+    df = std::fopen(args.digests_path.c_str(), "w");
+    if (df == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", args.digests_path.c_str());
+      return 1;
+    }
+  }
+  for (const auto& [id, d] : digests) {  // std::map: sorted by id
+    std::printf("session %" PRIu64 " steps %" PRIu64 " digest %016" PRIx64 "\n",
+                id, d.steps, d.digest);
+    if (df != nullptr) {
+      std::fprintf(df, "session %" PRIu64 " steps %" PRIu64
+                       " digest %016" PRIx64 "\n",
+                   id, d.steps, d.digest);
+    }
+  }
+  if (df != nullptr) {
+    std::fclose(df);
+    std::printf("wrote %s\n", args.digests_path.c_str());
+  }
+
+  if (result.responses != result.requests) {
+    std::fprintf(stderr, "zss_serve: %lld requests but %lld responses\n",
+                 static_cast<long long>(result.requests),
+                 static_cast<long long>(result.responses));
+    return 1;
+  }
+  return 0;
+}
