@@ -21,12 +21,19 @@
 // gather/scatter) that served each request — queueing delay in a
 // closed-loop drive is an artifact of the drive, not of the system.
 //
+// The live-mode section measures the opposite regime: requests are
+// submitted open-loop (paced by --live-gap-us) through the persistent
+// worker loop (serve/worker.h), and latency is end-to-end — arrival
+// stamp to response delivery, queueing and batching delay *included* —
+// which is the number a latency SLO is written against.
+//
 // Usage: bench_serving [--dh=512] [--dx=64] [--sessions=32]
-//                      [--requests=N] [--quick]
+//                      [--requests=N] [--live-gap-us=G] [--quick]
 // Writes BENCH_serving.json into the working directory.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,7 +44,7 @@
 #include "nn/lstm_cell.h"
 #include "num/rng.h"
 #include "num/simd/backend.h"
-#include "serve/pool.h"
+#include "serve/worker.h"
 
 namespace {
 
@@ -55,6 +62,20 @@ struct Result {
   double wall_rps = 0.0;
   double capacity_rps = 0.0;
   double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+struct LiveResult {
+  num::Index shards = 0;
+  num::Index max_batch = 0;
+  double sparsity_target = 0.0;
+  num::Index requests = 0;
+  std::int64_t gap_us = 0;       // nominal open-loop pacing gap
+  double offered_rps = 0.0;      // realized offered load (from stamps)
+  double wall_ms = 0.0;
+  double rps = 0.0;              // served / wall
+  double mean_batch = 0.0;
+  double p50_us = 0.0;           // end-to-end: arrival -> delivery
   double p99_us = 0.0;
 };
 
@@ -177,8 +198,92 @@ Result run_config(const nn::LstmCell& cell, float threshold,
   return r;
 }
 
+/// Open-loop live measurement through the persistent worker loop:
+/// p50/p99 are end-to-end (queueing delay included), the regime the
+/// closed-loop grid above deliberately excludes.
+LiveResult run_live_config(const nn::LstmCell& cell, float threshold,
+                           double sparsity_target, num::Index shards,
+                           num::Index max_batch, num::Index sessions,
+                           num::Index requests, std::int64_t gap_us,
+                           std::uint64_t seed) {
+  const core::StatePruner pruner(core::PrunerConfig::fixed(threshold));
+  serve::PoolConfig config;
+  config.shards = shards;
+  config.policy.max_batch = max_batch;
+  config.policy.max_wait_us = 200;
+  serve::EnginePool pool(cell, pruner, config);
+
+  std::mutex mu;
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(requests));
+  serve::LiveServer* server_ptr = nullptr;
+  const serve::ResponseSink sink = [&](const serve::Response& r) {
+    const double lat =
+        static_cast<double>(server_ptr->now_us() - r.arrival_us);
+    std::lock_guard<std::mutex> lock(mu);
+    latencies.push_back(lat);
+  };
+  serve::LiveServer server(pool, sink);
+  server_ptr = &server;
+
+  // Warm-up burst: create sessions, fill workspaces, settle the ring.
+  num::Rng tokens(seed);
+  for (num::Index i = 0; i < sessions; ++i) {
+    server.submit(static_cast<serve::SessionId>(i % sessions) + 1,
+                  tokens.below(cell.input_dim()));
+  }
+  while (server.responded() < static_cast<std::uint64_t>(sessions)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    latencies.clear();
+  }
+
+  // Paced open loop: one producer, nominal inter-arrival gap_us. The
+  // realized gap (sleep granularity included) is reported as
+  // offered_rps so a reader can see what load was actually applied.
+  const std::int64_t t0 = server.now_us();
+  const auto wall0 = std::chrono::steady_clock::now();
+  for (num::Index i = 0; i < requests; ++i) {
+    server.submit(static_cast<serve::SessionId>(i % sessions) + 1,
+                  tokens.below(cell.input_dim()));
+    if (gap_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(gap_us));
+    }
+  }
+  const std::int64_t t1 = server.now_us();
+  server.shutdown();
+  const auto wall1 = std::chrono::steady_clock::now();
+
+  LiveResult r;
+  r.shards = shards;
+  r.max_batch = max_batch;
+  r.sparsity_target = sparsity_target;
+  r.requests = requests;
+  r.gap_us = gap_us;
+  r.offered_rps = t1 == t0 ? 0.0
+                           : static_cast<double>(requests) /
+                                 (static_cast<double>(t1 - t0) / 1e6);
+  r.wall_ms = std::chrono::duration<double, std::milli>(wall1 - wall0).count();
+  r.rps = static_cast<double>(requests) / (r.wall_ms / 1e3);
+  num::Index batches = 0, served = 0;
+  for (num::Index s = 0; s < shards; ++s) {
+    batches += pool.shard(s).stats().batches;
+    served += pool.shard(s).stats().requests;
+  }
+  r.mean_batch = batches == 0 ? 0.0
+                              : static_cast<double>(served) /
+                                    static_cast<double>(batches);
+  std::lock_guard<std::mutex> lock(mu);
+  r.p50_us = percentile(latencies, 0.50);
+  r.p99_us = percentile(latencies, 0.99);
+  return r;
+}
+
 void write_json(const std::string& path, num::Index dh, num::Index dx,
-                num::Index sessions, const std::vector<Result>& results) {
+                num::Index sessions, const std::vector<Result>& results,
+                const std::vector<LiveResult>& live) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -214,6 +319,24 @@ void write_json(const std::string& path, num::Index dh, num::Index dx,
     }
   }
   std::fprintf(f, "\n  ],\n");
+
+  // Live mode: open-loop through the persistent workers; p50/p99 are
+  // end-to-end (queueing delay included) — docs/benchmarks.md.
+  std::fprintf(f, "  \"live\": [\n");
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    const LiveResult& r = live[i];
+    std::fprintf(
+        f,
+        "    {\"shards\": %lld, \"max_batch\": %lld, \"sparsity\": %.2f, "
+        "\"requests\": %lld, \"gap_us\": %lld, \"offered_rps\": %.1f, "
+        "\"wall_ms\": %.2f, \"rps\": %.1f, \"mean_batch\": %.2f, "
+        "\"live_p50_us\": %.2f, \"live_p99_us\": %.2f}%s\n",
+        static_cast<long long>(r.shards), static_cast<long long>(r.max_batch),
+        r.sparsity_target, static_cast<long long>(r.requests),
+        static_cast<long long>(r.gap_us), r.offered_rps, r.wall_ms, r.rps,
+        r.mean_batch, r.p50_us, r.p99_us, i + 1 < live.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
 
   std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -283,7 +406,36 @@ int main(int argc, char** argv) {
     }
   }
 
-  write_json("BENCH_serving.json", dh, dx, sessions, results);
+  // Live mode: the same cell behind the persistent worker loop, paced
+  // open-loop, latency measured end-to-end (queueing included). One
+  // shard vs four at the two sparsity levels' calibrated thresholds.
+  const auto live_gap =
+      static_cast<std::int64_t>(flags.get_int("live-gap-us", 100));
+  const auto live_requests = static_cast<num::Index>(
+      flags.get_int("live-requests", flags.has("quick") ? 512 : 2048));
+  std::vector<LiveResult> live_results;
+  std::printf("\nlive mode (open loop, gap %lld us): end-to-end latency "
+              "includes queueing delay\n",
+              static_cast<long long>(live_gap));
+  std::printf("%-9s %-7s %-9s %10s %12s %10s %10s\n", "sparsity", "shards",
+              "max_batch", "mean_b", "rps", "p50_us", "p99_us");
+  for (const double sparsity : {0.5, 0.9}) {
+    num::Rng calib_rng(99);
+    const float threshold = calibrate_threshold(cell, sparsity, calib_rng);
+    for (const num::Index shards : {num::Index{1}, num::Index{4}}) {
+      const LiveResult lr = run_live_config(
+          cell, threshold, sparsity, shards, /*max_batch=*/8, sessions,
+          live_requests, live_gap,
+          static_cast<std::uint64_t>(sparsity * 100.0) * 7 + 5);
+      live_results.push_back(lr);
+      std::printf("%-9.2f %-7lld %-9lld %10.2f %12.1f %10.2f %10.2f\n",
+                  lr.sparsity_target, static_cast<long long>(lr.shards),
+                  static_cast<long long>(lr.max_batch), lr.mean_batch, lr.rps,
+                  lr.p50_us, lr.p99_us);
+    }
+  }
+
+  write_json("BENCH_serving.json", dh, dx, sessions, results, live_results);
 
   // Echo the headline scaling so CI logs show it without parsing JSON.
   for (const Result& a : results) {

@@ -23,7 +23,8 @@ EnginePool::EnginePool(const nn::LstmCell& cell,
                        const PoolConfig& config) {
   ZSS_EXPECTS(config.shards >= 1);
   for (num::Index i = 0; i < config.shards; ++i) {
-    shards_.emplace_back(cell, pruner, config.policy, config.encoder);
+    shards_.emplace_back(cell, pruner, config.policy, config.encoder,
+                         config.session_ttl);
   }
 }
 

@@ -23,6 +23,8 @@ struct PoolConfig {
   num::Index shards = 1;
   BatchPolicy policy;
   sparse::EncoderConfig encoder;
+  /// Session eviction policy, applied per shard (serve/session.h).
+  SessionTtl session_ttl;
 };
 
 class EnginePool {

@@ -1,0 +1,94 @@
+#include "serve/protocol.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace zss::serve {
+
+namespace {
+
+ParseStatus fail(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = why;
+  return ParseStatus::kError;
+}
+
+constexpr std::string_view kWs = " \t\r\n";
+
+/// Pops the next whitespace-separated field off `rest` (empty if none).
+/// No allocation — the ingest loop parses every live request with this.
+std::string_view next_field(std::string_view& rest) {
+  const auto begin = rest.find_first_not_of(kWs);
+  if (begin == std::string_view::npos) {
+    rest = {};
+    return {};
+  }
+  const auto end = rest.find_first_of(kWs, begin);
+  const std::string_view field = rest.substr(begin, end - begin);
+  rest = end == std::string_view::npos ? std::string_view{} : rest.substr(end);
+  return field;
+}
+
+/// Strict non-negative token parse: digits only, fits in num::Index.
+bool parse_token(std::string_view field, num::Index& out) {
+  SessionId v = 0;
+  if (!parse_session_id(field, v) ||
+      v > static_cast<SessionId>(std::numeric_limits<num::Index>::max())) {
+    return false;
+  }
+  out = static_cast<num::Index>(v);
+  return true;
+}
+
+}  // namespace
+
+ParseStatus parse_command(std::string_view line, CommandLine& out,
+                          std::string* error) {
+  std::string_view rest = line;
+  const std::string_view verb = next_field(rest);
+  if (verb.empty() || verb.front() == '#') return ParseStatus::kBlank;
+  if (verb == "step") {
+    // Same strictness as the trace parser: a trailing field usually
+    // means a lost newline merged two commands, and serving half of a
+    // corrupted line would surface later as a digest mismatch. The
+    // numeric fields go through the digits-only parses — stream
+    // extraction would wrap a negative session id modulo 2^64.
+    const std::string_view session_field = next_field(rest);
+    const std::string_view token_field = next_field(rest);
+    if (!parse_session_id(session_field, out.session) ||
+        !parse_token(token_field, out.token) || !next_field(rest).empty()) {
+      return fail(error, "malformed step command (want: step SESSION TOKEN): " +
+                             std::string(line));
+    }
+    out.op = CommandLine::Op::kStep;
+    return ParseStatus::kCommand;
+  }
+  if (verb == "flush" || verb == "stats" || verb == "quit") {
+    if (!next_field(rest).empty()) {
+      return fail(error, "trailing fields after '" + std::string(verb) +
+                             "': " + std::string(line));
+    }
+    out.op = verb == "flush"   ? CommandLine::Op::kFlush
+             : verb == "stats" ? CommandLine::Op::kStats
+                               : CommandLine::Op::kQuit;
+    return ParseStatus::kCommand;
+  }
+  return fail(error, "unknown command verb: " + std::string(verb));
+}
+
+std::string format_response(const Response& r) {
+  return format_response(r, digest_row(r.h));
+}
+
+std::string format_response(const Response& r, std::uint64_t digest) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "ok %" PRIu64 " %" PRIu64 " %lld %016" PRIx64, r.session,
+                r.seq, static_cast<long long>(r.batch), digest);
+  return buf;
+}
+
+std::string format_error(std::string_view message) {
+  return "err " + std::string(message);
+}
+
+}  // namespace zss::serve

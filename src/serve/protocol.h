@@ -1,0 +1,105 @@
+// Line-oriented streaming protocol of the live serving front end.
+//
+// One request or response per '\n'-terminated line, ASCII, space
+// separated — greppable, scriptable, and exactly expressive enough to
+// drive the engine (tools/zss_serve --live speaks it on stdin/stdout
+// or a UNIX socket). Grammar (docs/serving.md "Live mode"):
+//
+//   client line  = "step" SP session SP token     ; one token, one session
+//                | "flush"                        ; serve all queued now
+//                | "stats"                        ; server counters
+//                | "quit"                         ; graceful shutdown
+//                | "#" ...                        ; comment, ignored
+//                | <blank>                        ; ignored
+//
+//   server line  = "ok" SP session SP seq SP batch SP digest
+//                | "err" SP message
+//                | "stat" SP key "=" value ...
+//                | "bye" SP "submitted=" n SP "responses=" n
+//
+// `digest` is the 16-hex-digit FNV-1a of the session's new hidden row
+// — the serving layer's observable output, compact enough to stream.
+// Responses are asynchronous: "ok" lines appear when batches close,
+// not in lockstep with input lines (per-session order is guaranteed,
+// global interleaving is not). Parsing is strict the same way the
+// trace parser is: a malformed line (unknown verb, missing or trailing
+// fields, unparsable numbers) is reported, never guessed at.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "serve/request.h"
+
+namespace zss::serve {
+
+/// FNV-1a offset basis; fold bytes with fnv1a() starting from this.
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+
+/// Rolling FNV-1a over raw bytes (the digest primitive shared by the
+/// replay driver, the live protocol and the tests).
+inline std::uint64_t fnv1a(std::uint64_t h, const void* data,
+                           std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// One-shot digest of a hidden row.
+inline std::uint64_t digest_row(std::span<const float> row) {
+  return fnv1a(kFnvOffset, row.data(), row.size_bytes());
+}
+
+/// Strict session-id field parse: decimal digits only, no sign, fits
+/// in 64 bits. Stream extraction into the unsigned SessionId would
+/// accept "-7" by wrapping modulo 2^64 (strtoull semantics, failbit
+/// clear) — a corrupted line served as a phantom session instead of
+/// rejected. Shared by the protocol and trace parsers.
+inline bool parse_session_id(std::string_view field, SessionId& out) {
+  if (field.empty()) return false;
+  std::uint64_t v = 0;
+  for (const char ch : field) {
+    if (ch < '0' || ch > '9') return false;
+    const auto d = static_cast<std::uint64_t>(ch - '0');
+    if (v > (std::numeric_limits<std::uint64_t>::max() - d) / 10) return false;
+    v = v * 10 + d;
+  }
+  out = v;
+  return true;
+}
+
+struct CommandLine {
+  enum class Op { kStep, kFlush, kStats, kQuit };
+  Op op = Op::kStep;
+  SessionId session = 0;  // kStep only
+  num::Index token = 0;   // kStep only
+};
+
+enum class ParseStatus {
+  kCommand,  // `out` holds a parsed command
+  kBlank,    // blank or comment line — nothing to do
+  kError,    // malformed — `error` says why; the line must be rejected
+};
+
+/// Parses one client line. Strict: extra fields, missing fields,
+/// negative tokens and unknown verbs are kError, never guessed at.
+ParseStatus parse_command(std::string_view line, CommandLine& out,
+                          std::string* error);
+
+/// "ok <session> <seq> <batch> <digest>" for a served response.
+std::string format_response(const Response& r);
+
+/// Same, with the row digest precomputed by the caller (the serving
+/// hot path hashes the row once and shares it with its digest table).
+std::string format_response(const Response& r, std::uint64_t digest);
+
+/// "err <message>".
+std::string format_error(std::string_view message);
+
+}  // namespace zss::serve

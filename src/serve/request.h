@@ -26,6 +26,7 @@ struct Request {
 struct Response {
   SessionId session = 0;
   std::uint64_t seq = 0;
+  std::int64_t arrival_us = 0;   // the request's arrival stamp, echoed
   std::int64_t done_us = 0;      // virtual time the serving batch closed
   double service_us = 0.0;       // wall-clock of the step that served it
   num::Index batch = 0;          // size of that batch

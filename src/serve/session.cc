@@ -2,18 +2,119 @@
 
 namespace zss::serve {
 
-SessionStore::SessionStore(num::Index hidden_dim) : dh_(hidden_dim) {
+SessionStore::SessionStore(num::Index hidden_dim, SessionTtl ttl)
+    : dh_(hidden_dim), ttl_(ttl) {
   ZSS_EXPECTS(hidden_dim >= 1);
+  ZSS_EXPECTS(ttl.max_sessions >= 0);
 }
 
-Session& SessionStore::get_or_create(SessionId id) {
+void SessionStore::lru_unlink(Session& s) {
+  if (s.lru_prev_ != nullptr) {
+    s.lru_prev_->lru_next_ = s.lru_next_;
+  } else {
+    lru_head_ = s.lru_next_;
+  }
+  if (s.lru_next_ != nullptr) {
+    s.lru_next_->lru_prev_ = s.lru_prev_;
+  } else {
+    lru_tail_ = s.lru_prev_;
+  }
+  s.lru_prev_ = s.lru_next_ = nullptr;
+}
+
+void SessionStore::lru_push_front(Session& s) {
+  s.lru_prev_ = nullptr;
+  s.lru_next_ = lru_head_;
+  if (lru_head_ != nullptr) lru_head_->lru_prev_ = &s;
+  lru_head_ = &s;
+  if (lru_tail_ == nullptr) lru_tail_ = &s;
+}
+
+void SessionStore::evict(Session& s) {
+  ZSS_ASSERT(!s.pinned);
+  lru_unlink(s);
+  ++evicted_;
+  sessions_.erase(s.id);  // invalidates &s
+}
+
+Session& SessionStore::get_or_create(SessionId id, std::int64_t arrival_us) {
   auto it = sessions_.find(id);
-  if (it != sessions_.end()) return it->second;
-  Session& s = sessions_[id];
+  if (it != sessions_.end()) {
+    Session& s = it->second;
+    // Lazy TTL: compared against the session's *own* previous arrival,
+    // so the decision is independent of batching, sharding and wake
+    // timing — the property the live/replay bit-identity rests on.
+    if (ttl_.ttl_us >= 0 && arrival_us - s.last_arrival_us > ttl_.ttl_us) {
+      s.h.fill(0.0f);
+      s.c.fill(0.0f);
+      s.steps = 0;
+      ++s.generation;
+      ++ttl_resets_;
+    }
+    s.last_arrival_us = arrival_us;
+    lru_unlink(s);
+    lru_push_front(s);
+    return s;
+  }
+
+  if (ttl_.max_sessions > 0) {
+    // Cap decisions are computed over the *stamp-defined alive set* —
+    // sessions within the TTL of this arrival — never over physical
+    // size(). The map can still hold expired sessions the sweep has
+    // not reclaimed yet, and sweep timing follows batch boundaries,
+    // which live serving and virtual-clock replay legitimately
+    // disagree on: deciding from stamps alone makes the eviction's
+    // grouping-independence direct, instead of resting on the subtler
+    // invariant that a raw size() check only ever evicts zombies first
+    // (fuzz-enforced either way). Expired sessions form a tail suffix
+    // (LRU order == last-arrival order), so one walk both counts the
+    // alive set and lands on its oldest member.
+    num::Index alive = size();
+    Session* victim = lru_tail_;
+    if (ttl_.ttl_us >= 0) {
+      while (victim != nullptr &&
+             arrival_us - victim->last_arrival_us > ttl_.ttl_us) {
+        victim = victim->lru_prev_;
+        --alive;
+      }
+    }
+    if (alive >= ttl_.max_sessions) {
+      // Victim: least-recently-arrived alive unpinned session. Pinned
+      // sessions carry the newest arrivals (per-shard arrivals are
+      // monotone), so with max_sessions > max_batch the oldest alive
+      // session is never pinned; the walk is belt-and-braces, not a
+      // policy.
+      while (victim != nullptr && victim->pinned) victim = victim->lru_prev_;
+      if (victim != nullptr) evict(*victim);
+    }
+  }
+
+  Session& s = sessions_.try_emplace(id).first->second;
   s.id = id;
   s.h.resize(1, dh_, 0.0f);
   s.c.resize(1, dh_, 0.0f);
+  s.last_arrival_us = arrival_us;
+  lru_push_front(s);
+  ++created_;
   return s;
+}
+
+num::Index SessionStore::sweep_expired(std::int64_t newest_arrival_us) {
+  if (ttl_.ttl_us < 0) return 0;
+  num::Index freed = 0;
+  // The LRU order equals last-arrival order (arrivals are monotone per
+  // shard), so expired sessions form a suffix from the tail.
+  Session* s = lru_tail_;
+  while (s != nullptr &&
+         newest_arrival_us - s->last_arrival_us > ttl_.ttl_us) {
+    Session* prev = s->lru_prev_;
+    if (!s->pinned) {
+      evict(*s);
+      ++freed;
+    }
+    s = prev;
+  }
+  return freed;
 }
 
 Session* SessionStore::find(SessionId id) {

@@ -8,6 +8,36 @@
 // step with no element copies on the batch-of-one path; batched steps
 // gather/scatter the rows explicitly (serve/shard.cc), which is one of
 // the two costs the batching policy trades against (docs/serving.md).
+//
+// Eviction (docs/serving.md "Live mode"): a store can be bounded by a
+// per-session TTL and an LRU cap so millions of transient clients do
+// not exhaust memory. Both rules are *arrival-driven* — they compare
+// request arrival stamps, never a wall clock read of their own — so
+// every eviction decision is a pure function of the request stream and
+// a recorded live run replays bit-identically through the virtual
+// clock path:
+//   * TTL is lazy: a session whose next request arrives more than
+//     ttl_us after its previous one restarts from zero state (the
+//     defined start of the recurrence) — decided per session from its
+//     own gaps, so it cannot depend on batching or shard count.
+//   * The physical sweep (sweep_expired) frees memory for sessions the
+//     lazy rule would reset anyway: arrivals are monotone per shard,
+//     so any future request of a swept session is guaranteed to arrive
+//     past its TTL. Sweeping is therefore value-neutral — it may run
+//     at any batch boundary without changing a single output bit.
+//   * The LRU cap evicts the least-recently-arrived *alive* session
+//     when a new one must be created at capacity, where alive means
+//     within the TTL of the incoming arrival stamp. Both the cap
+//     check and the victim choice are computed over that stamp-defined
+//     set — never over physical size(), which varies with sweep timing
+//     — so each eviction decision depends only on the stamped request
+//     prefix (identical live and replayed, whatever the grouping).
+//     Already-processed lanes are pinned — required so an eviction
+//     never invalidates their Session pointers mid-batch, and never
+//     the oldest alive session anyway since get_or_create just moved
+//     them to the front — while a session whose request sits later in
+//     the same batch enjoys no protection, exactly as if requests were
+//     served one at a time.
 #pragma once
 
 #include <cstdint>
@@ -22,33 +52,94 @@ namespace zss::serve {
 /// sharding never touch the heap.
 using SessionId = std::uint64_t;
 
+/// Eviction policy of a SessionStore. Defaults keep every session
+/// forever (the PR-3 behavior; what the closed-loop benches want).
+struct SessionTtl {
+  /// A session idle for strictly more than this many microseconds of
+  /// *arrival time* restarts from zero state on its next request; its
+  /// storage may be reclaimed by sweep_expired() meanwhile. Negative
+  /// disables the TTL.
+  std::int64_t ttl_us = -1;
+  /// Hard cap on live sessions per store; creating one past the cap
+  /// evicts the least-recently-arrived unpinned session. 0 = unbounded.
+  /// A shard requires max_sessions > max_batch (serve/shard.cc) so a
+  /// victim always exists outside the batch being served.
+  num::Index max_sessions = 0;
+};
+
 struct Session {
+  Session() = default;
+  // The store's LRU list holds raw pointers into the map's nodes;
+  // copying or moving a Session would leave those dangling.
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
   SessionId id = 0;
   num::Matrix h;  // (1 x dh), stored pruned — exactly what DRAM holds
   num::Matrix c;  // (1 x dh)
   std::uint64_t steps = 0;
+  /// Incremented each time the TTL rule restarted this session from
+  /// zero state (the client kept its id but lost its conversation).
+  std::uint64_t generation = 0;
+  /// Arrival stamp of the last request that touched this session.
+  std::int64_t last_arrival_us = 0;
+  /// Set by the shard while this session is a lane of the batch being
+  /// served; pinned sessions are never evicted or swept.
+  bool pinned = false;
+
+ private:
+  friend class SessionStore;
+  Session* lru_prev_ = nullptr;  // toward most recently used
+  Session* lru_next_ = nullptr;  // toward least recently used
 };
 
 /// Owns every session of one shard. Sessions are created on first use
 /// with all-zero state (the recurrence's defined start); lookups on the
-/// hot path never allocate.
+/// hot path never allocate. Single-threaded by design — a store belongs
+/// to exactly one shard, and a shard to exactly one worker thread.
 class SessionStore {
  public:
-  explicit SessionStore(num::Index hidden_dim);
+  explicit SessionStore(num::Index hidden_dim, SessionTtl ttl = {});
 
-  /// Returns the session, creating it with zero state if unseen.
-  /// Creation allocates; steady-state serving only looks up.
-  Session& get_or_create(SessionId id);
+  /// Returns the session, creating it with zero state if unseen (or if
+  /// the TTL expired since its previous request — same zero state, new
+  /// generation). `arrival_us` is the requesting event's arrival stamp;
+  /// callers must pass them non-decreasing (per-shard arrival order),
+  /// which is what makes eviction replay-deterministic. Creation
+  /// allocates; steady-state serving only looks up.
+  Session& get_or_create(SessionId id, std::int64_t arrival_us = 0);
+
+  /// Physically frees unpinned sessions whose TTL has expired relative
+  /// to `newest_arrival_us` (the newest arrival stamp processed so
+  /// far). Value-neutral by the monotone-arrivals argument above; call
+  /// it at batch boundaries, never mid-batch. Returns sessions freed.
+  num::Index sweep_expired(std::int64_t newest_arrival_us);
 
   Session* find(SessionId id);
   const Session* find(SessionId id) const;
 
   num::Index size() const { return static_cast<num::Index>(sessions_.size()); }
   num::Index hidden_dim() const { return dh_; }
+  const SessionTtl& ttl() const { return ttl_; }
+
+  /// Lifetime counters (monotone; not epoch-scoped).
+  std::uint64_t created() const { return created_; }
+  std::uint64_t ttl_resets() const { return ttl_resets_; }
+  std::uint64_t evicted() const { return evicted_; }
 
  private:
+  void lru_unlink(Session& s);
+  void lru_push_front(Session& s);
+  void evict(Session& s);
+
   num::Index dh_;
+  SessionTtl ttl_;
   std::unordered_map<SessionId, Session> sessions_;
+  Session* lru_head_ = nullptr;  // most recently used
+  Session* lru_tail_ = nullptr;  // least recently used
+  std::uint64_t created_ = 0;
+  std::uint64_t ttl_resets_ = 0;
+  std::uint64_t evicted_ = 0;
 };
 
 }  // namespace zss::serve

@@ -27,15 +27,21 @@ double thread_cpu_us() {
 EngineShard::EngineShard(const nn::LstmCell& cell,
                          const core::StatePruner& pruner,
                          const BatchPolicy& policy,
-                         sparse::EncoderConfig encoder)
+                         sparse::EncoderConfig encoder, SessionTtl ttl)
     : cell_(&cell),
       engine_(cell, pruner, encoder),
-      sessions_(cell.hidden_dim()),
+      sessions_(cell.hidden_dim(), ttl),
       batcher_(policy) {
   // A whole-batch quantile threshold would make a session's outputs
   // depend on its batch-mates — the one thing the serving determinism
   // guarantee cannot absorb (see the header note).
   ZSS_EXPECTS(pruner.config().mode != core::PruneMode::kTargetSparsity);
+  // Processed lanes pin (unevictable) as the batch is assembled, so a
+  // capped store must be strictly larger than a batch: an unpinned LRU
+  // victim then always exists, and it is never a processed lane —
+  // which keeps eviction a pure function of the request stream
+  // (session.h) and eviction-vs-lane-pointer safety trivial.
+  ZSS_EXPECTS(ttl.max_sessions == 0 || ttl.max_sessions > policy.max_batch);
   engine_.reserve(policy.max_batch);
   batch_.reserve(static_cast<std::size_t>(policy.max_batch));
   lanes_.reserve(static_cast<std::size_t>(policy.max_batch));
@@ -66,8 +72,24 @@ num::Index EngineShard::step_batch(std::int64_t now_us,
   const double cpu0 = thread_cpu_us();
 
   lanes_.clear();
+  // Lanes pin one at a time, in request order, exactly as their
+  // get_or_create runs. Pinning exists for memory safety (an eviction
+  // must never invalidate an earlier lane's Session pointer) and is
+  // redundant for victim choice — get_or_create just moved every
+  // processed lane to the LRU front, so with max_sessions > max_batch
+  // the tail is always someone else. Deliberately NOT pinned: sessions
+  // named by *later* lanes of this batch. An eviction decision may
+  // only depend on the prefix of requests processed so far — never on
+  // batch composition, which live serving and virtual-clock replay
+  // legitimately disagree on. If the LRU tail has a request later in
+  // this very batch, it is evicted and restarted exactly as a serial
+  // request-at-a-time processor would decide (grouping-independence is
+  // test-enforced: LruEvictionIsIndependentOfBatchGrouping).
   for (num::Index r = 0; r < B; ++r) {
-    lanes_.push_back(&sessions_.get_or_create(batch_[static_cast<std::size_t>(r)].session));
+    const Request& rq = batch_[static_cast<std::size_t>(r)];
+    Session& s = sessions_.get_or_create(rq.session, rq.arrival_us);
+    s.pinned = true;
+    lanes_.push_back(&s);
   }
 
   x_.resize(B, dx, 0.0f);
@@ -114,12 +136,19 @@ num::Index EngineShard::step_batch(std::int64_t now_us,
     Response resp;
     resp.session = s.id;
     resp.seq = batch_[static_cast<std::size_t>(r)].seq;
+    resp.arrival_us = batch_[static_cast<std::size_t>(r)].arrival_us;
     resp.done_us = now_us;
     resp.service_us = service_us;
     resp.batch = B;
     resp.h = s.h.row(0);
     sink(resp);
   }
+  for (Session* s : lanes_) s->pinned = false;
+  // Batch boundary: reclaim idle sessions. Arrival stamps are monotone
+  // within a shard, so the newest stamp of this (FIFO) batch bounds
+  // every future arrival — the sweep frees only sessions the lazy TTL
+  // rule would restart anyway (value-neutral; session.h).
+  sessions_.sweep_expired(batch_[static_cast<std::size_t>(B - 1)].arrival_us);
   return B;
 }
 

@@ -58,10 +58,12 @@ class EngineShard {
  public:
   /// Borrows cell and pruner (caller keeps them alive; both are shared
   /// read-only across shards). Rejects batch-composition-dependent
-  /// pruning — see the determinism note above.
+  /// pruning — see the determinism note above. A bounded session store
+  /// (ttl.max_sessions > 0) must leave room for a whole batch of
+  /// pinned lanes plus an eviction victim: max_sessions > max_batch.
   EngineShard(const nn::LstmCell& cell, const core::StatePruner& pruner,
               const BatchPolicy& policy,
-              sparse::EncoderConfig encoder = {});
+              sparse::EncoderConfig encoder = {}, SessionTtl ttl = {});
 
   void enqueue(const Request& r) { batcher_.enqueue(r); }
 

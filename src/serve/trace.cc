@@ -1,5 +1,7 @@
 #include "serve/trace.h"
 
+#include "serve/protocol.h"
+
 #include <algorithm>
 #include <fstream>
 #include <istream>
@@ -20,17 +22,31 @@ bool parse_trace(std::istream& in, std::vector<TraceEvent>& out,
     if (first == std::string::npos || line[first] == '#') continue;
     std::istringstream fields(line);
     TraceEvent e;
+    std::string arrival_field, session_field, token_field;
     std::string excess;
+    std::uint64_t arrival_v = 0, token_v = 0;
     // Exactly three fields per line: trailing tokens mean a corrupted
     // trace (e.g. a lost newline merging two events), and silently
     // dropping the tail would surface later as a digest mismatch
-    // misattributed to the determinism guarantee.
-    if (!(fields >> e.arrival_us >> e.session >> e.token) ||
-        e.arrival_us < 0 || e.token < 0 || (fields >> excess)) {
+    // misattributed to the determinism guarantee. Every numeric field
+    // goes through the strict digits-only parse (protocol.h) — stream
+    // extraction would wrap a negative session id modulo 2^64 and
+    // quietly accept '+'-prefixed numbers the protocol parser rejects.
+    if (!(fields >> arrival_field >> session_field >> token_field) ||
+        !parse_session_id(arrival_field, arrival_v) ||
+        arrival_v > static_cast<std::uint64_t>(
+                        std::numeric_limits<std::int64_t>::max()) ||
+        !parse_session_id(session_field, e.session) ||
+        !parse_session_id(token_field, token_v) ||
+        token_v > static_cast<std::uint64_t>(
+                      std::numeric_limits<num::Index>::max()) ||
+        (fields >> excess)) {
       if (error) *error = "malformed trace line " + std::to_string(lineno) +
                           ": " + line;
       return false;
     }
+    e.arrival_us = static_cast<std::int64_t>(arrival_v);
+    e.token = static_cast<num::Index>(token_v);
     if (!out.empty() && e.arrival_us < out.back().arrival_us) {
       if (error) *error = "trace not sorted by arrival_us at line " +
                           std::to_string(lineno);

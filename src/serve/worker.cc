@@ -1,0 +1,194 @@
+#include "serve/worker.h"
+
+#include <chrono>
+#include <utility>
+
+namespace zss::serve {
+
+namespace {
+
+std::function<std::int64_t()> steady_clock_since_now() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return [t0] {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+}
+
+}  // namespace
+
+ShardWorker::ShardWorker(EngineShard& shard, ResponseSink sink,
+                         std::function<std::int64_t()> now_us,
+                         num::Index max_queue)
+    : shard_(&shard),
+      sink_(std::move(sink)),
+      now_(std::move(now_us)),
+      max_queue_(max_queue) {
+  ZSS_EXPECTS(max_queue >= 0);
+  // Submissions burst-append between wakeups; both buffers keep their
+  // capacity across swaps, so the steady state allocates nothing.
+  inbox_.reserve(64);
+  taking_.reserve(64);
+}
+
+ShardWorker::~ShardWorker() {
+  request_stop();
+  join();
+}
+
+void ShardWorker::start() {
+  ZSS_EXPECTS(!thread_.joinable());
+  thread_ = std::thread([this] { run(); });
+}
+
+bool ShardWorker::submit(const Request& r) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return false;
+    if (max_queue_ > 0 && inflight_ >= max_queue_) return false;
+    inbox_.push_back(r);
+    ++inflight_;
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void ShardWorker::request_flush() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    flush_ = true;
+  }
+  cv_.notify_one();
+}
+
+void ShardWorker::request_stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_one();
+}
+
+void ShardWorker::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void ShardWorker::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    const bool stopping = stop_;
+    const bool flushing = flush_;
+    flush_ = false;
+    if (!inbox_.empty()) std::swap(inbox_, taking_);
+    lock.unlock();
+
+    // Everything below runs unlocked: this thread is the shard's sole
+    // toucher, and producers only ever see the inbox.
+    for (const Request& r : taking_) shard_->enqueue(r);
+    taking_.clear();
+
+    const std::int64_t now = now_();
+    num::Index n = 0;
+    if (stopping || flushing) {
+      n = shard_->flush(now, sink_);
+    } else {
+      // Serving a batch can make the next one due (an unblocked
+      // same-session conflict), so settle the instant.
+      while (const num::Index b = shard_->process_ready(now, sink_)) n += b;
+    }
+
+    lock.lock();
+    inflight_ -= n;
+    if (stopping) {
+      // A submit that won the race against request_stop() may have
+      // landed after the swap; take one more round for it.
+      if (inbox_.empty()) break;
+      continue;
+    }
+    if (stop_ || flush_ || !inbox_.empty()) continue;
+    if (shard_->pending() > 0) {
+      // Sleep toward the oldest request's max-wait deadline; a new
+      // submission wakes us earlier. Waking late moves batch
+      // boundaries only — never values (the determinism guarantee).
+      const std::int64_t deadline = shard_->batcher().oldest_arrival_us() +
+                                    shard_->batcher().policy().max_wait_us;
+      const std::int64_t wait = deadline - now_();
+      if (wait > 0) {
+        cv_.wait_for(lock, std::chrono::microseconds(wait));
+      }
+    } else {
+      cv_.wait(lock, [this] { return stop_ || flush_ || !inbox_.empty(); });
+    }
+  }
+}
+
+LiveServer::LiveServer(EnginePool& pool, ResponseSink sink, LiveConfig config)
+    : pool_(&pool),
+      now_(config.now_us ? std::move(config.now_us)
+                         : steady_clock_since_now()),
+      record_(config.record) {
+  const ResponseSink counted = [this, user_sink = std::move(sink)](
+                                   const Response& r) {
+    // Count after delivery: a caller synchronizing on responded() must
+    // never observe a response whose sink call has not finished.
+    user_sink(r);
+    responded_.fetch_add(1, std::memory_order_relaxed);
+  };
+  for (num::Index s = 0; s < pool.num_shards(); ++s) {
+    workers_.emplace_back(pool.shard(s), counted, now_, config.max_queue);
+  }
+  for (ShardWorker& w : workers_) w.start();
+}
+
+LiveServer::~LiveServer() { shutdown(); }
+
+std::optional<std::uint64_t> LiveServer::submit(SessionId session,
+                                                num::Index token) {
+  ZSS_EXPECTS(token >= 0);
+  std::lock_guard<std::mutex> lock(stamp_mu_);
+  if (stopped_) return std::nullopt;
+  // Monotone stamping under the one lock: queue order, record order and
+  // stamp order are the same total order (see worker.h).
+  std::int64_t now = now_();
+  if (now < last_stamp_) now = last_stamp_;
+  last_stamp_ = now;
+
+  Request r;
+  r.session = session;
+  r.token = token;
+  r.arrival_us = now;
+  r.seq = next_seq_;
+  ShardWorker& w =
+      workers_[static_cast<std::size_t>(pool_->shard_of(session))];
+  if (!w.submit(r)) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  ++next_seq_;
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (record_) {
+    TraceEvent e;
+    e.arrival_us = now;
+    e.session = session;
+    e.token = token;
+    recorded_.push_back(e);
+  }
+  return r.seq;
+}
+
+void LiveServer::flush_all() {
+  for (ShardWorker& w : workers_) w.request_flush();
+}
+
+void LiveServer::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(stamp_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  for (ShardWorker& w : workers_) w.request_stop();
+  for (ShardWorker& w : workers_) w.join();
+}
+
+}  // namespace zss::serve

@@ -131,6 +131,145 @@ TEST(RequestBatcherTest, SparsityFeedbackIsSmoothed) {
   EXPECT_DOUBLE_EQ(b.lane_sparsity_estimate(), 0.25 * 0.4 + 0.75 * 0.8);
 }
 
+// --- Wraparound / max-wait edge regressions (PR 4 audit) -------------
+// The audit walked every head_/count_ transition: growth triggered
+// exactly at capacity, pop landing head_ exactly on the wrap point,
+// a direct reserve() while the ring is wrapped, and the max-wait
+// comparison at its exact boundary. Each case below pins one of them.
+
+TEST(RequestBatcherTest, BatchClosingExactlyAtRingCapacity) {
+  // The ring starts at capacity 64; filling it exactly (count_ ==
+  // ring size) and popping everything in one batch leaves head_ on
+  // the wrap point — the next enqueue/pop cycle must still be FIFO
+  // and must not have grown the ring.
+  BatchPolicy policy;
+  policy.max_batch = 64;
+  policy.max_wait_us = 0;
+  RequestBatcher b(policy);
+
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    b.enqueue(req(/*session=*/100 + i, 0, i));
+  }
+  EXPECT_EQ(b.pending(), 64);
+  EXPECT_TRUE(b.ready(0)) << "a full batch at exact capacity is due";
+  std::vector<Request> out;
+  EXPECT_EQ(b.pop_batch(out), 64);
+  for (std::uint64_t i = 0; i < 64; ++i) EXPECT_EQ(out[i].seq, i);
+
+  // head_ is now 64 % 64 == 0 again; a second lap must behave as the
+  // first (this is the "closed exactly at capacity" wrap edge).
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    b.enqueue(req(/*session=*/200 + i, 0, 64 + i));
+  }
+  EXPECT_EQ(b.pop_batch(out), 64);
+  for (std::uint64_t i = 0; i < 64; ++i) EXPECT_EQ(out[i].seq, 64 + i);
+}
+
+TEST(RequestBatcherTest, GrowthTriggeredWithWrappedHeadPreservesFifo) {
+  // Park head_ mid-ring, fill to exact capacity so the *next* enqueue
+  // grows a wrapped ring: the relocation must preserve FIFO order.
+  BatchPolicy policy;
+  policy.max_batch = 16;
+  policy.max_wait_us = 0;
+  RequestBatcher b(policy);
+
+  std::uint64_t next = 0;
+  std::vector<Request> out;
+  for (std::uint64_t i = 0; i < 16; ++i) b.enqueue(req(1000 + next, 0, next)), ++next;
+  EXPECT_EQ(b.pop_batch(out), 16);  // head_ = 16, ring wrapped region live
+  for (std::uint64_t i = 0; i < 64; ++i) b.enqueue(req(1000 + next, 0, next)), ++next;
+  EXPECT_EQ(b.pending(), 64) << "exactly at capacity";
+  b.enqueue(req(1000 + next, 0, next));  // forces the grow-while-wrapped copy
+  ++next;
+
+  std::uint64_t expect = 16;
+  while (b.pop_batch(out) > 0) {
+    for (const Request& r : out) EXPECT_EQ(r.seq, expect++) << "FIFO broken";
+  }
+  EXPECT_EQ(expect, next) << "every request survived the relocation";
+}
+
+TEST(RequestBatcherTest, ExplicitReserveWhileWrappedPreservesFifo) {
+  BatchPolicy policy;
+  policy.max_batch = 8;
+  policy.max_wait_us = 0;
+  RequestBatcher b(policy);
+
+  std::uint64_t next = 0;
+  std::vector<Request> out;
+  for (int i = 0; i < 60; ++i) b.enqueue(req(1000 + next, 0, next)), ++next;
+  EXPECT_EQ(b.pop_batch(out), 8);  // head_ = 8
+  for (int i = 0; i < 10; ++i) b.enqueue(req(1000 + next, 0, next)), ++next;  // wraps
+
+  b.reserve(256);  // linearizes the wrapped contents into a fresh ring
+  std::uint64_t expect = 8;
+  while (b.pop_batch(out) > 0) {
+    for (const Request& r : out) EXPECT_EQ(r.seq, expect++);
+  }
+  EXPECT_EQ(expect, next);
+
+  // Shrinking reserve() is documented as a no-op, never data loss.
+  b.enqueue(req(1, 0, next));
+  b.reserve(1);
+  EXPECT_EQ(b.pending(), 1);
+  EXPECT_EQ(b.pop_batch(out), 1);
+  EXPECT_EQ(out[0].seq, next);
+}
+
+TEST(RequestBatcherTest, ConflictRequeueOrderingSurvivesWrap) {
+  // A conflict-split batch leaves the duplicate at the head; when that
+  // happens repeatedly across the wrap point, the remainder must stay
+  // in exact arrival order (this is the re-queue ordering the
+  // per-session guarantee leans on).
+  BatchPolicy policy;
+  policy.max_batch = 4;
+  policy.max_wait_us = 0;
+  RequestBatcher b(policy);
+
+  std::uint64_t next = 0;
+  std::vector<Request> out;
+  std::vector<std::uint64_t> served;
+  for (int round = 0; round < 100; ++round) {
+    // Pattern per round: A B B A — two conflicts per pop cycle.
+    const SessionId a = 1, bb = 2;
+    b.enqueue(req(a, 0, next++));
+    b.enqueue(req(bb, 0, next++));
+    b.enqueue(req(bb, 0, next++));
+    b.enqueue(req(a, 0, next++));
+    while (b.pending() > 2 || (round == 99 && b.pending() > 0)) {
+      const num::Index n = b.pop_batch(out);
+      ASSERT_GE(n, 1);
+      for (const Request& r : out) served.push_back(r.seq);
+    }
+  }
+  while (b.pop_batch(out) > 0) {
+    for (const Request& r : out) served.push_back(r.seq);
+  }
+  ASSERT_EQ(served.size(), static_cast<std::size_t>(next));
+  for (std::uint64_t i = 0; i < served.size(); ++i) {
+    EXPECT_EQ(served[i], i) << "global FIFO broke at a conflict re-queue";
+  }
+}
+
+TEST(RequestBatcherTest, MaxWaitBoundaryIsExact) {
+  BatchPolicy policy;
+  policy.max_batch = 8;
+  policy.max_wait_us = 100;
+  RequestBatcher b(policy);
+  b.enqueue(req(1, /*arrival=*/50));
+  EXPECT_FALSE(b.ready(149)) << "one microsecond early";
+  EXPECT_TRUE(b.ready(150)) << "exactly at the deadline";
+
+  // max_wait_us = 0: every arrived request is immediately due, even a
+  // batch of one with room to grow.
+  BatchPolicy eager;
+  eager.max_batch = 8;
+  eager.max_wait_us = 0;
+  RequestBatcher e(eager);
+  e.enqueue(req(1, 1000));
+  EXPECT_TRUE(e.ready(1000)) << "zero max-wait serves at its own arrival";
+}
+
 TEST(RequestBatcherTest, RingSurvivesGrowthAndWrapAround) {
   BatchPolicy policy;
   policy.max_batch = 3;

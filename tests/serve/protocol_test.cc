@@ -1,0 +1,113 @@
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "num/matrix.h"
+
+// The live protocol's grammar is tiny on purpose; these tests pin down
+// the whole surface — every verb, the blank/comment rule, and the
+// strict rejection of anything else (same philosophy as the trace
+// parser: never guess at a corrupted line).
+namespace zss::serve {
+namespace {
+
+CommandLine parse_ok(const std::string& line) {
+  CommandLine cmd;
+  std::string error;
+  EXPECT_EQ(parse_command(line, cmd, &error), ParseStatus::kCommand)
+      << line << ": " << error;
+  return cmd;
+}
+
+void expect_error(const std::string& line) {
+  CommandLine cmd;
+  std::string error;
+  EXPECT_EQ(parse_command(line, cmd, &error), ParseStatus::kError) << line;
+  EXPECT_FALSE(error.empty()) << "rejection must say why: " << line;
+}
+
+TEST(ProtocolTest, ParsesEveryVerb) {
+  const CommandLine step = parse_ok("step 42 7");
+  EXPECT_EQ(step.op, CommandLine::Op::kStep);
+  EXPECT_EQ(step.session, 42u);
+  EXPECT_EQ(step.token, 7);
+
+  EXPECT_EQ(parse_ok("flush").op, CommandLine::Op::kFlush);
+  EXPECT_EQ(parse_ok("stats").op, CommandLine::Op::kStats);
+  EXPECT_EQ(parse_ok("quit").op, CommandLine::Op::kQuit);
+  // Leading whitespace and trailing newline are transport artifacts.
+  EXPECT_EQ(parse_ok("  step 1 0\n").op, CommandLine::Op::kStep);
+}
+
+TEST(ProtocolTest, BlanksAndCommentsAreIgnored) {
+  CommandLine cmd;
+  EXPECT_EQ(parse_command("", cmd, nullptr), ParseStatus::kBlank);
+  EXPECT_EQ(parse_command("   \t", cmd, nullptr), ParseStatus::kBlank);
+  EXPECT_EQ(parse_command("\r\n", cmd, nullptr), ParseStatus::kBlank);
+  EXPECT_EQ(parse_command("# step 1 2", cmd, nullptr), ParseStatus::kBlank);
+  EXPECT_EQ(parse_command("  # indented", cmd, nullptr), ParseStatus::kBlank);
+}
+
+TEST(ProtocolTest, MalformedLinesAreRejectedNotGuessed) {
+  expect_error("step");           // missing both fields
+  expect_error("step 5");         // missing token
+  expect_error("step 5 7 9");     // trailing field (merged lines)
+  expect_error("step five 7");    // non-numeric session
+  expect_error("step 5 -1");      // negative token
+  expect_error("flush now");      // verb takes no arguments
+  expect_error("stats 1");
+  expect_error("quit quit");
+  expect_error("speak 5 7");      // unknown verb
+  expect_error("step 5 99999999999999999999999999");  // token overflow
+  // A negative or signed session must be rejected, not wrapped modulo
+  // 2^64 into a phantom session (strtoull semantics of stream >>).
+  expect_error("step -7 42");
+  expect_error("step +7 42");
+  expect_error("step 18446744073709551616 0");  // session overflow (2^64)
+  expect_error("step 0x10 0");                  // digits only, no hex
+}
+
+TEST(ProtocolTest, ResponseFormatIsStableAndDigestMatchesRow) {
+  num::Matrix h(1, 4);
+  h(0, 0) = 1.0f;
+  h(0, 1) = -2.5f;
+  h(0, 2) = 0.0f;
+  h(0, 3) = 3.25f;
+
+  Response r;
+  r.session = 9;
+  r.seq = 123;
+  r.batch = 4;
+  r.h = h.row(0);
+
+  const std::string line = format_response(r);
+  char expect[96];
+  std::snprintf(expect, sizeof(expect), "ok 9 123 4 %016llx",
+                static_cast<unsigned long long>(digest_row(h.row(0))));
+  EXPECT_EQ(line, expect);
+
+  // The digest is the FNV-1a of the row bytes — one bit of state flips
+  // it (this is what makes `diff` a determinism gate).
+  const std::uint64_t before = digest_row(h.row(0));
+  h(0, 2) = 1e-30f;
+  EXPECT_NE(digest_row(h.row(0)), before);
+}
+
+TEST(ProtocolTest, FormatErrorPrefixesErr) {
+  EXPECT_EQ(format_error("overloaded, request shed"),
+            "err overloaded, request shed");
+}
+
+TEST(ProtocolTest, FnvPrimitiveIsTheSharedReference) {
+  // Pinned values so the digest scheme can't drift silently between
+  // the replay driver, the live protocol and the docs.
+  EXPECT_EQ(fnv1a(kFnvOffset, "", 0), kFnvOffset);
+  const unsigned char bytes[] = {0x61};  // "a"
+  EXPECT_EQ(fnv1a(kFnvOffset, bytes, 1), 0xaf63dc4c8601ec8cULL);
+}
+
+}  // namespace
+}  // namespace zss::serve

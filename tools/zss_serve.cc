@@ -1,31 +1,56 @@
-// zss_serve — trace-replay front end for the serving subsystem.
+// zss_serve — trace-replay and live-serving front end for src/serve/.
 //
-// Replays a request trace (serve/trace.h text format) through a
-// batched, sharded EnginePool under a deterministic virtual clock, and
-// prints per-session output digests. Because per-session outputs are
-// bit-identical at any shard count and any max-batch (the determinism
-// guarantee of docs/serving.md), running the same trace with different
-// --shards must print identical digest tables — CI diffs exactly that.
+// Two serving modes over the same pool:
+//
+//   * Replay (--trace=FILE): replays a request trace under the
+//     deterministic virtual clock and prints per-session output
+//     digests. Because per-session outputs are bit-identical at any
+//     shard count and any max-batch (docs/serving.md), running the
+//     same trace with different --shards must print identical digest
+//     tables — CI diffs exactly that.
+//   * Live (--live): persistent per-shard worker threads serve a
+//     line-oriented streaming protocol (serve/protocol.h) on
+//     stdin/stdout, or on a UNIX socket with --socket=PATH. With
+//     --record=FILE every accepted request is written back out as a
+//     trace, and replaying that file reproduces the live run's digest
+//     table bit-for-bit — the live loop's determinism contract, and
+//     what CI's live-smoke step diffs.
 //
 //   zss_serve --trace=data/traces/serving_200.txt --shards=4
-//   zss_serve --trace=t.txt --shards=1 --digests=digests_1.txt
+//   zss_serve --live --shards=4 --record=run.txt --digests=live.txt
+//   zss_serve --live --socket=/tmp/zss.sock --ttl-us=60000000
 //   zss_serve --emit-trace=200 --sessions=16 --gap-us=150 > trace.txt
 //
 // The model is a seeded randomly-initialized cell (this is a serving
 // harness, not an accuracy demo); --threshold sets the fixed pruning
-// threshold the sessions' stored states are pruned with.
+// threshold the sessions' stored states are pruned with. --ttl-us and
+// --max-sessions bound the per-shard session stores in either mode
+// (give the replay the same values to reproduce a recorded live run).
 #include <cinttypes>
+#include <condition_variable>
+#include <csignal>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include "core/state_pruner.h"
 #include "nn/lstm_cell.h"
 #include "num/rng.h"
 #include "num/simd/backend.h"
+#include "serve/protocol.h"
 #include "serve/trace.h"
+#include "serve/worker.h"
 
 namespace {
 
@@ -34,11 +59,17 @@ using namespace zss;
 struct Args {
   std::string trace;
   std::string digests_path;
+  std::string socket_path;
+  std::string record_path;
   num::Index emit_trace = 0;  // >0: generate instead of serve
+  bool live = false;
   num::Index shards = 1;
   num::Index max_batch = 8;
   std::int64_t max_wait_us = 200;
   double max_kept = 1.0;
+  std::int64_t ttl_us = -1;
+  num::Index max_sessions = 0;
+  num::Index max_queue = 0;
   num::Index dh = 256;
   num::Index dx = 32;
   num::Index sessions = 16;
@@ -59,8 +90,14 @@ bool parse(int argc, char** argv, Args& args) {
       args.trace = v;
     } else if (const char* v = value("digests")) {
       args.digests_path = v;
+    } else if (const char* v = value("socket")) {
+      args.socket_path = v;
+    } else if (const char* v = value("record")) {
+      args.record_path = v;
     } else if (const char* v = value("emit-trace")) {
       args.emit_trace = std::atol(v);
+    } else if (a == "--live") {
+      args.live = true;
     } else if (const char* v = value("shards")) {
       args.shards = std::atol(v);
     } else if (const char* v = value("max-batch")) {
@@ -69,6 +106,12 @@ bool parse(int argc, char** argv, Args& args) {
       args.max_wait_us = std::atol(v);
     } else if (const char* v = value("max-kept")) {
       args.max_kept = std::atof(v);
+    } else if (const char* v = value("ttl-us")) {
+      args.ttl_us = std::atoll(v);
+    } else if (const char* v = value("max-sessions")) {
+      args.max_sessions = std::atol(v);
+    } else if (const char* v = value("max-queue")) {
+      args.max_queue = std::atol(v);
     } else if (const char* v = value("dh")) {
       args.dh = std::atol(v);
     } else if (const char* v = value("dx")) {
@@ -95,11 +138,32 @@ bool parse(int argc, char** argv, Args& args) {
   if (args.shards < 1 || args.max_batch < 1 || args.max_wait_us < 0 ||
       args.max_kept <= 0.0 || args.max_kept > 1.0 || args.dh < 1 ||
       args.dx < 1 || args.sessions < 1 || args.gap_us < 0 ||
-      args.threshold < 0.0f) {
+      args.threshold < 0.0f || args.max_sessions < 0 || args.max_queue < 0) {
     std::fprintf(stderr,
                  "invalid flag value (need shards/max-batch/dh/dx/sessions "
-                 ">= 1, max-wait-us/gap-us >= 0, 0 < max-kept <= 1, "
-                 "threshold >= 0)\n");
+                 ">= 1, max-wait-us/gap-us/max-sessions/max-queue >= 0, "
+                 "0 < max-kept <= 1, threshold >= 0)\n");
+    return false;
+  }
+  if (args.max_sessions > 0 && args.max_sessions <= args.max_batch) {
+    std::fprintf(stderr, "--max-sessions must exceed --max-batch (a whole "
+                         "batch is pinned while it is served)\n");
+    return false;
+  }
+  // Reject flag combinations that would otherwise be silently ignored
+  // (a script passing --live --trace=... would block on stdin forever;
+  // --trace with --record would exit success without writing the file).
+  const int modes = (args.live ? 1 : 0) + (!args.trace.empty() ? 1 : 0) +
+                    (args.emit_trace > 0 ? 1 : 0);
+  if (modes > 1) {
+    std::fprintf(stderr,
+                 "--live, --trace and --emit-trace are mutually exclusive\n");
+    return false;
+  }
+  if (!args.live && (!args.socket_path.empty() || !args.record_path.empty() ||
+                     args.max_queue > 0)) {
+    std::fprintf(stderr,
+                 "--socket/--record/--max-queue only apply to --live\n");
     return false;
   }
   return true;
@@ -110,49 +174,82 @@ void usage() {
       stderr,
       "usage: zss_serve --trace=FILE [--shards=N] [--max-batch=B]\n"
       "                 [--max-wait-us=U] [--max-kept=F] [--dh=D] [--dx=D]\n"
-      "                 [--threshold=T] [--seed=S] [--dump]\n"
-      "                 [--digests=FILE]\n"
+      "                 [--threshold=T] [--seed=S] [--ttl-us=T]\n"
+      "                 [--max-sessions=N] [--dump] [--digests=FILE]\n"
+      "   or: zss_serve --live [same model/policy flags] [--socket=PATH]\n"
+      "                 [--record=FILE] [--max-queue=N]   (protocol: see\n"
+      "                 docs/serving.md \"Live mode\"; stdin/stdout default)\n"
       "   or: zss_serve --emit-trace=N [--sessions=S] [--vocab via --dx]\n"
       "                 [--gap-us=G] [--seed=S]   (writes trace to stdout)\n");
 }
 
-std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t bytes) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < bytes; ++i) {
-    h ^= p[i];
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
-constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
-
 struct SessionDigest {
   std::uint64_t steps = 0;
-  std::uint64_t digest = kFnvOffset;
+  std::uint64_t digest = serve::kFnvOffset;
 };
 
-}  // namespace
+using DigestTable = std::map<serve::SessionId, SessionDigest>;
 
-int main(int argc, char** argv) {
-  Args args;
-  if (!parse(argc, argv, args)) {
-    usage();
-    return 2;
-  }
+/// Folds one response into its session's rolling digest and returns
+/// the row digest — computed exactly once, so the live mode can share
+/// it with the protocol "ok" line instead of hashing the row twice.
+std::uint64_t fold_response(DigestTable& table, const serve::Response& r) {
+  const std::uint64_t row = serve::digest_row(r.h);
+  SessionDigest& d = table[r.session];
+  d.digest = serve::fnv1a(d.digest, &row, sizeof row);
+  ++d.steps;
+  return row;
+}
 
-  if (args.emit_trace > 0) {
-    num::Rng rng(args.seed);
-    const auto events = serve::synthetic_trace(args.emit_trace, args.sessions,
-                                               args.dx, args.gap_us, rng);
-    serve::write_trace(std::cout, events);
-    return 0;
+/// Prints the table in the one format both modes share, so
+/// `diff live_digests replay_digests` is the determinism gate.
+/// `cap_active`: the LRU cap is per shard, so with --max-sessions set
+/// the cross-shard-count half of the claim does not hold (the
+/// record/replay half always does) — don't invite a false bug report.
+void print_digests(const DigestTable& table, const std::string& path,
+                   bool cap_active) {
+  if (cap_active) {
+    std::printf("\nper-session digests (bit-identical for any --max-batch "
+                "and vs record/replay at equal --shards; --max-sessions is "
+                "per shard):\n");
+  } else {
+    std::printf("\nper-session digests (bit-identical for any --shards / "
+                "--max-batch):\n");
   }
+  std::FILE* df = nullptr;
+  if (!path.empty()) {
+    df = std::fopen(path.c_str(), "w");
+    if (df == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    }
+  }
+  for (const auto& [id, d] : table) {  // std::map: sorted by id
+    std::printf("session %" PRIu64 " steps %" PRIu64 " digest %016" PRIx64 "\n",
+                id, d.steps, d.digest);
+    if (df != nullptr) {
+      std::fprintf(df, "session %" PRIu64 " steps %" PRIu64
+                       " digest %016" PRIx64 "\n",
+                   id, d.steps, d.digest);
+    }
+  }
+  if (df != nullptr) {
+    std::fclose(df);
+    std::printf("wrote %s\n", path.c_str());
+  }
+}
 
-  if (args.trace.empty()) {
-    usage();
-    return 2;
-  }
+serve::PoolConfig pool_config(const Args& args) {
+  serve::PoolConfig config;
+  config.shards = args.shards;
+  config.policy.max_batch = args.max_batch;
+  config.policy.max_wait_us = args.max_wait_us;
+  config.policy.max_kept_fraction = args.max_kept;
+  config.session_ttl.ttl_us = args.ttl_us;
+  config.session_ttl.max_sessions = args.max_sessions;
+  return config;
+}
+
+int run_replay(const Args& args) {
   std::vector<serve::TraceEvent> events;
   std::string error;
   if (!serve::load_trace_file(args.trace, events, &error)) {
@@ -163,20 +260,14 @@ int main(int argc, char** argv) {
   num::Rng rng(args.seed);
   nn::LstmCell cell(args.dx, args.dh, rng);
   core::StatePruner pruner(core::PrunerConfig::fixed(args.threshold));
-  serve::PoolConfig config;
-  config.shards = args.shards;
-  config.policy.max_batch = args.max_batch;
-  config.policy.max_wait_us = args.max_wait_us;
-  config.policy.max_kept_fraction = args.max_kept;
-  serve::EnginePool pool(cell, pruner, config);
+  serve::EnginePool pool(cell, pruner, pool_config(args));
 
-  // Rolling per-session FNV-1a over every response's hidden bytes, in
-  // seq order — the serving layer's observable output stream.
-  std::map<serve::SessionId, SessionDigest> digests;
+  // Rolling per-session FNV-1a over each response's 8-byte row digest
+  // (the digest printed on live-mode "ok" lines), in seq order — the
+  // serving layer's observable output stream.
+  DigestTable digests;
   const serve::ResponseSink sink = [&](const serve::Response& r) {
-    SessionDigest& d = digests[r.session];
-    d.digest = fnv1a(d.digest, r.h.data(), r.h.size_bytes());
-    ++d.steps;
+    fold_response(digests, r);
     if (args.dump) {
       std::printf("seq %" PRIu64 " session %" PRIu64 " done_us %lld batch %lld\n",
                   r.seq, r.session, static_cast<long long>(r.done_us),
@@ -216,29 +307,7 @@ int main(int argc, char** argv) {
   std::printf("observed intersected sparsity %.4f across %lld sessions\n",
               obs_sparsity, static_cast<long long>(digests.size()));
 
-  std::printf("\nper-session digests (bit-identical for any --shards / "
-              "--max-batch):\n");
-  std::FILE* df = nullptr;
-  if (!args.digests_path.empty()) {
-    df = std::fopen(args.digests_path.c_str(), "w");
-    if (df == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", args.digests_path.c_str());
-      return 1;
-    }
-  }
-  for (const auto& [id, d] : digests) {  // std::map: sorted by id
-    std::printf("session %" PRIu64 " steps %" PRIu64 " digest %016" PRIx64 "\n",
-                id, d.steps, d.digest);
-    if (df != nullptr) {
-      std::fprintf(df, "session %" PRIu64 " steps %" PRIu64
-                       " digest %016" PRIx64 "\n",
-                   id, d.steps, d.digest);
-    }
-  }
-  if (df != nullptr) {
-    std::fclose(df);
-    std::printf("wrote %s\n", args.digests_path.c_str());
-  }
+  print_digests(digests, args.digests_path, args.max_sessions > 0);
 
   if (result.responses != result.requests) {
     std::fprintf(stderr, "zss_serve: %lld requests but %lld responses\n",
@@ -247,4 +316,273 @@ int main(int argc, char** argv) {
     return 1;
   }
   return 0;
+}
+
+/// Serializes all protocol output onto one dedicated writer thread.
+/// Shard workers and the ingest loop only ever enqueue under a short
+/// lock — nobody blocks on a slow reader while holding a lock the
+/// serving loop needs. A pipelining client that stops reading degrades
+/// to queued output; it can never deadlock the server (the failure mode
+/// of writing to a full pipe inside the response sink).
+class OutputWriter {
+ public:
+  explicit OutputWriter(std::FILE* f) : f_(f) {
+    thread_ = std::thread([this] { run(); });
+  }
+
+  /// Any exit path (including a future early return or an exception)
+  /// must join the writer, not std::terminate on a joinable thread.
+  ~OutputWriter() { finish(); }
+
+  void push(std::string line) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(line));
+    }
+    cv_.notify_one();
+  }
+
+  /// Drains everything queued, then joins. Idempotent; call after the
+  /// last push.
+  void finish() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_one();
+    thread_.join();
+  }
+
+ private:
+  void run() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      cv_.wait(lock, [this] { return done_ || !queue_.empty(); });
+      const bool done = done_;
+      std::swap(queue_, taking_);
+      lock.unlock();
+      for (const std::string& line : taking_) {
+        std::fprintf(f_, "%s\n", line.c_str());
+      }
+      if (!taking_.empty()) std::fflush(f_);
+      taking_.clear();
+      if (done) return;
+      lock.lock();
+    }
+  }
+
+  std::FILE* f_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::string> queue_, taking_;
+  bool done_ = false;
+  std::thread thread_;
+};
+
+/// Opens the UNIX socket, accepts one client, returns its fd (or -1).
+int accept_unix_client(const std::string& path) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("zss_serve: socket");
+    return -1;
+  }
+  // Reclaim a stale socket from a previous run, but refuse to delete
+  // anything else living at the path (a pasted-wrong --socket= must
+  // not destroy a regular file).
+  struct stat st{};
+  if (::lstat(path.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode)) {
+      std::fprintf(stderr,
+                   "zss_serve: refusing to replace non-socket file: %s\n",
+                   path.c_str());
+      ::close(listener);
+      return -1;
+    }
+    ::unlink(path.c_str());
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "zss_serve: socket path too long: %s\n", path.c_str());
+    ::close(listener);
+    return -1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listener, 1) < 0) {
+    std::perror("zss_serve: bind/listen");
+    ::close(listener);
+    return -1;
+  }
+  std::fprintf(stderr, "zss_serve: listening on %s\n", path.c_str());
+  const int client = ::accept(listener, nullptr, nullptr);
+  if (client < 0) std::perror("zss_serve: accept");
+  ::close(listener);
+  ::unlink(path.c_str());
+  return client;
+}
+
+int run_live(const Args& args) {
+  // A client that disconnects mid-run must not kill the server: with
+  // SIGPIPE ignored the pending writes fail with EPIPE, getline() then
+  // sees EOF on the closed connection, and shutdown drains normally.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  num::Rng rng(args.seed);
+  nn::LstmCell cell(args.dx, args.dh, rng);
+  core::StatePruner pruner(core::PrunerConfig::fixed(args.threshold));
+  serve::EnginePool pool(cell, pruner, pool_config(args));
+
+  // Input/output streams: stdin/stdout, or one accepted socket client.
+  std::FILE* fin = stdin;
+  std::FILE* fout = stdout;
+  int client_fd = -1;
+  if (!args.socket_path.empty()) {
+    client_fd = accept_unix_client(args.socket_path);
+    if (client_fd < 0) return 1;
+    fin = ::fdopen(client_fd, "r");
+    fout = ::fdopen(::dup(client_fd), "w");
+    if (fin == nullptr || fout == nullptr) {
+      std::perror("zss_serve: fdopen");
+      return 1;
+    }
+  }
+
+  // The sink runs on every shard worker thread. Sessions are
+  // shard-pinned, so one digest table per shard folds lock-free (each
+  // worker only ever touches its own) and the tables merge
+  // collision-free after shutdown; the actual write happens on the
+  // writer thread. Per-session output ordering is preserved because a
+  // session's responses all come from its one shard worker.
+  OutputWriter out(fout);
+  std::vector<DigestTable> shard_digests(
+      static_cast<std::size_t>(pool.num_shards()));
+  const serve::ResponseSink sink = [&](const serve::Response& r) {
+    DigestTable& table =
+        shard_digests[static_cast<std::size_t>(pool.shard_of(r.session))];
+    const std::uint64_t row = fold_response(table, r);
+    out.push(serve::format_response(r, row));
+  };
+
+  serve::LiveConfig live;
+  live.max_queue = args.max_queue;
+  live.record = !args.record_path.empty();
+  serve::LiveServer server(pool, sink, live);
+
+  std::fprintf(stderr,
+               "zss_serve: live, kernel_backend=%s shards=%lld max_batch=%lld "
+               "max_wait_us=%lld ttl_us=%lld max_sessions=%lld\n",
+               num::simd::active_backend().name,
+               static_cast<long long>(args.shards),
+               static_cast<long long>(args.max_batch),
+               static_cast<long long>(args.max_wait_us),
+               static_cast<long long>(args.ttl_us),
+               static_cast<long long>(args.max_sessions));
+
+  char* line = nullptr;
+  std::size_t cap = 0;
+  ssize_t len;
+  while ((len = ::getline(&line, &cap, fin)) >= 0) {
+    std::string_view sv(line, static_cast<std::size_t>(len));
+    // Strip the framing newline: parse errors echo the offending line
+    // back, and an embedded '\n' would split the err response in two.
+    while (!sv.empty() && (sv.back() == '\n' || sv.back() == '\r')) {
+      sv.remove_suffix(1);
+    }
+    serve::CommandLine cmd;
+    std::string error;
+    const serve::ParseStatus st = serve::parse_command(sv, cmd, &error);
+    if (st == serve::ParseStatus::kBlank) continue;
+    if (st == serve::ParseStatus::kError) {
+      out.push(serve::format_error(error));
+      continue;
+    }
+    if (cmd.op == serve::CommandLine::Op::kQuit) break;
+    if (cmd.op == serve::CommandLine::Op::kFlush) {
+      server.flush_all();
+      continue;
+    }
+    if (cmd.op == serve::CommandLine::Op::kStats) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "stat submitted=%" PRIu64 " responses=%" PRIu64
+                    " shed=%" PRIu64 " now_us=%lld",
+                    server.submitted(), server.responded(), server.shed(),
+                    static_cast<long long>(server.now_us()));
+      out.push(buf);
+      continue;
+    }
+    if (!server.submit(cmd.session, cmd.token).has_value()) {
+      out.push(serve::format_error("overloaded, request shed"));
+    }
+  }
+  std::free(line);
+
+  server.shutdown();
+  {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "bye submitted=%" PRIu64 " responses=%" PRIu64,
+                  server.submitted(), server.responded());
+    out.push(buf);
+  }
+  out.finish();
+  if (fin != stdin) std::fclose(fin);
+  if (fout != stdout) std::fclose(fout);
+
+  // Workers are joined: merge the per-shard tables (disjoint by
+  // shard-pinning) into the one table both modes print.
+  DigestTable digests;
+  for (const DigestTable& t : shard_digests) {
+    digests.insert(t.begin(), t.end());
+  }
+
+  if (!args.record_path.empty()) {
+    std::ofstream rec(args.record_path);
+    if (!rec) {
+      std::fprintf(stderr, "cannot write %s\n", args.record_path.c_str());
+      return 1;
+    }
+    serve::write_trace(rec, server.recorded_trace());
+    std::printf("recorded %zu requests to %s (replay with --trace= and the "
+                "same model/ttl flags)\n",
+                server.recorded_trace().size(), args.record_path.c_str());
+  }
+
+  print_digests(digests, args.digests_path, args.max_sessions > 0);
+
+  if (server.responded() != server.submitted()) {
+    std::fprintf(stderr, "zss_serve: %" PRIu64 " submitted but %" PRIu64
+                         " responses\n",
+                 server.submitted(), server.responded());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse(argc, argv, args)) {
+    usage();
+    return 2;
+  }
+
+  if (args.emit_trace > 0) {
+    num::Rng rng(args.seed);
+    const auto events = serve::synthetic_trace(args.emit_trace, args.sessions,
+                                               args.dx, args.gap_us, rng);
+    serve::write_trace(std::cout, events);
+    return 0;
+  }
+
+  if (args.live) return run_live(args);
+
+  if (args.trace.empty()) {
+    usage();
+    return 2;
+  }
+  return run_replay(args);
 }
