@@ -57,7 +57,8 @@ struct Result {
   float threshold = 0.0f;
   num::Index requests = 0;
   double mean_batch = 0.0;
-  double observed_sparsity = 0.0;  // intersected, what the skip logic saw
+  double observed_sparsity = 0.0;       // union (batch-intersected) view
+  double observed_lane_sparsity = 0.0;  // what the per-lane skip exploits
   double wall_ms = 0.0;
   double wall_rps = 0.0;
   double capacity_rps = 0.0;
@@ -174,11 +175,14 @@ Result run_config(const nn::LstmCell& cell, float threshold,
   double max_busy_us = 0.0;
   num::Index batches = 0;
   num::Index kept = 0, positions = 0;
+  num::Index lane_kept = 0, lane_positions = 0;
   for (num::Index s = 0; s < shards; ++s) {
     max_busy_us = std::max(max_busy_us, pool.shard(s).stats().cpu_us);
     batches += pool.shard(s).stats().batches;
     kept += pool.shard(s).engine().stats().kept_positions;
     positions += pool.shard(s).engine().stats().positions;
+    lane_kept += pool.shard(s).engine().stats().lane_kept_positions;
+    lane_positions += pool.shard(s).engine().stats().lane_positions;
   }
   r.capacity_rps = max_busy_us == 0.0
                        ? 0.0
@@ -190,6 +194,10 @@ Result run_config(const nn::LstmCell& cell, float threshold,
       positions == 0 ? 0.0
                      : 1.0 - static_cast<double>(kept) /
                                  static_cast<double>(positions);
+  r.observed_lane_sparsity =
+      lane_positions == 0 ? 0.0
+                          : 1.0 - static_cast<double>(lane_kept) /
+                                      static_cast<double>(lane_positions);
 
   std::vector<double> all;
   for (auto& log : latencies) all.insert(all.end(), log.begin(), log.end());
@@ -345,13 +353,15 @@ void write_json(const std::string& path, num::Index dh, num::Index dx,
         f,
         "    {\"shards\": %lld, \"max_batch\": %lld, \"sparsity\": %.2f, "
         "\"threshold\": %.4f, \"requests\": %lld, \"mean_batch\": %.2f, "
-        "\"observed_sparsity\": %.4f, \"wall_ms\": %.2f, "
+        "\"observed_sparsity\": %.4f, "
+        "\"observed_lane_sparsity\": %.4f, \"wall_ms\": %.2f, "
         "\"wall_rps\": %.1f, \"capacity_rps\": %.1f, "
         "\"p50_us\": %.2f, \"p99_us\": %.2f}%s\n",
         static_cast<long long>(r.shards), static_cast<long long>(r.max_batch),
         r.sparsity_target, static_cast<double>(r.threshold),
         static_cast<long long>(r.requests), r.mean_batch, r.observed_sparsity,
-        r.wall_ms, r.wall_rps, r.capacity_rps, r.p50_us, r.p99_us,
+        r.observed_lane_sparsity, r.wall_ms, r.wall_rps, r.capacity_rps,
+        r.p50_us, r.p99_us,
         i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

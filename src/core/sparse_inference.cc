@@ -17,11 +17,14 @@ SparseLstmEngine::SparseLstmEngine(const nn::LstmCell& cell,
 
 void SparseLstmEngine::reserve(num::Index max_batch) {
   ZSS_EXPECTS(max_batch >= 1);
+  if (max_batch <= reserved_batch_) return;
   const num::Index dh = cell_->hidden_dim();
   ws_.mat(kPre, max_batch, 4 * dh);
   ws_.mat(kPreH, max_batch, 4 * dh);
   enc_.reserve(dh, max_batch);
+  lanes_.reserve(dh, max_batch);
   prune_scratch_.reserve(static_cast<std::size_t>(max_batch * dh));
+  reserved_batch_ = max_batch;
 }
 
 void SparseLstmEngine::compute_input_path(const num::Matrix& x,
@@ -55,8 +58,9 @@ void SparseLstmEngine::finish_step(num::Matrix& pre,
   }
   // Store the pruned representation — this is what the encoder writes to
   // DRAM and what the next step will skip over. The zero fraction the
-  // pruner reports is the per-lane sparsity of the stored state, the
-  // feedback signal batching policies predict intersection from.
+  // pruner reports is the per-lane sparsity of the stored state — with
+  // the per-lane skip path, exactly the sparsity the next step exploits
+  // at any batch size.
   last_.lane_sparsity = pruner_->prune_inplace(h, prune_scratch_);
 }
 
@@ -66,6 +70,8 @@ void SparseLstmEngine::step(const num::Matrix& x, num::Matrix& h,
   const num::Index dh = cell_->hidden_dim();
   ZSS_EXPECTS(h.rows() == B && h.cols() == dh);
   ZSS_EXPECTS(c.rows() == B && c.cols() == dh);
+
+  if (B > reserved_batch_) reserve(B);  // warm loop: a single compare
 
   num::Matrix& pre = ws_.uninit(kPre, B, 4 * dh);  // gemm zero-fills it
   compute_input_path(x, pre);
@@ -79,28 +85,46 @@ void SparseLstmEngine::step(const num::Matrix& x, num::Matrix& h,
   // (zero-valued skipped terms are exact identities under IEEE
   // addition). This holds for any backend because every backend keeps
   // each output element's chain serial and in ascending position order.
-  prune_scratch_.reserve(static_cast<std::size_t>(B * dh));
-  enc_.reserve(dh, B);
-  sparse::encode_into(h, encoder_, enc_);
-  positions_.clear();
-  num::Index pos = 0;
-  for (const auto& entry : enc_.entries) {
-    pos += entry.offset;
-    positions_.push_back(pos);
-    ++pos;
-  }
+  num::Index kept_union = 0;       // positions kept by >= 1 lane
+  num::Index kept_lane_total = 0;  // effectual work of this step
   num::Matrix& pre_h = ws_.mat(kPreH, B, 4 * dh, 0.0f);
-  num::sparse_accum_rows(packed_.wht, positions_, enc_.values, pre_h);
+  if (B == 1) {
+    // Single sequence: the paper's offset encoding, one kept-position
+    // list shared by the (only) lane.
+    sparse::encode_into(h, encoder_, enc_);
+    positions_.clear();
+    num::Index pos = 0;
+    for (const auto& entry : enc_.entries) {
+      pos += entry.offset;
+      positions_.push_back(pos);
+      ++pos;
+    }
+    num::sparse_accum_rows(packed_.wht, positions_, enc_.values, pre_h);
+    kept_union = enc_.kept_positions();
+    kept_lane_total = enc_.kept_positions();
+  } else {
+    // Batched: per-lane CSR lists, each lane accumulating exactly its
+    // own kept rows — the skip survives batching instead of degrading
+    // to the intersection of the batch's zero patterns.
+    sparse::encode_lanes_into(h, lanes_);
+    num::sparse_accum_rows_multi(packed_.wht, lanes_.positions,
+                                 lanes_.row_start, lanes_.values, pre_h);
+    kept_union = lanes_.union_kept();
+    kept_lane_total = lanes_.total_kept();
+  }
   num::axpy(1.0f, pre_h.flat(), pre.flat());
 
   stats_.state_macs_total += B * dh * 4 * dh;
-  stats_.state_macs_effectual += B * enc_.kept_positions() * 4 * dh;
-  stats_.kept_positions += enc_.kept_positions();
+  stats_.state_macs_effectual += kept_lane_total * 4 * dh;
+  stats_.kept_positions += kept_union;
   stats_.positions += dh;
+  stats_.lane_kept_positions += kept_lane_total;
+  stats_.lane_positions += B * dh;
   ++stats_.steps;
   last_.batch = B;
-  last_.kept_positions = enc_.kept_positions();
+  last_.kept_positions = kept_union;
   last_.positions = dh;
+  last_.lane_kept_positions = kept_lane_total;
 
   finish_step(pre, c, h, c);
 }
@@ -111,6 +135,8 @@ void SparseLstmEngine::step_dense(const num::Matrix& x, num::Matrix& h,
   const num::Index dh = cell_->hidden_dim();
   ZSS_EXPECTS(h.rows() == B && h.cols() == dh);
 
+  if (B > reserved_batch_) reserve(B);  // warm loop: a single compare
+
   num::Matrix& pre = ws_.uninit(kPre, B, 4 * dh);  // gemm zero-fills it
   compute_input_path(x, pre);
   // Dense recurrent baseline: full dot products over the gate-major
@@ -120,16 +146,18 @@ void SparseLstmEngine::step_dense(const num::Matrix& x, num::Matrix& h,
   num::gemm_a_bt(h, cell_->wh().value, pre_h);
   num::axpy(1.0f, pre_h.flat(), pre.flat());
 
-  prune_scratch_.reserve(static_cast<std::size_t>(B * dh));
   stats_.input_macs += B * cell_->input_dim() * 4 * dh;
   stats_.state_macs_total += B * dh * 4 * dh;
   stats_.state_macs_effectual += B * dh * 4 * dh;
   stats_.kept_positions += dh;
   stats_.positions += dh;
+  stats_.lane_kept_positions += B * dh;
+  stats_.lane_positions += B * dh;
   ++stats_.steps;
   last_.batch = B;
   last_.kept_positions = dh;
   last_.positions = dh;
+  last_.lane_kept_positions = B * dh;
 
   finish_step(pre, c, h, c);
 }

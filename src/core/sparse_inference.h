@@ -3,13 +3,17 @@
 //
 // At inference the stored state is pruned, so the recurrent matvec
 // Wh h^p_{t-1} only needs the weight columns of non-zero elements. This
-// engine computes exactly that: it encodes the state with the paper's
-// offset encoder (batch-intersected when batch > 1) and accumulates the
-// packed weight row of every kept position (see nn/packed_weights.h),
-// counting effectual vs. skipped MACs so the algorithmic speedup bound
-// of Figs. 8-9 can be measured in software before touching the cycle
-// model — and, since the packed rows are contiguous, the wall-clock
-// speedup is real too (bench/bench_sparse_vs_dense.cc).
+// engine computes exactly that: at batch 1 it encodes the state with
+// the paper's offset encoder and accumulates the packed weight row of
+// every kept position (see nn/packed_weights.h); at batch > 1 it
+// encodes per lane (sparse::LaneEncodedState) and accumulates each
+// lane's own kept rows (num::sparse_accum_rows_multi), so the skipped
+// work scales with per-lane sparsity instead of collapsing to the
+// batch intersection (1 - s^B, Fig. 7). Effectual vs. skipped MACs are
+// counted so the algorithmic speedup bound of Figs. 8-9 can be measured
+// in software before touching the cycle model — and, since the packed
+// rows are contiguous, the wall-clock speedup is real too
+// (bench/bench_sparse_vs_dense.cc).
 //
 // Contracts:
 //  * step() and step_dense() produce bit-for-bit identical states: both
@@ -40,23 +44,38 @@ namespace zss::core {
 
 /// Snapshot of what the *most recent* step()/step_dense() call did.
 /// Unlike InferenceStats this never accumulates, so a serving layer can
-/// use it as a per-batch feedback signal (e.g. the batch-intersection
-/// cap of serve::RequestBatcher) without bookkeeping stats deltas.
+/// use it as a per-batch feedback signal without bookkeeping stats
+/// deltas.
 struct StepStats {
   num::Index batch = 0;           // rows of the step's state matrices
-  num::Index kept_positions = 0;  // batch-intersected kept count (dense: dh)
+  num::Index kept_positions = 0;  // positions kept by >= 1 lane (dense: dh)
   num::Index positions = 0;       // dh
+  /// Kept positions summed over lanes — the per-lane effectual work of
+  /// the batched skip path (num::sparse_accum_rows_multi accumulates
+  /// exactly this many packed rows). At B = 1 equals kept_positions;
+  /// dense steps report batch * positions.
+  num::Index lane_kept_positions = 0;
   /// Per-element zero fraction of the state *stored* by this step (the
-  /// pruner's report, before any batch intersection). This is the
-  /// per-lane sparsity a batcher needs to predict the intersected kept
-  /// fraction at a larger batch: kept(B) ~= 1 - s^B for lane sparsity s.
+  /// pruner's report). With the per-lane skip path this is also the
+  /// sparsity the *next* step will exploit at any batch size — the
+  /// batch-intersection collapse (kept ~= 1 - s^B) no longer applies.
   double lane_sparsity = 0.0;
 
-  /// Intersected sparsity the skip logic saw this step.
+  /// Union sparsity: fraction of positions zero in EVERY lane — what a
+  /// batch-intersecting skip (the paper's Fig. 5(d) encoder) would have
+  /// seen this step. Reported for comparison against the per-lane path.
   double observed_sparsity() const {
     return positions == 0 ? 0.0
                           : 1.0 - static_cast<double>(kept_positions) /
                                       static_cast<double>(positions);
+  }
+
+  /// Per-lane sparsity the skip logic actually exploited this step.
+  double observed_lane_sparsity() const {
+    const num::Index total = batch * positions;
+    return total == 0 ? 0.0
+                      : 1.0 - static_cast<double>(lane_kept_positions) /
+                                  static_cast<double>(total);
   }
 };
 
@@ -68,10 +87,12 @@ struct StepStats {
 struct InferenceStats {
   num::Index steps = 0;
   num::Index state_macs_total = 0;      // dense cost of Wh h per step
-  num::Index state_macs_effectual = 0;  // after skipping
+  num::Index state_macs_effectual = 0;  // after per-lane skipping
   num::Index input_macs = 0;            // Wx x cost (never skipped)
-  num::Index kept_positions = 0;
+  num::Index kept_positions = 0;        // union kept (>= 1 lane non-zero)
   num::Index positions = 0;
+  num::Index lane_kept_positions = 0;   // kept summed over lanes
+  num::Index lane_positions = 0;        // batch * dh summed over steps
 
   /// Upper bound on the matvec speedup from skipping (state part only).
   /// An all-zero state skipped *everything*, so the bound is the entire
@@ -86,11 +107,22 @@ struct InferenceStats {
            static_cast<double>(state_macs_effectual);
   }
 
-  /// Mean batch-intersected sparsity seen by the skip logic.
+  /// Mean batch-intersected (union) sparsity: what a batch-intersecting
+  /// skip would have exploited. The per-lane path reports it alongside
+  /// observed_lane_sparsity() so the Fig. 7 collapse stays measurable.
   double observed_sparsity() const {
     return positions == 0 ? 0.0
                           : 1.0 - static_cast<double>(kept_positions) /
                                       static_cast<double>(positions);
+  }
+
+  /// Mean per-lane sparsity the skip logic actually exploited — tracks
+  /// the pruner's per-lane target at any batch size.
+  double observed_lane_sparsity() const {
+    return lane_positions == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(lane_kept_positions) /
+                           static_cast<double>(lane_positions);
   }
 
   void reset() { *this = InferenceStats{}; }
@@ -154,9 +186,11 @@ class SparseLstmEngine {
   StepStats last_;
   nn::PackedLstmWeights packed_;
   num::Workspace ws_;
-  sparse::EncodedState<float> enc_;       // reused encoder output
-  std::vector<num::Index> positions_;     // absolute kept positions
-  std::vector<float> prune_scratch_;      // quantile scratch for pruning
+  sparse::EncodedState<float> enc_;        // reused B == 1 encoder output
+  sparse::LaneEncodedState<float> lanes_;  // reused B > 1 encoder output
+  std::vector<num::Index> positions_;      // absolute kept positions (B == 1)
+  std::vector<float> prune_scratch_;       // quantile scratch for pruning
+  num::Index reserved_batch_ = 0;          // capacity the buffers cover
 };
 
 }  // namespace zss::core

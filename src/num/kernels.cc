@@ -89,6 +89,38 @@ void sparse_accum_rows(const Matrix& packed, std::span<const Index> positions,
                                            out.data(), batch, n);
 }
 
+void sparse_accum_rows_multi(const Matrix& packed,
+                             std::span<const Index> positions,
+                             std::span<const Index> row_start,
+                             std::span<const float> values, Matrix& out) {
+  const Index batch = out.rows();
+  const Index n = out.cols();
+  ZSS_EXPECTS(packed.cols() == n);
+  ZSS_EXPECTS(row_start.size() == static_cast<std::size_t>(batch) + 1);
+  ZSS_EXPECTS(row_start[0] == 0);
+  ZSS_EXPECTS(row_start[static_cast<std::size_t>(batch)] ==
+              static_cast<Index>(positions.size()));
+  ZSS_EXPECTS(values.size() == positions.size());
+  for (Index b = 0; b < batch; ++b) {
+    ZSS_EXPECTS(row_start[static_cast<std::size_t>(b)] <=
+                row_start[static_cast<std::size_t>(b + 1)]);
+    // Strictly ascending within each lane: the exactness contract
+    // defines a lane's chain in position order, and backends are free
+    // to schedule around that assumption (the merge-based AVX2 kernel
+    // relies on it).
+    for (Index e = row_start[static_cast<std::size_t>(b)];
+         e < row_start[static_cast<std::size_t>(b + 1)]; ++e) {
+      const Index pos = positions[static_cast<std::size_t>(e)];
+      ZSS_EXPECTS(pos >= 0 && pos < packed.rows());
+      ZSS_EXPECTS(e == row_start[static_cast<std::size_t>(b)] ||
+                  positions[static_cast<std::size_t>(e - 1)] < pos);
+    }
+  }
+  simd::active_backend().sparse_accum_rows_multi(
+      packed.data(), positions.data(), row_start.data(), values.data(),
+      out.data(), batch, n);
+}
+
 void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
   ZSS_EXPECTS(a.cols() == b.rows());
   const Index m = a.rows();

@@ -7,8 +7,9 @@
 // reference_kernels.h for the unblocked loops the tests and
 // microbenchmarks compare against.
 //
-// The hot kernels (gemm, gemm_a_bt, gemv, sparse_accum_rows, axpy)
-// dispatch to a SIMD backend selected once at startup via cpuid —
+// The hot kernels (gemm, gemm_a_bt, gemv, sparse_accum_rows,
+// sparse_accum_rows_multi, axpy) dispatch to a SIMD backend selected
+// once at startup via cpuid —
 // explicit AVX2 intrinsics on x86, NEON on aarch64, the portable
 // blocked loops otherwise; override with ZSS_KERNEL_BACKEND. See
 // num/simd/backend.h and docs/architecture.md.
@@ -72,6 +73,20 @@ void axpy_col(const Matrix& w, Index col, float scale, std::span<float> y);
 /// cache. Lanes whose value is exactly zero are skipped (IEEE identity).
 void sparse_accum_rows(const Matrix& packed, std::span<const Index> positions,
                        std::span<const float> values, Matrix& out);
+
+/// Per-lane (CSR) variant of sparse_accum_rows: for each batch lane b,
+/// out.row(b) += values[e] * packed.row(positions[e]) over lane b's own
+/// kept entries e in [row_start[b], row_start[b+1]), ascending. Unlike
+/// the intersected form, every lane accumulates exactly its own kept
+/// positions, so the skipped work scales with per-lane sparsity at any
+/// batch size (this is the batched skip path of SparseLstmEngine).
+/// `row_start` has out.rows() + 1 entries; positions within a lane must
+/// be strictly ascending — the exactness contract defines a lane's
+/// chain in position order, and backends schedule around it (checked).
+void sparse_accum_rows_multi(const Matrix& packed,
+                             std::span<const Index> positions,
+                             std::span<const Index> row_start,
+                             std::span<const float> values, Matrix& out);
 
 /// C = A * B (row-major, i-k-j order, rows split by parallel_for).
 /// Exact zeros in A are skipped — one-hot inputs and pruned states cost

@@ -34,4 +34,13 @@ void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& c);
 void sparse_accum_rows(const Matrix& packed, std::span<const Index> positions,
                        std::span<const float> values, Matrix& out);
 
+/// Per-lane (CSR) packed accumulation, lane-by-lane, entry-by-entry,
+/// element-by-element — the semantics sparse_accum_rows_multi must
+/// reproduce bit-for-bit. Lane b's entries are
+/// positions/values[row_start[b] .. row_start[b+1]).
+void sparse_accum_rows_multi(const Matrix& packed,
+                             std::span<const Index> positions,
+                             std::span<const Index> row_start,
+                             std::span<const float> values, Matrix& out);
+
 }  // namespace zss::num::reference

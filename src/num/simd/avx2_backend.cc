@@ -19,6 +19,7 @@
 // chains is exactly the asymmetry bug PR 1 fixed.
 #include "num/kernels.h"
 #include "num/simd/backend.h"
+#include "num/simd/multi_schedule.h"
 
 #if (defined(__x86_64__) || defined(__i386__)) && defined(__AVX2__) && \
     defined(__FMA__)
@@ -118,6 +119,76 @@ void sparse_accum_rows_avx2(const float* __restrict packed,
   }
 }
 
+// One pass over y[jt..je) chaining C kept rows (C is compile-time so the
+// FMA sequence unrolls with every broadcast hoisted into a register).
+// The chain per output element runs r0..r(C-1) in the order the caller
+// filled them — ascending position order — after whatever y already
+// holds, so chaining C rows per pass only amortizes out-row traffic, it
+// never reorders a chain. Plugged into the shared position-major merge
+// schedule of num/simd/multi_schedule.h.
+struct Avx2MultiChainPass {
+  template <int C>
+  __attribute__((always_inline)) static inline void pass(
+      float* __restrict y, Index jt, Index je,
+      const float* const* __restrict gr, const float* __restrict gv) {
+    const float* __restrict r0 = gr[0];
+    const float* __restrict r1 = C > 1 ? gr[1] : gr[0];
+    const float* __restrict r2 = C > 2 ? gr[2] : gr[0];
+    const float* __restrict r3 = C > 3 ? gr[3] : gr[0];
+    const float* __restrict r4 = C > 4 ? gr[4] : gr[0];
+    const float* __restrict r5 = C > 5 ? gr[5] : gr[0];
+    const float* __restrict r6 = C > 6 ? gr[6] : gr[0];
+    const float* __restrict r7 = C > 7 ? gr[7] : gr[0];
+    const __m256 v0 = _mm256_set1_ps(gv[0]);
+    const __m256 v1 = _mm256_set1_ps(C > 1 ? gv[1] : 0.0f);
+    const __m256 v2 = _mm256_set1_ps(C > 2 ? gv[2] : 0.0f);
+    const __m256 v3 = _mm256_set1_ps(C > 3 ? gv[3] : 0.0f);
+    const __m256 v4 = _mm256_set1_ps(C > 4 ? gv[4] : 0.0f);
+    const __m256 v5 = _mm256_set1_ps(C > 5 ? gv[5] : 0.0f);
+    const __m256 v6 = _mm256_set1_ps(C > 6 ? gv[6] : 0.0f);
+    const __m256 v7 = _mm256_set1_ps(C > 7 ? gv[7] : 0.0f);
+    Index j = jt;
+    for (; j + 8 <= je; j += 8) {
+      __m256 a = _mm256_loadu_ps(y + j);
+      a = _mm256_fmadd_ps(v0, _mm256_loadu_ps(r0 + j), a);
+      if (C > 1) a = _mm256_fmadd_ps(v1, _mm256_loadu_ps(r1 + j), a);
+      if (C > 2) a = _mm256_fmadd_ps(v2, _mm256_loadu_ps(r2 + j), a);
+      if (C > 3) a = _mm256_fmadd_ps(v3, _mm256_loadu_ps(r3 + j), a);
+      if (C > 4) a = _mm256_fmadd_ps(v4, _mm256_loadu_ps(r4 + j), a);
+      if (C > 5) a = _mm256_fmadd_ps(v5, _mm256_loadu_ps(r5 + j), a);
+      if (C > 6) a = _mm256_fmadd_ps(v6, _mm256_loadu_ps(r6 + j), a);
+      if (C > 7) a = _mm256_fmadd_ps(v7, _mm256_loadu_ps(r7 + j), a);
+      _mm256_storeu_ps(y + j, a);
+    }
+    for (; j < je; ++j) {
+      float a = y[j];
+      a = std::fmaf(gv[0], r0[j], a);
+      if (C > 1) a = std::fmaf(gv[1], r1[j], a);
+      if (C > 2) a = std::fmaf(gv[2], r2[j], a);
+      if (C > 3) a = std::fmaf(gv[3], r3[j], a);
+      if (C > 4) a = std::fmaf(gv[4], r4[j], a);
+      if (C > 5) a = std::fmaf(gv[5], r5[j], a);
+      if (C > 6) a = std::fmaf(gv[6], r6[j], a);
+      if (C > 7) a = std::fmaf(gv[7], r7[j], a);
+      y[j] = a;
+    }
+  }
+};
+
+void sparse_accum_rows_multi_avx2(const float* __restrict packed,
+                                  const Index* __restrict positions,
+                                  const Index* __restrict row_start,
+                                  const float* __restrict values,
+                                  float* __restrict out, Index batch,
+                                  Index n) {
+  // Per-lane CSR accumulate through the shared position-major merge
+  // schedule (num/simd/multi_schedule.h — rationale and the measured
+  // alternatives live there and in docs/architecture.md); this backend
+  // contributes only the AVX2 chain-pass primitive above.
+  sparse_accum_rows_multi_schedule<Avx2MultiChainPass>(
+      packed, positions, row_start, values, out, batch, n);
+}
+
 void gemv_avx2(const float* __restrict w, const float* __restrict x,
                float* __restrict y, Index m, Index n) {
   Index i = 0;
@@ -159,6 +230,60 @@ void gemv_avx2(const float* __restrict w, const float* __restrict x,
 
 void gemm_a_bt_rows_avx2(const float* __restrict a, const float* __restrict b,
                          float* __restrict c, Index m, Index k, Index n) {
+  const Index kv = k & ~Index{7};  // vectorized prefix of k
+  if (m == 1) {
+    // Single-row (gemv-like) fast path: with one row of A there is no
+    // batch to amortize the C-parked tile over, and one 8-lane
+    // accumulator is a single dependent FMA chain per k-chunk —
+    // latency-bound (~4.5 GMAC/s, the ROADMAP small-batch item). Two
+    // 8-column tiles per k-chunk double the independent chains, and
+    // both accumulators live in registers across every chunk (no C
+    // traffic at all until the final store). Chains are unchanged:
+    // k-chunks ascend, lanes p ascend within a chunk, the scalar k-tail
+    // appends last — each output element is still one serial
+    // ascending-k chain.
+    Index j0 = 0;
+    for (; j0 + 16 <= n; j0 += 16) {
+      __m256 acc0 = _mm256_setzero_ps();
+      __m256 acc1 = _mm256_setzero_ps();
+      for (Index kk = 0; kk < kv; kk += 8) {
+        __m256 t[8], u[8];
+        for (int q = 0; q < 8; ++q) {
+          t[q] = _mm256_loadu_ps(b + (j0 + q) * k + kk);
+        }
+        for (int q = 0; q < 8; ++q) {
+          u[q] = _mm256_loadu_ps(b + (j0 + 8 + q) * k + kk);
+        }
+        transpose8(t);
+        transpose8(u);
+        const float* __restrict ap = a + kk;
+        for (int p = 0; p < 8; ++p) {
+          const __m256 av = _mm256_broadcast_ss(ap + p);
+          acc0 = _mm256_fmadd_ps(av, t[p], acc0);
+          acc1 = _mm256_fmadd_ps(av, u[p], acc1);
+        }
+      }
+      _mm256_storeu_ps(c + j0, acc0);
+      _mm256_storeu_ps(c + j0 + 8, acc1);
+      if (kv < k) {  // k tail: continue each element's chain in scalar
+        for (int q = 0; q < 16; ++q) {
+          const float* __restrict brow = b + (j0 + q) * k;
+          float s = c[j0 + q];
+          for (Index kt = kv; kt < k; ++kt) {
+            s = std::fmaf(a[kt], brow[kt], s);
+          }
+          c[j0 + q] = s;
+        }
+      }
+    }
+    for (; j0 < n; ++j0) {  // column tail: plain ascending-k dot
+      const float* __restrict brow = b + j0 * k;
+      float s = 0.0f;
+      for (Index kk = 0; kk < k; ++kk) s = std::fmaf(a[kk], brow[kk], s);
+      c[j0] = s;
+    }
+    return;
+  }
   // Tile 8 rows of B (8 output columns, one ymm lane each). Per 8-wide
   // k-chunk the B chunk is transposed once and reused by *every* row of
   // A, with the partial sums parked in the C tile between chunks: the C
@@ -166,8 +291,10 @@ void gemm_a_bt_rows_avx2(const float* __restrict a, const float* __restrict b,
   // transpose amortizes over the whole batch and the inner loop is pure
   // broadcast+FMA. Each output element's chain still runs strictly in
   // ascending k: k-chunks in order, lanes p = 0..7 in order within a
-  // chunk, and the scalar k-tail appended last.
-  const Index kv = k & ~Index{7};  // vectorized prefix of k
+  // chunk, and the scalar k-tail appended last. (At m == 1 the fast
+  // path above wins instead — measured 1.4x — because this loop's
+  // single accumulator chain is latency-bound with no batch to hide
+  // it.)
   Index j0 = 0;
   for (; j0 + 8 <= n; j0 += 8) {
     for (Index i = 0; i < m; ++i) {
@@ -243,6 +370,7 @@ const KernelBackend kAvx2Backend = {
     gemm_a_bt_rows_avx2,
     gemv_avx2,
     sparse_accum_rows_avx2,
+    sparse_accum_rows_multi_avx2,
     axpy_avx2,
 };
 
@@ -261,6 +389,7 @@ const KernelBackend kAvx2Backend = {
     "AVX2+FMA intrinsics; not compiled into this binary (x86 with "
     "-mavx2 -mfma required)",
     never_available,
+    nullptr,
     nullptr,
     nullptr,
     nullptr,

@@ -53,6 +53,17 @@ struct KernelBackend {
   void (*sparse_accum_rows)(const float* packed, const Index* positions,
                             std::size_t n_positions, const float* values,
                             float* out, Index batch, Index n);
+  /// Per-lane (CSR) variant: for each lane b, out.row(b) +=
+  /// values[e] * packed.row(positions[e]) over b's own kept entries
+  /// e in [row_start[b], row_start[b+1]), ascending. Each output element
+  /// (b, j) keeps one serial ascending-position chain; implementations
+  /// may group several positions into one pass over the out row (the
+  /// chain order is unchanged) but must not reorder within a lane.
+  /// Values are the lane's non-zero elements by construction; a zero
+  /// value, if passed, is accumulated (an IEEE identity), not skipped.
+  void (*sparse_accum_rows_multi)(const float* packed, const Index* positions,
+                                  const Index* row_start, const float* values,
+                                  float* out, Index batch, Index n);
   /// y += alpha * x.
   void (*axpy)(float alpha, const float* x, float* y, std::size_t n);
 

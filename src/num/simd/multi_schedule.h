@@ -1,0 +1,117 @@
+// Shared schedule of the per-lane batched sparse accumulation
+// (sparse_accum_rows_multi), parameterized over a backend's chain-pass
+// primitive so the scalar control flow exists exactly once.
+//
+// The schedule is position-major: the per-lane CSR lists of a block of
+// lanes are merge-iterated in ascending position order, up to
+// kMultiGroup union positions at a time, and each lane chains its own
+// non-zero members of the group into one j-tiled pass over its out
+// row. Two effects make this the fastest schedule at serving shapes
+// (measured against lane-major streaming and out-register tiling —
+// docs/architecture.md): the group's packed rows are streamed once,
+// contiguously, and stay L1-hot for every lane that kept them, and one
+// out-row load/store carries up to kMultiGroup chained FMAs instead of
+// one. Exactness (docs/exactness.md): each output element (b, j) still
+// accumulates as one serial chain in ascending position order — groups
+// ascend, entries within a group ascend, and lanes never share an
+// accumulator — and work stays proportional to the per-lane kept
+// counts (a lane contributes FMAs only for its own entries).
+//
+// `ChainPass` supplies the arithmetic:
+//   struct MyChainPass {
+//     template <int C>
+//     static void pass(float* y, Index jt, Index je,
+//                      const float* const* rows, const float* vals);
+//   };
+// pass<C> must accumulate y[j] += vals[0]*rows[0][j] + ... (C entries,
+// in index order, one serial chain per element) over [jt, je).
+#pragma once
+
+#include "num/types.h"
+
+namespace zss::num::simd {
+
+// How many lanes one merge pass covers (bounds the schedule's stack
+// scratch; backends may not heap-allocate), how many ascending union
+// positions are chained into one pass over a lane's out row, and the
+// j-tile that keeps a group's working set (up to kMultiGroup row
+// chunks plus the out chunk, ~9 KB) L1-resident across every lane of
+// the block.
+inline constexpr Index kMultiLaneBlock = 32;
+inline constexpr Index kMultiGroup = 8;
+inline constexpr Index kMultiJTile = 256;
+
+template <typename ChainPass>
+inline void sparse_accum_rows_multi_schedule(
+    const float* __restrict packed, const Index* __restrict positions,
+    const Index* __restrict row_start, const float* __restrict values,
+    float* __restrict out, Index batch, Index n) {
+  for (Index b0 = 0; b0 < batch; b0 += kMultiLaneBlock) {
+    const Index nb = batch - b0 < kMultiLaneBlock ? batch - b0
+                                                  : kMultiLaneBlock;
+    Index cur[kMultiLaneBlock];
+    for (Index q = 0; q < nb; ++q) cur[q] = row_start[b0 + q];
+    for (;;) {
+      const float* grow[kMultiLaneBlock][kMultiGroup];
+      float gval[kMultiLaneBlock][kMultiGroup];
+      int gcnt[kMultiLaneBlock] = {};
+      Index ng = 0;
+      while (ng < kMultiGroup) {
+        Index mn = -1;
+        for (Index q = 0; q < nb; ++q) {
+          if (cur[q] >= row_start[b0 + q + 1]) continue;
+          const Index p = positions[cur[q]];
+          if (mn < 0 || p < mn) mn = p;
+        }
+        if (mn < 0) break;
+        const float* __restrict row = packed + mn * n;
+        for (Index q = 0; q < nb; ++q) {
+          if (cur[q] < row_start[b0 + q + 1] && positions[cur[q]] == mn) {
+            grow[q][gcnt[q]] = row;
+            gval[q][gcnt[q]] = values[cur[q]];
+            ++gcnt[q];
+            ++cur[q];
+          }
+        }
+        ++ng;
+      }
+      if (ng == 0) break;
+      for (Index jt = 0; jt < n; jt += kMultiJTile) {
+        const Index je = jt + kMultiJTile < n ? jt + kMultiJTile : n;
+        for (Index q = 0; q < nb; ++q) {
+          float* __restrict y = out + (b0 + q) * n;
+          switch (gcnt[q]) {
+            case 0:
+              break;
+            case 1:
+              ChainPass::template pass<1>(y, jt, je, grow[q], gval[q]);
+              break;
+            case 2:
+              ChainPass::template pass<2>(y, jt, je, grow[q], gval[q]);
+              break;
+            case 3:
+              ChainPass::template pass<3>(y, jt, je, grow[q], gval[q]);
+              break;
+            case 4:
+              ChainPass::template pass<4>(y, jt, je, grow[q], gval[q]);
+              break;
+            case 5:
+              ChainPass::template pass<5>(y, jt, je, grow[q], gval[q]);
+              break;
+            case 6:
+              ChainPass::template pass<6>(y, jt, je, grow[q], gval[q]);
+              break;
+            case 7:
+              ChainPass::template pass<7>(y, jt, je, grow[q], gval[q]);
+              break;
+            default:
+              ChainPass::template pass<8>(y, jt, je, grow[q], gval[q]);
+              break;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace zss::num::simd

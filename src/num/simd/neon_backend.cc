@@ -10,6 +10,7 @@
 // vfmaq_f32 rounds each lane exactly like scalar fmaf.
 #include "num/kernels.h"
 #include "num/simd/backend.h"
+#include "num/simd/multi_schedule.h"
 
 #if defined(__aarch64__)
 
@@ -34,6 +35,60 @@ inline void transpose4(float32x4_t r[4]) {
   r[2] = vcombine_f32(vget_high_f32(t01.val[0]), vget_high_f32(t23.val[0]));
   r[3] = vcombine_f32(vget_high_f32(t01.val[1]), vget_high_f32(t23.val[1]));
 }
+
+// One pass over y[jt..je) chaining C kept rows (C is compile-time so
+// the FMA sequence unrolls with every broadcast hoisted). The chain per
+// output element runs in the order the caller filled gr/gv — ascending
+// positions — so chaining only amortizes out-row traffic. Plugged into
+// the shared position-major merge schedule of num/simd/multi_schedule.h.
+struct NeonMultiChainPass {
+  template <int C>
+  __attribute__((always_inline)) static inline void pass(
+      float* __restrict y, Index jt, Index je,
+      const float* const* __restrict gr, const float* __restrict gv) {
+    const float* __restrict r0 = gr[0];
+    const float* __restrict r1 = C > 1 ? gr[1] : gr[0];
+    const float* __restrict r2 = C > 2 ? gr[2] : gr[0];
+    const float* __restrict r3 = C > 3 ? gr[3] : gr[0];
+    const float* __restrict r4 = C > 4 ? gr[4] : gr[0];
+    const float* __restrict r5 = C > 5 ? gr[5] : gr[0];
+    const float* __restrict r6 = C > 6 ? gr[6] : gr[0];
+    const float* __restrict r7 = C > 7 ? gr[7] : gr[0];
+    const float32x4_t v0 = vdupq_n_f32(gv[0]);
+    const float32x4_t v1 = vdupq_n_f32(C > 1 ? gv[1] : 0.0f);
+    const float32x4_t v2 = vdupq_n_f32(C > 2 ? gv[2] : 0.0f);
+    const float32x4_t v3 = vdupq_n_f32(C > 3 ? gv[3] : 0.0f);
+    const float32x4_t v4 = vdupq_n_f32(C > 4 ? gv[4] : 0.0f);
+    const float32x4_t v5 = vdupq_n_f32(C > 5 ? gv[5] : 0.0f);
+    const float32x4_t v6 = vdupq_n_f32(C > 6 ? gv[6] : 0.0f);
+    const float32x4_t v7 = vdupq_n_f32(C > 7 ? gv[7] : 0.0f);
+    Index j = jt;
+    for (; j + 4 <= je; j += 4) {
+      float32x4_t a = vld1q_f32(y + j);
+      a = vfmaq_f32(a, v0, vld1q_f32(r0 + j));
+      if (C > 1) a = vfmaq_f32(a, v1, vld1q_f32(r1 + j));
+      if (C > 2) a = vfmaq_f32(a, v2, vld1q_f32(r2 + j));
+      if (C > 3) a = vfmaq_f32(a, v3, vld1q_f32(r3 + j));
+      if (C > 4) a = vfmaq_f32(a, v4, vld1q_f32(r4 + j));
+      if (C > 5) a = vfmaq_f32(a, v5, vld1q_f32(r5 + j));
+      if (C > 6) a = vfmaq_f32(a, v6, vld1q_f32(r6 + j));
+      if (C > 7) a = vfmaq_f32(a, v7, vld1q_f32(r7 + j));
+      vst1q_f32(y + j, a);
+    }
+    for (; j < je; ++j) {
+      float a = y[j];
+      a = std::fmaf(gv[0], r0[j], a);
+      if (C > 1) a = std::fmaf(gv[1], r1[j], a);
+      if (C > 2) a = std::fmaf(gv[2], r2[j], a);
+      if (C > 3) a = std::fmaf(gv[3], r3[j], a);
+      if (C > 4) a = std::fmaf(gv[4], r4[j], a);
+      if (C > 5) a = std::fmaf(gv[5], r5[j], a);
+      if (C > 6) a = std::fmaf(gv[6], r6[j], a);
+      if (C > 7) a = std::fmaf(gv[7], r7[j], a);
+      y[j] = a;
+    }
+  }
+};
 
 // y[j] += v * row[j] over [0, n): shared by gemm and sparse_accum_rows.
 inline void accum_row_neon(float v, const float* __restrict row,
@@ -83,6 +138,19 @@ void sparse_accum_rows_neon(const float* __restrict packed,
       accum_row_neon(v, row, out + b * n, n);
     }
   }
+}
+
+void sparse_accum_rows_multi_neon(const float* __restrict packed,
+                                  const Index* __restrict positions,
+                                  const Index* __restrict row_start,
+                                  const float* __restrict values,
+                                  float* __restrict out, Index batch,
+                                  Index n) {
+  // Per-lane CSR accumulate through the shared position-major merge
+  // schedule (num/simd/multi_schedule.h); this backend contributes only
+  // the 4-lane NEON chain-pass primitive above.
+  sparse_accum_rows_multi_schedule<NeonMultiChainPass>(
+      packed, positions, row_start, values, out, batch, n);
 }
 
 void gemv_neon(const float* __restrict w, const float* __restrict x,
@@ -192,6 +260,7 @@ const KernelBackend kNeonBackend = {
     gemm_a_bt_rows_neon,
     gemv_neon,
     sparse_accum_rows_neon,
+    sparse_accum_rows_multi_neon,
     axpy_neon,
 };
 
@@ -209,6 +278,7 @@ const KernelBackend kNeonBackend = {
     "neon",
     "AArch64 Advanced SIMD; not compiled into this binary (aarch64 only)",
     never_available,
+    nullptr,
     nullptr,
     nullptr,
     nullptr,

@@ -6,6 +6,7 @@
 // (docs/exactness.md).
 #include "num/kernels.h"
 #include "num/simd/backend.h"
+#include "num/simd/multi_schedule.h"
 
 namespace zss::num::simd {
 
@@ -171,6 +172,52 @@ void sparse_accum_rows_scalar(const float* __restrict packed,
   }
 }
 
+// One pass over y[jt..je) chaining C kept rows through madd (C is
+// compile-time so the chain unrolls). The per-element order is the
+// order the caller filled gr/gv — ascending positions — so chaining
+// only amortizes out-row traffic, never reorders a chain. Plugged into
+// the shared position-major merge schedule of num/simd/multi_schedule.h.
+struct ScalarMultiChainPass {
+  template <int C>
+  static inline void pass(float* __restrict y, Index jt, Index je,
+                          const float* const* __restrict gr,
+                          const float* __restrict gv) {
+    const float* __restrict r0 = gr[0];
+    const float* __restrict r1 = C > 1 ? gr[1] : gr[0];
+    const float* __restrict r2 = C > 2 ? gr[2] : gr[0];
+    const float* __restrict r3 = C > 3 ? gr[3] : gr[0];
+    const float* __restrict r4 = C > 4 ? gr[4] : gr[0];
+    const float* __restrict r5 = C > 5 ? gr[5] : gr[0];
+    const float* __restrict r6 = C > 6 ? gr[6] : gr[0];
+    const float* __restrict r7 = C > 7 ? gr[7] : gr[0];
+    for (Index j = jt; j < je; ++j) {
+      float a = y[j];
+      a = madd(gv[0], r0[j], a);
+      if (C > 1) a = madd(gv[1], r1[j], a);
+      if (C > 2) a = madd(gv[2], r2[j], a);
+      if (C > 3) a = madd(gv[3], r3[j], a);
+      if (C > 4) a = madd(gv[4], r4[j], a);
+      if (C > 5) a = madd(gv[5], r5[j], a);
+      if (C > 6) a = madd(gv[6], r6[j], a);
+      if (C > 7) a = madd(gv[7], r7[j], a);
+      y[j] = a;
+    }
+  }
+};
+
+void sparse_accum_rows_multi_scalar(const float* __restrict packed,
+                                    const Index* __restrict positions,
+                                    const Index* __restrict row_start,
+                                    const float* __restrict values,
+                                    float* __restrict out, Index batch,
+                                    Index n) {
+  // Per-lane CSR accumulate through the shared position-major merge
+  // schedule (num/simd/multi_schedule.h); this backend contributes only
+  // the portable madd chain-pass primitive above.
+  sparse_accum_rows_multi_schedule<ScalarMultiChainPass>(
+      packed, positions, row_start, values, out, batch, n);
+}
+
 void axpy_scalar(float alpha, const float* __restrict x, float* __restrict y,
                  std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) y[i] = madd(alpha, x[i], y[i]);
@@ -188,6 +235,7 @@ const KernelBackend kScalarBackend = {
     gemm_a_bt_rows_scalar,
     gemv_scalar,
     sparse_accum_rows_scalar,
+    sparse_accum_rows_multi_scalar,
     axpy_scalar,
 };
 

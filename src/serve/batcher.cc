@@ -1,15 +1,10 @@
 #include "serve/batcher.h"
 
-#include <cmath>
-
 namespace zss::serve {
 
 RequestBatcher::RequestBatcher(const BatchPolicy& policy) : policy_(policy) {
   ZSS_EXPECTS(policy.max_batch >= 1);
   ZSS_EXPECTS(policy.max_wait_us >= 0);
-  ZSS_EXPECTS(policy.max_kept_fraction > 0.0 &&
-              policy.max_kept_fraction <= 1.0);
-  ZSS_EXPECTS(policy.sparsity_ewma > 0.0 && policy.sparsity_ewma <= 1.0);
   ring_.resize(64);
 }
 
@@ -38,25 +33,6 @@ std::int64_t RequestBatcher::oldest_arrival_us() const {
   return at(0).arrival_us;
 }
 
-double RequestBatcher::predicted_kept_fraction(num::Index b) const {
-  ZSS_EXPECTS(b >= 1);
-  // Lanes modeled as independent draws with zero probability s: a
-  // position is dropped only when all b lanes zero it (Fig. 5(d)).
-  return 1.0 - std::pow(lane_sparsity_, static_cast<double>(b));
-}
-
-num::Index RequestBatcher::effective_cap() const {
-  if (policy_.max_kept_fraction >= 1.0 || !have_observation_) {
-    return policy_.max_batch;
-  }
-  num::Index cap = 1;  // a batch of one always serves
-  while (cap < policy_.max_batch &&
-         predicted_kept_fraction(cap + 1) <= policy_.max_kept_fraction) {
-    ++cap;
-  }
-  return cap;
-}
-
 num::Index RequestBatcher::conflict_free_prefix(num::Index cap) const {
   // The prefix must stay FIFO: stopping at the first duplicate session
   // (instead of skipping past it) is what preserves per-session order.
@@ -77,7 +53,7 @@ num::Index RequestBatcher::conflict_free_prefix(num::Index cap) const {
 
 bool RequestBatcher::ready(std::int64_t now_us) const {
   if (count_ == 0) return false;
-  const num::Index cap = effective_cap();
+  const num::Index cap = policy_.max_batch;
   const num::Index prefix = conflict_free_prefix(cap);
   if (prefix >= cap) return true;
   // A same-session conflict blocks growth; waiting cannot help.
@@ -87,22 +63,11 @@ bool RequestBatcher::ready(std::int64_t now_us) const {
 
 num::Index RequestBatcher::pop_batch(std::vector<Request>& out) {
   out.clear();
-  const num::Index n = conflict_free_prefix(effective_cap());
+  const num::Index n = conflict_free_prefix(policy_.max_batch);
   for (num::Index i = 0; i < n; ++i) out.push_back(at(static_cast<std::size_t>(i)));
   head_ = (head_ + static_cast<std::size_t>(n)) % ring_.size();
   count_ -= static_cast<std::size_t>(n);
   return n;
-}
-
-void RequestBatcher::observe_lane_sparsity(double s) {
-  ZSS_EXPECTS(s >= 0.0 && s <= 1.0);
-  if (!have_observation_) {
-    lane_sparsity_ = s;
-    have_observation_ = true;
-    return;
-  }
-  lane_sparsity_ = policy_.sparsity_ewma * s +
-                   (1.0 - policy_.sparsity_ewma) * lane_sparsity_;
 }
 
 }  // namespace zss::serve

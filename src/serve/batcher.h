@@ -1,20 +1,23 @@
 // Request batching policy — coalescing single-token requests into one
 // SparseLstmEngine::step() call.
 //
-// Batching recurrent inference is a measured trade-off, not a free win:
-// the engine's skip logic works on the *intersection* of the batch's
-// zero patterns (a position is fetched when ANY lane keeps it), so the
-// observed sparsity falls roughly as kept(B) = 1 - s^B for per-lane
-// sparsity s (the paper's Fig. 7, reproduced by bench/fig7_batch_sparsity
-// .cc). This batcher therefore closes a batch on three conditions:
-//   * it reached max_batch (classic throughput batching),
+// With the per-lane batched skip path (num::sparse_accum_rows_multi),
+// batching recurrent inference is a straightforward win again: each
+// lane accumulates exactly its own kept positions, so the effectual
+// work of a batch is the sum of its lanes' per-lane work — adding a
+// request to a batch no longer destroys the sparsity every other lane
+// came for. The batch-intersection cap this batcher carried while the
+// engine skipped only the intersection of the batch's zero patterns
+// (kept(B) ~= 1 - s^B, the paper's Fig. 7 — reproduced by
+// bench/fig7_batch_sparsity.cc) is therefore retired; docs/serving.md
+// records the policy history. A batch now closes on two knobs and one
+// structural rule:
+//   * it reached max_batch (staging memory, worst-case service time),
 //   * the oldest pending request waited max_wait_us (latency floor),
-//   * growing it further would push the *predicted* kept fraction past
-//     max_kept_fraction, using the engine's per-lane sparsity feedback
-//     (SparseLstmEngine::last_step_stats().lane_sparsity, EWMA-smoothed).
-// A batch also never contains the same session twice — a session's
-// second token must see the state its first one produced — so a batch is
-// always the longest conflict-free FIFO prefix the caps allow.
+//   * a batch never contains the same session twice — a session's
+//     second token must see the state its first one produced — so a
+//     batch is always the longest conflict-free FIFO prefix max_batch
+//     allows.
 //
 // The batcher is deterministic and clock-free: callers pass `now_us`
 // explicitly (a virtual trace clock in replay/tests, a real clock in a
@@ -32,12 +35,6 @@ namespace zss::serve {
 struct BatchPolicy {
   num::Index max_batch = 8;
   std::int64_t max_wait_us = 200;
-  /// Close the batch before the predicted intersected kept fraction
-  /// exceeds this. 1.0 disables the cap (a batch of one always serves,
-  /// whatever the prediction says).
-  double max_kept_fraction = 1.0;
-  /// Weight of the newest lane-sparsity observation in the EWMA.
-  double sparsity_ewma = 0.25;
 };
 
 class RequestBatcher {
@@ -54,31 +51,17 @@ class RequestBatcher {
   num::Index pending() const { return static_cast<num::Index>(count_); }
   std::int64_t oldest_arrival_us() const;
 
-  /// Largest batch the intersection cap currently allows, in
-  /// [1, max_batch]. With no feedback yet the cap is optimistic
-  /// (max_batch); it tightens as observe_lane_sparsity() reports.
-  num::Index effective_cap() const;
-
-  /// Kept fraction the current sparsity estimate predicts for a batch
-  /// of `b` independent lanes: 1 - s^b.
-  double predicted_kept_fraction(num::Index b) const;
-
   /// True when a batch should be served now: the conflict-free prefix
-  /// reached the effective cap, a same-session conflict blocks further
-  /// growth anyway, or the oldest request exhausted max_wait_us.
+  /// reached max_batch, a same-session conflict blocks further growth
+  /// anyway, or the oldest request exhausted max_wait_us.
   bool ready(std::int64_t now_us) const;
 
   /// Pops the next batch (the conflict-free FIFO prefix, at most
-  /// effective_cap()) into `out` (cleared first). Returns its size; 0
-  /// when nothing is pending. Ignores max_wait — pair with ready(), or
-  /// call directly to flush.
+  /// max_batch) into `out` (cleared first). Returns its size; 0 when
+  /// nothing is pending. Ignores max_wait — pair with ready(), or call
+  /// directly to flush.
   num::Index pop_batch(std::vector<Request>& out);
 
-  /// Feeds back the per-lane sparsity of the state the engine just
-  /// stored (SparseLstmEngine::last_step_stats().lane_sparsity).
-  void observe_lane_sparsity(double s);
-
-  double lane_sparsity_estimate() const { return lane_sparsity_; }
   const BatchPolicy& policy() const { return policy_; }
 
  private:
@@ -89,8 +72,6 @@ class RequestBatcher {
   std::vector<Request> ring_;
   std::size_t head_ = 0;
   std::size_t count_ = 0;
-  double lane_sparsity_ = 0.0;
-  bool have_observation_ = false;
 };
 
 }  // namespace zss::serve

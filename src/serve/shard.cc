@@ -120,8 +120,6 @@ num::Index EngineShard::step_batch(std::int64_t now_us,
       std::copy(c_.row(r).begin(), c_.row(r).end(), sc.begin());
     }
   }
-  batcher_.observe_lane_sparsity(engine_.last_step_stats().lane_sparsity);
-
   const auto t1 = std::chrono::steady_clock::now();
   const double service_us =
       std::chrono::duration<double, std::micro>(t1 - t0).count();

@@ -11,9 +11,10 @@
 // Determinism guarantee (test-enforced, tests/serve/shard_determinism
 // _test.cc): a session's output stream depends only on its own request
 // stream, never on which batch-mates or shard served it. This follows
-// from the bit-exactness contract (docs/exactness.md) — batch
-// intersection only adds exact-zero terms to a lane's accumulation
-// chain — plus one restriction this constructor enforces: the pruner
+// from the bit-exactness contract (docs/exactness.md) — with the
+// per-lane skip path a lane accumulates exactly its own kept positions
+// whatever the batch around it — plus one restriction this constructor
+// enforces: the pruner
 // must be batch-composition-independent (kTargetSparsity derives its
 // threshold from a whole-batch quantile, so it is rejected; export a
 // trained model's threshold via StatePruner::effective_threshold and
@@ -72,8 +73,8 @@ class EngineShard {
   num::Index process_ready(std::int64_t now_us, const ResponseSink& sink);
 
   /// Serves everything queued, ignoring max-wait (trace end, shutdown,
-  /// closed-loop benches). Batches still respect max_batch, the
-  /// intersection cap and session conflicts. Returns requests served.
+  /// closed-loop benches). Batches still respect max_batch and session
+  /// conflicts. Returns requests served.
   num::Index flush(std::int64_t now_us, const ResponseSink& sink);
 
   num::Index pending() const { return batcher_.pending(); }

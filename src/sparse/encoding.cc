@@ -73,6 +73,51 @@ void encode_into(const num::Mat<T>& state, const EncoderConfig& cfg,
 }
 
 template <typename T>
+void encode_lanes_into(const num::Mat<T>& state, LaneEncodedState<T>& out) {
+  ZSS_EXPECTS(state.rows() > 0);
+  const num::Index B = state.rows();
+  const num::Index n = state.cols();
+  out.positions.clear();
+  out.values.clear();
+  out.row_start.clear();
+  out.batch = B;
+  out.dense_size = n;
+  out.col_mark_.assign(static_cast<std::size_t>(n), 0);
+
+  const T* data = state.data();
+  out.row_start.push_back(0);
+  for (num::Index b = 0; b < B; ++b) {
+    const T* row = data + b * n;
+    // Each lane is one contiguous ascending pass — the same walk the
+    // paper's encoder does per sequence, without the offset counter.
+    for (num::Index j = 0; j < n; ++j) {
+      if (row[j] == T{}) continue;
+      out.positions.push_back(j);
+      out.values.push_back(row[j]);
+      out.col_mark_[static_cast<std::size_t>(j)] = 1;
+    }
+    out.row_start.push_back(static_cast<num::Index>(out.positions.size()));
+  }
+  num::Index kept_union = 0;
+  for (unsigned char m : out.col_mark_) kept_union += m;
+  out.union_kept_ = kept_union;
+}
+
+template <typename T>
+num::Mat<T> decode_lanes(const LaneEncodedState<T>& enc) {
+  num::Mat<T> out(enc.batch, enc.dense_size, T{});
+  for (num::Index b = 0; b < enc.batch; ++b) {
+    for (num::Index e = enc.row_start[static_cast<std::size_t>(b)];
+         e < enc.row_start[static_cast<std::size_t>(b + 1)]; ++e) {
+      const num::Index pos = enc.positions[static_cast<std::size_t>(e)];
+      ZSS_ASSERT(pos >= 0 && pos < enc.dense_size);
+      out(b, pos) = enc.values[static_cast<std::size_t>(e)];
+    }
+  }
+  return out;
+}
+
+template <typename T>
 EncodedState<T> encode(const num::Mat<T>& state, const EncoderConfig& cfg) {
   EncodedState<T> enc;
   encode_into(state, cfg, enc);
@@ -114,6 +159,13 @@ template void encode_into<float>(const num::Mat<float>&, const EncoderConfig&,
 template void encode_into<std::int8_t>(const num::Mat<std::int8_t>&,
                                        const EncoderConfig&,
                                        EncodedState<std::int8_t>&);
+template void encode_lanes_into<float>(const num::Mat<float>&,
+                                       LaneEncodedState<float>&);
+template void encode_lanes_into<std::int8_t>(const num::Mat<std::int8_t>&,
+                                             LaneEncodedState<std::int8_t>&);
+template num::Mat<float> decode_lanes<float>(const LaneEncodedState<float>&);
+template num::Mat<std::int8_t> decode_lanes<std::int8_t>(
+    const LaneEncodedState<std::int8_t>&);
 template EncodedState<float> encode<float>(const num::Mat<float>&,
                                            const EncoderConfig&);
 template EncodedState<std::int8_t> encode<std::int8_t>(

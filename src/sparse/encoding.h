@@ -7,9 +7,12 @@
 // to fetch only the weight columns of non-zero state elements, so no
 // decoder sits on the critical path (§III-B).
 //
-// With batching, a position may be dropped only when it is zero in every
-// batch (Fig. 5(d)); the encoder therefore works on the *intersection*
-// of the batch's zero patterns.
+// With batching the offset encoder may drop a position only when it is
+// zero in every batch lane (Fig. 5(d)); it therefore works on the
+// *intersection* of the batch's zero patterns. The per-lane CSR encoder
+// below (LaneEncodedState) removes that restriction for the software
+// path: each lane keeps exactly its own non-zero positions, so skip
+// gains survive batching (see docs/architecture.md).
 #pragma once
 
 #include <cstdint>
@@ -72,6 +75,74 @@ struct EncodedState {
                                offset_bytes);
   }
 };
+
+/// Per-lane CSR encoding of a batch of state vectors — the batched
+/// counterpart of the paper's per-sequence skip: instead of encoding
+/// only the *intersection* of the batch's zero patterns, every lane
+/// keeps exactly its own non-zero positions, so the exploitable
+/// sparsity no longer collapses as 1 - s^B with batch size (the serving
+/// regime of Fig. 7). Lane b's kept positions are
+/// positions[row_start[b] .. row_start[b+1]) in ascending order, with
+/// the matching values alongside — the shape num::sparse_accum_rows_multi
+/// consumes directly (no offset counter: absolute positions, CSR-style).
+template <typename T>
+struct LaneEncodedState {
+  std::vector<num::Index> positions;  // lane-major kept positions
+  std::vector<T> values;              // values[i] belongs to positions[i]
+  std::vector<num::Index> row_start;  // batch + 1 CSR offsets
+  num::Index batch = 0;
+  num::Index dense_size = 0;
+
+  /// Kept positions summed over all lanes (the per-lane effectual work).
+  num::Index total_kept() const {
+    return row_start.empty() ? 0 : row_start.back();
+  }
+
+  num::Index kept_in_lane(num::Index b) const {
+    return row_start[static_cast<std::size_t>(b + 1)] -
+           row_start[static_cast<std::size_t>(b)];
+  }
+
+  /// Positions kept by at least one lane — what the batch-intersection
+  /// encoder would have fetched; kept for comparison in stats/benches.
+  num::Index union_kept() const { return union_kept_; }
+
+  /// Mean per-lane zero fraction of the encoded state.
+  double lane_sparsity() const {
+    const num::Index total = batch * dense_size;
+    return total == 0 ? 0.0
+                      : 1.0 - static_cast<double>(total_kept()) /
+                                  static_cast<double>(total);
+  }
+
+  /// Pre-grows every store for a state of `dense_size` positions and
+  /// `batch` lanes; after this call encode_lanes_into allocates nothing.
+  void reserve(num::Index dense_size, num::Index batch) {
+    positions.reserve(static_cast<std::size_t>(dense_size * batch));
+    values.reserve(static_cast<std::size_t>(dense_size * batch));
+    row_start.reserve(static_cast<std::size_t>(batch + 1));
+    col_mark_.reserve(static_cast<std::size_t>(dense_size));
+  }
+
+ private:
+  template <typename U>
+  friend void encode_lanes_into(const num::Mat<U>& state,
+                                LaneEncodedState<U>& out);
+  std::vector<unsigned char> col_mark_;  // union scratch, one byte per pos
+  num::Index union_kept_ = 0;
+};
+
+/// Encodes a batch of dense state vectors (rows = lanes) into the
+/// per-lane CSR form, reusing `out`'s capacity (the per-timestep path of
+/// the batched inference engine, which must not allocate once warm —
+/// see LaneEncodedState::reserve).
+template <typename T>
+void encode_lanes_into(const num::Mat<T>& state, LaneEncodedState<T>& out);
+
+/// Reconstructs the dense batch from a per-lane encoding. Exact inverse
+/// of encode_lanes_into.
+template <typename T>
+num::Mat<T> decode_lanes(const LaneEncodedState<T>& enc);
 
 /// True at position j when every batch lane of column j is zero.
 /// `state` is batch-major: row b = lane b's dense state vector.

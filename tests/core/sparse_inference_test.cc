@@ -73,6 +73,60 @@ TEST_F(SparseInferenceTest, SparseStepMatchesDenseStepExactly) {
   }
 }
 
+TEST_F(SparseInferenceTest, BatchedPerLanePathMatchesDenseExactly) {
+  // The B > 1 per-lane CSR path (num::sparse_accum_rows_multi) must be
+  // bit-identical to the dense baseline at every batch size, exactly
+  // like the B == 1 offset-encoded path: a lane's chain accumulates its
+  // own kept positions in ascending order, and the dense chain differs
+  // from it only by exact-zero terms (IEEE identities).
+  for (const num::Index batch : {num::Index{2}, num::Index{8},
+                                 num::Index{32}}) {
+    StatePruner pruner(PrunerConfig::target(0.6));
+    SparseLstmEngine sparse(cell_, pruner);
+    SparseLstmEngine dense(cell_, pruner);
+    Matrix h_s(batch, 12, 0.0f), c_s(batch, 12, 0.0f);
+    Matrix h_d(batch, 12, 0.0f), c_d(batch, 12, 0.0f);
+    for (int t = 0; t < 12; ++t) {
+      const Matrix x = random_matrix(batch, 4, rng_);
+      sparse.step(x, h_s, c_s);
+      dense.step_dense(x, h_d, c_d);
+      ASSERT_EQ(h_s, h_d) << "batch " << batch << " step " << t;
+      ASSERT_EQ(c_s, c_d) << "batch " << batch << " step " << t;
+    }
+  }
+}
+
+TEST_F(SparseInferenceTest, PerLaneStatsTrackLaneSparsityNotIntersection) {
+  // At batch 4 with ~50% per-lane sparsity, the union (intersection
+  // skip) keeps ~1 - 0.5^4 ~= 94% of positions, but the per-lane path
+  // only performs each lane's own work (~50%): the stats must report
+  // both quantities separately, and the effectual MACs must follow the
+  // per-lane count, not batch * union.
+  StatePruner pruner(PrunerConfig::target(0.5));
+  SparseLstmEngine engine(cell_, pruner);
+  Matrix h(4, 12, 0.0f), c(4, 12, 0.0f);
+  for (int t = 0; t < 30; ++t) {
+    const Matrix x = random_matrix(4, 4, rng_);
+    engine.step(x, h, c);
+  }
+  const auto& stats = engine.stats();
+  ASSERT_GT(stats.lane_positions, 0);
+  EXPECT_EQ(stats.lane_positions, stats.positions * 4);
+  // Per-lane observed sparsity tracks the pruner's target...
+  EXPECT_NEAR(stats.observed_lane_sparsity(), 0.5, 0.1);
+  // ...while the union sparsity collapses toward zero (Fig. 7).
+  EXPECT_LT(stats.observed_sparsity(), 0.25);
+  // Effectual MACs are the per-lane work, exactly.
+  EXPECT_EQ(stats.state_macs_effectual, stats.lane_kept_positions * 4 * 12);
+  EXPECT_LT(stats.state_macs_effectual,
+            stats.kept_positions * 4 * 4 * 12);  // < batch * union work
+  // The per-step snapshot carries the same split.
+  const StepStats& last = engine.last_step_stats();
+  EXPECT_EQ(last.batch, 4);
+  EXPECT_LE(last.kept_positions, last.lane_kept_positions);
+  EXPECT_NEAR(last.observed_lane_sparsity(), 0.5, 0.15);
+}
+
 TEST_F(SparseInferenceTest, StatsCountSkippedWork) {
   StatePruner pruner(PrunerConfig::target(0.5));
   SparseLstmEngine engine(cell_, pruner);

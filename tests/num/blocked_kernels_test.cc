@@ -135,6 +135,82 @@ TEST_P(BackendKernelTest, SparseAccumRowsMatchesReferenceBitwise) {
   expect_bitwise_equal(out_backend, out_ref);  // 0 ULP
 }
 
+TEST_P(BackendKernelTest, SparseAccumRowsMultiMatchesReferenceBitwise) {
+  // Per-lane CSR lists with a ragged mix of patterns across lanes:
+  // ~40% kept on most lanes, one empty lane, one full lane, and one
+  // single-position lane (when the batch has room for them). Every
+  // backend must reproduce the reference lane-sequential accumulation
+  // to 0 ULP whatever schedule (grouping, merging, tiling) it uses.
+  const auto [dh, batch] = shape();
+  Rng rng(static_cast<std::uint64_t>(dh * 100 + batch + 7));
+  const Matrix packed = random_matrix(dh, 4 * dh, rng);
+  std::vector<Index> positions;
+  std::vector<Index> row_start{0};
+  std::vector<float> values;
+  for (Index b = 0; b < batch; ++b) {
+    if (b == 1) {
+      // empty lane: contributes nothing, must not disturb neighbours
+    } else if (b == 2) {
+      for (Index j = 0; j < dh; ++j) {  // full lane
+        positions.push_back(j);
+        values.push_back(static_cast<float>(rng.uniform(-1.0, 1.0)));
+      }
+    } else if (b == 3) {
+      positions.push_back(dh - 1);  // single position, at the edge
+      values.push_back(static_cast<float>(rng.uniform(-1.0, 1.0)));
+    } else {
+      for (Index j = 0; j < dh; ++j) {
+        if (dh > 1 && !rng.bernoulli(0.4)) continue;
+        positions.push_back(j);
+        values.push_back(static_cast<float>(rng.uniform(-1.0, 1.0)));
+      }
+    }
+    row_start.push_back(static_cast<Index>(positions.size()));
+  }
+  Matrix out_backend(batch, 4 * dh, 0.125f);  // non-zero start: accumulate
+  Matrix out_ref = out_backend;
+  sparse_accum_rows_multi(packed, positions, row_start, values, out_backend);
+  reference::sparse_accum_rows_multi(packed, positions, row_start, values,
+                                     out_ref);
+  expect_bitwise_equal(out_backend, out_ref);  // 0 ULP
+}
+
+TEST_P(BackendKernelTest, SparseAccumRowsMultiAgreesWithIntersectedKernel) {
+  // Feeding every lane the same kept list through the per-lane CSR
+  // kernel must give the same bits as the position-major intersected
+  // kernel with all-non-zero values: both are the identical per-element
+  // ascending chains, just differently scheduled.
+  const auto [dh, batch] = shape();
+  Rng rng(static_cast<std::uint64_t>(dh * 100 + batch + 8));
+  const Matrix packed = random_matrix(dh, 4 * dh, rng);
+  std::vector<Index> shared;
+  for (Index j = 0; j < dh; j += 2) shared.push_back(j);
+  // Position-major values for the intersected kernel...
+  std::vector<float> values_pm;
+  for (std::size_t e = 0; e < shared.size(); ++e) {
+    for (Index b = 0; b < batch; ++b) {
+      values_pm.push_back(static_cast<float>(rng.uniform(-1.0, 1.0)));
+    }
+  }
+  // ...and the same values laid out lane-major for the CSR kernel.
+  std::vector<Index> positions;
+  std::vector<Index> row_start{0};
+  std::vector<float> values_lm;
+  for (Index b = 0; b < batch; ++b) {
+    for (std::size_t e = 0; e < shared.size(); ++e) {
+      positions.push_back(shared[e]);
+      values_lm.push_back(values_pm[e * static_cast<std::size_t>(batch) +
+                                   static_cast<std::size_t>(b)]);
+    }
+    row_start.push_back(static_cast<Index>(positions.size()));
+  }
+  Matrix out_multi(batch, 4 * dh, 0.0f);
+  Matrix out_inter(batch, 4 * dh, 0.0f);
+  sparse_accum_rows_multi(packed, positions, row_start, values_lm, out_multi);
+  sparse_accum_rows(packed, shared, values_pm, out_inter);
+  expect_bitwise_equal(out_multi, out_inter);
+}
+
 TEST_P(BackendKernelTest, SparseAccumRowsMatchesColumnGather) {
   // The packed-row accumulation must equal the accelerator's column
   // gather over the original gate-major matrix bit-for-bit.
@@ -187,8 +263,9 @@ INSTANTIATE_TEST_SUITE_P(
     OddShapesAllBackends, BackendKernelTest,
     ::testing::Combine(::testing::Values(Shape{1, 1}, Shape{1, 2}, Shape{3, 1},
                                          Shape{3, 5}, Shape{17, 2},
-                                         Shape{17, 5}, Shape{64, 1},
-                                         Shape{64, 2}, Shape{64, 5}),
+                                         Shape{17, 5}, Shape{17, 40},
+                                         Shape{64, 1}, Shape{64, 2},
+                                         Shape{64, 5}, Shape{64, 33}),
                        ::testing::ValuesIn(simd::available_backends())),
     param_name);
 

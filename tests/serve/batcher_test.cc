@@ -86,50 +86,11 @@ TEST(RequestBatcherTest, SameSessionNeverSharesABatch) {
   EXPECT_EQ(out[1].session, 2u);
 }
 
-TEST(RequestBatcherTest, IntersectionCapStopsBatchGrowth) {
-  BatchPolicy policy;
-  policy.max_batch = 8;
-  policy.max_wait_us = 1000;
-  policy.max_kept_fraction = 0.8;
-  RequestBatcher b(policy);
-
-  // No feedback yet: the cap is optimistic.
-  EXPECT_EQ(b.effective_cap(), 8);
-
-  // Lane sparsity 0.5: predicted kept = 1 - 0.5^B, so B=2 keeps 0.75
-  // (within the 0.8 budget) and B=3 would keep 0.875 (over it).
-  b.observe_lane_sparsity(0.5);
-  EXPECT_DOUBLE_EQ(b.predicted_kept_fraction(2), 0.75);
-  EXPECT_DOUBLE_EQ(b.predicted_kept_fraction(3), 0.875);
-  EXPECT_EQ(b.effective_cap(), 2);
-
-  for (SessionId s = 1; s <= 4; ++s) b.enqueue(req(s, 0));
-  EXPECT_TRUE(b.ready(0)) << "cap reached at 2 pending";
-  std::vector<Request> out;
-  EXPECT_EQ(b.pop_batch(out), 2) << "batch growth stopped by the cap";
-  EXPECT_EQ(b.pending(), 2);
-
-  // A denser model (sparsity 0) collapses the cap to batch-of-one —
-  // which must always be allowed to serve, whatever the prediction.
-  for (int i = 0; i < 8; ++i) b.observe_lane_sparsity(0.0);
-  EXPECT_EQ(b.effective_cap(), 1);
-  EXPECT_EQ(b.pop_batch(out), 1);
-
-  // A fully sparse model lifts the cap back to max_batch.
-  for (int i = 0; i < 64; ++i) b.observe_lane_sparsity(1.0);
-  EXPECT_EQ(b.effective_cap(), 8);
-}
-
-TEST(RequestBatcherTest, SparsityFeedbackIsSmoothed) {
-  BatchPolicy policy;
-  policy.sparsity_ewma = 0.25;
-  RequestBatcher b(policy);
-
-  b.observe_lane_sparsity(0.8);  // first observation seeds the estimate
-  EXPECT_DOUBLE_EQ(b.lane_sparsity_estimate(), 0.8);
-  b.observe_lane_sparsity(0.4);
-  EXPECT_DOUBLE_EQ(b.lane_sparsity_estimate(), 0.25 * 0.4 + 0.75 * 0.8);
-}
+// The batch-intersection cap (max_kept_fraction + lane-sparsity EWMA
+// feedback) was retired when the engine gained the per-lane batched
+// skip path: effectual work now scales with each lane's own sparsity,
+// so there is no intersected-kept fraction left to budget. The batcher
+// closes batches on max_batch / max_wait / session conflicts only.
 
 // --- Wraparound / max-wait edge regressions (PR 4 audit) -------------
 // The audit walked every head_/count_ transition: growth triggered

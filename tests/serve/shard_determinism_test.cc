@@ -12,12 +12,12 @@
 
 // The serving determinism guarantee: a session's output stream depends
 // only on its own request stream — never on shard count, batch size, or
-// which batch-mates the batcher grouped it with. Grouping only changes
-// which intersected positions are *fetched*; the extra terms a lane
-// inherits from its batch-mates are exact zeros, and the bit-exactness
-// contract (docs/exactness.md) makes those IEEE identities. These tests
-// replay one trace through every pool shape and demand bitwise-equal
-// per-session outputs against a batch-of-one oracle.
+// which batch-mates the batcher grouped it with. With the per-lane skip
+// path a lane accumulates exactly its own kept positions whatever the
+// batch around it, and the bit-exactness contract (docs/exactness.md)
+// pins every chain's rounding. These tests replay one trace through
+// every pool shape and demand bitwise-equal per-session outputs against
+// a batch-of-one oracle.
 namespace zss::serve {
 namespace {
 
@@ -120,21 +120,24 @@ TEST_F(ShardDeterminismTest, BatchingActuallyHappened) {
   EXPECT_GT(pool.shard(0).stats().mean_batch(), 1.5);
 }
 
-TEST_F(ShardDeterminismTest, IntersectionCapStillBitwiseIdentical) {
-  // The cap changes batch boundaries (a cost policy), which must not
-  // change a single output bit.
-  PoolConfig config;
-  config.shards = 2;
-  config.policy.max_batch = 8;
-  config.policy.max_wait_us = 200;
-  config.policy.max_kept_fraction = 0.6;
-  EnginePool pool(cell_, pruner_, config);
-  OutputLog log;
-  const ResponseSink sink = [&](const Response& r) {
-    log[r.session].emplace_back(r.h.begin(), r.h.end());
-  };
-  replay(pool, trace_, sink);
-  EXPECT_EQ(log, oracle());
+TEST_F(ShardDeterminismTest, MaxBatchSweepBitwiseIdentical) {
+  // Batch size is a cost policy: every max_batch (and therefore every
+  // mix of the engine's B == 1 offset-encoded path and B > 1 per-lane
+  // CSR path) must produce the same bits as the batch-of-one oracle.
+  const OutputLog want = oracle();
+  for (const num::Index max_batch : {2, 3, 5, 8}) {
+    PoolConfig config;
+    config.shards = 2;
+    config.policy.max_batch = max_batch;
+    config.policy.max_wait_us = 200;
+    EnginePool pool(cell_, pruner_, config);
+    OutputLog log;
+    const ResponseSink sink = [&](const Response& r) {
+      log[r.session].emplace_back(r.h.begin(), r.h.end());
+    };
+    replay(pool, trace_, sink);
+    EXPECT_EQ(log, want) << "max_batch " << max_batch;
+  }
 }
 
 TEST_F(ShardDeterminismTest, MaxWaitDeadlineFiresBetweenArrivals) {

@@ -214,5 +214,97 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(1, 8, 16),
                        ::testing::Values(2, 4, 8)));
 
+// --- per-lane CSR encoding (LaneEncodedState) -------------------------
+
+TEST(LaneEncodingTest, PerLaneListsAreExactAndAscending) {
+  Matrix state(3, 6, 0.0f);
+  // lane 0: positions 1, 4; lane 1: empty; lane 2: all positions.
+  state(0, 1) = 2.0f;
+  state(0, 4) = -3.0f;
+  for (Index j = 0; j < 6; ++j) state(2, j) = static_cast<float>(j + 1);
+
+  LaneEncodedState<float> enc;
+  encode_lanes_into(state, enc);
+  ASSERT_EQ(enc.batch, 3);
+  ASSERT_EQ(enc.dense_size, 6);
+  EXPECT_EQ(enc.kept_in_lane(0), 2);
+  EXPECT_EQ(enc.kept_in_lane(1), 0);
+  EXPECT_EQ(enc.kept_in_lane(2), 6);
+  EXPECT_EQ(enc.total_kept(), 8);
+  // Union: every position is non-zero in some lane (lane 2 is full).
+  EXPECT_EQ(enc.union_kept(), 6);
+  EXPECT_EQ(enc.positions[0], 1);
+  EXPECT_EQ(enc.positions[1], 4);
+  EXPECT_EQ(enc.values[0], 2.0f);
+  EXPECT_EQ(enc.values[1], -3.0f);
+  for (Index b = 0; b < 3; ++b) {
+    for (Index e = enc.row_start[static_cast<std::size_t>(b)] + 1;
+         e < enc.row_start[static_cast<std::size_t>(b + 1)]; ++e) {
+      EXPECT_LT(enc.positions[static_cast<std::size_t>(e - 1)],
+                enc.positions[static_cast<std::size_t>(e)])
+          << "per-lane positions must ascend (the chain-order contract)";
+    }
+  }
+  EXPECT_EQ(decode_lanes(enc), state);
+}
+
+TEST(LaneEncodingTest, UnionMatchesIntersectionEncoder) {
+  // union_kept must equal what the batch-intersecting offset encoder
+  // keeps (with a counter wide enough to need no padding entries).
+  num::Rng rng(31);
+  Matrix state(6, 200, 0.0f);
+  for (float& v : state.flat()) {
+    if (rng.bernoulli(0.3)) v = static_cast<float>(rng.normal());
+  }
+  LaneEncodedState<float> lanes;
+  encode_lanes_into(state, lanes);
+  EncoderConfig wide;
+  wide.offset_bits = 16;
+  EXPECT_EQ(lanes.union_kept(), encode(state, wide).kept_positions());
+  // Per-lane sparsity is the plain element-zero fraction.
+  Index zeros = 0;
+  for (float v : state.flat()) {
+    if (v == 0.0f) ++zeros;
+  }
+  EXPECT_DOUBLE_EQ(lanes.lane_sparsity(),
+                   static_cast<double>(zeros) /
+                       static_cast<double>(state.size()));
+}
+
+TEST(LaneEncodingTest, RoundTripAcrossDensitiesAndBatches) {
+  num::Rng rng(47);
+  for (const double density : {0.0, 0.05, 0.5, 1.0}) {
+    for (const Index batch : {Index{1}, Index{7}, Index{40}}) {
+      Matrix state(batch, 63, 0.0f);
+      for (float& v : state.flat()) {
+        if (rng.bernoulli(density)) v = static_cast<float>(rng.normal());
+      }
+      LaneEncodedState<float> enc;
+      encode_lanes_into(state, enc);
+      EXPECT_EQ(decode_lanes(enc), state) << density << " " << batch;
+    }
+  }
+}
+
+TEST(LaneEncodingTest, EncodeLanesIntoReusesCapacity) {
+  num::Rng rng(53);
+  Matrix state(8, 100, 0.0f);
+  LaneEncodedState<float> enc;
+  enc.reserve(state.cols(), state.rows());
+  const auto pos_cap = enc.positions.capacity();
+  const auto val_cap = enc.values.capacity();
+  const auto row_cap = enc.row_start.capacity();
+  for (int round = 0; round < 5; ++round) {
+    for (float& v : state.flat()) {
+      v = rng.bernoulli(0.5) ? static_cast<float>(rng.normal()) : 0.0f;
+    }
+    encode_lanes_into(state, enc);
+    EXPECT_EQ(decode_lanes(enc), state);
+    EXPECT_EQ(enc.positions.capacity(), pos_cap);
+    EXPECT_EQ(enc.values.capacity(), val_cap);
+    EXPECT_EQ(enc.row_start.capacity(), row_cap);
+  }
+}
+
 }  // namespace
 }  // namespace zss::sparse

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Gate BENCH_sparse_inference.json against the checked-in reference.
+
+Usage: check_bench_regression.py FRESH_JSON [REFERENCE_JSON]
+
+Two kinds of checks, mirroring how the numbers are used:
+
+* Hard gates (exit 1):
+    - every row must be bit_exact (the exactness contract is binary);
+    - the batched skip path must actually beat the dense baseline where
+      the per-lane kernel exists to win: wall_speedup >= 1.0 at batch 8
+      for every sparsity >= 0.5 (the regression that motivated the
+      per-lane path was 0.87x exactly there).
+* Soft warnings (printed, exit stays 0): any (sparsity, batch) cell
+  whose wall_speedup dropped more than WARN_FRACTION below the
+  reference recording. Wall-clock on shared CI runners is noisy, so
+  these annotate rather than fail; the reference at the repo root is
+  the dev-machine recording (docs/benchmarks.md).
+
+Run by the native-bench CI job after bench_sparse_vs_dense, and usable
+locally: ./tools/check_bench_regression.py build/BENCH_sparse_inference.json
+"""
+
+import json
+import sys
+
+WARN_FRACTION = 0.20
+HARD_GATE_BATCH = 8
+HARD_GATE_MIN_SPARSITY = 0.5
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}")
+        sys.exit(2)
+    if data.get("bench") != "sparse_inference" or "results" not in data:
+        print(f"error: {path} is not a BENCH_sparse_inference.json artifact")
+        sys.exit(2)
+    return data
+
+
+def cells(data):
+    return {(r["sparsity"], r["batch"]): r for r in data["results"]}
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__)
+        return 2
+    fresh_path = argv[1]
+    ref_path = argv[2] if len(argv) > 2 else "BENCH_sparse_inference.json"
+    fresh = load(fresh_path)
+    ref = load(ref_path)
+
+    failures = []
+    warnings = []
+
+    for (sparsity, batch), row in sorted(cells(fresh).items()):
+        if not row.get("bit_exact", False):
+            failures.append(
+                f"bit_exact=false at sparsity {sparsity} batch {batch}"
+            )
+        if batch == HARD_GATE_BATCH and sparsity >= HARD_GATE_MIN_SPARSITY:
+            if row["wall_speedup"] < 1.0:
+                failures.append(
+                    f"wall_speedup {row['wall_speedup']:.3f} < 1.0 at "
+                    f"sparsity {sparsity} batch {batch} — the batched skip "
+                    f"path lost to the dense baseline again"
+                )
+
+    ref_cells = cells(ref)
+    if fresh.get("kernel_backend") != ref.get("kernel_backend"):
+        print(
+            f"note: backends differ (fresh={fresh.get('kernel_backend')}, "
+            f"reference={ref.get('kernel_backend')}); speedup comparison "
+            f"is still meaningful (both are ratios on one machine) but "
+            f"expect larger drift"
+        )
+    for key, row in sorted(cells(fresh).items()):
+        ref_row = ref_cells.get(key)
+        if ref_row is None:
+            warnings.append(f"cell {key} missing from reference")
+            continue
+        floor = ref_row["wall_speedup"] * (1.0 - WARN_FRACTION)
+        if row["wall_speedup"] < floor:
+            warnings.append(
+                f"wall_speedup at sparsity {key[0]} batch {key[1]}: "
+                f"{row['wall_speedup']:.3f} vs reference "
+                f"{ref_row['wall_speedup']:.3f} "
+                f"(-{(1 - row['wall_speedup'] / ref_row['wall_speedup']) * 100:.0f}%)"
+            )
+
+    for w in warnings:
+        print(f"warning: {w}")
+    for f_ in failures:
+        print(f"FAIL: {f_}")
+    if failures:
+        return 1
+    print(
+        f"bench regression check passed: {len(cells(fresh))} cells, "
+        f"{len(warnings)} warning(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -66,7 +66,6 @@ struct Args {
   num::Index shards = 1;
   num::Index max_batch = 8;
   std::int64_t max_wait_us = 200;
-  double max_kept = 1.0;
   std::int64_t ttl_us = -1;
   num::Index max_sessions = 0;
   num::Index max_queue = 0;
@@ -104,8 +103,6 @@ bool parse(int argc, char** argv, Args& args) {
       args.max_batch = std::atol(v);
     } else if (const char* v = value("max-wait-us")) {
       args.max_wait_us = std::atol(v);
-    } else if (const char* v = value("max-kept")) {
-      args.max_kept = std::atof(v);
     } else if (const char* v = value("ttl-us")) {
       args.ttl_us = std::atoll(v);
     } else if (const char* v = value("max-sessions")) {
@@ -136,13 +133,13 @@ bool parse(int argc, char** argv, Args& args) {
   // Report bad values as usage errors here; the library layers treat
   // them as contract violations and abort.
   if (args.shards < 1 || args.max_batch < 1 || args.max_wait_us < 0 ||
-      args.max_kept <= 0.0 || args.max_kept > 1.0 || args.dh < 1 ||
+      args.dh < 1 ||
       args.dx < 1 || args.sessions < 1 || args.gap_us < 0 ||
       args.threshold < 0.0f || args.max_sessions < 0 || args.max_queue < 0) {
     std::fprintf(stderr,
                  "invalid flag value (need shards/max-batch/dh/dx/sessions "
                  ">= 1, max-wait-us/gap-us/max-sessions/max-queue >= 0, "
-                 "0 < max-kept <= 1, threshold >= 0)\n");
+                 "threshold >= 0)\n");
     return false;
   }
   if (args.max_sessions > 0 && args.max_sessions <= args.max_batch) {
@@ -173,7 +170,7 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: zss_serve --trace=FILE [--shards=N] [--max-batch=B]\n"
-      "                 [--max-wait-us=U] [--max-kept=F] [--dh=D] [--dx=D]\n"
+      "                 [--max-wait-us=U] [--dh=D] [--dx=D]\n"
       "                 [--threshold=T] [--seed=S] [--ttl-us=T]\n"
       "                 [--max-sessions=N] [--dump] [--digests=FILE]\n"
       "   or: zss_serve --live [same model/policy flags] [--socket=PATH]\n"
@@ -243,7 +240,6 @@ serve::PoolConfig pool_config(const Args& args) {
   config.shards = args.shards;
   config.policy.max_batch = args.max_batch;
   config.policy.max_wait_us = args.max_wait_us;
-  config.policy.max_kept_fraction = args.max_kept;
   config.session_ttl.ttl_us = args.ttl_us;
   config.session_ttl.max_sessions = args.max_sessions;
   return config;
