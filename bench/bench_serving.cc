@@ -27,12 +27,24 @@
 // stamp to response delivery, queueing and batching delay *included* —
 // which is the number a latency SLO is written against.
 //
+// The tiering section drives the durable spill tier (src/store/): a
+// session population several times the RAM cap, so most re-arrivals
+// come back from disk. It reports hot/warm/cold hit rates (resident /
+// restored-from-spill / created-fresh per request) and, from a direct
+// SegmentStore micro-loop, cold-restore latency and bitwise round-trip
+// fidelity — the numbers check_bench_regression.py gates (restore must
+// stay bit-exact; cold-restore latency may drift 20% before a warning).
+//
 // Usage: bench_serving [--dh=512] [--dx=64] [--sessions=32]
 //                      [--requests=N] [--live-gap-us=G] [--quick]
 // Writes BENCH_serving.json into the working directory.
+#include <sys/stat.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -45,6 +57,8 @@
 #include "num/rng.h"
 #include "num/simd/backend.h"
 #include "serve/worker.h"
+#include "store/io.h"
+#include "store/segment_store.h"
 
 namespace {
 
@@ -78,6 +92,22 @@ struct LiveResult {
   double mean_batch = 0.0;
   double p50_us = 0.0;           // end-to-end: arrival -> delivery
   double p99_us = 0.0;
+};
+
+struct TieringResult {
+  bool encoded = false;
+  num::Index sessions = 0;
+  num::Index max_sessions = 0;  // per shard (RAM cap)
+  num::Index requests = 0;
+  double hot_rate = 0.0;   // served by a resident session
+  double warm_rate = 0.0;  // restored from the spill tier
+  double cold_rate = 0.0;  // created fresh (first touch)
+  std::uint64_t spilled = 0;
+  std::uint64_t restored = 0;
+  std::uint64_t restore_corrupt = 0;
+  bool restore_bit_exact = false;
+  double cold_restore_p50_us = 0.0;
+  double cold_restore_p99_us = 0.0;
 };
 
 double percentile(std::vector<double>& v, double q) {
@@ -289,9 +319,130 @@ LiveResult run_live_config(const nn::LstmCell& cell, float threshold,
   return r;
 }
 
+/// Churn a session population `sessions` through a pool whose per-shard
+/// RAM cap holds only a fraction of it, spill tier on — round-robin
+/// arrivals mean nearly every return past the warm-up is either a
+/// resident hit or a disk restore. Rates come from the SessionStore
+/// counters; restore latency and bit-exactness from a direct
+/// SegmentStore micro-loop against the same directory (real file I/O).
+TieringResult run_tiering(const nn::LstmCell& cell, float threshold,
+                          num::Index sessions, num::Index max_sessions,
+                          num::Index requests, bool encoded,
+                          const std::string& dir, std::uint64_t seed) {
+  const core::StatePruner pruner(core::PrunerConfig::fixed(threshold));
+  serve::PoolConfig config;
+  config.shards = 2;
+  config.policy.max_batch = 4;
+  config.policy.max_wait_us = 0;
+  config.session_ttl.max_sessions = max_sessions;
+  config.spill.dir = dir;
+  config.spill.encoded = encoded;
+  // Each flavour starts from an empty tier: stale segment files from a
+  // previous run would turn first touches into restores.
+  {
+    store::PosixEnv fresh;
+    for (num::Index s = 0; s < config.shards; ++s) {
+      fresh.remove(dir + "/shard_" + std::to_string(s) + ".seg");
+    }
+  }
+  serve::EnginePool pool(cell, pruner, config);
+
+  // Skewed drive: half the traffic hammers a small hot set (stays
+  // resident under LRU — the hot hits), half cycles a population far
+  // past the cap (every return is a disk restore — the warm hits).
+  const num::Index hot_sessions = 12;
+  num::Rng tokens(seed);
+  for (num::Index i = 0; i < requests; ++i) {
+    serve::Request r;
+    const num::Index k = i / 2;
+    r.session = (i % 2 == 0)
+                    ? static_cast<serve::SessionId>(k % hot_sessions) + 1
+                    : static_cast<serve::SessionId>(
+                          hot_sessions + k % (sessions - hot_sessions)) +
+                          1;
+    r.token = tokens.below(cell.input_dim());
+    r.arrival_us = static_cast<std::int64_t>(i);  // recency for the LRU
+    r.seq = static_cast<std::uint64_t>(i);
+    pool.enqueue(r);
+  }
+  std::vector<serve::ResponseSink> sinks(
+      static_cast<std::size_t>(config.shards), [](const serve::Response&) {});
+  const num::Index served = pool.drain_parallel(0, sinks);
+  ZSS_ENSURES(served == requests);
+
+  TieringResult t;
+  t.encoded = encoded;
+  t.sessions = sessions;
+  t.max_sessions = max_sessions;
+  t.requests = requests;
+  std::uint64_t created = 0;
+  for (num::Index s = 0; s < config.shards; ++s) {
+    const auto& st = pool.shard(s).sessions();
+    created += st.created();
+    t.spilled += st.spilled();
+    t.restored += st.restored();
+    t.restore_corrupt += st.restore_corrupt();
+  }
+  const auto n = static_cast<double>(requests);
+  t.warm_rate = static_cast<double>(t.restored) / n;
+  t.cold_rate = static_cast<double>(created) / n;
+  t.hot_rate = 1.0 - t.warm_rate - t.cold_rate;
+
+  // Cold-restore micro-loop: spill K pruned-shaped states through a
+  // SegmentStore on the real filesystem, then time each restore and
+  // compare bits. Restore consumes the record, so one pass is exact.
+  store::PosixEnv env;
+  store::StoreConfig scfg;
+  scfg.path = dir + "/micro.seg";
+  scfg.encoded = encoded;
+  const num::Index dh = cell.hidden_dim();
+  {
+    store::SegmentStore st(env, scfg, dh);
+    const num::Index kStates = 256;
+    std::vector<num::Matrix> hs, cs;
+    num::Rng rng(seed + 17);
+    for (num::Index k = 0; k < kStates; ++k) {
+      num::Matrix h(1, dh, 0.0f), c(1, dh);
+      for (num::Index j = 0; j < dh; ++j) {
+        if (rng.bernoulli(0.1)) {  // ~90% zeros: the pruned steady state
+          h(0, j) = static_cast<float>(rng.uniform(-1.0, 1.0));
+        }
+        c(0, j) = static_cast<float>(rng.uniform(-1.0, 1.0));
+      }
+      st.spill(static_cast<std::uint64_t>(k) + 1, {1, 10, 0}, h, c);
+      hs.push_back(std::move(h));
+      cs.push_back(std::move(c));
+    }
+    std::vector<double> lat;
+    lat.reserve(static_cast<std::size_t>(kStates));
+    t.restore_bit_exact = true;
+    const std::size_t row_bytes = static_cast<std::size_t>(dh) * sizeof(float);
+    for (num::Index k = 0; k < kStates; ++k) {
+      num::Matrix h(1, dh), c(1, dh);
+      store::RecordMeta meta;
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto r =
+          st.restore_into(static_cast<std::uint64_t>(k) + 1, &meta, h, c);
+      const auto t1 = std::chrono::steady_clock::now();
+      lat.push_back(std::chrono::duration<double, std::micro>(t1 - t0).count());
+      const std::size_t k_ = static_cast<std::size_t>(k);
+      if (r != store::RestoreResult::kOk ||
+          std::memcmp(h.data(), hs[k_].data(), row_bytes) != 0 ||
+          std::memcmp(c.data(), cs[k_].data(), row_bytes) != 0) {
+        t.restore_bit_exact = false;
+      }
+    }
+    t.cold_restore_p50_us = percentile(lat, 0.50);
+    t.cold_restore_p99_us = percentile(lat, 0.99);
+  }
+  env.remove(scfg.path);
+  return t;
+}
+
 void write_json(const std::string& path, num::Index dh, num::Index dx,
                 num::Index sessions, const std::vector<Result>& results,
-                const std::vector<LiveResult>& live) {
+                const std::vector<LiveResult>& live,
+                const std::vector<TieringResult>& tiering) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -343,6 +494,32 @@ void write_json(const std::string& path, num::Index dh, num::Index dx,
         r.sparsity_target, static_cast<long long>(r.requests),
         static_cast<long long>(r.gap_us), r.offered_rps, r.wall_ms, r.rps,
         r.mean_batch, r.p50_us, r.p99_us, i + 1 < live.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+
+  // Spill tier: hit rates from the serving churn, restore latency and
+  // bitwise fidelity from the SegmentStore micro-loop. The regression
+  // gate hard-fails on restore_bit_exact=false / restore_corrupt>0 and
+  // warns when cold-restore latency drifts >20% past the reference.
+  std::fprintf(f, "  \"tiering\": [\n");
+  for (std::size_t i = 0; i < tiering.size(); ++i) {
+    const TieringResult& t = tiering[i];
+    std::fprintf(
+        f,
+        "    {\"encoded\": %s, \"sessions\": %lld, "
+        "\"max_sessions_per_shard\": %lld, \"requests\": %lld, "
+        "\"hot_rate\": %.4f, \"warm_rate\": %.4f, \"cold_rate\": %.4f, "
+        "\"spilled\": %llu, \"restored\": %llu, \"restore_corrupt\": %llu, "
+        "\"restore_bit_exact\": %s, "
+        "\"cold_restore_p50_us\": %.2f, \"cold_restore_p99_us\": %.2f}%s\n",
+        t.encoded ? "true" : "false", static_cast<long long>(t.sessions),
+        static_cast<long long>(t.max_sessions),
+        static_cast<long long>(t.requests), t.hot_rate, t.warm_rate,
+        t.cold_rate, static_cast<unsigned long long>(t.spilled),
+        static_cast<unsigned long long>(t.restored),
+        static_cast<unsigned long long>(t.restore_corrupt),
+        t.restore_bit_exact ? "true" : "false", t.cold_restore_p50_us,
+        t.cold_restore_p99_us, i + 1 < tiering.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
 
@@ -445,7 +622,40 @@ int main(int argc, char** argv) {
     }
   }
 
-  write_json("BENCH_serving.json", dh, dx, sessions, results, live_results);
+  // Spill tier: population 6x the RAM footprint (2 shards x cap 16),
+  // dense and encoded flavours, at the high-sparsity threshold where
+  // the offset encoding earns its keep.
+  std::vector<TieringResult> tiering;
+  const std::string spill_dir = "bench_spill_tmp";
+  if (::mkdir(spill_dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "cannot create %s; skipping tiering section\n",
+                 spill_dir.c_str());
+  } else {
+    num::Rng calib_rng(99);
+    const float threshold = calibrate_threshold(cell, 0.9, calib_rng);
+    std::printf("\ntiering (spill tier on, sessions 6x RAM cap): hit rates "
+                "and cold-restore latency\n");
+    std::printf("%-8s %10s %10s %10s %10s %14s %14s\n", "encoded", "hot",
+                "warm", "cold", "bit_exact", "restore_p50us", "restore_p99us");
+    for (const bool encoded : {false, true}) {
+      const TieringResult t = run_tiering(
+          cell, threshold, /*sessions=*/96, /*max_sessions=*/16,
+          std::min<num::Index>(requests, 2048), encoded, spill_dir,
+          encoded ? 31u : 13u);
+      tiering.push_back(t);
+      std::printf("%-8s %10.3f %10.3f %10.3f %10s %14.2f %14.2f\n",
+                  t.encoded ? "yes" : "no", t.hot_rate, t.warm_rate,
+                  t.cold_rate, t.restore_bit_exact ? "yes" : "NO",
+                  t.cold_restore_p50_us, t.cold_restore_p99_us);
+    }
+    store::PosixEnv cleanup_env;
+    cleanup_env.remove(spill_dir + "/shard_0.seg");
+    cleanup_env.remove(spill_dir + "/shard_1.seg");
+    ::rmdir(spill_dir.c_str());
+  }
+
+  write_json("BENCH_serving.json", dh, dx, sessions, results, live_results,
+             tiering);
 
   // Echo the headline scaling so CI logs show it without parsing JSON.
   for (const Result& a : results) {

@@ -87,10 +87,10 @@ void SparseLstmEngine::step(const num::Matrix& x, num::Matrix& h,
   // each output element's chain serial and in ascending position order.
   num::Index kept_union = 0;       // positions kept by >= 1 lane
   num::Index kept_lane_total = 0;  // effectual work of this step
-  num::Matrix& pre_h = ws_.mat(kPreH, B, 4 * dh, 0.0f);
   if (B == 1) {
     // Single sequence: the paper's offset encoding, one kept-position
     // list shared by the (only) lane.
+    num::Matrix& pre_h = ws_.mat(kPreH, B, 4 * dh, 0.0f);
     sparse::encode_into(h, encoder_, enc_);
     positions_.clear();
     num::Index pos = 0;
@@ -102,17 +102,23 @@ void SparseLstmEngine::step(const num::Matrix& x, num::Matrix& h,
     num::sparse_accum_rows(packed_.wht, positions_, enc_.values, pre_h);
     kept_union = enc_.kept_positions();
     kept_lane_total = enc_.kept_positions();
+    num::axpy(1.0f, pre_h.flat(), pre.flat());
   } else {
     // Batched: per-lane CSR lists, each lane accumulating exactly its
     // own kept rows — the skip survives batching instead of degrading
-    // to the intersection of the batch's zero patterns.
+    // to the intersection of the batch's zero patterns. The overwrite
+    // kernel flavour writes every element of the staging matrix (bit-
+    // identical to a zero fill + accumulate), so no per-step fill of
+    // the B x 4*dh buffer — 256 KB of stores saved at batch 8, dh 1000.
+    num::Matrix& pre_h = ws_.uninit(kPreH, B, 4 * dh);
     sparse::encode_lanes_into(h, lanes_);
-    num::sparse_accum_rows_multi(packed_.wht, lanes_.positions,
-                                 lanes_.row_start, lanes_.values, pre_h);
+    num::sparse_accum_rows_multi_overwrite(packed_.wht, lanes_.positions,
+                                           lanes_.row_start, lanes_.values,
+                                           pre_h);
     kept_union = lanes_.union_kept();
     kept_lane_total = lanes_.total_kept();
+    num::axpy(1.0f, pre_h.flat(), pre.flat());
   }
-  num::axpy(1.0f, pre_h.flat(), pre.flat());
 
   stats_.state_macs_total += B * dh * 4 * dh;
   stats_.state_macs_effectual += kept_lane_total * 4 * dh;

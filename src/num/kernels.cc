@@ -89,13 +89,13 @@ void sparse_accum_rows(const Matrix& packed, std::span<const Index> positions,
                                            out.data(), batch, n);
 }
 
-void sparse_accum_rows_multi(const Matrix& packed,
-                             std::span<const Index> positions,
-                             std::span<const Index> row_start,
-                             std::span<const float> values, Matrix& out) {
+namespace {
+
+void validate_multi_args(const Matrix& packed, std::span<const Index> positions,
+                         std::span<const Index> row_start,
+                         std::span<const float> values, const Matrix& out) {
   const Index batch = out.rows();
-  const Index n = out.cols();
-  ZSS_EXPECTS(packed.cols() == n);
+  ZSS_EXPECTS(packed.cols() == out.cols());
   ZSS_EXPECTS(row_start.size() == static_cast<std::size_t>(batch) + 1);
   ZSS_EXPECTS(row_start[0] == 0);
   ZSS_EXPECTS(row_start[static_cast<std::size_t>(batch)] ==
@@ -116,9 +116,29 @@ void sparse_accum_rows_multi(const Matrix& packed,
                   positions[static_cast<std::size_t>(e - 1)] < pos);
     }
   }
+}
+
+}  // namespace
+
+void sparse_accum_rows_multi(const Matrix& packed,
+                             std::span<const Index> positions,
+                             std::span<const Index> row_start,
+                             std::span<const float> values, Matrix& out) {
+  validate_multi_args(packed, positions, row_start, values, out);
   simd::active_backend().sparse_accum_rows_multi(
       packed.data(), positions.data(), row_start.data(), values.data(),
-      out.data(), batch, n);
+      out.data(), out.rows(), out.cols());
+}
+
+void sparse_accum_rows_multi_overwrite(const Matrix& packed,
+                                       std::span<const Index> positions,
+                                       std::span<const Index> row_start,
+                                       std::span<const float> values,
+                                       Matrix& out) {
+  validate_multi_args(packed, positions, row_start, values, out);
+  simd::active_backend().sparse_accum_rows_multi_overwrite(
+      packed.data(), positions.data(), row_start.data(), values.data(),
+      out.data(), out.rows(), out.cols());
 }
 
 void gemm(const Matrix& a, const Matrix& b, Matrix& c) {

@@ -88,6 +88,21 @@ void sparse_accum_rows_multi(const Matrix& packed,
                              std::span<const Index> row_start,
                              std::span<const float> values, Matrix& out);
 
+/// Overwrite flavour of sparse_accum_rows_multi: out.row(b) *is* the
+/// lane's accumulation — out is treated as uninitialized, every element
+/// is written (lanes with no entries get zeros). Bit-identical to
+/// zero-filling out and calling sparse_accum_rows_multi (each chain
+/// starts from madd(v0, row0[j], +0.0f), the same first op the
+/// accumulate flavour performs over a zero fill), so callers on the
+/// per-step batched path can skip the staging matrix's zero fill
+/// entirely (256 KB per step at batch 8, dh 1000 — core/
+/// sparse_inference.cc).
+void sparse_accum_rows_multi_overwrite(const Matrix& packed,
+                                       std::span<const Index> positions,
+                                       std::span<const Index> row_start,
+                                       std::span<const float> values,
+                                       Matrix& out);
+
 /// C = A * B (row-major, i-k-j order, rows split by parallel_for).
 /// Exact zeros in A are skipped — one-hot inputs and pruned states cost
 /// only their non-zero rows of work, and the skip is an IEEE identity.

@@ -115,4 +115,32 @@ void sparse_accum_rows_multi(const Matrix& packed,
   }
 }
 
+void sparse_accum_rows_multi_overwrite(const Matrix& packed,
+                                       std::span<const Index> positions,
+                                       std::span<const Index> row_start,
+                                       std::span<const float> values,
+                                       Matrix& out) {
+  const Index batch = out.rows();
+  const Index n = out.cols();
+  ZSS_EXPECTS(packed.cols() == n);
+  ZSS_EXPECTS(row_start.size() == static_cast<std::size_t>(batch) + 1);
+  ZSS_EXPECTS(values.size() == positions.size());
+  // The defining semantics: every element starts from +0.0f (exactly
+  // what a zero fill would store) and then accumulates its lane's
+  // chain in ascending position order — so this is, by construction,
+  // fill(0.0f) followed by sparse_accum_rows_multi.
+  for (Index b = 0; b < batch; ++b) {
+    for (Index j = 0; j < n; ++j) out(b, j) = 0.0f;
+    for (Index e = row_start[static_cast<std::size_t>(b)];
+         e < row_start[static_cast<std::size_t>(b + 1)]; ++e) {
+      const Index pos = positions[static_cast<std::size_t>(e)];
+      ZSS_EXPECTS(pos >= 0 && pos < packed.rows());
+      const float v = values[static_cast<std::size_t>(e)];
+      for (Index j = 0; j < n; ++j) {
+        out(b, j) = madd(v, packed(pos, j), out(b, j));
+      }
+    }
+  }
+}
+
 }  // namespace zss::num::reference

@@ -43,4 +43,14 @@ void sparse_accum_rows_multi(const Matrix& packed,
                              std::span<const Index> row_start,
                              std::span<const float> values, Matrix& out);
 
+/// Overwrite flavour: out.row(b) = the lane's accumulation, defined as
+/// a +0.0f fill followed by the sparse_accum_rows_multi chains — the
+/// semantics num::sparse_accum_rows_multi_overwrite must reproduce
+/// bit-for-bit (every element written, entry-less lanes all zeros).
+void sparse_accum_rows_multi_overwrite(const Matrix& packed,
+                                       std::span<const Index> positions,
+                                       std::span<const Index> row_start,
+                                       std::span<const float> values,
+                                       Matrix& out);
+
 }  // namespace zss::num::reference

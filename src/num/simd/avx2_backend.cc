@@ -123,11 +123,12 @@ void sparse_accum_rows_avx2(const float* __restrict packed,
 // FMA sequence unrolls with every broadcast hoisted into a register).
 // The chain per output element runs r0..r(C-1) in the order the caller
 // filled them — ascending position order — after whatever y already
-// holds, so chaining C rows per pass only amortizes out-row traffic, it
-// never reorders a chain. Plugged into the shared position-major merge
-// schedule of num/simd/multi_schedule.h.
+// holds (or after +0.0f in the Ow overwrite flavour, which skips the y
+// load — see multi_schedule.h), so chaining C rows per pass only
+// amortizes out-row traffic, it never reorders a chain. Plugged into
+// the shared position-major merge schedule of num/simd/multi_schedule.h.
 struct Avx2MultiChainPass {
-  template <int C>
+  template <int C, bool Ow>
   __attribute__((always_inline)) static inline void pass(
       float* __restrict y, Index jt, Index je,
       const float* const* __restrict gr, const float* __restrict gv) {
@@ -149,7 +150,7 @@ struct Avx2MultiChainPass {
     const __m256 v7 = _mm256_set1_ps(C > 7 ? gv[7] : 0.0f);
     Index j = jt;
     for (; j + 8 <= je; j += 8) {
-      __m256 a = _mm256_loadu_ps(y + j);
+      __m256 a = Ow ? _mm256_setzero_ps() : _mm256_loadu_ps(y + j);
       a = _mm256_fmadd_ps(v0, _mm256_loadu_ps(r0 + j), a);
       if (C > 1) a = _mm256_fmadd_ps(v1, _mm256_loadu_ps(r1 + j), a);
       if (C > 2) a = _mm256_fmadd_ps(v2, _mm256_loadu_ps(r2 + j), a);
@@ -161,7 +162,7 @@ struct Avx2MultiChainPass {
       _mm256_storeu_ps(y + j, a);
     }
     for (; j < je; ++j) {
-      float a = y[j];
+      float a = Ow ? 0.0f : y[j];
       a = std::fmaf(gv[0], r0[j], a);
       if (C > 1) a = std::fmaf(gv[1], r1[j], a);
       if (C > 2) a = std::fmaf(gv[2], r2[j], a);
@@ -186,6 +187,16 @@ void sparse_accum_rows_multi_avx2(const float* __restrict packed,
   // alternatives live there and in docs/architecture.md); this backend
   // contributes only the AVX2 chain-pass primitive above.
   sparse_accum_rows_multi_schedule<Avx2MultiChainPass>(
+      packed, positions, row_start, values, out, batch, n);
+}
+
+void sparse_accum_rows_multi_overwrite_avx2(
+    const float* __restrict packed, const Index* __restrict positions,
+    const Index* __restrict row_start, const float* __restrict values,
+    float* __restrict out, Index batch, Index n) {
+  // Overwrite flavour: out = instead of out += (multi_schedule.h); the
+  // caller skips its zero fill of out.
+  sparse_accum_rows_multi_schedule<Avx2MultiChainPass, true>(
       packed, positions, row_start, values, out, batch, n);
 }
 
@@ -371,6 +382,7 @@ const KernelBackend kAvx2Backend = {
     gemv_avx2,
     sparse_accum_rows_avx2,
     sparse_accum_rows_multi_avx2,
+    sparse_accum_rows_multi_overwrite_avx2,
     axpy_avx2,
 };
 
@@ -389,6 +401,7 @@ const KernelBackend kAvx2Backend = {
     "AVX2+FMA intrinsics; not compiled into this binary (x86 with "
     "-mavx2 -mfma required)",
     never_available,
+    nullptr,
     nullptr,
     nullptr,
     nullptr,

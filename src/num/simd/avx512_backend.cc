@@ -27,6 +27,7 @@ const KernelBackend kAvx512Backend = {
     nullptr,
     nullptr,
     nullptr,
+    nullptr,
 };
 
 }  // namespace zss::num::simd

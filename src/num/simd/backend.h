@@ -64,6 +64,17 @@ struct KernelBackend {
   void (*sparse_accum_rows_multi)(const float* packed, const Index* positions,
                                   const Index* row_start, const float* values,
                                   float* out, Index batch, Index n);
+  /// Overwrite flavour of sparse_accum_rows_multi: out.row(b) *is* the
+  /// lane's accumulation (out treated as uninitialized; every element
+  /// written, lanes with no entries zero-filled). Bit-identical to
+  /// zero-filling out and calling sparse_accum_rows_multi — each chain
+  /// starts from madd(v0, row0[j], +0.0f) — which lets the engine skip
+  /// its per-step staging zero fill (num/simd/multi_schedule.h).
+  void (*sparse_accum_rows_multi_overwrite)(const float* packed,
+                                            const Index* positions,
+                                            const Index* row_start,
+                                            const float* values, float* out,
+                                            Index batch, Index n);
   /// y += alpha * x.
   void (*axpy)(float alpha, const float* x, float* y, std::size_t n);
 

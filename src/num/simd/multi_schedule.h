@@ -19,12 +19,24 @@
 //
 // `ChainPass` supplies the arithmetic:
 //   struct MyChainPass {
-//     template <int C>
+//     template <int C, bool Ow>
 //     static void pass(float* y, Index jt, Index je,
 //                      const float* const* rows, const float* vals);
 //   };
-// pass<C> must accumulate y[j] += vals[0]*rows[0][j] + ... (C entries,
-// in index order, one serial chain per element) over [jt, je).
+// pass<C, false> must accumulate y[j] += vals[0]*rows[0][j] + ... (C
+// entries, in index order, one serial chain per element) over [jt, je).
+// pass<C, true> is the overwrite flavour: the chain starts from +0.0f
+// instead of y[j] — bit-identical to zero-filling y first, because the
+// accumulate flavour's first madd over a zero-filled y is exactly
+// madd(vals[0], rows[0][j], +0.0f).
+//
+// The Overwrite = true schedule computes out = (instead of out +=) so
+// the caller can skip the per-step zero fill of the staging matrix
+// (256 KB per step at batch 8, dh 1000 — the engine's kPreH): per lane,
+// the first merge round that touches the lane runs the overwrite
+// flavour across all j-tiles, later rounds accumulate, and lanes no
+// round touches (no kept entries) are zero-filled at the end so every
+// output element is always written.
 #pragma once
 
 #include "num/types.h"
@@ -41,7 +53,39 @@ inline constexpr Index kMultiLaneBlock = 32;
 inline constexpr Index kMultiGroup = 8;
 inline constexpr Index kMultiJTile = 256;
 
-template <typename ChainPass>
+template <typename ChainPass, bool Ow>
+inline void multi_dispatch_pass(int c, float* __restrict y, Index jt,
+                                Index je, const float* const* __restrict gr,
+                                const float* __restrict gv) {
+  switch (c) {
+    case 1:
+      ChainPass::template pass<1, Ow>(y, jt, je, gr, gv);
+      break;
+    case 2:
+      ChainPass::template pass<2, Ow>(y, jt, je, gr, gv);
+      break;
+    case 3:
+      ChainPass::template pass<3, Ow>(y, jt, je, gr, gv);
+      break;
+    case 4:
+      ChainPass::template pass<4, Ow>(y, jt, je, gr, gv);
+      break;
+    case 5:
+      ChainPass::template pass<5, Ow>(y, jt, je, gr, gv);
+      break;
+    case 6:
+      ChainPass::template pass<6, Ow>(y, jt, je, gr, gv);
+      break;
+    case 7:
+      ChainPass::template pass<7, Ow>(y, jt, je, gr, gv);
+      break;
+    default:
+      ChainPass::template pass<8, Ow>(y, jt, je, gr, gv);
+      break;
+  }
+}
+
+template <typename ChainPass, bool Overwrite = false>
 inline void sparse_accum_rows_multi_schedule(
     const float* __restrict packed, const Index* __restrict positions,
     const Index* __restrict row_start, const float* __restrict values,
@@ -51,6 +95,12 @@ inline void sparse_accum_rows_multi_schedule(
                                                   : kMultiLaneBlock;
     Index cur[kMultiLaneBlock];
     for (Index q = 0; q < nb; ++q) cur[q] = row_start[b0 + q];
+    // Overwrite mode: a lane is "virgin" until its first contributing
+    // merge round, whose passes start each chain from +0.0f instead of
+    // loading y. Cleared only after the round's full j loop so every
+    // tile of that round overwrites.
+    bool virgin[kMultiLaneBlock];
+    for (Index q = 0; q < nb; ++q) virgin[q] = true;
     for (;;) {
       const float* grow[kMultiLaneBlock][kMultiGroup];
       float gval[kMultiLaneBlock][kMultiGroup];
@@ -79,36 +129,32 @@ inline void sparse_accum_rows_multi_schedule(
       for (Index jt = 0; jt < n; jt += kMultiJTile) {
         const Index je = jt + kMultiJTile < n ? jt + kMultiJTile : n;
         for (Index q = 0; q < nb; ++q) {
+          if (gcnt[q] == 0) continue;
           float* __restrict y = out + (b0 + q) * n;
-          switch (gcnt[q]) {
-            case 0:
-              break;
-            case 1:
-              ChainPass::template pass<1>(y, jt, je, grow[q], gval[q]);
-              break;
-            case 2:
-              ChainPass::template pass<2>(y, jt, je, grow[q], gval[q]);
-              break;
-            case 3:
-              ChainPass::template pass<3>(y, jt, je, grow[q], gval[q]);
-              break;
-            case 4:
-              ChainPass::template pass<4>(y, jt, je, grow[q], gval[q]);
-              break;
-            case 5:
-              ChainPass::template pass<5>(y, jt, je, grow[q], gval[q]);
-              break;
-            case 6:
-              ChainPass::template pass<6>(y, jt, je, grow[q], gval[q]);
-              break;
-            case 7:
-              ChainPass::template pass<7>(y, jt, je, grow[q], gval[q]);
-              break;
-            default:
-              ChainPass::template pass<8>(y, jt, je, grow[q], gval[q]);
-              break;
+          if constexpr (Overwrite) {
+            if (virgin[q]) {
+              multi_dispatch_pass<ChainPass, true>(gcnt[q], y, jt, je,
+                                                   grow[q], gval[q]);
+              continue;
+            }
           }
+          multi_dispatch_pass<ChainPass, false>(gcnt[q], y, jt, je, grow[q],
+                                                gval[q]);
         }
+      }
+      if constexpr (Overwrite) {
+        for (Index q = 0; q < nb; ++q) {
+          if (gcnt[q] > 0) virgin[q] = false;
+        }
+      }
+    }
+    if constexpr (Overwrite) {
+      // Lanes with no kept entries at all were never written; they owe
+      // the caller the zero fill it skipped.
+      for (Index q = 0; q < nb; ++q) {
+        if (!virgin[q]) continue;
+        float* __restrict y = out + (b0 + q) * n;
+        for (Index j = 0; j < n; ++j) y[j] = 0.0f;
       }
     }
   }

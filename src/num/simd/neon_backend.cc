@@ -42,7 +42,7 @@ inline void transpose4(float32x4_t r[4]) {
 // positions — so chaining only amortizes out-row traffic. Plugged into
 // the shared position-major merge schedule of num/simd/multi_schedule.h.
 struct NeonMultiChainPass {
-  template <int C>
+  template <int C, bool Ow>
   __attribute__((always_inline)) static inline void pass(
       float* __restrict y, Index jt, Index je,
       const float* const* __restrict gr, const float* __restrict gv) {
@@ -64,7 +64,7 @@ struct NeonMultiChainPass {
     const float32x4_t v7 = vdupq_n_f32(C > 7 ? gv[7] : 0.0f);
     Index j = jt;
     for (; j + 4 <= je; j += 4) {
-      float32x4_t a = vld1q_f32(y + j);
+      float32x4_t a = Ow ? vdupq_n_f32(0.0f) : vld1q_f32(y + j);
       a = vfmaq_f32(a, v0, vld1q_f32(r0 + j));
       if (C > 1) a = vfmaq_f32(a, v1, vld1q_f32(r1 + j));
       if (C > 2) a = vfmaq_f32(a, v2, vld1q_f32(r2 + j));
@@ -76,7 +76,7 @@ struct NeonMultiChainPass {
       vst1q_f32(y + j, a);
     }
     for (; j < je; ++j) {
-      float a = y[j];
+      float a = Ow ? 0.0f : y[j];
       a = std::fmaf(gv[0], r0[j], a);
       if (C > 1) a = std::fmaf(gv[1], r1[j], a);
       if (C > 2) a = std::fmaf(gv[2], r2[j], a);
@@ -150,6 +150,16 @@ void sparse_accum_rows_multi_neon(const float* __restrict packed,
   // schedule (num/simd/multi_schedule.h); this backend contributes only
   // the 4-lane NEON chain-pass primitive above.
   sparse_accum_rows_multi_schedule<NeonMultiChainPass>(
+      packed, positions, row_start, values, out, batch, n);
+}
+
+void sparse_accum_rows_multi_overwrite_neon(
+    const float* __restrict packed, const Index* __restrict positions,
+    const Index* __restrict row_start, const float* __restrict values,
+    float* __restrict out, Index batch, Index n) {
+  // Overwrite flavour: out = instead of out += (multi_schedule.h); the
+  // caller skips its zero fill of out.
+  sparse_accum_rows_multi_schedule<NeonMultiChainPass, true>(
       packed, positions, row_start, values, out, batch, n);
 }
 
@@ -261,6 +271,7 @@ const KernelBackend kNeonBackend = {
     gemv_neon,
     sparse_accum_rows_neon,
     sparse_accum_rows_multi_neon,
+    sparse_accum_rows_multi_overwrite_neon,
     axpy_neon,
 };
 
@@ -278,6 +289,7 @@ const KernelBackend kNeonBackend = {
     "neon",
     "AArch64 Advanced SIMD; not compiled into this binary (aarch64 only)",
     never_available,
+    nullptr,
     nullptr,
     nullptr,
     nullptr,

@@ -175,10 +175,12 @@ void sparse_accum_rows_scalar(const float* __restrict packed,
 // One pass over y[jt..je) chaining C kept rows through madd (C is
 // compile-time so the chain unrolls). The per-element order is the
 // order the caller filled gr/gv — ascending positions — so chaining
-// only amortizes out-row traffic, never reorders a chain. Plugged into
-// the shared position-major merge schedule of num/simd/multi_schedule.h.
+// only amortizes out-row traffic, never reorders a chain. Ow starts
+// the chain from +0.0f instead of y[j] (the overwrite flavour — see
+// multi_schedule.h). Plugged into the shared position-major merge
+// schedule of num/simd/multi_schedule.h.
 struct ScalarMultiChainPass {
-  template <int C>
+  template <int C, bool Ow>
   static inline void pass(float* __restrict y, Index jt, Index je,
                           const float* const* __restrict gr,
                           const float* __restrict gv) {
@@ -191,7 +193,7 @@ struct ScalarMultiChainPass {
     const float* __restrict r6 = C > 6 ? gr[6] : gr[0];
     const float* __restrict r7 = C > 7 ? gr[7] : gr[0];
     for (Index j = jt; j < je; ++j) {
-      float a = y[j];
+      float a = Ow ? 0.0f : y[j];
       a = madd(gv[0], r0[j], a);
       if (C > 1) a = madd(gv[1], r1[j], a);
       if (C > 2) a = madd(gv[2], r2[j], a);
@@ -218,6 +220,16 @@ void sparse_accum_rows_multi_scalar(const float* __restrict packed,
       packed, positions, row_start, values, out, batch, n);
 }
 
+void sparse_accum_rows_multi_overwrite_scalar(
+    const float* __restrict packed, const Index* __restrict positions,
+    const Index* __restrict row_start, const float* __restrict values,
+    float* __restrict out, Index batch, Index n) {
+  // Overwrite flavour: out = instead of out += (multi_schedule.h); the
+  // caller skips its zero fill of out.
+  sparse_accum_rows_multi_schedule<ScalarMultiChainPass, true>(
+      packed, positions, row_start, values, out, batch, n);
+}
+
 void axpy_scalar(float alpha, const float* __restrict x, float* __restrict y,
                  std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) y[i] = madd(alpha, x[i], y[i]);
@@ -236,6 +248,7 @@ const KernelBackend kScalarBackend = {
     gemv_scalar,
     sparse_accum_rows_scalar,
     sparse_accum_rows_multi_scalar,
+    sparse_accum_rows_multi_overwrite_scalar,
     axpy_scalar,
 };
 

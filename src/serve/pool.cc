@@ -26,6 +26,28 @@ EnginePool::EnginePool(const nn::LstmCell& cell,
     shards_.emplace_back(cell, pruner, config.policy, config.encoder,
                          config.session_ttl);
   }
+  if (!config.spill.dir.empty()) {
+    store::Env* env = config.spill.env;
+    if (env == nullptr) {
+      owned_env_ = std::make_unique<store::PosixEnv>();
+      env = owned_env_.get();
+    }
+    // One segment file per shard: the disk tier inherits the pool's
+    // shared-nothing partitioning, so no cross-shard synchronization
+    // and no interleaved appends.
+    spills_.reserve(static_cast<std::size_t>(config.shards));
+    for (num::Index i = 0; i < config.shards; ++i) {
+      store::StoreConfig sc;
+      sc.path = config.spill.dir + "/shard_" + std::to_string(i) + ".seg";
+      sc.encoded = config.spill.encoded;
+      spills_.push_back(std::make_unique<store::SegmentStore>(
+          *env, sc, shards_[static_cast<std::size_t>(i)]
+                        .sessions()
+                        .hidden_dim()));
+      shards_[static_cast<std::size_t>(i)].sessions().set_spill(
+          spills_.back().get());
+    }
+  }
 }
 
 num::Index EnginePool::shard_of(SessionId id) const {

@@ -13,11 +13,29 @@
 #pragma once
 
 #include <deque>
+#include <memory>
 #include <span>
+#include <string>
 
 #include "serve/shard.h"
+#include "store/io.h"
+#include "store/segment_store.h"
 
 namespace zss::serve {
+
+/// Durable spill tier of the pool (docs/store.md). When `dir` is
+/// non-empty every shard gets its own segment file "<dir>/shard_<i>.seg"
+/// — shared-nothing carries through to disk — and its LRU cap becomes a
+/// tiering policy instead of a forget policy.
+struct SpillConfig {
+  std::string dir;  // empty = no spill tier
+  /// Spill h through the paper's offset encoding (store/segment_store.h
+  /// explains the -0.0 dense fallback that keeps round-trips bit-exact).
+  bool encoded = false;
+  /// Filesystem to use. Null = the real one (PosixEnv); tests inject
+  /// MemEnv / fault wrappers. Borrowed, must outlive the pool.
+  store::Env* env = nullptr;
+};
 
 struct PoolConfig {
   num::Index shards = 1;
@@ -25,6 +43,7 @@ struct PoolConfig {
   sparse::EncoderConfig encoder;
   /// Session eviction policy, applied per shard (serve/session.h).
   SessionTtl session_ttl;
+  SpillConfig spill;
 };
 
 class EnginePool {
@@ -64,10 +83,19 @@ class EnginePool {
   /// engine cumulative stats).
   void reset_stats();
 
+  /// The shard's spill store, or null when no tier is configured (or
+  /// its open failed and the shard runs RAM-only).
+  store::SegmentStore* spill_store(num::Index i) {
+    return spills_.empty() ? nullptr
+                           : spills_[static_cast<std::size_t>(i)].get();
+  }
+
  private:
   // Deque so constructing shard k never relocates shard k-1 (a shard's
   // engine hands out workspace references it must keep valid).
   std::deque<EngineShard> shards_;
+  std::unique_ptr<store::PosixEnv> owned_env_;
+  std::vector<std::unique_ptr<store::SegmentStore>> spills_;
 };
 
 }  // namespace zss::serve

@@ -91,4 +91,20 @@ std::string format_error(std::string_view message) {
   return "err " + std::string(message);
 }
 
+std::string format_stats(const StatsSnapshot& s) {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "stat submitted=%" PRIu64 " responses=%" PRIu64
+                " shed=%" PRIu64 " now_us=%lld created=%" PRIu64
+                " ttl_resets=%" PRIu64 " evicted=%" PRIu64
+                " spilled=%" PRIu64 " restored=%" PRIu64
+                " restore_corrupt=%" PRIu64 " spill_active=%lld/%lld",
+                s.submitted, s.responses, s.shed,
+                static_cast<long long>(s.now_us), s.created, s.ttl_resets,
+                s.evicted, s.spilled, s.restored, s.restore_corrupt,
+                static_cast<long long>(s.spill_active),
+                static_cast<long long>(s.shards));
+  return buf;
+}
+
 }  // namespace zss::serve

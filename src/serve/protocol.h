@@ -14,7 +14,7 @@
 //
 //   server line  = "ok" SP session SP seq SP batch SP digest
 //                | "err" SP message
-//                | "stat" SP key "=" value ...
+//                | "stat" SP key "=" value ...   ; format_stats() below
 //                | "bye" SP "submitted=" n SP "responses=" n
 //
 // `digest` is the 16-hex-digit FNV-1a of the session's new hidden row
@@ -101,5 +101,33 @@ std::string format_response(const Response& r, std::uint64_t digest);
 
 /// "err <message>".
 std::string format_error(std::string_view message);
+
+/// Everything one "stat" line reports: the live server's request
+/// counters plus the session-store counters summed over all shards
+/// (each is a relaxed-atomic lifetime counter — serve/session.h — so
+/// the ingest thread can snapshot them while shard workers run).
+struct StatsSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t shed = 0;
+  std::int64_t now_us = 0;
+  std::uint64_t created = 0;
+  std::uint64_t ttl_resets = 0;
+  std::uint64_t evicted = 0;
+  std::uint64_t spilled = 0;
+  std::uint64_t restored = 0;
+  std::uint64_t restore_corrupt = 0;
+  /// Shards whose spill tier is attached and accepting writes. With a
+  /// --spill-dir configured, spill_active < shards means the
+  /// write-error policy degraded some shard to RAM-only serving.
+  num::Index spill_active = 0;
+  num::Index shards = 0;
+};
+
+/// "stat submitted=... responses=... shed=... now_us=... created=...
+/// ttl_resets=... evicted=... spilled=... restored=...
+/// restore_corrupt=... spill_active=N/M" — one line, fixed key order,
+/// so scripts can grep a key without tracking field positions.
+std::string format_stats(const StatsSnapshot& s);
 
 }  // namespace zss::serve

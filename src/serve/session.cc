@@ -30,10 +30,21 @@ void SessionStore::lru_push_front(Session& s) {
   if (lru_tail_ == nullptr) lru_tail_ = &s;
 }
 
-void SessionStore::evict(Session& s) {
+void SessionStore::evict(Session& s, bool spill_state) {
   ZSS_ASSERT(!s.pinned);
   lru_unlink(s);
-  ++evicted_;
+  bump(evicted_);
+  if (spill_state && spill_ != nullptr && spill_->spilling_enabled()) {
+    // Tiering: the victim's exact bits move to the disk tier. A failed
+    // spill (the store just disabled itself) degrades to the pre-spill
+    // forget semantics for this and every later eviction.
+    if (spill_->spill(s.id, {s.generation, s.steps, s.last_arrival_us}, s.h,
+                      s.c)) {
+      bump(spilled_);
+    }
+    spill_active_.store(spill_->spilling_enabled(),
+                        std::memory_order_relaxed);
+  }
   sessions_.erase(s.id);  // invalidates &s
 }
 
@@ -49,7 +60,7 @@ Session& SessionStore::get_or_create(SessionId id, std::int64_t arrival_us) {
       s.c.fill(0.0f);
       s.steps = 0;
       ++s.generation;
-      ++ttl_resets_;
+      bump(ttl_resets_);
     }
     s.last_arrival_us = arrival_us;
     lru_unlink(s);
@@ -85,7 +96,7 @@ Session& SessionStore::get_or_create(SessionId id, std::int64_t arrival_us) {
       // session is never pinned; the walk is belt-and-braces, not a
       // policy.
       while (victim != nullptr && victim->pinned) victim = victim->lru_prev_;
-      if (victim != nullptr) evict(*victim);
+      if (victim != nullptr) evict(*victim, /*spill_state=*/true);
     }
   }
 
@@ -95,7 +106,37 @@ Session& SessionStore::get_or_create(SessionId id, std::int64_t arrival_us) {
   s.c.resize(1, dh_, 0.0f);
   s.last_arrival_us = arrival_us;
   lru_push_front(s);
-  ++created_;
+
+  // Tiering: a miss in RAM may be a hit in the spill tier. Every
+  // branch below is a pure function of this session's own record and
+  // arrival stamps, so the decision — like the lazy TTL rule — cannot
+  // depend on batching or shard count.
+  if (spill_ != nullptr) {
+    if (const store::RecordMeta* m = spill_->find(id)) {
+      if (ttl_.ttl_us >= 0 && arrival_us - m->arrival_us > ttl_.ttl_us) {
+        // Expired on disk: the record could only restore into a TTL
+        // reset, so drop it unread. Same transition (and counter) as
+        // the lazy reset of a resident session — the oracle equality.
+        s.generation = m->generation + 1;
+        spill_->erase(id);
+        bump(ttl_resets_);
+        return s;
+      }
+      store::RecordMeta meta;
+      const auto r = spill_->restore_into(id, &meta, s.h, s.c);
+      if (r == store::RestoreResult::kOk) {
+        s.steps = meta.steps;
+        s.generation = meta.generation;
+        bump(restored_);
+        return s;
+      }
+      // kCorrupt: degrade to the pre-spill behavior — a fresh
+      // generation-zero session (h/c are untouched by a failed
+      // restore, so they still hold the zero fill from above).
+      bump(restore_corrupt_);
+    }
+  }
+  bump(created_);
   return s;
 }
 
@@ -109,7 +150,9 @@ num::Index SessionStore::sweep_expired(std::int64_t newest_arrival_us) {
          newest_arrival_us - s->last_arrival_us > ttl_.ttl_us) {
     Session* prev = s->lru_prev_;
     if (!s->pinned) {
-      evict(*s);
+      // No spill: any future request of an expired session arrives
+      // past its TTL, so a record here could never be restored.
+      evict(*s, /*spill_state=*/false);
       ++freed;
     }
     s = prev;

@@ -38,13 +38,35 @@
 //     them to the front — while a session whose request sits later in
 //     the same batch enjoys no protection, exactly as if requests were
 //     served one at a time.
+// Tiering (docs/store.md): attaching a store::SegmentStore via
+// set_spill turns the LRU cap from a *forget* policy into a *tiering*
+// policy. A cap victim's h/c state is appended to the spill tier on
+// eviction and read back — bit-for-bit — when the session returns
+// within its TTL, so capped serving produces exactly the digests of
+// uncapped serving (the oracle equivalence the fuzz suite enforces):
+//   * return within TTL: restore bits, generation and step count; the
+//     eviction is invisible in every output.
+//   * return past TTL: the record could only ever have been restored
+//     into a TTL reset, so it is dropped unread and the session
+//     restarts from zero with generation+1 — the same transition the
+//     lazy TTL rule applies to a resident session.
+//   * corrupt record (CRC mismatch): degrade to the pre-spill
+//     behavior — a fresh generation-zero session — and count it in
+//     restore_corrupt(); never an abort.
+//   * spilling disabled (write-error policy) or no store attached:
+//     eviction forgets, exactly the pre-spill semantics.
+// Sessions freed by sweep_expired are NOT spilled: any future request
+// arrives past their TTL (per-shard arrivals are monotone), so the
+// record could never be restored.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 
 #include "num/matrix.h"
 #include "num/types.h"
+#include "store/segment_store.h"
 
 namespace zss::serve {
 
@@ -122,24 +144,64 @@ class SessionStore {
   num::Index hidden_dim() const { return dh_; }
   const SessionTtl& ttl() const { return ttl_; }
 
-  /// Lifetime counters (monotone; not epoch-scoped).
-  std::uint64_t created() const { return created_; }
-  std::uint64_t ttl_resets() const { return ttl_resets_; }
-  std::uint64_t evicted() const { return evicted_; }
+  /// Attaches the durable spill tier (non-owning; the pool owns the
+  /// store, one per shard). Null detaches — evictions forget again.
+  void set_spill(store::SegmentStore* spill) {
+    spill_ = spill;
+    spill_active_.store(spill != nullptr && spill->spilling_enabled(),
+                        std::memory_order_relaxed);
+  }
+  store::SegmentStore* spill() { return spill_; }
+
+  /// Lifetime counters (monotone; not epoch-scoped). Relaxed atomics:
+  /// each is written by the one shard thread that owns this store and
+  /// may be read concurrently by the live server's stats path.
+  std::uint64_t created() const {
+    return created_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t ttl_resets() const {
+    return ttl_resets_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t evicted() const {
+    return evicted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t spilled() const {
+    return spilled_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t restored() const {
+    return restored_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t restore_corrupt() const {
+    return restore_corrupt_.load(std::memory_order_relaxed);
+  }
+  /// True while a spill tier is attached and accepting writes; flips
+  /// false when the store's write-error policy degrades it. Mirrored
+  /// into an atomic so the stats path never touches the store itself.
+  bool spill_active() const {
+    return spill_active_.load(std::memory_order_relaxed);
+  }
 
  private:
   void lru_unlink(Session& s);
   void lru_push_front(Session& s);
-  void evict(Session& s);
+  void evict(Session& s, bool spill_state);
+  void bump(std::atomic<std::uint64_t>& c) {
+    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
 
   num::Index dh_;
   SessionTtl ttl_;
   std::unordered_map<SessionId, Session> sessions_;
   Session* lru_head_ = nullptr;  // most recently used
   Session* lru_tail_ = nullptr;  // least recently used
-  std::uint64_t created_ = 0;
-  std::uint64_t ttl_resets_ = 0;
-  std::uint64_t evicted_ = 0;
+  store::SegmentStore* spill_ = nullptr;
+  std::atomic<std::uint64_t> created_{0};
+  std::atomic<std::uint64_t> ttl_resets_{0};
+  std::atomic<std::uint64_t> evicted_{0};
+  std::atomic<std::uint64_t> spilled_{0};
+  std::atomic<std::uint64_t> restored_{0};
+  std::atomic<std::uint64_t> restore_corrupt_{0};
+  std::atomic<bool> spill_active_{false};
 };
 
 }  // namespace zss::serve

@@ -1,0 +1,18 @@
+// CRC32C (Castagnoli, reflected polynomial 0x82F63B78) — the checksum
+// guarding every segment record (store/format.h). Chosen over CRC32
+// (zlib polynomial) for its better burst-error detection and because
+// it is the de-facto storage checksum (ext4, iSCSI, LevelDB); software
+// table-driven here, no hardware dependency.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace zss::store {
+
+/// Extends `crc` (a previous crc32c() result, or 0 to start) over
+/// `data[0..n)`. Composable: crc32c(crc32c(0, a, la), b, lb) equals
+/// crc32c(0, a+b, la+lb).
+std::uint32_t crc32c(std::uint32_t crc, const void* data, std::size_t n);
+
+}  // namespace zss::store

@@ -1,0 +1,168 @@
+// Injectable I/O of the durable session store.
+//
+// The segment store (store/segment_store.h) never touches the
+// filesystem directly: every byte goes through a File and every
+// open/rename/remove through an Env. Production uses PosixEnv; tests
+// substitute MemEnv (a process-local filesystem of byte vectors) and
+// wrap files in FaultyFile to inject the failures a real disk can
+// produce — torn writes that stop at an arbitrary byte, short reads,
+// fsync errors, bit rot — so the store's recovery and degradation
+// paths are exercised deterministically, byte offset by byte offset,
+// instead of waiting for the disk to misbehave in production
+// (tests/store/fault_injection_test.cc).
+//
+// Contract notes:
+//  * Files are positional (pread/pwrite style): no implicit cursor, so
+//    a failed write never leaves hidden stream state behind. write_at
+//    returns the number of bytes durably *attempted* — a short count
+//    models a torn write whose prefix may or may not have hit the
+//    platter, exactly the case recovery has to tolerate.
+//  * sync() is the only durability point. A record is "committed" once
+//    the store has observed a successful sync covering it; everything
+//    after the last sync may vanish or arrive torn.
+//  * Env::rename is atomic (POSIX rename semantics): the destination
+//    is either the old file or the complete new one, never a mix. It
+//    is the commit point of compaction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "num/types.h"
+
+namespace zss::store {
+
+/// Positional byte file. Implementations need not be thread-safe; a
+/// File belongs to exactly one SegmentStore, which belongs to exactly
+/// one shard (the serving layer's shared-nothing discipline).
+class File {
+ public:
+  virtual ~File() = default;
+
+  /// Writes `n` bytes at absolute offset `off`, extending the file if
+  /// needed. Returns the bytes written; < n means the write tore (a
+  /// crash, a full disk) — the prefix may be present, nothing after it.
+  virtual std::size_t write_at(std::uint64_t off, const void* data,
+                               std::size_t n) = 0;
+
+  /// Reads up to `n` bytes at `off`. Returns bytes read; < n models a
+  /// short read (EOF or I/O error) — callers must treat the tail as
+  /// absent, never as zeros.
+  virtual std::size_t read_at(std::uint64_t off, void* data,
+                              std::size_t n) = 0;
+
+  /// Durability barrier. False = the bytes since the previous barrier
+  /// must be considered uncommitted.
+  virtual bool sync() = 0;
+
+  /// Truncates (or extends with zeros) to `size`. Recovery uses this to
+  /// cut a torn tail off; it must itself be crash-tolerant in the sense
+  /// that re-running it is harmless.
+  virtual bool truncate(std::uint64_t size) = 0;
+
+  virtual std::uint64_t size() = 0;
+};
+
+/// Minimal filesystem surface: open/rename/remove by name. rename is
+/// the atomic commit primitive of compaction.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens (creating if absent) the file at `name`. Returns nullptr on
+  /// failure. `truncate_existing` empties an existing file first.
+  virtual std::unique_ptr<File> open(const std::string& name,
+                                     bool truncate_existing) = 0;
+
+  virtual bool exists(const std::string& name) = 0;
+
+  /// Atomically replaces `to` with `from` (POSIX rename semantics).
+  virtual bool rename(const std::string& from, const std::string& to) = 0;
+
+  virtual bool remove(const std::string& name) = 0;
+};
+
+/// Real filesystem via POSIX pread/pwrite/fsync. Stateless; one
+/// instance may back any number of stores.
+class PosixEnv final : public Env {
+ public:
+  std::unique_ptr<File> open(const std::string& name,
+                             bool truncate_existing) override;
+  bool exists(const std::string& name) override;
+  bool rename(const std::string& from, const std::string& to) override;
+  bool remove(const std::string& name) override;
+};
+
+/// In-memory filesystem for tests and fault injection: every "file" is
+/// a shared byte vector, so a FaultyFile wrapper and a reopened store
+/// observe the same bytes — including the prefix of a torn write.
+class MemEnv final : public Env {
+ public:
+  std::unique_ptr<File> open(const std::string& name,
+                             bool truncate_existing) override;
+  bool exists(const std::string& name) override;
+  bool rename(const std::string& from, const std::string& to) override;
+  bool remove(const std::string& name) override;
+
+  /// Direct access to a file's bytes (corruption injection, forensic
+  /// assertions). Null when the file does not exist.
+  std::vector<std::uint8_t>* bytes(const std::string& name);
+
+ private:
+  std::map<std::string, std::shared_ptr<std::vector<std::uint8_t>>> files_;
+};
+
+/// Fault-injection wrapper: forwards to an inner File until a
+/// configured trigger fires. All triggers are one-shot and explicit so
+/// a test reads as a script of the exact failure it means to inject.
+class FaultyFile final : public File {
+ public:
+  explicit FaultyFile(std::unique_ptr<File> inner)
+      : inner_(std::move(inner)) {}
+
+  /// Every write that would extend the cumulative written-byte count
+  /// past `limit` stops at `limit` (the prefix is written through) and
+  /// reports a torn write; later writes fail outright. Models a crash
+  /// or a full disk at an exact byte offset.
+  void fail_after_written_bytes(std::uint64_t limit) {
+    write_limit_ = limit;
+    has_write_limit_ = true;
+  }
+
+  /// The next `count` sync() calls return false.
+  void fail_syncs(int count) { failing_syncs_ = count; }
+
+  /// The next read_at returns at most `max_bytes` (a short read).
+  void short_next_read(std::size_t max_bytes) {
+    short_read_bytes_ = max_bytes;
+    has_short_read_ = true;
+  }
+
+  /// XORs `mask` into the byte at absolute offset `off` (bit rot).
+  /// Applied immediately through the inner file.
+  void corrupt_byte(std::uint64_t off, std::uint8_t mask);
+
+  std::uint64_t written_bytes() const { return written_; }
+
+  std::size_t write_at(std::uint64_t off, const void* data,
+                       std::size_t n) override;
+  std::size_t read_at(std::uint64_t off, void* data, std::size_t n) override;
+  bool sync() override;
+  bool truncate(std::uint64_t size) override;
+  std::uint64_t size() override;
+
+ private:
+  std::unique_ptr<File> inner_;
+  std::uint64_t written_ = 0;  // cumulative bytes accepted
+  std::uint64_t write_limit_ = 0;
+  bool has_write_limit_ = false;
+  int failing_syncs_ = 0;
+  std::size_t short_read_bytes_ = 0;
+  bool has_short_read_ = false;
+};
+
+}  // namespace zss::store

@@ -1,0 +1,49 @@
+#include "store/lockfile.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+namespace zss::store {
+
+bool DirLock::acquire(const std::string& dir) {
+  release();
+  path_ = dir + "/LOCK";
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    error_ = "cannot create " + path_ + ": " + std::strerror(errno);
+    return false;
+  }
+  if (::flock(fd_, LOCK_EX | LOCK_NB) != 0) {
+    error_ = path_ + " is locked by another running instance";
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  // Record the owner pid for operators; informational only — the flock
+  // is the actual mutual exclusion (and dies with the process).
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof(buf), "%ld\n", (long)::getpid());
+  if (::ftruncate(fd_, 0) == 0 && n > 0) {
+    [[maybe_unused]] const auto w = ::write(fd_, buf, (size_t)n);
+  }
+  error_.clear();
+  return true;
+}
+
+void DirLock::release() {
+  if (fd_ >= 0) {
+    ::flock(fd_, LOCK_UN);
+    ::close(fd_);
+    fd_ = -1;
+  }
+  // The LOCK file itself stays behind: removing it would let a third
+  // instance lock a fresh inode while a second still holds the old
+  // one — the classic unlink race. An unlocked leftover file is inert.
+}
+
+}  // namespace zss::store

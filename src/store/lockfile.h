@@ -1,0 +1,39 @@
+// Spill-directory ownership lock.
+//
+// Two zss_serve instances pointed at the same --spill-dir would
+// interleave appends into each other's segment files and destroy the
+// valid-prefix invariant recovery depends on. A DirLock takes an
+// exclusive, non-blocking flock(2) on "<dir>/LOCK" at startup; a
+// second instance fails fast with a clear error instead of corrupting
+// the tier. The kernel drops the lock when the process exits — even on
+// a crash — so there is no stale-lock recovery dance: a lock held
+// means a live owner, full stop.
+#pragma once
+
+#include <string>
+
+namespace zss::store {
+
+class DirLock {
+ public:
+  DirLock() = default;
+  ~DirLock() { release(); }
+  DirLock(const DirLock&) = delete;
+  DirLock& operator=(const DirLock&) = delete;
+
+  /// Attempts to take the exclusive lock on `dir`/LOCK. False when the
+  /// lock is held by another live process (or the file cannot be
+  /// created); `error()` then says which.
+  bool acquire(const std::string& dir);
+  void release();
+
+  bool held() const { return fd_ >= 0; }
+  const std::string& error() const { return error_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  std::string error_;
+};
+
+}  // namespace zss::store

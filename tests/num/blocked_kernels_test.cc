@@ -7,7 +7,9 @@
 // through the same FMA flavour — is what makes step() and step_dense()
 // bit-identical; docs/exactness.md derives it and explains what a new
 // backend must guarantee.
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -209,6 +211,85 @@ TEST_P(BackendKernelTest, SparseAccumRowsMultiAgreesWithIntersectedKernel) {
   sparse_accum_rows_multi(packed, positions, row_start, values_lm, out_multi);
   sparse_accum_rows(packed, shared, values_pm, out_inter);
   expect_bitwise_equal(out_multi, out_inter);
+}
+
+// Ragged per-lane CSR lists mirroring the multi test's mix: ~40% kept
+// on most lanes, one empty lane, one full lane, one single-position
+// lane. Shared by the overwrite-flavour tests below.
+void ragged_csr(Index dh, Index batch, Rng& rng, std::vector<Index>& positions,
+                std::vector<Index>& row_start, std::vector<float>& values) {
+  row_start.assign(1, 0);
+  for (Index b = 0; b < batch; ++b) {
+    if (b == 1) {
+      // empty lane: the overwrite kernel must still zero it
+    } else if (b == 2) {
+      for (Index j = 0; j < dh; ++j) {
+        positions.push_back(j);
+        values.push_back(static_cast<float>(rng.uniform(-1.0, 1.0)));
+      }
+    } else if (b == 3) {
+      positions.push_back(dh - 1);
+      values.push_back(static_cast<float>(rng.uniform(-1.0, 1.0)));
+    } else {
+      for (Index j = 0; j < dh; ++j) {
+        if (dh > 1 && !rng.bernoulli(0.4)) continue;
+        positions.push_back(j);
+        values.push_back(static_cast<float>(rng.uniform(-1.0, 1.0)));
+      }
+    }
+    row_start.push_back(static_cast<Index>(positions.size()));
+  }
+}
+
+TEST_P(BackendKernelTest, SparseAccumRowsMultiOverwriteMatchesReference) {
+  // Outputs are prefilled with NaN garbage: any element the kernel
+  // forgets to write poisons the bitwise comparison, so passing proves
+  // every element — including whole entry-less lanes — is overwritten.
+  const auto [dh, batch] = shape();
+  Rng rng(static_cast<std::uint64_t>(dh * 100 + batch + 9));
+  const Matrix packed = random_matrix(dh, 4 * dh, rng);
+  std::vector<Index> positions;
+  std::vector<Index> row_start;
+  std::vector<float> values;
+  ragged_csr(dh, batch, rng, positions, row_start, values);
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Matrix out_backend(batch, 4 * dh, nan);
+  Matrix out_ref(batch, 4 * dh, nan);
+  sparse_accum_rows_multi_overwrite(packed, positions, row_start, values,
+                                    out_backend);
+  reference::sparse_accum_rows_multi_overwrite(packed, positions, row_start,
+                                               values, out_ref);
+  expect_bitwise_equal(out_backend, out_ref);  // 0 ULP, no NaN survives
+}
+
+TEST_P(BackendKernelTest, SparseAccumRowsMultiOverwriteEqualsZeroFillAccum) {
+  // The defining identity from kernels.h: overwrite over garbage is
+  // bit-identical to zero-filling the output and running the
+  // accumulate flavour. This is what lets the engine's batched path
+  // drop the per-step pre_h zero fill.
+  const auto [dh, batch] = shape();
+  Rng rng(static_cast<std::uint64_t>(dh * 100 + batch + 9));
+  const Matrix packed = random_matrix(dh, 4 * dh, rng);
+  std::vector<Index> positions;
+  std::vector<Index> row_start;
+  std::vector<float> values;
+  ragged_csr(dh, batch, rng, positions, row_start, values);
+  Matrix out_ow(batch, 4 * dh, -7.0e33f);  // garbage prefill
+  Matrix out_accum(batch, 4 * dh, 0.0f);   // the zero fill being elided
+  sparse_accum_rows_multi_overwrite(packed, positions, row_start, values,
+                                    out_ow);
+  sparse_accum_rows_multi(packed, positions, row_start, values, out_accum);
+  expect_bitwise_equal(out_ow, out_accum);
+  // Entry-less lanes must come out as +0.0f bits, not just compare
+  // equal (-0.0f == +0.0f would slip through operator==).
+  if (batch > 1) {
+    for (Index j = 0; j < 4 * dh; ++j) {
+      const float z = out_ow(1, j);
+      EXPECT_EQ(std::memcmp(&z, &(out_accum(1, j)), sizeof(float)), 0);
+      EXPECT_EQ(z, 0.0f);
+      EXPECT_FALSE(std::signbit(z)) << j;
+    }
+  }
 }
 
 TEST_P(BackendKernelTest, SparseAccumRowsMatchesColumnGather) {

@@ -1,0 +1,286 @@
+#include "serve/pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "core/state_pruner.h"
+#include "nn/lstm_cell.h"
+#include "num/rng.h"
+#include "serve/protocol.h"
+#include "serve/trace.h"
+#include "../store/faulty_env.h"
+
+// The tiering tier's serving-level contract (docs/store.md): with a
+// spill store attached, the LRU cap is *invisible* — capped serving
+// produces digests bit-identical to uncapped serving at any shard
+// count and batch size (evict → spill → restore is an exact fp32
+// round-trip, and a past-TTL disk record takes the same reset
+// transition a resident session would). Plus the degradation paths:
+// corrupt records fall back to fresh zero state, write failures
+// degrade a shard to RAM-only serving — never an abort, never a hang.
+// The churn test scales to a million distinct sessions with ZSS_SOAK=1.
+namespace zss::serve {
+namespace {
+
+bool soak() { return std::getenv("ZSS_SOAK") != nullptr; }
+
+struct SessionDigest {
+  std::uint64_t steps = 0;
+  std::uint64_t digest = kFnvOffset;
+};
+using DigestTable = std::map<SessionId, SessionDigest>;
+
+void fold(DigestTable& table, const Response& r) {
+  SessionDigest& d = table[r.session];
+  d.digest = fnv1a(d.digest, r.h.data(), r.h.size_bytes());
+  ++d.steps;
+}
+
+struct RunStats {
+  DigestTable digests;
+  std::uint64_t ttl_resets = 0;
+  std::uint64_t evicted = 0;
+  std::uint64_t spilled = 0;
+  std::uint64_t restored = 0;
+  std::uint64_t restore_corrupt = 0;
+};
+
+/// One deterministic replay; a non-null `env` attaches a spill tier in
+/// that filesystem (each run gets its own namespace via `dir`).
+RunStats run(const nn::LstmCell& cell, const core::StatePruner& pruner,
+             const std::vector<TraceEvent>& events, num::Index shards,
+             num::Index max_batch, SessionTtl ttl, store::Env* env = nullptr,
+             const std::string& dir = "tier", bool encoded = false) {
+  PoolConfig config;
+  config.shards = shards;
+  config.policy.max_batch = max_batch;
+  config.policy.max_wait_us = 120;
+  config.session_ttl = ttl;
+  if (env != nullptr) {
+    config.spill.dir = dir;
+    config.spill.env = env;
+    config.spill.encoded = encoded;
+  }
+  EnginePool pool(cell, pruner, config);
+  RunStats out;
+  const ResponseSink sink = [&](const Response& r) { fold(out.digests, r); };
+  replay(pool, events, sink);
+  for (num::Index s = 0; s < shards; ++s) {
+    const SessionStore& ss = pool.shard(s).sessions();
+    out.ttl_resets += ss.ttl_resets();
+    out.evicted += ss.evicted();
+    out.spilled += ss.spilled();
+    out.restored += ss.restored();
+    out.restore_corrupt += ss.restore_corrupt();
+  }
+  return out;
+}
+
+void expect_tables_equal(const DigestTable& a, const DigestTable& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [sid, d] : a) {
+    const auto it = b.find(sid);
+    ASSERT_NE(it, b.end()) << "session " << sid << " missing";
+    EXPECT_EQ(d.steps, it->second.steps) << "session " << sid;
+    EXPECT_EQ(d.digest, it->second.digest) << "session " << sid;
+  }
+}
+
+TEST(SpillTieringTest, CappedWithSpillMatchesUncappedOracle) {
+  num::Rng model_rng(20260808);
+  const nn::LstmCell cell(/*input_dim=*/5, /*hidden_dim=*/12, model_rng);
+  const core::StatePruner pruner(core::PrunerConfig::fixed(0.07f));
+  num::Rng rng(99);
+  const auto events =
+      synthetic_trace(/*requests=*/700, /*sessions=*/40, cell.input_dim(),
+                      /*gap_us=*/60, rng);
+
+  // The oracle: nothing ever evicted.
+  const RunStats oracle =
+      run(cell, pruner, events, /*shards=*/1, /*max_batch=*/4, SessionTtl{});
+
+  int variant = 0;
+  for (const num::Index shards : {num::Index{1}, num::Index{2}, num::Index{4}}) {
+    for (const bool encoded : {false, true}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards) +
+                   " encoded=" + std::to_string(encoded));
+      store::MemEnv env;
+      SessionTtl capped;
+      capped.max_sessions = 6;  // 40 sessions over <= 6-per-shard: churn
+      const RunStats tiered =
+          run(cell, pruner, events, shards, /*max_batch=*/4, capped, &env,
+              "t" + std::to_string(variant++), encoded);
+      expect_tables_equal(oracle.digests, tiered.digests);
+      EXPECT_GT(tiered.spilled, 0u) << "cap never engaged: test is vacuous";
+      EXPECT_GT(tiered.restored, 0u);
+      EXPECT_EQ(tiered.restore_corrupt, 0u);
+      EXPECT_EQ(tiered.ttl_resets, oracle.ttl_resets);
+    }
+  }
+}
+
+TEST(SpillTieringTest, PastTtlDiskRecordsTakeTheResidentResetTransition) {
+  num::Rng model_rng(20260809);
+  const nn::LstmCell cell(/*input_dim=*/5, /*hidden_dim=*/10, model_rng);
+  const core::StatePruner pruner(core::PrunerConfig::fixed(0.07f));
+  num::Rng rng(7);
+  // Gaps straddle the TTL so some sessions return expired (reset) and
+  // some within it (restore) — both transitions must match a resident
+  // session's exactly.
+  auto events = synthetic_trace(500, 24, cell.input_dim(), /*gap_us=*/300,
+                                rng);
+  SessionTtl ttl;
+  ttl.ttl_us = 2500;
+
+  const RunStats oracle = run(cell, pruner, events, 1, 4, ttl);
+  SessionTtl capped = ttl;
+  capped.max_sessions = 5;
+  for (const num::Index shards : {num::Index{1}, num::Index{3}}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    store::MemEnv env;
+    const RunStats tiered =
+        run(cell, pruner, events, shards, 4, capped, &env,
+            "ttl" + std::to_string(shards));
+    expect_tables_equal(oracle.digests, tiered.digests);
+    // ttl_resets itself is not grouping-invariant (the oracle's sweep
+    // turns some lazy resets into plain re-creations — value-neutral
+    // for outputs, which is what the digest equality above pins), but
+    // both transitions must actually have run for this to mean much.
+    EXPECT_GT(tiered.ttl_resets, 0u);
+    EXPECT_GT(tiered.restored, 0u);
+    EXPECT_GT(tiered.spilled, 0u);
+  }
+}
+
+TEST(SpillTieringTest, MillionDistinctSessionChurnMatchesOracle) {
+  // Every session visits, is forced out by the cap, and revisits: the
+  // whole population round-trips through the spill tier. Default size
+  // keeps the suite fast; ZSS_SOAK=1 runs the full million.
+  const num::Index kSessions = soak() ? 1'000'000 : 20'000;
+  num::Rng model_rng(20260810);
+  const nn::LstmCell cell(/*input_dim=*/4, /*hidden_dim=*/8, model_rng);
+  const core::StatePruner pruner(core::PrunerConfig::fixed(0.08f));
+
+  std::vector<TraceEvent> events;
+  events.reserve(static_cast<std::size_t>(kSessions) * 2);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (num::Index i = 0; i < kSessions; ++i) {
+      TraceEvent e;
+      e.session = static_cast<SessionId>(i + 1);
+      e.token = (i + pass) % cell.input_dim();
+      e.arrival_us =
+          static_cast<std::int64_t>(pass) * kSessions * 2 + i * 2;
+      events.push_back(e);
+    }
+  }
+
+  const RunStats oracle =
+      run(cell, pruner, events, /*shards=*/2, /*max_batch=*/8, SessionTtl{});
+  SessionTtl capped;
+  capped.max_sessions = 32;
+  store::MemEnv env;
+  const RunStats tiered = run(cell, pruner, events, /*shards=*/2,
+                              /*max_batch=*/8, capped, &env, "churn",
+                              /*encoded=*/true);
+  expect_tables_equal(oracle.digests, tiered.digests);
+  // Nearly the entire population must have tiered out and back for
+  // this test to mean anything.
+  EXPECT_GE(tiered.spilled, static_cast<std::uint64_t>(kSessions) / 2);
+  EXPECT_GE(tiered.restored, static_cast<std::uint64_t>(kSessions) / 2);
+  EXPECT_EQ(tiered.restore_corrupt, 0u);
+}
+
+TEST(SpillTieringTest, RestoredSessionKeepsBitsStepsAndGeneration) {
+  store::MemEnv env;
+  store::StoreConfig cfg;
+  cfg.path = "seg";
+  store::SegmentStore spill(env, cfg, /*hidden_dim=*/6);
+  SessionTtl ttl;
+  ttl.max_sessions = 2;
+  SessionStore store(6, ttl);
+  store.set_spill(&spill);
+
+  Session& s1 = store.get_or_create(1, 10);
+  for (num::Index j = 0; j < 6; ++j) s1.h(0, j) = 0.5f + static_cast<float>(j);
+  s1.c(0, 3) = -7.25f;
+  s1.steps = 41;
+  s1.generation = 2;
+  std::vector<float> h_bits(s1.h.data(), s1.h.data() + 6);
+
+  store.get_or_create(2, 20);
+  store.get_or_create(3, 30);  // cap: evicts session 1 into the tier
+  EXPECT_EQ(store.evicted(), 1u);
+  EXPECT_EQ(store.spilled(), 1u);
+  EXPECT_EQ(store.find(1), nullptr);
+
+  Session& back = store.get_or_create(1, 40);  // evicts another, restores 1
+  EXPECT_EQ(store.restored(), 1u);
+  EXPECT_EQ(back.steps, 41u);
+  EXPECT_EQ(back.generation, 2u);
+  EXPECT_EQ(std::memcmp(back.h.data(), h_bits.data(), 6 * sizeof(float)), 0);
+  EXPECT_EQ(back.c(0, 3), -7.25f);
+  // Not a creation: the client's conversation continued.
+  EXPECT_EQ(store.created(), 3u);
+}
+
+TEST(SpillTieringTest, CorruptRecordFallsBackToFreshSession) {
+  store::MemEnv env;
+  store::StoreConfig cfg;
+  cfg.path = "seg";
+  store::SegmentStore spill(env, cfg, 6);
+  SessionTtl ttl;
+  ttl.max_sessions = 2;
+  SessionStore store(6, ttl);
+  store.set_spill(&spill);
+
+  Session& s1 = store.get_or_create(1, 10);
+  s1.h(0, 0) = 3.5f;
+  s1.steps = 9;
+  store.get_or_create(2, 20);
+  store.get_or_create(3, 30);  // spills session 1
+  ASSERT_EQ(store.spilled(), 1u);
+
+  env.bytes("seg")->back() ^= 0x10;  // bit rot under the committed record
+
+  Session& back = store.get_or_create(1, 40);
+  EXPECT_EQ(store.restore_corrupt(), 1u);
+  EXPECT_EQ(back.steps, 0u) << "corrupt restore must yield a fresh session";
+  EXPECT_EQ(back.generation, 0u);
+  for (num::Index j = 0; j < 6; ++j) EXPECT_EQ(back.h(0, j), 0.0f);
+  EXPECT_EQ(store.created(), 4u) << "fresh state is a creation";
+}
+
+TEST(SpillTieringTest, WriteFailureDegradesToRamOnlyServing) {
+  store::MemEnv mem;
+  store::FaultInjectingEnv env(mem);
+  store::StoreConfig cfg;
+  cfg.path = "seg";
+  store::SegmentStore spill(env, cfg, 6);
+  SessionTtl ttl;
+  ttl.max_sessions = 2;
+  SessionStore store(6, ttl);
+  store.set_spill(&spill);
+  ASSERT_TRUE(store.spill_active());
+
+  env.last_opened()->fail_syncs(100);  // the medium goes bad for good
+  store.get_or_create(1, 10);
+  store.get_or_create(2, 20);
+  store.get_or_create(3, 30);  // eviction's spill fails; store degrades
+  EXPECT_EQ(store.evicted(), 1u);
+  EXPECT_EQ(store.spilled(), 0u);
+  EXPECT_FALSE(store.spill_active());
+
+  // Serving continues RAM-only with pre-spill forget semantics.
+  Session& back = store.get_or_create(1, 40);
+  EXPECT_EQ(back.steps, 0u);
+  EXPECT_EQ(store.created(), 4u);
+  store.get_or_create(4, 50);  // further evictions don't touch the store
+  EXPECT_EQ(spill.write_errors(), 3u);
+}
+
+}  // namespace
+}  // namespace zss::serve

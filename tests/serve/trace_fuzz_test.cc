@@ -12,6 +12,8 @@
 #include "nn/lstm_cell.h"
 #include "num/rng.h"
 #include "serve/protocol.h"
+#include "store/io.h"
+#include "../store/faulty_env.h"
 
 // Randomized hardening of the serving determinism guarantee and the
 // trace parser:
@@ -299,6 +301,86 @@ TEST(TraceFuzzTest, TtlActuallyFiresInTheFuzzTraces) {
   }
   EXPECT_GT(resets, 0u) << "TTL knobs too loose: the invariance test "
                            "above never exercised a reset";
+}
+
+TEST(TraceFuzzTest, SpillTierFaultSeedsNeverCrashOrLoseResponses) {
+  // Seeded random traces served through a capped pool whose spill tier
+  // runs on a misbehaving medium: random sync failures armed at open,
+  // random bit rot injected into the segment files mid-trace. Whatever
+  // the tier does under that abuse — restore, degrade to RAM-only,
+  // fall back to fresh state on a bad CRC — serving must answer every
+  // request and never crash; that is the graceful-degradation contract
+  // (docs/store.md). Output values under injected corruption are
+  // legitimately NOT oracle-identical; the no-fault identity is pinned
+  // by spill_tiering_test.cc.
+  const int kSeeds = soak() ? 60 : 15;
+  num::Rng model_rng(77007);
+  const nn::LstmCell cell(/*input_dim=*/4, /*hidden_dim=*/10, model_rng);
+  const core::StatePruner pruner(core::PrunerConfig::fixed(0.07f));
+
+  std::uint64_t corrupt_total = 0, degraded_shards = 0;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    num::Rng rng(static_cast<std::uint64_t>(seed) * 6151 + 11);
+    auto events = synthetic_trace(
+        /*requests=*/static_cast<num::Index>(120 + rng.below(120)),
+        /*sessions=*/static_cast<num::Index>(14 + rng.below(10)),
+        cell.input_dim(), /*mean_gap_us=*/150, rng);
+
+    store::MemEnv mem;
+    store::FaultInjectingEnv fenv(mem);
+    fenv.on_open = [&](const std::string&, store::FaultyFile& f) {
+      if (rng.bernoulli(0.3)) {
+        f.fail_syncs(static_cast<int>(1 + rng.below(4)));
+      }
+    };
+
+    PoolConfig config;
+    config.shards = 2;
+    config.policy.max_batch = 4;
+    config.session_ttl.ttl_us = rng.bernoulli(0.5) ? 600 : -1;
+    config.session_ttl.max_sessions = 6;
+    config.spill.dir = "fz";
+    config.spill.env = &fenv;
+    config.spill.encoded = rng.bernoulli(0.5);
+    EnginePool pool(cell, pruner, config);
+
+    std::uint64_t responses = 0;
+    const ResponseSink sink = [&](const Response&) { ++responses; };
+
+    // First half, then bit rot in whatever the tier has written so
+    // far, then the rest — restores after the flip hit damaged bytes.
+    const std::size_t half = events.size() / 2;
+    std::vector<TraceEvent> first(events.begin(),
+                                  events.begin() +
+                                      static_cast<std::ptrdiff_t>(half));
+    std::vector<TraceEvent> second(events.begin() +
+                                       static_cast<std::ptrdiff_t>(half),
+                                   events.end());
+    replay(pool, first, sink);
+    for (const char* name : {"fz/shard_0.seg", "fz/shard_1.seg"}) {
+      std::vector<std::uint8_t>* bytes = mem.bytes(name);
+      if (bytes == nullptr || bytes->size() <= 20) continue;
+      // Several flips past the 16-byte file header: live restores
+      // re-verify each record's CRC, so any flip under a record that
+      // is later restored must surface as kCorrupt, never bad bits.
+      for (int k = 0; k < 8; ++k) {
+        const auto off = static_cast<std::size_t>(
+            16 + rng.below(static_cast<num::Index>(bytes->size() - 16)));
+        (*bytes)[off] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+      }
+    }
+    replay(pool, second, sink);
+
+    EXPECT_EQ(responses, events.size()) << "seed " << seed;
+    for (num::Index s = 0; s < pool.num_shards(); ++s) {
+      corrupt_total += pool.shard(s).sessions().restore_corrupt();
+      if (!pool.shard(s).sessions().spill_active()) ++degraded_shards;
+    }
+  }
+  // Vacuity guards: across the seed set, the corruption path and the
+  // write-error degradation path must both actually have fired.
+  EXPECT_GT(corrupt_total, 0u) << "bit rot never hit a live restore";
+  EXPECT_GT(degraded_shards, 0u) << "sync faults never degraded a shard";
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,51 @@
+// Test-only Env wrapper that hands every opened file to the test
+// wrapped in a store::FaultyFile, so a script can arm torn writes,
+// sync failures, short reads or bit rot on exactly the file (and the
+// exact open — the store reopens its base file after compaction) it
+// means to break. Shared by the store test suites; not a test itself.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "store/io.h"
+
+namespace zss::store {
+
+class FaultInjectingEnv final : public Env {
+ public:
+  explicit FaultInjectingEnv(Env& inner) : inner_(inner) {}
+
+  /// Called for every successful open with the wrapping FaultyFile —
+  /// arm triggers here. The pointer is owned by the store; it dangles
+  /// once the store closes or replaces the file.
+  std::function<void(const std::string&, FaultyFile&)> on_open;
+
+  std::unique_ptr<File> open(const std::string& name,
+                             bool truncate_existing) override {
+    auto inner = inner_.open(name, truncate_existing);
+    if (inner == nullptr) return nullptr;
+    auto wrapped = std::make_unique<FaultyFile>(std::move(inner));
+    last_opened_ = wrapped.get();
+    if (on_open) on_open(name, *wrapped);
+    return wrapped;
+  }
+
+  bool exists(const std::string& name) override { return inner_.exists(name); }
+  bool rename(const std::string& from, const std::string& to) override {
+    return inner_.rename(from, to);
+  }
+  bool remove(const std::string& name) override {
+    return inner_.remove(name);
+  }
+
+  /// The most recently opened file's wrapper (same lifetime caveat).
+  FaultyFile* last_opened() { return last_opened_; }
+
+ private:
+  Env& inner_;
+  FaultyFile* last_opened_ = nullptr;
+};
+
+}  // namespace zss::store

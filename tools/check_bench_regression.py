@@ -1,24 +1,36 @@
 #!/usr/bin/env python3
-"""Gate BENCH_sparse_inference.json against the checked-in reference.
+"""Gate a fresh BENCH_*.json against the checked-in reference.
 
 Usage: check_bench_regression.py FRESH_JSON [REFERENCE_JSON]
 
-Two kinds of checks, mirroring how the numbers are used:
+Dispatches on the artifact's "bench" field:
 
-* Hard gates (exit 1):
-    - every row must be bit_exact (the exactness contract is binary);
-    - the batched skip path must actually beat the dense baseline where
-      the per-lane kernel exists to win: wall_speedup >= 1.0 at batch 8
-      for every sparsity >= 0.5 (the regression that motivated the
-      per-lane path was 0.87x exactly there).
-* Soft warnings (printed, exit stays 0): any (sparsity, batch) cell
-  whose wall_speedup dropped more than WARN_FRACTION below the
-  reference recording. Wall-clock on shared CI runners is noisy, so
-  these annotate rather than fail; the reference at the repo root is
-  the dev-machine recording (docs/benchmarks.md).
+* bench == "sparse_inference" (reference defaults to
+  BENCH_sparse_inference.json):
+    - Hard gates (exit 1): every row must be bit_exact (the exactness
+      contract is binary); the batched skip path must beat the dense
+      baseline where the per-lane kernel exists to win —
+      wall_speedup >= 1.0 at batch 8 for every sparsity >= 0.5 (the
+      regression that motivated the per-lane path was 0.87x there).
+    - Soft warnings: any (sparsity, batch) cell whose wall_speedup
+      dropped more than WARN_FRACTION below the reference.
 
-Run by the native-bench CI job after bench_sparse_vs_dense, and usable
-locally: ./tools/check_bench_regression.py build/BENCH_sparse_inference.json
+* bench == "serving" (reference defaults to BENCH_serving.json):
+    - Hard gates (exit 1): every tiering row must have
+      restore_bit_exact=true and restore_corrupt=0 — a spill/restore
+      round trip that loses bits is a correctness bug, not a perf
+      regression (docs/store.md); the tiering block must be present.
+    - Soft warnings: cold-restore p50 latency more than WARN_FRACTION
+      *slower* than the reference recording, and warm-rate collapse
+      (the tier silently degrading to RAM-only would show up here).
+
+Wall-clock on shared CI runners is noisy, so time-based checks
+annotate rather than fail; the references at the repo root are the
+dev-machine recordings (docs/benchmarks.md).
+
+Run by the native-bench CI job after each bench, and usable locally:
+  ./tools/check_bench_regression.py build/BENCH_sparse_inference.json
+  ./tools/check_bench_regression.py build/BENCH_serving.json
 """
 
 import json
@@ -28,6 +40,11 @@ WARN_FRACTION = 0.20
 HARD_GATE_BATCH = 8
 HARD_GATE_MIN_SPARSITY = 0.5
 
+DEFAULT_REFERENCE = {
+    "sparse_inference": "BENCH_sparse_inference.json",
+    "serving": "BENCH_serving.json",
+}
+
 
 def load(path):
     try:
@@ -36,8 +53,8 @@ def load(path):
     except (OSError, json.JSONDecodeError) as e:
         print(f"error: cannot read {path}: {e}")
         sys.exit(2)
-    if data.get("bench") != "sparse_inference" or "results" not in data:
-        print(f"error: {path} is not a BENCH_sparse_inference.json artifact")
+    if data.get("bench") not in DEFAULT_REFERENCE:
+        print(f"error: {path} is not a recognized BENCH_*.json artifact")
         sys.exit(2)
     return data
 
@@ -46,18 +63,7 @@ def cells(data):
     return {(r["sparsity"], r["batch"]): r for r in data["results"]}
 
 
-def main(argv):
-    if len(argv) < 2 or len(argv) > 3:
-        print(__doc__)
-        return 2
-    fresh_path = argv[1]
-    ref_path = argv[2] if len(argv) > 2 else "BENCH_sparse_inference.json"
-    fresh = load(fresh_path)
-    ref = load(ref_path)
-
-    failures = []
-    warnings = []
-
+def check_sparse_inference(fresh, ref, failures, warnings):
     for (sparsity, batch), row in sorted(cells(fresh).items()):
         if not row.get("bit_exact", False):
             failures.append(
@@ -72,13 +78,6 @@ def main(argv):
                 )
 
     ref_cells = cells(ref)
-    if fresh.get("kernel_backend") != ref.get("kernel_backend"):
-        print(
-            f"note: backends differ (fresh={fresh.get('kernel_backend')}, "
-            f"reference={ref.get('kernel_backend')}); speedup comparison "
-            f"is still meaningful (both are ratios on one machine) but "
-            f"expect larger drift"
-        )
     for key, row in sorted(cells(fresh).items()):
         ref_row = ref_cells.get(key)
         if ref_row is None:
@@ -92,6 +91,83 @@ def main(argv):
                 f"{ref_row['wall_speedup']:.3f} "
                 f"(-{(1 - row['wall_speedup'] / ref_row['wall_speedup']) * 100:.0f}%)"
             )
+    return len(cells(fresh))
+
+
+def check_serving(fresh, ref, failures, warnings):
+    tiering = fresh.get("tiering", [])
+    if not tiering:
+        failures.append(
+            "tiering block missing or empty — the spill tier was not "
+            "exercised (bench/bench_serving.cc writes one row per "
+            "encoding flavour)"
+        )
+    ref_tiering = {r.get("encoded"): r for r in ref.get("tiering", [])}
+    for row in tiering:
+        flavour = "encoded" if row.get("encoded") else "dense"
+        if not row.get("restore_bit_exact", False):
+            failures.append(
+                f"restore_bit_exact=false ({flavour}) — a spill/restore "
+                f"round trip lost bits; the tier's core invariant is broken"
+            )
+        if row.get("restore_corrupt", 0) != 0:
+            failures.append(
+                f"restore_corrupt={row['restore_corrupt']} ({flavour}) on a "
+                f"clean run — records corrupted without injected faults"
+            )
+        ref_row = ref_tiering.get(row.get("encoded"))
+        if ref_row is None:
+            warnings.append(f"tiering flavour '{flavour}' missing from reference")
+            continue
+        ceiling = ref_row["cold_restore_p50_us"] * (1.0 + WARN_FRACTION)
+        if row["cold_restore_p50_us"] > ceiling:
+            warnings.append(
+                f"cold_restore_p50_us ({flavour}): "
+                f"{row['cold_restore_p50_us']:.2f} vs reference "
+                f"{ref_row['cold_restore_p50_us']:.2f} "
+                f"(+{(row['cold_restore_p50_us'] / ref_row['cold_restore_p50_us'] - 1) * 100:.0f}%)"
+            )
+        floor = ref_row["warm_rate"] * (1.0 - WARN_FRACTION)
+        if row["warm_rate"] < floor:
+            warnings.append(
+                f"warm_rate ({flavour}): {row['warm_rate']:.3f} vs reference "
+                f"{ref_row['warm_rate']:.3f} — restores stopped happening; "
+                f"is the tier degrading to RAM-only?"
+            )
+    return len(tiering)
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__)
+        return 2
+    fresh_path = argv[1]
+    fresh = load(fresh_path)
+    kind = fresh["bench"]
+    ref_path = argv[2] if len(argv) > 2 else DEFAULT_REFERENCE[kind]
+    ref = load(ref_path)
+    if ref.get("bench") != kind:
+        print(
+            f"error: bench kind mismatch: {fresh_path} is '{kind}' but "
+            f"{ref_path} is '{ref.get('bench')}'"
+        )
+        return 2
+
+    failures = []
+    warnings = []
+    if fresh.get("kernel_backend") != ref.get("kernel_backend"):
+        print(
+            f"note: backends differ (fresh={fresh.get('kernel_backend')}, "
+            f"reference={ref.get('kernel_backend')}); speedup comparison "
+            f"is still meaningful (both are ratios on one machine) but "
+            f"expect larger drift"
+        )
+    if kind == "sparse_inference":
+        checked = check_sparse_inference(fresh, ref, failures, warnings)
+        unit = "cells"
+    else:
+        checked = check_serving(fresh, ref, failures, warnings)
+        unit = "tiering rows"
 
     for w in warnings:
         print(f"warning: {w}")
@@ -100,7 +176,7 @@ def main(argv):
     if failures:
         return 1
     print(
-        f"bench regression check passed: {len(cells(fresh))} cells, "
+        f"bench regression check passed ({kind}): {checked} {unit}, "
         f"{len(warnings)} warning(s)"
     )
     return 0

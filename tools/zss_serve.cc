@@ -26,6 +26,7 @@
 // threshold the sessions' stored states are pruned with. --ttl-us and
 // --max-sessions bound the per-shard session stores in either mode
 // (give the replay the same values to reproduce a recorded live run).
+#include <cerrno>
 #include <cinttypes>
 #include <condition_variable>
 #include <csignal>
@@ -51,6 +52,7 @@
 #include "serve/protocol.h"
 #include "serve/trace.h"
 #include "serve/worker.h"
+#include "store/lockfile.h"
 
 namespace {
 
@@ -61,6 +63,8 @@ struct Args {
   std::string digests_path;
   std::string socket_path;
   std::string record_path;
+  std::string spill_dir;
+  bool spill_encoded = false;
   num::Index emit_trace = 0;  // >0: generate instead of serve
   bool live = false;
   num::Index shards = 1;
@@ -93,6 +97,10 @@ bool parse(int argc, char** argv, Args& args) {
       args.socket_path = v;
     } else if (const char* v = value("record")) {
       args.record_path = v;
+    } else if (const char* v = value("spill-dir")) {
+      args.spill_dir = v;
+    } else if (a == "--spill-encoded") {
+      args.spill_encoded = true;
     } else if (const char* v = value("emit-trace")) {
       args.emit_trace = std::atol(v);
     } else if (a == "--live") {
@@ -163,6 +171,17 @@ bool parse(int argc, char** argv, Args& args) {
                  "--socket/--record/--max-queue only apply to --live\n");
     return false;
   }
+  // The spill tier serves the session stores, so it applies to both
+  // serving modes (a replay of a recorded spill run needs the same
+  // tier to reproduce it) — but never to trace generation.
+  if (args.spill_encoded && args.spill_dir.empty()) {
+    std::fprintf(stderr, "--spill-encoded requires --spill-dir\n");
+    return false;
+  }
+  if (!args.spill_dir.empty() && args.emit_trace > 0) {
+    std::fprintf(stderr, "--spill-dir does not apply to --emit-trace\n");
+    return false;
+  }
   return true;
 }
 
@@ -173,6 +192,7 @@ void usage() {
       "                 [--max-wait-us=U] [--dh=D] [--dx=D]\n"
       "                 [--threshold=T] [--seed=S] [--ttl-us=T]\n"
       "                 [--max-sessions=N] [--dump] [--digests=FILE]\n"
+      "                 [--spill-dir=DIR] [--spill-encoded]\n"
       "   or: zss_serve --live [same model/policy flags] [--socket=PATH]\n"
       "                 [--record=FILE] [--max-queue=N]   (protocol: see\n"
       "                 docs/serving.md \"Live mode\"; stdin/stdout default)\n"
@@ -242,7 +262,29 @@ serve::PoolConfig pool_config(const Args& args) {
   config.policy.max_wait_us = args.max_wait_us;
   config.session_ttl.ttl_us = args.ttl_us;
   config.session_ttl.max_sessions = args.max_sessions;
+  config.spill.dir = args.spill_dir;
+  config.spill.encoded = args.spill_encoded;
   return config;
+}
+
+/// Creates --spill-dir if needed and takes its exclusive ownership
+/// lock. Two instances appending into the same segment files would
+/// destroy the valid-prefix invariant recovery depends on, so a held
+/// lock is a hard startup refusal, not a warning (docs/store.md). The
+/// lock must outlive the pool — keep the DirLock in the caller's scope.
+bool acquire_spill_lock(const Args& args, store::DirLock& lock) {
+  if (args.spill_dir.empty()) return true;
+  if (::mkdir(args.spill_dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "zss_serve: cannot create spill dir %s: %s\n",
+                 args.spill_dir.c_str(), std::strerror(errno));
+    return false;
+  }
+  if (!lock.acquire(args.spill_dir)) {
+    std::fprintf(stderr, "zss_serve: refusing to start: %s\n",
+                 lock.error().c_str());
+    return false;
+  }
+  return true;
 }
 
 int run_replay(const Args& args) {
@@ -252,6 +294,9 @@ int run_replay(const Args& args) {
     std::fprintf(stderr, "zss_serve: %s\n", error.c_str());
     return 1;
   }
+
+  store::DirLock spill_lock;
+  if (!acquire_spill_lock(args, spill_lock)) return 1;
 
   num::Rng rng(args.seed);
   nn::LstmCell cell(args.dx, args.dh, rng);
@@ -303,7 +348,24 @@ int run_replay(const Args& args) {
   std::printf("observed intersected sparsity %.4f across %lld sessions\n",
               obs_sparsity, static_cast<long long>(digests.size()));
 
-  print_digests(digests, args.digests_path, args.max_sessions > 0);
+  if (!args.spill_dir.empty()) {
+    std::uint64_t spilled = 0, restored = 0, corrupt = 0;
+    num::Index active = 0;
+    for (num::Index s = 0; s < pool.num_shards(); ++s) {
+      const serve::SessionStore& ss = pool.shard(s).sessions();
+      spilled += ss.spilled();
+      restored += ss.restored();
+      corrupt += ss.restore_corrupt();
+      if (ss.spill_active()) ++active;
+    }
+    std::printf("spill tier: spilled %" PRIu64 " restored %" PRIu64
+                " corrupt %" PRIu64 " active_shards %lld/%lld\n",
+                spilled, restored, corrupt, static_cast<long long>(active),
+                static_cast<long long>(pool.num_shards()));
+  }
+
+  print_digests(digests, args.digests_path,
+                args.max_sessions > 0 && args.spill_dir.empty());
 
   if (result.responses != result.requests) {
     std::fprintf(stderr, "zss_serve: %lld requests but %lld responses\n",
@@ -425,6 +487,9 @@ int run_live(const Args& args) {
   // sees EOF on the closed connection, and shutdown drains normally.
   std::signal(SIGPIPE, SIG_IGN);
 
+  store::DirLock spill_lock;
+  if (!acquire_spill_lock(args, spill_lock)) return 1;
+
   num::Rng rng(args.seed);
   nn::LstmCell cell(args.dx, args.dh, rng);
   core::StatePruner pruner(core::PrunerConfig::fixed(args.threshold));
@@ -500,13 +565,26 @@ int run_live(const Args& args) {
       continue;
     }
     if (cmd.op == serve::CommandLine::Op::kStats) {
-      char buf[128];
-      std::snprintf(buf, sizeof(buf),
-                    "stat submitted=%" PRIu64 " responses=%" PRIu64
-                    " shed=%" PRIu64 " now_us=%lld",
-                    server.submitted(), server.responded(), server.shed(),
-                    static_cast<long long>(server.now_us()));
-      out.push(buf);
+      // Runs on the ingest thread while shard workers serve: every
+      // session-store counter read here is a relaxed atomic written
+      // only by its owning shard thread (serve/session.h).
+      serve::StatsSnapshot snap;
+      snap.submitted = server.submitted();
+      snap.responses = server.responded();
+      snap.shed = server.shed();
+      snap.now_us = server.now_us();
+      snap.shards = pool.num_shards();
+      for (num::Index s = 0; s < pool.num_shards(); ++s) {
+        const serve::SessionStore& ss = pool.shard(s).sessions();
+        snap.created += ss.created();
+        snap.ttl_resets += ss.ttl_resets();
+        snap.evicted += ss.evicted();
+        snap.spilled += ss.spilled();
+        snap.restored += ss.restored();
+        snap.restore_corrupt += ss.restore_corrupt();
+        if (ss.spill_active()) ++snap.spill_active;
+      }
+      out.push(serve::format_stats(snap));
       continue;
     }
     if (!server.submit(cmd.session, cmd.token).has_value()) {
@@ -546,7 +624,8 @@ int run_live(const Args& args) {
                 server.recorded_trace().size(), args.record_path.c_str());
   }
 
-  print_digests(digests, args.digests_path, args.max_sessions > 0);
+  print_digests(digests, args.digests_path,
+                args.max_sessions > 0 && args.spill_dir.empty());
 
   if (server.responded() != server.submitted()) {
     std::fprintf(stderr, "zss_serve: %" PRIu64 " submitted but %" PRIu64
