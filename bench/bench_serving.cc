@@ -38,7 +38,15 @@
 // Usage: bench_serving [--dh=512] [--dx=64] [--sessions=32]
 //                      [--requests=N] [--live-gap-us=G] [--quick]
 // Writes BENCH_serving.json into the working directory.
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
 #include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
@@ -47,6 +55,7 @@
 #include <cstring>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -56,6 +65,7 @@
 #include "nn/lstm_cell.h"
 #include "num/rng.h"
 #include "num/simd/backend.h"
+#include "serve/frontend.h"
 #include "serve/worker.h"
 #include "store/io.h"
 #include "store/segment_store.h"
@@ -92,6 +102,19 @@ struct LiveResult {
   double mean_batch = 0.0;
   double p50_us = 0.0;           // end-to-end: arrival -> delivery
   double p99_us = 0.0;
+};
+
+struct FrontendResult {
+  num::Index shards = 0;
+  num::Index connections = 0;   // concurrently open throughout the run
+  num::Index reqs_per_conn = 0;
+  double wall_ms = 0.0;
+  double rps = 0.0;
+  double p50_us = 0.0;  // per-request RTT through the socket, mux included
+  double p99_us = 0.0;
+  std::uint64_t misrouted = 0;  // ok lines delivered to the wrong connection
+  std::uint64_t lost = 0;       // requests never answered before the deadline
+  bool ok = false;              // setup succeeded and every conn connected
 };
 
 struct TieringResult {
@@ -319,6 +342,178 @@ LiveResult run_live_config(const nn::LstmCell& cell, float threshold,
   return r;
 }
 
+/// Multi-connection live measurement through the epoll front end: one
+/// bench thread muxes `connections` real sockets (half UNIX, half TCP)
+/// with poll(), each connection running a closed loop of window 1 on
+/// its own session. Latency is the full per-request round trip —
+/// socket, parse, stamp, batch, serve, format, socket back — and the
+/// run doubles as a correctness sweep: any "ok" for a session the
+/// connection does not own is a misrouted (cross-connection) delivery,
+/// and every request must be answered (lost == 0).
+FrontendResult run_frontend_config(const nn::LstmCell& cell, float threshold,
+                                   num::Index shards, num::Index connections,
+                                   num::Index reqs_per_conn) {
+  FrontendResult result;
+  result.shards = shards;
+  result.connections = connections;
+  result.reqs_per_conn = reqs_per_conn;
+
+  const core::StatePruner pruner(core::PrunerConfig::fixed(threshold));
+  serve::PoolConfig config;
+  config.shards = shards;
+  config.policy.max_batch = 8;
+  config.policy.max_wait_us = 200;
+  serve::EnginePool pool(cell, pruner, config);
+
+  serve::FrontendConfig fc;
+  fc.unix_path = "/tmp/zss_bench_frontend_" + std::to_string(::getpid()) +
+                 ".sock";
+  fc.tcp_port = 0;
+  serve::Frontend frontend(pool, fc, {});
+  std::string error;
+  if (!frontend.start(&error)) {
+    std::fprintf(stderr, "frontend: %s\n", error.c_str());
+    return result;
+  }
+
+  struct BConn {
+    int fd = -1;
+    std::string rbuf;
+    num::Index done = 0;  // responses received
+    bool greeted = false;
+    std::chrono::steady_clock::time_point sent_at;
+  };
+  std::vector<BConn> conns(static_cast<std::size_t>(connections));
+
+  sockaddr_un ua{};
+  ua.sun_family = AF_UNIX;
+  std::memcpy(ua.sun_path, fc.unix_path.c_str(), fc.unix_path.size() + 1);
+  sockaddr_in ta{};
+  ta.sin_family = AF_INET;
+  ta.sin_port = htons(static_cast<std::uint16_t>(frontend.tcp_port()));
+  ::inet_pton(AF_INET, "127.0.0.1", &ta.sin_addr);
+
+  for (num::Index i = 0; i < connections; ++i) {
+    BConn& c = conns[static_cast<std::size_t>(i)];
+    const bool tcp = i % 2 == 1;
+    c.fd = ::socket(tcp ? AF_INET : AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (c.fd < 0 ||
+        ::connect(c.fd,
+                  tcp ? reinterpret_cast<sockaddr*>(&ta)
+                      : reinterpret_cast<sockaddr*>(&ua),
+                  tcp ? sizeof(ta) : sizeof(ua)) < 0) {
+      std::fprintf(stderr, "frontend bench: connect %lld failed: %s\n",
+                   static_cast<long long>(i), std::strerror(errno));
+      for (BConn& cc : conns) {
+        if (cc.fd >= 0) ::close(cc.fd);
+      }
+      frontend.stop();
+      frontend.join();
+      return result;
+    }
+    if (tcp) {
+      const int yes = 1;
+      ::setsockopt(c.fd, IPPROTO_TCP, TCP_NODELAY, &yes, sizeof yes);
+    }
+    ::fcntl(c.fd, F_SETFL, O_NONBLOCK);
+  }
+
+  // Closed loop of window 1 per connection: `step` goes out when the
+  // previous `ok` lands (the greeting triggers the first one).
+  auto send_step = [&](num::Index i) {
+    BConn& c = conns[static_cast<std::size_t>(i)];
+    char buf[64];
+    const int n = std::snprintf(
+        buf, sizeof(buf), "step %lld %lld\n", static_cast<long long>(i + 1),
+        static_cast<long long>((i + c.done) %
+                               static_cast<num::Index>(cell.input_dim())));
+    c.sent_at = std::chrono::steady_clock::now();
+    // A 20-odd-byte line into a drained socket never fills the buffer;
+    // spin on the theoretical EAGAIN rather than queueing client-side.
+    while (::send(c.fd, buf, static_cast<std::size_t>(n), MSG_NOSIGNAL) < 0 &&
+           (errno == EAGAIN || errno == EINTR)) {
+    }
+  };
+
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(connections * reqs_per_conn));
+  std::vector<pollfd> pfds(static_cast<std::size_t>(connections));
+  for (num::Index i = 0; i < connections; ++i) {
+    pfds[static_cast<std::size_t>(i)] = {
+        conns[static_cast<std::size_t>(i)].fd, POLLIN, 0};
+  }
+
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(connections) *
+      static_cast<std::uint64_t>(reqs_per_conn);
+  std::uint64_t received = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline = t0 + std::chrono::seconds(120);
+  char buf[65536];
+  while (received < expected &&
+         std::chrono::steady_clock::now() < deadline) {
+    const int nready = ::poll(pfds.data(), pfds.size(), 1000);
+    if (nready <= 0) continue;
+    for (num::Index i = 0; i < connections; ++i) {
+      pollfd& p = pfds[static_cast<std::size_t>(i)];
+      if ((p.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      BConn& c = conns[static_cast<std::size_t>(i)];
+      const ssize_t n = ::recv(c.fd, buf, sizeof buf, 0);
+      if (n <= 0) {
+        if (n < 0 && (errno == EAGAIN || errno == EINTR)) continue;
+        p.fd = -p.fd;  // poll ignores negative fds; conn is dead
+        continue;
+      }
+      c.rbuf.append(buf, static_cast<std::size_t>(n));
+      std::size_t start = 0;
+      for (;;) {
+        const std::size_t nl = c.rbuf.find('\n', start);
+        if (nl == std::string::npos) break;
+        const std::string_view line(c.rbuf.data() + start, nl - start);
+        start = nl + 1;
+        if (line.rfind("hi ", 0) == 0) {
+          c.greeted = true;
+          send_step(i);
+        } else if (line.rfind("ok ", 0) == 0) {
+          unsigned long long sid = 0;
+          std::sscanf(line.data(), "ok %llu", &sid);
+          if (sid != static_cast<unsigned long long>(i + 1)) {
+            ++result.misrouted;
+          }
+          latencies.push_back(std::chrono::duration<double, std::micro>(
+                                  std::chrono::steady_clock::now() - c.sent_at)
+                                  .count());
+          ++received;
+          if (++c.done < reqs_per_conn) {
+            send_step(i);
+          } else {
+            p.fd = -p.fd;  // finished: stop polling, keep fd open
+          }
+        }
+      }
+      c.rbuf.erase(0, start);
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  result.lost = expected - received;
+
+  // Every connection stayed open end to end — close them only now.
+  for (BConn& c : conns) {
+    if (c.fd >= 0) ::close(c.fd);
+  }
+  frontend.stop();
+  frontend.join();
+
+  result.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  result.rps = result.wall_ms == 0.0
+                   ? 0.0
+                   : static_cast<double>(received) / (result.wall_ms / 1e3);
+  result.p50_us = percentile(latencies, 0.50);
+  result.p99_us = percentile(latencies, 0.99);
+  result.ok = true;
+  return result;
+}
+
 /// Churn a session population `sessions` through a pool whose per-shard
 /// RAM cap holds only a fraction of it, spill tier on — round-robin
 /// arrivals mean nearly every return past the warm-up is either a
@@ -442,6 +637,7 @@ TieringResult run_tiering(const nn::LstmCell& cell, float threshold,
 void write_json(const std::string& path, num::Index dh, num::Index dx,
                 num::Index sessions, const std::vector<Result>& results,
                 const std::vector<LiveResult>& live,
+                const std::vector<FrontendResult>& frontend,
                 const std::vector<TieringResult>& tiering) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -494,6 +690,28 @@ void write_json(const std::string& path, num::Index dh, num::Index dx,
         r.sparsity_target, static_cast<long long>(r.requests),
         static_cast<long long>(r.gap_us), r.offered_rps, r.wall_ms, r.rps,
         r.mean_batch, r.p50_us, r.p99_us, i + 1 < live.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+
+  // Connection front end: real sockets through the epoll mux, 1000+
+  // concurrent connections. The regression gate hard-fails on
+  // misrouted>0 or lost>0 (correctness, not speed) and warns when
+  // rps / p50 drift past the reference.
+  std::fprintf(f, "  \"frontend\": [\n");
+  for (std::size_t i = 0; i < frontend.size(); ++i) {
+    const FrontendResult& r = frontend[i];
+    std::fprintf(
+        f,
+        "    {\"shards\": %lld, \"connections\": %lld, "
+        "\"reqs_per_conn\": %lld, \"wall_ms\": %.2f, \"rps\": %.1f, "
+        "\"p50_us\": %.2f, \"p99_us\": %.2f, "
+        "\"misrouted\": %llu, \"lost\": %llu, \"ok\": %s}%s\n",
+        static_cast<long long>(r.shards),
+        static_cast<long long>(r.connections),
+        static_cast<long long>(r.reqs_per_conn), r.wall_ms, r.rps, r.p50_us,
+        r.p99_us, static_cast<unsigned long long>(r.misrouted),
+        static_cast<unsigned long long>(r.lost), r.ok ? "true" : "false",
+        i + 1 < frontend.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
 
@@ -622,6 +840,36 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Connection front end: 1000+ concurrent sockets (mixed UNIX + TCP)
+  // through the epoll mux, closed loop of window 1 per connection. The
+  // connection count is the acceptance floor and stays fixed even under
+  // --quick; only the per-connection request count shrinks.
+  const auto fe_conns = static_cast<num::Index>(
+      flags.get_int("frontend-connections", 1000));
+  const auto fe_reqs = static_cast<num::Index>(
+      flags.get_int("frontend-reqs", flags.has("quick") ? 4 : 8));
+  std::vector<FrontendResult> frontend_results;
+  std::printf("\nfront end (epoll mux, %lld conns half unix/half tcp): "
+              "per-request RTT through real sockets\n",
+              static_cast<long long>(fe_conns));
+  std::printf("%-7s %-7s %12s %10s %10s %10s %6s\n", "shards", "reqs/c",
+              "rps", "p50_us", "p99_us", "misrouted", "lost");
+  {
+    num::Rng calib_rng(99);
+    const float threshold = calibrate_threshold(cell, 0.9, calib_rng);
+    for (const num::Index shards : {num::Index{2}, num::Index{4}}) {
+      const FrontendResult fr =
+          run_frontend_config(cell, threshold, shards, fe_conns, fe_reqs);
+      frontend_results.push_back(fr);
+      std::printf("%-7lld %-7lld %12.1f %10.2f %10.2f %10llu %6llu%s\n",
+                  static_cast<long long>(fr.shards),
+                  static_cast<long long>(fr.reqs_per_conn), fr.rps, fr.p50_us,
+                  fr.p99_us, static_cast<unsigned long long>(fr.misrouted),
+                  static_cast<unsigned long long>(fr.lost),
+                  fr.ok ? "" : "  SETUP FAILED");
+    }
+  }
+
   // Spill tier: population 6x the RAM footprint (2 shards x cap 16),
   // dense and encoded flavours, at the high-sparsity threshold where
   // the offset encoding earns its keep.
@@ -655,7 +903,7 @@ int main(int argc, char** argv) {
   }
 
   write_json("BENCH_serving.json", dh, dx, sessions, results, live_results,
-             tiering);
+             frontend_results, tiering);
 
   // Echo the headline scaling so CI logs show it without parsing JSON.
   for (const Result& a : results) {

@@ -1,0 +1,145 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+
+namespace zss::serve {
+
+namespace {
+
+bool set_error(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = why + ": " + std::strerror(errno);
+  return false;
+}
+
+}  // namespace
+
+ClientConn::ClientConn(ClientConn&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      eof_(std::exchange(other.eof_, false)),
+      rbuf_(std::move(other.rbuf_)) {}
+
+ClientConn& ClientConn::operator=(ClientConn&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    eof_ = std::exchange(other.eof_, false);
+    rbuf_ = std::move(other.rbuf_);
+  }
+  return *this;
+}
+
+bool ClientConn::connect_unix(const std::string& path, std::string* error) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) *error = "socket path too long: " + path;
+    return false;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return set_error(error, "socket(AF_UNIX)");
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    close();
+    return set_error(error, "connect " + path);
+  }
+  return true;
+}
+
+bool ClientConn::connect_tcp(const std::string& host, int port,
+                             std::string* error) {
+  close();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad host: " + host;
+    return false;
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return set_error(error, "socket(AF_INET)");
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    close();
+    return set_error(error, "connect " + host + ":" + std::to_string(port));
+  }
+  const int yes = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &yes, sizeof yes);
+  return true;
+}
+
+bool ClientConn::send_line(std::string_view line) {
+  if (fd_ < 0) return false;
+  std::string framed(line);
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      close();
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool ClientConn::read_line(std::string* out, int timeout_ms) {
+  for (;;) {
+    const std::size_t nl = rbuf_.find('\n');
+    if (nl != std::string::npos) {
+      std::size_t end = nl;
+      while (end > 0 && rbuf_[end - 1] == '\r') --end;
+      out->assign(rbuf_, 0, end);
+      rbuf_.erase(0, nl + 1);
+      return true;
+    }
+    if (fd_ < 0) return false;
+    if (timeout_ms >= 0) {
+      pollfd pfd{fd_, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, timeout_ms);
+      if (pr == 0) return false;  // timeout, buffered tail kept
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+    }
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n > 0) {
+      rbuf_.append(buf, static_cast<std::size_t>(n));
+    } else if (n == 0) {
+      eof_ = true;
+      return false;
+    } else if (errno != EINTR) {
+      return false;
+    }
+  }
+}
+
+void ClientConn::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void ClientConn::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  eof_ = false;
+  rbuf_.clear();
+}
+
+}  // namespace zss::serve

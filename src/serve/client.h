@@ -1,0 +1,64 @@
+// Blocking line-buffered client for the serving protocol.
+//
+// The test/tool-side counterpart of serve/frontend.h: connects over
+// UNIX or TCP, sends protocol lines, reads '\n'-terminated responses
+// with a poll()-based timeout. Deliberately simple — one blocking
+// socket per ClientConn, no multiplexing — because its consumers are
+// correctness tests (frontend_test, frontend_fuzz_test) and the CI
+// load generator (tools/zss_loadgen.cc), where a thread per client is
+// the honest model of independent clients. bench_serving builds its
+// own nonblocking mux to hold a thousand of these open at once.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace zss::serve {
+
+/// One protocol connection. Movable, not copyable; closes on destroy.
+class ClientConn {
+ public:
+  ClientConn() = default;
+  ~ClientConn() { close(); }
+
+  ClientConn(ClientConn&& other) noexcept;
+  ClientConn& operator=(ClientConn&& other) noexcept;
+  ClientConn(const ClientConn&) = delete;
+  ClientConn& operator=(const ClientConn&) = delete;
+
+  /// Connect to a UNIX socket path / a TCP host:port. False on failure
+  /// (error explains). Reconnecting an open ClientConn closes it first.
+  bool connect_unix(const std::string& path, std::string* error = nullptr);
+  bool connect_tcp(const std::string& host, int port,
+                   std::string* error = nullptr);
+
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Sends `line` plus the terminating '\n'. Blocking; false on any
+  /// send failure (connection is closed). SIGPIPE-safe (MSG_NOSIGNAL).
+  bool send_line(std::string_view line);
+
+  /// Reads the next '\n'-terminated line (newline stripped, CR too)
+  /// into `out`. False on EOF, error or timeout; eof() distinguishes
+  /// an orderly close from the rest. timeout_ms < 0 = wait forever.
+  bool read_line(std::string* out, int timeout_ms = -1);
+
+  /// True after read_line returned false because the server closed the
+  /// stream cleanly (as opposed to timeout or error).
+  bool eof() const { return eof_; }
+
+  /// Half-close: no more sends, reads still drain what the server owes
+  /// (the half-open path the front end's churn fuzz exercises).
+  void shutdown_write();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  bool eof_ = false;
+  std::string rbuf_;
+};
+
+}  // namespace zss::serve

@@ -91,6 +91,19 @@ std::string format_error(std::string_view message) {
   return "err " + std::string(message);
 }
 
+std::string format_greeting(std::uint64_t conn) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "hi %" PRIu64, conn);
+  return buf;
+}
+
+std::string format_bye(std::uint64_t submitted, std::uint64_t responses) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "bye submitted=%" PRIu64 " responses=%" PRIu64,
+                submitted, responses);
+  return buf;
+}
+
 std::string format_stats(const StatsSnapshot& s) {
   char buf[320];
   std::snprintf(buf, sizeof(buf),

@@ -12,7 +12,8 @@
 //                | "#" ...                        ; comment, ignored
 //                | <blank>                        ; ignored
 //
-//   server line  = "ok" SP session SP seq SP batch SP digest
+//   server line  = "hi" SP conn                  ; socket greeting only
+//                | "ok" SP session SP seq SP batch SP digest
 //                | "err" SP message
 //                | "stat" SP key "=" value ...   ; format_stats() below
 //                | "bye" SP "submitted=" n SP "responses=" n
@@ -28,6 +29,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <span>
 #include <string>
 #include <string_view>
@@ -74,6 +76,34 @@ inline bool parse_session_id(std::string_view field, SessionId& out) {
   return true;
 }
 
+/// Rolling per-session digest: FNV-1a over each response's 8-byte row
+/// digest, in per-session serve order. This is the serving layer's
+/// observable output stream — every mode (replay, stdin live, the
+/// multiplexed front end) folds the same table, which is what makes
+/// `diff` across modes the determinism gate.
+struct SessionDigest {
+  std::uint64_t steps = 0;
+  std::uint64_t digest = kFnvOffset;
+
+  friend bool operator==(const SessionDigest& a, const SessionDigest& b) {
+    return a.steps == b.steps && a.digest == b.digest;
+  }
+};
+
+/// std::map so iteration (and therefore printing) is sorted by id.
+using DigestTable = std::map<SessionId, SessionDigest>;
+
+/// Folds one response into its session's rolling digest and returns
+/// the row digest — computed exactly once, so a live sink can share it
+/// with the protocol "ok" line instead of hashing the row twice.
+inline std::uint64_t fold_response(DigestTable& table, const Response& r) {
+  const std::uint64_t row = digest_row(r.h);
+  SessionDigest& d = table[r.session];
+  d.digest = fnv1a(d.digest, &row, sizeof row);
+  ++d.steps;
+  return row;
+}
+
 struct CommandLine {
   enum class Op { kStep, kFlush, kStats, kQuit };
   Op op = Op::kStep;
@@ -101,6 +131,16 @@ std::string format_response(const Response& r, std::uint64_t digest);
 
 /// "err <message>".
 std::string format_error(std::string_view message);
+
+/// "hi <conn>" — the multiplexed front end's per-connection greeting
+/// (first line a socket client reads; stdin mode sends none). The
+/// connection id is diagnostic only: responses are already routed to
+/// the issuing connection, so clients never need to echo it back.
+std::string format_greeting(std::uint64_t conn);
+
+/// "bye submitted=<n> responses=<n>" — last line before the server
+/// closes a stream (graceful shutdown).
+std::string format_bye(std::uint64_t submitted, std::uint64_t responses);
 
 /// Everything one "stat" line reports: the live server's request
 /// counters plus the session-store counters summed over all shards

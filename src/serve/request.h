@@ -21,11 +21,19 @@ struct Request {
   num::Index token = 0;          // one-hot input index (shard takes mod dx)
   std::int64_t arrival_us = 0;   // virtual arrival time (trace clock)
   std::uint64_t seq = 0;         // global arrival order stamp
+  /// Issuing connection, echoed on the response so the multiplexed
+  /// front end (serve/frontend.h) can route "ok" lines back to exactly
+  /// the client that sent the request. 0 = no connection (replay,
+  /// stdin mode, in-process producers). Never enters the computation:
+  /// values, batching and eviction are all client-blind, which is why
+  /// traces don't record it and replay still reproduces digests.
+  std::uint64_t client = 0;
 };
 
 struct Response {
   SessionId session = 0;
   std::uint64_t seq = 0;
+  std::uint64_t client = 0;      // the request's issuing connection, echoed
   std::int64_t arrival_us = 0;   // the request's arrival stamp, echoed
   std::int64_t done_us = 0;      // virtual time the serving batch closed
   double service_us = 0.0;       // wall-clock of the step that served it

@@ -134,6 +134,7 @@ num::Index EngineShard::step_batch(std::int64_t now_us,
     Response resp;
     resp.session = s.id;
     resp.seq = batch_[static_cast<std::size_t>(r)].seq;
+    resp.client = batch_[static_cast<std::size_t>(r)].client;
     resp.arrival_us = batch_[static_cast<std::size_t>(r)].arrival_us;
     resp.done_us = now_us;
     resp.service_us = service_us;

@@ -144,7 +144,8 @@ LiveServer::LiveServer(EnginePool& pool, ResponseSink sink, LiveConfig config)
 LiveServer::~LiveServer() { shutdown(); }
 
 std::optional<std::uint64_t> LiveServer::submit(SessionId session,
-                                                num::Index token) {
+                                                num::Index token,
+                                                std::uint64_t client) {
   ZSS_EXPECTS(token >= 0);
   std::lock_guard<std::mutex> lock(stamp_mu_);
   if (stopped_) return std::nullopt;
@@ -159,6 +160,7 @@ std::optional<std::uint64_t> LiveServer::submit(SessionId session,
   r.token = token;
   r.arrival_us = now;
   r.seq = next_seq_;
+  r.client = client;
   ShardWorker& w =
       workers_[static_cast<std::size_t>(pool_->shard_of(session))];
   if (!w.submit(r)) {

@@ -127,8 +127,12 @@ class LiveServer {
   LiveServer& operator=(const LiveServer&) = delete;
 
   /// Stamps and enqueues one request; returns its seq, or nullopt when
-  /// shedding (shard over max_queue) or already shut down.
-  std::optional<std::uint64_t> submit(SessionId session, num::Index token);
+  /// shedding (shard over max_queue) or already shut down. `client`
+  /// tags the issuing connection (echoed on the Response so the
+  /// multiplexed front end routes it back; 0 = no connection). The tag
+  /// never enters stamping, batching or values — request.h.
+  std::optional<std::uint64_t> submit(SessionId session, num::Index token,
+                                      std::uint64_t client = 0);
 
   /// Asks every worker to drain its queue without waiting for max-wait
   /// deadlines (the protocol's `flush` verb). Asynchronous.

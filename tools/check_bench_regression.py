@@ -20,9 +20,16 @@ Dispatches on the artifact's "bench" field:
       restore_bit_exact=true and restore_corrupt=0 — a spill/restore
       round trip that loses bits is a correctness bug, not a perf
       regression (docs/store.md); the tiering block must be present.
+      Every frontend row (the 1000-connection epoll-mux sweep) must
+      have ok=true, misrouted=0 and lost=0 — a cross-connection
+      delivery or an unanswered request through the front end is a
+      routing bug, never noise — and the frontend block itself must
+      be present with at least one row at >= 1000 connections.
     - Soft warnings: cold-restore p50 latency more than WARN_FRACTION
-      *slower* than the reference recording, and warm-rate collapse
-      (the tier silently degrading to RAM-only would show up here).
+      *slower* than the reference recording, warm-rate collapse
+      (the tier silently degrading to RAM-only would show up here),
+      and frontend rps / p50 drifting more than WARN_FRACTION past
+      the reference at the same shard count.
 
 Wall-clock on shared CI runners is noisy, so time-based checks
 annotate rather than fail; the references at the repo root are the
@@ -134,7 +141,58 @@ def check_serving(fresh, ref, failures, warnings):
                 f"{ref_row['warm_rate']:.3f} — restores stopped happening; "
                 f"is the tier degrading to RAM-only?"
             )
-    return len(tiering)
+    rows = len(tiering)
+
+    frontend = fresh.get("frontend", [])
+    if not frontend:
+        failures.append(
+            "frontend block missing or empty — the epoll connection front "
+            "end was not exercised (bench/bench_serving.cc drives 1000+ "
+            "concurrent sockets through it)"
+        )
+    elif not any(r.get("connections", 0) >= 1000 for r in frontend):
+        failures.append(
+            "no frontend row reaches 1000 concurrent connections — the "
+            "bench ran below the acceptance floor"
+        )
+    ref_frontend = {r.get("shards"): r for r in ref.get("frontend", [])}
+    for row in frontend:
+        label = f"shards={row.get('shards')} conns={row.get('connections')}"
+        if not row.get("ok", False):
+            failures.append(
+                f"frontend ok=false ({label}) — setup or connect failed; "
+                f"the sweep never ran"
+            )
+        if row.get("misrouted", 0) != 0:
+            failures.append(
+                f"frontend misrouted={row['misrouted']} ({label}) — a "
+                f"response reached a connection that never asked for it; "
+                f"connection-id routing is broken"
+            )
+        if row.get("lost", 0) != 0:
+            failures.append(
+                f"frontend lost={row['lost']} ({label}) — requests went "
+                f"unanswered before the deadline"
+            )
+        ref_row = ref_frontend.get(row.get("shards"))
+        if ref_row is None:
+            warnings.append(f"frontend row ({label}) missing from reference")
+            continue
+        floor = ref_row["rps"] * (1.0 - WARN_FRACTION)
+        if row["rps"] < floor:
+            warnings.append(
+                f"frontend rps ({label}): {row['rps']:.1f} vs reference "
+                f"{ref_row['rps']:.1f} "
+                f"(-{(1 - row['rps'] / ref_row['rps']) * 100:.0f}%)"
+            )
+        ceiling = ref_row["p50_us"] * (1.0 + WARN_FRACTION)
+        if row["p50_us"] > ceiling:
+            warnings.append(
+                f"frontend p50_us ({label}): {row['p50_us']:.2f} vs "
+                f"reference {ref_row['p50_us']:.2f} "
+                f"(+{(row['p50_us'] / ref_row['p50_us'] - 1) * 100:.0f}%)"
+            )
+    return rows + len(frontend)
 
 
 def main(argv):
@@ -167,7 +225,7 @@ def main(argv):
         unit = "cells"
     else:
         checked = check_serving(fresh, ref, failures, warnings)
-        unit = "tiering rows"
+        unit = "tiering+frontend rows"
 
     for w in warnings:
         print(f"warning: {w}")

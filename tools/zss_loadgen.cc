@@ -1,0 +1,291 @@
+// zss_loadgen — multi-client load/churn driver for the live front end.
+//
+// Spawns N protocol clients (one thread each, mixed UNIX + TCP when
+// both endpoints are given) against a running `zss_serve --live
+// --socket/--tcp` instance, drives seeded step bursts through several
+// connect/disconnect lives per client, and verifies the front end's
+// client-visible contract:
+//
+//   * routing — each client owns a disjoint session range, so an "ok"
+//     for a foreign session is a misrouted delivery (hard failure);
+//   * no loss — clients that close politely account for every line
+//     they sent: ok + err == sent, exactly (a --rude tail of clients
+//     drops dead without reading, exercising the EPIPE/drop path; no
+//     accounting is possible for them by design — the server-side
+//     record/replay digest gate covers their requests instead);
+//   * per-session ordering — seq strictly increases within a session.
+//
+// CI drives 64 mixed clients with churn against a recording server,
+// then replays the recording at several shard counts and diffs digest
+// tables (.github/workflows/ci.yml, live-smoke).
+//
+//   zss_serve --live --socket=/tmp/zss.sock --tcp=9777 --record=r.txt &
+//   zss_loadgen --socket=/tmp/zss.sock --tcp=9777 --clients=64 \
+//               --steps=40 --lives=3 --rude=8 --quit
+//
+// Exits 0 only if every check passed.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/client.h"
+#include "serve/request.h"
+
+namespace {
+
+using namespace zss;
+
+struct Args {
+  std::string socket_path;
+  std::string tcp_host = "127.0.0.1";
+  int tcp_port = -1;
+  int clients = 64;
+  int steps = 40;        // per client, across all lives
+  int lives = 3;         // connect/disconnect cycles per client
+  int rude = 0;          // clients (from the tail) that drop dead
+  int sessions = 4;      // sessions per client (disjoint ranges)
+  int vocab = 5;         // token range, must be < server --dx
+  std::uint64_t seed = 1;
+  bool quit = false;     // send `quit` after the storm
+};
+
+bool parse(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&](const char* name) -> const char* {
+      const std::string prefix = std::string("--") + name + "=";
+      return a.rfind(prefix, 0) == 0 ? a.c_str() + prefix.size() : nullptr;
+    };
+    if (const char* v = value("socket")) {
+      args.socket_path = v;
+    } else if (const char* v = value("tcp-host")) {
+      args.tcp_host = v;
+    } else if (const char* v = value("tcp")) {
+      args.tcp_port = std::atoi(v);
+    } else if (const char* v = value("clients")) {
+      args.clients = std::atoi(v);
+    } else if (const char* v = value("steps")) {
+      args.steps = std::atoi(v);
+    } else if (const char* v = value("lives")) {
+      args.lives = std::atoi(v);
+    } else if (const char* v = value("rude")) {
+      args.rude = std::atoi(v);
+    } else if (const char* v = value("sessions")) {
+      args.sessions = std::atoi(v);
+    } else if (const char* v = value("vocab")) {
+      args.vocab = std::atoi(v);
+    } else if (const char* v = value("seed")) {
+      args.seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--quit") {
+      args.quit = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+      return false;
+    }
+  }
+  if (args.socket_path.empty() && args.tcp_port < 0) {
+    std::fprintf(stderr, "need --socket=PATH and/or --tcp=PORT\n");
+    return false;
+  }
+  if (args.clients < 1 || args.steps < 1 || args.lives < 1 ||
+      args.sessions < 1 || args.sessions > 90 || args.vocab < 1 ||
+      args.rude < 0 || args.rude > args.clients) {
+    std::fprintf(stderr, "invalid flag value\n");
+    return false;
+  }
+  return true;
+}
+
+/// Connects (UNIX for even clients, TCP for odd, when both endpoints
+/// exist), retrying for a few seconds — CI starts the server in the
+/// background and races us to the bind.
+bool connect_client(const Args& args, int client, serve::ClientConn& c,
+                    std::string* error) {
+  const bool use_tcp =
+      args.tcp_port >= 0 && (args.socket_path.empty() || client % 2 == 1);
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    const bool ok = use_tcp
+                        ? c.connect_tcp(args.tcp_host, args.tcp_port, error)
+                        : c.connect_unix(args.socket_path, error);
+    if (ok) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  return false;
+}
+
+struct Tally {
+  std::uint64_t sent = 0;
+  std::uint64_t oks = 0;
+  std::uint64_t errs = 0;
+  std::uint64_t misrouted = 0;
+  std::uint64_t orphaned = 0;
+  std::uint64_t out_of_order = 0;
+  bool connect_failed = false;
+};
+
+void run_client(const Args& args, int client, Tally& tally) {
+  std::mt19937_64 rng(args.seed * 6364136223846793005ULL +
+                      static_cast<std::uint64_t>(client));
+  const auto base = static_cast<serve::SessionId>(100 * client + 1);
+  const bool rude = client >= args.clients - args.rude;
+  const int per_life = (args.steps + args.lives - 1) / args.lives;
+  std::map<serve::SessionId, std::uint64_t> last_seq;
+
+  int remaining = args.steps;
+  for (int life = 0; life < args.lives && remaining > 0; ++life) {
+    serve::ClientConn c;
+    std::string error;
+    if (!connect_client(args, client, c, &error)) {
+      std::fprintf(stderr, "client %d: %s\n", client, error.c_str());
+      tally.connect_failed = true;
+      return;
+    }
+    std::string line;
+    if (!c.read_line(&line, 10000) || line.rfind("hi ", 0) != 0) {
+      std::fprintf(stderr, "client %d: bad greeting\n", client);
+      tally.connect_failed = true;
+      return;
+    }
+
+    const int burst = std::min(per_life, remaining);
+    remaining -= burst;
+    std::string blob;
+    for (int i = 0; i < burst; ++i) {
+      const serve::SessionId sid =
+          base + static_cast<serve::SessionId>(
+                     rng() % static_cast<std::uint64_t>(args.sessions));
+      blob += "step " + std::to_string(sid) + " " +
+              std::to_string(rng() % static_cast<std::uint64_t>(args.vocab)) +
+              "\n";
+    }
+    // Random chunking: frame boundaries land anywhere, including mid
+    // connection teardown for the rude tail.
+    std::size_t off = 0;
+    while (off < blob.size()) {
+      const std::size_t chunk = std::min<std::size_t>(
+          blob.size() - off, 1 + static_cast<std::size_t>(rng() % 64));
+      if (::send(c.fd(), blob.data() + off, chunk, MSG_NOSIGNAL) < 0) break;
+      off += chunk;
+    }
+
+    if (rude) {
+      c.close();  // mid-request, nothing read: the EPIPE/drop path
+      continue;
+    }
+
+    const bool half_open = rng() % 4 == 0;
+    if (half_open) c.shutdown_write();
+    std::uint64_t owed = static_cast<std::uint64_t>(burst);
+    tally.sent += owed;
+    while (owed > 0) {
+      if (!c.read_line(&line, 15000)) {
+        tally.orphaned += owed;
+        break;
+      }
+      if (line.rfind("ok ", 0) == 0) {
+        unsigned long long sid = 0, seq = 0;
+        if (std::sscanf(line.c_str(), "ok %llu %llu", &sid, &seq) == 2) {
+          if (sid < base ||
+              sid >= base + static_cast<unsigned long long>(args.sessions)) {
+            ++tally.misrouted;
+          } else {
+            auto [it, fresh] = last_seq.try_emplace(sid, seq);
+            if (!fresh) {
+              if (seq <= it->second) ++tally.out_of_order;
+              it->second = seq;
+            }
+          }
+        }
+        ++tally.oks;
+        --owed;
+      } else if (line.rfind("err ", 0) == 0) {
+        ++tally.errs;
+        --owed;
+      }
+    }
+    c.close();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse(argc, argv, args)) {
+    std::fprintf(
+        stderr,
+        "usage: zss_loadgen (--socket=PATH | --tcp=PORT [--tcp-host=H])\n"
+        "                   [--clients=N] [--steps=N] [--lives=N]\n"
+        "                   [--rude=N] [--sessions=N] [--vocab=N]\n"
+        "                   [--seed=S] [--quit]\n");
+    return 2;
+  }
+
+  std::vector<Tally> tallies(static_cast<std::size_t>(args.clients));
+  std::vector<std::thread> threads;
+  for (int k = 0; k < args.clients; ++k) {
+    threads.emplace_back(
+        [&, k] { run_client(args, k, tallies[static_cast<std::size_t>(k)]); });
+  }
+  for (auto& t : threads) t.join();
+
+  Tally total;
+  bool connect_failed = false;
+  for (const Tally& t : tallies) {
+    total.sent += t.sent;
+    total.oks += t.oks;
+    total.errs += t.errs;
+    total.misrouted += t.misrouted;
+    total.orphaned += t.orphaned;
+    total.out_of_order += t.out_of_order;
+    connect_failed |= t.connect_failed;
+  }
+
+  bool quit_ok = true;
+  if (args.quit) {
+    // One last connection asks the server to shut down; the final line
+    // it reads must be the bye.
+    serve::ClientConn c;
+    std::string error, line, last;
+    if (!connect_client(args, 0, c, &error) || !c.read_line(&line, 10000) ||
+        !c.send_line("quit")) {
+      std::fprintf(stderr, "quit connection failed: %s\n", error.c_str());
+      quit_ok = false;
+    } else {
+      while (c.read_line(&line, 15000)) last = line;
+      quit_ok = c.eof() && last.rfind("bye ", 0) == 0;
+      if (!quit_ok) {
+        std::fprintf(stderr, "no bye on quit (last line: %s)\n", last.c_str());
+      }
+    }
+  }
+
+  std::printf("zss_loadgen: clients=%d sent=%llu ok=%llu err=%llu "
+              "misrouted=%llu orphaned=%llu out_of_order=%llu\n",
+              args.clients, static_cast<unsigned long long>(total.sent),
+              static_cast<unsigned long long>(total.oks),
+              static_cast<unsigned long long>(total.errs),
+              static_cast<unsigned long long>(total.misrouted),
+              static_cast<unsigned long long>(total.orphaned),
+              static_cast<unsigned long long>(total.out_of_order));
+
+  const bool books_balance = total.oks + total.errs == total.sent;
+  if (!books_balance) {
+    std::fprintf(stderr, "zss_loadgen: ok+err != sent — responses lost\n");
+  }
+  if (total.misrouted > 0 || total.orphaned > 0 || total.out_of_order > 0 ||
+      connect_failed || !books_balance || !quit_ok) {
+    return 1;
+  }
+  return 0;
+}

@@ -10,15 +10,19 @@
 //     tables — CI diffs exactly that.
 //   * Live (--live): persistent per-shard worker threads serve a
 //     line-oriented streaming protocol (serve/protocol.h) on
-//     stdin/stdout, or on a UNIX socket with --socket=PATH. With
-//     --record=FILE every accepted request is written back out as a
-//     trace, and replaying that file reproduces the live run's digest
-//     table bit-for-bit — the live loop's determinism contract, and
-//     what CI's live-smoke step diffs.
+//     stdin/stdout, or — with --socket=PATH and/or --tcp=PORT — on the
+//     epoll-multiplexed connection front end (serve/frontend.h), which
+//     accepts any number of concurrent UNIX and TCP clients and routes
+//     each response back to exactly the connection that issued its
+//     request. With --record=FILE every accepted request is written
+//     back out as a trace, and replaying that file reproduces the live
+//     run's digest table bit-for-bit — the live loop's determinism
+//     contract, and what CI's live-smoke step diffs (under multi-client
+//     churn since the front end landed).
 //
 //   zss_serve --trace=data/traces/serving_200.txt --shards=4
 //   zss_serve --live --shards=4 --record=run.txt --digests=live.txt
-//   zss_serve --live --socket=/tmp/zss.sock --ttl-us=60000000
+//   zss_serve --live --socket=/tmp/zss.sock --tcp=9777 --max-queue=64
 //   zss_serve --emit-trace=200 --sessions=16 --gap-us=150 > trace.txt
 //
 // The model is a seeded randomly-initialized cell (this is a serving
@@ -26,6 +30,7 @@
 // threshold the sessions' stored states are pruned with. --ttl-us and
 // --max-sessions bound the per-shard session stores in either mode
 // (give the replay the same values to reproduce a recorded live run).
+#include <atomic>
 #include <cerrno>
 #include <cinttypes>
 #include <condition_variable>
@@ -34,21 +39,19 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include <sys/socket.h>
 #include <sys/stat.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include "core/state_pruner.h"
 #include "nn/lstm_cell.h"
 #include "num/rng.h"
 #include "num/simd/backend.h"
+#include "serve/frontend.h"
 #include "serve/protocol.h"
 #include "serve/trace.h"
 #include "serve/worker.h"
@@ -62,6 +65,7 @@ struct Args {
   std::string trace;
   std::string digests_path;
   std::string socket_path;
+  int tcp_port = -1;  // >= 0: TCP listener (0 = kernel-chosen ephemeral)
   std::string record_path;
   std::string spill_dir;
   bool spill_encoded = false;
@@ -95,6 +99,8 @@ bool parse(int argc, char** argv, Args& args) {
       args.digests_path = v;
     } else if (const char* v = value("socket")) {
       args.socket_path = v;
+    } else if (const char* v = value("tcp")) {
+      args.tcp_port = static_cast<int>(std::atol(v));
     } else if (const char* v = value("record")) {
       args.record_path = v;
     } else if (const char* v = value("spill-dir")) {
@@ -150,6 +156,10 @@ bool parse(int argc, char** argv, Args& args) {
                  "threshold >= 0)\n");
     return false;
   }
+  if (args.tcp_port > 65535) {
+    std::fprintf(stderr, "--tcp port out of range: %d\n", args.tcp_port);
+    return false;
+  }
   if (args.max_sessions > 0 && args.max_sessions <= args.max_batch) {
     std::fprintf(stderr, "--max-sessions must exceed --max-batch (a whole "
                          "batch is pinned while it is served)\n");
@@ -165,10 +175,10 @@ bool parse(int argc, char** argv, Args& args) {
                  "--live, --trace and --emit-trace are mutually exclusive\n");
     return false;
   }
-  if (!args.live && (!args.socket_path.empty() || !args.record_path.empty() ||
-                     args.max_queue > 0)) {
+  if (!args.live && (!args.socket_path.empty() || args.tcp_port >= 0 ||
+                     !args.record_path.empty() || args.max_queue > 0)) {
     std::fprintf(stderr,
-                 "--socket/--record/--max-queue only apply to --live\n");
+                 "--socket/--tcp/--record/--max-queue only apply to --live\n");
     return false;
   }
   // The spill tier serves the session stores, so it applies to both
@@ -194,36 +204,21 @@ void usage() {
       "                 [--max-sessions=N] [--dump] [--digests=FILE]\n"
       "                 [--spill-dir=DIR] [--spill-encoded]\n"
       "   or: zss_serve --live [same model/policy flags] [--socket=PATH]\n"
-      "                 [--record=FILE] [--max-queue=N]   (protocol: see\n"
-      "                 docs/serving.md \"Live mode\"; stdin/stdout default)\n"
+      "                 [--tcp=PORT] [--record=FILE] [--max-queue=N]\n"
+      "                 (stdin/stdout by default; --socket/--tcp start the\n"
+      "                 multiplexed front end serving any number of\n"
+      "                 concurrent clients — docs/serving.md; --tcp=0 picks\n"
+      "                 an ephemeral port, printed on stderr)\n"
       "   or: zss_serve --emit-trace=N [--sessions=S] [--vocab via --dx]\n"
       "                 [--gap-us=G] [--seed=S]   (writes trace to stdout)\n");
 }
 
-struct SessionDigest {
-  std::uint64_t steps = 0;
-  std::uint64_t digest = serve::kFnvOffset;
-};
-
-using DigestTable = std::map<serve::SessionId, SessionDigest>;
-
-/// Folds one response into its session's rolling digest and returns
-/// the row digest — computed exactly once, so the live mode can share
-/// it with the protocol "ok" line instead of hashing the row twice.
-std::uint64_t fold_response(DigestTable& table, const serve::Response& r) {
-  const std::uint64_t row = serve::digest_row(r.h);
-  SessionDigest& d = table[r.session];
-  d.digest = serve::fnv1a(d.digest, &row, sizeof row);
-  ++d.steps;
-  return row;
-}
-
-/// Prints the table in the one format both modes share, so
+/// Prints the table in the one format all modes share, so
 /// `diff live_digests replay_digests` is the determinism gate.
 /// `cap_active`: the LRU cap is per shard, so with --max-sessions set
 /// the cross-shard-count half of the claim does not hold (the
 /// record/replay half always does) — don't invite a false bug report.
-void print_digests(const DigestTable& table, const std::string& path,
+void print_digests(const serve::DigestTable& table, const std::string& path,
                    bool cap_active) {
   if (cap_active) {
     std::printf("\nper-session digests (bit-identical for any --max-batch "
@@ -306,9 +301,9 @@ int run_replay(const Args& args) {
   // Rolling per-session FNV-1a over each response's 8-byte row digest
   // (the digest printed on live-mode "ok" lines), in seq order — the
   // serving layer's observable output stream.
-  DigestTable digests;
+  serve::DigestTable digests;
   const serve::ResponseSink sink = [&](const serve::Response& r) {
-    fold_response(digests, r);
+    serve::fold_response(digests, r);
     if (args.dump) {
       std::printf("seq %" PRIu64 " session %" PRIu64 " done_us %lld batch %lld\n",
                   r.seq, r.session, static_cast<long long>(r.done_us),
@@ -438,55 +433,105 @@ class OutputWriter {
   std::thread thread_;
 };
 
-/// Opens the UNIX socket, accepts one client, returns its fd (or -1).
-int accept_unix_client(const std::string& path) {
-  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listener < 0) {
-    std::perror("zss_serve: socket");
-    return -1;
+/// Writes the recorded trace (shared by stdin mode and the front end).
+bool write_recording(const serve::LiveServer& server, const std::string& path) {
+  std::ofstream rec(path);
+  if (!rec) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
   }
-  // Reclaim a stale socket from a previous run, but refuse to delete
-  // anything else living at the path (a pasted-wrong --socket= must
-  // not destroy a regular file).
-  struct stat st{};
-  if (::lstat(path.c_str(), &st) == 0) {
-    if (!S_ISSOCK(st.st_mode)) {
-      std::fprintf(stderr,
-                   "zss_serve: refusing to replace non-socket file: %s\n",
-                   path.c_str());
-      ::close(listener);
-      return -1;
-    }
-    ::unlink(path.c_str());
+  serve::write_trace(rec, server.recorded_trace());
+  std::printf("recorded %zu requests to %s (replay with --trace= and the "
+              "same model/ttl flags)\n",
+              server.recorded_trace().size(), path.c_str());
+  return true;
+}
+
+/// Exit bookkeeping shared by stdin mode and the front end: recording,
+/// digest table, and the submitted==responses invariant.
+int finish_live(const serve::LiveServer& server,
+                const serve::DigestTable& digests, const Args& args) {
+  if (!args.record_path.empty() &&
+      !write_recording(server, args.record_path)) {
+    return 1;
   }
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof(addr.sun_path)) {
-    std::fprintf(stderr, "zss_serve: socket path too long: %s\n", path.c_str());
-    ::close(listener);
-    return -1;
+  print_digests(digests, args.digests_path,
+                args.max_sessions > 0 && args.spill_dir.empty());
+  if (server.responded() != server.submitted()) {
+    std::fprintf(stderr, "zss_serve: %" PRIu64 " submitted but %" PRIu64
+                         " responses\n",
+                 server.submitted(), server.responded());
+    return 1;
   }
-  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(listener, 1) < 0) {
-    std::perror("zss_serve: bind/listen");
-    ::close(listener);
-    return -1;
+  return 0;
+}
+
+/// SIGINT/SIGTERM land here while the front end runs: Frontend::stop()
+/// is async-signal-safe (atomic store + eventfd write), so a ^C drains
+/// in-flight requests, sends every client its `bye`, and exits cleanly
+/// — the recorded trace and digest table stay intact.
+std::atomic<serve::Frontend*> g_frontend{nullptr};
+
+void on_signal(int) {
+  if (serve::Frontend* f = g_frontend.load()) f->stop();
+}
+
+/// Multiplexed live mode: --socket and/or --tcp. Any number of
+/// concurrent clients; the event loop owns all connection state
+/// (serve/frontend.h) and --max-queue becomes the fair per-connection
+/// in-flight cap.
+int run_frontend(const Args& args, serve::EnginePool& pool) {
+  serve::FrontendConfig fc;
+  fc.unix_path = args.socket_path;
+  fc.tcp_port = args.tcp_port;
+  fc.max_queue = args.max_queue;
+  serve::LiveConfig live;
+  live.record = !args.record_path.empty();
+  serve::Frontend frontend(pool, fc, live);
+  std::string error;
+  if (!frontend.start(&error)) {
+    std::fprintf(stderr, "zss_serve: %s\n", error.c_str());
+    return 1;
   }
-  std::fprintf(stderr, "zss_serve: listening on %s\n", path.c_str());
-  const int client = ::accept(listener, nullptr, nullptr);
-  if (client < 0) std::perror("zss_serve: accept");
-  ::close(listener);
-  ::unlink(path.c_str());
-  return client;
+  g_frontend.store(&frontend);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  std::fprintf(stderr,
+               "zss_serve: frontend live, kernel_backend=%s shards=%lld "
+               "max_batch=%lld max_wait_us=%lld max_queue=%lld\n",
+               num::simd::active_backend().name,
+               static_cast<long long>(args.shards),
+               static_cast<long long>(args.max_batch),
+               static_cast<long long>(args.max_wait_us),
+               static_cast<long long>(args.max_queue));
+  if (!args.socket_path.empty()) {
+    std::fprintf(stderr, "zss_serve: listening on %s\n",
+                 args.socket_path.c_str());
+  }
+  if (args.tcp_port >= 0) {
+    // Scripts passing --tcp=0 read the resolved port off this line.
+    std::fprintf(stderr, "zss_serve: listening on tcp port %d\n",
+                 frontend.tcp_port());
+  }
+
+  frontend.join();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_frontend.store(nullptr);
+
+  const serve::FrontendStats& fs = frontend.stats();
+  std::fprintf(stderr,
+               "zss_serve: frontend accepted=%" PRIu64 " disconnected=%" PRIu64
+               " shed=%" PRIu64 " dropped_responses=%" PRIu64
+               " oversize_lines=%" PRIu64 " read_pauses=%" PRIu64
+               " discarded_partial=%" PRIu64 "\n",
+               fs.accepted, fs.disconnected, fs.shed, fs.dropped_responses,
+               fs.oversize_lines, fs.read_pauses, fs.discarded_partial);
+  return finish_live(frontend.server(), frontend.digests(), args);
 }
 
 int run_live(const Args& args) {
-  // A client that disconnects mid-run must not kill the server: with
-  // SIGPIPE ignored the pending writes fail with EPIPE, getline() then
-  // sees EOF on the closed connection, and shutdown drains normally.
-  std::signal(SIGPIPE, SIG_IGN);
-
   store::DirLock spill_lock;
   if (!acquire_spill_lock(args, spill_lock)) return 1;
 
@@ -495,34 +540,26 @@ int run_live(const Args& args) {
   core::StatePruner pruner(core::PrunerConfig::fixed(args.threshold));
   serve::EnginePool pool(cell, pruner, pool_config(args));
 
-  // Input/output streams: stdin/stdout, or one accepted socket client.
-  std::FILE* fin = stdin;
-  std::FILE* fout = stdout;
-  int client_fd = -1;
-  if (!args.socket_path.empty()) {
-    client_fd = accept_unix_client(args.socket_path);
-    if (client_fd < 0) return 1;
-    fin = ::fdopen(client_fd, "r");
-    fout = ::fdopen(::dup(client_fd), "w");
-    if (fin == nullptr || fout == nullptr) {
-      std::perror("zss_serve: fdopen");
-      return 1;
-    }
+  if (!args.socket_path.empty() || args.tcp_port >= 0) {
+    return run_frontend(args, pool);
   }
 
+  // stdin/stdout mode: one anonymous client on the standard streams
+  // (no connection ids — submit leaves Request::client 0).
+  //
   // The sink runs on every shard worker thread. Sessions are
   // shard-pinned, so one digest table per shard folds lock-free (each
   // worker only ever touches its own) and the tables merge
   // collision-free after shutdown; the actual write happens on the
   // writer thread. Per-session output ordering is preserved because a
   // session's responses all come from its one shard worker.
-  OutputWriter out(fout);
-  std::vector<DigestTable> shard_digests(
+  OutputWriter out(stdout);
+  std::vector<serve::DigestTable> shard_digests(
       static_cast<std::size_t>(pool.num_shards()));
   const serve::ResponseSink sink = [&](const serve::Response& r) {
-    DigestTable& table =
+    serve::DigestTable& table =
         shard_digests[static_cast<std::size_t>(pool.shard_of(r.session))];
-    const std::uint64_t row = fold_response(table, r);
+    const std::uint64_t row = serve::fold_response(table, r);
     out.push(serve::format_response(r, row));
   };
 
@@ -544,7 +581,7 @@ int run_live(const Args& args) {
   char* line = nullptr;
   std::size_t cap = 0;
   ssize_t len;
-  while ((len = ::getline(&line, &cap, fin)) >= 0) {
+  while ((len = ::getline(&line, &cap, stdin)) >= 0) {
     std::string_view sv(line, static_cast<std::size_t>(len));
     // Strip the framing newline: parse errors echo the offending line
     // back, and an embedded '\n' would split the err response in two.
@@ -565,26 +602,7 @@ int run_live(const Args& args) {
       continue;
     }
     if (cmd.op == serve::CommandLine::Op::kStats) {
-      // Runs on the ingest thread while shard workers serve: every
-      // session-store counter read here is a relaxed atomic written
-      // only by its owning shard thread (serve/session.h).
-      serve::StatsSnapshot snap;
-      snap.submitted = server.submitted();
-      snap.responses = server.responded();
-      snap.shed = server.shed();
-      snap.now_us = server.now_us();
-      snap.shards = pool.num_shards();
-      for (num::Index s = 0; s < pool.num_shards(); ++s) {
-        const serve::SessionStore& ss = pool.shard(s).sessions();
-        snap.created += ss.created();
-        snap.ttl_resets += ss.ttl_resets();
-        snap.evicted += ss.evicted();
-        snap.spilled += ss.spilled();
-        snap.restored += ss.restored();
-        snap.restore_corrupt += ss.restore_corrupt();
-        if (ss.spill_active()) ++snap.spill_active;
-      }
-      out.push(serve::format_stats(snap));
+      out.push(serve::format_stats(serve::snapshot_stats(server, pool)));
       continue;
     }
     if (!server.submit(cmd.session, cmd.token).has_value()) {
@@ -594,46 +612,16 @@ int run_live(const Args& args) {
   std::free(line);
 
   server.shutdown();
-  {
-    char buf[96];
-    std::snprintf(buf, sizeof(buf),
-                  "bye submitted=%" PRIu64 " responses=%" PRIu64,
-                  server.submitted(), server.responded());
-    out.push(buf);
-  }
+  out.push(serve::format_bye(server.submitted(), server.responded()));
   out.finish();
-  if (fin != stdin) std::fclose(fin);
-  if (fout != stdout) std::fclose(fout);
 
   // Workers are joined: merge the per-shard tables (disjoint by
-  // shard-pinning) into the one table both modes print.
-  DigestTable digests;
-  for (const DigestTable& t : shard_digests) {
+  // shard-pinning) into the one table all modes print.
+  serve::DigestTable digests;
+  for (const serve::DigestTable& t : shard_digests) {
     digests.insert(t.begin(), t.end());
   }
-
-  if (!args.record_path.empty()) {
-    std::ofstream rec(args.record_path);
-    if (!rec) {
-      std::fprintf(stderr, "cannot write %s\n", args.record_path.c_str());
-      return 1;
-    }
-    serve::write_trace(rec, server.recorded_trace());
-    std::printf("recorded %zu requests to %s (replay with --trace= and the "
-                "same model/ttl flags)\n",
-                server.recorded_trace().size(), args.record_path.c_str());
-  }
-
-  print_digests(digests, args.digests_path,
-                args.max_sessions > 0 && args.spill_dir.empty());
-
-  if (server.responded() != server.submitted()) {
-    std::fprintf(stderr, "zss_serve: %" PRIu64 " submitted but %" PRIu64
-                         " responses\n",
-                 server.submitted(), server.responded());
-    return 1;
-  }
-  return 0;
+  return finish_live(server, digests, args);
 }
 
 }  // namespace
