@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "core/quantized_reference.h"
 #include "core/sparse_inference.h"
 #include "core/state_pruner.h"
 #include "nn/lstm_cell.h"
@@ -103,8 +104,102 @@ Result run_one(const nn::LstmCell& cell, double sparsity, num::Index batch,
   return r;
 }
 
+// Int8 twin of run_one: quantized step() vs quantized step_dense(),
+// with the exactness check widened to the reference twin — the first
+// warm-up steps are also verified against core::QuantizedLstmReference
+// (naive serial integer loops), so bit_exact here certifies the whole
+// int8 datapath, not just that two engine paths agree with each other
+// (docs/exactness.md "int8").
+Result run_one_quant(const nn::LstmCell& cell, double sparsity,
+                     num::Index batch, num::Index steps, std::uint64_t seed) {
+  const num::Index dh = cell.hidden_dim();
+  const num::Index dx = cell.input_dim();
+  const core::StatePruner pruner(core::PrunerConfig::target(sparsity));
+  core::SparseLstmEngine sparse(cell, pruner, {}, core::QuantConfig::int8());
+  core::SparseLstmEngine dense(cell, pruner, {}, core::QuantConfig::int8());
+  core::QuantizedLstmReference twin(cell, pruner);
+
+  num::Rng rng(seed);
+  std::vector<num::Matrix> inputs;
+  inputs.reserve(8);
+  for (int i = 0; i < 8; ++i) inputs.push_back(random_matrix(batch, dx, rng));
+
+  num::Matrix h_s(batch, dh, 0.0f), c_s(batch, dh, 0.0f);
+  num::Matrix h_d(batch, dh, 0.0f), c_d(batch, dh, 0.0f);
+  num::Matrix h_t(batch, dh, 0.0f), c_t(batch, dh, 0.0f);
+
+  bool exact = true;
+  for (int t = 0; t < 8; ++t) {
+    const num::Matrix& x = inputs[static_cast<std::size_t>(t) % inputs.size()];
+    sparse.step(x, h_s, c_s);
+    dense.step_dense(x, h_d, c_d);
+    exact = exact && h_s == h_d && c_s == c_d;
+    if (t < 3) {  // the naive twin is O(dh * (dx + dh)) per lane: cap it
+      twin.step(x, h_t, c_t);
+      exact = exact && h_s == h_t && c_s == c_t;
+    }
+  }
+  sparse.reset_stats();
+
+  std::size_t i = 0;
+  Result r;
+  r.sparse_us_per_step = time_us_per_step(steps, [&] {
+    sparse.step(inputs[i++ % inputs.size()], h_s, c_s);
+  });
+  i = 0;
+  r.dense_us_per_step = time_us_per_step(steps, [&] {
+    dense.step_dense(inputs[i++ % inputs.size()], h_d, c_d);
+  });
+
+  r.sparsity_target = sparsity;
+  r.batch = batch;
+  r.wall_speedup = r.dense_us_per_step / r.sparse_us_per_step;
+  r.observed_sparsity = sparse.stats().observed_sparsity();
+  r.observed_lane_sparsity = sparse.stats().observed_lane_sparsity();
+  r.mac_speedup = sparse.stats().state_speedup();
+  r.bit_exact = exact;
+  return r;
+}
+
+// Dense GMAC/s of one grid cell: every step multiplies a [B, dx+dh]
+// activation block into the [4*dh, dx+dh] packed weights.
+double dense_gmacs(const Result& r, num::Index dh, num::Index dx) {
+  const double macs = static_cast<double>(r.batch) *
+                      static_cast<double>(dx + dh) * 4.0 *
+                      static_cast<double>(dh);
+  return macs / (r.dense_us_per_step * 1000.0);
+}
+
+// The cell both throughput claims are read from: the hard-gate cell of
+// the regression checker (batch 8, sparsity 0.5).
+const Result* headline_cell(const std::vector<Result>& results) {
+  for (const Result& r : results) {
+    if (r.batch == 8 && r.sparsity_target == 0.5) return &r;
+  }
+  return results.empty() ? nullptr : &results.front();
+}
+
+void write_result_rows(std::FILE* f, const std::vector<Result>& results,
+                       const char* indent) {
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(f,
+                 "%s{\"sparsity\": %.2f, \"batch\": %lld, "
+                 "\"sparse_us_per_step\": %.3f, \"dense_us_per_step\": %.3f, "
+                 "\"wall_speedup\": %.3f, \"observed_sparsity\": %.4f, "
+                 "\"observed_lane_sparsity\": %.4f, "
+                 "\"mac_speedup\": %.3f, \"bit_exact\": %s}%s\n",
+                 indent, r.sparsity_target, static_cast<long long>(r.batch),
+                 r.sparse_us_per_step, r.dense_us_per_step, r.wall_speedup,
+                 r.observed_sparsity, r.observed_lane_sparsity, r.mac_speedup,
+                 r.bit_exact ? "true" : "false",
+                 i + 1 < results.size() ? "," : "");
+  }
+}
+
 void write_json(const std::string& path, num::Index dh, num::Index dx,
-                num::Index steps, const std::vector<Result>& results) {
+                num::Index steps, const std::vector<Result>& results,
+                const std::vector<Result>& int8_results) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -117,21 +212,23 @@ void write_json(const std::string& path, num::Index dh, num::Index dx,
                static_cast<long long>(dh), static_cast<long long>(dx),
                static_cast<long long>(steps));
   std::fprintf(f, "  \"results\": [\n");
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const Result& r = results[i];
-    std::fprintf(f,
-                 "    {\"sparsity\": %.2f, \"batch\": %lld, "
-                 "\"sparse_us_per_step\": %.3f, \"dense_us_per_step\": %.3f, "
-                 "\"wall_speedup\": %.3f, \"observed_sparsity\": %.4f, "
-                 "\"observed_lane_sparsity\": %.4f, "
-                 "\"mac_speedup\": %.3f, \"bit_exact\": %s}%s\n",
-                 r.sparsity_target, static_cast<long long>(r.batch),
-                 r.sparse_us_per_step, r.dense_us_per_step, r.wall_speedup,
-                 r.observed_sparsity, r.observed_lane_sparsity, r.mac_speedup,
-                 r.bit_exact ? "true" : "false",
-                 i + 1 < results.size() ? "," : "");
+  write_result_rows(f, results, "    ");
+  std::fprintf(f, "  ]");
+  if (!int8_results.empty()) {
+    const Result* fp32_head = headline_cell(results);
+    const Result* int8_head = headline_cell(int8_results);
+    const double fp32_g = fp32_head ? dense_gmacs(*fp32_head, dh, dx) : 0.0;
+    const double int8_g = int8_head ? dense_gmacs(*int8_head, dh, dx) : 0.0;
+    std::fprintf(f, ",\n  \"int8\": {\n");
+    std::fprintf(f, "    \"dense_fp32_gmacs\": %.3f,\n", fp32_g);
+    std::fprintf(f, "    \"dense_int8_gmacs\": %.3f,\n", int8_g);
+    std::fprintf(f, "    \"dense_int8_vs_fp32\": %.3f,\n",
+                 fp32_g > 0.0 ? int8_g / fp32_g : 0.0);
+    std::fprintf(f, "    \"results\": [\n");
+    write_result_rows(f, int8_results, "      ");
+    std::fprintf(f, "    ]\n  }");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", path.c_str());
 }
@@ -158,6 +255,15 @@ int main(int argc, char** argv) {
               "batch", "sparse us/st", "dense us/st", "wall x", "union sp",
               "lane sp", "mac x", "exact");
 
+  auto print_row = [](const Result& r) {
+    std::printf(
+        "%-10.2f %-6lld %14.2f %14.2f %10.2f %10.3f %10.3f %10.2f %6s\n",
+        r.sparsity_target, static_cast<long long>(r.batch),
+        r.sparse_us_per_step, r.dense_us_per_step, r.wall_speedup,
+        r.observed_sparsity, r.observed_lane_sparsity, r.mac_speedup,
+        r.bit_exact ? "yes" : "NO");
+  };
+
   std::vector<Result> results;
   for (const double sparsity : {0.5, 0.7, 0.9}) {
     for (const num::Index batch : {num::Index{1}, num::Index{8},
@@ -166,19 +272,43 @@ int main(int argc, char** argv) {
                                static_cast<std::uint64_t>(
                                    sparsity * 100.0 + static_cast<double>(batch)));
       results.push_back(r);
-      std::printf(
-          "%-10.2f %-6lld %14.2f %14.2f %10.2f %10.3f %10.3f %10.2f %6s\n",
-          r.sparsity_target, static_cast<long long>(r.batch),
-          r.sparse_us_per_step, r.dense_us_per_step, r.wall_speedup,
-          r.observed_sparsity, r.observed_lane_sparsity, r.mac_speedup,
-          r.bit_exact ? "yes" : "NO");
+      print_row(r);
     }
   }
 
-  write_json("BENCH_sparse_inference.json", dh, dx, steps, results);
+  bench::print_header("int8 quantized step() vs step_dense() wall clock");
+  std::printf("%-10s %-6s %14s %14s %10s %10s %10s %10s %6s\n", "sparsity",
+              "batch", "sparse us/st", "dense us/st", "wall x", "union sp",
+              "lane sp", "mac x", "exact");
+  std::vector<Result> int8_results;
+  for (const double sparsity : {0.5, 0.7, 0.9}) {
+    for (const num::Index batch : {num::Index{1}, num::Index{8},
+                                   num::Index{32}}) {
+      const Result r = run_one_quant(
+          cell, sparsity, batch, steps,
+          static_cast<std::uint64_t>(sparsity * 100.0 +
+                                     static_cast<double>(batch)));
+      int8_results.push_back(r);
+      print_row(r);
+    }
+  }
+  if (const Result* fp32_head = headline_cell(results)) {
+    if (const Result* int8_head = headline_cell(int8_results)) {
+      const double fp32_g = dense_gmacs(*fp32_head, dh, dx);
+      const double int8_g = dense_gmacs(*int8_head, dh, dx);
+      std::printf(
+          "\ndense throughput @ batch 8: fp32 %.2f GMAC/s, int8 %.2f GMAC/s "
+          "(%.2fx)\n",
+          fp32_g, int8_g, fp32_g > 0.0 ? int8_g / fp32_g : 0.0);
+    }
+  }
+
+  write_json("BENCH_sparse_inference.json", dh, dx, steps, results,
+             int8_results);
 
   bool all_exact = true;
   for (const Result& r : results) all_exact = all_exact && r.bit_exact;
+  for (const Result& r : int8_results) all_exact = all_exact && r.bit_exact;
   if (!all_exact) {
     std::fprintf(stderr, "bit-exactness contract violated!\n");
     return 1;

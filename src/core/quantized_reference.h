@@ -1,0 +1,59 @@
+// Reference twin of the engine's int8 quantized step.
+//
+// An independent, deliberately naive re-implementation of the quantized
+// LSTM step: it quantizes the cell's weights itself (same shared-scale
+// rule, written out longhand), walks the gate-major weight matrices
+// with plain serial dot products (no packed transposed layout, no skip
+// logic, no SIMD), and applies the same LUT activations and integer
+// cell update. The engine's quantized step() / step_dense() must match
+// it BIT-FOR-BIT on every backend — that is the int8 exactness contract
+// (docs/exactness.md "int8"), and this twin is its oracle: the only
+// code shared with the engine is the arithmetic the contract itself
+// fixes (num::madd_i8 / num::add_i32 wrapping ops, quant::NonlinearLut
+// tables, and the pruner that defines which h elements are stored as
+// zero).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sparse_inference.h"  // QuantConfig
+#include "core/state_pruner.h"
+#include "nn/lstm_cell.h"
+#include "num/matrix.h"
+#include "quant/lut_nonlinear.h"
+
+namespace zss::core {
+
+class QuantizedLstmReference {
+ public:
+  /// Quantizes the cell's weights on construction with the shared
+  /// Wx/Wh scale rule. `cfg.enabled` is ignored — the twin is always
+  /// the quantized model.
+  QuantizedLstmReference(const nn::LstmCell& cell, const StatePruner& pruner,
+                         QuantConfig cfg = QuantConfig::int8());
+
+  /// One timestep over a batch; h and c are (B x dh), updated in place,
+  /// h stored pruned. Must equal the engine's quantized step()/
+  /// step_dense() output bit-for-bit.
+  void step(const num::Matrix& x, num::Matrix& h, num::Matrix& c);
+
+  float weight_scale() const { return wscale_; }
+
+ private:
+  const nn::LstmCell* cell_;
+  const StatePruner* pruner_;
+  QuantConfig cfg_;
+  float wscale_ = 1.0f;
+  num::MatrixI8 wxq_;      // (4dh x dx) gate-major
+  num::MatrixI8 whq_;      // (4dh x dh) gate-major
+  num::VectorI32 bias_q_;  // accumulator scale, wscale_/127
+  quant::NonlinearLut sigmoid_;
+  quant::NonlinearLut tanh_pre_;
+  quant::NonlinearLut tanh_c_;
+  double acc_to_pre_ = 0.0;
+  std::vector<std::int8_t> xq_, hq_;  // per-step quantized row scratch
+  std::vector<float> prune_scratch_;
+};
+
+}  // namespace zss::core

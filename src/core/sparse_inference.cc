@@ -1,17 +1,65 @@
 #include "core/sparse_inference.h"
 
+#include <cmath>
+
 #include "num/activations.h"
 #include "num/kernels.h"
 
 namespace zss::core {
 
+namespace {
+
+// i32 pre-activation -> int8 LUT input. Round-to-nearest in double (an
+// i32 accumulator exceeds float's 24-bit mantissa) then clamp to the
+// symmetric ±127 range — the LUT saturates at its input endpoints
+// anyway, so clipping only loses already-saturated tails.
+std::int8_t requant_pre(std::int32_t v, double acc_to_pre) {
+  const double q = std::nearbyint(static_cast<double>(v) * acc_to_pre);
+  if (q >= 127.0) return 127;
+  if (q <= -127.0) return -127;
+  return static_cast<std::int8_t>(q);
+}
+
+// Sign-symmetric round-half-away-from-zero integer divide by a positive
+// denominator — the quantized datapath's only division, used to bring
+// products of two 1/127-grid values back onto the grid. Symmetric so
+// negating every input negates every output exactly (the same property
+// the symmetric ±127 range buys the quantizer).
+std::int32_t rdiv(std::int32_t p, std::int32_t den) {
+  return p >= 0 ? (p + den / 2) / den : -((-p + den / 2) / den);
+}
+
+std::int32_t clamp_i32(std::int32_t v, std::int32_t lo, std::int32_t hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace
+
+SparseLstmEngine::QuantState::QuantState(const nn::LstmCell& cell,
+                                         const QuantConfig& cfg)
+    : weights(nn::PackedLstmWeightsI8::pack(cell)),
+      sigmoid(quant::Nonlinearity::kSigmoid,
+              quant::QuantParams{cfg.pre_clip / 127.0f}),
+      tanh_pre(quant::Nonlinearity::kTanh,
+               quant::QuantParams{cfg.pre_clip / 127.0f}),
+      tanh_c(quant::Nonlinearity::kTanh,
+             quant::QuantParams{static_cast<float>(cfg.c_clip) / 127.0f}),
+      acc_to_pre(static_cast<double>(weights.weight_scale.scale) /
+                 static_cast<double>(cfg.pre_clip)) {}
+
 SparseLstmEngine::SparseLstmEngine(const nn::LstmCell& cell,
                                    const StatePruner& pruner,
-                                   sparse::EncoderConfig encoder)
+                                   sparse::EncoderConfig encoder,
+                                   QuantConfig quant)
     : cell_(&cell),
       pruner_(&pruner),
       encoder_(encoder),
+      quant_(quant),
       packed_(nn::PackedLstmWeights::pack(cell)) {
+  if (quant_.enabled) {
+    ZSS_EXPECTS(quant_.pre_clip > 0.0f && quant_.c_clip >= 1);
+    q_.emplace(cell, quant_);
+  }
   positions_.reserve(static_cast<std::size_t>(cell.hidden_dim()));
 }
 
@@ -24,6 +72,16 @@ void SparseLstmEngine::reserve(num::Index max_batch) {
   enc_.reserve(dh, max_batch);
   lanes_.reserve(dh, max_batch);
   prune_scratch_.reserve(static_cast<std::size_t>(max_batch * dh));
+  if (q_) {
+    // Integer twins of the workspace slots; reshape grows capacity
+    // without the fill pass, matching the fp32 reserve discipline.
+    q_->xq.reshape(max_batch, cell_->input_dim());
+    q_->hq.reshape(max_batch, dh);
+    q_->pre.reshape(max_batch, 4 * dh);
+    q_->pre_h.reshape(max_batch, 4 * dh);
+    q_->enc.reserve(dh, max_batch);
+    q_->lanes.reserve(dh, max_batch);
+  }
   reserved_batch_ = max_batch;
 }
 
@@ -66,6 +124,10 @@ void SparseLstmEngine::finish_step(num::Matrix& pre,
 
 void SparseLstmEngine::step(const num::Matrix& x, num::Matrix& h,
                             num::Matrix& c) {
+  if (q_) {
+    step_quant(x, h, c, /*dense=*/false);
+    return;
+  }
   const num::Index B = x.rows();
   const num::Index dh = cell_->hidden_dim();
   ZSS_EXPECTS(h.rows() == B && h.cols() == dh);
@@ -137,6 +199,10 @@ void SparseLstmEngine::step(const num::Matrix& x, num::Matrix& h,
 
 void SparseLstmEngine::step_dense(const num::Matrix& x, num::Matrix& h,
                                   num::Matrix& c) {
+  if (q_) {
+    step_quant(x, h, c, /*dense=*/true);
+    return;
+  }
   const num::Index B = x.rows();
   const num::Index dh = cell_->hidden_dim();
   ZSS_EXPECTS(h.rows() == B && h.cols() == dh);
@@ -166,6 +232,161 @@ void SparseLstmEngine::step_dense(const num::Matrix& x, num::Matrix& h,
   last_.lane_kept_positions = B * dh;
 
   finish_step(pre, c, h, c);
+}
+
+// Quantized step, shared by step() and step_dense() (`dense` picks the
+// recurrent flavour). The exactness argument differs from fp32: every
+// int8 x int8 product is exact in i32 and accumulation wraps mod 2^32,
+// which is associative and commutative — so the sparse paths (which
+// skip exactly the zero-valued products) and the dense path produce
+// bit-identical pre-activations regardless of summation order, on every
+// backend (docs/exactness.md "int8"). All scales are fixed at
+// construction, so results are also independent of batch composition —
+// the property the serving shard-determinism sweep checks.
+void SparseLstmEngine::step_quant(const num::Matrix& x, num::Matrix& h,
+                                  num::Matrix& c, bool dense) {
+  const num::Index B = x.rows();
+  const num::Index dh = cell_->hidden_dim();
+  const num::Index dx = cell_->input_dim();
+  ZSS_EXPECTS(h.rows() == B && h.cols() == dh);
+  ZSS_EXPECTS(c.rows() == B && c.cols() == dh);
+
+  if (B > reserved_batch_) reserve(B);  // warm loop: a single compare
+
+  QuantState& q = *q_;
+  const quant::QuantParams grid{nn::PackedLstmWeightsI8::kStateScale};
+
+  // Input path: x onto the 1/127 grid (one-hot serving inputs are exact
+  // on it), then the int8 GEMM and the pre-scaled bias — everything
+  // lands on the shared accumulator scale weight_scale/127.
+  q.xq.reshape(B, dx);
+  quant::quantize(x.flat(), grid, q.xq.flat());
+  num::gemm_a_bt_i8(q.xq, q.weights.wx, q.pre);
+  const auto bq = q.weights.bias_q.span();
+  for (num::Index r = 0; r < B; ++r) {
+    auto row = q.pre.row(r);
+    for (std::size_t j = 0; j < bq.size(); ++j) {
+      row[j] = num::add_i32(row[j], bq[j]);
+    }
+  }
+  stats_.input_macs += B * dx * 4 * dh;
+
+  // Recurrent path over the quantized state. Both flavours multiply the
+  // same q.hq — a zero element contributes an exactly-zero product to
+  // the dense accumulator and is skipped by the sparse ones, so the
+  // flavours agree bitwise.
+  q.hq.reshape(B, dh);
+  quant::quantize(h.flat(), grid, q.hq.flat());
+  q.pre_h.reshape(B, 4 * dh);
+  num::Index kept_union = 0;       // positions kept by >= 1 lane
+  num::Index kept_lane_total = 0;  // effectual work of this step
+  if (dense) {
+    num::gemm_a_bt_i8(q.hq, q.weights.wh, q.pre_h);
+    kept_union = dh;
+    kept_lane_total = B * dh;
+  } else if (B == 1) {
+    // The paper's offset encoding over int8 values; the int8 sparse
+    // kernels accumulate, so the staging matrix is zero-filled first
+    // (i32 zero fill + accumulate has no fp32 signed-zero subtleties).
+    q.pre_h.fill(0);
+    sparse::encode_into(q.hq, encoder_, q.enc);
+    positions_.clear();
+    num::Index pos = 0;
+    for (const auto& entry : q.enc.entries) {
+      pos += entry.offset;
+      positions_.push_back(pos);
+      ++pos;
+    }
+    num::sparse_accum_rows_i8(q.weights.wht, positions_, q.enc.values,
+                              q.pre_h);
+    kept_union = q.enc.kept_positions();
+    kept_lane_total = q.enc.kept_positions();
+  } else {
+    q.pre_h.fill(0);
+    sparse::encode_lanes_into(q.hq, q.lanes);
+    num::sparse_accum_rows_multi_i8(q.weights.wht, q.lanes.positions,
+                                    q.lanes.row_start, q.lanes.values,
+                                    q.pre_h);
+    kept_union = q.lanes.union_kept();
+    kept_lane_total = q.lanes.total_kept();
+  }
+  // Combine the two partials with the wrapping add — same scale, no
+  // rescaling, order-free by modular associativity.
+  {
+    auto p = q.pre.flat();
+    auto ph = q.pre_h.flat();
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      p[i] = num::add_i32(p[i], ph[i]);
+    }
+  }
+
+  stats_.state_macs_total += B * dh * 4 * dh;
+  stats_.state_macs_effectual += kept_lane_total * 4 * dh;
+  stats_.kept_positions += kept_union;
+  stats_.positions += dh;
+  stats_.lane_kept_positions += kept_lane_total;
+  stats_.lane_positions += B * dh;
+  ++stats_.steps;
+  last_.batch = B;
+  last_.kept_positions = kept_union;
+  last_.positions = dh;
+  last_.lane_kept_positions = kept_lane_total;
+
+  finish_step_quant(B, h, c);
+}
+
+// Integer gate/cell update: one requantize into the LUT domain, LUT
+// activations, then a cell update whose only divisions are the
+// sign-symmetric rdiv by 127 (grid renormalization after a grid x grid
+// product) and by c_clip (folding the cell range into the tanh LUT's
+// input span). h and c are written back as float multiples of
+// kStateScale — the reference twin must use the identical expression
+// (float(q) * kStateScale, not q / 127.0f) for bit-equality.
+void SparseLstmEngine::finish_step_quant(num::Index batch, num::Matrix& h,
+                                         num::Matrix& c) {
+  QuantState& q = *q_;
+  const num::Index dh = cell_->hidden_dim();
+  const std::int32_t c_clip = static_cast<std::int32_t>(quant_.c_clip);
+  const std::int32_t c_lim = 127 * c_clip;
+  for (num::Index r = 0; r < batch; ++r) {
+    auto row = q.pre.row(r);
+    for (num::Index j = 0; j < dh; ++j) {
+      const std::int8_t f =
+          q.sigmoid.apply(requant_pre(row[static_cast<std::size_t>(j)],
+                                      q.acc_to_pre));
+      const std::int8_t i = q.sigmoid.apply(
+          requant_pre(row[static_cast<std::size_t>(dh + j)], q.acc_to_pre));
+      const std::int8_t o = q.sigmoid.apply(
+          requant_pre(row[static_cast<std::size_t>(2 * dh + j)],
+                      q.acc_to_pre));
+      const std::int8_t g = q.tanh_pre.apply(
+          requant_pre(row[static_cast<std::size_t>(3 * dh + j)],
+                      q.acc_to_pre));
+      // Previous c lies exactly on the 1/127 grid within ±c_clip (this
+      // datapath wrote it); a caller-seeded float c is rounded onto it.
+      std::int32_t cq = clamp_i32(
+          static_cast<std::int32_t>(
+              std::nearbyint(static_cast<double>(c(r, j)) * 127.0)),
+          -c_lim, c_lim);
+      cq = clamp_i32(rdiv(static_cast<std::int32_t>(f) * cq, 127) +
+                         rdiv(static_cast<std::int32_t>(i) *
+                                  static_cast<std::int32_t>(g),
+                              127),
+                     -c_lim, c_lim);
+      // cq/c_clip maps [-c_lim, c_lim] onto the tanh LUT's ±127 input
+      // span (whose grid is c_clip/127).
+      const std::int8_t c8 = static_cast<std::int8_t>(rdiv(cq, c_clip));
+      const std::int8_t tc = q.tanh_c.apply(c8);
+      const std::int32_t hq = rdiv(
+          static_cast<std::int32_t>(o) * static_cast<std::int32_t>(tc), 127);
+      c(r, j) = static_cast<float>(cq) * nn::PackedLstmWeightsI8::kStateScale;
+      h(r, j) = static_cast<float>(hq) * nn::PackedLstmWeightsI8::kStateScale;
+    }
+  }
+  // Same pruning as the fp32 path: the stored h is pruned on the float
+  // view; zeros survive requantization exactly, so the next step's skip
+  // sees precisely the pruner's zero pattern.
+  last_.lane_sparsity = pruner_->prune_inplace(h, prune_scratch_);
 }
 
 }  // namespace zss::core

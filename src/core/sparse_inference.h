@@ -29,8 +29,18 @@
 //    state in and out of a step without copying a single element (the
 //    batch-of-one path of serve::EngineShard passes the session's own
 //    matrices straight through).
+//  * With QuantConfig::enabled the same entry points run an int8
+//    datapath end to end: int8 weights/state, i32 accumulation, LUT
+//    activations (quant/lut_nonlinear.h), integer cell update. The
+//    step() == step_dense() bit-identity still holds — i32 accumulation
+//    wraps mod 2^32, so any summation order matches and skipped zero
+//    products are exact identities (docs/exactness.md "int8"). h and c
+//    stay caller-owned fp32 matrices whose values lie exactly on the
+//    1/127 state grid.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/state_pruner.h"
@@ -38,9 +48,33 @@
 #include "nn/packed_weights.h"
 #include "num/matrix.h"
 #include "num/workspace.h"
+#include "quant/lut_nonlinear.h"
 #include "sparse/encoding.h"
 
 namespace zss::core {
+
+/// Selects the engine's quantized (int8) step mode and fixes its grids.
+/// Everything here is decided at construction time — no data-dependent
+/// scale ever enters a step, which is what makes the quantized path
+/// deterministic across batch compositions and shard counts
+/// (docs/exactness.md "int8").
+struct QuantConfig {
+  /// Off by default: the engine runs the fp32 0-ULP path.
+  bool enabled = false;
+  /// Pre-activation clip (real units) mapped onto the int8 LUT input
+  /// grid pre_clip/127. LSTM gates saturate well inside |pre| = 8.
+  float pre_clip = 8.0f;
+  /// Cell-state clip: c is kept on the 1/127 grid in [-c_clip, c_clip].
+  int c_clip = 8;
+
+  /// The default-calibrated int8 mode (the one the benches and the
+  /// serving --quant flag use).
+  static QuantConfig int8() {
+    QuantConfig q;
+    q.enabled = true;
+    return q;
+  }
+};
 
 /// Snapshot of what the *most recent* step()/step_dense() call did.
 /// Unlike InferenceStats this never accumulates, so a serving layer can
@@ -135,7 +169,8 @@ class SparseLstmEngine {
   /// cell's weights into the cache-aware transposed layout on
   /// construction (re-construct the engine if the weights change).
   SparseLstmEngine(const nn::LstmCell& cell, const StatePruner& pruner,
-                   sparse::EncoderConfig encoder = {});
+                   sparse::EncoderConfig encoder = {},
+                   QuantConfig quant = {});
 
   /// One timestep over a batch. `h` and `c` are (B x dh) and updated in
   /// place; `h` is stored pruned (what DRAM would hold).
@@ -168,6 +203,18 @@ class SparseLstmEngine {
 
   const nn::PackedLstmWeights& packed_weights() const { return packed_; }
 
+  /// True when the engine was constructed with QuantConfig::enabled:
+  /// step()/step_dense() run the int8 datapath (docs/exactness.md).
+  bool quantized() const { return q_.has_value(); }
+
+  const QuantConfig& quant_config() const { return quant_; }
+
+  /// The packed int8 weights of the quantized mode; null when the
+  /// engine runs the fp32 path.
+  const nn::PackedLstmWeightsI8* packed_weights_i8() const {
+    return q_ ? &q_->weights : nullptr;
+  }
+
   /// Scratch arena used by step()/step_dense(); its allocation_count()
   /// must be stable across steps once the engine is warm.
   const num::Workspace& workspace() const { return ws_; }
@@ -177,11 +224,41 @@ class SparseLstmEngine {
   void finish_step(num::Matrix& pre, const num::Matrix& c_prev,
                    num::Matrix& h, num::Matrix& c);
 
+  /// Everything the int8 step mode owns: packed weights, the three
+  /// activation LUTs (fixed input grids, built once), and the integer
+  /// twins of the workspace/encoder buffers (the fp32 Workspace is
+  /// float-only by design, so the int buffers live here and are grown
+  /// by reserve()).
+  struct QuantState {
+    QuantState(const nn::LstmCell& cell, const QuantConfig& cfg);
+
+    nn::PackedLstmWeightsI8 weights;
+    quant::NonlinearLut sigmoid;   // f/i/o gates, input grid pre_clip/127
+    quant::NonlinearLut tanh_pre;  // g gate, same input grid
+    quant::NonlinearLut tanh_c;    // cell output, input grid c_clip/127
+    /// i32 pre-activation -> int8 LUT input: multiply by
+    /// weight_scale/pre_clip. double — an i32 accumulator exceeds the
+    /// float mantissa, and the requantize must be exact-deterministic.
+    double acc_to_pre = 0.0;
+    num::MatrixI8 xq;    // quantized input, (B x dx)
+    num::MatrixI8 hq;    // quantized state, (B x dh)
+    num::MatrixI32 pre;    // i32 pre-activations, (B x 4dh)
+    num::MatrixI32 pre_h;  // state-path partial, (B x 4dh)
+    sparse::EncodedState<std::int8_t> enc;        // B == 1 skip path
+    sparse::LaneEncodedState<std::int8_t> lanes;  // B > 1 skip path
+  };
+
+  void step_quant(const num::Matrix& x, num::Matrix& h, num::Matrix& c,
+                  bool dense);
+  void finish_step_quant(num::Index batch, num::Matrix& h, num::Matrix& c);
+
   enum Slot : std::size_t { kPre, kPreH };
 
   const nn::LstmCell* cell_;
   const StatePruner* pruner_;
   sparse::EncoderConfig encoder_;
+  QuantConfig quant_;
+  std::optional<QuantState> q_;  // engaged iff quant_.enabled
   InferenceStats stats_;
   StepStats last_;
   nn::PackedLstmWeights packed_;

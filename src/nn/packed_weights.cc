@@ -1,5 +1,7 @@
 #include "nn/packed_weights.h"
 
+#include <cmath>
+
 #include "num/kernels.h"
 
 namespace zss::nn {
@@ -14,6 +16,40 @@ PackedLstmWeights PackedLstmWeights::pack(const LstmCell& cell) {
   p.bias.resize(static_cast<num::Index>(b.size()));
   for (std::size_t i = 0; i < b.size(); ++i) {
     p.bias[static_cast<num::Index>(i)] = b[i];
+  }
+  return p;
+}
+
+PackedLstmWeightsI8 PackedLstmWeightsI8::pack(const LstmCell& cell) {
+  PackedLstmWeightsI8 p;
+  p.dx = cell.input_dim();
+  p.dh = cell.hidden_dim();
+  const num::Matrix& wx_f = cell.wx().value;
+  const num::Matrix& wh_f = cell.wh().value;
+  // One shared scale over both weight matrices, so the input-path and
+  // state-path i32 partials share the accumulator scale scale/127 and
+  // add without any rescaling (header comment).
+  const quant::QuantParams sx = quant::choose_scale(wx_f.flat());
+  const quant::QuantParams sh = quant::choose_scale(wh_f.flat());
+  p.weight_scale.scale = sx.scale > sh.scale ? sx.scale : sh.scale;
+  p.wx.reshape(wx_f.rows(), wx_f.cols());
+  quant::quantize(wx_f.flat(), p.weight_scale, p.wx.flat());
+  p.wh.reshape(wh_f.rows(), wh_f.cols());
+  quant::quantize(wh_f.flat(), p.weight_scale, p.wh.flat());
+  // Transpose the already-quantized Whq so dense and sparse paths
+  // multiply identical int8 values.
+  p.wht.reshape(p.dh, 4 * p.dh);
+  for (num::Index r = 0; r < p.wh.rows(); ++r) {
+    for (num::Index j = 0; j < p.wh.cols(); ++j) p.wht(j, r) = p.wh(r, j);
+  }
+  const auto b = cell.bias().value.flat();
+  p.bias_q.resize(static_cast<num::Index>(b.size()));
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    // bias on the accumulator scale: q = b / (scale/127). double keeps
+    // the division deterministic and exact to well past i32 range.
+    const double q = std::nearbyint(static_cast<double>(b[i]) * 127.0 /
+                                    static_cast<double>(p.weight_scale.scale));
+    p.bias_q[static_cast<num::Index>(i)] = static_cast<std::int32_t>(q);
   }
   return p;
 }

@@ -17,9 +17,12 @@
 // path, so packing preserves the engine's bit-exactness contract.
 #pragma once
 
+#include <cstdint>
+
 #include "nn/lstm_cell.h"
 #include "num/matrix.h"
 #include "num/types.h"
+#include "quant/quantize.h"
 
 namespace zss::nn {
 
@@ -33,6 +36,40 @@ struct PackedLstmWeights {
   /// Snapshots the cell's current weights into the packed layout. Call
   /// again after weights change (packing is a transpose, not a view).
   static PackedLstmWeights pack(const LstmCell& cell);
+};
+
+/// Int8 twin of PackedLstmWeights for the engine's quantized step mode
+/// (docs/exactness.md "int8", docs/architecture.md).
+///
+/// One symmetric per-cell weight scale covers Wx AND Wh (the max-|w|
+/// scale over both), and the state/input grid is fixed at 1/127
+/// (kStateScale) — so the input-path and state-path i32 partial sums
+/// land on the SAME accumulator scale, scale/127, and add as plain
+/// integers. bias_q is pre-divided onto that accumulator scale, which
+/// keeps the whole pre-activation integer until the single requantize
+/// into the LUT domain (core/sparse_inference.cc).
+///
+/// Layouts mirror the fp32 pack: wx/wh gate-major for the dense GEMMs,
+/// wht transposed gate-interleaved (row j = Whq[:, j]) for the skip
+/// path. Quantize-then-transpose equals transpose-then-quantize
+/// elementwise, so both dense and sparse paths multiply identical int8
+/// weights — one ingredient of step() == step_dense() bitwise.
+struct PackedLstmWeightsI8 {
+  /// The fixed state/input quantization grid: real = q / 127 with q in
+  /// [-127, 127]. Serving inputs are one-hot (exact on the grid) and
+  /// quantized h is written back already on the grid, so re-quantizing
+  /// state each step is an exact round trip.
+  static constexpr float kStateScale = 1.0f / 127.0f;
+
+  num::Index dx = 0;
+  num::Index dh = 0;
+  quant::QuantParams weight_scale;  // shared by wx, wh and wht
+  num::MatrixI8 wx;        // (4dh x dx) gate-major, input-path gemm_a_bt_i8
+  num::MatrixI8 wh;        // (4dh x dh) gate-major, dense-baseline path
+  num::MatrixI8 wht;       // (dh x 4dh), row j = Whq[:, j] — skip path
+  num::VectorI32 bias_q;   // (4dh) on the accumulator scale, scale/127
+
+  static PackedLstmWeightsI8 pack(const LstmCell& cell);
 };
 
 }  // namespace zss::nn

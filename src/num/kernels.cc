@@ -141,6 +141,84 @@ void sparse_accum_rows_multi_overwrite(const Matrix& packed,
       out.data(), out.rows(), out.cols());
 }
 
+namespace {
+
+// The backend whose int8 slots serve this call. Backends that predate
+// the int8 table (or out-of-tree tables that only grew the fp32 slots)
+// leave the slots nullptr; rather than crash through a null pointer —
+// or reject the whole backend, penalizing its fp32 kernels — dispatch
+// degrades per call to the scalar table, whose int8 kernels are always
+// present. Same spirit as the env-override fallback in simd/dispatch.cc
+// but slot-granular. Covered by backend_dispatch_test.cc.
+const simd::KernelBackend& i8_backend() {
+  const simd::KernelBackend& active = simd::active_backend();
+  return active.implemented_i8() ? active : simd::kScalarBackend;
+}
+
+}  // namespace
+
+void gemm_a_bt_i8(const MatrixI8& a, const MatrixI8& b, MatrixI32& c) {
+  ZSS_EXPECTS(a.cols() == b.cols());
+  const Index m = a.rows();
+  const Index k = a.cols();
+  const Index n = b.rows();
+  c.reshape(m, n);  // every output element is stored below; no fill pass
+  const auto* backend = &i8_backend();
+  const std::int8_t* ap = a.data();
+  const std::int8_t* bp = b.data();
+  std::int32_t* cp = c.data();
+  parallel_for(Index{0}, m, [=](Index i0, Index i1) {
+    backend->gemm_a_bt_i8(ap + i0 * k, bp, cp + i0 * n, i1 - i0, k, n);
+  });
+}
+
+void sparse_accum_rows_i8(const MatrixI8& packed,
+                          std::span<const Index> positions,
+                          std::span<const std::int8_t> values,
+                          MatrixI32& out) {
+  const Index batch = out.rows();
+  const Index n = out.cols();
+  ZSS_EXPECTS(packed.cols() == n);
+  ZSS_EXPECTS(values.size() ==
+              positions.size() * static_cast<std::size_t>(batch));
+  for (const Index pos : positions) {
+    ZSS_EXPECTS(pos >= 0 && pos < packed.rows());
+  }
+  i8_backend().sparse_accum_rows_i8(packed.data(), positions.data(),
+                                    positions.size(), values.data(),
+                                    out.data(), batch, n);
+}
+
+void sparse_accum_rows_multi_i8(const MatrixI8& packed,
+                                std::span<const Index> positions,
+                                std::span<const Index> row_start,
+                                std::span<const std::int8_t> values,
+                                MatrixI32& out) {
+  // Same CSR validation as the fp32 twin (strict ascent per lane; the
+  // shared merge schedule relies on it).
+  const Index batch = out.rows();
+  ZSS_EXPECTS(packed.cols() == out.cols());
+  ZSS_EXPECTS(row_start.size() == static_cast<std::size_t>(batch) + 1);
+  ZSS_EXPECTS(row_start[0] == 0);
+  ZSS_EXPECTS(row_start[static_cast<std::size_t>(batch)] ==
+              static_cast<Index>(positions.size()));
+  ZSS_EXPECTS(values.size() == positions.size());
+  for (Index b = 0; b < batch; ++b) {
+    ZSS_EXPECTS(row_start[static_cast<std::size_t>(b)] <=
+                row_start[static_cast<std::size_t>(b + 1)]);
+    for (Index e = row_start[static_cast<std::size_t>(b)];
+         e < row_start[static_cast<std::size_t>(b + 1)]; ++e) {
+      const Index pos = positions[static_cast<std::size_t>(e)];
+      ZSS_EXPECTS(pos >= 0 && pos < packed.rows());
+      ZSS_EXPECTS(e == row_start[static_cast<std::size_t>(b)] ||
+                  positions[static_cast<std::size_t>(e - 1)] < pos);
+    }
+  }
+  i8_backend().sparse_accum_rows_multi_i8(
+      packed.data(), positions.data(), row_start.data(), values.data(),
+      out.data(), out.rows(), out.cols());
+}
+
 void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
   ZSS_EXPECTS(a.cols() == b.rows());
   const Index m = a.rows();

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 #include <span>
 
 #include "num/matrix.h"
@@ -50,6 +51,28 @@ inline float madd(float a, float b, float acc) {
 /// activate, because mixing fused and unfused chains breaks the 0-ULP
 /// contract (the asymmetry bug PR 1 fixed — docs/exactness.md).
 bool madd_is_fused();
+
+/// The one int8 multiply-accumulate (docs/exactness.md "int8"): the
+/// exact i32 product of a and b added to acc modulo 2^32 — i.e. plain
+/// two's-complement wraparound, exactly what SIMD paddd/vaddq_s32 do.
+/// The detour through uint32 keeps the wrap defined behaviour in C++
+/// (a plain signed += would be UB on overflow, and the sanitize CI job
+/// would rightly flag it). Because wrapping addition is associative and
+/// commutative, any regrouping of these ops is bit-identical — the int8
+/// kernels' whole exactness story.
+inline std::int32_t madd_i8(std::int8_t a, std::int8_t b, std::int32_t acc) {
+  const std::int32_t p =
+      static_cast<std::int32_t>(a) * static_cast<std::int32_t>(b);
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(acc) +
+                                   static_cast<std::uint32_t>(p));
+}
+
+/// i32 wraparound add (same defined-overflow story as madd_i8); used
+/// wherever two i32 partial accumulations are combined.
+inline std::int32_t add_i32(std::int32_t a, std::int32_t b) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) +
+                                   static_cast<std::uint32_t>(b));
+}
 
 /// y = W * x. W is (m x n) row-major, x has n elements, y has m.
 void gemv(const Matrix& w, std::span<const float> x, std::span<float> y);
@@ -118,6 +141,31 @@ void gemm_at_b_accum(const Matrix& a, const Matrix& b, Matrix& c);
 /// matvec shape. Register-blocked 2x4 so eight independent FMA chains
 /// hide latency; each output element still accumulates in ascending k.
 void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& c);
+
+// --- int8 kernels (i32 accumulation) ---------------------------------
+// Quantized twins of the three hot inference kernels, dispatched
+// through the same backend registry (slots added per-backend; a backend
+// without them falls back to the scalar table per call). Contract:
+// bit-identical to num::reference's int8 twins on every backend — see
+// madd_i8 above for why any summation order qualifies.
+
+/// C (i32) = A * B^T for int8 A (m x k) and B (n x k); C is resized to
+/// (m x n) and every element overwritten.
+void gemm_a_bt_i8(const MatrixI8& a, const MatrixI8& b, MatrixI32& c);
+
+/// Int8 twin of sparse_accum_rows (position-major values, zero lanes
+/// skipped — an exact identity in integer arithmetic too).
+void sparse_accum_rows_i8(const MatrixI8& packed,
+                          std::span<const Index> positions,
+                          std::span<const std::int8_t> values, MatrixI32& out);
+
+/// Int8 twin of sparse_accum_rows_multi (per-lane CSR; accumulate
+/// flavour only — the engine zero-fills its i32 staging with a memset).
+void sparse_accum_rows_multi_i8(const MatrixI8& packed,
+                                std::span<const Index> positions,
+                                std::span<const Index> row_start,
+                                std::span<const std::int8_t> values,
+                                MatrixI32& out);
 
 /// out = in^T. in is (m x n), out becomes (n x m).
 void transpose(const Matrix& in, Matrix& out);

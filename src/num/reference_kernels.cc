@@ -143,4 +143,67 @@ void sparse_accum_rows_multi_overwrite(const Matrix& packed,
   }
 }
 
+void gemm_a_bt_i8(const MatrixI8& a, const MatrixI8& b, MatrixI32& c) {
+  ZSS_EXPECTS(a.cols() == b.cols());
+  const Index m = a.rows();
+  const Index k = a.cols();
+  const Index n = b.rows();
+  c.resize(m, n, 0);
+  for (Index i = 0; i < m; ++i) {
+    const std::int8_t* arow = a.data() + i * k;
+    for (Index j = 0; j < n; ++j) {
+      const std::int8_t* brow = b.data() + j * k;
+      std::int32_t acc = 0;
+      for (Index kk = 0; kk < k; ++kk) acc = madd_i8(arow[kk], brow[kk], acc);
+      c(i, j) = acc;
+    }
+  }
+}
+
+void sparse_accum_rows_i8(const MatrixI8& packed,
+                          std::span<const Index> positions,
+                          std::span<const std::int8_t> values,
+                          MatrixI32& out) {
+  const Index batch = out.rows();
+  const Index n = out.cols();
+  ZSS_EXPECTS(packed.cols() == n);
+  ZSS_EXPECTS(values.size() ==
+              positions.size() * static_cast<std::size_t>(batch));
+  for (std::size_t e = 0; e < positions.size(); ++e) {
+    const Index pos = positions[e];
+    ZSS_EXPECTS(pos >= 0 && pos < packed.rows());
+    for (Index b = 0; b < batch; ++b) {
+      const std::int8_t v = values[e * static_cast<std::size_t>(batch) +
+                                   static_cast<std::size_t>(b)];
+      if (v == 0) continue;
+      for (Index j = 0; j < n; ++j) {
+        out(b, j) = madd_i8(v, packed(pos, j), out(b, j));
+      }
+    }
+  }
+}
+
+void sparse_accum_rows_multi_i8(const MatrixI8& packed,
+                                std::span<const Index> positions,
+                                std::span<const Index> row_start,
+                                std::span<const std::int8_t> values,
+                                MatrixI32& out) {
+  const Index batch = out.rows();
+  const Index n = out.cols();
+  ZSS_EXPECTS(packed.cols() == n);
+  ZSS_EXPECTS(row_start.size() == static_cast<std::size_t>(batch) + 1);
+  ZSS_EXPECTS(values.size() == positions.size());
+  for (Index b = 0; b < batch; ++b) {
+    for (Index e = row_start[static_cast<std::size_t>(b)];
+         e < row_start[static_cast<std::size_t>(b + 1)]; ++e) {
+      const Index pos = positions[static_cast<std::size_t>(e)];
+      ZSS_EXPECTS(pos >= 0 && pos < packed.rows());
+      const std::int8_t v = values[static_cast<std::size_t>(e)];
+      for (Index j = 0; j < n; ++j) {
+        out(b, j) = madd_i8(v, packed(pos, j), out(b, j));
+      }
+    }
+  }
+}
+
 }  // namespace zss::num::reference

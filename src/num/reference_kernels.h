@@ -8,6 +8,7 @@
 // so the sparse path matches within 0 ULP and the GEMMs chain-for-chain.
 #pragma once
 
+#include <cstdint>
 #include <span>
 
 #include "num/matrix.h"
@@ -52,5 +53,28 @@ void sparse_accum_rows_multi_overwrite(const Matrix& packed,
                                        std::span<const Index> row_start,
                                        std::span<const float> values,
                                        Matrix& out);
+
+// --- int8 twins -------------------------------------------------------
+// The int8 contract (docs/exactness.md "int8"): every product is exact
+// in i32 and accumulation is madd_i8's wraparound add, so the loops
+// below define the unique answer every backend must reproduce bit-for-
+// bit — in ANY summation order, since wrapping addition is associative.
+
+/// C (i32) = A * B^T for int8 A (m x k) and B (n x k), one dot product
+/// per output element.
+void gemm_a_bt_i8(const MatrixI8& a, const MatrixI8& b, MatrixI32& c);
+
+/// Int8 twin of sparse_accum_rows: position-major values, i32
+/// accumulation, zero values skipped (an exact identity in integers).
+void sparse_accum_rows_i8(const MatrixI8& packed,
+                          std::span<const Index> positions,
+                          std::span<const std::int8_t> values, MatrixI32& out);
+
+/// Int8 twin of the per-lane (CSR) accumulation.
+void sparse_accum_rows_multi_i8(const MatrixI8& packed,
+                                std::span<const Index> positions,
+                                std::span<const Index> row_start,
+                                std::span<const std::int8_t> values,
+                                MatrixI32& out);
 
 }  // namespace zss::num::reference

@@ -370,6 +370,253 @@ void axpy_avx2(float alpha, const float* __restrict x, float* __restrict y,
   for (; i < n; ++i) y[i] = std::fmaf(alpha, x[i], y[i]);
 }
 
+// --- int8 kernels ----------------------------------------------------
+// The int8 contract is wraparound-i32 exactness (num::madd_i8), and
+// wrapping addition is associative — so unlike the fp32 kernels above,
+// these are free to reduce horizontally and regroup. The widening
+// pipeline is vpmovsxbw (i8 -> i16, exact) + vpmaddwd (s16 x s16 pair
+// dot into full i32 — exact here: |a*b| <= 127^2 so a pair sum is at
+// most 32258, far inside i32) + vpaddd (the wrap). Deliberately NOT
+// vpmaddubsw: its u8 x s8 products pair-add with *16-bit saturation*,
+// which silently clamps and would break bit-exactness against the
+// reference twin; vpmaddwd at half the byte density is the fastest
+// AVX2 sequence that stays exact (true VNNI vpdpbusd lives in the
+// avx512 backend's future — ROADMAP).
+
+inline __m256i widen_i8(const std::int8_t* p) {
+  return _mm256_cvtepi8_epi16(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+}
+
+inline std::int32_t hsum_epi32(__m256i v) {
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(v),
+                            _mm256_extracti128_si256(v, 1));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+
+inline std::int32_t dot_i8_avx2(const std::int8_t* __restrict a,
+                                const std::int8_t* __restrict b, Index k) {
+  __m256i acc = _mm256_setzero_si256();
+  Index kk = 0;
+  for (; kk + 16 <= k; kk += 16) {
+    acc = _mm256_add_epi32(acc,
+                           _mm256_madd_epi16(widen_i8(a + kk), widen_i8(b + kk)));
+  }
+  std::int32_t s = hsum_epi32(acc);
+  for (; kk < k; ++kk) s = madd_i8(a[kk], b[kk], s);
+  return s;
+}
+
+void gemm_a_bt_i8_avx2(const std::int8_t* __restrict a,
+                       const std::int8_t* __restrict b,
+                       std::int32_t* __restrict c, Index m, Index k,
+                       Index n) {
+  // Tile 2 rows of A x 4 rows of B: eight vpmaddwd accumulators in
+  // flight, every widened A chunk reused four times and every widened B
+  // chunk twice — 128 MACs per 22 vector ops, which is what buys the
+  // >= 2x-over-fp32 dense throughput the bench records.
+  const Index kv = k & ~Index{15};
+  Index i = 0;
+  for (; i + 2 <= m; i += 2) {
+    const std::int8_t* __restrict a0 = a + i * k;
+    const std::int8_t* __restrict a1 = a0 + k;
+    std::int32_t* __restrict c0 = c + i * n;
+    std::int32_t* __restrict c1 = c0 + n;
+    Index j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const std::int8_t* __restrict b0 = b + j * k;
+      const std::int8_t* __restrict b1 = b0 + k;
+      const std::int8_t* __restrict b2 = b1 + k;
+      const std::int8_t* __restrict b3 = b2 + k;
+      __m256i s00 = _mm256_setzero_si256();
+      __m256i s01 = _mm256_setzero_si256();
+      __m256i s02 = _mm256_setzero_si256();
+      __m256i s03 = _mm256_setzero_si256();
+      __m256i s10 = _mm256_setzero_si256();
+      __m256i s11 = _mm256_setzero_si256();
+      __m256i s12 = _mm256_setzero_si256();
+      __m256i s13 = _mm256_setzero_si256();
+      for (Index kk = 0; kk < kv; kk += 16) {
+        const __m256i av0 = widen_i8(a0 + kk);
+        const __m256i av1 = widen_i8(a1 + kk);
+        const __m256i bv0 = widen_i8(b0 + kk);
+        const __m256i bv1 = widen_i8(b1 + kk);
+        const __m256i bv2 = widen_i8(b2 + kk);
+        const __m256i bv3 = widen_i8(b3 + kk);
+        s00 = _mm256_add_epi32(s00, _mm256_madd_epi16(av0, bv0));
+        s01 = _mm256_add_epi32(s01, _mm256_madd_epi16(av0, bv1));
+        s02 = _mm256_add_epi32(s02, _mm256_madd_epi16(av0, bv2));
+        s03 = _mm256_add_epi32(s03, _mm256_madd_epi16(av0, bv3));
+        s10 = _mm256_add_epi32(s10, _mm256_madd_epi16(av1, bv0));
+        s11 = _mm256_add_epi32(s11, _mm256_madd_epi16(av1, bv1));
+        s12 = _mm256_add_epi32(s12, _mm256_madd_epi16(av1, bv2));
+        s13 = _mm256_add_epi32(s13, _mm256_madd_epi16(av1, bv3));
+      }
+      std::int32_t r00 = hsum_epi32(s00);
+      std::int32_t r01 = hsum_epi32(s01);
+      std::int32_t r02 = hsum_epi32(s02);
+      std::int32_t r03 = hsum_epi32(s03);
+      std::int32_t r10 = hsum_epi32(s10);
+      std::int32_t r11 = hsum_epi32(s11);
+      std::int32_t r12 = hsum_epi32(s12);
+      std::int32_t r13 = hsum_epi32(s13);
+      for (Index kt = kv; kt < k; ++kt) {
+        r00 = madd_i8(a0[kt], b0[kt], r00);
+        r01 = madd_i8(a0[kt], b1[kt], r01);
+        r02 = madd_i8(a0[kt], b2[kt], r02);
+        r03 = madd_i8(a0[kt], b3[kt], r03);
+        r10 = madd_i8(a1[kt], b0[kt], r10);
+        r11 = madd_i8(a1[kt], b1[kt], r11);
+        r12 = madd_i8(a1[kt], b2[kt], r12);
+        r13 = madd_i8(a1[kt], b3[kt], r13);
+      }
+      c0[j] = r00;
+      c0[j + 1] = r01;
+      c0[j + 2] = r02;
+      c0[j + 3] = r03;
+      c1[j] = r10;
+      c1[j + 1] = r11;
+      c1[j + 2] = r12;
+      c1[j + 3] = r13;
+    }
+    for (; j < n; ++j) {
+      const std::int8_t* __restrict brow = b + j * k;
+      c0[j] = dot_i8_avx2(a0, brow, k);
+      c1[j] = dot_i8_avx2(a1, brow, k);
+    }
+  }
+  for (; i < m; ++i) {
+    const std::int8_t* __restrict arow = a + i * k;
+    std::int32_t* __restrict crow = c + i * n;
+    for (Index j = 0; j < n; ++j) crow[j] = dot_i8_avx2(arow, b + j * k, k);
+  }
+}
+
+// y[j] += v * row[j] over 16 i32 outputs per step: widen the row chunk,
+// vpmullw against the broadcast value (exact — |v * r| <= 127^2 fits
+// i16), sign-extend both halves to i32, vpaddd.
+inline void accum_row_i8_avx2(std::int8_t v, const std::int8_t* __restrict row,
+                              std::int32_t* __restrict y, Index n) {
+  const __m256i vv = _mm256_set1_epi16(static_cast<short>(v));
+  Index j = 0;
+  for (; j + 16 <= n; j += 16) {
+    const __m256i p16 = _mm256_mullo_epi16(widen_i8(row + j), vv);
+    const __m256i p0 = _mm256_cvtepi16_epi32(_mm256_castsi256_si128(p16));
+    const __m256i p1 = _mm256_cvtepi16_epi32(_mm256_extracti128_si256(p16, 1));
+    __m256i* yp = reinterpret_cast<__m256i*>(y + j);
+    _mm256_storeu_si256(yp, _mm256_add_epi32(_mm256_loadu_si256(yp), p0));
+    __m256i* yp1 = reinterpret_cast<__m256i*>(y + j + 8);
+    _mm256_storeu_si256(yp1, _mm256_add_epi32(_mm256_loadu_si256(yp1), p1));
+  }
+  for (; j < n; ++j) y[j] = madd_i8(v, row[j], y[j]);
+}
+
+void sparse_accum_rows_i8_avx2(const std::int8_t* __restrict packed,
+                               const Index* __restrict positions,
+                               std::size_t n_positions,
+                               const std::int8_t* __restrict values,
+                               std::int32_t* __restrict out, Index batch,
+                               Index n) {
+  for (std::size_t e = 0; e < n_positions; ++e) {
+    const std::int8_t* __restrict row = packed + positions[e] * n;
+    for (Index b = 0; b < batch; ++b) {
+      const std::int8_t v = values[e * static_cast<std::size_t>(batch) +
+                                   static_cast<std::size_t>(b)];
+      if (v == 0) continue;  // exact identity in integers too
+      accum_row_i8_avx2(v, row, out + b * n, n);
+    }
+  }
+}
+
+// One chained contribution of entry (r, v16) to 16 i32 outputs at j.
+inline void chain_step_i8(__m256i& a0, __m256i& a1,
+                          const std::int8_t* __restrict r, Index j,
+                          __m256i v16) {
+  const __m256i p16 = _mm256_mullo_epi16(widen_i8(r + j), v16);
+  a0 = _mm256_add_epi32(a0,
+                        _mm256_cvtepi16_epi32(_mm256_castsi256_si128(p16)));
+  a1 = _mm256_add_epi32(
+      a1, _mm256_cvtepi16_epi32(_mm256_extracti128_si256(p16, 1)));
+}
+
+// Int8 chain pass for the shared merge schedule (multi_schedule.h): 16
+// outputs per step, up to kMultiGroup entries chained per out-row pass.
+struct Avx2MultiChainPassI8 {
+  template <int C, bool Ow>
+  __attribute__((always_inline)) static inline void pass(
+      std::int32_t* __restrict y, Index jt, Index je,
+      const std::int8_t* const* __restrict gr,
+      const std::int8_t* __restrict gv) {
+    const std::int8_t* __restrict r0 = gr[0];
+    const std::int8_t* __restrict r1 = C > 1 ? gr[1] : gr[0];
+    const std::int8_t* __restrict r2 = C > 2 ? gr[2] : gr[0];
+    const std::int8_t* __restrict r3 = C > 3 ? gr[3] : gr[0];
+    const std::int8_t* __restrict r4 = C > 4 ? gr[4] : gr[0];
+    const std::int8_t* __restrict r5 = C > 5 ? gr[5] : gr[0];
+    const std::int8_t* __restrict r6 = C > 6 ? gr[6] : gr[0];
+    const std::int8_t* __restrict r7 = C > 7 ? gr[7] : gr[0];
+    const __m256i v0 = _mm256_set1_epi16(static_cast<short>(gv[0]));
+    const __m256i v1 =
+        _mm256_set1_epi16(static_cast<short>(C > 1 ? gv[1] : std::int8_t{0}));
+    const __m256i v2 =
+        _mm256_set1_epi16(static_cast<short>(C > 2 ? gv[2] : std::int8_t{0}));
+    const __m256i v3 =
+        _mm256_set1_epi16(static_cast<short>(C > 3 ? gv[3] : std::int8_t{0}));
+    const __m256i v4 =
+        _mm256_set1_epi16(static_cast<short>(C > 4 ? gv[4] : std::int8_t{0}));
+    const __m256i v5 =
+        _mm256_set1_epi16(static_cast<short>(C > 5 ? gv[5] : std::int8_t{0}));
+    const __m256i v6 =
+        _mm256_set1_epi16(static_cast<short>(C > 6 ? gv[6] : std::int8_t{0}));
+    const __m256i v7 =
+        _mm256_set1_epi16(static_cast<short>(C > 7 ? gv[7] : std::int8_t{0}));
+    Index j = jt;
+    for (; j + 16 <= je; j += 16) {
+      __m256i a0 = Ow ? _mm256_setzero_si256()
+                      : _mm256_loadu_si256(
+                            reinterpret_cast<const __m256i*>(y + j));
+      __m256i a1 = Ow ? _mm256_setzero_si256()
+                      : _mm256_loadu_si256(
+                            reinterpret_cast<const __m256i*>(y + j + 8));
+      chain_step_i8(a0, a1, r0, j, v0);
+      if (C > 1) chain_step_i8(a0, a1, r1, j, v1);
+      if (C > 2) chain_step_i8(a0, a1, r2, j, v2);
+      if (C > 3) chain_step_i8(a0, a1, r3, j, v3);
+      if (C > 4) chain_step_i8(a0, a1, r4, j, v4);
+      if (C > 5) chain_step_i8(a0, a1, r5, j, v5);
+      if (C > 6) chain_step_i8(a0, a1, r6, j, v6);
+      if (C > 7) chain_step_i8(a0, a1, r7, j, v7);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(y + j), a0);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(y + j + 8), a1);
+    }
+    for (; j < je; ++j) {
+      std::int32_t a = Ow ? 0 : y[j];
+      a = madd_i8(gv[0], r0[j], a);
+      if (C > 1) a = madd_i8(gv[1], r1[j], a);
+      if (C > 2) a = madd_i8(gv[2], r2[j], a);
+      if (C > 3) a = madd_i8(gv[3], r3[j], a);
+      if (C > 4) a = madd_i8(gv[4], r4[j], a);
+      if (C > 5) a = madd_i8(gv[5], r5[j], a);
+      if (C > 6) a = madd_i8(gv[6], r6[j], a);
+      if (C > 7) a = madd_i8(gv[7], r7[j], a);
+      y[j] = a;
+    }
+  }
+};
+
+void sparse_accum_rows_multi_i8_avx2(const std::int8_t* __restrict packed,
+                                     const Index* __restrict positions,
+                                     const Index* __restrict row_start,
+                                     const std::int8_t* __restrict values,
+                                     std::int32_t* __restrict out, Index batch,
+                                     Index n) {
+  sparse_accum_rows_multi_schedule<Avx2MultiChainPassI8, false, std::int8_t,
+                                   std::int32_t>(packed, positions, row_start,
+                                                 values, out, batch, n);
+}
+
 }  // namespace
 
 const KernelBackend kAvx2Backend = {
@@ -384,6 +631,9 @@ const KernelBackend kAvx2Backend = {
     sparse_accum_rows_multi_avx2,
     sparse_accum_rows_multi_overwrite_avx2,
     axpy_avx2,
+    gemm_a_bt_i8_avx2,
+    sparse_accum_rows_i8_avx2,
+    sparse_accum_rows_multi_i8_avx2,
 };
 
 }  // namespace zss::num::simd
@@ -405,6 +655,10 @@ const KernelBackend kAvx2Backend = {
     nullptr,
     nullptr,
     nullptr,
+    nullptr,
+    nullptr,
+    nullptr,
+    // int8 slots, stubbed with the rest of the table
     nullptr,
     nullptr,
     nullptr,

@@ -28,6 +28,15 @@ const KernelBackend kAvx512Backend = {
     nullptr,
     nullptr,
     nullptr,
+    // int8 table (gemm_a_bt_i8, sparse_accum_rows_i8,
+    // sparse_accum_rows_multi_i8): also stubbed, listed explicitly so
+    // the registry stays visibly uniform — the slots default to nullptr
+    // anyway, and num/kernels.cc degrades to the scalar int8 table when
+    // a backend leaves them empty (VNNI kernels belong here once the
+    // backend graduates — ROADMAP).
+    nullptr,
+    nullptr,
+    nullptr,
 };
 
 }  // namespace zss::num::simd

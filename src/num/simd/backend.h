@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -78,8 +79,42 @@ struct KernelBackend {
   /// y += alpha * x.
   void (*axpy)(float alpha, const float* x, float* y, std::size_t n);
 
+  // --- int8 kernel table (i32 accumulation) ---------------------------
+  // The int8 contract differs from fp32 (docs/exactness.md "int8"): every
+  // product a*b is exact in i32 and accumulation wraps mod 2^32, which is
+  // associative and commutative — so int8 kernels MAY reduce horizontally
+  // and regroup freely; any summation order is bit-identical. The slots
+  // default to nullptr so backends that predate them (or out-of-tree
+  // tables) stay valid aggregates; num/kernels.cc falls back to the
+  // scalar table per call when the active backend leaves a slot empty.
+  /// C (m x n, i32) = A (m x k, i8) * B^T (B is n x k, i8); every
+  /// element overwritten.
+  void (*gemm_a_bt_i8)(const std::int8_t* a, const std::int8_t* b,
+                       std::int32_t* c, Index m, Index k, Index n) = nullptr;
+  /// Int8 twin of sparse_accum_rows: out.row(b) += values[e * batch + b]
+  /// * packed.row(positions[e]) in i32; zero-valued lanes skipped (an
+  /// exact identity in integer arithmetic too).
+  void (*sparse_accum_rows_i8)(const std::int8_t* packed,
+                               const Index* positions,
+                               std::size_t n_positions,
+                               const std::int8_t* values, std::int32_t* out,
+                               Index batch, Index n) = nullptr;
+  /// Int8 twin of sparse_accum_rows_multi (accumulate flavour only; the
+  /// engine zero-fills its i32 staging — a memset, cheap next to the
+  /// fp32 case where the overwrite flavour pays for itself).
+  void (*sparse_accum_rows_multi_i8)(const std::int8_t* packed,
+                                     const Index* positions,
+                                     const Index* row_start,
+                                     const std::int8_t* values,
+                                     std::int32_t* out, Index batch,
+                                     Index n) = nullptr;
+
   /// True when the kernel table is populated (false for stubs).
   bool implemented() const { return gemm_rows != nullptr; }
+  /// True when the int8 kernel table is populated. Tracked separately so
+  /// dispatch can fall back slot-by-slot instead of rejecting a backend
+  /// that only grew the fp32 table.
+  bool implemented_i8() const { return gemm_a_bt_i8 != nullptr; }
   /// True when this backend can actually run here.
   bool usable() const { return implemented() && available(); }
 };

@@ -53,10 +53,18 @@ inline constexpr Index kMultiLaneBlock = 32;
 inline constexpr Index kMultiGroup = 8;
 inline constexpr Index kMultiJTile = 256;
 
-template <typename ChainPass, bool Ow>
-inline void multi_dispatch_pass(int c, float* __restrict y, Index jt,
-                                Index je, const float* const* __restrict gr,
-                                const float* __restrict gv) {
+// The schedule is generic over the value type VT and the accumulator
+// type AT so the int8/i32 kernels (VT = int8_t, AT = int32_t) reuse the
+// exact same merge control flow as fp32 (VT = AT = float). For integer
+// instantiations the "chain" wording above is a stricter guarantee than
+// the contract needs — i32 wraparound addition is associative, so any
+// grouping would be bit-identical — but sharing the schedule keeps the
+// work-proportionality and cache behaviour identical across types.
+template <typename ChainPass, bool Ow, typename VT = float,
+          typename AT = float>
+inline void multi_dispatch_pass(int c, AT* __restrict y, Index jt,
+                                Index je, const VT* const* __restrict gr,
+                                const VT* __restrict gv) {
   switch (c) {
     case 1:
       ChainPass::template pass<1, Ow>(y, jt, je, gr, gv);
@@ -85,11 +93,12 @@ inline void multi_dispatch_pass(int c, float* __restrict y, Index jt,
   }
 }
 
-template <typename ChainPass, bool Overwrite = false>
+template <typename ChainPass, bool Overwrite = false, typename VT = float,
+          typename AT = float>
 inline void sparse_accum_rows_multi_schedule(
-    const float* __restrict packed, const Index* __restrict positions,
-    const Index* __restrict row_start, const float* __restrict values,
-    float* __restrict out, Index batch, Index n) {
+    const VT* __restrict packed, const Index* __restrict positions,
+    const Index* __restrict row_start, const VT* __restrict values,
+    AT* __restrict out, Index batch, Index n) {
   for (Index b0 = 0; b0 < batch; b0 += kMultiLaneBlock) {
     const Index nb = batch - b0 < kMultiLaneBlock ? batch - b0
                                                   : kMultiLaneBlock;
@@ -102,8 +111,8 @@ inline void sparse_accum_rows_multi_schedule(
     bool virgin[kMultiLaneBlock];
     for (Index q = 0; q < nb; ++q) virgin[q] = true;
     for (;;) {
-      const float* grow[kMultiLaneBlock][kMultiGroup];
-      float gval[kMultiLaneBlock][kMultiGroup];
+      const VT* grow[kMultiLaneBlock][kMultiGroup];
+      VT gval[kMultiLaneBlock][kMultiGroup];
       int gcnt[kMultiLaneBlock] = {};
       Index ng = 0;
       while (ng < kMultiGroup) {
@@ -114,7 +123,7 @@ inline void sparse_accum_rows_multi_schedule(
           if (mn < 0 || p < mn) mn = p;
         }
         if (mn < 0) break;
-        const float* __restrict row = packed + mn * n;
+        const VT* __restrict row = packed + mn * n;
         for (Index q = 0; q < nb; ++q) {
           if (cur[q] < row_start[b0 + q + 1] && positions[cur[q]] == mn) {
             grow[q][gcnt[q]] = row;
@@ -130,7 +139,7 @@ inline void sparse_accum_rows_multi_schedule(
         const Index je = jt + kMultiJTile < n ? jt + kMultiJTile : n;
         for (Index q = 0; q < nb; ++q) {
           if (gcnt[q] == 0) continue;
-          float* __restrict y = out + (b0 + q) * n;
+          AT* __restrict y = out + (b0 + q) * n;
           if constexpr (Overwrite) {
             if (virgin[q]) {
               multi_dispatch_pass<ChainPass, true>(gcnt[q], y, jt, je,
@@ -153,8 +162,8 @@ inline void sparse_accum_rows_multi_schedule(
       // the caller the zero fill it skipped.
       for (Index q = 0; q < nb; ++q) {
         if (!virgin[q]) continue;
-        float* __restrict y = out + (b0 + q) * n;
-        for (Index j = 0; j < n; ++j) y[j] = 0.0f;
+        AT* __restrict y = out + (b0 + q) * n;
+        for (Index j = 0; j < n; ++j) y[j] = AT{};
       }
     }
   }

@@ -259,6 +259,216 @@ void axpy_neon(float alpha, const float* __restrict x, float* __restrict y,
   for (; i < n; ++i) y[i] = std::fmaf(alpha, x[i], y[i]);
 }
 
+// --- int8 kernels ----------------------------------------------------
+// Wraparound-i32 exactness (num::madd_i8) is associative, so unlike the
+// fp32 kernels these reduce horizontally (vaddvq) and regroup freely.
+// Every step is exact: vmull_s8 widens products to i16 (|a*b| <=
+// 127^2), one vmlal_s8 on top stays <= 2 * 16129 = 32258 < 2^15, and
+// vpadalq_s16 pair-adds into wrapping i32 accumulators. With the
+// dot-product extension (__ARM_FEATURE_DOTPROD) the dense dot collapses
+// to one sdot per 16 bytes — same wrap semantics, same bits.
+
+inline std::int32_t dot_i8_neon(const std::int8_t* __restrict a,
+                                const std::int8_t* __restrict b, Index k) {
+  int32x4_t acc = vdupq_n_s32(0);
+  Index kk = 0;
+#if defined(__ARM_FEATURE_DOTPROD)
+  for (; kk + 16 <= k; kk += 16) {
+    acc = vdotq_s32(acc, vld1q_s8(a + kk), vld1q_s8(b + kk));
+  }
+#else
+  for (; kk + 16 <= k; kk += 16) {
+    const int8x16_t av = vld1q_s8(a + kk);
+    const int8x16_t bv = vld1q_s8(b + kk);
+    int16x8_t p = vmull_s8(vget_low_s8(av), vget_low_s8(bv));
+    p = vmlal_s8(p, vget_high_s8(av), vget_high_s8(bv));
+    acc = vpadalq_s16(acc, p);
+  }
+#endif
+  std::int32_t s = vaddvq_s32(acc);
+  for (; kk < k; ++kk) s = madd_i8(a[kk], b[kk], s);
+  return s;
+}
+
+void gemm_a_bt_i8_neon(const std::int8_t* __restrict a,
+                       const std::int8_t* __restrict b,
+                       std::int32_t* __restrict c, Index m, Index k,
+                       Index n) {
+  // Four rows of B per A row: four independent vector accumulators per
+  // widened A chunk (the same reuse shape as the fp32 kernels).
+  for (Index i = 0; i < m; ++i) {
+    const std::int8_t* __restrict arow = a + i * k;
+    std::int32_t* __restrict crow = c + i * n;
+    Index j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const std::int8_t* __restrict b0 = b + j * k;
+      const std::int8_t* __restrict b1 = b0 + k;
+      const std::int8_t* __restrict b2 = b1 + k;
+      const std::int8_t* __restrict b3 = b2 + k;
+      int32x4_t s0 = vdupq_n_s32(0);
+      int32x4_t s1 = vdupq_n_s32(0);
+      int32x4_t s2 = vdupq_n_s32(0);
+      int32x4_t s3 = vdupq_n_s32(0);
+      Index kk = 0;
+#if defined(__ARM_FEATURE_DOTPROD)
+      for (; kk + 16 <= k; kk += 16) {
+        const int8x16_t av = vld1q_s8(arow + kk);
+        s0 = vdotq_s32(s0, av, vld1q_s8(b0 + kk));
+        s1 = vdotq_s32(s1, av, vld1q_s8(b1 + kk));
+        s2 = vdotq_s32(s2, av, vld1q_s8(b2 + kk));
+        s3 = vdotq_s32(s3, av, vld1q_s8(b3 + kk));
+      }
+#else
+      for (; kk + 16 <= k; kk += 16) {
+        const int8x16_t av = vld1q_s8(arow + kk);
+        const int8x8_t al = vget_low_s8(av);
+        const int8x8_t ah = vget_high_s8(av);
+        const int8x16_t bv0 = vld1q_s8(b0 + kk);
+        int16x8_t p0 = vmull_s8(al, vget_low_s8(bv0));
+        p0 = vmlal_s8(p0, ah, vget_high_s8(bv0));
+        s0 = vpadalq_s16(s0, p0);
+        const int8x16_t bv1 = vld1q_s8(b1 + kk);
+        int16x8_t p1 = vmull_s8(al, vget_low_s8(bv1));
+        p1 = vmlal_s8(p1, ah, vget_high_s8(bv1));
+        s1 = vpadalq_s16(s1, p1);
+        const int8x16_t bv2 = vld1q_s8(b2 + kk);
+        int16x8_t p2 = vmull_s8(al, vget_low_s8(bv2));
+        p2 = vmlal_s8(p2, ah, vget_high_s8(bv2));
+        s2 = vpadalq_s16(s2, p2);
+        const int8x16_t bv3 = vld1q_s8(b3 + kk);
+        int16x8_t p3 = vmull_s8(al, vget_low_s8(bv3));
+        p3 = vmlal_s8(p3, ah, vget_high_s8(bv3));
+        s3 = vpadalq_s16(s3, p3);
+      }
+#endif
+      std::int32_t r0 = vaddvq_s32(s0);
+      std::int32_t r1 = vaddvq_s32(s1);
+      std::int32_t r2 = vaddvq_s32(s2);
+      std::int32_t r3 = vaddvq_s32(s3);
+      for (; kk < k; ++kk) {
+        const std::int8_t av = arow[kk];
+        r0 = madd_i8(av, b0[kk], r0);
+        r1 = madd_i8(av, b1[kk], r1);
+        r2 = madd_i8(av, b2[kk], r2);
+        r3 = madd_i8(av, b3[kk], r3);
+      }
+      crow[j] = r0;
+      crow[j + 1] = r1;
+      crow[j + 2] = r2;
+      crow[j + 3] = r3;
+    }
+    for (; j < n; ++j) crow[j] = dot_i8_neon(arow, b + j * k, k);
+  }
+}
+
+// y[j] += v * row[j] over 8 i32 outputs per step: widen the row chunk,
+// vmlal against the broadcast i16 value (exact — |v * r| <= 127^2).
+inline void accum_row_i8_neon(std::int8_t v, const std::int8_t* __restrict row,
+                              std::int32_t* __restrict y, Index n) {
+  const std::int16_t vs = v;
+  Index j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const int16x8_t r16 = vmovl_s8(vld1_s8(row + j));
+    int32x4_t y0 = vld1q_s32(y + j);
+    int32x4_t y1 = vld1q_s32(y + j + 4);
+    y0 = vmlal_n_s16(y0, vget_low_s16(r16), vs);
+    y1 = vmlal_n_s16(y1, vget_high_s16(r16), vs);
+    vst1q_s32(y + j, y0);
+    vst1q_s32(y + j + 4, y1);
+  }
+  for (; j < n; ++j) y[j] = madd_i8(v, row[j], y[j]);
+}
+
+void sparse_accum_rows_i8_neon(const std::int8_t* __restrict packed,
+                               const Index* __restrict positions,
+                               std::size_t n_positions,
+                               const std::int8_t* __restrict values,
+                               std::int32_t* __restrict out, Index batch,
+                               Index n) {
+  for (std::size_t e = 0; e < n_positions; ++e) {
+    const std::int8_t* __restrict row = packed + positions[e] * n;
+    for (Index b = 0; b < batch; ++b) {
+      const std::int8_t v = values[e * static_cast<std::size_t>(batch) +
+                                   static_cast<std::size_t>(b)];
+      if (v == 0) continue;  // exact identity in integers too
+      accum_row_i8_neon(v, row, out + b * n, n);
+    }
+  }
+}
+
+// One chained contribution of entry (r, v) to 8 i32 outputs at j.
+inline void chain_step_i8(int32x4_t& a0, int32x4_t& a1,
+                          const std::int8_t* __restrict r, Index j,
+                          std::int16_t v) {
+  const int16x8_t r16 = vmovl_s8(vld1_s8(r + j));
+  a0 = vmlal_n_s16(a0, vget_low_s16(r16), v);
+  a1 = vmlal_n_s16(a1, vget_high_s16(r16), v);
+}
+
+// Int8 chain pass for the shared merge schedule (multi_schedule.h).
+struct NeonMultiChainPassI8 {
+  template <int C, bool Ow>
+  __attribute__((always_inline)) static inline void pass(
+      std::int32_t* __restrict y, Index jt, Index je,
+      const std::int8_t* const* __restrict gr,
+      const std::int8_t* __restrict gv) {
+    const std::int8_t* __restrict r0 = gr[0];
+    const std::int8_t* __restrict r1 = C > 1 ? gr[1] : gr[0];
+    const std::int8_t* __restrict r2 = C > 2 ? gr[2] : gr[0];
+    const std::int8_t* __restrict r3 = C > 3 ? gr[3] : gr[0];
+    const std::int8_t* __restrict r4 = C > 4 ? gr[4] : gr[0];
+    const std::int8_t* __restrict r5 = C > 5 ? gr[5] : gr[0];
+    const std::int8_t* __restrict r6 = C > 6 ? gr[6] : gr[0];
+    const std::int8_t* __restrict r7 = C > 7 ? gr[7] : gr[0];
+    const std::int16_t v0 = gv[0];
+    const std::int16_t v1 = C > 1 ? gv[1] : std::int8_t{0};
+    const std::int16_t v2 = C > 2 ? gv[2] : std::int8_t{0};
+    const std::int16_t v3 = C > 3 ? gv[3] : std::int8_t{0};
+    const std::int16_t v4 = C > 4 ? gv[4] : std::int8_t{0};
+    const std::int16_t v5 = C > 5 ? gv[5] : std::int8_t{0};
+    const std::int16_t v6 = C > 6 ? gv[6] : std::int8_t{0};
+    const std::int16_t v7 = C > 7 ? gv[7] : std::int8_t{0};
+    Index j = jt;
+    for (; j + 8 <= je; j += 8) {
+      int32x4_t a0 = Ow ? vdupq_n_s32(0) : vld1q_s32(y + j);
+      int32x4_t a1 = Ow ? vdupq_n_s32(0) : vld1q_s32(y + j + 4);
+      chain_step_i8(a0, a1, r0, j, v0);
+      if (C > 1) chain_step_i8(a0, a1, r1, j, v1);
+      if (C > 2) chain_step_i8(a0, a1, r2, j, v2);
+      if (C > 3) chain_step_i8(a0, a1, r3, j, v3);
+      if (C > 4) chain_step_i8(a0, a1, r4, j, v4);
+      if (C > 5) chain_step_i8(a0, a1, r5, j, v5);
+      if (C > 6) chain_step_i8(a0, a1, r6, j, v6);
+      if (C > 7) chain_step_i8(a0, a1, r7, j, v7);
+      vst1q_s32(y + j, a0);
+      vst1q_s32(y + j + 4, a1);
+    }
+    for (; j < je; ++j) {
+      std::int32_t a = Ow ? 0 : y[j];
+      a = madd_i8(gv[0], r0[j], a);
+      if (C > 1) a = madd_i8(gv[1], r1[j], a);
+      if (C > 2) a = madd_i8(gv[2], r2[j], a);
+      if (C > 3) a = madd_i8(gv[3], r3[j], a);
+      if (C > 4) a = madd_i8(gv[4], r4[j], a);
+      if (C > 5) a = madd_i8(gv[5], r5[j], a);
+      if (C > 6) a = madd_i8(gv[6], r6[j], a);
+      if (C > 7) a = madd_i8(gv[7], r7[j], a);
+      y[j] = a;
+    }
+  }
+};
+
+void sparse_accum_rows_multi_i8_neon(const std::int8_t* __restrict packed,
+                                     const Index* __restrict positions,
+                                     const Index* __restrict row_start,
+                                     const std::int8_t* __restrict values,
+                                     std::int32_t* __restrict out, Index batch,
+                                     Index n) {
+  sparse_accum_rows_multi_schedule<NeonMultiChainPassI8, false, std::int8_t,
+                                   std::int32_t>(packed, positions, row_start,
+                                                 values, out, batch, n);
+}
+
 }  // namespace
 
 const KernelBackend kNeonBackend = {
@@ -273,6 +483,9 @@ const KernelBackend kNeonBackend = {
     sparse_accum_rows_multi_neon,
     sparse_accum_rows_multi_overwrite_neon,
     axpy_neon,
+    gemm_a_bt_i8_neon,
+    sparse_accum_rows_i8_neon,
+    sparse_accum_rows_multi_i8_neon,
 };
 
 }  // namespace zss::num::simd
@@ -293,6 +506,10 @@ const KernelBackend kNeonBackend = {
     nullptr,
     nullptr,
     nullptr,
+    nullptr,
+    nullptr,
+    nullptr,
+    // int8 slots, stubbed with the rest of the table
     nullptr,
     nullptr,
     nullptr,

@@ -235,6 +235,112 @@ void axpy_scalar(float alpha, const float* __restrict x, float* __restrict y,
   for (std::size_t i = 0; i < n; ++i) y[i] = madd(alpha, x[i], y[i]);
 }
 
+// --- int8 kernels ----------------------------------------------------
+// Every multiply-accumulate goes through num::madd_i8 (exact i32
+// product, wraparound add), so these loops reproduce num::reference's
+// int8 twins bit-for-bit — and since wrapping addition is associative,
+// the 4-wide accumulator blocking below is still exact, not just
+// chain-preserving (docs/exactness.md "int8").
+
+inline std::int32_t abt_dot_i8(const std::int8_t* __restrict arow,
+                               const std::int8_t* __restrict brow, Index k) {
+  std::int32_t acc = 0;
+  for (Index kk = 0; kk < k; ++kk) acc = madd_i8(arow[kk], brow[kk], acc);
+  return acc;
+}
+
+void gemm_a_bt_i8_scalar(const std::int8_t* __restrict a,
+                         const std::int8_t* __restrict b,
+                         std::int32_t* __restrict c, Index m, Index k,
+                         Index n) {
+  // Block of 4 B rows per A row: each loaded A element feeds four
+  // independent accumulators (same shape as the fp32 kernel).
+  for (Index i = 0; i < m; ++i) {
+    const std::int8_t* __restrict arow = a + i * k;
+    std::int32_t* __restrict crow = c + i * n;
+    Index j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const std::int8_t* __restrict b0 = b + j * k;
+      const std::int8_t* __restrict b1 = b0 + k;
+      const std::int8_t* __restrict b2 = b1 + k;
+      const std::int8_t* __restrict b3 = b2 + k;
+      std::int32_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+      for (Index kk = 0; kk < k; ++kk) {
+        const std::int8_t av = arow[kk];
+        s0 = madd_i8(av, b0[kk], s0);
+        s1 = madd_i8(av, b1[kk], s1);
+        s2 = madd_i8(av, b2[kk], s2);
+        s3 = madd_i8(av, b3[kk], s3);
+      }
+      crow[j] = s0;
+      crow[j + 1] = s1;
+      crow[j + 2] = s2;
+      crow[j + 3] = s3;
+    }
+    for (; j < n; ++j) crow[j] = abt_dot_i8(arow, b + j * k, k);
+  }
+}
+
+void sparse_accum_rows_i8_scalar(const std::int8_t* __restrict packed,
+                                 const Index* __restrict positions,
+                                 std::size_t n_positions,
+                                 const std::int8_t* __restrict values,
+                                 std::int32_t* __restrict out, Index batch,
+                                 Index n) {
+  for (std::size_t e = 0; e < n_positions; ++e) {
+    const std::int8_t* __restrict row = packed + positions[e] * n;
+    for (Index b = 0; b < batch; ++b) {
+      const std::int8_t v = values[e * static_cast<std::size_t>(batch) +
+                                   static_cast<std::size_t>(b)];
+      if (v == 0) continue;  // exact identity in integers too
+      std::int32_t* __restrict yrow = out + b * n;
+      for (Index j = 0; j < n; ++j) yrow[j] = madd_i8(v, row[j], yrow[j]);
+    }
+  }
+}
+
+// Int8 chain pass for the shared merge schedule. Only the accumulate
+// flavour is registered (no overwrite slot in the int8 table), but the
+// template is flavour-complete for uniformity.
+struct ScalarMultiChainPassI8 {
+  template <int C, bool Ow>
+  static inline void pass(std::int32_t* __restrict y, Index jt, Index je,
+                          const std::int8_t* const* __restrict gr,
+                          const std::int8_t* __restrict gv) {
+    const std::int8_t* __restrict r0 = gr[0];
+    const std::int8_t* __restrict r1 = C > 1 ? gr[1] : gr[0];
+    const std::int8_t* __restrict r2 = C > 2 ? gr[2] : gr[0];
+    const std::int8_t* __restrict r3 = C > 3 ? gr[3] : gr[0];
+    const std::int8_t* __restrict r4 = C > 4 ? gr[4] : gr[0];
+    const std::int8_t* __restrict r5 = C > 5 ? gr[5] : gr[0];
+    const std::int8_t* __restrict r6 = C > 6 ? gr[6] : gr[0];
+    const std::int8_t* __restrict r7 = C > 7 ? gr[7] : gr[0];
+    for (Index j = jt; j < je; ++j) {
+      std::int32_t a = Ow ? 0 : y[j];
+      a = madd_i8(gv[0], r0[j], a);
+      if (C > 1) a = madd_i8(gv[1], r1[j], a);
+      if (C > 2) a = madd_i8(gv[2], r2[j], a);
+      if (C > 3) a = madd_i8(gv[3], r3[j], a);
+      if (C > 4) a = madd_i8(gv[4], r4[j], a);
+      if (C > 5) a = madd_i8(gv[5], r5[j], a);
+      if (C > 6) a = madd_i8(gv[6], r6[j], a);
+      if (C > 7) a = madd_i8(gv[7], r7[j], a);
+      y[j] = a;
+    }
+  }
+};
+
+void sparse_accum_rows_multi_i8_scalar(const std::int8_t* __restrict packed,
+                                       const Index* __restrict positions,
+                                       const Index* __restrict row_start,
+                                       const std::int8_t* __restrict values,
+                                       std::int32_t* __restrict out,
+                                       Index batch, Index n) {
+  sparse_accum_rows_multi_schedule<ScalarMultiChainPassI8, false, std::int8_t,
+                                   std::int32_t>(packed, positions, row_start,
+                                                 values, out, batch, n);
+}
+
 bool always_available() { return true; }
 
 }  // namespace
@@ -250,6 +356,9 @@ const KernelBackend kScalarBackend = {
     sparse_accum_rows_multi_scalar,
     sparse_accum_rows_multi_overwrite_scalar,
     axpy_scalar,
+    gemm_a_bt_i8_scalar,
+    sparse_accum_rows_i8_scalar,
+    sparse_accum_rows_multi_i8_scalar,
 };
 
 }  // namespace zss::num::simd

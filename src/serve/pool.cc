@@ -24,7 +24,7 @@ EnginePool::EnginePool(const nn::LstmCell& cell,
   ZSS_EXPECTS(config.shards >= 1);
   for (num::Index i = 0; i < config.shards; ++i) {
     shards_.emplace_back(cell, pruner, config.policy, config.encoder,
-                         config.session_ttl);
+                         config.session_ttl, config.quant);
   }
   if (!config.spill.dir.empty()) {
     store::Env* env = config.spill.env;

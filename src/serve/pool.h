@@ -44,6 +44,10 @@ struct PoolConfig {
   /// Session eviction policy, applied per shard (serve/session.h).
   SessionTtl session_ttl;
   SpillConfig spill;
+  /// Engine datapath for every shard: default fp32, or the int8
+  /// quantized mode (core::QuantConfig::int8()); shard-count
+  /// determinism holds for both (tests/serve/shard_determinism_test.cc).
+  core::QuantConfig quant;
 };
 
 class EnginePool {

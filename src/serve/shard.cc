@@ -27,9 +27,10 @@ double thread_cpu_us() {
 EngineShard::EngineShard(const nn::LstmCell& cell,
                          const core::StatePruner& pruner,
                          const BatchPolicy& policy,
-                         sparse::EncoderConfig encoder, SessionTtl ttl)
+                         sparse::EncoderConfig encoder, SessionTtl ttl,
+                         core::QuantConfig quant)
     : cell_(&cell),
-      engine_(cell, pruner, encoder),
+      engine_(cell, pruner, encoder, quant),
       sessions_(cell.hidden_dim(), ttl),
       batcher_(policy) {
   // A whole-batch quantile threshold would make a session's outputs

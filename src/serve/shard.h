@@ -62,9 +62,15 @@ class EngineShard {
   /// pruning — see the determinism note above. A bounded session store
   /// (ttl.max_sessions > 0) must leave room for a whole batch of
   /// pinned lanes plus an eviction victim: max_sessions > max_batch.
+  /// `quant` selects the engine's datapath: default fp32, or the int8
+  /// quantized mode (core::QuantConfig::int8()). Quantized shards keep
+  /// the full determinism guarantee — every quantization scale is
+  /// fixed at construction, so no batch-composition dependence can
+  /// enter through the datapath (docs/exactness.md "int8").
   EngineShard(const nn::LstmCell& cell, const core::StatePruner& pruner,
               const BatchPolicy& policy,
-              sparse::EncoderConfig encoder = {}, SessionTtl ttl = {});
+              sparse::EncoderConfig encoder = {}, SessionTtl ttl = {},
+              core::QuantConfig quant = {});
 
   void enqueue(const Request& r) { batcher_.enqueue(r); }
 

@@ -1,0 +1,156 @@
+// The int8 exactness contract at the engine level (docs/exactness.md
+// "int8"): the quantized step(), the quantized step_dense() and the
+// independent naive QuantizedLstmReference twin must produce
+// bit-identical h/c trajectories — at every batch size, on every
+// registered-and-available backend. Integer products are exact and i32
+// accumulation wraps mod 2^32 (associative), so no summation schedule
+// can legally change a single bit; any mismatch is a real datapath bug,
+// never "quantization noise".
+#include "core/quantized_reference.h"
+#include "core/sparse_inference.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "num/rng.h"
+#include "num/simd/backend.h"
+
+namespace zss::core {
+namespace {
+
+using num::Index;
+using num::Matrix;
+using num::Rng;
+
+Matrix random_matrix(Index rows, Index cols, Rng& rng, double scale = 0.5) {
+  Matrix m(rows, cols);
+  for (float& v : m.flat()) v = static_cast<float>(rng.uniform(-scale, scale));
+  return m;
+}
+
+class QuantizedInferenceTest : public ::testing::Test {
+ protected:
+  QuantizedInferenceTest() : rng_(42), cell_(6, 24, rng_) {}
+  void TearDown() override { num::simd::set_backend_for_testing(nullptr); }
+
+  Rng rng_;
+  nn::LstmCell cell_;
+};
+
+TEST_F(QuantizedInferenceTest, QuantStepEqualsDenseAndTwinOnEveryBackend) {
+  const Index dh = cell_.hidden_dim();
+  const Index dx = cell_.input_dim();
+  StatePruner pruner(PrunerConfig::fixed(0.08f));
+  for (const num::simd::KernelBackend* backend :
+       num::simd::available_backends()) {
+    num::simd::set_backend_for_testing(backend);
+    for (Index batch : {Index{1}, Index{2}, Index{8}, Index{32}}) {
+      SCOPED_TRACE(std::string(backend->name) + " batch " +
+                   std::to_string(batch));
+      SparseLstmEngine sparse(cell_, pruner, {}, QuantConfig::int8());
+      SparseLstmEngine dense(cell_, pruner, {}, QuantConfig::int8());
+      QuantizedLstmReference twin(cell_, pruner);
+      ASSERT_TRUE(sparse.quantized());
+      Rng step_rng(1000 + static_cast<std::uint64_t>(batch));
+      Matrix h_s(batch, dh, 0.0f), c_s(batch, dh, 0.0f);
+      Matrix h_d(batch, dh, 0.0f), c_d(batch, dh, 0.0f);
+      Matrix h_t(batch, dh, 0.0f), c_t(batch, dh, 0.0f);
+      for (int t = 0; t < 12; ++t) {
+        const Matrix x = random_matrix(batch, dx, step_rng);
+        sparse.step(x, h_s, c_s);
+        dense.step_dense(x, h_d, c_d);
+        twin.step(x, h_t, c_t);
+        ASSERT_EQ(h_s, h_d) << "step " << t;
+        ASSERT_EQ(c_s, c_d) << "step " << t;
+        ASSERT_EQ(h_s, h_t) << "step " << t;
+        ASSERT_EQ(c_s, c_t) << "step " << t;
+      }
+      // The sparse engine really skipped: with pruning on, effectual
+      // state MACs must undercut the dense count at every batch size.
+      EXPECT_LT(sparse.stats().state_macs_effectual,
+                sparse.stats().state_macs_total);
+      EXPECT_EQ(dense.stats().state_macs_effectual,
+                dense.stats().state_macs_total);
+    }
+  }
+}
+
+TEST_F(QuantizedInferenceTest, StatesRoundTripTheInt8Grid) {
+  // Every h/c the quantized engine stores is float(q) * kStateScale for
+  // an integer q (|q| <= 127 for h, |q| <= 127 * c_clip for c), so the
+  // next step's re-quantization (round(v / kStateScale)) recovers q
+  // exactly — the round trip the skip path's zero pattern rides on.
+  StatePruner pruner(PrunerConfig::fixed(0.08f));
+  SparseLstmEngine engine(cell_, pruner, {}, QuantConfig::int8());
+  const QuantConfig& cfg = engine.quant_config();
+  const float grid = nn::PackedLstmWeightsI8::kStateScale;
+  Matrix h(4, cell_.hidden_dim(), 0.0f);
+  Matrix c(4, cell_.hidden_dim(), 0.0f);
+  for (int t = 0; t < 8; ++t) {
+    const Matrix x = random_matrix(4, cell_.input_dim(), rng_);
+    engine.step(x, h, c);
+  }
+  for (float v : h.flat()) {
+    const float q = std::nearbyint(v / grid);
+    EXPECT_LE(std::fabs(q), 127.0f);
+    EXPECT_EQ(v, static_cast<float>(q) * grid);
+  }
+  for (float v : c.flat()) {
+    const float q = std::nearbyint(v / grid);
+    EXPECT_LE(std::fabs(q), 127.0f * static_cast<float>(cfg.c_clip));
+    EXPECT_EQ(v, static_cast<float>(q) * grid);
+  }
+}
+
+TEST_F(QuantizedInferenceTest, QuantizedAccessorsAndSharedScale) {
+  StatePruner pruner(PrunerConfig::fixed(0.08f));
+  SparseLstmEngine fp32(cell_, pruner);
+  EXPECT_FALSE(fp32.quantized());
+  EXPECT_EQ(fp32.packed_weights_i8(), nullptr);
+
+  SparseLstmEngine q(cell_, pruner, {}, QuantConfig::int8());
+  EXPECT_TRUE(q.quantized());
+  ASSERT_NE(q.packed_weights_i8(), nullptr);
+  // The twin re-derives the shared Wx/Wh scale independently; both
+  // must land on the identical float.
+  QuantizedLstmReference twin(cell_, pruner);
+  EXPECT_EQ(q.packed_weights_i8()->weight_scale.scale, twin.weight_scale());
+}
+
+TEST_F(QuantizedInferenceTest, BatchCompositionDoesNotChangeALane) {
+  // Serving determinism at the engine level: a lane stepped alone must
+  // match the same lane stepped inside a batch of strangers — all
+  // quantization scales are fixed at construction, so nothing
+  // batch-dependent can enter the datapath.
+  const Index dh = cell_.hidden_dim();
+  const Index dx = cell_.input_dim();
+  StatePruner pruner(PrunerConfig::fixed(0.08f));
+  SparseLstmEngine solo(cell_, pruner, {}, QuantConfig::int8());
+  SparseLstmEngine batched(cell_, pruner, {}, QuantConfig::int8());
+
+  Matrix h1(1, dh, 0.0f), c1(1, dh, 0.0f);
+  Matrix hb(5, dh, 0.0f), cb(5, dh, 0.0f);
+  for (Index r = 0; r < 5; ++r) {
+    for (Index j = 0; j < dh; ++j) {
+      if (r > 0) {
+        hb(r, j) = static_cast<float>(rng_.uniform(-1.0, 1.0));
+        cb(r, j) = static_cast<float>(rng_.uniform(-1.0, 1.0));
+      }
+    }
+  }
+  for (int t = 0; t < 10; ++t) {
+    const Matrix x1 = random_matrix(1, dx, rng_);
+    Matrix xb = random_matrix(5, dx, rng_);
+    for (Index j = 0; j < dx; ++j) xb(0, j) = x1(0, j);
+    solo.step(x1, h1, c1);
+    batched.step(xb, hb, cb);
+    for (Index j = 0; j < dh; ++j) {
+      ASSERT_EQ(h1(0, j), hb(0, j)) << "step " << t << " j " << j;
+      ASSERT_EQ(c1(0, j), cb(0, j)) << "step " << t << " j " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace zss::core

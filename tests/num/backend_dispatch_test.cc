@@ -96,6 +96,110 @@ TEST_F(BackendDispatchTest, EnvVarWithUnknownNameStillYieldsScalar) {
   EXPECT_STREQ(active_backend().name, "scalar");
 }
 
+// --- int8 slot uniformity and the missing-slot fallback ---------------
+
+TEST_F(BackendDispatchTest, Int8SlotsAreAllOrNothingPerBackend) {
+  // A backend either fills all three int8 slots or none: the per-call
+  // fallback in num/kernels.cc switches the whole int8 table at once,
+  // so a half-filled registration would silently mix schedules (legal
+  // bitwise, but a registration bug worth failing loudly on).
+  for (const KernelBackend* b : registered_backends()) {
+    const bool any = b->gemm_a_bt_i8 != nullptr ||
+                     b->sparse_accum_rows_i8 != nullptr ||
+                     b->sparse_accum_rows_multi_i8 != nullptr;
+    if (any) {
+      EXPECT_NE(b->gemm_a_bt_i8, nullptr) << b->name;
+      EXPECT_NE(b->sparse_accum_rows_i8, nullptr) << b->name;
+      EXPECT_NE(b->sparse_accum_rows_multi_i8, nullptr) << b->name;
+      EXPECT_TRUE(b->implemented_i8()) << b->name;
+    } else {
+      EXPECT_FALSE(b->implemented_i8()) << b->name;
+    }
+  }
+  // Every *implemented* backend in this repo carries the int8 table;
+  // only the avx512 stub is allowed to lack it.
+  for (const KernelBackend* b : registered_backends()) {
+    if (b->implemented()) EXPECT_TRUE(b->implemented_i8()) << b->name;
+  }
+}
+
+TEST_F(BackendDispatchTest, MissingInt8SlotsFallBackToScalarNotCrash) {
+  // Regression: an env-overridden (or future) backend that predates the
+  // int8 slots leaves them nullptr. The int8 entry points must degrade
+  // to the scalar table per call — never dispatch through a null slot.
+  KernelBackend gutted = kScalarBackend;  // available + fp32-complete
+  gutted.name = "gutted-no-int8";
+  gutted.gemm_a_bt_i8 = nullptr;
+  gutted.sparse_accum_rows_i8 = nullptr;
+  gutted.sparse_accum_rows_multi_i8 = nullptr;
+  ASSERT_TRUE(gutted.implemented());
+  ASSERT_FALSE(gutted.implemented_i8());
+  set_backend_for_testing(&gutted);
+
+  Rng rng(4242);
+  const Index dh = 19;
+  const Index batch = 3;
+  MatrixI8 a(batch, dh);
+  MatrixI8 b(4 * dh, dh);
+  for (std::int8_t& v : a.flat()) {
+    v = static_cast<std::int8_t>(rng.uniform(-127.0, 128.0));
+  }
+  for (std::int8_t& v : b.flat()) {
+    v = static_cast<std::int8_t>(rng.uniform(-127.0, 128.0));
+  }
+  MatrixI32 got;
+  gemm_a_bt_i8(a, b, got);  // must not crash
+  MatrixI32 want;
+  reference::gemm_a_bt_i8(a, b, want);
+  ASSERT_TRUE(got.same_shape(want));
+  EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                        static_cast<std::size_t>(got.size()) *
+                            sizeof(std::int32_t)),
+            0);
+
+  const std::vector<Index> positions{0, 7, dh - 1};
+  std::vector<std::int8_t> values;
+  for (std::size_t e = 0; e < positions.size(); ++e) {
+    for (Index lane = 0; lane < batch; ++lane) {
+      values.push_back(static_cast<std::int8_t>(rng.uniform(-127.0, 128.0)));
+    }
+  }
+  MatrixI32 out(batch, 4 * dh, 0);
+  MatrixI32 out_ref(batch, 4 * dh, 0);
+  MatrixI8 packed(dh, 4 * dh);
+  for (std::int8_t& v : packed.flat()) {
+    v = static_cast<std::int8_t>(rng.uniform(-127.0, 128.0));
+  }
+  sparse_accum_rows_i8(packed, positions, values, out);
+  reference::sparse_accum_rows_i8(packed, positions, values, out_ref);
+  EXPECT_EQ(std::memcmp(out.data(), out_ref.data(),
+                        static_cast<std::size_t>(out.size()) *
+                            sizeof(std::int32_t)),
+            0);
+
+  std::vector<Index> csr_positions;
+  std::vector<Index> row_start{0};
+  std::vector<std::int8_t> csr_values;
+  for (Index lane = 0; lane < batch; ++lane) {
+    for (Index j = lane; j < dh; j += 2) {
+      csr_positions.push_back(j);
+      csr_values.push_back(
+          static_cast<std::int8_t>(rng.uniform(-127.0, 128.0)));
+    }
+    row_start.push_back(static_cast<Index>(csr_positions.size()));
+  }
+  out.fill(0);
+  out_ref.fill(0);
+  sparse_accum_rows_multi_i8(packed, csr_positions, row_start, csr_values,
+                             out);
+  reference::sparse_accum_rows_multi_i8(packed, csr_positions, row_start,
+                                        csr_values, out_ref);
+  EXPECT_EQ(std::memcmp(out.data(), out_ref.data(),
+                        static_cast<std::size_t>(out.size()) *
+                            sizeof(std::int32_t)),
+            0);
+}
+
 // --- cross-backend agreement on degenerate kept-row sets --------------
 
 Matrix random_matrix(Index rows, Index cols, Rng& rng) {

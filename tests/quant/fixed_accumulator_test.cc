@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "num/rng.h"
 
@@ -109,6 +110,56 @@ TEST_P(AccumulatorFidelityTest, TracksTrueSumWithinRoundingBound) {
 
 INSTANTIATE_TEST_SUITE_P(Lengths, AccumulatorFidelityTest,
                          ::testing::Values(1, 4, 16, 64, 100, 256));
+
+// --- overflow regression cases ---------------------------------------
+// The scratch word saturates (it never wraps) — the opposite of the
+// software int8 path's i32 accumulator, which wraps mod 2^32 by design
+// (num::madd_i8). These regressions pin both halves of that boundary:
+// the hardware model must clamp sticky, and the clamp must be at the
+// exact word limits.
+
+TEST(FixedAccumulatorTest, LongMaxProductRunClampsAtWordMaxNotWrap) {
+  FixedAccumulator acc(12, 6);  // word max 2047
+  for (int i = 0; i < 10000; ++i) acc.add_product(127 * 127);
+  EXPECT_TRUE(acc.saturated());
+  EXPECT_EQ(acc.raw(), 2047);  // pinned, not wrapped negative
+}
+
+TEST(FixedAccumulatorTest, LongMinProductRunClampsAtWordMinNotWrap) {
+  FixedAccumulator acc(12, 6);
+  for (int i = 0; i < 10000; ++i) acc.add_product(-127 * 127);
+  EXPECT_TRUE(acc.saturated());
+  EXPECT_EQ(acc.raw(), -2048);
+}
+
+TEST(FixedAccumulatorTest, SaturationFlagIsStickyButValueRecovers) {
+  FixedAccumulator acc(12, 0);
+  acc.add_raw(2047);
+  acc.add_raw(1);  // clamps high
+  EXPECT_TRUE(acc.saturated());
+  EXPECT_EQ(acc.raw(), 2047);
+  acc.add_raw(-100);  // arithmetic continues from the clamp
+  EXPECT_EQ(acc.raw(), 1947);
+  EXPECT_TRUE(acc.saturated()) << "flag must stay set for the epoch";
+  acc.reset();
+  EXPECT_FALSE(acc.saturated());
+  EXPECT_EQ(acc.raw(), 0);
+}
+
+TEST(FixedAccumulatorTest, AddRawAtInt32EdgeDoesNotOverflowInternally) {
+  // add_raw widens to i64 before clamping; feeding values near the
+  // int32 edge must clamp cleanly instead of tripping signed overflow
+  // (regression for the sanitizer jobs).
+  FixedAccumulator acc(30, 0);  // widest allowed word
+  const std::int32_t word_max = (std::int32_t{1} << 29) - 1;
+  acc.add_raw(word_max);
+  acc.add_raw(std::numeric_limits<std::int32_t>::max());
+  EXPECT_TRUE(acc.saturated());
+  EXPECT_EQ(acc.raw(), word_max);
+  acc.add_raw(std::numeric_limits<std::int32_t>::min());
+  // word_max + INT32_MIN undershoots the word range: clamps at word min.
+  EXPECT_EQ(acc.raw(), -(std::int32_t{1} << 29));
+}
 
 }  // namespace
 }  // namespace zss::quant

@@ -103,5 +103,56 @@ TEST(LutTest, CoarseInputGridLosesAccuracyBetweenGridPoints) {
   EXPECT_LT(pipeline_error(8.0f), 0.04f);   // the accelerator's setting
 }
 
+// The grids the quantized engine actually builds (core::QuantConfig:
+// pre-activation grid 8/127, cell grid 8/127): endpoints must pin to
+// the saturated codes, so clipping the i32 pre-activation at ±127
+// before the LUT loses nothing the nonlinearity hadn't already lost.
+TEST(LutTest, EnginePreGridEndpointsPinToSaturation) {
+  const QuantParams pre{8.0f / 127.0f};
+  NonlinearLut sig(Nonlinearity::kSigmoid, pre);
+  NonlinearLut tanh_lut(Nonlinearity::kTanh, pre);
+  // sigmoid(±8) = 0.99966 / 0.00033 -> codes 127 / 0.
+  EXPECT_EQ(sig.apply(127), 127);
+  EXPECT_EQ(sig.apply(-127), 0);
+  // tanh(±8) = ±0.99999977 -> codes ±127.
+  EXPECT_EQ(tanh_lut.apply(127), 127);
+  EXPECT_EQ(tanh_lut.apply(-127), -127);
+  // And zero maps to the exact fixed points: tanh(0) = 0, sigmoid(0)
+  // rounds 63.5 to the even code 64.
+  EXPECT_EQ(tanh_lut.apply(0), 0);
+  EXPECT_EQ(sig.apply(0), 64);
+}
+
+// Odd symmetry of the tanh table over the symmetric code range: the
+// engine's integer cell update relies on negation staying exact through
+// the activations (matching the quantizer's negation symmetry).
+TEST(LutTest, TanhTableIsOddOverSymmetricRange) {
+  for (float clip : {1.0f, 4.0f, 8.0f}) {
+    NonlinearLut lut(Nonlinearity::kTanh, QuantParams{clip / 127.0f});
+    for (int code = -127; code <= 127; ++code) {
+      EXPECT_EQ(lut.apply(static_cast<std::int8_t>(-code)),
+                static_cast<std::int8_t>(-lut.apply(
+                    static_cast<std::int8_t>(code))))
+          << "clip " << clip << " code " << code;
+    }
+  }
+}
+
+// Monotonicity across EVERY adjacent code pair of the engine grids —
+// the existing MonotoneNonDecreasing covers one grid; the engine's
+// correctness argument needs it on the grids it instantiates.
+TEST(LutTest, EngineGridsMonotoneOverFullRange) {
+  for (float scale : {8.0f / 127.0f, 1.0f / 127.0f}) {
+    for (Nonlinearity kind : {Nonlinearity::kSigmoid, Nonlinearity::kTanh}) {
+      NonlinearLut lut(kind, QuantParams{scale});
+      for (int code = -127; code < 127; ++code) {
+        EXPECT_LE(lut.apply(static_cast<std::int8_t>(code)),
+                  lut.apply(static_cast<std::int8_t>(code + 1)))
+            << "scale " << scale << " code " << code;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace zss::quant

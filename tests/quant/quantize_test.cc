@@ -134,5 +134,54 @@ TEST(QuantizeTest, ZeroMapsToZeroCode) {
   EXPECT_FLOAT_EQ(dequantize_one(0, p), 0.0f);
 }
 
+// Negating the input negates the code exactly — the reason the range is
+// the symmetric [-127, 127] with -128 unused (quantize.h), and what the
+// sign-magnitude skip logic of the accelerator assumes.
+TEST(QuantizeTest, NegationSymmetryProperty) {
+  num::Rng rng(314);
+  const QuantParams p{0.031f};
+  for (int i = 0; i < 2000; ++i) {
+    const float x = static_cast<float>(rng.uniform(-6.0, 6.0));
+    EXPECT_EQ(quantize_one(-x, p),
+              static_cast<std::int8_t>(-quantize_one(x, p)))
+        << x;
+  }
+}
+
+// quantize(dequantize(quantize(x))) == quantize(x): one round trip
+// reaches the grid, a second changes nothing. The engine's quantized
+// step leans on exactly this — h is written back as dequantized codes
+// and re-quantized next step without drift.
+TEST(QuantizeTest, RoundTripIsIdempotentProperty) {
+  num::Rng rng(2718);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<float> x(64);
+    for (auto& v : x) v = static_cast<float>(rng.uniform(-3.0, 3.0));
+    const QuantParams p = choose_scale(x);
+    std::vector<std::int8_t> q1(x.size());
+    quantize(x, p, q1);
+    std::vector<float> back(x.size());
+    dequantize(q1, p, back);
+    std::vector<std::int8_t> q2(x.size());
+    quantize(back, p, q2);
+    EXPECT_EQ(q1, q2);
+  }
+}
+
+// With the scale chosen by choose_scale (no clipping anywhere in
+// range), every element round-trips within half a quantization step.
+TEST(QuantizeTest, ChosenScaleRoundTripErrorBoundProperty) {
+  num::Rng rng(999);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<float> x(128);
+    for (auto& v : x) v = static_cast<float>(rng.uniform(-5.0, 5.0));
+    const QuantParams p = choose_scale(x);
+    for (float v : x) {
+      const float back = dequantize_one(quantize_one(v, p), p);
+      EXPECT_LE(std::fabs(back - v), 0.5f * p.scale + 1e-6f) << v;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace zss::quant

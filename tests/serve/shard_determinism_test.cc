@@ -209,5 +209,77 @@ TEST_F(ShardDeterminismTest, ParallelDrainMatchesSequentialFlush) {
   EXPECT_EQ(seq_log, par_log);
 }
 
+// --- quantized shards -------------------------------------------------
+// The int8 datapath keeps the full determinism guarantee: every
+// quantization scale is fixed when the engine is constructed, so batch
+// mates and shard assignment cannot leak into a session's outputs
+// (docs/exactness.md "int8"). Same trace, quantized everywhere, swept
+// over shard counts against a quantized batch-of-one oracle.
+
+class QuantShardDeterminismTest : public ShardDeterminismTest {
+ protected:
+  OutputLog quant_oracle() {
+    core::SparseLstmEngine engine(cell_, pruner_, {},
+                                  core::QuantConfig::int8());
+    std::map<SessionId, std::pair<num::Matrix, num::Matrix>> states;
+    OutputLog log;
+    num::Matrix x(1, cell_.input_dim());
+    for (const TraceEvent& e : trace_) {
+      auto [it, fresh] = states.try_emplace(e.session);
+      if (fresh) {
+        it->second.first.resize(1, cell_.hidden_dim(), 0.0f);
+        it->second.second.resize(1, cell_.hidden_dim(), 0.0f);
+      }
+      x.fill(0.0f);
+      x(0, e.token % cell_.input_dim()) = 1.0f;
+      engine.step(x, it->second.first, it->second.second);
+      auto row = it->second.first.row(0);
+      log[e.session].emplace_back(row.begin(), row.end());
+    }
+    return log;
+  }
+
+  OutputLog run_quant_pool(num::Index shards, num::Index max_batch) {
+    PoolConfig config;
+    config.shards = shards;
+    config.policy.max_batch = max_batch;
+    config.policy.max_wait_us = 200;
+    config.quant = core::QuantConfig::int8();
+    EnginePool pool(cell_, pruner_, config);
+    for (num::Index s = 0; s < shards; ++s) {
+      EXPECT_TRUE(pool.shard(s).engine().quantized());
+    }
+    OutputLog log;
+    const ResponseSink sink = [&](const Response& r) {
+      log[r.session].emplace_back(r.h.begin(), r.h.end());
+    };
+    const ReplayResult result = replay(pool, trace_, sink);
+    EXPECT_EQ(result.responses, result.requests) << "lost or duplicated work";
+    return log;
+  }
+};
+
+TEST_F(QuantShardDeterminismTest, ShardSweepMatchesQuantOracleBitwise) {
+  const OutputLog want = quant_oracle();
+  for (const num::Index shards : {1, 2, 4}) {
+    EXPECT_EQ(run_quant_pool(shards, /*max_batch=*/8), want)
+        << "shards " << shards;
+  }
+}
+
+TEST_F(QuantShardDeterminismTest, QuantBatchSizeSweepBitwiseIdentical) {
+  const OutputLog want = quant_oracle();
+  for (const num::Index max_batch : {1, 3, 8}) {
+    EXPECT_EQ(run_quant_pool(/*shards=*/2, max_batch), want)
+        << "max_batch " << max_batch;
+  }
+}
+
+TEST_F(QuantShardDeterminismTest, QuantOutputsDifferFromFp32) {
+  // Guard against the quant flag silently not reaching the engine: the
+  // int8 datapath must NOT reproduce the fp32 bits on this cell.
+  EXPECT_NE(quant_oracle(), oracle());
+}
+
 }  // namespace
 }  // namespace zss::serve

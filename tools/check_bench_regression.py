@@ -14,6 +14,15 @@ Dispatches on the artifact's "bench" field:
       regression that motivated the per-lane path was 0.87x there).
     - Soft warnings: any (sparsity, batch) cell whose wall_speedup
       dropped more than WARN_FRACTION below the reference.
+    - The optional "int8" block (the quantized datapath) gets the same
+      treatment: every int8 row must be bit_exact — here that means
+      bit-identical to the serial integer reference twin, so a false is
+      an arithmetic bug, never noise — and if the reference recorded an
+      int8 block the fresh artifact must have one too (the quantized
+      path silently disappearing from the bench is a regression). Soft
+      warnings on int8 wall_speedup drift per cell and on the dense
+      int8 GMAC/s throughput (and its ratio over fp32) dropping more
+      than WARN_FRACTION below the reference recording.
 
 * bench == "serving" (reference defaults to BENCH_serving.json):
     - Hard gates (exit 1): every tiering row must have
@@ -98,7 +107,59 @@ def check_sparse_inference(fresh, ref, failures, warnings):
                 f"{ref_row['wall_speedup']:.3f} "
                 f"(-{(1 - row['wall_speedup'] / ref_row['wall_speedup']) * 100:.0f}%)"
             )
-    return len(cells(fresh))
+    return len(cells(fresh)) + check_int8(fresh, ref, failures, warnings)
+
+
+def check_int8(fresh, ref, failures, warnings):
+    """The quantized block of a sparse_inference artifact (if any)."""
+    fresh_int8 = fresh.get("int8")
+    ref_int8 = ref.get("int8")
+    if fresh_int8 is None:
+        if ref_int8 is not None:
+            failures.append(
+                "int8 block missing — the reference records the quantized "
+                "datapath but the fresh bench did not run it"
+            )
+        return 0
+
+    for (sparsity, batch), row in sorted(cells(fresh_int8).items()):
+        if not row.get("bit_exact", False):
+            failures.append(
+                f"int8 bit_exact=false at sparsity {sparsity} batch {batch} "
+                f"— the quantized path diverged from its integer reference "
+                f"twin; this is an arithmetic bug, not noise"
+            )
+
+    if ref_int8 is None:
+        warnings.append("reference has no int8 block; skipping int8 drift")
+        return len(cells(fresh_int8))
+
+    ref_cells = cells(ref_int8)
+    for key, row in sorted(cells(fresh_int8).items()):
+        ref_row = ref_cells.get(key)
+        if ref_row is None:
+            warnings.append(f"int8 cell {key} missing from reference")
+            continue
+        floor = ref_row["wall_speedup"] * (1.0 - WARN_FRACTION)
+        if row["wall_speedup"] < floor:
+            warnings.append(
+                f"int8 wall_speedup at sparsity {key[0]} batch {key[1]}: "
+                f"{row['wall_speedup']:.3f} vs reference "
+                f"{ref_row['wall_speedup']:.3f} "
+                f"(-{(1 - row['wall_speedup'] / ref_row['wall_speedup']) * 100:.0f}%)"
+            )
+    for field in ("dense_int8_gmacs", "dense_int8_vs_fp32"):
+        fresh_v = fresh_int8.get(field)
+        ref_v = ref_int8.get(field)
+        if fresh_v is None or ref_v is None:
+            continue
+        if fresh_v < ref_v * (1.0 - WARN_FRACTION):
+            warnings.append(
+                f"int8 {field}: {fresh_v:.3f} vs reference {ref_v:.3f} "
+                f"(-{(1 - fresh_v / ref_v) * 100:.0f}%) — the quantized "
+                f"dense throughput edge is eroding"
+            )
+    return len(cells(fresh_int8))
 
 
 def check_serving(fresh, ref, failures, warnings):

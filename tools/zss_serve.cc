@@ -84,6 +84,7 @@ struct Args {
   float threshold = 0.05f;  // ~60-80% observed sparsity on the seeded cell
   std::uint64_t seed = 1;
   bool dump = false;
+  bool quant = false;  // int8 engine datapath (core::QuantConfig::int8())
 };
 
 bool parse(int argc, char** argv, Args& args) {
@@ -137,6 +138,8 @@ bool parse(int argc, char** argv, Args& args) {
       args.seed = std::strtoull(v, nullptr, 10);
     } else if (a == "--dump") {
       args.dump = true;
+    } else if (a == "--quant") {
+      args.quant = true;
     } else if (a == "--help" || a == "-h") {
       return false;
     } else {
@@ -202,7 +205,9 @@ void usage() {
       "                 [--max-wait-us=U] [--dh=D] [--dx=D]\n"
       "                 [--threshold=T] [--seed=S] [--ttl-us=T]\n"
       "                 [--max-sessions=N] [--dump] [--digests=FILE]\n"
-      "                 [--spill-dir=DIR] [--spill-encoded]\n"
+      "                 [--spill-dir=DIR] [--spill-encoded] [--quant]\n"
+      "                 (--quant serves the int8 engine datapath; digests\n"
+      "                 stay shard/batch-invariant — docs/exactness.md)\n"
       "   or: zss_serve --live [same model/policy flags] [--socket=PATH]\n"
       "                 [--tcp=PORT] [--record=FILE] [--max-queue=N]\n"
       "                 (stdin/stdout by default; --socket/--tcp start the\n"
@@ -259,6 +264,7 @@ serve::PoolConfig pool_config(const Args& args) {
   config.session_ttl.max_sessions = args.max_sessions;
   config.spill.dir = args.spill_dir;
   config.spill.encoded = args.spill_encoded;
+  if (args.quant) config.quant = core::QuantConfig::int8();
   return config;
 }
 
