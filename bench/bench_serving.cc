@@ -53,6 +53,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -66,6 +67,8 @@
 #include "num/rng.h"
 #include "num/simd/backend.h"
 #include "serve/frontend.h"
+#include "serve/model.h"
+#include "serve/protocol.h"
 #include "serve/worker.h"
 #include "store/io.h"
 #include "store/segment_store.h"
@@ -115,6 +118,21 @@ struct FrontendResult {
   std::uint64_t misrouted = 0;  // ok lines delivered to the wrong connection
   std::uint64_t lost = 0;       // requests never answered before the deadline
   bool ok = false;              // setup succeeded and every conn connected
+};
+
+struct StackedResult {
+  num::Index layers = 0;
+  num::Index shards = 0;
+  num::Index max_batch = 0;
+  num::Index requests = 0;
+  bool pipeline = false;
+  double wall_ms = 0.0;
+  double wall_rps = 0.0;
+  double capacity_rps = 0.0;
+  /// Per-session digests identical to the sequential 1-shard reference
+  /// run of the same model — the pipelined wavefront and any shard
+  /// count must reproduce the reference bit-for-bit.
+  bool bit_exact = false;
 };
 
 struct TieringResult {
@@ -339,6 +357,78 @@ LiveResult run_live_config(const nn::LstmCell& cell, float threshold,
   std::lock_guard<std::mutex> lock(mu);
   r.p50_us = percentile(latencies, 0.50);
   r.p99_us = percentile(latencies, 0.99);
+  return r;
+}
+
+/// One stacked-serving configuration: drain the same request stream
+/// through an L-layer ServeModel with the sequential or the
+/// layer-pipelined (wavefront) flush, one thread per shard. Per-session
+/// digests are folded in the sinks and merged (sessions are pinned, so
+/// the per-shard tables are disjoint); the caller compares them against
+/// the sequential 1-shard reference for bit-exactness.
+StackedResult run_stacked_config(const serve::ServeModel& model,
+                                 num::Index input_dim, num::Index layers,
+                                 num::Index shards, num::Index max_batch,
+                                 bool pipeline, num::Index sessions,
+                                 num::Index requests, std::uint64_t seed,
+                                 serve::DigestTable& digests) {
+  serve::PoolConfig config;
+  config.shards = shards;
+  config.policy.max_batch = max_batch;
+  config.policy.max_wait_us = 0;
+  config.pipeline = pipeline;
+  serve::EnginePool pool(model, config);
+
+  auto enqueue_all = [&] {
+    num::Rng tokens(seed + 1);
+    for (num::Index i = 0; i < requests; ++i) {
+      serve::Request r;
+      r.session = static_cast<serve::SessionId>(i % sessions) + 1;
+      r.token = tokens.below(input_dim);
+      r.arrival_us = 0;
+      r.seq = static_cast<std::uint64_t>(i);
+      pool.enqueue(r);
+    }
+  };
+
+  // Warm-up drain (same stream: the digests cover warm-up + measured
+  // epoch identically in every configuration).
+  std::vector<serve::DigestTable> tables(static_cast<std::size_t>(shards));
+  std::vector<serve::ResponseSink> sinks;
+  for (num::Index s = 0; s < shards; ++s) {
+    auto& table = tables[static_cast<std::size_t>(s)];
+    sinks.emplace_back([&table](const serve::Response& r) {
+      serve::fold_response(table, r);
+    });
+  }
+  enqueue_all();
+  pool.drain_parallel(0, sinks);
+  pool.reset_stats();
+
+  enqueue_all();
+  const auto t0 = std::chrono::steady_clock::now();
+  const num::Index served = pool.drain_parallel(0, sinks);
+  const auto t1 = std::chrono::steady_clock::now();
+  ZSS_ENSURES(served == requests);
+  for (const serve::DigestTable& t : tables) {
+    digests.insert(t.begin(), t.end());
+  }
+
+  StackedResult r;
+  r.layers = layers;
+  r.shards = shards;
+  r.max_batch = max_batch;
+  r.requests = requests;
+  r.pipeline = pipeline;
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  r.wall_rps = static_cast<double>(requests) / (r.wall_ms / 1e3);
+  double max_busy_us = 0.0;
+  for (num::Index s = 0; s < shards; ++s) {
+    max_busy_us = std::max(max_busy_us, pool.shard(s).stats().cpu_us);
+  }
+  r.capacity_rps = max_busy_us == 0.0
+                       ? 0.0
+                       : static_cast<double>(requests) / (max_busy_us / 1e6);
   return r;
 }
 
@@ -638,7 +728,8 @@ void write_json(const std::string& path, num::Index dh, num::Index dx,
                 num::Index sessions, const std::vector<Result>& results,
                 const std::vector<LiveResult>& live,
                 const std::vector<FrontendResult>& frontend,
-                const std::vector<TieringResult>& tiering) {
+                const std::vector<TieringResult>& tiering,
+                const std::vector<StackedResult>& stacked) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -738,6 +829,26 @@ void write_json(const std::string& path, num::Index dh, num::Index dx,
         static_cast<unsigned long long>(t.restore_corrupt),
         t.restore_bit_exact ? "true" : "false", t.cold_restore_p50_us,
         t.cold_restore_p99_us, i + 1 < tiering.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+
+  // Stacked serving: L-layer models, sequential vs wavefront-pipelined
+  // flush. The regression gate hard-fails when this block is missing or
+  // any row has bit_exact=false (every schedule and shard count must
+  // reproduce the sequential 1-shard digests exactly).
+  std::fprintf(f, "  \"stacked\": [\n");
+  for (std::size_t i = 0; i < stacked.size(); ++i) {
+    const StackedResult& r = stacked[i];
+    std::fprintf(
+        f,
+        "    {\"layers\": %lld, \"shards\": %lld, \"max_batch\": %lld, "
+        "\"pipeline\": %s, \"requests\": %lld, \"wall_ms\": %.2f, "
+        "\"wall_rps\": %.1f, \"capacity_rps\": %.1f, \"bit_exact\": %s}%s\n",
+        static_cast<long long>(r.layers), static_cast<long long>(r.shards),
+        static_cast<long long>(r.max_batch), r.pipeline ? "true" : "false",
+        static_cast<long long>(r.requests), r.wall_ms, r.wall_rps,
+        r.capacity_rps, r.bit_exact ? "true" : "false",
+        i + 1 < stacked.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
 
@@ -902,8 +1013,63 @@ int main(int argc, char** argv) {
     ::rmdir(spill_dir.c_str());
   }
 
+  // Stacked serving: L-layer models through the sequential vs the
+  // layer-pipelined (wavefront) flush, with a bit-exactness cross-check
+  // — every configuration's per-session digests must equal the
+  // sequential 1-shard reference of the same model. The regression gate
+  // hard-fails if this block is missing or any row is not bit_exact.
+  std::vector<StackedResult> stacked_results;
+  {
+    const auto stacked_requests = std::min<num::Index>(requests, 2048);
+    num::Rng calib_rng(99);
+    const float threshold = calibrate_threshold(cell, 0.9, calib_rng);
+    num::Rng stack_rng(4321);
+    std::deque<nn::LstmCell> layer_cells;
+    std::deque<core::StatePruner> layer_pruners;
+    for (num::Index l = 0; l < 3; ++l) {
+      layer_cells.emplace_back(l == 0 ? dx : dh, dh, stack_rng);
+      // Slightly different threshold per layer so a layer-order bug
+      // cannot cancel out in the digests.
+      layer_pruners.emplace_back(core::PrunerConfig::fixed(
+          threshold * (1.0f + 0.1f * static_cast<float>(l))));
+    }
+    std::printf("\nstacked serving (L layers, wavefront pipeline vs "
+                "sequential flush): digests vs 1-shard reference\n");
+    std::printf("%-7s %-7s %-9s %12s %12s %10s\n", "layers", "shards",
+                "pipeline", "wall_rps", "capacity_rps", "bit_exact");
+    for (const num::Index layers : {num::Index{2}, num::Index{3}}) {
+      std::vector<const nn::LstmCell*> cells;
+      std::vector<const core::StatePruner*> pruners;
+      for (num::Index l = 0; l < layers; ++l) {
+        cells.push_back(&layer_cells[static_cast<std::size_t>(l)]);
+        pruners.push_back(&layer_pruners[static_cast<std::size_t>(l)]);
+      }
+      serve::ServeModel model;
+      model.cells = cells;
+      model.pruners = pruners;
+      serve::DigestTable reference;
+      for (const num::Index shards : {num::Index{1}, num::Index{4}}) {
+        for (const bool pipeline : {false, true}) {
+          serve::DigestTable digests;
+          StackedResult sr = run_stacked_config(
+              model, dx, layers, shards, /*max_batch=*/4, pipeline, sessions,
+              stacked_requests, static_cast<std::uint64_t>(layers) * 1000,
+              digests);
+          if (reference.empty()) reference = digests;  // 1-shard sequential
+          sr.bit_exact = digests == reference;
+          stacked_results.push_back(sr);
+          std::printf("%-7lld %-7lld %-9s %12.1f %12.1f %10s\n",
+                      static_cast<long long>(sr.layers),
+                      static_cast<long long>(sr.shards),
+                      sr.pipeline ? "on" : "off", sr.wall_rps, sr.capacity_rps,
+                      sr.bit_exact ? "yes" : "NO");
+        }
+      }
+    }
+  }
+
   write_json("BENCH_serving.json", dh, dx, sessions, results, live_results,
-             frontend_results, tiering);
+             frontend_results, tiering, stacked_results);
 
   // Echo the headline scaling so CI logs show it without parsing JSON.
   for (const Result& a : results) {

@@ -1,25 +1,115 @@
-// Minimal binary serialization for trained models.
+// Binary serialization for trained models.
 //
-// Format: magic "ZSSM", u32 version, u32 parameter count, then for each
-// parameter { u32 name length, name bytes, i64 rows, i64 cols, float
-// data[rows*cols] }. Little-endian host format — this is a lab artifact
-// exchanged between the trainer and the benches, not an interchange file.
+// Two on-disk generations share the "ZSSM" magic:
+//
+//   v1 (save_parameters / load_parameters): u32 version, u32 parameter
+//   count, then per parameter { u32 name length, name bytes, i64 rows,
+//   i64 cols, f32 data[rows*cols] }. A bare weight dump — the loader
+//   can only bind parameters positionally, so it is *hardened* here
+//   (every read bounded by the remaining file size, names and shapes
+//   verified against the caller's parameter list, descriptive errors)
+//   but cannot describe an architecture.
+//
+//   v2 (save_model / load_model): the serving checkpoint. After the
+//   magic and version comes an architecture header — layer count,
+//   hidden dim, input dim, vocab, embedding dim, the quantization grid
+//   the trainer calibrated, and one exported pruning threshold per
+//   layer (StatePruner::effective_threshold) — then the v1-style
+//   parameter records under canonical names ("embed.table",
+//   "layer<l>.lstm.{wx,wh,b}", "classifier.{w,b}"), then a CRC32C
+//   trailer over everything before it. The loader validates the header
+//   against hard sanity bounds, computes the exact byte size the
+//   header implies, and refuses to allocate anything until the actual
+//   file size matches — a truncated, padded or dimension-forged file
+//   is rejected before it can drive a multi-GB allocation or bind
+//   weights to the wrong layer (tests/core/model_io_test.cc fuzzes
+//   every byte-prefix truncation and header forgery).
+//
+// Little-endian host format — a lab artifact exchanged between the
+// trainer and the serving/bench tools, not an interchange file.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/lstm_cell.h"
 #include "nn/parameter.h"
 
 namespace zss::core {
 
-/// Writes parameter values (not gradients). Returns false on I/O error.
+/// Architecture header of a v2 checkpoint. Everything the serving
+/// stack must agree with before binding a single weight.
+struct ModelSpec {
+  std::uint32_t layers = 1;
+  std::uint32_t hidden = 0;
+  /// Layer-0 input width: embed_dim when an embedding is present,
+  /// vocab (one-hot) otherwise. Recorded explicitly so a forged header
+  /// cannot make the loader and the engine disagree silently.
+  std::uint32_t input_dim = 0;
+  std::uint32_t vocab = 0;
+  std::uint32_t embed_dim = 0;  // 0 = one-hot input, no embedding
+  /// 1 when the trainer recorded the int8 quantization grid below.
+  /// Serving with --quant against a checkpoint that records none must
+  /// fail closed (tools/zss_serve.cc).
+  std::uint32_t has_quant_grid = 0;
+  float quant_pre_clip = 0.0f;
+  std::uint32_t quant_c_clip = 0;
+  /// Per-layer fixed pruning threshold (size == layers) — the trained
+  /// model's effective T, exported via StatePruner::effective_threshold.
+  std::vector<float> thresholds;
+};
+
+/// A v2 checkpoint materialized into live modules, ready to serve.
+struct LoadedModel {
+  ModelSpec spec;
+  std::vector<std::unique_ptr<nn::LstmCell>> cells;  // spec.layers entries
+  std::unique_ptr<nn::Embedding> embedding;          // null when one-hot
+  std::unique_ptr<nn::Linear> classifier;            // hidden -> vocab
+};
+
+/// Writes parameter values (not gradients) in the v1 format. Returns
+/// false on I/O error.
 bool save_parameters(const std::string& path,
                      std::span<nn::Parameter* const> params);
 
-/// Loads values into the given parameters; shapes and order must match
-/// what was saved. Returns false on I/O or shape mismatch.
+/// Loads a v1 file into the given parameters. Every read is bounded by
+/// the remaining file size; the stored name and shape of each record
+/// must match the caller's parameter (names are compared when the
+/// caller's parameter has one). Returns false with a descriptive
+/// `error` on any mismatch, truncation or I/O failure.
 bool load_parameters(const std::string& path,
-                     std::span<nn::Parameter* const> params);
+                     std::span<nn::Parameter* const> params,
+                     std::string* error = nullptr);
+
+/// Writes a v2 checkpoint. `params` must match the canonical list the
+/// spec implies — same names, same shapes, same order (save refuses to
+/// write a checkpoint load_model would reject). Returns false with
+/// `error` on mismatch or I/O failure.
+bool save_model(const std::string& path, const ModelSpec& spec,
+                std::span<nn::Parameter* const> params,
+                std::string* error = nullptr);
+
+/// Loads a v2 checkpoint: header sanity-checked against hard bounds,
+/// file size verified to equal exactly what the header implies (before
+/// any allocation), CRC32C trailer verified, every parameter bound by
+/// name+shape. On success `out` holds freshly built modules. Returns
+/// false with a descriptive `error` otherwise; `out` is unspecified.
+bool load_model(const std::string& path, LoadedModel& out,
+                std::string* error = nullptr);
+
+/// The canonical parameter names/shapes of a spec, in file order —
+/// exposed so the trainer can rename its parameters onto the canon and
+/// tests can forge near-miss checkpoints.
+struct ExpectedParam {
+  std::string name;
+  num::Index rows = 0;
+  num::Index cols = 0;
+};
+std::vector<ExpectedParam> expected_parameters(const ModelSpec& spec);
 
 }  // namespace zss::core

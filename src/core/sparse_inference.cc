@@ -1,5 +1,6 @@
 #include "core/sparse_inference.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "num/activations.h"
@@ -96,7 +97,7 @@ void SparseLstmEngine::compute_input_path(const num::Matrix& x,
 
 void SparseLstmEngine::finish_step(num::Matrix& pre,
                                    const num::Matrix& c_prev, num::Matrix& h,
-                                   num::Matrix& c) {
+                                   num::Matrix& c, num::Matrix* dense_h) {
   const num::Index B = pre.rows();
   const num::Index dh = cell_->hidden_dim();
   ZSS_EXPECTS(h.rows() == B && h.cols() == dh);
@@ -114,6 +115,14 @@ void SparseLstmEngine::finish_step(num::Matrix& pre,
       h(r, j) = o * num::tanh_act(cj);
     }
   }
+  // Tap the dense h before pruning: the stacked model feeds the next
+  // layer (and the classifier) the unpruned state — only the recurrence
+  // re-reads the pruned representation.
+  if (dense_h != nullptr) {
+    dense_h->reshape(B, dh);
+    const auto src = h.flat();
+    std::copy(src.begin(), src.end(), dense_h->flat().begin());
+  }
   // Store the pruned representation — this is what the encoder writes to
   // DRAM and what the next step will skip over. The zero fraction the
   // pruner reports is the per-lane sparsity of the stored state — with
@@ -123,9 +132,9 @@ void SparseLstmEngine::finish_step(num::Matrix& pre,
 }
 
 void SparseLstmEngine::step(const num::Matrix& x, num::Matrix& h,
-                            num::Matrix& c) {
+                            num::Matrix& c, num::Matrix* dense_h) {
   if (q_) {
-    step_quant(x, h, c, /*dense=*/false);
+    step_quant(x, h, c, /*dense=*/false, dense_h);
     return;
   }
   const num::Index B = x.rows();
@@ -194,13 +203,13 @@ void SparseLstmEngine::step(const num::Matrix& x, num::Matrix& h,
   last_.positions = dh;
   last_.lane_kept_positions = kept_lane_total;
 
-  finish_step(pre, c, h, c);
+  finish_step(pre, c, h, c, dense_h);
 }
 
 void SparseLstmEngine::step_dense(const num::Matrix& x, num::Matrix& h,
-                                  num::Matrix& c) {
+                                  num::Matrix& c, num::Matrix* dense_h) {
   if (q_) {
-    step_quant(x, h, c, /*dense=*/true);
+    step_quant(x, h, c, /*dense=*/true, dense_h);
     return;
   }
   const num::Index B = x.rows();
@@ -231,7 +240,7 @@ void SparseLstmEngine::step_dense(const num::Matrix& x, num::Matrix& h,
   last_.positions = dh;
   last_.lane_kept_positions = B * dh;
 
-  finish_step(pre, c, h, c);
+  finish_step(pre, c, h, c, dense_h);
 }
 
 // Quantized step, shared by step() and step_dense() (`dense` picks the
@@ -244,7 +253,8 @@ void SparseLstmEngine::step_dense(const num::Matrix& x, num::Matrix& h,
 // construction, so results are also independent of batch composition —
 // the property the serving shard-determinism sweep checks.
 void SparseLstmEngine::step_quant(const num::Matrix& x, num::Matrix& h,
-                                  num::Matrix& c, bool dense) {
+                                  num::Matrix& c, bool dense,
+                                  num::Matrix* dense_h) {
   const num::Index B = x.rows();
   const num::Index dh = cell_->hidden_dim();
   const num::Index dx = cell_->input_dim();
@@ -332,7 +342,7 @@ void SparseLstmEngine::step_quant(const num::Matrix& x, num::Matrix& h,
   last_.positions = dh;
   last_.lane_kept_positions = kept_lane_total;
 
-  finish_step_quant(B, h, c);
+  finish_step_quant(B, h, c, dense_h);
 }
 
 // Integer gate/cell update: one requantize into the LUT domain, LUT
@@ -343,7 +353,8 @@ void SparseLstmEngine::step_quant(const num::Matrix& x, num::Matrix& h,
 // kStateScale — the reference twin must use the identical expression
 // (float(q) * kStateScale, not q / 127.0f) for bit-equality.
 void SparseLstmEngine::finish_step_quant(num::Index batch, num::Matrix& h,
-                                         num::Matrix& c) {
+                                         num::Matrix& c,
+                                         num::Matrix* dense_h) {
   QuantState& q = *q_;
   const num::Index dh = cell_->hidden_dim();
   const std::int32_t c_clip = static_cast<std::int32_t>(quant_.c_clip);
@@ -382,6 +393,13 @@ void SparseLstmEngine::finish_step_quant(num::Index batch, num::Matrix& h,
       c(r, j) = static_cast<float>(cq) * nn::PackedLstmWeightsI8::kStateScale;
       h(r, j) = static_cast<float>(hq) * nn::PackedLstmWeightsI8::kStateScale;
     }
+  }
+  // Dense tap, then prune — same discipline as the fp32 finish_step.
+  if (dense_h != nullptr) {
+    const num::Index dh2 = cell_->hidden_dim();
+    dense_h->reshape(batch, dh2);
+    const auto src = h.flat();
+    std::copy(src.begin(), src.end(), dense_h->flat().begin());
   }
   // Same pruning as the fp32 path: the stored h is pruned on the float
   // view; zeros survive requantization exactly, so the next step's skip

@@ -173,13 +173,20 @@ class SparseLstmEngine {
                    QuantConfig quant = {});
 
   /// One timestep over a batch. `h` and `c` are (B x dh) and updated in
-  /// place; `h` is stored pruned (what DRAM would hold).
-  void step(const num::Matrix& x, num::Matrix& h, num::Matrix& c);
+  /// place; `h` is stored pruned (what DRAM would hold). When `dense_h`
+  /// is non-null it receives the UNpruned h of this step (resized to
+  /// B x dh; no allocation once reserved) — the trained stacked model
+  /// feeds the dense h to the next layer and the classifier, pruning
+  /// only what the recurrence re-reads (core/stacked_lstm.cc), so a
+  /// stacked engine needs this tap to match training bit-for-bit.
+  void step(const num::Matrix& x, num::Matrix& h, num::Matrix& c,
+            num::Matrix* dense_h = nullptr);
 
   /// Reference step without skipping (same pruning, dense matvec) — the
   /// result must match step() bit-for-bit; used by tests and as the
-  /// "dense model" cost baseline.
-  void step_dense(const num::Matrix& x, num::Matrix& h, num::Matrix& c);
+  /// "dense model" cost baseline. `dense_h` as in step().
+  void step_dense(const num::Matrix& x, num::Matrix& h, num::Matrix& c,
+                  num::Matrix* dense_h = nullptr);
 
   /// Pre-grows every internal buffer (workspace slots, encoder stores,
   /// pruning scratch) for batches up to `max_batch`, so even the first
@@ -222,7 +229,7 @@ class SparseLstmEngine {
  private:
   void compute_input_path(const num::Matrix& x, num::Matrix& pre);
   void finish_step(num::Matrix& pre, const num::Matrix& c_prev,
-                   num::Matrix& h, num::Matrix& c);
+                   num::Matrix& h, num::Matrix& c, num::Matrix* dense_h);
 
   /// Everything the int8 step mode owns: packed weights, the three
   /// activation LUTs (fixed input grids, built once), and the integer
@@ -249,8 +256,9 @@ class SparseLstmEngine {
   };
 
   void step_quant(const num::Matrix& x, num::Matrix& h, num::Matrix& c,
-                  bool dense);
-  void finish_step_quant(num::Index batch, num::Matrix& h, num::Matrix& c);
+                  bool dense, num::Matrix* dense_h);
+  void finish_step_quant(num::Index batch, num::Matrix& h, num::Matrix& c,
+                         num::Matrix* dense_h);
 
   enum Slot : std::size_t { kPre, kPreH };
 

@@ -1,0 +1,76 @@
+#include "core/stacked_engine.h"
+
+namespace zss::core {
+
+StackedEngine::StackedEngine(std::span<const nn::LstmCell* const> cells,
+                             std::span<const StatePruner* const> pruners,
+                             sparse::EncoderConfig encoder,
+                             QuantConfig quant) {
+  ZSS_EXPECTS(!cells.empty());
+  ZSS_EXPECTS(cells.size() == pruners.size());
+  dx_ = cells.front()->input_dim();
+  dh_ = cells.front()->hidden_dim();
+  for (std::size_t l = 0; l < cells.size(); ++l) {
+    ZSS_EXPECTS(cells[l]->hidden_dim() == dh_);
+    ZSS_EXPECTS(l == 0 || cells[l]->input_dim() == dh_);
+    layers_.emplace_back(*cells[l], *pruners[l], encoder, quant);
+  }
+}
+
+void StackedEngine::reserve(num::Index max_batch) {
+  for (auto& layer : layers_) layer.reserve(max_batch);
+  if (layers_.size() > 1) {
+    ff_[0].reshape(max_batch, dh_);
+    ff_[1].reshape(max_batch, dh_);
+  }
+}
+
+void StackedEngine::step(const num::Matrix& x, std::span<num::Matrix> h,
+                         std::span<num::Matrix> c, num::Matrix* dense_top) {
+  const std::size_t L = layers_.size();
+  ZSS_EXPECTS(h.size() == L && c.size() == L);
+  const num::Matrix* input = &x;
+  for (std::size_t l = 0; l < L; ++l) {
+    // All but the top layer must tap their dense h — it is the next
+    // layer's input. The top layer taps only if the caller asked.
+    num::Matrix* out = l + 1 < L ? &ff_[l % 2] : dense_top;
+    layers_[l].step(*input, h[l], c[l], out);
+    if (l + 1 < L) input = &ff_[l % 2];
+  }
+}
+
+void StackedEngine::step_dense(const num::Matrix& x, std::span<num::Matrix> h,
+                               std::span<num::Matrix> c,
+                               num::Matrix* dense_top) {
+  const std::size_t L = layers_.size();
+  ZSS_EXPECTS(h.size() == L && c.size() == L);
+  const num::Matrix* input = &x;
+  for (std::size_t l = 0; l < L; ++l) {
+    num::Matrix* out = l + 1 < L ? &ff_[l % 2] : dense_top;
+    layers_[l].step_dense(*input, h[l], c[l], out);
+    if (l + 1 < L) input = &ff_[l % 2];
+  }
+}
+
+InferenceStats StackedEngine::stats() const {
+  InferenceStats sum;
+  for (const auto& layer : layers_) {
+    const InferenceStats& s = layer.stats();
+    sum.state_macs_total += s.state_macs_total;
+    sum.state_macs_effectual += s.state_macs_effectual;
+    sum.input_macs += s.input_macs;
+    sum.kept_positions += s.kept_positions;
+    sum.positions += s.positions;
+    sum.lane_kept_positions += s.lane_kept_positions;
+    sum.lane_positions += s.lane_positions;
+  }
+  // One stacked step is one step, not L — callers use steps to average.
+  sum.steps = layers_.front().stats().steps;
+  return sum;
+}
+
+void StackedEngine::reset_stats() {
+  for (auto& layer : layers_) layer.reset_stats();
+}
+
+}  // namespace zss::core

@@ -191,6 +191,38 @@ void StackedPrunedLstmLm::collect_states(
   }
 }
 
+std::vector<float> StackedPrunedLstmLm::calibrate_thresholds(
+    std::span<const num::Index> stream, num::Index batch,
+    num::Index max_steps) {
+  data::LmBatcher batcher(stream, batch, /*seq_len=*/1);
+  reset_state(batch);
+  const num::Index steps = std::min(max_steps, batcher.num_windows());
+  ZSS_EXPECTS(steps > 0);
+  const auto L = static_cast<std::size_t>(config_.layers);
+
+  std::vector<double> sum(L, 0.0);
+  num::Matrix x;
+  num::Matrix pruned;
+  for (num::Index t = 0; t < steps; ++t) {
+    const data::LmBatch b = batcher.window(t);
+    make_input(std::span<const num::Index>(b.inputs.data(),
+                                           static_cast<std::size_t>(batch)),
+               x);
+    const num::Matrix* layer_in = &x;
+    for (std::size_t l = 0; l < L; ++l) {
+      pruner_.prune(h_[l], pruned);
+      cells_[l]->forward(*layer_in, pruned, c_[l], nullptr, h_[l], c_[l]);
+      layer_in = &h_[l];
+      sum[l] += pruner_.effective_threshold(h_[l]);
+    }
+  }
+  std::vector<float> thresholds(L);
+  for (std::size_t l = 0; l < L; ++l) {
+    thresholds[l] = static_cast<float>(sum[l] / static_cast<double>(steps));
+  }
+  return thresholds;
+}
+
 std::vector<nn::Parameter*> StackedPrunedLstmLm::parameters() {
   std::vector<nn::Parameter*> params;
   for (auto& cell : cells_) {

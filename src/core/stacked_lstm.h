@@ -55,6 +55,16 @@ class StackedPrunedLstmLm {
                       num::Index max_steps,
                       std::span<sparse::SparsityMeter> meters);
 
+  /// Per-layer mean StatePruner::effective_threshold over a forward run
+  /// on `stream` — the fixed T a checkpoint records so serving can
+  /// reproduce a target-sparsity training run with the deterministic
+  /// fixed-threshold pruner (the serving engine rejects data-dependent
+  /// thresholds). For a fixed-threshold pruner this returns the
+  /// configured T for every layer exactly.
+  std::vector<float> calibrate_thresholds(std::span<const num::Index> stream,
+                                          num::Index batch,
+                                          num::Index max_steps);
+
   std::vector<nn::Parameter*> parameters();
 
   nn::LstmCell& cell(num::Index layer) { return *cells_[static_cast<std::size_t>(layer)]; }

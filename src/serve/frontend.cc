@@ -552,6 +552,12 @@ StatsSnapshot snapshot_stats(const LiveServer& server,
     snap.restore_corrupt += ss.restore_corrupt();
     if (ss.spill_active()) ++snap.spill_active;
   }
+  const ModelInfo& mi = pool.model_info();
+  snap.model = mi.name;
+  snap.layers = mi.layers;
+  snap.dh = mi.dh;
+  snap.vocab = mi.vocab;
+  snap.quant = mi.quant;
   return snap;
 }
 

@@ -1,0 +1,51 @@
+// The model a pool serves: borrowed per-layer cells and pruners, an
+// optional embedding, and the identity the stats line reports.
+//
+// ServeModel is a plain view — the caller (tools/zss_serve.cc, tests,
+// benches) owns the modules, typically either a core::LoadedModel
+// materialized from a v2 checkpoint plus pruners built from its
+// per-layer thresholds, or ad-hoc random modules for synthetic load.
+// Shards copy the pointer lists at construction, so the ServeModel
+// struct itself may be a temporary.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/state_pruner.h"
+#include "nn/embedding.h"
+#include "nn/lstm_cell.h"
+#include "num/types.h"
+
+namespace zss::serve {
+
+struct ServeModel {
+  /// One cell per layer; layer 0's input dim is the model input dim,
+  /// deeper layers consume hidden_dim (core::StackedEngine enforces).
+  std::span<const nn::LstmCell* const> cells;
+  /// One pruner per layer (a trained checkpoint records one effective
+  /// threshold per layer). Batch-composition-dependent modes are
+  /// rejected by the shard, as before.
+  std::span<const core::StatePruner* const> pruners;
+  /// Input mapping: null = tokens become one-hot rows of width
+  /// cells[0]->input_dim(); non-null = tokens index embedding rows
+  /// (its dim must equal cells[0]->input_dim()).
+  const nn::Embedding* embedding = nullptr;
+  /// Identity for the stats line ("random" = no checkpoint loaded).
+  std::string name = "random";
+  /// Token space for the stats line and the embedding path's modulus;
+  /// 0 = derive from the input (one-hot width or embedding vocab).
+  num::Index vocab = 0;
+};
+
+/// What a pool reports about its model (protocol stat line; immutable
+/// after construction, so the stats thread reads it lock-free).
+struct ModelInfo {
+  std::string name = "random";
+  num::Index layers = 1;
+  num::Index dh = 0;
+  num::Index vocab = 0;
+  bool quant = false;
+};
+
+}  // namespace zss::serve

@@ -18,14 +18,37 @@ std::uint64_t mix64(std::uint64_t x) {
 
 }  // namespace
 
+EnginePool::EnginePool(const ServeModel& model, const PoolConfig& config) {
+  build_shards(model, config);
+}
+
 EnginePool::EnginePool(const nn::LstmCell& cell,
                        const core::StatePruner& pruner,
-                       const PoolConfig& config) {
+                       const PoolConfig& config)
+    : legacy_cells_{&cell}, legacy_pruners_{&pruner} {
+  ServeModel model;
+  model.cells = legacy_cells_;
+  model.pruners = legacy_pruners_;
+  build_shards(model, config);
+}
+
+void EnginePool::build_shards(const ServeModel& model,
+                              const PoolConfig& config) {
   ZSS_EXPECTS(config.shards >= 1);
   for (num::Index i = 0; i < config.shards; ++i) {
-    shards_.emplace_back(cell, pruner, config.policy, config.encoder,
-                         config.session_ttl, config.quant);
+    shards_.emplace_back(model, config.policy, config.encoder,
+                         config.session_ttl, config.quant, config.pipeline);
   }
+  const EngineShard& first = shards_.front();
+  model_info_.name = model.name;
+  model_info_.layers = first.engine().layers();
+  model_info_.dh = first.engine().hidden_dim();
+  model_info_.vocab =
+      model.vocab > 0
+          ? model.vocab
+          : (model.embedding != nullptr ? model.embedding->vocab()
+                                        : first.engine().input_dim());
+  model_info_.quant = first.engine().quantized();
   if (!config.spill.dir.empty()) {
     store::Env* env = config.spill.env;
     if (env == nullptr) {
@@ -34,7 +57,8 @@ EnginePool::EnginePool(const nn::LstmCell& cell,
     }
     // One segment file per shard: the disk tier inherits the pool's
     // shared-nothing partitioning, so no cross-shard synchronization
-    // and no interleaved appends.
+    // and no interleaved appends. Records are state_width() wide — the
+    // L per-layer rows packed side by side (serve/session.h).
     spills_.reserve(static_cast<std::size_t>(config.shards));
     for (num::Index i = 0; i < config.shards; ++i) {
       store::StoreConfig sc;
@@ -43,7 +67,7 @@ EnginePool::EnginePool(const nn::LstmCell& cell,
       spills_.push_back(std::make_unique<store::SegmentStore>(
           *env, sc, shards_[static_cast<std::size_t>(i)]
                         .sessions()
-                        .hidden_dim()));
+                        .state_width()));
       shards_[static_cast<std::size_t>(i)].sessions().set_spill(
           spills_.back().get());
     }

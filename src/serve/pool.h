@@ -48,12 +48,22 @@ struct PoolConfig {
   /// quantized mode (core::QuantConfig::int8()); shard-count
   /// determinism holds for both (tests/serve/shard_determinism_test.cc).
   core::QuantConfig quant;
+  /// Layer-pipelined flush on multi-layer models (serve/shard.h's
+  /// wavefront). Ignored for single-layer models. Bit-identical to the
+  /// sequential schedule at any shard count — only wall-clock changes.
+  bool pipeline = false;
 };
 
 class EnginePool {
  public:
-  /// Borrows cell and pruner; every shard packs its own copy of the
-  /// weights (cache locality per worker) but shares the originals.
+  /// Serves `model` on every shard (cells/pruners/embedding borrowed,
+  /// pointer lists copied per shard; the pointees must outlive the
+  /// pool). Every shard packs its own copy of the weights (cache
+  /// locality per worker) but shares the originals.
+  EnginePool(const ServeModel& model, const PoolConfig& config);
+
+  /// Single-layer convenience (synthetic-load benches, most tests):
+  /// borrows cell and pruner, serves one-hot inputs.
   EnginePool(const nn::LstmCell& cell, const core::StatePruner& pruner,
              const PoolConfig& config);
 
@@ -94,12 +104,22 @@ class EnginePool {
                            : spills_[static_cast<std::size_t>(i)].get();
   }
 
+  /// Identity of the model every shard serves (protocol stat line).
+  /// Immutable after construction, so concurrent readers need no lock.
+  const ModelInfo& model_info() const { return model_info_; }
+
  private:
+  void build_shards(const ServeModel& model, const PoolConfig& config);
+
   // Deque so constructing shard k never relocates shard k-1 (a shard's
   // engine hands out workspace references it must keep valid).
   std::deque<EngineShard> shards_;
   std::unique_ptr<store::PosixEnv> owned_env_;
   std::vector<std::unique_ptr<store::SegmentStore>> spills_;
+  // Backing storage for the legacy single-layer ctor's pointer spans.
+  std::vector<const nn::LstmCell*> legacy_cells_;
+  std::vector<const core::StatePruner*> legacy_pruners_;
+  ModelInfo model_info_;
 };
 
 }  // namespace zss::serve

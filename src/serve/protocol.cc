@@ -117,7 +117,18 @@ std::string format_stats(const StatsSnapshot& s) {
                 s.evicted, s.spilled, s.restored, s.restore_corrupt,
                 static_cast<long long>(s.spill_active),
                 static_cast<long long>(s.shards));
-  return buf;
+  // Model identity appended after the counters so existing key
+  // positions never move. The name is caller data of unbounded length,
+  // so this tail goes through std::string, not the fixed buffer.
+  std::string line = buf;
+  char tail[128];
+  std::snprintf(tail, sizeof(tail), " layers=%lld dh=%lld vocab=%lld quant=%s",
+                static_cast<long long>(s.layers), static_cast<long long>(s.dh),
+                static_cast<long long>(s.vocab), s.quant ? "int8" : "off");
+  line += " model=";
+  line += s.model.empty() ? "random" : s.model;
+  line += tail;
+  return line;
 }
 
 }  // namespace zss::serve

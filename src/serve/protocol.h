@@ -162,12 +162,20 @@ struct StatsSnapshot {
   /// write-error policy degraded some shard to RAM-only serving.
   num::Index spill_active = 0;
   num::Index shards = 0;
+  /// Identity of the served model (EnginePool::model_info(); fixed at
+  /// pool construction). "random" = no checkpoint loaded.
+  std::string model = "random";
+  num::Index layers = 1;
+  num::Index dh = 0;
+  num::Index vocab = 0;
+  bool quant = false;
 };
 
 /// "stat submitted=... responses=... shed=... now_us=... created=...
 /// ttl_resets=... evicted=... spilled=... restored=...
-/// restore_corrupt=... spill_active=N/M" — one line, fixed key order,
-/// so scripts can grep a key without tracking field positions.
+/// restore_corrupt=... spill_active=N/M model=... layers=L dh=N
+/// vocab=V quant=off|int8" — one line, fixed key order, so scripts can
+/// grep a key without tracking field positions.
 std::string format_stats(const StatsSnapshot& s);
 
 }  // namespace zss::serve

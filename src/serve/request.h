@@ -38,9 +38,17 @@ struct Response {
   std::int64_t done_us = 0;      // virtual time the serving batch closed
   double service_us = 0.0;       // wall-clock of the step that served it
   num::Index batch = 0;          // size of that batch
-  /// The session's new hidden row — a view into the session's state,
-  /// valid until the session's next step. Copy it to keep it.
+  /// The session's new hidden row (top layer, stored pruned) — a view
+  /// into the session's state, valid until the session's next step.
+  /// Copy it to keep it. This is what the response digest folds, so
+  /// digests stay comparable across single- and multi-layer models.
   std::span<const float> h;
+  /// The top layer's dense (unpruned) hidden row — what the trained
+  /// classifier consumes (core/stacked_lstm.cc feeds the classifier
+  /// the dense h). A view into the serving batch's staging buffer,
+  /// valid only inside the sink call; empty when the serving path
+  /// did not compute one. Deliberately NOT folded into digests.
+  std::span<const float> dense_h;
 };
 
 /// Called once per served request, in FIFO order within a session.

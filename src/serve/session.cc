@@ -1,10 +1,14 @@
 #include "serve/session.h"
 
+#include <algorithm>
+
 namespace zss::serve {
 
-SessionStore::SessionStore(num::Index hidden_dim, SessionTtl ttl)
-    : dh_(hidden_dim), ttl_(ttl) {
+SessionStore::SessionStore(num::Index hidden_dim, SessionTtl ttl,
+                           num::Index layers)
+    : dh_(hidden_dim), layers_(layers), ttl_(ttl) {
   ZSS_EXPECTS(hidden_dim >= 1);
+  ZSS_EXPECTS(layers >= 1);
   ZSS_EXPECTS(ttl.max_sessions >= 0);
 }
 
@@ -31,15 +35,26 @@ void SessionStore::lru_push_front(Session& s) {
 }
 
 void SessionStore::evict(Session& s, bool spill_state) {
-  ZSS_ASSERT(!s.pinned);
+  ZSS_ASSERT(s.pinned == 0);
   lru_unlink(s);
   bump(evicted_);
   if (spill_state && spill_ != nullptr && spill_->spilling_enabled()) {
-    // Tiering: the victim's exact bits move to the disk tier. A failed
-    // spill (the store just disabled itself) degrades to the pre-spill
-    // forget semantics for this and every later eviction.
-    if (spill_->spill(s.id, {s.generation, s.steps, s.last_arrival_us}, s.h,
-                      s.c)) {
+    // Tiering: the victim's exact bits move to the disk tier, the L
+    // per-layer rows packed side by side into one state_width() record.
+    // A failed spill (the store just disabled itself) degrades to the
+    // pre-spill forget semantics for this and every later eviction.
+    spill_h_.reshape(1, state_width());
+    spill_c_.reshape(1, state_width());
+    for (num::Index l = 0; l < layers_; ++l) {
+      const auto hl = s.h[static_cast<std::size_t>(l)].row(0);
+      const auto cl = s.c[static_cast<std::size_t>(l)].row(0);
+      std::copy(hl.begin(), hl.end(),
+                spill_h_.row(0).begin() + static_cast<std::size_t>(l * dh_));
+      std::copy(cl.begin(), cl.end(),
+                spill_c_.row(0).begin() + static_cast<std::size_t>(l * dh_));
+    }
+    if (spill_->spill(s.id, {s.generation, s.steps, s.last_arrival_us},
+                      spill_h_, spill_c_)) {
       bump(spilled_);
     }
     spill_active_.store(spill_->spilling_enabled(),
@@ -56,8 +71,8 @@ Session& SessionStore::get_or_create(SessionId id, std::int64_t arrival_us) {
     // so the decision is independent of batching, sharding and wake
     // timing — the property the live/replay bit-identity rests on.
     if (ttl_.ttl_us >= 0 && arrival_us - s.last_arrival_us > ttl_.ttl_us) {
-      s.h.fill(0.0f);
-      s.c.fill(0.0f);
+      for (auto& m : s.h) m.fill(0.0f);
+      for (auto& m : s.c) m.fill(0.0f);
       s.steps = 0;
       ++s.generation;
       bump(ttl_resets_);
@@ -95,15 +110,21 @@ Session& SessionStore::get_or_create(SessionId id, std::int64_t arrival_us) {
       // monotone), so with max_sessions > max_batch the oldest alive
       // session is never pinned; the walk is belt-and-braces, not a
       // policy.
-      while (victim != nullptr && victim->pinned) victim = victim->lru_prev_;
+      while (victim != nullptr && victim->pinned > 0) {
+        victim = victim->lru_prev_;
+      }
       if (victim != nullptr) evict(*victim, /*spill_state=*/true);
     }
   }
 
   Session& s = sessions_.try_emplace(id).first->second;
   s.id = id;
-  s.h.resize(1, dh_, 0.0f);
-  s.c.resize(1, dh_, 0.0f);
+  s.h.resize(static_cast<std::size_t>(layers_));
+  s.c.resize(static_cast<std::size_t>(layers_));
+  for (num::Index l = 0; l < layers_; ++l) {
+    s.h[static_cast<std::size_t>(l)].resize(1, dh_, 0.0f);
+    s.c[static_cast<std::size_t>(l)].resize(1, dh_, 0.0f);
+  }
   s.last_arrival_us = arrival_us;
   lru_push_front(s);
 
@@ -123,8 +144,19 @@ Session& SessionStore::get_or_create(SessionId id, std::int64_t arrival_us) {
         return s;
       }
       store::RecordMeta meta;
-      const auto r = spill_->restore_into(id, &meta, s.h, s.c);
+      const auto r = spill_->restore_into(id, &meta, spill_h_, spill_c_);
       if (r == store::RestoreResult::kOk) {
+        // Unpack the state_width() record back into per-layer rows.
+        for (num::Index l = 0; l < layers_; ++l) {
+          const auto src_h = spill_h_.row(0);
+          const auto src_c = spill_c_.row(0);
+          std::copy(src_h.begin() + static_cast<std::size_t>(l * dh_),
+                    src_h.begin() + static_cast<std::size_t>((l + 1) * dh_),
+                    s.h[static_cast<std::size_t>(l)].row(0).begin());
+          std::copy(src_c.begin() + static_cast<std::size_t>(l * dh_),
+                    src_c.begin() + static_cast<std::size_t>((l + 1) * dh_),
+                    s.c[static_cast<std::size_t>(l)].row(0).begin());
+        }
         s.steps = meta.steps;
         s.generation = meta.generation;
         bump(restored_);
@@ -149,7 +181,7 @@ num::Index SessionStore::sweep_expired(std::int64_t newest_arrival_us) {
   while (s != nullptr &&
          newest_arrival_us - s->last_arrival_us > ttl_.ttl_us) {
     Session* prev = s->lru_prev_;
-    if (!s->pinned) {
+    if (s->pinned == 0) {
       // No spill: any future request of an expired session arrives
       // past its TTL, so a record here could never be restored.
       evict(*s, /*spill_state=*/false);

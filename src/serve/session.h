@@ -63,6 +63,7 @@
 #include <atomic>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "num/matrix.h"
 #include "num/types.h"
@@ -97,17 +98,23 @@ struct Session {
   Session& operator=(const Session&) = delete;
 
   SessionId id = 0;
-  num::Matrix h;  // (1 x dh), stored pruned — exactly what DRAM holds
-  num::Matrix c;  // (1 x dh)
+  /// One (1 x dh) pair per model layer, stored pruned — exactly what
+  /// DRAM would hold. Separate matrices (not one L x dh) so the
+  /// batch-of-one path binds them straight into the stacked engine's
+  /// per-layer step with zero copies (std::span over the vector).
+  std::vector<num::Matrix> h;
+  std::vector<num::Matrix> c;
   std::uint64_t steps = 0;
   /// Incremented each time the TTL rule restarted this session from
   /// zero state (the client kept its id but lost its conversation).
   std::uint64_t generation = 0;
   /// Arrival stamp of the last request that touched this session.
   std::int64_t last_arrival_us = 0;
-  /// Set by the shard while this session is a lane of the batch being
-  /// served; pinned sessions are never evicted or swept.
-  bool pinned = false;
+  /// Pin count held by the shard while this session is a lane of a
+  /// batch being served; pinned (> 0) sessions are never evicted or
+  /// swept. A count, not a flag: with layer pipelining one session can
+  /// be a lane of two in-flight batches at once (serve/shard.cc).
+  num::Index pinned = 0;
 
  private:
   friend class SessionStore;
@@ -121,7 +128,11 @@ struct Session {
 /// to exactly one shard, and a shard to exactly one worker thread.
 class SessionStore {
  public:
-  explicit SessionStore(num::Index hidden_dim, SessionTtl ttl = {});
+  /// `layers` is the model depth: each session carries one (1 x dh)
+  /// h/c pair per layer, and the spill tier packs them side by side
+  /// into one record of width layers * hidden_dim (state_width()).
+  explicit SessionStore(num::Index hidden_dim, SessionTtl ttl = {},
+                        num::Index layers = 1);
 
   /// Returns the session, creating it with zero state if unseen (or if
   /// the TTL expired since its previous request — same zero state, new
@@ -142,6 +153,10 @@ class SessionStore {
 
   num::Index size() const { return static_cast<num::Index>(sessions_.size()); }
   num::Index hidden_dim() const { return dh_; }
+  num::Index layers() const { return layers_; }
+  /// Row width of one session's packed state (layers * hidden_dim) —
+  /// the hidden_dim a spill SegmentStore must be built with.
+  num::Index state_width() const { return layers_ * dh_; }
   const SessionTtl& ttl() const { return ttl_; }
 
   /// Attaches the durable spill tier (non-owning; the pool owns the
@@ -190,8 +205,13 @@ class SessionStore {
   }
 
   num::Index dh_;
+  num::Index layers_;
   SessionTtl ttl_;
   std::unordered_map<SessionId, Session> sessions_;
+  // Pack/unpack staging for the spill tier: one (1 x state_width())
+  // row per matrix, reused across evictions and restores.
+  num::Matrix spill_h_;
+  num::Matrix spill_c_;
   Session* lru_head_ = nullptr;  // most recently used
   Session* lru_tail_ = nullptr;  // least recently used
   store::SegmentStore* spill_ = nullptr;

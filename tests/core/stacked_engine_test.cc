@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "core/stacked_engine.h"
+#include "nn/lstm_cell.h"
+#include "num/rng.h"
+
+// The stacked engine's contract: one L-layer step is bit-for-bit L
+// independent single-layer SparseLstmEngine steps chained through the
+// dense-h tap — the trainer's wiring (core/stacked_lstm.cc: recurrence
+// consumes the pruned stored state, the NEXT layer consumes the dense
+// h). The oracle here builds that chain by hand from separate
+// single-layer engines and demands bitwise equality on every stored
+// state and on the dense top tap, across batch sizes, step counts,
+// fp32 and int8, and (via the CI backend sweep) every kernel backend.
+namespace zss::core {
+namespace {
+
+constexpr num::Index kDx = 7;
+constexpr num::Index kDh = 24;
+
+class StackedEngineTest : public ::testing::TestWithParam<num::Index> {
+ protected:
+  StackedEngineTest() : rng_(314159) {}
+
+  /// L cells (layer 0: dx -> dh, deeper: dh -> dh) + per-layer pruners
+  /// with distinct thresholds, so a layer-order bug cannot cancel out.
+  void build(num::Index layers, QuantConfig quant = {}) {
+    cells_.clear();
+    pruners_.clear();
+    cell_ptrs_.clear();
+    pruner_ptrs_.clear();
+    for (num::Index l = 0; l < layers; ++l) {
+      cells_.emplace_back(l == 0 ? kDx : kDh, kDh, rng_);
+      pruners_.emplace_back(
+          PrunerConfig::fixed(0.04f + 0.03f * static_cast<float>(l)));
+    }
+    for (const auto& c : cells_) cell_ptrs_.push_back(&c);
+    for (const auto& p : pruners_) pruner_ptrs_.push_back(&p);
+    quant_ = quant;
+  }
+
+  num::Matrix random_input(num::Index batch) {
+    num::Matrix x(batch, kDx);
+    for (num::Index r = 0; r < batch; ++r) {
+      for (num::Index c = 0; c < kDx; ++c) {
+        x(r, c) = static_cast<float>(rng_.normal()) * 0.5f;
+      }
+    }
+    return x;
+  }
+
+  /// Runs `steps` stacked steps and, in lockstep, the hand-built chain
+  /// of single-layer engines; asserts bit equality after every step.
+  void check_against_chain(num::Index layers, num::Index batch,
+                           num::Index steps) {
+    StackedEngine stacked(cell_ptrs_, pruner_ptrs_, {}, quant_);
+    stacked.reserve(batch);
+    std::deque<SparseLstmEngine> chain;
+    for (num::Index l = 0; l < layers; ++l) {
+      chain.emplace_back(*cell_ptrs_[static_cast<std::size_t>(l)],
+                         *pruner_ptrs_[static_cast<std::size_t>(l)],
+                         sparse::EncoderConfig{}, quant_);
+      chain.back().reserve(batch);
+    }
+
+    std::vector<num::Matrix> h_s(static_cast<std::size_t>(layers)),
+        c_s(static_cast<std::size_t>(layers)),
+        h_o(static_cast<std::size_t>(layers)),
+        c_o(static_cast<std::size_t>(layers));
+    for (num::Index l = 0; l < layers; ++l) {
+      h_s[static_cast<std::size_t>(l)].resize(batch, kDh, 0.0f);
+      c_s[static_cast<std::size_t>(l)].resize(batch, kDh, 0.0f);
+      h_o[static_cast<std::size_t>(l)].resize(batch, kDh, 0.0f);
+      c_o[static_cast<std::size_t>(l)].resize(batch, kDh, 0.0f);
+    }
+
+    num::Matrix dense_s, ff_a, ff_b;
+    for (num::Index t = 0; t < steps; ++t) {
+      const num::Matrix x = random_input(batch);
+      stacked.step(x, h_s, c_s, &dense_s);
+
+      // Oracle: manual dense-feed through separate engines.
+      const num::Matrix* input = &x;
+      for (num::Index l = 0; l < layers; ++l) {
+        num::Matrix& out = (l % 2 == 0) ? ff_a : ff_b;
+        chain[static_cast<std::size_t>(l)].step(
+            *input, h_o[static_cast<std::size_t>(l)],
+            c_o[static_cast<std::size_t>(l)], &out);
+        input = &out;
+      }
+      const num::Matrix& dense_o = (layers % 2 == 1) ? ff_a : ff_b;
+
+      for (num::Index l = 0; l < layers; ++l) {
+        EXPECT_EQ(h_s[static_cast<std::size_t>(l)],
+                  h_o[static_cast<std::size_t>(l)])
+            << "stored h, layer " << l << " step " << t;
+        EXPECT_EQ(c_s[static_cast<std::size_t>(l)],
+                  c_o[static_cast<std::size_t>(l)])
+            << "stored c, layer " << l << " step " << t;
+      }
+      EXPECT_EQ(dense_s, dense_o) << "dense top tap, step " << t;
+    }
+  }
+
+  num::Rng rng_;
+  std::deque<nn::LstmCell> cells_;
+  std::deque<StatePruner> pruners_;
+  std::vector<const nn::LstmCell*> cell_ptrs_;
+  std::vector<const StatePruner*> pruner_ptrs_;
+  QuantConfig quant_;
+};
+
+TEST_P(StackedEngineTest, MatchesSingleLayerChainBitwiseFp32) {
+  const num::Index batch = GetParam();
+  for (const num::Index layers : {1, 2, 3}) {
+    build(layers);
+    check_against_chain(layers, batch, /*steps=*/12);
+  }
+}
+
+TEST_P(StackedEngineTest, MatchesSingleLayerChainBitwiseInt8) {
+  const num::Index batch = GetParam();
+  for (const num::Index layers : {1, 2, 3}) {
+    build(layers, QuantConfig::int8());
+    check_against_chain(layers, batch, /*steps=*/12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, StackedEngineTest,
+                         ::testing::Values<num::Index>(1, 2, 8));
+
+TEST(StackedEngineContract, StepDenseMatchesStepBitwise) {
+  num::Rng rng(777);
+  std::deque<nn::LstmCell> cells;
+  cells.emplace_back(kDx, kDh, rng);
+  cells.emplace_back(kDh, kDh, rng);
+  std::deque<StatePruner> pruners;
+  pruners.emplace_back(PrunerConfig::fixed(0.05f));
+  pruners.emplace_back(PrunerConfig::fixed(0.08f));
+  std::vector<const nn::LstmCell*> cp{&cells[0], &cells[1]};
+  std::vector<const StatePruner*> pp{&pruners[0], &pruners[1]};
+  StackedEngine sparse_e(cp, pp), dense_e(cp, pp);
+
+  std::vector<num::Matrix> hs(2), cs(2), hd(2), cd(2);
+  for (int l = 0; l < 2; ++l) {
+    hs[l].resize(2, kDh, 0.0f);
+    cs[l].resize(2, kDh, 0.0f);
+    hd[l].resize(2, kDh, 0.0f);
+    cd[l].resize(2, kDh, 0.0f);
+  }
+  num::Matrix x(2, kDx), top_s, top_d;
+  for (int t = 0; t < 8; ++t) {
+    for (num::Index r = 0; r < 2; ++r) {
+      for (num::Index c = 0; c < kDx; ++c) {
+        x(r, c) = static_cast<float>(rng.normal());
+      }
+    }
+    sparse_e.step(x, hs, cs, &top_s);
+    dense_e.step_dense(x, hd, cd, &top_d);
+    for (int l = 0; l < 2; ++l) {
+      EXPECT_EQ(hs[l], hd[l]) << "layer " << l;
+      EXPECT_EQ(cs[l], cd[l]) << "layer " << l;
+    }
+    EXPECT_EQ(top_s, top_d);
+  }
+}
+
+TEST(StackedEngineContract, StatsSumLayersAndCountStackedSteps) {
+  num::Rng rng(31);
+  std::deque<nn::LstmCell> cells;
+  cells.emplace_back(kDx, kDh, rng);
+  cells.emplace_back(kDh, kDh, rng);
+  std::deque<StatePruner> pruners;
+  pruners.emplace_back(PrunerConfig::fixed(0.05f));
+  pruners.emplace_back(PrunerConfig::fixed(0.05f));
+  std::vector<const nn::LstmCell*> cp{&cells[0], &cells[1]};
+  std::vector<const StatePruner*> pp{&pruners[0], &pruners[1]};
+  StackedEngine engine(cp, pp);
+
+  std::vector<num::Matrix> h(2), c(2);
+  for (int l = 0; l < 2; ++l) {
+    h[l].resize(1, kDh, 0.0f);
+    c[l].resize(1, kDh, 0.0f);
+  }
+  num::Matrix x(1, kDx, 0.0f);
+  x(0, 0) = 1.0f;
+  for (int t = 0; t < 5; ++t) engine.step(x, h, c);
+
+  const InferenceStats s = engine.stats();
+  // One stacked step counts once, but positions accumulate per layer.
+  EXPECT_EQ(s.steps, 5);
+  EXPECT_EQ(s.positions, 2 * 5 * kDh);
+  EXPECT_EQ(engine.layer_engine(0).stats().steps, 5);
+  EXPECT_EQ(engine.layer_engine(1).stats().steps, 5);
+
+  engine.reset_stats();
+  EXPECT_EQ(engine.stats().steps, 0);
+  EXPECT_EQ(engine.stats().positions, 0);
+}
+
+TEST(StackedEngineContract, NoAllocationsAfterReserve) {
+  num::Rng rng(47);
+  std::deque<nn::LstmCell> cells;
+  cells.emplace_back(kDx, kDh, rng);
+  cells.emplace_back(kDh, kDh, rng);
+  cells.emplace_back(kDh, kDh, rng);
+  std::deque<StatePruner> pruners;
+  for (int l = 0; l < 3; ++l) pruners.emplace_back(PrunerConfig::fixed(0.05f));
+  std::vector<const nn::LstmCell*> cp{&cells[0], &cells[1], &cells[2]};
+  std::vector<const StatePruner*> pp{&pruners[0], &pruners[1], &pruners[2]};
+  StackedEngine engine(cp, pp);
+  engine.reserve(4);
+
+  std::vector<num::Matrix> h(3), c(3);
+  for (int l = 0; l < 3; ++l) {
+    h[l].resize(4, kDh, 0.0f);
+    c[l].resize(4, kDh, 0.0f);
+  }
+  num::Matrix x(4, kDx, 0.0f), top;
+  engine.step(x, h, c, &top);  // warm-up settles lazy LUT/scratch
+  const auto warm = engine.workspace().allocation_count();
+  for (int t = 0; t < 10; ++t) engine.step(x, h, c, &top);
+  EXPECT_EQ(engine.workspace().allocation_count(), warm)
+      << "steady-state stacked steps must not allocate";
+}
+
+}  // namespace
+}  // namespace zss::core

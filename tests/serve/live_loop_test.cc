@@ -286,22 +286,22 @@ TEST(SessionStoreTtlTest, LazyTtlRestartsFromZeroStateOnGap) {
   SessionStore store(/*hidden_dim=*/4, ttl);
 
   Session& s = store.get_or_create(7, /*arrival_us=*/0);
-  s.h(0, 0) = 3.5f;
-  s.c(0, 1) = -1.25f;
+  s.h[0](0, 0) = 3.5f;
+  s.c[0](0, 1) = -1.25f;
   s.steps = 5;
 
   // A gap of exactly ttl_us is NOT expiry (strictly-greater rule).
   Session& same = store.get_or_create(7, /*arrival_us=*/100);
   EXPECT_EQ(&same, &s);
   EXPECT_EQ(same.generation, 0u);
-  EXPECT_EQ(same.h(0, 0), 3.5f) << "state must survive within the TTL";
+  EXPECT_EQ(same.h[0](0, 0), 3.5f) << "state must survive within the TTL";
 
   // One microsecond past the TTL: fresh conversation, same id.
   Session& reset = store.get_or_create(7, /*arrival_us=*/201);
   EXPECT_EQ(reset.generation, 1u);
   EXPECT_EQ(reset.steps, 0u);
-  EXPECT_EQ(reset.h(0, 0), 0.0f);
-  EXPECT_EQ(reset.c(0, 1), 0.0f);
+  EXPECT_EQ(reset.h[0](0, 0), 0.0f);
+  EXPECT_EQ(reset.c[0](0, 1), 0.0f);
   EXPECT_EQ(store.ttl_resets(), 1u);
   EXPECT_EQ(store.size(), 1) << "a TTL reset reuses the storage";
 }
@@ -325,7 +325,7 @@ TEST(SessionStoreTtlTest, SweepFreesExactlyWhatLazyResetWouldRestart) {
   // Value neutrality: the swept session re-registers with the same
   // zero state the lazy rule would have reset it to.
   Session& back = store.get_or_create(1, 450);
-  EXPECT_EQ(back.h(0, 0), 0.0f);
+  EXPECT_EQ(back.h[0](0, 0), 0.0f);
   EXPECT_EQ(back.steps, 0u);
 }
 
@@ -348,7 +348,7 @@ TEST(SessionStoreTtlTest, LruCapEvictsLeastRecentlyArrived) {
 
   // The evicted session re-registers with fresh zero state.
   Session& back = store.get_or_create(2, 50);
-  EXPECT_EQ(back.h(0, 0), 0.0f);
+  EXPECT_EQ(back.h[0](0, 0), 0.0f);
   EXPECT_EQ(store.find(3), nullptr) << "3 was the LRU this time";
 }
 

@@ -205,11 +205,11 @@ TEST(SpillTieringTest, RestoredSessionKeepsBitsStepsAndGeneration) {
   store.set_spill(&spill);
 
   Session& s1 = store.get_or_create(1, 10);
-  for (num::Index j = 0; j < 6; ++j) s1.h(0, j) = 0.5f + static_cast<float>(j);
-  s1.c(0, 3) = -7.25f;
+  for (num::Index j = 0; j < 6; ++j) s1.h[0](0, j) = 0.5f + static_cast<float>(j);
+  s1.c[0](0, 3) = -7.25f;
   s1.steps = 41;
   s1.generation = 2;
-  std::vector<float> h_bits(s1.h.data(), s1.h.data() + 6);
+  std::vector<float> h_bits(s1.h[0].data(), s1.h[0].data() + 6);
 
   store.get_or_create(2, 20);
   store.get_or_create(3, 30);  // cap: evicts session 1 into the tier
@@ -221,8 +221,8 @@ TEST(SpillTieringTest, RestoredSessionKeepsBitsStepsAndGeneration) {
   EXPECT_EQ(store.restored(), 1u);
   EXPECT_EQ(back.steps, 41u);
   EXPECT_EQ(back.generation, 2u);
-  EXPECT_EQ(std::memcmp(back.h.data(), h_bits.data(), 6 * sizeof(float)), 0);
-  EXPECT_EQ(back.c(0, 3), -7.25f);
+  EXPECT_EQ(std::memcmp(back.h[0].data(), h_bits.data(), 6 * sizeof(float)), 0);
+  EXPECT_EQ(back.c[0](0, 3), -7.25f);
   // Not a creation: the client's conversation continued.
   EXPECT_EQ(store.created(), 3u);
 }
@@ -238,7 +238,7 @@ TEST(SpillTieringTest, CorruptRecordFallsBackToFreshSession) {
   store.set_spill(&spill);
 
   Session& s1 = store.get_or_create(1, 10);
-  s1.h(0, 0) = 3.5f;
+  s1.h[0](0, 0) = 3.5f;
   s1.steps = 9;
   store.get_or_create(2, 20);
   store.get_or_create(3, 30);  // spills session 1
@@ -250,7 +250,7 @@ TEST(SpillTieringTest, CorruptRecordFallsBackToFreshSession) {
   EXPECT_EQ(store.restore_corrupt(), 1u);
   EXPECT_EQ(back.steps, 0u) << "corrupt restore must yield a fresh session";
   EXPECT_EQ(back.generation, 0u);
-  for (num::Index j = 0; j < 6; ++j) EXPECT_EQ(back.h(0, j), 0.0f);
+  for (num::Index j = 0; j < 6; ++j) EXPECT_EQ(back.h[0](0, j), 0.0f);
   EXPECT_EQ(store.created(), 4u) << "fresh state is a creation";
 }
 

@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "core/stacked_engine.h"
+#include "nn/embedding.h"
+#include "nn/lstm_cell.h"
+#include "num/parallel.h"
+#include "num/rng.h"
+#include "serve/pool.h"
+#include "serve/trace.h"
+
+// Multi-layer serving determinism: an L-layer model served through the
+// pool must be bit-identical to a batch-of-one StackedEngine oracle —
+// at any shard count, any max_batch, with the layer-pipelined wavefront
+// on or off, at any parallel_for thread count, with or without an
+// embedding input mapping, and under TTL/cap churn (the wavefront's
+// hazard fences). The wavefront only runs inside EngineShard::flush(),
+// so these tests drive pool.flush directly (replay settles through
+// process_ready and never pipelines — serve/trace.cc).
+namespace zss::serve {
+namespace {
+
+constexpr num::Index kDx = 6;
+constexpr num::Index kDh = 16;
+
+using OutputLog = std::map<SessionId, std::vector<std::vector<float>>>;
+
+/// Restores the global parallel_for worker count on scope exit.
+struct ThreadGuard {
+  explicit ThreadGuard(int n) { num::set_num_threads(n); }
+  ~ThreadGuard() { num::set_num_threads(1); }
+};
+
+class StackedShardTest : public ::testing::Test {
+ protected:
+  StackedShardTest() : rng_(161803) {
+    trace_ = synthetic_trace(/*requests=*/180, /*sessions=*/7, /*vocab=*/kDx,
+                             /*mean_gap_us=*/40, rng_);
+    // Back-to-back same-session arrivals: under pipelining this queues
+    // one session into two consecutive flights (the pinned-count path).
+    for (int k = 0; k < 4; ++k) {
+      TraceEvent e;
+      e.arrival_us = trace_.back().arrival_us;
+      e.session = 2;
+      e.token = static_cast<num::Index>(k) % kDx;
+      trace_.push_back(e);
+    }
+  }
+
+  void build(num::Index layers) {
+    cells_.clear();
+    pruners_.clear();
+    cell_ptrs_.clear();
+    pruner_ptrs_.clear();
+    num::Rng rng(42);  // model weights fixed across build() calls
+    for (num::Index l = 0; l < layers; ++l) {
+      cells_.emplace_back(l == 0 ? kDx : kDh, kDh, rng);
+      pruners_.emplace_back(core::PrunerConfig::fixed(
+          0.05f + 0.02f * static_cast<float>(l)));
+    }
+    for (const auto& c : cells_) cell_ptrs_.push_back(&c);
+    for (const auto& p : pruners_) pruner_ptrs_.push_back(&p);
+  }
+
+  ServeModel model() const {
+    ServeModel m;
+    m.cells = cell_ptrs_;
+    m.pruners = pruner_ptrs_;
+    return m;
+  }
+
+  /// Ground truth: per-session StackedEngine, batch of one, trace
+  /// order. Logs stored top-layer h (what Response.h views) and the
+  /// dense top tap (what Response.dense_h views).
+  void oracle(num::Index layers, OutputLog& stored, OutputLog& dense) {
+    core::StackedEngine engine(cell_ptrs_, pruner_ptrs_);
+    struct State {
+      std::vector<num::Matrix> h, c;
+    };
+    std::map<SessionId, State> states;
+    num::Matrix x(1, kDx), top;
+    for (const TraceEvent& e : trace_) {
+      auto [it, fresh] = states.try_emplace(e.session);
+      if (fresh) {
+        it->second.h.resize(static_cast<std::size_t>(layers));
+        it->second.c.resize(static_cast<std::size_t>(layers));
+        for (num::Index l = 0; l < layers; ++l) {
+          it->second.h[static_cast<std::size_t>(l)].resize(1, kDh, 0.0f);
+          it->second.c[static_cast<std::size_t>(l)].resize(1, kDh, 0.0f);
+        }
+      }
+      x.fill(0.0f);
+      x(0, e.token % kDx) = 1.0f;
+      engine.step(x, it->second.h, it->second.c, &top);
+      const auto h_row = it->second.h.back().row(0);
+      stored[e.session].emplace_back(h_row.begin(), h_row.end());
+      const auto d_row = top.row(0);
+      dense[e.session].emplace_back(d_row.begin(), d_row.end());
+    }
+  }
+
+  /// Enqueues the whole trace and flushes once — the path that runs
+  /// the wavefront when `pipeline` is set.
+  void run_flush(num::Index shards, num::Index max_batch, bool pipeline,
+                 OutputLog& stored, OutputLog& dense,
+                 SessionTtl ttl = {}) {
+    PoolConfig config;
+    config.shards = shards;
+    config.policy.max_batch = max_batch;
+    config.session_ttl = ttl;
+    config.pipeline = pipeline;
+    EnginePool pool(model(), config);
+    std::uint64_t seq = 0;
+    for (const TraceEvent& e : trace_) {
+      Request r;
+      r.session = e.session;
+      r.token = e.token;
+      r.arrival_us = e.arrival_us;
+      r.seq = seq++;
+      pool.enqueue(r);
+    }
+    const ResponseSink sink = [&](const Response& r) {
+      stored[r.session].emplace_back(r.h.begin(), r.h.end());
+      dense[r.session].emplace_back(r.dense_h.begin(), r.dense_h.end());
+    };
+    const std::int64_t end_us = trace_.back().arrival_us + 1;
+    num::Index served = 0;
+    for (num::Index s = 0; s < shards; ++s) {
+      served += pool.shard(s).flush(end_us, sink);
+    }
+    EXPECT_EQ(served, static_cast<num::Index>(trace_.size()));
+  }
+
+  num::Rng rng_;
+  std::deque<nn::LstmCell> cells_;
+  std::deque<core::StatePruner> pruners_;
+  std::vector<const nn::LstmCell*> cell_ptrs_;
+  std::vector<const core::StatePruner*> pruner_ptrs_;
+  std::vector<TraceEvent> trace_;
+};
+
+TEST_F(StackedShardTest, LayerSweepPipelineOnOffMatchesOracleBitwise) {
+  for (const num::Index layers : {1, 2, 3}) {
+    build(layers);
+    OutputLog want_stored, want_dense;
+    oracle(layers, want_stored, want_dense);
+    for (const bool pipeline : {false, true}) {
+      for (const num::Index shards : {1, 2}) {
+        OutputLog stored, dense;
+        run_flush(shards, /*max_batch=*/8, pipeline, stored, dense);
+        EXPECT_EQ(stored, want_stored)
+            << "layers " << layers << " pipeline " << pipeline << " shards "
+            << shards;
+        EXPECT_EQ(dense, want_dense)
+            << "dense tap: layers " << layers << " pipeline " << pipeline
+            << " shards " << shards;
+      }
+    }
+  }
+}
+
+TEST_F(StackedShardTest, WavefrontWithWorkerThreadsMatchesSequential) {
+  // The actual overlap: 3 layers, up to 3 flights ticking concurrently
+  // on parallel_for workers. Values must not move.
+  build(3);
+  OutputLog want_stored, want_dense;
+  run_flush(/*shards=*/1, /*max_batch=*/4, /*pipeline=*/false, want_stored,
+            want_dense);
+  for (const int threads : {2, 4}) {
+    ThreadGuard guard(threads);
+    OutputLog stored, dense;
+    run_flush(/*shards=*/1, /*max_batch=*/4, /*pipeline=*/true, stored,
+              dense);
+    EXPECT_EQ(stored, want_stored) << "threads " << threads;
+    EXPECT_EQ(dense, want_dense) << "threads " << threads;
+  }
+}
+
+TEST_F(StackedShardTest, WavefrontBatchSizeSweepBitwiseIdentical) {
+  build(2);
+  OutputLog want_stored, want_dense;
+  oracle(2, want_stored, want_dense);
+  for (const num::Index max_batch : {1, 2, 3, 8}) {
+    OutputLog stored, dense;
+    run_flush(/*shards=*/1, max_batch, /*pipeline=*/true, stored, dense);
+    EXPECT_EQ(stored, want_stored) << "max_batch " << max_batch;
+  }
+}
+
+TEST_F(StackedShardTest, PipelineUnderTtlChurnMatchesSequential) {
+  // Lazy TTL resets force the wavefront's admission fence (an admit
+  // that would reset a pinned session must drain first). The fence is
+  // allowed to change batch boundaries, never values.
+  build(2);
+  SessionTtl ttl;
+  ttl.ttl_us = 900;  // several resets over the ~7200us trace
+  OutputLog want_stored, want_dense;
+  run_flush(/*shards=*/1, /*max_batch=*/4, /*pipeline=*/false, want_stored,
+            want_dense, ttl);
+  ThreadGuard guard(3);
+  OutputLog stored, dense;
+  run_flush(/*shards=*/1, /*max_batch=*/4, /*pipeline=*/true, stored, dense,
+            ttl);
+  EXPECT_EQ(stored, want_stored);
+  EXPECT_EQ(dense, want_dense);
+}
+
+TEST_F(StackedShardTest, PipelineUnderSessionCapMatchesSequential) {
+  // A capped store under pipelining: eviction may never hit a pinned
+  // lane (max_sessions > layers * max_batch is construction-enforced).
+  build(2);
+  SessionTtl ttl;
+  ttl.ttl_us = 1500;
+  ttl.max_sessions = 9;  // > 2 layers * 4 max_batch
+  OutputLog want_stored, want_dense;
+  run_flush(/*shards=*/1, /*max_batch=*/4, /*pipeline=*/false, want_stored,
+            want_dense, ttl);
+  ThreadGuard guard(2);
+  OutputLog stored, dense;
+  run_flush(/*shards=*/1, /*max_batch=*/4, /*pipeline=*/true, stored, dense,
+            ttl);
+  EXPECT_EQ(stored, want_stored);
+}
+
+TEST_F(StackedShardTest, QuantStackedShardSweepBitwiseIdentical) {
+  build(2);
+  auto run_quant = [&](num::Index shards, bool pipeline) {
+    PoolConfig config;
+    config.shards = shards;
+    config.policy.max_batch = 8;
+    config.quant = core::QuantConfig::int8();
+    config.pipeline = pipeline;
+    EnginePool pool(model(), config);
+    std::uint64_t seq = 0;
+    for (const TraceEvent& e : trace_) {
+      Request r;
+      r.session = e.session;
+      r.token = e.token;
+      r.arrival_us = e.arrival_us;
+      r.seq = seq++;
+      pool.enqueue(r);
+    }
+    OutputLog log;
+    const ResponseSink sink = [&](const Response& r) {
+      log[r.session].emplace_back(r.h.begin(), r.h.end());
+    };
+    for (num::Index s = 0; s < shards; ++s) {
+      pool.shard(s).flush(trace_.back().arrival_us + 1, sink);
+    }
+    return log;
+  };
+  const OutputLog want = run_quant(1, false);
+  EXPECT_EQ(run_quant(2, false), want);
+  EXPECT_EQ(run_quant(1, true), want);
+  EXPECT_EQ(run_quant(2, true), want);
+}
+
+TEST_F(StackedShardTest, EmbeddingInputMapsTokensToRows) {
+  // The embedding path: tokens index rows instead of one-hot columns.
+  // Served output must equal a hand-stepped oracle fed embedding rows.
+  build(2);
+  num::Rng erng(5);
+  nn::Embedding embed(/*vocab=*/kDx * 3, /*dim=*/kDx, erng);
+  ServeModel m = model();
+  m.embedding = &embed;
+  m.vocab = embed.vocab();
+
+  PoolConfig config;
+  config.policy.max_batch = 4;
+  EnginePool pool(m, config);
+  EXPECT_EQ(pool.model_info().vocab, embed.vocab());
+
+  std::uint64_t seq = 0;
+  for (const TraceEvent& e : trace_) {
+    Request r;
+    r.session = e.session;
+    r.token = e.token;
+    r.arrival_us = e.arrival_us;
+    r.seq = seq++;
+    pool.enqueue(r);
+  }
+  OutputLog stored;
+  const ResponseSink sink = [&](const Response& r) {
+    stored[r.session].emplace_back(r.h.begin(), r.h.end());
+  };
+  pool.shard(0).flush(trace_.back().arrival_us + 1, sink);
+
+  core::StackedEngine engine(cell_ptrs_, pruner_ptrs_);
+  struct State {
+    std::vector<num::Matrix> h, c;
+  };
+  std::map<SessionId, State> states;
+  OutputLog want;
+  num::Matrix x;
+  std::vector<num::Index> id(1);
+  for (const TraceEvent& e : trace_) {
+    auto [it, fresh] = states.try_emplace(e.session);
+    if (fresh) {
+      it->second.h.resize(2);
+      it->second.c.resize(2);
+      for (int l = 0; l < 2; ++l) {
+        it->second.h[l].resize(1, kDh, 0.0f);
+        it->second.c[l].resize(1, kDh, 0.0f);
+      }
+    }
+    id[0] = e.token % embed.vocab();
+    embed.forward(id, x);
+    engine.step(x, it->second.h, it->second.c);
+    const auto row = it->second.h.back().row(0);
+    want[e.session].emplace_back(row.begin(), row.end());
+  }
+  EXPECT_EQ(stored, want);
+}
+
+TEST_F(StackedShardTest, PipelineActuallyOverlapped) {
+  // Guard against the wavefront silently degrading to sequential: with
+  // pipelining on, the shard must report pipeline() and serve the
+  // trace (the overlap itself is proven by the bit-identity tests
+  // above running at threads > 1; here we pin the mode wiring).
+  build(3);
+  PoolConfig config;
+  config.pipeline = true;
+  EnginePool pool(model(), config);
+  EXPECT_TRUE(pool.shard(0).pipeline());
+  EXPECT_EQ(pool.model_info().layers, 3);
+
+  build(1);  // single layer: pipelining must quietly turn itself off
+  PoolConfig single;
+  single.pipeline = true;
+  EnginePool spool(model(), single);
+  EXPECT_FALSE(spool.shard(0).pipeline());
+}
+
+}  // namespace
+}  // namespace zss::serve

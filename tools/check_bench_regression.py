@@ -34,6 +34,11 @@ Dispatches on the artifact's "bench" field:
       delivery or an unanswered request through the front end is a
       routing bug, never noise — and the frontend block itself must
       be present with at least one row at >= 1000 connections.
+      The stacked block (L-layer models through the sequential and the
+      wavefront-pipelined flush) must be present and non-empty, and
+      every row must have bit_exact=true — a pipelined or resharded
+      run whose digests differ from the sequential 1-shard reference
+      is a determinism bug in the wavefront, never noise.
     - Soft warnings: cold-restore p50 latency more than WARN_FRACTION
       *slower* than the reference recording, warm-rate collapse
       (the tier silently degrading to RAM-only would show up here),
@@ -204,6 +209,43 @@ def check_serving(fresh, ref, failures, warnings):
             )
     rows = len(tiering)
 
+    stacked = fresh.get("stacked", [])
+    if not stacked:
+        failures.append(
+            "stacked block missing or empty — the L-layer serving path "
+            "(sequential + wavefront-pipelined flush) was not exercised "
+            "(bench/bench_serving.cc writes one row per layers x shards "
+            "x schedule)"
+        )
+    ref_stacked = {
+        (r.get("layers"), r.get("shards"), r.get("pipeline")): r
+        for r in ref.get("stacked", [])
+    }
+    for row in stacked:
+        key = (row.get("layers"), row.get("shards"), row.get("pipeline"))
+        label = (
+            f"layers={key[0]} shards={key[1]} "
+            f"pipeline={'on' if key[2] else 'off'}"
+        )
+        if not row.get("bit_exact", False):
+            failures.append(
+                f"stacked bit_exact=false ({label}) — the run's digests "
+                f"diverged from the sequential 1-shard reference; the "
+                f"wavefront broke determinism"
+            )
+        ref_row = ref_stacked.get(key)
+        if ref_row is None:
+            warnings.append(f"stacked row ({label}) missing from reference")
+            continue
+        floor = ref_row["wall_rps"] * (1.0 - WARN_FRACTION)
+        if row["wall_rps"] < floor:
+            warnings.append(
+                f"stacked wall_rps ({label}): {row['wall_rps']:.1f} vs "
+                f"reference {ref_row['wall_rps']:.1f} "
+                f"(-{(1 - row['wall_rps'] / ref_row['wall_rps']) * 100:.0f}%)"
+            )
+    rows += len(stacked)
+
     frontend = fresh.get("frontend", [])
     if not frontend:
         failures.append(
@@ -286,7 +328,7 @@ def main(argv):
         unit = "cells"
     else:
         checked = check_serving(fresh, ref, failures, warnings)
-        unit = "tiering+frontend rows"
+        unit = "tiering+stacked+frontend rows"
 
     for w in warnings:
         print(f"warning: {w}")

@@ -25,9 +25,14 @@
 //   zss_serve --live --socket=/tmp/zss.sock --tcp=9777 --max-queue=64
 //   zss_serve --emit-trace=200 --sessions=16 --gap-us=150 > trace.txt
 //
-// The model is a seeded randomly-initialized cell (this is a serving
-// harness, not an accuracy demo); --threshold sets the fixed pruning
-// threshold the sessions' stored states are pruned with. --ttl-us and
+// The model is a seeded randomly-initialized cell by default (synthetic
+// load), or — with --model=FILE — a trained v2 checkpoint written by
+// zss_train: the architecture header decides layers/dh/input mapping,
+// the per-layer exported thresholds build the fixed pruners, and
+// --quant serves the int8 datapath on the grid the trainer recorded
+// (a checkpoint without a recorded grid refuses --quant). --pipeline
+// enables the layer wavefront on multi-layer models (serve/shard.h);
+// --threads sets num::parallel_for workers. --ttl-us and
 // --max-sessions bound the per-shard session stores in either mode
 // (give the replay the same values to reproduce a recorded live run).
 #include <atomic>
@@ -37,8 +42,10 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -47,8 +54,10 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "core/model_io.h"
 #include "core/state_pruner.h"
 #include "nn/lstm_cell.h"
+#include "num/parallel.h"
 #include "num/rng.h"
 #include "num/simd/backend.h"
 #include "serve/frontend.h"
@@ -85,6 +94,12 @@ struct Args {
   std::uint64_t seed = 1;
   bool dump = false;
   bool quant = false;  // int8 engine datapath (core::QuantConfig::int8())
+  std::string model;   // v2 checkpoint path; empty = seeded random cell
+  bool pipeline = false;  // layer wavefront on multi-layer models
+  int threads = 1;        // num::parallel_for workers
+  // Explicit-flag tracking: the checkpoint header decides these, so
+  // passing them alongside --model is a conflict, not a preference.
+  bool dh_set = false, dx_set = false, threshold_set = false;
 };
 
 bool parse(int argc, char** argv, Args& args) {
@@ -126,16 +141,25 @@ bool parse(int argc, char** argv, Args& args) {
       args.max_queue = std::atol(v);
     } else if (const char* v = value("dh")) {
       args.dh = std::atol(v);
+      args.dh_set = true;
     } else if (const char* v = value("dx")) {
       args.dx = std::atol(v);
+      args.dx_set = true;
     } else if (const char* v = value("sessions")) {
       args.sessions = std::atol(v);
     } else if (const char* v = value("gap-us")) {
       args.gap_us = std::atol(v);
     } else if (const char* v = value("threshold")) {
       args.threshold = static_cast<float>(std::atof(v));
+      args.threshold_set = true;
     } else if (const char* v = value("seed")) {
       args.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("model")) {
+      args.model = v;
+    } else if (a == "--pipeline") {
+      args.pipeline = true;
+    } else if (const char* v = value("threads")) {
+      args.threads = static_cast<int>(std::atol(v));
     } else if (a == "--dump") {
       args.dump = true;
     } else if (a == "--quant") {
@@ -163,9 +187,32 @@ bool parse(int argc, char** argv, Args& args) {
     std::fprintf(stderr, "--tcp port out of range: %d\n", args.tcp_port);
     return false;
   }
+  if (args.threads < 1) {
+    std::fprintf(stderr, "--threads must be >= 1\n");
+    return false;
+  }
   if (args.max_sessions > 0 && args.max_sessions <= args.max_batch) {
     std::fprintf(stderr, "--max-sessions must exceed --max-batch (a whole "
                          "batch is pinned while it is served)\n");
+    return false;
+  }
+  // The checkpoint header is the single source of truth for the model
+  // architecture and the trained thresholds — conflicting flags are
+  // rejected rather than silently overridden (this is a bugfix-grade
+  // rule: an ignored --threshold would change digests without warning).
+  if (!args.model.empty() &&
+      (args.dh_set || args.dx_set || args.threshold_set)) {
+    std::fprintf(stderr, "--dh/--dx/--threshold conflict with --model "
+                         "(the checkpoint header decides them)\n");
+    return false;
+  }
+  if (!args.model.empty() && args.emit_trace > 0) {
+    std::fprintf(stderr, "--model does not apply to --emit-trace\n");
+    return false;
+  }
+  if (args.pipeline && args.model.empty()) {
+    std::fprintf(stderr, "--pipeline requires --model (the random cell is "
+                         "single-layer; the wavefront needs layers > 1)\n");
     return false;
   }
   // Reject flag combinations that would otherwise be silently ignored
@@ -206,8 +253,12 @@ void usage() {
       "                 [--threshold=T] [--seed=S] [--ttl-us=T]\n"
       "                 [--max-sessions=N] [--dump] [--digests=FILE]\n"
       "                 [--spill-dir=DIR] [--spill-encoded] [--quant]\n"
+      "                 [--model=FILE] [--pipeline] [--threads=N]\n"
       "                 (--quant serves the int8 engine datapath; digests\n"
       "                 stay shard/batch-invariant — docs/exactness.md)\n"
+      "                 (--model serves a trained v2 checkpoint from\n"
+      "                 zss_train; layers/dh/thresholds come from its\n"
+      "                 header — docs/serving.md \"Serving trained models\")\n"
       "   or: zss_serve --live [same model/policy flags] [--socket=PATH]\n"
       "                 [--tcp=PORT] [--record=FILE] [--max-queue=N]\n"
       "                 (stdin/stdout by default; --socket/--tcp start the\n"
@@ -255,7 +306,82 @@ void print_digests(const serve::DigestTable& table, const std::string& path,
   }
 }
 
-serve::PoolConfig pool_config(const Args& args) {
+/// Everything the pool borrows, under one lifetime: either the seeded
+/// random cell (synthetic load) or a materialized v2 checkpoint, plus
+/// the per-layer fixed pruners and the pointer lists ServeModel views.
+struct ServingAssets {
+  // Random path.
+  std::unique_ptr<nn::LstmCell> cell;
+  // Checkpoint path.
+  core::LoadedModel loaded;
+  // Shared. Deque: growing never moves an element a pointer views.
+  std::deque<core::StatePruner> pruners;
+  std::vector<const nn::LstmCell*> cells;
+  std::vector<const core::StatePruner*> pruner_ptrs;
+  serve::ServeModel model;
+  core::QuantConfig quant;
+};
+
+/// Builds the served model from the flags. Fails closed on every
+/// checkpoint/flag disagreement — a silently coerced architecture
+/// would serve wrong numbers without a diagnostic.
+bool build_model(const Args& args, ServingAssets& out) {
+  if (args.quant) out.quant = core::QuantConfig::int8();
+  if (args.model.empty()) {
+    num::Rng rng(args.seed);
+    out.cell = std::make_unique<nn::LstmCell>(args.dx, args.dh, rng);
+    out.cells.push_back(out.cell.get());
+    out.pruners.emplace_back(core::PrunerConfig::fixed(args.threshold));
+    out.pruner_ptrs.push_back(&out.pruners.back());
+    out.model.cells = out.cells;
+    out.model.pruners = out.pruner_ptrs;
+    return true;
+  }
+  std::string error;
+  if (!core::load_model(args.model, out.loaded, &error)) {
+    std::fprintf(stderr, "zss_serve: cannot serve --model=%s: %s\n",
+                 args.model.c_str(), error.c_str());
+    return false;
+  }
+  const core::ModelSpec& spec = out.loaded.spec;
+  if (args.quant) {
+    if (spec.has_quant_grid == 0) {
+      std::fprintf(stderr,
+                   "zss_serve: --quant refused: %s records no quantization "
+                   "grid (re-save the checkpoint with zss_train, which "
+                   "always records one, or serve without --quant)\n",
+                   args.model.c_str());
+      return false;
+    }
+    out.quant.pre_clip = spec.quant_pre_clip;
+    out.quant.c_clip = static_cast<int>(spec.quant_c_clip);
+  }
+  for (const auto& c : out.loaded.cells) out.cells.push_back(c.get());
+  for (const float t : spec.thresholds) {
+    out.pruners.emplace_back(core::PrunerConfig::fixed(t));
+  }
+  for (const auto& p : out.pruners) out.pruner_ptrs.push_back(&p);
+  out.model.cells = out.cells;
+  out.model.pruners = out.pruner_ptrs;
+  out.model.embedding = out.loaded.embedding.get();
+  out.model.name = args.model;
+  out.model.vocab = static_cast<num::Index>(spec.vocab);
+  // The shard enforces this with an abort; turn it into a usage error
+  // while we still can (pipelining pins up to layers batches at once).
+  const num::Index pin_span =
+      (args.pipeline ? static_cast<num::Index>(spec.layers) : 1) *
+      args.max_batch;
+  if (args.max_sessions > 0 && args.max_sessions <= pin_span) {
+    std::fprintf(stderr,
+                 "zss_serve: --max-sessions must exceed %lld "
+                 "(layers x max-batch pinned in flight with --pipeline)\n",
+                 static_cast<long long>(pin_span));
+    return false;
+  }
+  return true;
+}
+
+serve::PoolConfig pool_config(const Args& args, const ServingAssets& assets) {
   serve::PoolConfig config;
   config.shards = args.shards;
   config.policy.max_batch = args.max_batch;
@@ -264,7 +390,8 @@ serve::PoolConfig pool_config(const Args& args) {
   config.session_ttl.max_sessions = args.max_sessions;
   config.spill.dir = args.spill_dir;
   config.spill.encoded = args.spill_encoded;
-  if (args.quant) config.quant = core::QuantConfig::int8();
+  config.quant = assets.quant;
+  config.pipeline = args.pipeline;
   return config;
 }
 
@@ -299,10 +426,10 @@ int run_replay(const Args& args) {
   store::DirLock spill_lock;
   if (!acquire_spill_lock(args, spill_lock)) return 1;
 
-  num::Rng rng(args.seed);
-  nn::LstmCell cell(args.dx, args.dh, rng);
-  core::StatePruner pruner(core::PrunerConfig::fixed(args.threshold));
-  serve::EnginePool pool(cell, pruner, pool_config(args));
+  num::set_num_threads(args.threads);
+  ServingAssets assets;
+  if (!build_model(args, assets)) return 1;
+  serve::EnginePool pool(assets.model, pool_config(args, assets));
 
   // Rolling per-session FNV-1a over each response's 8-byte row digest
   // (the digest printed on live-mode "ok" lines), in seq order — the
@@ -333,10 +460,14 @@ int run_replay(const Args& args) {
                      : 1.0 - static_cast<double>(kept) /
                                  static_cast<double>(positions);
 
-  std::printf("zss_serve: kernel_backend=%s dh=%lld dx=%lld threshold=%.3f\n",
-              num::simd::active_backend().name,
-              static_cast<long long>(args.dh), static_cast<long long>(args.dx),
-              static_cast<double>(args.threshold));
+  const serve::ModelInfo& mi = pool.model_info();
+  std::printf("zss_serve: kernel_backend=%s model=%s layers=%lld dh=%lld "
+              "vocab=%lld quant=%s pipeline=%s threads=%d\n",
+              num::simd::active_backend().name, mi.name.c_str(),
+              static_cast<long long>(mi.layers),
+              static_cast<long long>(mi.dh),
+              static_cast<long long>(mi.vocab), mi.quant ? "int8" : "off",
+              args.pipeline ? "on" : "off", args.threads);
   std::printf(
       "replayed %lld requests -> %lld responses in %lld batches "
       "(mean batch %.2f) over %lld shards, virtual end %lld us\n",
@@ -541,10 +672,10 @@ int run_live(const Args& args) {
   store::DirLock spill_lock;
   if (!acquire_spill_lock(args, spill_lock)) return 1;
 
-  num::Rng rng(args.seed);
-  nn::LstmCell cell(args.dx, args.dh, rng);
-  core::StatePruner pruner(core::PrunerConfig::fixed(args.threshold));
-  serve::EnginePool pool(cell, pruner, pool_config(args));
+  num::set_num_threads(args.threads);
+  ServingAssets assets;
+  if (!build_model(args, assets)) return 1;
+  serve::EnginePool pool(assets.model, pool_config(args, assets));
 
   if (!args.socket_path.empty() || args.tcp_port >= 0) {
     return run_frontend(args, pool);

@@ -2,11 +2,20 @@
 // the parameters for later benching.
 //
 //   zss_train --task=char --sparsity=0.9 --epochs=3 --out=model.zssm
+//   zss_train --task=char --layers=2 --hidden=32 --threshold=0.05
+//             --out=tiny.zssm          (v2 serving checkpoint)
 //   zss_train --task=word --sparsity=0.93 --hidden=48
 //   zss_train --task=mnist --threshold=0.03 --epochs=15
 //
 // char/word use the target-sparsity pruner (controlled x-axis); mnist
 // uses a fixed empirical threshold, matching the paper's protocol.
+//
+// --layers=N (char only) trains the stacked model and saves the v2
+// serving checkpoint (core/model_io.h): architecture header, per-layer
+// exported thresholds (StatePruner::effective_threshold calibrated on
+// the test stream, so a --sparsity run serves with the deterministic
+// fixed pruner), the default int8 quantization grid, canonical
+// parameter names, CRC trailer. zss_serve --model=FILE serves it.
 #include <cstdio>
 #include <string>
 
@@ -21,6 +30,7 @@ struct Args {
   double sparsity = 0.0;
   double threshold = 0.0;
   num::Index hidden = 0;  // 0 = per-task default
+  num::Index layers = 0;  // >0: stacked char model + v2 checkpoint
   int epochs = 3;
   std::string out;
 };
@@ -40,6 +50,8 @@ bool parse(int argc, char** argv, Args& args) {
       args.threshold = std::atof(v);
     } else if (const char* v = value("hidden")) {
       args.hidden = std::atol(v);
+    } else if (const char* v = value("layers")) {
+      args.layers = std::atol(v);
     } else if (const char* v = value("epochs")) {
       args.epochs = std::atoi(v);
     } else if (const char* v = value("out")) {
@@ -48,9 +60,15 @@ bool parse(int argc, char** argv, Args& args) {
       std::fprintf(stderr,
                    "usage: zss_train --task=char|word|mnist "
                    "[--sparsity=S | --threshold=T] [--hidden=N] "
-                   "[--epochs=N] [--out=FILE]\n");
+                   "[--layers=N] [--epochs=N] [--out=FILE]\n"
+                   "       (--layers trains the stacked char model and "
+                   "saves a v2 serving checkpoint)\n");
       return false;
     }
+  }
+  if (args.layers > 0 && args.task != "char") {
+    std::fprintf(stderr, "--layers only applies to --task=char\n");
+    return false;
   }
   return true;
 }
@@ -125,6 +143,87 @@ int train_lm(const Args& args, bool word_task) {
   return 0;
 }
 
+/// Stacked char LM + v2 serving checkpoint (--layers=N).
+int train_stacked_char(const Args& args) {
+  data::CharCorpusConfig dcfg;
+  dcfg.train_chars = 30000;
+  dcfg.valid_chars = 3000;
+  dcfg.test_chars = 3000;
+  const auto corpus = data::CharCorpus::generate(dcfg);
+  const std::vector<num::Index> train = corpus.train();
+  const std::vector<num::Index> test = corpus.test();
+
+  core::StackedLmConfig cfg;
+  cfg.vocab = data::CharCorpus::kVocab;
+  cfg.layers = args.layers;
+  cfg.hidden = args.hidden > 0 ? args.hidden : 64;
+  cfg.pruner = pruner_from(args);
+  core::StackedPrunedLstmLm model(cfg);
+
+  nn::Adam adam(2e-3f);
+  data::LmBatcher batcher(train, 8, 25);
+  for (int e = 0; e < args.epochs; ++e) {
+    double nll = 0.0;
+    for (num::Index w = 0; w < batcher.num_windows(); ++w) {
+      nll = model.train_window(batcher.window(w), adam, 5.0f);
+    }
+    std::printf("epoch %d: train NLL %.4f\n", e, nll);
+  }
+  const auto eval = model.evaluate(test, 4, 25);
+  std::printf("test: BPC %.4f, per-layer state sparsity:", eval.bpc);
+  for (const double s : eval.layer_sparsity) std::printf(" %.1f%%", s * 100.0);
+  std::printf("\n");
+
+  if (args.out.empty()) return 0;
+
+  // Export the trained pruning behavior as one fixed threshold per
+  // layer — serving rejects data-dependent pruners, so a target-
+  // sparsity run is frozen at its calibrated effective T here.
+  const std::vector<float> thresholds =
+      model.calibrate_thresholds(test, 4, 100);
+  std::printf("calibrated thresholds:");
+  for (const float t : thresholds) std::printf(" %.6f", t);
+  std::printf("\n");
+
+  core::ModelSpec spec;
+  spec.layers = static_cast<std::uint32_t>(cfg.layers);
+  spec.hidden = static_cast<std::uint32_t>(cfg.hidden);
+  spec.input_dim = static_cast<std::uint32_t>(cfg.vocab);  // one-hot
+  spec.vocab = static_cast<std::uint32_t>(cfg.vocab);
+  spec.embed_dim = 0;
+  // Always record the int8 grid: the serving default calibration
+  // (core::QuantConfig) covers the char model's dynamic range, and a
+  // checkpoint without a grid can never be served --quant.
+  spec.has_quant_grid = 1;
+  spec.quant_pre_clip = core::QuantConfig::int8().pre_clip;
+  spec.quant_c_clip =
+      static_cast<std::uint32_t>(core::QuantConfig::int8().c_clip);
+  spec.thresholds = thresholds;
+
+  // Rename onto the canonical checkpoint names (save_model verifies
+  // them; the module-internal names differ).
+  auto params = model.parameters();
+  const auto expected = core::expected_parameters(spec);
+  if (params.size() != expected.size()) {
+    std::fprintf(stderr, "parameter count %zu != canonical %zu\n",
+                 params.size(), expected.size());
+    return 1;
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i]->name = expected[i].name;
+  }
+  std::string error;
+  if (!core::save_model(args.out, spec, params, &error)) {
+    std::fprintf(stderr, "failed to write %s: %s\n", args.out.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  std::printf("saved v2 checkpoint to %s (serve with zss_serve "
+              "--model=%s)\n",
+              args.out.c_str(), args.out.c_str());
+  return 0;
+}
+
 int train_mnist(const Args& args) {
   data::GlyphConfig dcfg;
   dcfg.side = 10;
@@ -169,6 +268,7 @@ int train_mnist(const Args& args) {
 int main(int argc, char** argv) {
   Args args;
   if (!parse(argc, argv, args)) return 1;
+  if (args.task == "char" && args.layers > 0) return train_stacked_char(args);
   if (args.task == "char") return train_lm(args, false);
   if (args.task == "word") return train_lm(args, true);
   if (args.task == "mnist") return train_mnist(args);
