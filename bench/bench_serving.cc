@@ -54,6 +54,7 @@
 #include <cstdio>
 #include <cstring>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -149,6 +150,23 @@ struct TieringResult {
   bool restore_bit_exact = false;
   double cold_restore_p50_us = 0.0;
   double cold_restore_p99_us = 0.0;
+};
+
+struct RecoveryResult {
+  std::string journal_sync;   // "batch" | "none"
+  num::Index sessions = 0;
+  num::Index requests = 0;    // total workload (prefix + re-driven suffix)
+  double baseline_rps = 0.0;  // same drive, durability off
+  double journal_rps = 0.0;   // with the write-ahead journal committing
+  double journal_ratio = 0.0; // journal_rps / baseline_rps (the WAL tax)
+  double recovery_wall_ms = 0.0;  // restart: open + replay, to serve-ready
+  std::uint64_t recovered_sessions = 0;
+  std::uint64_t recovered_records = 0;
+  /// The crash-recovery contract end to end on the real filesystem:
+  /// drive a prefix, drop the pool cold (nothing flushed or closed),
+  /// restart, re-drive each session's uncommitted suffix, and the
+  /// final digest table equals the uninterrupted run's bit for bit.
+  bool recovered_bit_exact = false;
 };
 
 double percentile(std::vector<double>& v, double q) {
@@ -724,12 +742,133 @@ TieringResult run_tiering(const nn::LstmCell& cell, float threshold,
   return t;
 }
 
+/// The crash-recovery bench: measures what `--durability=journal`
+/// costs (group-commit tax vs the identical drive with durability off)
+/// and proves what it buys — kill the pool cold halfway through a
+/// workload on the real filesystem, restart it, re-drive only each
+/// session's uncommitted suffix, and demand the final digest table be
+/// bit-identical to the uninterrupted run's.
+RecoveryResult run_recovery(const nn::LstmCell& cell, float threshold,
+                            num::Index sessions, num::Index requests,
+                            store::JournalSync sync, const std::string& dir) {
+  const core::StatePruner pruner(core::PrunerConfig::fixed(threshold));
+  const num::Index steps = requests / sessions;
+  const auto token_at = [&](serve::SessionId sid, num::Index i) {
+    return static_cast<num::Index>(
+        num::splitmix64_mix(sid * 1000003ULL +
+                            static_cast<std::uint64_t>(i)) %
+        static_cast<std::uint64_t>(cell.input_dim()));
+  };
+
+  serve::PoolConfig base;
+  base.shards = 2;
+  base.policy.max_batch = 4;
+  base.policy.max_wait_us = 0;
+
+  // Drives steps [from, to) of every session and returns the wall ms.
+  const auto drive = [&](serve::EnginePool& pool, num::Index from,
+                         num::Index to,
+                         const std::vector<num::Index>* committed,
+                         std::int64_t arrival0) {
+    std::int64_t arrival = arrival0;
+    std::uint64_t seq = 0;
+    num::Index enqueued = 0;
+    for (num::Index i = from; i < to; ++i) {
+      for (num::Index s = 0; s < sessions; ++s) {
+        if (committed != nullptr &&
+            i < (*committed)[static_cast<std::size_t>(s)]) {
+          continue;  // the server already holds this step, committed
+        }
+        serve::Request r;
+        r.session = static_cast<serve::SessionId>(s) + 1;
+        r.token = token_at(r.session, i);
+        r.arrival_us = ++arrival;
+        r.seq = seq++;
+        pool.enqueue(r);
+        ++enqueued;
+      }
+    }
+    std::vector<serve::ResponseSink> sinks(
+        static_cast<std::size_t>(base.shards),
+        [](const serve::Response&) {});
+    const auto t0 = std::chrono::steady_clock::now();
+    const num::Index served = pool.drain_parallel(arrival, sinks);
+    const auto t1 = std::chrono::steady_clock::now();
+    ZSS_ENSURES(served == enqueued);
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+  };
+
+  RecoveryResult out;
+  out.journal_sync = sync == store::JournalSync::kBatch ? "batch" : "none";
+  out.sessions = sessions;
+  out.requests = steps * sessions;
+
+  // The uninterrupted oracle doubles as the durability-off baseline.
+  serve::DigestTable oracle;
+  {
+    serve::EnginePool pool(cell, pruner, base);
+    const double wall_ms = drive(pool, 0, steps, nullptr, 0);
+    out.baseline_rps =
+        static_cast<double>(steps * sessions) / (wall_ms / 1e3);
+    oracle = pool.merged_digests();
+  }
+
+  // Journal run: fresh directory, same drive, crash at half.
+  {
+    store::PosixEnv fresh;
+    for (num::Index s = 0; s < base.shards; ++s) {
+      const std::string stem = dir + "/shard_" + std::to_string(s);
+      fresh.remove(stem + ".seg");
+      fresh.remove(stem + ".jnl");
+      fresh.remove(stem + ".jnl.ckpt");
+    }
+  }
+  serve::PoolConfig journaled = base;
+  journaled.spill.dir = dir;
+  journaled.spill.journal = true;
+  journaled.spill.journal_sync = sync;
+
+  const num::Index crash_at = steps / 2;
+  {
+    auto pool = std::make_unique<serve::EnginePool>(cell, pruner, journaled);
+    const double wall_ms = drive(*pool, 0, crash_at, nullptr, 0);
+    out.journal_rps =
+        static_cast<double>(crash_at * sessions) / (wall_ms / 1e3);
+    pool.reset();  // the crash: nothing flushed, nothing closed
+  }
+  out.journal_ratio =
+      out.baseline_rps > 0.0 ? out.journal_rps / out.baseline_rps : 0.0;
+
+  // Restart (timed: open + replay to serve-ready), then resume.
+  const auto r0 = std::chrono::steady_clock::now();
+  serve::EnginePool pool(cell, pruner, journaled);
+  const auto r1 = std::chrono::steady_clock::now();
+  out.recovery_wall_ms =
+      std::chrono::duration<double, std::milli>(r1 - r0).count();
+  out.recovered_sessions = pool.recovered_sessions();
+  for (num::Index s = 0; s < base.shards; ++s) {
+    if (const store::Journal* j = pool.journal(s)) {
+      out.recovered_records += j->recovered_records();
+    }
+  }
+  std::vector<num::Index> committed(static_cast<std::size_t>(sessions), 0);
+  const serve::DigestTable recovered = pool.merged_digests();
+  for (const auto& [sid, d] : recovered) {
+    committed[static_cast<std::size_t>(sid - 1)] =
+        static_cast<num::Index>(d.steps);
+  }
+  drive(pool, 0, steps, &committed, pool.recovered_max_arrival_us());
+  out.recovered_bit_exact = pool.merged_digests() == oracle;
+  return out;
+}
+
 void write_json(const std::string& path, num::Index dh, num::Index dx,
                 num::Index sessions, const std::vector<Result>& results,
                 const std::vector<LiveResult>& live,
                 const std::vector<FrontendResult>& frontend,
                 const std::vector<TieringResult>& tiering,
-                const std::vector<StackedResult>& stacked) {
+                const std::vector<StackedResult>& stacked,
+                const std::vector<RecoveryResult>& recovery) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -849,6 +988,32 @@ void write_json(const std::string& path, num::Index dh, num::Index dx,
         static_cast<long long>(r.requests), r.wall_ms, r.wall_rps,
         r.capacity_rps, r.bit_exact ? "true" : "false",
         i + 1 < stacked.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+
+  // Crash recovery: the journal's group-commit tax and the recovery
+  // contract on the real filesystem. The regression gate hard-fails
+  // when this block is missing or any row has recovered_bit_exact=
+  // false (a resumed run diverging from the uninterrupted oracle is a
+  // durability bug, never noise) and warns when the journal-on
+  // throughput ratio drifts >20% below the reference.
+  std::fprintf(f, "  \"recovery\": [\n");
+  for (std::size_t i = 0; i < recovery.size(); ++i) {
+    const RecoveryResult& r = recovery[i];
+    std::fprintf(
+        f,
+        "    {\"journal_sync\": \"%s\", \"sessions\": %lld, "
+        "\"requests\": %lld, \"baseline_rps\": %.1f, "
+        "\"journal_rps\": %.1f, \"journal_ratio\": %.3f, "
+        "\"recovery_wall_ms\": %.2f, \"recovered_sessions\": %llu, "
+        "\"recovered_records\": %llu, \"recovered_bit_exact\": %s}%s\n",
+        r.journal_sync.c_str(), static_cast<long long>(r.sessions),
+        static_cast<long long>(r.requests), r.baseline_rps, r.journal_rps,
+        r.journal_ratio, r.recovery_wall_ms,
+        static_cast<unsigned long long>(r.recovered_sessions),
+        static_cast<unsigned long long>(r.recovered_records),
+        r.recovered_bit_exact ? "true" : "false",
+        i + 1 < recovery.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
 
@@ -1068,8 +1233,45 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Crash recovery: journal tax + kill-halfway/restart/resume fidelity
+  // on the real filesystem, one row per group-commit mode.
+  std::vector<RecoveryResult> recovery_results;
+  const std::string recovery_dir = "bench_recovery_tmp";
+  if (::mkdir(recovery_dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "cannot create %s; skipping recovery section\n",
+                 recovery_dir.c_str());
+  } else {
+    num::Rng calib_rng(99);
+    const float threshold = calibrate_threshold(cell, 0.9, calib_rng);
+    std::printf("\nrecovery (write-ahead journal, kill at half + resume): "
+                "commit tax and bit-exact restart\n");
+    std::printf("%-7s %12s %12s %8s %12s %10s %10s\n", "sync", "base_rps",
+                "jnl_rps", "ratio", "recover_ms", "sessions", "bit_exact");
+    for (const store::JournalSync sync :
+         {store::JournalSync::kBatch, store::JournalSync::kNone}) {
+      const RecoveryResult rr =
+          run_recovery(cell, threshold, /*sessions=*/24,
+                       std::min<num::Index>(requests, 2048), sync,
+                       recovery_dir);
+      recovery_results.push_back(rr);
+      std::printf("%-7s %12.1f %12.1f %8.3f %12.2f %10llu %10s\n",
+                  rr.journal_sync.c_str(), rr.baseline_rps, rr.journal_rps,
+                  rr.journal_ratio, rr.recovery_wall_ms,
+                  static_cast<unsigned long long>(rr.recovered_sessions),
+                  rr.recovered_bit_exact ? "yes" : "NO");
+    }
+    store::PosixEnv cleanup_env;
+    for (num::Index s = 0; s < 2; ++s) {
+      const std::string stem = recovery_dir + "/shard_" + std::to_string(s);
+      cleanup_env.remove(stem + ".seg");
+      cleanup_env.remove(stem + ".jnl");
+      cleanup_env.remove(stem + ".jnl.ckpt");
+    }
+    ::rmdir(recovery_dir.c_str());
+  }
+
   write_json("BENCH_serving.json", dh, dx, sessions, results, live_results,
-             frontend_results, tiering, stacked_results);
+             frontend_results, tiering, stacked_results, recovery_results);
 
   // Echo the headline scaling so CI logs show it without parsing JSON.
   for (const Result& a : results) {

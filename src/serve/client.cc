@@ -9,8 +9,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cinttypes>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 namespace zss::serve {
@@ -140,6 +144,81 @@ void ClientConn::close() {
   }
   eof_ = false;
   rbuf_.clear();
+}
+
+int Backoff::next_ms() {
+  if (attempt_ >= policy_.max_attempts) return -1;
+  if (attempt_ == 0) {
+    ++attempt_;
+    return 0;
+  }
+  // base << (attempt-1), saturating at max_ms (shift capped so a large
+  // attempt count cannot overflow into UB before the min()).
+  const int shift = attempt_ - 1 > 20 ? 20 : attempt_ - 1;
+  ++attempt_;
+  const long delay = static_cast<long>(policy_.base_ms) << shift;
+  return delay > policy_.max_ms ? policy_.max_ms
+                                : static_cast<int>(delay);
+}
+
+bool ResumingClient::connect(std::string* error) {
+  Backoff backoff(backoff_);
+  std::string last_error = "no attempts made";
+  for (;;) {
+    const int delay_ms = backoff.next_ms();
+    if (delay_ms < 0) break;
+    if (delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    }
+    const bool ok = endpoint_.tcp_port >= 0
+                        ? conn_.connect_tcp(endpoint_.tcp_host,
+                                            endpoint_.tcp_port, &last_error)
+                        : conn_.connect_unix(endpoint_.unix_path, &last_error);
+    if (!ok) continue;
+    // A connection is only usable once the server greets it: a listener
+    // backlog accepts TCP connects before the process is ready (or
+    // while it is mid-recovery), and a half-started server must look
+    // like a down server to the backoff loop.
+    std::string line;
+    if (conn_.read_line(&line, 10000) && line.rfind("hi ", 0) == 0) {
+      if (ever_connected_) ++reconnects_;
+      ever_connected_ = true;
+      return true;
+    }
+    last_error = "no greeting from server";
+    conn_.close();
+  }
+  if (error != nullptr) {
+    *error = "connect failed after " + std::to_string(backoff.attempts()) +
+             " attempts: " + last_error;
+  }
+  return false;
+}
+
+bool ResumingClient::sync(std::uint64_t session, SyncedPos* out,
+                          int timeout_ms, std::string* error) {
+  if (!conn_.send_line("sync " + std::to_string(session))) {
+    if (error != nullptr) *error = "send sync failed";
+    return false;
+  }
+  std::string line;
+  while (conn_.read_line(&line, timeout_ms)) {
+    if (line.rfind("pos ", 0) != 0) continue;  // stale ok/err in flight
+    std::uint64_t sid = 0, steps = 0, digest = 0;
+    if (std::sscanf(line.c_str(), "pos %" SCNu64 " %" SCNu64 " %" SCNx64,
+                    &sid, &steps, &digest) != 3) {
+      if (error != nullptr) *error = "malformed pos line: " + line;
+      return false;
+    }
+    if (sid != session) continue;  // reply to an earlier timed-out sync
+    out->steps = steps;
+    out->digest = digest;
+    return true;
+  }
+  if (error != nullptr) {
+    *error = conn_.eof() ? "server closed during sync" : "sync timed out";
+  }
+  return false;
 }
 
 }  // namespace zss::serve

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -59,6 +60,92 @@ class ClientConn {
   int fd_ = -1;
   bool eof_ = false;
   std::string rbuf_;
+};
+
+/// Bounded exponential backoff: base_ms, 2*base_ms, 4*base_ms, ...
+/// capped at max_ms per delay and max_attempts total. Deterministic
+/// (no jitter) — these clients are test drivers and the schedule
+/// showing up identically in two logs is a feature.
+struct BackoffPolicy {
+  int base_ms = 50;
+  int max_ms = 2000;
+  int max_attempts = 40;
+};
+
+class Backoff {
+ public:
+  explicit Backoff(BackoffPolicy policy = {}) : policy_(policy) {}
+
+  /// Delay before the next attempt in ms (0 for the first), or -1 when
+  /// max_attempts is exhausted — the loop must give up, not spin.
+  int next_ms();
+  void reset() { attempt_ = 0; }
+  int attempts() const { return attempt_; }
+
+ private:
+  BackoffPolicy policy_;
+  int attempt_ = 0;
+};
+
+/// Committed server-side position of one session — the `pos` reply to
+/// `sync` (serve/protocol.h). steps counts responses the server has
+/// durably committed; digest is the rolling session digest at that
+/// position.
+struct SyncedPos {
+  std::uint64_t steps = 0;
+  std::uint64_t digest = 0;
+};
+
+/// Where a ResumingClient (re)connects: a UNIX path, or a TCP
+/// host:port when tcp_port >= 0 (TCP wins when both are set).
+struct ResumeEndpoint {
+  std::string unix_path;
+  std::string tcp_host = "127.0.0.1";
+  int tcp_port = -1;
+};
+
+/// A ClientConn that survives server restarts: connect() retries with
+/// bounded exponential backoff until the server greets it, and sync()
+/// asks where a session's committed prefix ends so the caller can
+/// re-drive exactly the uncommitted suffix (idempotent resume — the
+/// client half of the crash-recovery contract in docs/serving.md).
+///
+/// Usage after any send/read failure:
+///   1. connect(&err)            — reconnect with backoff
+///   2. sync(sid, &pos)          — learn the committed position
+///   3. re-send tokens [pos.steps, end) — nothing is ever applied twice
+class ResumingClient {
+ public:
+  explicit ResumingClient(ResumeEndpoint endpoint, BackoffPolicy backoff = {})
+      : endpoint_(endpoint), backoff_(backoff) {}
+
+  /// (Re)connects with bounded exponential backoff and consumes the
+  /// server's "hi" greeting. False when max_attempts is exhausted or
+  /// the greeting never arrives (error explains).
+  bool connect(std::string* error = nullptr);
+
+  bool connected() const { return conn_.connected(); }
+  ClientConn& conn() { return conn_; }
+  std::uint64_t reconnects() const { return reconnects_; }
+
+  bool send_line(std::string_view line) { return conn_.send_line(line); }
+  bool read_line(std::string* out, int timeout_ms) {
+    return conn_.read_line(out, timeout_ms);
+  }
+
+  /// "sync <session>" round trip. Skips unrelated lines still in
+  /// flight on the stream (stale "ok"/"err", a "pos" for another
+  /// session) until this session's "pos" arrives. False on EOF, error
+  /// or timeout — reconnect and retry.
+  bool sync(std::uint64_t session, SyncedPos* out, int timeout_ms = 15000,
+            std::string* error = nullptr);
+
+ private:
+  ResumeEndpoint endpoint_;
+  BackoffPolicy backoff_;
+  ClientConn conn_;
+  std::uint64_t reconnects_ = 0;
+  bool ever_connected_ = false;
 };
 
 }  // namespace zss::serve

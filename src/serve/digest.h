@@ -1,0 +1,63 @@
+// Per-session output digests — the serving layer's observable stream.
+//
+// Split out of serve/protocol.h so the session store can own the
+// authoritative digest table (serve/session.h) without pulling the
+// protocol formatting layer into every store include. Everything here
+// is the exact digest arithmetic PR 3 introduced: a rolling FNV-1a per
+// session over each response's 8-byte row digest, in per-session serve
+// order. Every mode (replay, stdin live, the multiplexed front end)
+// reads the same table, which is what makes `diff` across modes — and
+// now across a crash/recovery boundary — the determinism gate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+
+namespace zss::serve {
+
+/// Client identifier (mirrors serve/session.h's definition; both are
+/// the raw 64-bit id so this header stays dependency-free).
+using DigestSessionId = std::uint64_t;
+
+/// FNV-1a offset basis; fold bytes with fnv1a() starting from this.
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+
+/// Rolling FNV-1a over raw bytes (the digest primitive shared by the
+/// replay driver, the live protocol and the tests).
+inline std::uint64_t fnv1a(std::uint64_t h, const void* data,
+                           std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// One-shot digest of a hidden row.
+inline std::uint64_t digest_row(std::span<const float> row) {
+  return fnv1a(kFnvOffset, row.data(), row.size_bytes());
+}
+
+/// Rolling per-session digest: FNV-1a over each response's 8-byte row
+/// digest, in per-session serve order.
+struct SessionDigest {
+  std::uint64_t steps = 0;
+  std::uint64_t digest = kFnvOffset;
+
+  friend bool operator==(const SessionDigest& a, const SessionDigest& b) {
+    return a.steps == b.steps && a.digest == b.digest;
+  }
+};
+
+/// std::map so iteration (and therefore printing) is sorted by id.
+using DigestTable = std::map<DigestSessionId, SessionDigest>;
+
+/// Folds one 8-byte row digest into its session's rolling digest.
+inline void fold_row_digest(SessionDigest& d, std::uint64_t row) {
+  d.digest = fnv1a(d.digest, &row, sizeof row);
+  ++d.steps;
+}
+
+}  // namespace zss::serve

@@ -55,21 +55,20 @@ struct Frontend::Conn {
 };
 
 Frontend::Frontend(EnginePool& pool, FrontendConfig config, LiveConfig live)
-    : pool_(&pool),
-      config_(std::move(config)),
-      shard_digests_(static_cast<std::size_t>(pool.num_shards())) {
-  // The sink runs on shard worker threads: fold the per-shard digest
-  // table (lock-free — sessions are shard-pinned), then hand the
-  // formatted line to the event loop. client == 0 marks an in-process
-  // submission with no connection to route to.
+    : pool_(&pool), config_(std::move(config)) {
+  // The sink runs on shard worker threads. Digest folding already
+  // happened on the shard (SessionStore::commit_step — the
+  // authoritative table, durable under the journal); the response
+  // carries the row digest, so the sink only formats and hands the
+  // line to the event loop. client == 0 marks an in-process submission
+  // with no connection to route to.
   const ResponseSink sink = [this](const Response& r) {
-    DigestTable& table =
-        shard_digests_[static_cast<std::size_t>(pool_->shard_of(r.session))];
-    const std::uint64_t row = fold_response(table, r);
     if (r.client == 0) return;
+    std::string line = r.timed_out ? format_error("timeout")
+                                   : format_response(r, r.row_digest);
     {
       std::lock_guard<std::mutex> lock(out_mu_);
-      outbox_.emplace_back(r.client, format_response(r, row));
+      outbox_.emplace_back(r.client, std::move(line));
     }
     wake();
   };
@@ -203,13 +202,10 @@ void Frontend::join() {
 }
 
 DigestTable Frontend::digests() const {
-  // Shard workers are joined after join(); tables are disjoint by
-  // shard-pinning, so the merge is collision-free.
-  DigestTable merged;
-  for (const DigestTable& t : shard_digests_) {
-    merged.insert(t.begin(), t.end());
-  }
-  return merged;
+  // The pool's per-shard authoritative tables, merged (disjoint by
+  // shard-pinning). Safe while serving — each copy takes the store's
+  // digest mutex — but only quiescent after join().
+  return pool_->merged_digests();
 }
 
 void Frontend::update_events(Conn& conn) {
@@ -271,8 +267,15 @@ void Frontend::handle_line(Conn& conn, std::string_view line) {
         push_line(conn, format_error("overloaded, request shed"));
         return;
       }
-      if (server_->submit(cmd.session, cmd.token, conn.id).has_value()) {
+      SubmitStatus status = SubmitStatus::kOk;
+      if (server_->submit(cmd.session, cmd.token, conn.id, &status)
+              .has_value()) {
         ++conn.inflight;
+      } else if (status == SubmitStatus::kUnavailable) {
+        // The session's shard is quarantined mid-restart; distinct
+        // from shedding so a resuming client knows to back off and
+        // `sync` rather than hammer.
+        push_line(conn, format_error("unavailable, shard restarting"));
       } else {
         push_line(conn, format_error("overloaded, request shed"));
       }
@@ -284,6 +287,20 @@ void Frontend::handle_line(Conn& conn, std::string_view line) {
     case CommandLine::Op::kStats:
       push_line(conn, format_stats(snapshot_stats(*server_, *pool_)));
       return;
+    case CommandLine::Op::kSync: {
+      // The session's committed position, read from its shard's
+      // authoritative digest table (mutex-protected — safe from this
+      // thread). Topology held stable so the shard lookup cannot race
+      // a supervisor rebuild.
+      SessionDigest d;
+      server_->with_stable_topology([&] {
+        d = pool_->shard(pool_->shard_of(cmd.session))
+                .sessions()
+                .digest_of(cmd.session);
+      });
+      push_line(conn, format_pos(cmd.session, d));
+      return;
+    }
     case CommandLine::Op::kQuit:
       // Deferred: begin_quit tears down every connection, so finish
       // this read pass first (run() checks the flag each iteration).
@@ -542,16 +559,32 @@ StatsSnapshot snapshot_stats(const LiveServer& server,
   snap.shed = server.shed();
   snap.now_us = server.now_us();
   snap.shards = pool.num_shards();
-  for (num::Index s = 0; s < pool.num_shards(); ++s) {
-    const SessionStore& ss = pool.shard(s).sessions();
-    snap.created += ss.created();
-    snap.ttl_resets += ss.ttl_resets();
-    snap.evicted += ss.evicted();
-    snap.spilled += ss.spilled();
-    snap.restored += ss.restored();
-    snap.restore_corrupt += ss.restore_corrupt();
-    if (ss.spill_active()) ++snap.spill_active;
-  }
+  snap.restarts = server.restarts();
+  snap.quarantined = server.quarantined();
+  // The shard walk runs with the topology frozen so a concurrent
+  // supervisor rebuild can never swap a slot mid-read.
+  server.with_stable_topology([&] {
+    for (num::Index s = 0; s < pool.num_shards(); ++s) {
+      const EngineShard& shard = pool.shard(s);
+      const SessionStore& ss = shard.sessions();
+      snap.created += ss.created();
+      snap.ttl_resets += ss.ttl_resets();
+      snap.evicted += ss.evicted();
+      snap.spilled += ss.spilled();
+      snap.restored += ss.restored();
+      snap.restore_corrupt += ss.restore_corrupt();
+      snap.timeouts += shard.timeouts();
+      if (ss.spill_active()) ++snap.spill_active;
+      if (ss.journal_active()) ++snap.journal_active;
+    }
+    if (pool.journal(0) != nullptr) {
+      snap.durability = "journal";
+    } else if (pool.spill_store(0) != nullptr) {
+      snap.durability = "spill";
+    } else {
+      snap.durability = "off";
+    }
+  });
   const ModelInfo& mi = pool.model_info();
   snap.model = mi.name;
   snap.layers = mi.layers;

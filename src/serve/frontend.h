@@ -138,9 +138,13 @@ class Frontend {
   void join();
 
   const LiveServer& server() const { return *server_; }
+  /// Mutable access for the supervisor (restart_shard) and tests.
+  LiveServer& server() { return *server_; }
 
-  /// Merged per-session digest table — the same table stdin mode and
-  /// replay mode print. Call after join().
+  /// Merged per-session digest table — the pool's authoritative
+  /// per-shard tables (SessionStore::digests_copy), the same table
+  /// stdin mode and replay mode print and the table journal recovery
+  /// reconstructs. Thread-safe, but only quiescent after join().
   DigestTable digests() const;
 
   /// Call after join() (see FrontendStats).
@@ -186,11 +190,6 @@ class Frontend {
   bool quit_started_ = false;
   std::int64_t linger_deadline_us_ = 0;
   FrontendStats stats_;
-
-  // Digest tables folded in the sink: one per shard, lock-free because
-  // sessions are shard-pinned and each shard worker only touches its
-  // own (same argument as tools/zss_serve stdin mode).
-  std::vector<DigestTable> shard_digests_;
 };
 
 /// Snapshots the server + per-shard session-store counters into the

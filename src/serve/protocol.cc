@@ -62,6 +62,16 @@ ParseStatus parse_command(std::string_view line, CommandLine& out,
     out.op = CommandLine::Op::kStep;
     return ParseStatus::kCommand;
   }
+  if (verb == "sync") {
+    const std::string_view session_field = next_field(rest);
+    if (!parse_session_id(session_field, out.session) ||
+        !next_field(rest).empty()) {
+      return fail(error, "malformed sync command (want: sync SESSION): " +
+                             std::string(line));
+    }
+    out.op = CommandLine::Op::kSync;
+    return ParseStatus::kCommand;
+  }
   if (verb == "flush" || verb == "stats" || verb == "quit") {
     if (!next_field(rest).empty()) {
       return fail(error, "trailing fields after '" + std::string(verb) +
@@ -104,19 +114,32 @@ std::string format_bye(std::uint64_t submitted, std::uint64_t responses) {
   return buf;
 }
 
+std::string format_pos(SessionId session, const SessionDigest& d) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "pos %" PRIu64 " %" PRIu64 " %016" PRIx64,
+                session, d.steps, d.digest);
+  return buf;
+}
+
 std::string format_stats(const StatsSnapshot& s) {
-  char buf[320];
+  char buf[448];
   std::snprintf(buf, sizeof(buf),
                 "stat submitted=%" PRIu64 " responses=%" PRIu64
                 " shed=%" PRIu64 " now_us=%lld created=%" PRIu64
                 " ttl_resets=%" PRIu64 " evicted=%" PRIu64
                 " spilled=%" PRIu64 " restored=%" PRIu64
-                " restore_corrupt=%" PRIu64 " spill_active=%lld/%lld",
+                " restore_corrupt=%" PRIu64 " spill_active=%lld/%lld"
+                " timeouts=%" PRIu64 " restarts=%" PRIu64
+                " quarantined=%lld journal_active=%lld/%lld durability=%s",
                 s.submitted, s.responses, s.shed,
                 static_cast<long long>(s.now_us), s.created, s.ttl_resets,
                 s.evicted, s.spilled, s.restored, s.restore_corrupt,
                 static_cast<long long>(s.spill_active),
-                static_cast<long long>(s.shards));
+                static_cast<long long>(s.shards), s.timeouts, s.restarts,
+                static_cast<long long>(s.quarantined),
+                static_cast<long long>(s.journal_active),
+                static_cast<long long>(s.shards),
+                s.durability.empty() ? "off" : s.durability.c_str());
   // Model identity appended after the counters so existing key
   // positions never move. The name is caller data of unbounded length,
   // so this tail goes through std::string, not the fixed buffer.

@@ -8,6 +8,7 @@
 //   client line  = "step" SP session SP token     ; one token, one session
 //                | "flush"                        ; serve all queued now
 //                | "stats"                        ; server counters
+//                | "sync" SP session              ; committed position query
 //                | "quit"                         ; graceful shutdown
 //                | "#" ...                        ; comment, ignored
 //                | <blank>                        ; ignored
@@ -16,6 +17,7 @@
 //                | "ok" SP session SP seq SP batch SP digest
 //                | "err" SP message
 //                | "stat" SP key "=" value ...   ; format_stats() below
+//                | "pos" SP session SP steps SP digest   ; reply to sync
 //                | "bye" SP "submitted=" n SP "responses=" n
 //
 // `digest` is the 16-hex-digit FNV-1a of the session's new hidden row
@@ -29,34 +31,13 @@
 
 #include <cstdint>
 #include <limits>
-#include <map>
-#include <span>
 #include <string>
 #include <string_view>
 
+#include "serve/digest.h"
 #include "serve/request.h"
 
 namespace zss::serve {
-
-/// FNV-1a offset basis; fold bytes with fnv1a() starting from this.
-inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
-
-/// Rolling FNV-1a over raw bytes (the digest primitive shared by the
-/// replay driver, the live protocol and the tests).
-inline std::uint64_t fnv1a(std::uint64_t h, const void* data,
-                           std::size_t bytes) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < bytes; ++i) {
-    h ^= p[i];
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
-/// One-shot digest of a hidden row.
-inline std::uint64_t digest_row(std::span<const float> row) {
-  return fnv1a(kFnvOffset, row.data(), row.size_bytes());
-}
 
 /// Strict session-id field parse: decimal digits only, no sign, fits
 /// in 64 bits. Stream extraction into the unsigned SessionId would
@@ -76,38 +57,21 @@ inline bool parse_session_id(std::string_view field, SessionId& out) {
   return true;
 }
 
-/// Rolling per-session digest: FNV-1a over each response's 8-byte row
-/// digest, in per-session serve order. This is the serving layer's
-/// observable output stream — every mode (replay, stdin live, the
-/// multiplexed front end) folds the same table, which is what makes
-/// `diff` across modes the determinism gate.
-struct SessionDigest {
-  std::uint64_t steps = 0;
-  std::uint64_t digest = kFnvOffset;
-
-  friend bool operator==(const SessionDigest& a, const SessionDigest& b) {
-    return a.steps == b.steps && a.digest == b.digest;
-  }
-};
-
-/// std::map so iteration (and therefore printing) is sorted by id.
-using DigestTable = std::map<SessionId, SessionDigest>;
-
 /// Folds one response into its session's rolling digest and returns
 /// the row digest — computed exactly once, so a live sink can share it
 /// with the protocol "ok" line instead of hashing the row twice.
+/// (SessionDigest/DigestTable themselves live in serve/digest.h; the
+/// session store owns the authoritative table since the journal PR.)
 inline std::uint64_t fold_response(DigestTable& table, const Response& r) {
   const std::uint64_t row = digest_row(r.h);
-  SessionDigest& d = table[r.session];
-  d.digest = fnv1a(d.digest, &row, sizeof row);
-  ++d.steps;
+  fold_row_digest(table[r.session], row);
   return row;
 }
 
 struct CommandLine {
-  enum class Op { kStep, kFlush, kStats, kQuit };
+  enum class Op { kStep, kFlush, kStats, kSync, kQuit };
   Op op = Op::kStep;
-  SessionId session = 0;  // kStep only
+  SessionId session = 0;  // kStep and kSync
   num::Index token = 0;   // kStep only
 };
 
@@ -142,6 +106,14 @@ std::string format_greeting(std::uint64_t conn);
 /// closes a stream (graceful shutdown).
 std::string format_bye(std::uint64_t submitted, std::uint64_t responses);
 
+/// "pos <session> <steps> <digest>" — reply to "sync <session>": the
+/// session's committed position in the server's authoritative digest
+/// table (steps=0 digest=fnv-offset when the session is unknown). A
+/// reconnecting client compares this against its own ledger and
+/// re-drives only the suffix the server never committed — the
+/// idempotent-resume half of crash recovery.
+std::string format_pos(SessionId session, const SessionDigest& d);
+
 /// Everything one "stat" line reports: the live server's request
 /// counters plus the session-store counters summed over all shards
 /// (each is a relaxed-atomic lifetime counter — serve/session.h — so
@@ -162,6 +134,20 @@ struct StatsSnapshot {
   /// write-error policy degraded some shard to RAM-only serving.
   num::Index spill_active = 0;
   num::Index shards = 0;
+  /// Requests that waited past their --deadline-us and were answered
+  /// with "err timeout" instead of being served.
+  std::uint64_t timeouts = 0;
+  /// Supervisor activity: lifetime worker restarts, and how many
+  /// shards are quarantined (answering "err unavailable") right now.
+  std::uint64_t restarts = 0;
+  num::Index quarantined = 0;
+  /// Shards whose write-ahead journal is attached and accepting
+  /// appends. Under --durability=journal, journal_active < shards
+  /// means the write-error policy degraded some shard to undurable
+  /// serving (the degradation ladder in docs/serving.md).
+  num::Index journal_active = 0;
+  /// The configured --durability mode: "off", "spill" or "journal".
+  std::string durability = "off";
   /// Identity of the served model (EnginePool::model_info(); fixed at
   /// pool construction). "random" = no checkpoint loaded.
   std::string model = "random";
@@ -173,9 +159,10 @@ struct StatsSnapshot {
 
 /// "stat submitted=... responses=... shed=... now_us=... created=...
 /// ttl_resets=... evicted=... spilled=... restored=...
-/// restore_corrupt=... spill_active=N/M model=... layers=L dh=N
-/// vocab=V quant=off|int8" — one line, fixed key order, so scripts can
-/// grep a key without tracking field positions.
+/// restore_corrupt=... spill_active=N/M timeouts=... restarts=...
+/// quarantined=... journal_active=N/M durability=... model=...
+/// layers=L dh=N vocab=V quant=off|int8" — one line, fixed key order,
+/// so scripts can grep a key without tracking field positions.
 std::string format_stats(const StatsSnapshot& s);
 
 }  // namespace zss::serve

@@ -28,6 +28,13 @@ struct Request {
   /// values, batching and eviction are all client-blind, which is why
   /// traces don't record it and replay still reproduces digests.
   std::uint64_t client = 0;
+  /// Absolute arrival-clock deadline (arrival_us + --deadline-us). A
+  /// request still queued when a batch closes past this stamp is
+  /// answered `err timeout` instead of served. 0 = no deadline. Live
+  /// mode only: replay never sets it (a timed-out request is dropped
+  /// from the recorded trace, so replay re-serves exactly the requests
+  /// that produced state).
+  std::int64_t deadline_us = 0;
 };
 
 struct Response {
@@ -49,6 +56,15 @@ struct Response {
   /// valid only inside the sink call; empty when the serving path
   /// did not compute one. Deliberately NOT folded into digests.
   std::span<const float> dense_h;
+  /// FNV-1a of `h`, computed once on the shard thread when it folded
+  /// the authoritative digest table (SessionStore::commit_step). Sinks
+  /// use it instead of re-hashing; 0 on timed-out responses.
+  std::uint64_t row_digest = 0;
+  /// True when the request waited past its deadline and was answered
+  /// without being served: no state was touched, `h`/`dense_h` are
+  /// empty, and nothing was folded into any digest. The front end turns
+  /// this into an "err timeout" line.
+  bool timed_out = false;
 };
 
 /// Called once per served request, in FIFO order within a session.

@@ -58,15 +58,29 @@
 // Sessions freed by sweep_expired are NOT spilled: any future request
 // arrives past their TTL (per-shard arrivals are monotone), so the
 // record could never be restored.
+//
+// Durability (docs/store.md "Session journal"): attaching a
+// store::Journal via set_journal makes every committed transition of
+// this store — create, post-batch state update, TTL reset, evict,
+// erase — a write-ahead record, and recover_from() reconstructs the
+// exact RAM population (sessions, LRU order, digest table) a crashed
+// instance last committed. The store also owns the *authoritative
+// digest table*: commit_step() folds each served row into it on the
+// shard thread, so every serving mode (replay, stdin live, the
+// multiplexed front end, and a recovered restart) reads one table with
+// one locking rule instead of each sink keeping its own copy.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "num/matrix.h"
 #include "num/types.h"
+#include "serve/digest.h"
+#include "store/journal.h"
 #include "store/segment_store.h"
 
 namespace zss::serve {
@@ -168,6 +182,52 @@ class SessionStore {
   }
   store::SegmentStore* spill() { return spill_; }
 
+  /// Attaches the write-ahead journal (non-owning, one per shard).
+  /// Null detaches — transitions stop being logged. Attach before the
+  /// first request; recover_from() must run with the journal attached.
+  void set_journal(store::Journal* journal) {
+    journal_ = journal;
+    journal_active_.store(journal != nullptr && journal->enabled(),
+                          std::memory_order_relaxed);
+  }
+  store::Journal* journal() { return journal_; }
+
+  /// Commits one served step of `s`: folds the row digest into the
+  /// authoritative digest table and appends the session's post-step
+  /// absolute state to the journal (a kUpdate record). The shard calls
+  /// this once per lane, before the batch's group commit; the record
+  /// is durable only after the journal's commit() at the batch
+  /// boundary.
+  void commit_step(Session& s, std::uint64_t row_digest);
+
+  /// Group-commit barrier at the batch boundary: syncs every record
+  /// appended since the previous commit. The shard must call this
+  /// BEFORE delivering the batch's responses — that ordering is the
+  /// entire durability guarantee (a client never observes a response
+  /// whose state transition could be lost).
+  void commit_batch();
+
+  /// Writes a checkpoint and truncates the journal once it has grown
+  /// past its size threshold. Call at batch boundaries only (it reads
+  /// every session's state). Returns true if a checkpoint was written.
+  bool maybe_checkpoint();
+
+  /// Rebuilds this store from the journal's recovery output: the
+  /// checkpoint population, then every post-watermark record in LSN
+  /// order, then a reconcile pass erasing the spill tier's stale
+  /// records for sessions the journal proved RAM-resident. Call once,
+  /// on an empty store, with spill and journal already attached.
+  void recover_from(store::Journal& journal);
+
+  /// The session's committed position in the authoritative digest
+  /// table (zero-value default when unseen). Thread-safe: the frontend
+  /// answers "sync" queries from the event-loop thread while the shard
+  /// worker folds.
+  SessionDigest digest_of(SessionId id) const;
+
+  /// Snapshot of the authoritative digest table (thread-safe).
+  DigestTable digests_copy() const;
+
   /// Lifetime counters (monotone; not epoch-scoped). Relaxed atomics:
   /// each is written by the one shard thread that owns this store and
   /// may be read concurrently by the live server's stats path.
@@ -195,11 +255,21 @@ class SessionStore {
   bool spill_active() const {
     return spill_active_.load(std::memory_order_relaxed);
   }
+  /// Same, for the write-ahead journal.
+  bool journal_active() const {
+    return journal_active_.load(std::memory_order_relaxed);
+  }
 
  private:
   void lru_unlink(Session& s);
   void lru_push_front(Session& s);
   void evict(Session& s, bool spill_state);
+  /// Packs the L per-layer rows side by side into the spill_h_/spill_c_
+  /// staging rows (1 x state_width) — the layout both the spill tier
+  /// and the journal persist.
+  void pack_state(const Session& s);
+  void unpack_state(Session& s, const float* h, const float* c);
+  void journal_note(store::JournalRecordKind kind, const Session& s);
   void bump(std::atomic<std::uint64_t>& c) {
     c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
   }
@@ -215,6 +285,12 @@ class SessionStore {
   Session* lru_head_ = nullptr;  // most recently used
   Session* lru_tail_ = nullptr;  // least recently used
   store::SegmentStore* spill_ = nullptr;
+  store::Journal* journal_ = nullptr;
+  // The authoritative digest table. Written only by the owning shard
+  // thread (commit_step, recover_from); the mutex exists for the
+  // cross-thread readers — "sync" queries and shutdown snapshots.
+  mutable std::mutex digest_mu_;
+  DigestTable digests_;
   std::atomic<std::uint64_t> created_{0};
   std::atomic<std::uint64_t> ttl_resets_{0};
   std::atomic<std::uint64_t> evicted_{0};
@@ -222,6 +298,7 @@ class SessionStore {
   std::atomic<std::uint64_t> restored_{0};
   std::atomic<std::uint64_t> restore_corrupt_{0};
   std::atomic<bool> spill_active_{false};
+  std::atomic<bool> journal_active_{false};
 };
 
 }  // namespace zss::serve

@@ -83,6 +83,7 @@ void EngineShard::init(const BatchPolicy& policy) {
   engine_.reserve(max_batch);
   batch_.reserve(static_cast<std::size_t>(max_batch));
   lanes_.reserve(static_cast<std::size_t>(max_batch));
+  row_digests_.reserve(static_cast<std::size_t>(max_batch));
   ids_.reserve(static_cast<std::size_t>(max_batch));
   x_.resize(max_batch, dx);
   h_.resize(L);
@@ -141,10 +142,49 @@ void EngineShard::build_input(const std::vector<Request>& requests,
   }
 }
 
+num::Index EngineShard::drop_expired(std::vector<Request>& requests,
+                                     num::Index batch, std::int64_t now_us,
+                                     const ResponseSink& sink) {
+  // Deadline drops happen before any session is touched: a timed-out
+  // request leaves no state transition, no digest fold and no journal
+  // record, so a resuming client can safely re-drive it. Deadlines are
+  // monotone within a session (same offset over monotone arrivals), so
+  // answering the drops first preserves per-session response order.
+  num::Index w = 0;
+  for (num::Index r = 0; r < batch; ++r) {
+    const Request& rq = requests[static_cast<std::size_t>(r)];
+    if (rq.deadline_us > 0 && now_us > rq.deadline_us) {
+      Response resp;
+      resp.session = rq.session;
+      resp.seq = rq.seq;
+      resp.client = rq.client;
+      resp.arrival_us = rq.arrival_us;
+      resp.done_us = now_us;
+      resp.timed_out = true;
+      sink(resp);
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (w != r) requests[static_cast<std::size_t>(w)] = rq;
+    ++w;
+  }
+  return w;
+}
+
 num::Index EngineShard::step_batch(std::int64_t now_us,
                                    const ResponseSink& sink) {
-  const num::Index B = batcher_.pop_batch(batch_);
-  if (B == 0) return 0;
+  const num::Index consumed = batcher_.pop_batch(batch_);
+  if (consumed == 0) return 0;
+  // The popped batch's newest stamp bounds every future arrival even
+  // when deadline drops shrink the batch — sweep with it, not with the
+  // filtered tail.
+  const std::int64_t newest_arrival =
+      batch_[static_cast<std::size_t>(consumed - 1)].arrival_us;
+  const num::Index B = drop_expired(batch_, consumed, now_us, sink);
+  if (B == 0) {
+    sessions_.sweep_expired(newest_arrival);
+    return consumed;
+  }
   const num::Index dh = engine_.hidden_dim();
   const auto L = static_cast<std::size_t>(engine_.layers());
   const auto t0 = std::chrono::steady_clock::now();
@@ -207,9 +247,25 @@ num::Index EngineShard::step_batch(std::int64_t now_us,
   stats_.busy_us += service_us;
   stats_.cpu_us += thread_cpu_us() - cpu0;
 
+  // Commit before delivery: every lane's step is folded into the
+  // authoritative digest table and appended to the journal, then ONE
+  // group-commit sync covers the whole batch — only then do responses
+  // go out. A client can therefore never observe a response whose
+  // state transition a crash could lose; crash-lost *uncommitted*
+  // steps were never answered, so a resuming client re-drives them
+  // onto exactly the pre-step state and gets bit-identical rows.
+  row_digests_.clear();
   for (num::Index r = 0; r < B; ++r) {
     Session& s = *lanes_[static_cast<std::size_t>(r)];
     ++s.steps;
+    const std::uint64_t row = digest_row(s.h.back().row(0));
+    sessions_.commit_step(s, row);
+    row_digests_.push_back(row);
+  }
+  sessions_.commit_batch();
+
+  for (num::Index r = 0; r < B; ++r) {
+    Session& s = *lanes_[static_cast<std::size_t>(r)];
     Response resp;
     resp.session = s.id;
     resp.seq = batch_[static_cast<std::size_t>(r)].seq;
@@ -220,15 +276,20 @@ num::Index EngineShard::step_batch(std::int64_t now_us,
     resp.batch = B;
     resp.h = s.h.back().row(0);
     resp.dense_h = dense_top_.row(r);
+    resp.row_digest = row_digests_[static_cast<std::size_t>(r)];
     sink(resp);
   }
   for (Session* s : lanes_) --s->pinned;
   // Batch boundary: reclaim idle sessions. Arrival stamps are monotone
   // within a shard, so the newest stamp of this (FIFO) batch bounds
   // every future arrival — the sweep frees only sessions the lazy TTL
-  // rule would restart anyway (value-neutral; session.h).
-  sessions_.sweep_expired(batch_[static_cast<std::size_t>(B - 1)].arrival_us);
-  return B;
+  // rule would restart anyway (value-neutral; session.h). Its kErase
+  // records ride to the next batch's commit, which is safe for the
+  // same reason the sweep itself is: resurrecting a swept session on
+  // recovery changes no output bit.
+  sessions_.sweep_expired(newest_arrival);
+  sessions_.maybe_checkpoint();
+  return consumed;
 }
 
 void EngineShard::admit(Flight& f) {
@@ -281,9 +342,18 @@ num::Index EngineShard::retire(Flight& f, std::int64_t now_us,
   ++stats_.batches;
   const num::Matrix& top =
       f.ff[static_cast<std::size_t>((engine_.layers() - 1) % 2)];
+  // Same commit-before-delivery ordering as step_batch.
+  row_digests_.clear();
   for (num::Index r = 0; r < B; ++r) {
     Session& s = *f.lanes[static_cast<std::size_t>(r)];
     ++s.steps;
+    const std::uint64_t row = digest_row(s.h.back().row(0));
+    sessions_.commit_step(s, row);
+    row_digests_.push_back(row);
+  }
+  sessions_.commit_batch();
+  for (num::Index r = 0; r < B; ++r) {
+    Session& s = *f.lanes[static_cast<std::size_t>(r)];
     Response resp;
     resp.session = s.id;
     resp.seq = f.requests[static_cast<std::size_t>(r)].seq;
@@ -294,6 +364,7 @@ num::Index EngineShard::retire(Flight& f, std::int64_t now_us,
     resp.batch = B;
     resp.h = s.h.back().row(0);
     resp.dense_h = top.row(r);
+    resp.row_digest = row_digests_[static_cast<std::size_t>(r)];
     sink(resp);
   }
   for (Session* s : f.lanes) --s->pinned;
@@ -303,6 +374,7 @@ num::Index EngineShard::retire(Flight& f, std::int64_t now_us,
   // (they carry newer arrivals anyway).
   sessions_.sweep_expired(
       f.requests[static_cast<std::size_t>(B - 1)].arrival_us);
+  sessions_.maybe_checkpoint();
   f.batch = 0;
   f.admitted = false;
   f.layer = 0;
@@ -335,10 +407,29 @@ num::Index EngineShard::flush_wavefront(std::int64_t now_us,
   std::size_t head = 0;
   std::size_t tail = 0;
   num::Index active = 0;  // flights in the wavefront
+  num::Index timed_out = 0;
   while (true) {
     if (active < static_cast<num::Index>(L)) {
       Flight& cand = flights_[tail];
-      if (cand.batch == 0) cand.batch = batcher_.pop_batch(cand.requests);
+      if (cand.batch == 0) {
+        cand.batch = batcher_.pop_batch(cand.requests);
+        if (cand.batch > 0) {
+          const std::int64_t newest =
+              cand.requests[static_cast<std::size_t>(cand.batch - 1)]
+                  .arrival_us;
+          const num::Index kept =
+              drop_expired(cand.requests, cand.batch, now_us, sink);
+          timed_out += cand.batch - kept;
+          cand.batch = kept;
+          if (kept == 0) {
+            // Whole batch expired: nothing to admit, but the boundary
+            // still happened — sweep and try the next batch (active may
+            // be 0 here with requests still queued).
+            sessions_.sweep_expired(newest);
+            continue;
+          }
+        }
+      }
       if (cand.batch > 0) {
         bool hazard = false;
         if (ttl_us >= 0 && active > 0) {
@@ -387,7 +478,7 @@ num::Index EngineShard::flush_wavefront(std::int64_t now_us,
       --active;
     }
   }
-  return served;
+  return served + timed_out;
 }
 
 void EngineShard::reset_stats() {

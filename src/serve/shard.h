@@ -45,6 +45,7 @@
 // num::parallel_for itself, which spawns its worker threads per call.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <vector>
 
@@ -104,14 +105,18 @@ class EngineShard {
   void enqueue(const Request& r) { batcher_.enqueue(r); }
 
   /// Serves at most one batch, and only if the policy says one is due
-  /// at `now_us`. Returns the number of requests served (0 = not due).
-  /// Always the sequential schedule — the wavefront lives in flush().
+  /// at `now_us`. Returns the number of requests consumed from the
+  /// queue (0 = not due): served ones plus any answered `err timeout`
+  /// — every consumed request produces exactly one sink call either
+  /// way. Always the sequential schedule — the wavefront lives in
+  /// flush().
   num::Index process_ready(std::int64_t now_us, const ResponseSink& sink);
 
   /// Serves everything queued, ignoring max-wait (trace end, shutdown,
   /// closed-loop benches). Batches still respect max_batch and session
   /// conflicts. With pipelining enabled and a multi-layer model, runs
-  /// the layer wavefront described above. Returns requests served.
+  /// the layer wavefront described above. Returns requests consumed
+  /// (served + timed out), as process_ready.
   num::Index flush(std::int64_t now_us, const ResponseSink& sink);
 
   num::Index pending() const { return batcher_.pending(); }
@@ -122,6 +127,13 @@ class EngineShard {
   bool pipeline() const { return pipeline_; }
 
   const ShardStats& stats() const { return stats_; }
+
+  /// Lifetime count of requests answered `err timeout` (deadline
+  /// expiry). Relaxed atomic: written by the shard's worker thread,
+  /// read by the live server's stats path.
+  std::uint64_t timeouts() const {
+    return timeouts_.load(std::memory_order_relaxed);
+  }
 
   /// Starts a new measurement epoch: clears the shard counters AND the
   /// engines' cumulative InferenceStats (the documented reset between
@@ -145,6 +157,11 @@ class EngineShard {
   };
 
   void init(const BatchPolicy& policy);
+  /// Answers every popped request whose deadline passed with a
+  /// timed_out Response and compacts the rest in place (FIFO order
+  /// preserved). Returns the new batch size.
+  num::Index drop_expired(std::vector<Request>& requests, num::Index batch,
+                          std::int64_t now_us, const ResponseSink& sink);
   num::Index step_batch(std::int64_t now_us, const ResponseSink& sink);
   num::Index flush_wavefront(std::int64_t now_us, const ResponseSink& sink);
   void build_input(const std::vector<Request>& requests, num::Index batch,
@@ -164,8 +181,10 @@ class EngineShard {
   RequestBatcher batcher_;
   bool pipeline_ = false;
   ShardStats stats_;
+  std::atomic<std::uint64_t> timeouts_{0};
   std::vector<Request> batch_;    // reused pop_batch target
   std::vector<Session*> lanes_;   // sessions of the batch being served
+  std::vector<std::uint64_t> row_digests_;  // per-lane, reused
   std::vector<num::Index> ids_;   // embedding row indices, reused
   num::Matrix x_;                 // (B x input_dim) staging
   std::vector<num::Matrix> h_;    // per-layer gathered state (B x dh)

@@ -1,0 +1,52 @@
+#include "serve/supervisor.h"
+
+#include <chrono>
+
+namespace zss::serve {
+
+Supervisor::Supervisor(LiveServer& server, SupervisorConfig config)
+    : server_(&server), cfg_(config) {
+  ZSS_EXPECTS(config.poll_ms > 0);
+}
+
+Supervisor::~Supervisor() { stop(); }
+
+void Supervisor::start() {
+  if (cfg_.stall_ms <= 0) return;  // watchdog disabled
+  ZSS_EXPECTS(!thread_.joinable());
+  thread_ = std::thread([this] { run(); });
+}
+
+void Supervisor::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_one();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Supervisor::run() {
+  const std::int64_t stall_us = cfg_.stall_ms * 1000;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(cfg_.poll_ms),
+                 [this] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    for (num::Index i = 0; i < server_->num_workers(); ++i) {
+      // Single-writer discipline: only this thread calls
+      // restart_shard, so worker(i) is stable between our own
+      // restarts and the reference cannot dangle mid-check.
+      const ShardWorker& w = server_->worker(i);
+      if (w.inflight() <= 0) continue;  // idle sleep is not a stall
+      const std::int64_t age = mono_now_us() - w.heartbeat_us();
+      if (age <= stall_us) continue;
+      server_->restart_shard(i);
+      restarts_.fetch_add(1, std::memory_order_relaxed);
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace zss::serve

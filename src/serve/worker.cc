@@ -1,5 +1,6 @@
 #include "serve/worker.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -18,6 +19,14 @@ std::function<std::int64_t()> steady_clock_since_now() {
 
 }  // namespace
 
+std::int64_t mono_now_us() {
+  // One process-wide epoch: all heartbeats compare on the same axis.
+  static const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 ShardWorker::ShardWorker(EngineShard& shard, ResponseSink sink,
                          std::function<std::int64_t()> now_us,
                          num::Index max_queue)
@@ -30,11 +39,22 @@ ShardWorker::ShardWorker(EngineShard& shard, ResponseSink sink,
   // capacity across swaps, so the steady state allocates nothing.
   inbox_.reserve(64);
   taking_.reserve(64);
+  heartbeat_us_.store(mono_now_us(), std::memory_order_relaxed);
 }
 
 ShardWorker::~ShardWorker() {
   request_stop();
-  join();
+  if (!thread_.joinable()) return;
+  if (abandoned_.load(std::memory_order_acquire) &&
+      !exited_.load(std::memory_order_acquire)) {
+    // Abandoned and still not out: the thread is wedged inside the
+    // shard (which lives in the pool's graveyard, outliving us).
+    // Joining would hang shutdown forever; by the abandonment
+    // contract the thread serves nothing if it ever resumes.
+    thread_.detach();
+  } else {
+    thread_.join();
+  }
 }
 
 void ShardWorker::start() {
@@ -45,10 +65,13 @@ void ShardWorker::start() {
 bool ShardWorker::submit(const Request& r) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (stop_) return false;
-    if (max_queue_ > 0 && inflight_ >= max_queue_) return false;
+    if (stop_ || abandoned_.load(std::memory_order_relaxed)) return false;
+    if (max_queue_ > 0 && inflight_.load(std::memory_order_relaxed) >=
+                              max_queue_) {
+      return false;
+    }
     inbox_.push_back(r);
-    ++inflight_;
+    inflight_.fetch_add(1, std::memory_order_relaxed);
   }
   cv_.notify_one();
   return true;
@@ -74,14 +97,41 @@ void ShardWorker::join() {
   if (thread_.joinable()) thread_.join();
 }
 
+bool ShardWorker::abandon() {
+  abandoned_.store(true, std::memory_order_release);
+  cv_.notify_one();
+  // Grace period: a healthy-but-idle or merely slow worker exits at
+  // its next checkpoint within microseconds; a wedged one never will.
+  const std::int64_t t0 = mono_now_us();
+  while (!exited_.load(std::memory_order_acquire)) {
+    if (mono_now_us() - t0 > 200'000) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  return true;
+}
+
 void ShardWorker::run() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
+    heartbeat_us_.store(mono_now_us(), std::memory_order_relaxed);
     const bool stopping = stop_;
     const bool flushing = flush_;
     flush_ = false;
     if (!inbox_.empty()) std::swap(inbox_, taking_);
     lock.unlock();
+
+    // Pre-serve checkpoint: the wedge hook parks here (heartbeat
+    // frozen — exactly what the watchdog sees in a real hang), and
+    // abandonment is honored BEFORE any shard touch, so an abandoned
+    // worker can never emit a response the rebuilt shard will re-emit.
+    while (wedged_.load(std::memory_order_acquire) &&
+           !abandoned_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    if (abandoned_.load(std::memory_order_acquire)) {
+      exited_.store(true, std::memory_order_release);
+      return;
+    }
 
     // Everything below runs unlocked: this thread is the shard's sole
     // toucher, and producers only ever see the inbox.
@@ -99,14 +149,17 @@ void ShardWorker::run() {
     }
 
     lock.lock();
-    inflight_ -= n;
+    inflight_.fetch_sub(n, std::memory_order_relaxed);
     if (stopping) {
       // A submit that won the race against request_stop() may have
       // landed after the swap; take one more round for it.
       if (inbox_.empty()) break;
       continue;
     }
-    if (stop_ || flush_ || !inbox_.empty()) continue;
+    if (stop_ || flush_ || !inbox_.empty() ||
+        abandoned_.load(std::memory_order_relaxed)) {
+      continue;
+    }
     if (shard_->pending() > 0) {
       // Sleep toward the oldest request's max-wait deadline; a new
       // submission wakes us earlier. Waking late moves batch
@@ -118,37 +171,65 @@ void ShardWorker::run() {
         cv_.wait_for(lock, std::chrono::microseconds(wait));
       }
     } else {
-      cv_.wait(lock, [this] { return stop_ || flush_ || !inbox_.empty(); });
+      cv_.wait(lock, [this] {
+        return stop_ || flush_ || !inbox_.empty() ||
+               abandoned_.load(std::memory_order_relaxed);
+      });
     }
   }
+  lock.unlock();
+  exited_.store(true, std::memory_order_release);
 }
 
 LiveServer::LiveServer(EnginePool& pool, ResponseSink sink, LiveConfig config)
     : pool_(&pool),
       now_(config.now_us ? std::move(config.now_us)
                          : steady_clock_since_now()),
+      max_queue_(config.max_queue),
+      deadline_us_(config.deadline_us),
       record_(config.record) {
-  const ResponseSink counted = [this, user_sink = std::move(sink)](
-                                   const Response& r) {
+  ZSS_EXPECTS(config.deadline_us >= 0);
+  // A recovered pool's sessions carry arrival stamps from the previous
+  // incarnation; stamping below them would break the monotone-arrival
+  // premise every eviction argument rests on (serve/session.h), so the
+  // recovered maximum becomes this clock's floor.
+  last_stamp_ = pool.recovered_max_arrival_us();
+  counted_sink_ = [this, user_sink = std::move(sink)](const Response& r) {
+    if (r.timed_out) {
+      std::lock_guard<std::mutex> lock(timeout_mu_);
+      timeout_seqs_.push_back(r.seq);
+    }
     // Count after delivery: a caller synchronizing on responded() must
     // never observe a response whose sink call has not finished.
     user_sink(r);
     responded_.fetch_add(1, std::memory_order_relaxed);
   };
+  quarantined_.assign(static_cast<std::size_t>(pool.num_shards()), 0);
+  workers_.reserve(static_cast<std::size_t>(pool.num_shards()));
   for (num::Index s = 0; s < pool.num_shards(); ++s) {
-    workers_.emplace_back(pool.shard(s), counted, now_, config.max_queue);
+    workers_.push_back(std::make_unique<ShardWorker>(
+        pool.shard(s), counted_sink_, now_, max_queue_));
   }
-  for (ShardWorker& w : workers_) w.start();
+  for (auto& w : workers_) w->start();
 }
 
 LiveServer::~LiveServer() { shutdown(); }
 
 std::optional<std::uint64_t> LiveServer::submit(SessionId session,
                                                 num::Index token,
-                                                std::uint64_t client) {
+                                                std::uint64_t client,
+                                                SubmitStatus* status) {
   ZSS_EXPECTS(token >= 0);
   std::lock_guard<std::mutex> lock(stamp_mu_);
-  if (stopped_) return std::nullopt;
+  if (stopped_) {
+    if (status != nullptr) *status = SubmitStatus::kStopped;
+    return std::nullopt;
+  }
+  const num::Index shard = pool_->shard_of(session);
+  if (quarantined_[static_cast<std::size_t>(shard)] != 0) {
+    if (status != nullptr) *status = SubmitStatus::kUnavailable;
+    return std::nullopt;
+  }
   // Monotone stamping under the one lock: queue order, record order and
   // stamp order are the same total order (see worker.h).
   std::int64_t now = now_();
@@ -161,10 +242,10 @@ std::optional<std::uint64_t> LiveServer::submit(SessionId session,
   r.arrival_us = now;
   r.seq = next_seq_;
   r.client = client;
-  ShardWorker& w =
-      workers_[static_cast<std::size_t>(pool_->shard_of(session))];
-  if (!w.submit(r)) {
+  if (deadline_us_ > 0) r.deadline_us = now + deadline_us_;
+  if (!workers_[static_cast<std::size_t>(shard)]->submit(r)) {
     shed_.fetch_add(1, std::memory_order_relaxed);
+    if (status != nullptr) *status = SubmitStatus::kShed;
     return std::nullopt;
   }
   ++next_seq_;
@@ -176,11 +257,58 @@ std::optional<std::uint64_t> LiveServer::submit(SessionId session,
     e.token = token;
     recorded_.push_back(e);
   }
+  if (status != nullptr) *status = SubmitStatus::kOk;
   return r.seq;
 }
 
 void LiveServer::flush_all() {
-  for (ShardWorker& w : workers_) w.request_flush();
+  std::lock_guard<std::mutex> lock(stamp_mu_);
+  for (auto& w : workers_) w->request_flush();
+}
+
+void LiveServer::restart_shard(num::Index i) {
+  ZSS_EXPECTS(i >= 0 && i < num_workers());
+  const auto idx = static_cast<std::size_t>(i);
+  // Serializes against shutdown() and concurrent restarts of other
+  // shards (a restart is already an exceptional event; coarse is fine).
+  std::lock_guard<std::mutex> restart_lock(restart_mu_);
+  {
+    std::lock_guard<std::mutex> lock(stamp_mu_);
+    if (stopped_ || quarantined_[idx] != 0) return;
+    quarantined_[idx] = 1;
+    quarantined_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // From here no producer can reach the old worker (quarantine is
+  // checked under stamp_mu_), so its inflight count only falls.
+  ShardWorker* old = workers_[idx].get();
+  old->abandon();
+  // Whatever the dead worker never served is lost to this restart; the
+  // resume protocol lets clients re-drive it (docs/serving.md).
+  abandoned_.fetch_add(static_cast<std::uint64_t>(old->inflight()),
+                       std::memory_order_relaxed);
+  {
+    // stamp_mu_ held across the rebuild: stats walkers that snapshot
+    // shard state through with_stable_topology never observe the slot
+    // mid-swap. Submits to other shards stall for the rebuild — a
+    // restart is already a disruption, and correctness beats latency
+    // here.
+    std::lock_guard<std::mutex> lock(stamp_mu_);
+    pool_->rebuild_shard(i);
+    auto fresh = std::make_unique<ShardWorker>(pool_->shard(i), counted_sink_,
+                                               now_, max_queue_);
+    fresh->start();
+    worker_graveyard_.push_back(std::move(workers_[idx]));
+    workers_[idx] = std::move(fresh);
+    quarantined_[idx] = 0;
+    quarantined_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  restarts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void LiveServer::with_stable_topology(
+    const std::function<void()>& fn) const {
+  std::lock_guard<std::mutex> lock(stamp_mu_);
+  fn();
 }
 
 void LiveServer::shutdown() {
@@ -189,8 +317,40 @@ void LiveServer::shutdown() {
     if (stopped_) return;
     stopped_ = true;
   }
-  for (ShardWorker& w : workers_) w.request_stop();
-  for (ShardWorker& w : workers_) w.join();
+  // Excludes an in-flight restart_shard (it re-checks stopped_ under
+  // stamp_mu_ before mutating anything, and never starts once we hold
+  // this).
+  std::lock_guard<std::mutex> restart_lock(restart_mu_);
+  for (auto& w : workers_) w->request_stop();
+  for (auto& w : workers_) w->join();
+  // Graveyard workers either already exited (joined here) or are
+  // wedged for good (detached by their destructor at LiveServer
+  // destruction).
+  for (auto& w : worker_graveyard_) {
+    if (w->exited()) w->join();
+  }
+  // Timed-out requests produced no state: drop them from the trace so
+  // replaying it reproduces exactly the committed digests. seq ==
+  // recorded_ index (both count accepted submissions in order).
+  std::vector<std::uint64_t> drop;
+  {
+    std::lock_guard<std::mutex> lock(timeout_mu_);
+    drop.swap(timeout_seqs_);
+  }
+  if (record_ && !drop.empty()) {
+    std::sort(drop.begin(), drop.end());
+    std::vector<TraceEvent> kept;
+    kept.reserve(recorded_.size() - drop.size());
+    std::size_t d = 0;
+    for (std::size_t i = 0; i < recorded_.size(); ++i) {
+      if (d < drop.size() && drop[d] == i) {
+        ++d;
+        continue;
+      }
+      kept.push_back(recorded_[i]);
+    }
+    recorded_.swap(kept);
+  }
 }
 
 }  // namespace zss::serve

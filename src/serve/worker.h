@@ -28,6 +28,21 @@
 //     determinism guarantee makes outputs independent of grouping, and
 //     session TTL/LRU decisions are arrival-driven (serve/session.h).
 //
+// Supervision (docs/serving.md "Crash recovery"): each worker stamps a
+// monotonic heartbeat at every loop iteration, so a watchdog
+// (serve/supervisor.h) can tell a busy worker from a wedged one. A
+// worker judged dead is *abandoned* — a cooperative flag it checks
+// before ever touching its shard again, so a misjudged-then-resumed
+// thread exits without serving (never a duplicate response) — and the
+// server quarantines the shard (`submit` returns kUnavailable),
+// rebuilds it from its journal (EnginePool::rebuild_shard) and mounts
+// a fresh worker. The abandoned worker object moves to a graveyard so
+// a truly wedged thread keeps seeing valid memory for the server's
+// lifetime. The ledger then reads:
+//     submitted == responded + abandoned        (after shutdown)
+// — every accepted request is either answered or accounted as lost to
+// a restart (its client re-drives it via the resume protocol).
+//
 // The sink passed to LiveServer is invoked concurrently, one call at a
 // time per shard but across shards in parallel — it must be
 // thread-safe, and it must not block indefinitely (the live tool hands
@@ -38,8 +53,8 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -49,6 +64,12 @@
 #include "serve/trace.h"
 
 namespace zss::serve {
+
+/// Monotonic wall clock in microseconds (process-wide epoch). This is
+/// the heartbeat/watchdog timebase — deliberately NOT LiveConfig's
+/// injectable arrival clock, because stall detection must measure real
+/// elapsed time even under a frozen test clock.
+std::int64_t mono_now_us();
 
 struct LiveConfig {
   /// Clock used for arrival stamps and serve instants, in microseconds.
@@ -66,6 +87,18 @@ struct LiveConfig {
   /// Record every accepted request as a TraceEvent (recorded_trace()),
   /// replayable through serve::replay for a bit-identical rerun.
   bool record = false;
+  /// Per-request deadline: each accepted request must be *served* within
+  /// this many microseconds of its arrival stamp or it is answered
+  /// `err timeout` instead (serve/request.h). 0 = no deadline.
+  std::int64_t deadline_us = 0;
+};
+
+/// Why submit() did not return a seq (or kOk when it did).
+enum class SubmitStatus {
+  kOk,           // accepted; seq returned
+  kShed,         // shard over max_queue — back off and retry
+  kUnavailable,  // shard quarantined, restart in progress — retry soon
+  kStopped,      // server shut down
 };
 
 /// One persistent worker: owns the thread that is the sole toucher of
@@ -84,7 +117,8 @@ class ShardWorker {
   void start();
 
   /// MPSC producer side: appends and wakes the worker. Returns false
-  /// when shedding (queue bound exceeded) or after request_stop().
+  /// when shedding (queue bound exceeded), after request_stop(), or
+  /// after abandon().
   bool submit(const Request& r);
 
   /// Asks the worker to serve everything queued (ignoring max-wait)
@@ -95,6 +129,41 @@ class ShardWorker {
   /// returns. Producers must stop submitting first (LiveServer does).
   void request_stop();
   void join();
+
+  /// Supervision: tells the worker to exit WITHOUT serving anything
+  /// more. The flag is checked before every touch of the shard, so a
+  /// worker the watchdog misjudged (slow, not dead) exits on its next
+  /// instruction past the stall instead of emitting duplicate
+  /// responses for work the rebuilt shard will redo. Waits a short
+  /// grace period for the thread to acknowledge; returns true if it
+  /// did (false = genuinely wedged — it will still exit cooperatively
+  /// if it ever resumes).
+  bool abandon();
+
+  /// Monotonic stamp (mono_now_us timebase) of the worker's last loop
+  /// iteration. The watchdog's liveness signal: a worker with queued
+  /// work whose heartbeat stops advancing is wedged.
+  std::int64_t heartbeat_us() const {
+    return heartbeat_us_.load(std::memory_order_relaxed);
+  }
+
+  /// Requests accepted but not yet served (inbox + batcher queue).
+  num::Index inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+
+  /// True once run() returned (normal stop or abandonment).
+  bool exited() const { return exited_.load(std::memory_order_acquire); }
+
+  /// Test hooks: park the worker thread at its pre-serve checkpoint (a
+  /// deterministic "wedge" the supervisor tests detect), and release
+  /// it. A released worker re-checks abandonment before serving.
+  void wedge_for_testing() {
+    wedged_.store(true, std::memory_order_release);
+  }
+  void release_wedge() {
+    wedged_.store(false, std::memory_order_release);
+  }
 
  private:
   void run();
@@ -108,18 +177,28 @@ class ShardWorker {
   std::condition_variable cv_;
   std::vector<Request> inbox_;   // produced under mu_
   std::vector<Request> taking_;  // worker-private swap target
-  num::Index inflight_ = 0;      // inbox + batcher, for backpressure
+  // inbox + batcher, for backpressure. Mutated under mu_ but atomic so
+  // the supervisor and restart path can read it lock-free.
+  std::atomic<num::Index> inflight_{0};
   bool stop_ = false;
   bool flush_ = false;
+  std::atomic<bool> abandoned_{false};
+  std::atomic<bool> wedged_{false};
+  std::atomic<bool> exited_{false};
+  std::atomic<std::int64_t> heartbeat_us_{0};
   std::thread thread_;
 };
 
 /// The live front end: stamps, records and routes requests onto the
-/// pool's shard workers, and owns graceful shutdown.
+/// pool's shard workers, and owns graceful shutdown plus the
+/// supervisor's restart primitive.
 class LiveServer {
  public:
   /// Borrows the pool (and its shards) for the server's lifetime. The
   /// workers start immediately; `sink` must be thread-safe (see top).
+  /// If the pool recovered journaled sessions, their newest arrival
+  /// stamp seeds the stamping clock's floor so per-shard arrivals stay
+  /// monotone across the restart.
   LiveServer(EnginePool& pool, ResponseSink sink, LiveConfig config = {});
   ~LiveServer();
 
@@ -127,12 +206,15 @@ class LiveServer {
   LiveServer& operator=(const LiveServer&) = delete;
 
   /// Stamps and enqueues one request; returns its seq, or nullopt when
-  /// shedding (shard over max_queue) or already shut down. `client`
-  /// tags the issuing connection (echoed on the Response so the
-  /// multiplexed front end routes it back; 0 = no connection). The tag
-  /// never enters stamping, batching or values — request.h.
+  /// not accepted — `status` (optional) says why: kShed (shard over
+  /// max_queue), kUnavailable (shard quarantined mid-restart), or
+  /// kStopped. `client` tags the issuing connection (echoed on the
+  /// Response so the multiplexed front end routes it back; 0 = no
+  /// connection). The tag never enters stamping, batching or values —
+  /// request.h.
   std::optional<std::uint64_t> submit(SessionId session, num::Index token,
-                                      std::uint64_t client = 0);
+                                      std::uint64_t client = 0,
+                                      SubmitStatus* status = nullptr);
 
   /// Asks every worker to drain its queue without waiting for max-wait
   /// deadlines (the protocol's `flush` verb). Asynchronous.
@@ -140,8 +222,18 @@ class LiveServer {
 
   /// Graceful shutdown: refuses new submissions, lets every worker
   /// drain in-flight requests, joins the threads. Idempotent; the
-  /// destructor calls it too.
+  /// destructor calls it too. Abandoned workers that never resumed are
+  /// detached rather than joined (they own no resources that outlive
+  /// the pool).
   void shutdown();
+
+  /// The supervisor's repair primitive: quarantine shard `i` (submits
+  /// return kUnavailable), abandon its worker, account its unserved
+  /// requests as abandoned, rebuild the shard from its journal
+  /// (EnginePool::rebuild_shard) and mount a fresh worker. Safe to
+  /// call from the watchdog thread; no-op if already quarantined or
+  /// shut down. Surviving shards keep serving throughout.
+  void restart_shard(num::Index i);
 
   std::int64_t now_us() const { return now_(); }
   std::uint64_t submitted() const {
@@ -151,26 +243,79 @@ class LiveServer {
   std::uint64_t responded() const {
     return responded_.load(std::memory_order_relaxed);
   }
+  /// Accepted requests lost to worker restarts (their clients re-drive
+  /// them). After shutdown: submitted == responded + abandoned.
+  std::uint64_t abandoned() const {
+    return abandoned_.load(std::memory_order_relaxed);
+  }
+  /// Worker restarts performed (supervisor recoveries).
+  std::uint64_t restarts() const {
+    return restarts_.load(std::memory_order_relaxed);
+  }
+  /// Shards currently quarantined (0 in steady state).
+  num::Index quarantined() const {
+    return quarantined_count_.load(std::memory_order_relaxed);
+  }
+
+  num::Index num_workers() const {
+    return static_cast<num::Index>(workers_.size());
+  }
+  /// The live worker of shard `i` (replaced by restart_shard; callers
+  /// on other threads should not cache the pointer across restarts).
+  ShardWorker& worker(num::Index i) {
+    return *workers_[static_cast<std::size_t>(i)];
+  }
+
+  /// Runs `fn` with the server's topology frozen: no restart_shard can
+  /// swap a shard/worker slot while `fn` executes. The stats snapshot
+  /// path walks the pool's shards under this so it never reads a slot
+  /// mid-rebuild. Keep `fn` short — it holds the stamping lock.
+  void with_stable_topology(const std::function<void()>& fn) const;
 
   /// The accepted requests as a replayable trace (LiveConfig::record).
   /// Only meaningful after shutdown(); sorted by construction.
+  /// Timed-out requests are filtered out at shutdown — they produced
+  /// no state, so replaying exactly the surviving events reproduces
+  /// the run's digests. Requests abandoned by a restart are NOT
+  /// filtered (the recorder cannot see inside a dead worker's queue);
+  /// a trace recorded across a restart replays self-consistently but
+  /// is not digest-comparable to the journal-recovered state.
   const std::vector<TraceEvent>& recorded_trace() const { return recorded_; }
 
  private:
   EnginePool* pool_;
   std::function<std::int64_t()> now_;
-  std::deque<ShardWorker> workers_;
+  ResponseSink counted_sink_;  // kept for mounting replacement workers
+  num::Index max_queue_ = 0;
+  std::int64_t deadline_us_ = 0;
+  std::vector<std::unique_ptr<ShardWorker>> workers_;
+  // Replaced workers; kept alive (valid memory for wedged threads)
+  // until shutdown, where exited ones are joined and wedged ones
+  // detached.
+  std::vector<std::unique_ptr<ShardWorker>> worker_graveyard_;
 
-  std::mutex stamp_mu_;
+  mutable std::mutex stamp_mu_;
+  // Serializes restart_shard against shutdown and other restarts;
+  // never held on the submit path.
+  std::mutex restart_mu_;
   std::int64_t last_stamp_ = 0;
   std::uint64_t next_seq_ = 0;
   bool stopped_ = false;
   bool record_ = false;
+  std::vector<char> quarantined_;  // per shard, guarded by stamp_mu_
   std::vector<TraceEvent> recorded_;
+
+  // Seqs answered `err timeout`, collected by the counted sink and
+  // erased from recorded_ at shutdown (seq == recorded_ index).
+  std::mutex timeout_mu_;
+  std::vector<std::uint64_t> timeout_seqs_;
 
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> responded_{0};
+  std::atomic<std::uint64_t> abandoned_{0};
+  std::atomic<std::uint64_t> restarts_{0};
+  std::atomic<num::Index> quarantined_count_{0};
 };
 
 }  // namespace zss::serve

@@ -12,7 +12,13 @@ namespace zss::store {
 
 bool DirLock::acquire(const std::string& dir) {
   release();
+  took_over_stale_ = false;
+  previous_pid_ = -1;
   path_ = dir + "/LOCK";
+  // O_EXCL-free two-step: open-or-create, then flock. Whether the file
+  // pre-existed tells us a previous owner was here; whether the flock
+  // succeeds tells us it is gone (flock dies with its process).
+  const bool pre_existing = ::access(path_.c_str(), F_OK) == 0;
   fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
   if (fd_ < 0) {
     error_ = "cannot create " + path_ + ": " + std::strerror(errno);
@@ -23,6 +29,18 @@ bool DirLock::acquire(const std::string& dir) {
     ::close(fd_);
     fd_ = -1;
     return false;
+  }
+  if (pre_existing) {
+    // Free lock + leftover file = the previous owner is dead. Read the
+    // pid it recorded (before we overwrite it with ours) so startup
+    // diagnostics can name it.
+    took_over_stale_ = true;
+    char prev[32] = {};
+    const ssize_t r = ::pread(fd_, prev, sizeof(prev) - 1, 0);
+    if (r > 0) {
+      long pid = 0;
+      if (std::sscanf(prev, "%ld", &pid) == 1 && pid > 0) previous_pid_ = pid;
+    }
   }
   // Record the owner pid for operators; informational only — the flock
   // is the actual mutual exclusion (and dies with the process).

@@ -7,7 +7,10 @@
 // second instance fails fast with a clear error instead of corrupting
 // the tier. The kernel drops the lock when the process exits — even on
 // a crash — so there is no stale-lock recovery dance: a lock held
-// means a live owner, full stop.
+// means a live owner, full stop. A LOCK file left behind by a crashed
+// owner is therefore always lockable; acquire() reports that takeover
+// (took_over_stale() + the dead owner's recorded pid) so startup can
+// tell the operator recovery is expected, not surprising.
 #pragma once
 
 #include <string>
@@ -30,10 +33,20 @@ class DirLock {
   bool held() const { return fd_ >= 0; }
   const std::string& error() const { return error_; }
 
+  /// True when acquire() succeeded over a LOCK file that already
+  /// existed — i.e. the previous owner exited without release() (a
+  /// crash; clean exits leave the file too, but either way the lock
+  /// was free and the directory is ours). previous_pid() is the pid
+  /// the dead owner recorded, or -1 if unreadable.
+  bool took_over_stale() const { return took_over_stale_; }
+  long previous_pid() const { return previous_pid_; }
+
  private:
   int fd_ = -1;
   std::string path_;
   std::string error_;
+  bool took_over_stale_ = false;
+  long previous_pid_ = -1;
 };
 
 }  // namespace zss::store

@@ -39,11 +39,19 @@ Dispatches on the artifact's "bench" field:
       every row must have bit_exact=true — a pipelined or resharded
       run whose digests differ from the sequential 1-shard reference
       is a determinism bug in the wavefront, never noise.
+      The recovery block (write-ahead journal: kill the pool halfway,
+      restart, resume) must be present and non-empty, and every row
+      must have recovered_bit_exact=true — a resumed run that does not
+      land bit-identical to the uninterrupted oracle is a durability
+      bug, never noise.
     - Soft warnings: cold-restore p50 latency more than WARN_FRACTION
       *slower* than the reference recording, warm-rate collapse
       (the tier silently degrading to RAM-only would show up here),
-      and frontend rps / p50 drifting more than WARN_FRACTION past
-      the reference at the same shard count.
+      frontend rps / p50 drifting more than WARN_FRACTION past
+      the reference at the same shard count, and the journal-on
+      throughput ratio (journal_rps / baseline_rps — the group-commit
+      tax) dropping more than WARN_FRACTION below the reference at the
+      same sync mode.
 
 Wall-clock on shared CI runners is noisy, so time-based checks
 annotate rather than fail; the references at the repo root are the
@@ -246,6 +254,42 @@ def check_serving(fresh, ref, failures, warnings):
             )
     rows += len(stacked)
 
+    recovery = fresh.get("recovery", [])
+    if not recovery:
+        failures.append(
+            "recovery block missing or empty — the write-ahead journal's "
+            "kill/restart/resume path was not exercised "
+            "(bench/bench_serving.cc writes one row per journal-sync mode)"
+        )
+    ref_recovery = {r.get("journal_sync"): r for r in ref.get("recovery", [])}
+    for row in recovery:
+        label = f"journal_sync={row.get('journal_sync')}"
+        if not row.get("recovered_bit_exact", False):
+            failures.append(
+                f"recovered_bit_exact=false ({label}) — after a mid-run "
+                f"kill, restart + resume did not reproduce the "
+                f"uninterrupted run's digests; committed work was lost or "
+                f"mutated (docs/serving.md 'Crash recovery')"
+            )
+        if row.get("recovered_sessions", 0) == 0:
+            failures.append(
+                f"recovered_sessions=0 ({label}) — the restart recovered "
+                f"nothing; the journal was never written or never replayed"
+            )
+        ref_row = ref_recovery.get(row.get("journal_sync"))
+        if ref_row is None:
+            warnings.append(f"recovery row ({label}) missing from reference")
+            continue
+        floor = ref_row["journal_ratio"] * (1.0 - WARN_FRACTION)
+        if row["journal_ratio"] < floor:
+            warnings.append(
+                f"journal_ratio ({label}): {row['journal_ratio']:.3f} vs "
+                f"reference {ref_row['journal_ratio']:.3f} "
+                f"(-{(1 - row['journal_ratio'] / ref_row['journal_ratio']) * 100:.0f}%)"
+                f" — the journal's group-commit tax is growing"
+            )
+    rows += len(recovery)
+
     frontend = fresh.get("frontend", [])
     if not frontend:
         failures.append(
@@ -328,7 +372,7 @@ def main(argv):
         unit = "cells"
     else:
         checked = check_serving(fresh, ref, failures, warnings)
-        unit = "tiering+stacked+frontend rows"
+        unit = "tiering+stacked+recovery+frontend rows"
 
     for w in warnings:
         print(f"warning: {w}")

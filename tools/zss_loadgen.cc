@@ -15,6 +15,13 @@
 //     record/replay digest gate covers their requests instead);
 //   * per-session ordering — seq strictly increases within a session.
 //
+// --resume switches to the crash-tolerant driver: deterministic
+// per-session token plans, reconnect with bounded exponential backoff
+// (serve::ResumingClient), and `sync`-anchored idempotent re-drive of
+// uncommitted suffixes, so a `kill -9` of the server mid-storm plus a
+// restart with --durability=journal still ends with every session at
+// its planned length and no committed step lost (CI's chaos job).
+//
 // CI drives 64 mixed clients with churn against a recording server,
 // then replays the recording at several shard counts and diffs digest
 // tables (.github/workflows/ci.yml, live-smoke).
@@ -57,6 +64,14 @@ struct Args {
   int vocab = 5;         // token range, must be < server --dx
   std::uint64_t seed = 1;
   bool quit = false;     // send `quit` after the storm
+  // --resume: crash-tolerant mode. Each client drives deterministic
+  // per-session token streams and survives server restarts by
+  // reconnecting with bounded exponential backoff, asking `sync` where
+  // each session's committed prefix ends, and re-driving only the
+  // uncommitted suffix (idempotent resume). Exit 0 means every session
+  // reached its planned length and no committed step was ever lost.
+  bool resume = false;
+  int chunk = 16;        // resume mode: steps pipelined per sync round
 };
 
 bool parse(int argc, char** argv, Args& args) {
@@ -86,6 +101,10 @@ bool parse(int argc, char** argv, Args& args) {
       args.vocab = std::atoi(v);
     } else if (const char* v = value("seed")) {
       args.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("chunk")) {
+      args.chunk = std::atoi(v);
+    } else if (a == "--resume") {
+      args.resume = true;
     } else if (a == "--quit") {
       args.quit = true;
     } else {
@@ -99,8 +118,12 @@ bool parse(int argc, char** argv, Args& args) {
   }
   if (args.clients < 1 || args.steps < 1 || args.lives < 1 ||
       args.sessions < 1 || args.sessions > 90 || args.vocab < 1 ||
-      args.rude < 0 || args.rude > args.clients) {
+      args.rude < 0 || args.rude > args.clients || args.chunk < 1) {
     std::fprintf(stderr, "invalid flag value\n");
+    return false;
+  }
+  if (args.resume && args.rude > 0) {
+    std::fprintf(stderr, "--resume and --rude are mutually exclusive\n");
     return false;
   }
   return true;
@@ -217,6 +240,160 @@ void run_client(const Args& args, int client, Tally& tally) {
   }
 }
 
+struct ResumeTally {
+  std::uint64_t acked = 0;        // "ok" lines credited to this client
+  std::uint64_t redriven = 0;     // steps sent more than once (suffix replay)
+  std::uint64_t reconnects = 0;
+  std::uint64_t err_retries = 0;  // chunks re-synced after an err reply
+  std::uint64_t lost_commits = 0; // sync went backwards — durability broken
+  std::uint64_t misrouted = 0;
+  bool failed = false;
+};
+
+/// Crash-tolerant driver for one client: deterministic per-session
+/// token plans, sync-then-drive chunks, reconnect with backoff on any
+/// failure. The server's `pos` reply is the only source of truth for
+/// progress — the client never assumes an unacked send was applied, so
+/// a kill -9 at any point (even mid-chunk) re-drives exactly the
+/// uncommitted suffix and the final digest table matches an
+/// uninterrupted run.
+void run_resume_client(const Args& args, int client, ResumeTally& tally) {
+  const auto base = static_cast<serve::SessionId>(100 * client + 1);
+  const int sessions = args.sessions;
+
+  // Deterministic plans: session s of client k always gets the same
+  // token stream, so any two runs (interrupted or not) drive identical
+  // per-session inputs.
+  std::vector<std::vector<int>> plan(static_cast<std::size_t>(sessions));
+  for (int s = 0; s < sessions; ++s) {
+    const int n = args.steps / sessions + (s < args.steps % sessions ? 1 : 0);
+    std::mt19937_64 rng(args.seed * 6364136223846793005ULL +
+                        static_cast<std::uint64_t>(client) * 1000003ULL +
+                        static_cast<std::uint64_t>(s));
+    auto& tokens = plan[static_cast<std::size_t>(s)];
+    tokens.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      tokens.push_back(
+          static_cast<int>(rng() % static_cast<std::uint64_t>(args.vocab)));
+    }
+  }
+
+  serve::ResumeEndpoint ep;
+  const bool use_tcp =
+      args.tcp_port >= 0 && (args.socket_path.empty() || client % 2 == 1);
+  if (use_tcp) {
+    ep.tcp_host = args.tcp_host;
+    ep.tcp_port = args.tcp_port;
+  } else {
+    ep.unix_path = args.socket_path;
+  }
+  serve::ResumingClient rc(ep);
+  std::string error;
+  if (!rc.connect(&error)) {
+    std::fprintf(stderr, "client %d: %s\n", client, error.c_str());
+    tally.failed = true;
+    return;
+  }
+
+  std::vector<std::uint64_t> high(static_cast<std::size_t>(sessions), 0);
+  std::vector<std::uint64_t> sent_high(static_cast<std::size_t>(sessions), 0);
+  bool all_done = false;
+  while (!all_done) {
+    all_done = true;
+    for (int s = 0; s < sessions; ++s) {
+      const auto sid = base + static_cast<serve::SessionId>(s);
+      const auto& tokens = plan[static_cast<std::size_t>(s)];
+      serve::SyncedPos pos;
+      if (!rc.sync(sid, &pos, 15000, &error)) {
+        if (!rc.connect(&error)) {
+          std::fprintf(stderr, "client %d: %s\n", client, error.c_str());
+          tally.failed = true;
+          return;
+        }
+        ++tally.reconnects;
+        all_done = false;
+        continue;
+      }
+      if (pos.steps < high[static_cast<std::size_t>(s)]) {
+        // The server once answered `pos` (or "ok") past this point:
+        // those steps were committed. Seeing them gone after a restart
+        // is exactly the data loss the journal exists to prevent.
+        std::fprintf(stderr,
+                     "client %d session %llu: committed steps lost "
+                     "(had %llu, sync says %llu)\n",
+                     client, (unsigned long long)sid,
+                     (unsigned long long)high[static_cast<std::size_t>(s)],
+                     (unsigned long long)pos.steps);
+        ++tally.lost_commits;
+        tally.failed = true;
+        return;
+      }
+      high[static_cast<std::size_t>(s)] = pos.steps;
+      if (pos.steps > tokens.size()) {
+        std::fprintf(stderr, "client %d session %llu: server ahead of plan\n",
+                     client, (unsigned long long)sid);
+        tally.failed = true;
+        return;
+      }
+      if (pos.steps == tokens.size()) continue;  // session complete
+      all_done = false;
+
+      // Drive the next chunk of the uncommitted suffix, pipelined.
+      const std::size_t from = pos.steps;
+      const std::size_t n = std::min<std::size_t>(
+          static_cast<std::size_t>(args.chunk), tokens.size() - from);
+      bool send_ok = true;
+      for (std::size_t i = 0; i < n && send_ok; ++i) {
+        auto& sh = sent_high[static_cast<std::size_t>(s)];
+        if (from + i < sh) {
+          ++tally.redriven;
+        } else {
+          sh = from + i + 1;
+        }
+        send_ok = rc.send_line("step " + std::to_string(sid) + " " +
+                               std::to_string(tokens[from + i]));
+      }
+      std::uint64_t got = 0;
+      bool resync = false;
+      std::string line;
+      while (send_ok && got < n) {
+        if (!rc.read_line(&line, 15000)) {
+          resync = true;
+          break;
+        }
+        if (line.rfind("ok ", 0) == 0) {
+          unsigned long long ok_sid = 0, seq = 0;
+          if (std::sscanf(line.c_str(), "ok %llu %llu", &ok_sid, &seq) == 2 &&
+              ok_sid != sid) {
+            ++tally.misrouted;  // only this session has steps in flight
+            tally.failed = true;
+            return;
+          }
+          ++got;
+          ++tally.acked;
+        } else if (line.rfind("err ", 0) == 0) {
+          // timeout / unavailable: the step was dropped before touching
+          // state — resync and re-drive. Brief pause so a quarantined
+          // shard has time to come back.
+          ++tally.err_retries;
+          resync = true;
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          break;
+        }
+        // pos lines from an earlier timed-out sync: skip.
+      }
+      if (!send_ok || (resync && !rc.conn().connected())) {
+        if (!rc.connect(&error)) {
+          std::fprintf(stderr, "client %d: %s\n", client, error.c_str());
+          tally.failed = true;
+          return;
+        }
+        ++tally.reconnects;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -227,8 +404,70 @@ int main(int argc, char** argv) {
         "usage: zss_loadgen (--socket=PATH | --tcp=PORT [--tcp-host=H])\n"
         "                   [--clients=N] [--steps=N] [--lives=N]\n"
         "                   [--rude=N] [--sessions=N] [--vocab=N]\n"
-        "                   [--seed=S] [--quit]\n");
+        "                   [--seed=S] [--quit] [--resume] [--chunk=N]\n");
     return 2;
+  }
+
+  if (args.resume) {
+    std::vector<ResumeTally> tallies(static_cast<std::size_t>(args.clients));
+    std::vector<std::thread> threads;
+    for (int k = 0; k < args.clients; ++k) {
+      threads.emplace_back([&, k] {
+        run_resume_client(args, k, tallies[static_cast<std::size_t>(k)]);
+      });
+    }
+    for (auto& t : threads) t.join();
+
+    ResumeTally total;
+    bool failed = false;
+    for (const ResumeTally& t : tallies) {
+      total.acked += t.acked;
+      total.redriven += t.redriven;
+      total.reconnects += t.reconnects;
+      total.err_retries += t.err_retries;
+      total.lost_commits += t.lost_commits;
+      total.misrouted += t.misrouted;
+      failed |= t.failed;
+    }
+
+    bool quit_ok = true;
+    if (args.quit) {
+      serve::ResumeEndpoint ep;
+      if (args.tcp_port >= 0 && args.socket_path.empty()) {
+        ep.tcp_host = args.tcp_host;
+        ep.tcp_port = args.tcp_port;
+      } else {
+        ep.unix_path = args.socket_path;
+      }
+      serve::ResumingClient rc(ep);
+      std::string error, line, last;
+      if (!rc.connect(&error) || !rc.send_line("quit")) {
+        std::fprintf(stderr, "quit connection failed: %s\n", error.c_str());
+        quit_ok = false;
+      } else {
+        while (rc.read_line(&line, 15000)) last = line;
+        quit_ok = rc.conn().eof() && last.rfind("bye ", 0) == 0;
+        if (!quit_ok) {
+          std::fprintf(stderr, "no bye on quit (last line: %s)\n",
+                       last.c_str());
+        }
+      }
+    }
+
+    std::printf(
+        "zss_loadgen: resume clients=%d acked=%llu redriven=%llu "
+        "reconnects=%llu err_retries=%llu lost_commits=%llu misrouted=%llu\n",
+        args.clients, (unsigned long long)total.acked,
+        (unsigned long long)total.redriven,
+        (unsigned long long)total.reconnects,
+        (unsigned long long)total.err_retries,
+        (unsigned long long)total.lost_commits,
+        (unsigned long long)total.misrouted);
+    if (failed || total.lost_commits > 0 || total.misrouted > 0 || !quit_ok) {
+      std::fprintf(stderr, "zss_loadgen: resume run FAILED\n");
+      return 1;
+    }
+    return 0;
   }
 
   std::vector<Tally> tallies(static_cast<std::size_t>(args.clients));

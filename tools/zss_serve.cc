@@ -62,6 +62,7 @@
 #include "num/simd/backend.h"
 #include "serve/frontend.h"
 #include "serve/protocol.h"
+#include "serve/supervisor.h"
 #include "serve/trace.h"
 #include "serve/worker.h"
 #include "store/lockfile.h"
@@ -78,6 +79,13 @@ struct Args {
   std::string record_path;
   std::string spill_dir;
   bool spill_encoded = false;
+  // Durability ladder (docs/serving.md): "" = default (spill when
+  // --spill-dir is given, off otherwise), or explicit off/spill/journal.
+  std::string durability;
+  std::string journal_sync = "batch";  // batch | none
+  std::uint64_t journal_checkpoint_bytes = std::uint64_t{4} << 20;
+  std::int64_t deadline_us = 0;     // live: per-request serve deadline
+  std::int64_t worker_stall_ms = 0;  // live: watchdog threshold, 0 = off
   num::Index emit_trace = 0;  // >0: generate instead of serve
   bool live = false;
   num::Index shards = 1;
@@ -123,6 +131,16 @@ bool parse(int argc, char** argv, Args& args) {
       args.spill_dir = v;
     } else if (a == "--spill-encoded") {
       args.spill_encoded = true;
+    } else if (const char* v = value("durability")) {
+      args.durability = v;
+    } else if (const char* v = value("journal-sync")) {
+      args.journal_sync = v;
+    } else if (const char* v = value("journal-checkpoint-bytes")) {
+      args.journal_checkpoint_bytes = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("deadline-us")) {
+      args.deadline_us = std::atoll(v);
+    } else if (const char* v = value("worker-stall-ms")) {
+      args.worker_stall_ms = std::atoll(v);
     } else if (const char* v = value("emit-trace")) {
       args.emit_trace = std::atol(v);
     } else if (a == "--live") {
@@ -242,6 +260,55 @@ bool parse(int argc, char** argv, Args& args) {
     std::fprintf(stderr, "--spill-dir does not apply to --emit-trace\n");
     return false;
   }
+  // Resolve the durability ladder: default follows --spill-dir, an
+  // explicit rung must be consistent with it.
+  if (args.durability.empty()) {
+    args.durability = args.spill_dir.empty() ? "off" : "spill";
+  }
+  if (args.durability != "off" && args.durability != "spill" &&
+      args.durability != "journal") {
+    std::fprintf(stderr, "--durability must be off, spill or journal\n");
+    return false;
+  }
+  if (args.durability != "off" && args.spill_dir.empty()) {
+    std::fprintf(stderr, "--durability=%s requires --spill-dir\n",
+                 args.durability.c_str());
+    return false;
+  }
+  if (args.durability == "off" && !args.spill_dir.empty()) {
+    std::fprintf(stderr, "--durability=off conflicts with --spill-dir "
+                         "(drop one)\n");
+    return false;
+  }
+  if (args.journal_sync != "batch" && args.journal_sync != "none") {
+    std::fprintf(stderr, "--journal-sync must be batch or none\n");
+    return false;
+  }
+  if (args.journal_checkpoint_bytes < 1024) {
+    std::fprintf(stderr, "--journal-checkpoint-bytes must be >= 1024\n");
+    return false;
+  }
+  if (args.deadline_us < 0 || args.worker_stall_ms < 0) {
+    std::fprintf(stderr, "--deadline-us/--worker-stall-ms must be >= 0\n");
+    return false;
+  }
+  if (!args.live && (args.deadline_us > 0 || args.worker_stall_ms > 0)) {
+    std::fprintf(stderr, "--deadline-us/--worker-stall-ms only apply to "
+                         "--live (replay re-serves exactly the recorded "
+                         "requests)\n");
+    return false;
+  }
+  // A worker sleeping toward its max-wait deadline legitimately
+  // freezes its heartbeat with work queued (serve/supervisor.h); a
+  // stall bound inside that window would shoot healthy workers.
+  if (args.worker_stall_ms > 0 &&
+      args.worker_stall_ms * 1000 <= args.max_wait_us) {
+    std::fprintf(stderr, "--worker-stall-ms must exceed --max-wait-us "
+                         "(%lld us) — below it every max-wait sleep looks "
+                         "like a hang\n",
+                 static_cast<long long>(args.max_wait_us));
+    return false;
+  }
   return true;
 }
 
@@ -259,8 +326,17 @@ void usage() {
       "                 (--model serves a trained v2 checkpoint from\n"
       "                 zss_train; layers/dh/thresholds come from its\n"
       "                 header — docs/serving.md \"Serving trained models\")\n"
+      "                 (--durability=off|spill|journal selects the crash\n"
+      "                 ladder; journal write-ahead-logs every committed\n"
+      "                 session transition and recovers it on restart —\n"
+      "                 docs/store.md. --journal-sync=batch|none,\n"
+      "                 --journal-checkpoint-bytes=N tune it)\n"
       "   or: zss_serve --live [same model/policy flags] [--socket=PATH]\n"
       "                 [--tcp=PORT] [--record=FILE] [--max-queue=N]\n"
+      "                 [--deadline-us=U] [--worker-stall-ms=M]\n"
+      "                 (--deadline-us answers `err timeout` past the\n"
+      "                 deadline; --worker-stall-ms arms the shard watchdog\n"
+      "                 that restarts wedged workers from the journal)\n"
       "                 (stdin/stdout by default; --socket/--tcp start the\n"
       "                 multiplexed front end serving any number of\n"
       "                 concurrent clients — docs/serving.md; --tcp=0 picks\n"
@@ -390,6 +466,11 @@ serve::PoolConfig pool_config(const Args& args, const ServingAssets& assets) {
   config.session_ttl.max_sessions = args.max_sessions;
   config.spill.dir = args.spill_dir;
   config.spill.encoded = args.spill_encoded;
+  config.spill.journal = args.durability == "journal";
+  config.spill.journal_sync = args.journal_sync == "none"
+                                  ? store::JournalSync::kNone
+                                  : store::JournalSync::kBatch;
+  config.spill.journal_checkpoint_bytes = args.journal_checkpoint_bytes;
   config.quant = assets.quant;
   config.pipeline = args.pipeline;
   return config;
@@ -412,7 +493,34 @@ bool acquire_spill_lock(const Args& args, store::DirLock& lock) {
                  lock.error().c_str());
     return false;
   }
+  if (lock.took_over_stale()) {
+    // flock dies with its holder, so a pre-existing-but-free LOCK means
+    // the previous owner exited without cleaning up (most likely a
+    // crash). That is the expected, recoverable case — say so instead
+    // of letting the operator wonder whether the tier is safe to use.
+    std::fprintf(stderr,
+                 "zss_serve: %s/LOCK was left by a previous instance "
+                 "(pid %ld, no longer running); taking ownership. Leftover "
+                 ".tmp files will be removed and, with "
+                 "--durability=journal, committed sessions restored "
+                 "automatically.\n",
+                 args.spill_dir.c_str(), lock.previous_pid());
+  }
   return true;
+}
+
+/// Startup line for the durable tier: what was recovered, what debris
+/// was cleaned. Printed after pool construction in every mode.
+void report_recovery(const Args& args, const serve::EnginePool& pool) {
+  if (args.durability != "journal") return;
+  std::fprintf(stderr,
+               "zss_serve: journal recovery: %" PRIu64 " sessions restored "
+               "across %lld shards (max arrival %lld us, %" PRIu64
+               " orphaned tmp files removed)\n",
+               pool.recovered_sessions(),
+               static_cast<long long>(pool.num_shards()),
+               static_cast<long long>(pool.recovered_max_arrival_us()),
+               pool.orphans_removed());
 }
 
 int run_replay(const Args& args) {
@@ -430,13 +538,13 @@ int run_replay(const Args& args) {
   ServingAssets assets;
   if (!build_model(args, assets)) return 1;
   serve::EnginePool pool(assets.model, pool_config(args, assets));
+  report_recovery(args, pool);
 
-  // Rolling per-session FNV-1a over each response's 8-byte row digest
-  // (the digest printed on live-mode "ok" lines), in seq order — the
-  // serving layer's observable output stream.
-  serve::DigestTable digests;
+  // The authoritative per-session digest table now lives in the
+  // session stores (folded by commit_step on the serving path, durable
+  // under the journal, reconstructed by recovery) — the sink only
+  // serves --dump.
   const serve::ResponseSink sink = [&](const serve::Response& r) {
-    serve::fold_response(digests, r);
     if (args.dump) {
       std::printf("seq %" PRIu64 " session %" PRIu64 " done_us %lld batch %lld\n",
                   r.seq, r.session, static_cast<long long>(r.done_us),
@@ -445,6 +553,7 @@ int run_replay(const Args& args) {
   };
 
   const serve::ReplayResult result = serve::replay(pool, events, sink);
+  const serve::DigestTable digests = pool.merged_digests();
 
   num::Index batches = 0;
   num::Index kept = 0, positions = 0;
@@ -594,10 +703,20 @@ int finish_live(const serve::LiveServer& server,
   }
   print_digests(digests, args.digests_path,
                 args.max_sessions > 0 && args.spill_dir.empty());
-  if (server.responded() != server.submitted()) {
+  if (server.restarts() > 0) {
+    std::fprintf(stderr,
+                 "zss_serve: %" PRIu64 " worker restart(s); %" PRIu64
+                 " accepted request(s) abandoned mid-restart (clients "
+                 "re-drive them via sync/pos)\n",
+                 server.restarts(), server.abandoned());
+  }
+  // The live ledger: every accepted request was either answered (ok or
+  // err timeout) or lost to a worker restart — nothing silently
+  // vanishes, nothing is answered twice.
+  if (server.responded() + server.abandoned() != server.submitted()) {
     std::fprintf(stderr, "zss_serve: %" PRIu64 " submitted but %" PRIu64
-                         " responses\n",
-                 server.submitted(), server.responded());
+                         " responses + %" PRIu64 " abandoned\n",
+                 server.submitted(), server.responded(), server.abandoned());
     return 1;
   }
   return 0;
@@ -624,12 +743,17 @@ int run_frontend(const Args& args, serve::EnginePool& pool) {
   fc.max_queue = args.max_queue;
   serve::LiveConfig live;
   live.record = !args.record_path.empty();
+  live.deadline_us = args.deadline_us;
   serve::Frontend frontend(pool, fc, live);
   std::string error;
   if (!frontend.start(&error)) {
     std::fprintf(stderr, "zss_serve: %s\n", error.c_str());
     return 1;
   }
+  serve::SupervisorConfig sup_cfg;
+  sup_cfg.stall_ms = args.worker_stall_ms;
+  serve::Supervisor supervisor(frontend.server(), sup_cfg);
+  supervisor.start();  // no-op unless --worker-stall-ms > 0
   g_frontend.store(&frontend);
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
@@ -653,6 +777,7 @@ int run_frontend(const Args& args, serve::EnginePool& pool) {
   }
 
   frontend.join();
+  supervisor.stop();
   std::signal(SIGINT, SIG_DFL);
   std::signal(SIGTERM, SIG_DFL);
   g_frontend.store(nullptr);
@@ -676,6 +801,7 @@ int run_live(const Args& args) {
   ServingAssets assets;
   if (!build_model(args, assets)) return 1;
   serve::EnginePool pool(assets.model, pool_config(args, assets));
+  report_recovery(args, pool);
 
   if (!args.socket_path.empty() || args.tcp_port >= 0) {
     return run_frontend(args, pool);
@@ -684,26 +810,27 @@ int run_live(const Args& args) {
   // stdin/stdout mode: one anonymous client on the standard streams
   // (no connection ids — submit leaves Request::client 0).
   //
-  // The sink runs on every shard worker thread. Sessions are
-  // shard-pinned, so one digest table per shard folds lock-free (each
-  // worker only ever touches its own) and the tables merge
-  // collision-free after shutdown; the actual write happens on the
-  // writer thread. Per-session output ordering is preserved because a
-  // session's responses all come from its one shard worker.
+  // The sink runs on every shard worker thread. Digest folding already
+  // happened on the shard (SessionStore::commit_step — the
+  // authoritative, journal-durable table); the sink only formats the
+  // line, and the actual write happens on the writer thread.
+  // Per-session output ordering is preserved because a session's
+  // responses all come from its one shard worker.
   OutputWriter out(stdout);
-  std::vector<serve::DigestTable> shard_digests(
-      static_cast<std::size_t>(pool.num_shards()));
   const serve::ResponseSink sink = [&](const serve::Response& r) {
-    serve::DigestTable& table =
-        shard_digests[static_cast<std::size_t>(pool.shard_of(r.session))];
-    const std::uint64_t row = serve::fold_response(table, r);
-    out.push(serve::format_response(r, row));
+    out.push(r.timed_out ? serve::format_error("timeout")
+                         : serve::format_response(r, r.row_digest));
   };
 
   serve::LiveConfig live;
   live.max_queue = args.max_queue;
   live.record = !args.record_path.empty();
+  live.deadline_us = args.deadline_us;
   serve::LiveServer server(pool, sink, live);
+  serve::SupervisorConfig sup_cfg;
+  sup_cfg.stall_ms = args.worker_stall_ms;
+  serve::Supervisor supervisor(server, sup_cfg);
+  supervisor.start();  // no-op unless --worker-stall-ms > 0
 
   std::fprintf(stderr,
                "zss_serve: live, kernel_backend=%s shards=%lld max_batch=%lld "
@@ -742,23 +869,32 @@ int run_live(const Args& args) {
       out.push(serve::format_stats(serve::snapshot_stats(server, pool)));
       continue;
     }
-    if (!server.submit(cmd.session, cmd.token).has_value()) {
-      out.push(serve::format_error("overloaded, request shed"));
+    if (cmd.op == serve::CommandLine::Op::kSync) {
+      serve::SessionDigest d;
+      server.with_stable_topology([&] {
+        d = pool.shard(pool.shard_of(cmd.session))
+                .sessions()
+                .digest_of(cmd.session);
+      });
+      out.push(serve::format_pos(cmd.session, d));
+      continue;
+    }
+    serve::SubmitStatus status = serve::SubmitStatus::kOk;
+    if (!server.submit(cmd.session, cmd.token, 0, &status).has_value()) {
+      out.push(serve::format_error(
+          status == serve::SubmitStatus::kUnavailable
+              ? "unavailable, shard restarting"
+              : "overloaded, request shed"));
     }
   }
   std::free(line);
 
+  supervisor.stop();
   server.shutdown();
   out.push(serve::format_bye(server.submitted(), server.responded()));
   out.finish();
 
-  // Workers are joined: merge the per-shard tables (disjoint by
-  // shard-pinning) into the one table all modes print.
-  serve::DigestTable digests;
-  for (const serve::DigestTable& t : shard_digests) {
-    digests.insert(t.begin(), t.end());
-  }
-  return finish_live(server, digests, args);
+  return finish_live(server, pool.merged_digests(), args);
 }
 
 }  // namespace
