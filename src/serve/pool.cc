@@ -180,13 +180,25 @@ void EnginePool::rebuild_shard(num::Index i) {
   const auto idx = static_cast<std::size_t>(i);
   // Retire, never destroy: an abandoned worker thread may still be
   // wedged inside the old shard's step, and it must keep seeing valid
-  // memory until the pool itself dies. The old journal/spill file
-  // handles stay open too — harmless, the abandoned worker committed
-  // nothing past the last batch barrier and never writes again
-  // (serve/worker.h's abandon contract).
+  // memory until the pool itself dies. The abandon contract
+  // (serve/worker.h) is only *checked* at batch boundaries, though — a
+  // worker wedged INSIDE the engine that resumes after the abandon
+  // grace finishes its batch, and its commit path would append and
+  // fsync through the old journal handle into the very file the
+  // rebuilt shard reopens below (two handles, divergent tails — WAL
+  // corruption and silent loss of acknowledged records on the next
+  // recovery). Poison the retired stores first: after poison() returns
+  // no stale handle can write, so the replacement journal/segment is
+  // the file's sole writer. The worker's response fence (its deliveries
+  // re-check abandonment per response) covers the sink side the same
+  // way.
   shard_graveyard_.push_back(std::move(shards_[idx]));
-  if (!spills_.empty()) spill_graveyard_.push_back(std::move(spills_[idx]));
+  if (!spills_.empty()) {
+    if (spills_[idx] != nullptr) spills_[idx]->poison();
+    spill_graveyard_.push_back(std::move(spills_[idx]));
+  }
   if (!journals_.empty()) {
+    if (journals_[idx] != nullptr) journals_[idx]->poison();
     journal_graveyard_.push_back(std::move(journals_[idx]));
   }
   shards_[idx] = make_shard();

@@ -30,27 +30,29 @@ std::int64_t mono_now_us() {
 ShardWorker::ShardWorker(EngineShard& shard, ResponseSink sink,
                          std::function<std::int64_t()> now_us,
                          num::Index max_queue)
-    : shard_(&shard),
-      sink_(std::move(sink)),
-      now_(std::move(now_us)),
-      max_queue_(max_queue) {
+    : ctl_(std::make_shared<Control>()) {
   ZSS_EXPECTS(max_queue >= 0);
+  ctl_->shard = &shard;
+  ctl_->sink = std::move(sink);
+  ctl_->now = std::move(now_us);
+  ctl_->max_queue = max_queue;
   // Submissions burst-append between wakeups; both buffers keep their
   // capacity across swaps, so the steady state allocates nothing.
-  inbox_.reserve(64);
-  taking_.reserve(64);
-  heartbeat_us_.store(mono_now_us(), std::memory_order_relaxed);
+  ctl_->inbox.reserve(64);
+  ctl_->taking.reserve(64);
+  ctl_->heartbeat_us.store(mono_now_us(), std::memory_order_relaxed);
 }
 
 ShardWorker::~ShardWorker() {
   request_stop();
   if (!thread_.joinable()) return;
-  if (abandoned_.load(std::memory_order_acquire) &&
-      !exited_.load(std::memory_order_acquire)) {
+  if (ctl_->abandoned.load(std::memory_order_acquire) &&
+      !ctl_->exited.load(std::memory_order_acquire)) {
     // Abandoned and still not out: the thread is wedged inside the
-    // shard (which lives in the pool's graveyard, outliving us).
-    // Joining would hang shutdown forever; by the abandonment
-    // contract the thread serves nothing if it ever resumes.
+    // shard (which lives in the pool's graveyard, outliving us) or the
+    // sink. Joining would hang shutdown forever. Detaching is safe:
+    // the thread co-owns the Control block, and the abandonment fence
+    // means it delivers nothing if it ever resumes.
     thread_.detach();
   } else {
     thread_.join();
@@ -59,38 +61,41 @@ ShardWorker::~ShardWorker() {
 
 void ShardWorker::start() {
   ZSS_EXPECTS(!thread_.joinable());
-  thread_ = std::thread([this] { run(); });
+  // The thread keeps the Control alive on its own — a detached thread
+  // outliving this object (and the graveyard) still sees valid memory.
+  thread_ = std::thread([c = ctl_] { run(*c); });
 }
 
 bool ShardWorker::submit(const Request& r) {
+  Control& c = *ctl_;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stop_ || abandoned_.load(std::memory_order_relaxed)) return false;
-    if (max_queue_ > 0 && inflight_.load(std::memory_order_relaxed) >=
-                              max_queue_) {
+    std::lock_guard<std::mutex> lock(c.mu);
+    if (c.stop || c.abandoned.load(std::memory_order_relaxed)) return false;
+    if (c.max_queue > 0 &&
+        c.inflight.load(std::memory_order_relaxed) >= c.max_queue) {
       return false;
     }
-    inbox_.push_back(r);
-    inflight_.fetch_add(1, std::memory_order_relaxed);
+    c.inbox.push_back(r);
+    c.inflight.fetch_add(1, std::memory_order_relaxed);
   }
-  cv_.notify_one();
+  c.cv.notify_one();
   return true;
 }
 
 void ShardWorker::request_flush() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    flush_ = true;
+    std::lock_guard<std::mutex> lock(ctl_->mu);
+    ctl_->flush = true;
   }
-  cv_.notify_one();
+  ctl_->cv.notify_one();
 }
 
 void ShardWorker::request_stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
+    std::lock_guard<std::mutex> lock(ctl_->mu);
+    ctl_->stop = true;
   }
-  cv_.notify_one();
+  ctl_->cv.notify_one();
 }
 
 void ShardWorker::join() {
@@ -98,87 +103,109 @@ void ShardWorker::join() {
 }
 
 bool ShardWorker::abandon() {
-  abandoned_.store(true, std::memory_order_release);
-  cv_.notify_one();
+  ctl_->abandoned.store(true, std::memory_order_release);
+  ctl_->cv.notify_one();
   // Grace period: a healthy-but-idle or merely slow worker exits at
   // its next checkpoint within microseconds; a wedged one never will.
   const std::int64_t t0 = mono_now_us();
-  while (!exited_.load(std::memory_order_acquire)) {
+  while (!ctl_->exited.load(std::memory_order_acquire)) {
     if (mono_now_us() - t0 > 200'000) return false;
     std::this_thread::sleep_for(std::chrono::microseconds(100));
   }
   return true;
 }
 
-void ShardWorker::run() {
-  std::unique_lock<std::mutex> lock(mu_);
+void ShardWorker::run(Control& c) {
+  // The response fence, and the ledger's unit of account. Every
+  // delivery re-checks abandonment — so a thread judged dead mid-batch
+  // that resumes after the grace period hands out nothing the rebuilt
+  // shard will answer again (the journal/spill side of that race is
+  // fenced by store poisoning, EnginePool::rebuild_shard) — then stamps
+  // the heartbeat (a worker grinding a deep flush reads as alive per
+  // response, not per loop) and decrements inflight, making inflight
+  // exactly "accepted but never answered". A suppressed response
+  // deliberately skips the decrement: its request stays in inflight and
+  // is what restart_shard later counts as abandoned.
+  const ResponseSink fenced = [&c](const Response& r) {
+    if (c.abandoned.load(std::memory_order_acquire)) return;
+    c.sink(r);
+    c.heartbeat_us.store(mono_now_us(), std::memory_order_relaxed);
+    c.inflight.fetch_sub(1, std::memory_order_relaxed);
+  };
+
+  std::unique_lock<std::mutex> lock(c.mu);
   for (;;) {
-    heartbeat_us_.store(mono_now_us(), std::memory_order_relaxed);
-    const bool stopping = stop_;
-    const bool flushing = flush_;
-    flush_ = false;
-    if (!inbox_.empty()) std::swap(inbox_, taking_);
+    c.heartbeat_us.store(mono_now_us(), std::memory_order_relaxed);
+    const bool stopping = c.stop;
+    const bool flushing = c.flush;
+    c.flush = false;
+    if (!c.inbox.empty()) std::swap(c.inbox, c.taking);
     lock.unlock();
 
     // Pre-serve checkpoint: the wedge hook parks here (heartbeat
     // frozen — exactly what the watchdog sees in a real hang), and
     // abandonment is honored BEFORE any shard touch, so an abandoned
     // worker can never emit a response the rebuilt shard will re-emit.
-    while (wedged_.load(std::memory_order_acquire) &&
-           !abandoned_.load(std::memory_order_acquire)) {
+    while (c.wedged.load(std::memory_order_acquire) &&
+           !c.abandoned.load(std::memory_order_acquire)) {
       std::this_thread::sleep_for(std::chrono::microseconds(100));
     }
-    if (abandoned_.load(std::memory_order_acquire)) {
-      exited_.store(true, std::memory_order_release);
+    if (c.abandoned.load(std::memory_order_acquire)) {
+      c.exited.store(true, std::memory_order_release);
       return;
     }
 
     // Everything below runs unlocked: this thread is the shard's sole
     // toucher, and producers only ever see the inbox.
-    for (const Request& r : taking_) shard_->enqueue(r);
-    taking_.clear();
+    for (const Request& r : c.taking) c.shard->enqueue(r);
+    c.taking.clear();
 
-    const std::int64_t now = now_();
-    num::Index n = 0;
+    const std::int64_t now = c.now();
     if (stopping || flushing) {
-      n = shard_->flush(now, sink_);
+      c.shard->flush(now, fenced);
     } else {
       // Serving a batch can make the next one due (an unblocked
-      // same-session conflict), so settle the instant.
-      while (const num::Index b = shard_->process_ready(now, sink_)) n += b;
+      // same-session conflict), so settle the instant — but the chain
+      // is unbounded, so re-check abandonment and re-stamp the
+      // heartbeat between batches: a worker judged dead mid-settle
+      // must stop touching the shard, and a healthy one deep in
+      // backlog must not read as wedged.
+      while (!c.abandoned.load(std::memory_order_acquire) &&
+             c.shard->process_ready(now, fenced) > 0) {
+        c.heartbeat_us.store(mono_now_us(), std::memory_order_relaxed);
+      }
     }
 
     lock.lock();
-    inflight_.fetch_sub(n, std::memory_order_relaxed);
     if (stopping) {
       // A submit that won the race against request_stop() may have
       // landed after the swap; take one more round for it.
-      if (inbox_.empty()) break;
+      if (c.inbox.empty()) break;
       continue;
     }
-    if (stop_ || flush_ || !inbox_.empty() ||
-        abandoned_.load(std::memory_order_relaxed)) {
+    if (c.stop || c.flush || !c.inbox.empty() ||
+        c.abandoned.load(std::memory_order_relaxed)) {
       continue;
     }
-    if (shard_->pending() > 0) {
+    if (c.shard->pending() > 0) {
       // Sleep toward the oldest request's max-wait deadline; a new
       // submission wakes us earlier. Waking late moves batch
       // boundaries only — never values (the determinism guarantee).
-      const std::int64_t deadline = shard_->batcher().oldest_arrival_us() +
-                                    shard_->batcher().policy().max_wait_us;
-      const std::int64_t wait = deadline - now_();
+      const std::int64_t deadline = c.shard->batcher().oldest_arrival_us() +
+                                    c.shard->batcher().policy().max_wait_us;
+      const std::int64_t wait = deadline - c.now();
       if (wait > 0) {
-        cv_.wait_for(lock, std::chrono::microseconds(wait));
+        c.cv.wait_for(lock, std::chrono::microseconds(wait));
       }
     } else {
-      cv_.wait(lock, [this] {
-        return stop_ || flush_ || !inbox_.empty() ||
-               abandoned_.load(std::memory_order_relaxed);
+      c.cv.wait(lock, [&c] {
+        return c.stop || c.flush || !c.inbox.empty() ||
+               c.abandoned.load(std::memory_order_relaxed);
       });
     }
   }
   lock.unlock();
-  exited_.store(true, std::memory_order_release);
+  c.exited.store(true, std::memory_order_release);
 }
 
 LiveServer::LiveServer(EnginePool& pool, ResponseSink sink, LiveConfig config)
@@ -281,11 +308,21 @@ void LiveServer::restart_shard(num::Index i) {
   // From here no producer can reach the old worker (quarantine is
   // checked under stamp_mu_), so its inflight count only falls.
   ShardWorker* old = workers_[idx].get();
-  old->abandon();
-  // Whatever the dead worker never served is lost to this restart; the
-  // resume protocol lets clients re-drive it (docs/serving.md).
-  abandoned_.fetch_add(static_cast<std::uint64_t>(old->inflight()),
-                       std::memory_order_relaxed);
+  const bool acked = old->abandon();
+  // Whatever the dead worker never answered is lost to this restart;
+  // the resume protocol lets clients re-drive it (docs/serving.md). If
+  // the thread acknowledged, its inflight is final and folds into the
+  // ledger now. If it is still wedged, a response may be in flight
+  // past the fence (inside the user sink) and could yet land — folding
+  // now would count it both responded and abandoned — so defer until
+  // the thread exits (checked at later restarts and at shutdown).
+  if (acked) {
+    abandoned_.fetch_add(static_cast<std::uint64_t>(old->inflight()),
+                         std::memory_order_relaxed);
+  } else {
+    abandoned_pending_.push_back(old);
+  }
+  fold_pending_abandoned(/*final_fold=*/false);
   {
     // stamp_mu_ held across the rebuild: stats walkers that snapshot
     // shard state through with_stable_topology never observe the slot
@@ -303,6 +340,27 @@ void LiveServer::restart_shard(num::Index i) {
     quarantined_count_.fetch_sub(1, std::memory_order_relaxed);
   }
   restarts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void LiveServer::fold_pending_abandoned(bool final_fold) {
+  // Caller holds restart_mu_. A worker whose thread has exited has a
+  // final inflight (the fence suppressed everything after abandonment,
+  // and suppressed responses never decrement); fold it exactly. At the
+  // final fold, a thread wedged forever is folded anyway — the one
+  // response it may hold past the fence is counted abandoned, and if
+  // its sink call ever unblocks the client just sees an answer it
+  // already re-drove (worker.h, the ledger caveat).
+  auto it = abandoned_pending_.begin();
+  while (it != abandoned_pending_.end()) {
+    ShardWorker* w = *it;
+    if (final_fold || w->exited()) {
+      abandoned_.fetch_add(static_cast<std::uint64_t>(w->inflight()),
+                           std::memory_order_relaxed);
+      it = abandoned_pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void LiveServer::with_stable_topology(
@@ -329,6 +387,10 @@ void LiveServer::shutdown() {
   for (auto& w : worker_graveyard_) {
     if (w->exited()) w->join();
   }
+  // Settle the ledger: every abandoned worker whose fold was deferred
+  // (it had not acknowledged within the grace period) is counted now,
+  // exited or not. After this, submitted == responded + abandoned.
+  fold_pending_abandoned(/*final_fold=*/true);
   // Timed-out requests produced no state: drop them from the trace so
   // replaying it reproduces exactly the committed digests. seq ==
   // recorded_ index (both count accepted submissions in order).

@@ -29,19 +29,38 @@
 //     session TTL/LRU decisions are arrival-driven (serve/session.h).
 //
 // Supervision (docs/serving.md "Crash recovery"): each worker stamps a
-// monotonic heartbeat at every loop iteration, so a watchdog
-// (serve/supervisor.h) can tell a busy worker from a wedged one. A
-// worker judged dead is *abandoned* — a cooperative flag it checks
-// before ever touching its shard again, so a misjudged-then-resumed
-// thread exits without serving (never a duplicate response) — and the
-// server quarantines the shard (`submit` returns kUnavailable),
-// rebuilds it from its journal (EnginePool::rebuild_shard) and mounts
-// a fresh worker. The abandoned worker object moves to a graveyard so
-// a truly wedged thread keeps seeing valid memory for the server's
-// lifetime. The ledger then reads:
+// monotonic heartbeat at every loop iteration, between the batches of
+// a settle pass, and at every response delivery, so a watchdog
+// (serve/supervisor.h) can tell a busy worker — however deep its
+// backlog — from a wedged one. A worker judged dead is *abandoned* — a
+// cooperative flag it checks before every touch of the shard (the
+// pre-serve checkpoint and again between the batches of a settle pass)
+// AND at every response delivery: the worker's sink fence drops any
+// response once the flag is set, so even a thread that was wedged
+// mid-batch inside the engine and resumes after the abandon grace can
+// never hand out a response the rebuilt shard will re-serve (the
+// journal side of that race is fenced by store poisoning —
+// EnginePool::rebuild_shard). The server quarantines the shard
+// (`submit` returns kUnavailable), rebuilds it from its journal and
+// mounts a fresh worker. The abandoned worker object moves to a
+// graveyard so cooperating threads keep seeing valid memory; the
+// worker thread itself shares ownership of its control block, so even
+// a thread detached at destruction never touches freed memory.
+//
+// Ledger: inflight() counts accepted-but-not-yet-RESPONDED requests —
+// the sink fence decrements it per delivered response, and a
+// suppressed (post-abandon) response deliberately never decrements.
+// An abandoned worker's final inflight() is therefore exactly its
+// requests that no one answered, and the server folds it into
+// `abandoned` once the thread acknowledges (or at shutdown for a
+// thread wedged forever). The ledger then reads:
 //     submitted == responded + abandoned        (after shutdown)
 // — every accepted request is either answered or accounted as lost to
-// a restart (its client re-drives it via the resume protocol).
+// a restart (its client re-drives it via the resume protocol). One
+// caveat, inherent to not waiting forever: a thread wedged INSIDE the
+// user sink call holds one response past the fence; it is counted
+// abandoned at shutdown, and if the sink ever unblocks afterwards the
+// delivery also lands — the client sees the answer it already re-drove.
 //
 // The sink passed to LiveServer is invoked concurrently, one call at a
 // time per shard but across shards in parallel — it must be
@@ -140,52 +159,68 @@ class ShardWorker {
   /// if it ever resumes).
   bool abandon();
 
-  /// Monotonic stamp (mono_now_us timebase) of the worker's last loop
-  /// iteration. The watchdog's liveness signal: a worker with queued
-  /// work whose heartbeat stops advancing is wedged.
+  /// Monotonic stamp (mono_now_us timebase) of the worker's last sign
+  /// of life: loop iteration, settle-pass batch boundary, or response
+  /// delivery. The watchdog's liveness signal: a worker with queued
+  /// work whose heartbeat stops advancing is wedged — and because the
+  /// stamp advances per *response*, a healthy worker grinding through
+  /// an arbitrarily deep backlog never reads as wedged.
   std::int64_t heartbeat_us() const {
-    return heartbeat_us_.load(std::memory_order_relaxed);
+    return ctl_->heartbeat_us.load(std::memory_order_relaxed);
   }
 
-  /// Requests accepted but not yet served (inbox + batcher queue).
+  /// Requests accepted but not yet *responded to*: the sink fence
+  /// decrements per delivered response, so for an abandoned worker
+  /// this is exactly the count no client will ever hear back about.
   num::Index inflight() const {
-    return inflight_.load(std::memory_order_relaxed);
+    return ctl_->inflight.load(std::memory_order_relaxed);
   }
 
   /// True once run() returned (normal stop or abandonment).
-  bool exited() const { return exited_.load(std::memory_order_acquire); }
+  bool exited() const { return ctl_->exited.load(std::memory_order_acquire); }
 
   /// Test hooks: park the worker thread at its pre-serve checkpoint (a
   /// deterministic "wedge" the supervisor tests detect), and release
   /// it. A released worker re-checks abandonment before serving.
   void wedge_for_testing() {
-    wedged_.store(true, std::memory_order_release);
+    ctl_->wedged.store(true, std::memory_order_release);
   }
   void release_wedge() {
-    wedged_.store(false, std::memory_order_release);
+    ctl_->wedged.store(false, std::memory_order_release);
   }
 
  private:
-  void run();
+  // Everything the worker thread touches lives here, co-owned by the
+  // thread's lambda via shared_ptr: a wedged thread that ~ShardWorker
+  // had to detach keeps its state alive on its own and never
+  // dereferences freed memory, even after the graveyard (and the
+  // ShardWorker object) are long gone. The shard/sink/clock it points
+  // INTO are a different story — those belong to the pool/server, which
+  // is why abandonment fences every touch of them (see run()).
+  struct Control {
+    EngineShard* shard = nullptr;
+    ResponseSink sink;
+    std::function<std::int64_t()> now;
+    num::Index max_queue = 0;
 
-  EngineShard* shard_;
-  ResponseSink sink_;
-  std::function<std::int64_t()> now_;
-  num::Index max_queue_;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<Request> inbox;   // produced under mu
+    std::vector<Request> taking;  // worker-private swap target
+    // Accepted minus responded. Incremented under mu on submit, but
+    // atomic so the supervisor/restart/sink paths touch it lock-free.
+    std::atomic<num::Index> inflight{0};
+    bool stop = false;
+    bool flush = false;
+    std::atomic<bool> abandoned{false};
+    std::atomic<bool> wedged{false};
+    std::atomic<bool> exited{false};
+    std::atomic<std::int64_t> heartbeat_us{0};
+  };
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<Request> inbox_;   // produced under mu_
-  std::vector<Request> taking_;  // worker-private swap target
-  // inbox + batcher, for backpressure. Mutated under mu_ but atomic so
-  // the supervisor and restart path can read it lock-free.
-  std::atomic<num::Index> inflight_{0};
-  bool stop_ = false;
-  bool flush_ = false;
-  std::atomic<bool> abandoned_{false};
-  std::atomic<bool> wedged_{false};
-  std::atomic<bool> exited_{false};
-  std::atomic<std::int64_t> heartbeat_us_{0};
+  static void run(Control& c);
+
+  std::shared_ptr<Control> ctl_;
   std::thread thread_;
 };
 
@@ -228,11 +263,16 @@ class LiveServer {
   void shutdown();
 
   /// The supervisor's repair primitive: quarantine shard `i` (submits
-  /// return kUnavailable), abandon its worker, account its unserved
-  /// requests as abandoned, rebuild the shard from its journal
-  /// (EnginePool::rebuild_shard) and mount a fresh worker. Safe to
-  /// call from the watchdog thread; no-op if already quarantined or
-  /// shut down. Surviving shards keep serving throughout.
+  /// return kUnavailable), abandon its worker, rebuild the shard from
+  /// its journal (EnginePool::rebuild_shard) and mount a fresh worker.
+  /// The old worker's unanswered requests (its final inflight) are
+  /// folded into `abandoned` as soon as the thread acknowledges the
+  /// abandon — immediately when it acks within the grace period,
+  /// otherwise deferred until it exits (checked at later restarts and
+  /// at shutdown), because a thread still wedged mid-delivery may yet
+  /// complete one response. Safe to call from the watchdog thread;
+  /// no-op if already quarantined or shut down. Surviving shards keep
+  /// serving throughout.
   void restart_shard(num::Index i);
 
   std::int64_t now_us() const { return now_(); }
@@ -283,6 +323,11 @@ class LiveServer {
   const std::vector<TraceEvent>& recorded_trace() const { return recorded_; }
 
  private:
+  /// Folds abandoned_pending_ workers whose threads have exited into
+  /// abandoned_; with final_fold, folds the rest too (shutdown). Caller
+  /// must hold restart_mu_.
+  void fold_pending_abandoned(bool final_fold);
+
   EnginePool* pool_;
   std::function<std::int64_t()> now_;
   ResponseSink counted_sink_;  // kept for mounting replacement workers
@@ -303,6 +348,11 @@ class LiveServer {
   bool stopped_ = false;
   bool record_ = false;
   std::vector<char> quarantined_;  // per shard, guarded by stamp_mu_
+  // Abandoned workers that had not acknowledged within the grace
+  // period — their inflight is folded into abandoned_ once they exit
+  // (or at shutdown, wedged or not). Points into worker_graveyard_;
+  // guarded by restart_mu_.
+  std::vector<ShardWorker*> abandoned_pending_;
   std::vector<TraceEvent> recorded_;
 
   // Seqs answered `err timeout`, collected by the counted sink and

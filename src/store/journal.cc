@@ -1,6 +1,7 @@
 #include "store/journal.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "store/crc32c.h"
@@ -57,6 +58,13 @@ Journal::Journal(Env& env, JournalConfig cfg, num::Index state_width)
   file_ = env_.open(cfg_.path, /*truncate_existing=*/false);
   if (file_ == nullptr) return;  // degraded from birth: undurable
   load_checkpoint();
+  if (!open_error_.empty()) {
+    // The checkpoint provably belongs to a different model shape:
+    // refuse the whole journal rather than replay records into the
+    // wrong shape or truncate history that another configuration owns.
+    file_.reset();
+    return;
+  }
   recover();
 }
 
@@ -97,10 +105,21 @@ bool Journal::load_checkpoint() {
   }
   const auto stored_crc = get<std::uint32_t>(img.data() + fsize - 4);
   if (std::memcmp(img.data(), kCkptMagic, sizeof(kCkptMagic)) != 0 ||
-      get<std::uint32_t>(img.data() + 8) !=
-          static_cast<std::uint32_t>(width_) ||
       stored_crc != crc32c(0, img.data(), fsize - 4)) {
     ++checkpoint_corrupt_;
+    return false;
+  }
+  const auto ckpt_width = get<std::uint32_t>(img.data() + 8);
+  if (ckpt_width != static_cast<std::uint32_t>(width_)) {
+    // CRC-valid but a different state_width: a healthy checkpoint of a
+    // different model, not corruption. Discarding it would silently
+    // erase committed session history on the next truncate — refuse to
+    // open instead (the constructor resets file_ when it sees this).
+    open_error_ = "checkpoint " + ckpt + " holds state_width " +
+                  std::to_string(ckpt_width) + " but this model needs " +
+                  std::to_string(width_) +
+                  "; refusing to open (move/delete the spill dir or point "
+                  "it elsewhere)";
     return false;
   }
 
@@ -157,17 +176,42 @@ bool Journal::load_checkpoint() {
 void Journal::recover() {
   const std::uint64_t fsize = file_->size();
   std::vector<std::uint8_t> hdr(kFileHeaderSize);
-  const bool header_ok =
-      fsize >= kFileHeaderSize &&
+  bool header_ok = false;
+  if (fsize >= kFileHeaderSize &&
       file_->read_at(0, hdr.data(), hdr.size()) == hdr.size() &&
       std::memcmp(hdr.data(), kMagic, sizeof(kMagic)) == 0 &&
-      get<std::uint32_t>(hdr.data() + 8) ==
-          static_cast<std::uint32_t>(width_) &&
-      get<std::uint32_t>(hdr.data() + 12) == crc32c(0, hdr.data(), 12);
+      get<std::uint32_t>(hdr.data() + 12) == crc32c(0, hdr.data(), 12)) {
+    const auto file_width = get<std::uint32_t>(hdr.data() + 8);
+    if (file_width != static_cast<std::uint32_t>(width_)) {
+      // A healthy journal written at a different state_width — the
+      // same spill dir reopened under a different model. Truncating
+      // here would silently destroy all committed session history, so
+      // refuse to open and leave the file byte-for-byte untouched.
+      open_error_ = "journal " + cfg_.path + " holds state_width " +
+                    std::to_string(file_width) + " but this model needs " +
+                    std::to_string(width_) +
+                    "; refusing to open (move/delete the spill dir or "
+                    "point it elsewhere)";
+      file_.reset();
+      return;
+    }
+    header_ok = true;
+  }
   if (!header_ok) {
-    // Empty file, a crash inside the very first header write, or a
-    // different state_width: no records to replay (the checkpoint, if
-    // any, still stands on its own), start the journal fresh.
+    if (fsize > kFileHeaderSize) {
+      // Bad magic or checksum with records behind it: header bit rot
+      // on a populated journal, not a torn first write. Starting fresh
+      // would orphan every committed record — refuse instead.
+      open_error_ = "journal " + cfg_.path +
+                    " has a corrupt file header ahead of " +
+                    std::to_string(fsize - kFileHeaderSize) +
+                    " bytes of records; refusing to open";
+      file_.reset();
+      return;
+    }
+    // Empty file or a crash inside the very first header write: no
+    // records can exist yet (the checkpoint, if any, still stands on
+    // its own), start the journal fresh.
     if (!write_file_header()) file_.reset();
     return;
   }
@@ -313,6 +357,8 @@ bool Journal::append(JournalRecordKind kind, std::uint64_t id,
   // Bounded retry from the same tail offset (a torn prefix is simply
   // overwritten). Unlike the spill tier, the append does NOT sync —
   // commit() is the group-commit barrier at the batch boundary.
+  std::lock_guard<std::timed_mutex> lock(write_mu_);
+  if (poisoned()) return false;
   bool written = false;
   for (int attempt = 0; attempt < cfg_.max_write_attempts; ++attempt) {
     if (file_->write_at(tail_, scratch_.data(), scratch_.size()) ==
@@ -339,6 +385,8 @@ bool Journal::append(JournalRecordKind kind, std::uint64_t id,
 bool Journal::commit() {
   if (!enabled()) return false;
   if (!dirty_) return true;
+  std::lock_guard<std::timed_mutex> lock(write_mu_);
+  if (poisoned()) return false;
   if (cfg_.sync == JournalSync::kBatch) {
     bool synced = false;
     for (int attempt = 0; attempt < cfg_.max_write_attempts; ++attempt) {
@@ -403,6 +451,8 @@ bool Journal::checkpoint(const std::vector<CheckpointSession>& sessions,
   // journal truncate just replays a suffix the new watermark skips.
   const std::string ckpt = cfg_.path + ".ckpt";
   const std::string tmp = ckpt + ".tmp";
+  std::lock_guard<std::timed_mutex> lock(write_mu_);
+  if (poisoned()) return false;
   auto out = env_.open(tmp, /*truncate_existing=*/true);
   if (out == nullptr) return false;
   if (out->write_at(0, img.data(), img.size()) != img.size() ||
@@ -430,6 +480,20 @@ bool Journal::checkpoint(const std::vector<CheckpointSession>& sessions,
   tail_ = kFileHeaderSize;
   dirty_ = false;
   return true;
+}
+
+void Journal::poison() {
+  poisoned_.store(true, std::memory_order_release);
+  // Drain: once the write lock can be taken, no writer is inside a
+  // syscall and none can re-enter (the flag is re-checked under the
+  // lock before any file op). Bounded so a writer wedged inside the
+  // kernel cannot wedge the caller — the restart path — with it; in
+  // that residual case one already-issued write can still land at the
+  // stale tail, which the next recovery's CRC scan treats as a torn
+  // tail rather than valid records.
+  if (write_mu_.try_lock_for(std::chrono::milliseconds(250))) {
+    write_mu_.unlock();
+  }
 }
 
 }  // namespace zss::store

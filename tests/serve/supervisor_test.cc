@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <mutex>
@@ -306,6 +308,213 @@ TEST_F(SupervisorTest, WedgedWorkerIsRestartedAndSurvivorsLoseNothing) {
   EXPECT_EQ(want.steps, got.steps);
   EXPECT_EQ(want.digest, got.digest)
       << "restart + resume diverged from the uninterrupted recurrence";
+}
+
+TEST_F(SupervisorTest, WorkerWedgedInsideSinkIsFencedNotDoubleCounted) {
+  // The nastier wedge: not parked at the cooperative checkpoint but
+  // stuck INSIDE a response delivery, past the journal commit. The
+  // abandon grace times out, the shard is rebuilt, and when the sink
+  // finally unblocks the old thread must deliver only the response it
+  // already held — everything after it hits the abandonment fence and
+  // is accounted abandoned, never delivered twice and never counted
+  // both responded and abandoned.
+  store::MemEnv env;
+  EnginePool pool(cell_, pruner_, journaled_config(1, env, "fence"));
+
+  const SessionId a = 1, b = 2, c = 3;
+  std::atomic<bool> block{false};
+  std::atomic<bool> entered{false};
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+
+  std::mutex mu;
+  std::map<SessionId, std::uint64_t> ok_count;
+  std::vector<std::uint64_t> seqs;
+  const ResponseSink sink = [&](const Response& r) {
+    if (r.timed_out) return;
+    if (block.load() && r.session == a) {
+      entered.store(true);
+      std::unique_lock<std::mutex> lock(gate_mu);
+      gate_cv.wait(lock, [&] { return gate_open; });
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    ++ok_count[r.session];
+    seqs.push_back(r.seq);
+  };
+  LiveServer server(pool, sink);
+
+  // Phase 1: a committed prefix for all three sessions.
+  constexpr std::uint64_t kBefore = 3;
+  for (std::uint64_t i = 0; i < kBefore; ++i) {
+    for (SessionId sid : {a, b, c}) {
+      ASSERT_TRUE(
+          server.submit(sid, token_at(sid, i, cell_.input_dim())).has_value());
+    }
+  }
+  ASSERT_TRUE(wait_until([&] { return server.responded() >= 3 * kBefore; }));
+
+  // Phase 2: park the worker so one batch accumulates all three
+  // sessions, then let it serve — the batch commits to the journal,
+  // and the FIRST delivery (session a; lane order is enqueue order)
+  // blocks inside the sink. That thread is now wedged mid-delivery
+  // holding one response, with b's and c's still undelivered.
+  ShardWorker* old_worker = &server.worker(0);
+  block.store(true);
+  server.worker(0).wedge_for_testing();
+  for (SessionId sid : {a, b, c}) {
+    ASSERT_TRUE(
+        server.submit(sid, token_at(sid, kBefore, cell_.input_dim()))
+            .has_value());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  server.worker(0).release_wedge();
+  ASSERT_TRUE(wait_until([&] { return entered.load(); }));
+
+  // Restart while the thread is stuck: abandon() must time out (the
+  // grace is 200ms, the sink is blocked indefinitely) and the ledger
+  // fold must be DEFERRED — the blocked response may yet land.
+  server.restart_shard(0);
+  EXPECT_EQ(server.restarts(), 1u);
+  EXPECT_EQ(server.abandoned(), 0u)
+      << "a wedged worker's inflight folded early double-counts the "
+         "response still stuck in its sink";
+  // The batch committed before delivery, so the rebuilt shard holds
+  // every session at kBefore + 1.
+  for (SessionId sid : {a, b, c}) {
+    EXPECT_EQ(pool.shard(0).sessions().digest_of(sid).steps, kBefore + 1);
+  }
+
+  // Unblock. The old thread delivers the one response it held, the
+  // fence suppresses b's and c's, and the thread exits cooperatively.
+  block.store(false);
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  ASSERT_TRUE(wait_until([&] { return old_worker->exited(); }));
+
+  // Phase 3: clients resume from the committed position (kBefore + 1)
+  // and drive every session to kTotal on the fresh worker.
+  constexpr std::uint64_t kTotal = kBefore + 3;
+  for (std::uint64_t i = kBefore + 1; i < kTotal; ++i) {
+    for (SessionId sid : {a, b, c}) {
+      SubmitStatus status = SubmitStatus::kOk;
+      while (!server.submit(sid, token_at(sid, i, cell_.input_dim()), 0,
+                            &status)
+                  .has_value()) {
+        ASSERT_NE(status, SubmitStatus::kStopped);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  }
+  ASSERT_TRUE(wait_until([&] {
+    for (SessionId sid : {a, b, c}) {
+      if (pool.shard(0).sessions().digest_of(sid).steps != kTotal) return false;
+    }
+    return true;
+  }));
+  server.shutdown();
+
+  // Exactly the two suppressed responses are abandoned, and the ledger
+  // balances to the request.
+  EXPECT_EQ(server.abandoned(), 2u);
+  EXPECT_EQ(server.submitted(), server.responded() + server.abandoned());
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    // Per-session response counts: a's blocked delivery landed (late,
+    // once); b and c each lost exactly the suppressed one.
+    EXPECT_EQ(ok_count[a], kTotal);
+    EXPECT_EQ(ok_count[b], kTotal - 1);
+    EXPECT_EQ(ok_count[c], kTotal - 1);
+    // No seq was ever answered twice.
+    std::vector<std::uint64_t> sorted = seqs;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end())
+        << "duplicate response seq — the fence failed";
+  }
+
+  // The recovered + resumed state is the true continuation.
+  PoolConfig oracle_config;
+  oracle_config.shards = 1;
+  oracle_config.policy.max_batch = 8;
+  oracle_config.policy.max_wait_us = 0;
+  EnginePool oracle(cell_, pruner_, oracle_config);
+  const ResponseSink oracle_sink = [](const Response&) {};
+  for (std::uint64_t i = 0; i < kTotal; ++i) {
+    for (SessionId sid : {a, b, c}) {
+      Request r;
+      r.session = sid;
+      r.token = token_at(sid, i, cell_.input_dim());
+      r.arrival_us = static_cast<std::int64_t>(i);
+      r.seq = i;
+      oracle.enqueue(r);
+    }
+    oracle.flush(static_cast<std::int64_t>(i), oracle_sink);
+  }
+  for (SessionId sid : {a, b, c}) {
+    const SessionDigest want = oracle.shard(0).sessions().digest_of(sid);
+    const SessionDigest got = pool.shard(0).sessions().digest_of(sid);
+    EXPECT_EQ(want.steps, got.steps);
+    EXPECT_EQ(want.digest, got.digest)
+        << "session " << sid << " diverged across the fenced restart";
+  }
+}
+
+TEST_F(SupervisorTest, SlowSinkDeepBacklogIsBusyNotWedged) {
+  // A healthy worker grinding a backlog through a slow sink can spend
+  // far longer than the stall window inside ONE settle pass. The
+  // heartbeat advances per response, so the watchdog must read it as
+  // busy, never wedged — a false restart would abandon live work.
+  PoolConfig config;
+  config.shards = 1;
+  config.policy.max_batch = 8;
+  config.policy.max_wait_us = 100;
+  EnginePool pool(cell_, pruner_, config);
+
+  std::atomic<int> served{0};
+  const ResponseSink sink = [&](const Response& r) {
+    if (r.timed_out) return;
+    // Slow consumer: 2ms per response. 60 responses ≈ 120ms of serving
+    // inside one settle chain — three full stall windows.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    served.fetch_add(1);
+  };
+  LiveServer server(pool, sink);
+
+  SupervisorConfig sup;
+  sup.stall_ms = 40;
+  sup.poll_ms = 5;
+  Supervisor supervisor(server, sup);
+  supervisor.start();
+
+  // Park the worker so the whole load lands in one wakeup: 6 sessions
+  // x 10 steps, same-session conflicts forcing ~10 chained batches.
+  constexpr int kSessions = 6;
+  constexpr std::uint64_t kSteps = 10;
+  server.worker(0).wedge_for_testing();
+  for (std::uint64_t i = 0; i < kSteps; ++i) {
+    for (int s = 1; s <= kSessions; ++s) {
+      ASSERT_TRUE(server
+                      .submit(static_cast<SessionId>(s),
+                              token_at(static_cast<SessionId>(s), i,
+                                       cell_.input_dim()))
+                      .has_value());
+    }
+  }
+  server.worker(0).release_wedge();
+  const int want = kSessions * static_cast<int>(kSteps);
+  ASSERT_TRUE(wait_until([&] { return served.load() >= want; }));
+
+  supervisor.stop();
+  server.shutdown();
+
+  EXPECT_EQ(server.restarts(), 0u)
+      << "busy-not-wedged: a slow sink must not trigger a restart";
+  EXPECT_EQ(supervisor.restarts_triggered(), 0u);
+  EXPECT_EQ(server.abandoned(), 0u);
+  EXPECT_EQ(server.submitted(), server.responded());
 }
 
 TEST_F(SupervisorTest, RestartShardDirectlyIsIdempotentAndKeepsServing) {

@@ -221,18 +221,36 @@ TEST(JournalTest, BitRotAtEveryByteOfARecordCutsThePrefixThere) {
     }
   }
 
-  // Rot in the FILE header: the whole journal is unreadable — recovery
-  // starts it fresh rather than guessing.
+  // Rot in the FILE header with committed records behind it: starting
+  // fresh would silently orphan all of them, so the journal refuses to
+  // open and leaves the file byte-for-byte untouched for forensics.
   for (std::uint64_t off = 0; off < kFileHeader; ++off) {
     MemEnv env;
     {
       auto f = env.open("j", true);
       ASSERT_EQ(f->write_at(0, full.data(), full.size()), full.size());
     }
+    std::vector<std::uint8_t> rotten = full;
+    rotten[off] ^= 0x01;
     (*env.bytes("j"))[off] ^= 0x01;
     Journal j(env, {.path = "j"}, kWidth);
-    ASSERT_TRUE(j.ok());
-    EXPECT_EQ(j.recovered_records(), 0u) << "header rot at " << off;
+    EXPECT_FALSE(j.ok()) << "header rot at " << off;
+    EXPECT_FALSE(j.open_error().empty()) << "header rot at " << off;
+    EXPECT_EQ(*env.bytes("j"), rotten) << "file mutated at rot " << off;
+  }
+
+  // The same rot on a record-free journal (header only) is a torn
+  // first write, not lost history: recovery starts fresh.
+  for (std::uint64_t off = 0; off < kFileHeader; ++off) {
+    MemEnv env;
+    {
+      auto f = env.open("j", true);
+      ASSERT_EQ(f->write_at(0, full.data(), kFileHeader), kFileHeader);
+    }
+    (*env.bytes("j"))[off] ^= 0x01;
+    Journal j(env, {.path = "j"}, kWidth);
+    ASSERT_TRUE(j.ok()) << "header rot at " << off;
+    EXPECT_EQ(j.recovered_records(), 0u);
     EXPECT_EQ(j.file_bytes(), kFileHeader);
   }
 }
@@ -456,19 +474,101 @@ TEST(JournalTest, OrphanedTmpFilesAreRemovedAndCounted) {
   EXPECT_FALSE(env.exists("j.ckpt.tmp"));
 }
 
-TEST(JournalTest, WidthMismatchStartsFreshInsteadOfMisparsing) {
+TEST(JournalTest, WidthMismatchRefusesToOpenAndPreservesTheFile) {
   MemEnv env;
   const auto recs = make_records(4);
   {
     Journal j(env, {.path = "j"}, kWidth);
     append_all(j, recs);
   }
-  // A journal written at width 4 opened at width 8: the header check
-  // refuses to reinterpret payload bytes under the wrong geometry.
-  Journal j(env, {.path = "j"}, 2 * kWidth);
+  const std::vector<std::uint8_t> before = *env.bytes("j");
+
+  // A journal written at width 4 opened at width 8 is the same spill
+  // dir under a different model — a configuration error, not
+  // corruption. Truncating (the old behavior) would silently destroy
+  // committed history; the journal must refuse and explain instead.
+  {
+    Journal j(env, {.path = "j"}, 2 * kWidth);
+    EXPECT_FALSE(j.ok());
+    EXPECT_FALSE(j.open_error().empty());
+    EXPECT_NE(j.open_error().find("state_width"), std::string::npos);
+    EXPECT_EQ(j.recovered_records(), 0u);
+  }
+  EXPECT_EQ(*env.bytes("j"), before) << "refused open must not mutate";
+
+  // Reopened at the right width, every committed record is still there.
+  Journal j(env, {.path = "j"}, kWidth);
   ASSERT_TRUE(j.ok());
-  EXPECT_EQ(j.recovered_records(), 0u);
-  EXPECT_EQ(j.file_bytes(), kFileHeader);
+  EXPECT_TRUE(j.open_error().empty());
+  EXPECT_EQ(j.recovered_records(), recs.size());
+  expect_prefix(j, recs, recs.size());
+}
+
+TEST(JournalTest, CheckpointWidthMismatchAlsoRefusesToOpen) {
+  MemEnv env;
+  const auto recs = make_records(6);
+  {
+    Journal j(env, {.path = "j", .checkpoint_bytes = 1}, kWidth);
+    append_all(j, recs);
+    // Force a checkpoint so the durable history lives in j.ckpt.
+    std::vector<CheckpointSession> sessions;
+    CheckpointSession s;
+    s.id = 7;
+    s.h.assign(static_cast<std::size_t>(kWidth), 1.0f);
+    s.c.assign(static_cast<std::size_t>(kWidth), 2.0f);
+    sessions.push_back(std::move(s));
+    ASSERT_TRUE(j.checkpoint(sessions, {}));
+  }
+  const std::vector<std::uint8_t> ckpt_before = *env.bytes("j.ckpt");
+
+  // The checkpoint is CRC-valid, just the wrong shape: discarding it as
+  // "corrupt" (and truncating on the next checkpoint) would erase the
+  // committed population, so the open refuses outright.
+  {
+    Journal j(env, {.path = "j"}, 2 * kWidth);
+    EXPECT_FALSE(j.ok());
+    EXPECT_FALSE(j.open_error().empty());
+    EXPECT_EQ(j.checkpoint_corrupt(), 0u)
+        << "a healthy foreign checkpoint is not corruption";
+  }
+  EXPECT_EQ(*env.bytes("j.ckpt"), ckpt_before);
+
+  // Right width: the checkpoint population is intact.
+  Journal j(env, {.path = "j"}, kWidth);
+  ASSERT_TRUE(j.ok());
+  ASSERT_EQ(j.checkpoint_sessions().size(), 1u);
+  EXPECT_EQ(j.checkpoint_sessions()[0].id, 7u);
+}
+
+TEST(JournalTest, PoisonedJournalRefusesEveryWriteAndLeavesTheFileAlone) {
+  MemEnv env;
+  const auto recs = make_records(4);
+  Journal j(env, {.path = "j"}, kWidth);
+  ASSERT_TRUE(j.ok());
+  append_all(j, recs);
+  const std::vector<std::uint8_t> before = *env.bytes("j");
+
+  // poison() is the rebuild fence (serve/pool.cc::rebuild_shard): after
+  // it returns, this handle must never write again — a replacement
+  // journal has reopened the same path and owns the tail.
+  j.poison();
+  EXPECT_TRUE(j.poisoned());
+  EXPECT_FALSE(j.enabled());
+  const Rec& r = recs[0];
+  EXPECT_FALSE(j.append(r.kind, r.id, r.gen, r.steps, r.arrival, r.dsteps,
+                        r.digest, r.h.empty() ? nullptr : r.h.data(),
+                        r.c.empty() ? nullptr : r.c.data()));
+  EXPECT_FALSE(j.commit());
+  EXPECT_FALSE(j.checkpoint({}, {}));
+  EXPECT_EQ(*env.bytes("j"), before) << "poisoned handle wrote";
+  EXPECT_FALSE(env.exists("j.ckpt"));
+  EXPECT_FALSE(env.exists("j.ckpt.tmp"));
+
+  // The fenced file is untouched, so a successor (or the next boot)
+  // recovers everything that was committed before the fence.
+  Journal fresh(env, {.path = "j"}, kWidth);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh.recovered_records(), recs.size());
 }
 
 }  // namespace

@@ -509,6 +509,24 @@ bool acquire_spill_lock(const Args& args, store::DirLock& lock) {
   return true;
 }
 
+/// A journal that refuses to open (its checkpoint/header is CRC-valid
+/// but carries a different state_width — i.e. the spill dir belongs to
+/// a different model) must stop the server: silently serving undurably
+/// over history we refused to destroy would be worse than either
+/// honoring or rebuilding it. The Journal's diagnostic says how to
+/// resolve it (move the dir or fix the model flags).
+bool check_durable_tier(const Args& args, serve::EnginePool& pool) {
+  if (args.durability != "journal") return true;
+  for (num::Index i = 0; i < pool.num_shards(); ++i) {
+    const store::Journal* j = pool.journal(i);
+    if (j != nullptr && !j->open_error().empty()) {
+      std::fprintf(stderr, "zss_serve: %s\n", j->open_error().c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
 /// Startup line for the durable tier: what was recovered, what debris
 /// was cleaned. Printed after pool construction in every mode.
 void report_recovery(const Args& args, const serve::EnginePool& pool) {
@@ -538,6 +556,7 @@ int run_replay(const Args& args) {
   ServingAssets assets;
   if (!build_model(args, assets)) return 1;
   serve::EnginePool pool(assets.model, pool_config(args, assets));
+  if (!check_durable_tier(args, pool)) return 1;
   report_recovery(args, pool);
 
   // The authoritative per-session digest table now lives in the
@@ -801,6 +820,7 @@ int run_live(const Args& args) {
   ServingAssets assets;
   if (!build_model(args, assets)) return 1;
   serve::EnginePool pool(assets.model, pool_config(args, assets));
+  if (!check_durable_tier(args, pool)) return 1;
   report_recovery(args, pool);
 
   if (!args.socket_path.empty() || args.tcp_port >= 0) {
